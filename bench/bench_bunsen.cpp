@@ -1,0 +1,290 @@
+// Lean premixed CH4/air slot Bunsen flames under increasing turbulence
+// (paper section 7) -- regenerates Table 1, figure 12 and figure 13 from
+// three scaled-down 2-D DNS (cases A/B/C at increasing u'/S_L), plus the
+// section 7.2 unstrained laminar reference from the premix1d solver:
+//
+//   section 7.2: S_L, delta_L, delta_H, tau_f of the phi = 0.7, 800 K
+//                laminar flame (paper: 1.8 m/s, 0.3 mm, 0.14 mm, 0.17 ms);
+//   Table 1:     per-case parameters (Re_jet, u'/S_L, l_t/delta_L, Re_t,
+//                Ka, Da) computed from the actual runs;
+//   fig. 12:     flame-surface (c = 0.65) contour length per slot width --
+//                wrinkling grows from case A to case C -- plus rendered
+//                snapshots;
+//   fig. 13:     conditional mean of |grad c| * delta_L vs c at three
+//                streamwise stations against the laminar profile: flames
+//                thicken from A to B, and saturate from B to C.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "chem/mechanisms.hpp"
+#include "chem/mixing.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "premix1d/premix1d.hpp"
+#include "solver/cases.hpp"
+#include "solver/diagnostics.hpp"
+#include "solver/solver.hpp"
+#include "viz/render.hpp"
+
+namespace sv = s3d::solver;
+namespace chem = s3d::chem;
+namespace pm = s3d::premix1d;
+
+namespace {
+
+struct CaseResult {
+  std::string name;
+  double u_prime = 0.0, lt = 0.0, Re_t = 0.0, Ka = 0.0, Da = 0.0;
+  double Re_jet = 0.0;
+  double mean_contour_per_h = 0.0;
+  std::vector<sv::ConditionalStats> gradc_on_c;  // one per station
+};
+
+}  // namespace
+
+int main() {
+  using s3dpp_bench::banner;
+  banner("Table 1 / Figures 12-13",
+         "premixed CH4/air Bunsen flames under intense turbulence");
+  const bool full = s3dpp_bench::full_mode();
+  const std::string out = s3dpp_bench::out_dir();
+
+  // ---- Section 7.2: unstrained laminar reference (PREMIX substitute) ----
+  auto mech = chem::ch4_bfer2step();
+  auto Yu = chem::premixed_fuel_air_Y(mech, "CH4", 0.7);
+  pm::Options po;
+  po.n = full ? 320 : 224;
+  po.length = 0.012;
+  po.t_max = 0.03;
+  auto lam = pm::solve_premixed_flame(mech, 101325.0, 800.0, Yu, po);
+  const double SL = lam.S_L, dL = lam.delta_L;
+  std::printf(
+      "Unstrained laminar flame, phi = 0.7, T_u = 800 K, 1 atm:\n"
+      "  S_L     = %.2f m/s      (paper, detailed chemistry: 1.8)\n"
+      "  delta_L = %.3f mm       (paper: 0.3)\n"
+      "  delta_H = %.3f mm       (paper: 0.14)\n"
+      "  delta_L/delta_H = %.2f  (paper: ~2 at 800 K preheat)\n"
+      "  tau_f   = %.3f ms       (paper: 0.17)\n"
+      "  T_b     = %.0f K\n\n",
+      SL, dL * 1e3, lam.delta_H * 1e3, dL / lam.delta_H, lam.tau_f() * 1e3,
+      lam.T_burnt);
+
+  // Laminar |grad c| * delta_L vs c reference from the 1-D profile
+  // (c from Y_O2, paper section 7.3).
+  const int io2 = mech.index("O2");
+  const double Yo2_u = Yu[io2];
+  const double Yo2_b = lam.Y[io2].back();
+  sv::ConditionalStats lam_ref(0.0, 1.0, 20);
+  {
+    const auto& Yo2 = lam.Y[io2];
+    const double h = lam.x[1] - lam.x[0];
+    for (std::size_t i = 1; i + 1 < Yo2.size(); ++i) {
+      const double c = std::clamp(
+          (Yo2_u - Yo2[i]) / (Yo2_u - Yo2_b), 0.0, 1.0);
+      const double gc =
+          std::abs(Yo2[i + 1] - Yo2[i - 1]) / (2 * h) / (Yo2_u - Yo2_b);
+      lam_ref.add(c, gc * dL);
+    }
+  }
+
+  // ---- Cases A/B/C ----
+  struct CaseSpec {
+    const char* name;
+    double u_over_SL;
+    double lt_over_dL;
+    double u_jet;
+  };
+  const CaseSpec specs[3] = {{"A", 3.0, 0.7, 70.0},
+                             {"B", 6.0, 1.0, 90.0},
+                             {"C", 10.0, 1.5, 90.0}};
+  // Quick-mode grids resolve delta_L with ~7 points (paper: 15); the
+  // turbulence length scale is floored at 5 cells so the synthetic inflow
+  // modes survive the 10th-order filter.
+  const double stations[3] = {0.25, 0.5, 0.75};
+  std::vector<CaseResult> results;
+
+  for (const auto& spec : specs) {
+    sv::BunsenParams prm;
+    prm.nx = full ? 280 : 120;
+    prm.ny = full ? 224 : 92;
+    prm.Lx = full ? 0.0112 : 0.0055;
+    prm.Ly = full ? 0.009 : 0.0042;
+    prm.slot_h = 0.0011;
+    prm.u_jet = spec.u_jet;
+    prm.u_coflow = 0.25 * spec.u_jet;
+    prm.u_rms = spec.u_over_SL * SL;
+    const double dx = prm.Lx / prm.nx;
+    prm.turb_len = std::max(spec.lt_over_dL * dL, 5.0 * dx);
+    prm.seed = 0xb0b + spec.name[0];
+    auto cs = sv::bunsen_case(prm);
+
+    sv::Solver s(cs.cfg);
+    s.initialize(cs.init);
+    const auto& l = s.layout();
+
+    CaseResult res;
+    res.name = spec.name;
+    res.gradc_on_c.assign(3, sv::ConditionalStats(0.0, 1.0, 20));
+
+    const double flow_through = prm.Lx / prm.u_jet;
+    const double t_end = (full ? 3.0 : 2.0) * flow_through;
+    const double t_stats = 0.9 * flow_through;
+
+    // Centerline velocity time series at the 1/4 station for u'.
+    std::vector<double> u_quarter;
+    double contour_sum = 0.0;
+    int contour_n = 0;
+    double eps_sum = 0.0;
+    int eps_n = 0;
+
+    s3d::Timer wall;
+    const int sample_every = 50;
+    while (s.time() < t_end) {
+      s.run(sample_every, {}, 10);
+      auto& prim = s.primitives();
+      // u' from the transverse velocity in the jet core at the 1/4
+      // station (zero mean there, so jet flapping does not contaminate).
+      const int iq = l.nx / 4;
+      for (int dj : {-2, 0, 2})
+        u_quarter.push_back(prim.v(iq, l.ny / 2 + dj, 0));
+      if (s.time() < t_stats) continue;
+
+      auto c = sv::progress_variable_field(mech, prim, l, cs.Y_o2_unburnt,
+                                           cs.Y_o2_burnt);
+      auto gc = sv::gradient_magnitude(s.rhs().ops(), c);
+      for (int st = 0; st < 3; ++st) {
+        const int ic = std::min(static_cast<int>(stations[st] * l.nx),
+                                l.nx - 1);
+        // Window of a few columns around the station.
+        for (int di = -2; di <= 2; ++di) {
+          const int i = std::clamp(ic + di, 0, l.nx - 1);
+          for (int j = 0; j < l.ny; ++j) {
+            const double cv = c(i, j, 0);
+            if (cv > 0.01 && cv < 0.99)
+              res.gradc_on_c[st].add(cv, gc(i, j, 0) * dL);
+          }
+        }
+      }
+      contour_sum +=
+          sv::contour_length_2d(c, l, s.mesh(), s.offset(), 0.65);
+      ++contour_n;
+      // Dissipation for the turbulence scales (nu at unburnt conditions).
+      const double nu_u = 8.5e-5 * std::pow(800.0 / 800.0, 0.7);
+      eps_sum += sv::mean_dissipation(s.rhs().ops(), prim, l, nu_u);
+      ++eps_n;
+    }
+
+    // Turbulence quantities at the 1/4 station.
+    double um = 0.0;
+    for (double u : u_quarter) um += u;
+    um /= u_quarter.size();
+    double uv = 0.0;
+    for (double u : u_quarter) uv += (u - um) * (u - um);
+    res.u_prime = std::sqrt(uv / u_quarter.size());
+    const double eps = eps_sum / std::max(eps_n, 1);
+    const double nu = 8.5e-5;  // paper's kinematic viscosity at inflow
+    res.lt = std::pow(res.u_prime, 3) / std::max(eps, 1e-12);
+    res.Re_t = res.u_prime * res.lt / nu;
+    const double lk = std::pow(nu * nu * nu / std::max(eps, 1e-12), 0.25);
+    res.Ka = (dL / lk) * (dL / lk);
+    res.Da = SL * res.lt / (std::max(res.u_prime, 1e-12) * dL);
+    res.Re_jet = prm.u_jet * prm.slot_h / nu;
+    res.mean_contour_per_h =
+        contour_sum / std::max(contour_n, 1) / prm.slot_h;
+
+    // fig. 12 snapshot.
+    auto& prim = s.primitives();
+    auto c = sv::progress_variable_field(mech, prim, l, cs.Y_o2_unburnt,
+                                         cs.Y_o2_burnt);
+    s3d::viz::render_slice(c, 0.0, 1.0, s3d::viz::colormap_viridis, 4)
+        .write_ppm(out + "/fig12_case" + spec.name + "_c.ppm");
+    std::printf("Case %s: %d steps, %.0f us simulated, %.0f s wall\n",
+                spec.name, s.steps_taken(), s.time() * 1e6, wall.seconds());
+    results.push_back(std::move(res));
+  }
+
+  // ---- Table 1 ----
+  std::printf("\nTable 1: simulation parameters (measured from the runs; "
+              "paper values in brackets)\n");
+  s3d::Table t1({"quantity", "Case A", "Case B", "Case C", "paper A/B/C"});
+  auto row3 = [&](const std::string& name, double a, double b, double c,
+                  const char* paper) {
+    t1.add_row({name, s3d::Table::num(a, 3), s3d::Table::num(b, 3),
+                s3d::Table::num(c, 3), paper});
+  };
+  row3("Re_jet", results[0].Re_jet, results[1].Re_jet, results[2].Re_jet,
+       "840 / 1400 / 2100");
+  row3("u'/S_L (target)", 3, 6, 10, "3 / 6 / 10");
+  row3("u'/S_L (measured)", results[0].u_prime / SL,
+       results[1].u_prime / SL, results[2].u_prime / SL, "3 / 6 / 10");
+  row3("l_t/delta_L", results[0].lt / dL, results[1].lt / dL,
+       results[2].lt / dL, "0.7 / 1 / 1.5");
+  row3("Re_t", results[0].Re_t, results[1].Re_t, results[2].Re_t,
+       "40 / 75 / 250");
+  row3("Ka", results[0].Ka, results[1].Ka, results[2].Ka,
+       "100 / 100 / 225");
+  row3("Da", results[0].Da, results[1].Da, results[2].Da,
+       "0.23 / 0.17 / 0.15");
+  t1.print(std::cout);
+
+  // ---- Figure 12 ----
+  std::printf("\nFigure 12: mean flame-surface contour length / slot "
+              "width (wrinkling grows A -> C):\n");
+  for (const auto& r : results)
+    std::printf("  case %s: %.2f\n", r.name.c_str(), r.mean_contour_per_h);
+
+  // ---- Figure 13 ----
+  std::printf("\nFigure 13: conditional mean |grad c| * delta_L vs c\n");
+  for (int st = 0; st < 3; ++st) {
+    std::printf("\n  station x/L = %.2f:\n", stations[st]);
+    s3d::Table t13({"c bin", "laminar", "case A", "case B", "case C"});
+    for (int b = 1; b < 19; ++b) {
+      if (lam_ref.count(b) == 0) continue;
+      std::vector<std::string> row{
+          s3d::Table::num(lam_ref.bin_center(b), 3),
+          s3d::Table::num(lam_ref.mean(b), 3)};
+      for (const auto& r : results)
+        row.push_back(r.gradc_on_c[st].count(b) >= 5
+                          ? s3d::Table::num(r.gradc_on_c[st].mean(b), 3)
+                          : "-");
+      t13.add_row(row);
+    }
+    t13.print(std::cout);
+  }
+
+  // Shape summary: average |grad c| dL over the flame (0.2 < c < 0.8).
+  std::printf("\nFlame-thickness summary (mean |grad c|*delta_L over "
+              "0.2 < c < 0.8, all stations;\nlower = thicker preheat "
+              "layer):\n");
+  auto brush_mean = [&](const sv::ConditionalStats& cs2) {
+    double sum = 0.0;
+    long n = 0;
+    for (int b = 4; b < 16; ++b) {
+      sum += cs2.mean(b) * cs2.count(b);
+      n += cs2.count(b);
+    }
+    return n > 0 ? sum / n : 0.0;
+  };
+  double lam_mean = brush_mean(lam_ref);
+  std::printf("  laminar: %.3f\n", lam_mean);
+  for (const auto& r : results) {
+    double m = 0.0;
+    for (int st = 0; st < 3; ++st) m += brush_mean(r.gradc_on_c[st]);
+    m /= 3.0;
+    std::printf("  case %s:  %.3f\n", r.name.c_str(), m);
+  }
+  std::printf(
+      "\nPaper fig. 13 (3-D DNS): conditional gradients fall BELOW laminar\n"
+      "(thickening) from A to B and saturate from B to C. Our quick-mode\n"
+      "surrogate is 2-D, and -- as the paper itself notes of the prior\n"
+      "2-D-turbulence literature -- 2-D vortices strain without the\n"
+      "vortex-stretching cascade, so the mini-runs sit at or slightly\n"
+      "ABOVE laminar (mild thinning). The statistic, the laminar\n"
+      "reference, and the case sweep are the paper's; the 3-D conclusion\n"
+      "needs the 3-D run (S3DPP_FULL with a 3-D grid; see EXPERIMENTS.md).\n");
+  return 0;
+}

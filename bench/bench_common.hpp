@@ -1,0 +1,31 @@
+#pragma once
+// Shared helpers for the per-figure benchmark binaries.
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+namespace s3dpp_bench {
+
+/// True when S3DPP_FULL=1: run the larger (slower) configurations.
+inline bool full_mode() {
+  const char* v = std::getenv("S3DPP_FULL");
+  return v != nullptr && v[0] == '1';
+}
+
+/// Output directory for images and data files produced by the benches.
+inline std::string out_dir() {
+  const char* v = std::getenv("S3DPP_BENCH_OUT");
+  std::string d = v ? v : "bench_output";
+  std::filesystem::create_directories(d);
+  return d;
+}
+
+inline void banner(const char* id, const char* what) {
+  std::printf("==============================================================\n");
+  std::printf("%s: %s\n", id, what);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace s3dpp_bench

@@ -1,0 +1,121 @@
+// Figure 1: weak-scaling cost per grid point per time step of S3D on the
+// Cray XT3/XT4 hybrid Jaguar.
+//
+// Stage 1 measures the real solver on this host: the section 4.1 model
+// problem (pressure wave, detailed H2 chemistry) gives the per-kernel cost
+// decomposition. Stage 2 feeds that decomposition into the calibrated
+// cluster model (see DESIGN.md substitutions) anchored at the paper's
+// 55 us/point/step XT4 rate, and prints the three weak-scaling series of
+// fig. 1: pure XT4 (flat ~55), pure XT3 (flat ~68), and the hybrid, which
+// runs at the XT4 rate up to 8192 cores and at the XT3 rate beyond
+// (paper: "performance is dominated by the memory bandwidth limitations
+// of the XT3 nodes").
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "chem/mechanisms.hpp"
+#include "chem/mixing.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "perf/model.hpp"
+#include "solver/solver.hpp"
+
+namespace sv = s3d::solver;
+namespace chem = s3d::chem;
+
+int main() {
+  using s3dpp_bench::banner;
+  banner("Figure 1", "weak scaling of S3D on the XT3/XT4 hybrid");
+
+  // ---- Stage 1: measure the model problem on this host ----
+  const int n = s3dpp_bench::full_mode() ? 50 : 22;
+  auto mech = std::make_shared<const chem::Mechanism>(chem::h2_li2004());
+  sv::Config cfg;
+  cfg.mech = mech;
+  cfg.x = {n, 0.01, true};
+  cfg.y = {n, 0.01, true};
+  cfg.z = {n, 0.01, true};
+  for (int a = 0; a < 3; ++a)
+    for (auto& f : cfg.faces[a]) f.kind = sv::BcKind::periodic;
+  cfg.transport = sv::TransportModel::constant_lewis;
+  cfg.T_ref = 300.0;
+
+  auto Y0 = chem::premixed_fuel_air_Y(*mech, "H2", 1.0);
+  sv::Solver s(cfg);
+  s.initialize([&](double x, double y, double z, sv::InflowState& st,
+                   double& p) {
+    st.u = st.v = st.w = 0.0;
+    st.T = 300.0;
+    st.Y.fill(0.0);
+    for (std::size_t i = 0; i < Y0.size(); ++i) st.Y[i] = Y0[i];
+    const double r2 = std::pow(x - 0.005, 2) + std::pow(y - 0.005, 2) +
+                      std::pow(z - 0.005, 2);
+    p = 101325.0 * (1.0 + 0.01 * std::exp(-r2 / 1e-6));
+  });
+
+  const double dt = 0.5 * s.stable_dt();
+  s.step(dt);  // warm-up
+  s.rhs().reset_timers();
+  const int steps = s3dpp_bench::full_mode() ? 10 : 4;
+  s3d::Timer t;
+  for (int i = 0; i < steps; ++i) s.step(dt);
+  const double wall = t.seconds();
+  const double pts = static_cast<double>(n) * n * n;
+  const double us_per_pt_step = wall / steps / pts * 1e6;
+
+  std::printf("Model problem (pressure wave, H2 chemistry) on this host:\n");
+  std::printf("  grid %d^3, %d steps: %.3f s -> %.2f us/point/step\n\n", n,
+              steps, wall, us_per_pt_step);
+
+  const auto& tm = s.rhs().timers();
+  // Per-kernel measured shares with memory-bound fractions (how much of
+  // each kernel streams data vs computes; see DESIGN.md).
+  std::vector<s3d::perf::KernelShare> shares = {
+      {"GET_PRIMITIVES", tm.primitives, 0.2},
+      {"DERIVATIVES", tm.gradients, 0.55},
+      {"COMPUTESPECIESDIFFFLUX", tm.diffusive_flux, 0.5},
+      {"CONVECTIVE_FLUX+DIV", tm.convective, 0.55},
+      {"REACTION_RATE", tm.reaction_rate, 0.05},
+      {"BOUNDARY+FILTER", tm.boundary + tm.halo, 0.2},
+  };
+  std::printf("Measured kernel decomposition (share of RHS time):\n");
+  double total = 0.0;
+  for (const auto& k : shares) total += k.seconds;
+  for (const auto& k : shares)
+    std::printf("  %-24s %5.1f%%  (mem-bound fraction %.2f)\n",
+                k.name.c_str(), 100.0 * k.seconds / total, k.mem_fraction);
+
+  // ---- Stage 2: the calibrated cluster model ----
+  s3d::perf::ClusterModel model(shares, 55e-6);
+  std::printf("\nModel memory-bound fraction of a step: %.2f\n",
+              model.mem_fraction());
+  std::printf("Predicted XT3/XT4 cost ratio: %.3f (paper: 68/55 = 1.24)\n\n",
+              model.cost(s3d::perf::xt3()) / model.cost(s3d::perf::xt4()));
+
+  s3d::Table table({"cores", "XT4 [us/pt/step]", "XT3 [us/pt/step]",
+                    "XT3+XT4 hybrid [us/pt/step]"});
+  const double c4 = model.cost(s3d::perf::xt4()) * 1e6;
+  const double c3 = model.cost(s3d::perf::xt3()) * 1e6;
+  for (long cores : {2L, 16L, 128L, 1024L, 4096L, 8192L, 12000L, 16000L,
+                     22800L}) {
+    // Jaguar: <= 8192 cores fit on pure XT4 (or pure XT3); beyond that the
+    // allocation must mix and the ghost-exchange sync pins the rate at XT3.
+    const bool fits_pure = cores <= 8192;
+    const double hybrid = fits_pure ? c4 : model.hybrid_cost(0.46) * 1e6;
+    table.add_row({std::to_string(cores),
+                   fits_pure ? s3d::Table::num(c4, 4) : "-",
+                   fits_pure ? s3d::Table::num(c3, 4) : "-",
+                   s3d::Table::num(hybrid, 4)});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nPaper fig. 1: XT4 flat ~55, XT3 flat ~68, hybrid ~68 beyond 8192\n"
+      "cores. Flat weak scaling follows from nearest-neighbour-only\n"
+      "communication (~%.0f kB per field per face at 50^3).\n",
+      50.0 * 50.0 * 4 * 8 / 1024.0);
+  return 0;
+}

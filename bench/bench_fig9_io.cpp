@@ -1,0 +1,114 @@
+// Figure 9: S3D-I/O checkpoint benchmark -- write bandwidth and file-open
+// time for ten checkpoints with four strategies on two simulated parallel
+// filesystems (see DESIGN.md substitutions; parameters calibrated to the
+// paper's Tungsten/Lustre and Mercury/GPFS systems).
+//
+// Paper findings this table reproduces:
+//  - MPI-I/O caching outperforms native collective I/O on both systems
+//    (lock-boundary alignment removes false sharing);
+//  - Fortran file-per-process is fastest on Lustre, but its open cost
+//    explodes on GPFS as process count grows (the MDS serializes opens),
+//    letting caching overtake it at 64-128 processes;
+//  - two-stage write-behind beats caching on Lustre (no coherence
+//    traffic). NOTE: the paper additionally observed write-behind falling
+//    below native collective on GPFS; our model keeps write-behind close
+//    to caching there instead (see EXPERIMENTS.md for the discussion).
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "iosim/simfs.hpp"
+#include "iosim/writers.hpp"
+
+namespace io = s3d::iosim;
+
+namespace {
+
+io::CheckpointSpec spec_for(int nprocs) {
+  io::CheckpointSpec s;
+  s.nx = s.ny = s.nz = 50;  // paper: 50^3 per process, ~15.26 MB each
+  switch (nprocs) {
+    case 8: s.px = 2; s.py = 2; s.pz = 2; break;
+    case 16: s.px = 4; s.py = 2; s.pz = 2; break;
+    case 32: s.px = 4; s.py = 4; s.pz = 2; break;
+    case 64: s.px = 4; s.py = 4; s.pz = 4; break;
+    default: s.px = 8; s.py = 4; s.pz = 4; break;  // 128
+  }
+  return s;
+}
+
+using Writer = io::WriteResult (*)(io::SimFS&, const io::CheckpointSpec&,
+                                   const io::NetParams&, int, double);
+
+struct Run {
+  double bw_mbs;      ///< total bytes / (open + write) over 10 checkpoints
+  double open_s;      ///< cumulative open time
+};
+
+Run run10(Writer w, const io::FsParams& fsp, const io::NetParams& net,
+          const io::CheckpointSpec& spec) {
+  io::SimFS fs(fsp);
+  double t = 0.0, wt = 0.0, ot = 0.0;
+  const int n_ckpt = 10;
+  for (int c = 0; c < n_ckpt; ++c) {
+    auto r = w(fs, spec, net, c, t);
+    t += r.open_time + r.write_time;
+    wt += r.write_time;
+    ot += r.open_time;
+  }
+  return {spec.total_bytes() * n_ckpt / (wt + ot) / 1e6, ot};
+}
+
+}  // namespace
+
+int main() {
+  s3dpp_bench::banner("Figure 9",
+                      "S3D-I/O write bandwidth and file-open time");
+
+  struct Machine {
+    const char* name;
+    io::FsParams fs;
+    io::NetParams net;
+  };
+  const Machine machines[] = {
+      {"Tungsten (Lustre-like)", io::lustre_like(), {110e6, 1e-4}},
+      {"Mercury (GPFS-like)", io::gpfs_like(), {30e6, 6e-5}},
+  };
+
+  for (const auto& m : machines) {
+    std::printf("\n--- %s: %d servers, %zu kB stripes ---\n", m.name,
+                m.fs.n_servers, m.fs.stripe_size / 1024);
+    s3d::Table bw({"procs", "Fortran [MB/s]", "native coll [MB/s]",
+                   "MPI-I/O caching [MB/s]", "write-behind [MB/s]"});
+    s3d::Table op({"procs", "Fortran open [s]", "native open [s]",
+                   "caching open [s]", "write-behind open [s]"});
+    for (int np : {8, 16, 32, 64, 128}) {
+      const auto spec = spec_for(np);
+      const Run rf = run10(io::write_fortran, m.fs, m.net, spec);
+      const Run rn = run10(io::write_native_collective, m.fs, m.net, spec);
+      const Run rc = run10(io::write_mpiio_caching, m.fs, m.net, spec);
+      const Run rw = run10(io::write_write_behind, m.fs, m.net, spec);
+      bw.add_row({std::to_string(np), s3d::Table::num(rf.bw_mbs, 4),
+                  s3d::Table::num(rn.bw_mbs, 4), s3d::Table::num(rc.bw_mbs, 4),
+                  s3d::Table::num(rw.bw_mbs, 4)});
+      op.add_row({std::to_string(np), s3d::Table::num(rf.open_s, 3),
+                  s3d::Table::num(rn.open_s, 3), s3d::Table::num(rc.open_s, 3),
+                  s3d::Table::num(rw.open_s, 3)});
+    }
+    std::printf("Write bandwidth, 10 checkpoints (50^3/proc, 16 scalars):\n");
+    bw.print(std::cout);
+    std::printf("\nFile-open time for 10 checkpoints:\n");
+    op.print(std::cout);
+  }
+
+  std::printf(
+      "\nPaper fig. 9 shape checks:\n"
+      " - caching > native collective on BOTH filesystems (alignment);\n"
+      " - Fortran opens scale ~linearly with nprocs and are ~15x costlier\n"
+      "   per open on the GPFS-like MDS -> the open-time blow-up at 128;\n"
+      " - on Lustre: write-behind > caching (no coherence-control\n"
+      "   round-trips); shared-file opens stay flat at 10 opens total.\n");
+  return 0;
+}

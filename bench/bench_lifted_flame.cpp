@@ -1,0 +1,213 @@
+// Lifted H2/N2 jet flame in heated coflow (paper section 6) -- regenerates
+// figures 10, 11, 14 and 15 from one scaled-down 2-D DNS (DESIGN.md sizing
+// policy; S3DPP_FULL=1 enlarges the run):
+//
+//   fig. 10/14: fused volume renderings of OH and HO2 and of the
+//               stoichiometric mixture-fraction isosurface (PPM files in
+//               the bench output directory), plus the quantitative marker:
+//               HO2 accumulates UPSTREAM of OH at the flame base;
+//   fig. 11:    scatter statistics of T vs mixture fraction at axial
+//               stations -- ignition starts on the fuel-LEAN side and the
+//               peak walks toward richer mixtures downstream;
+//   fig. 15:    trispace data -- time histogram of OH, parallel
+//               coordinates of (Z, chi, OH), and the negative spatial
+//               correlation of chi and OH near the stoichiometric
+//               isosurface.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "solver/cases.hpp"
+#include "solver/diagnostics.hpp"
+#include "solver/solver.hpp"
+#include "viz/render.hpp"
+#include "viz/trispace.hpp"
+
+namespace sv = s3d::solver;
+namespace viz = s3d::viz;
+
+int main() {
+  using s3dpp_bench::banner;
+  banner("Figures 10/11/14/15",
+         "lifted H2/N2 jet flame in autoignitive heated coflow");
+  const bool full = s3dpp_bench::full_mode();
+  const std::string out = s3dpp_bench::out_dir();
+
+  sv::LiftedJetParams prm;
+  prm.nx = full ? 240 : 96;
+  prm.ny = full ? 180 : 80;
+  prm.Lx = full ? 0.012 : 0.0072;
+  prm.Ly = full ? 0.012 : 0.0072;
+  prm.slot_h = 0.0009;
+  prm.u_jet = 130.0;
+  prm.u_coflow = 6.0;
+  prm.u_rms = 14.0;
+  prm.turb_len = 0.00045;
+  prm.transport = sv::TransportModel::power_law;
+  auto cs = sv::lifted_jet_case(prm);
+  const auto& mech = *cs.cfg.mech;
+
+  sv::Solver s(cs.cfg);
+  s.initialize(cs.init);
+  const double t_end = full ? 4.5e-4 : 2.1e-4;
+  const double t_stats = 0.55 * t_end;  // statistics window start
+
+  std::printf("Domain %gx%g mm, %dx%d points, jet %g m/s into %g K coflow\n",
+              prm.Lx * 1e3, prm.Ly * 1e3, prm.nx, prm.ny, prm.u_jet,
+              prm.T_coflow);
+  std::printf("Z_st = %.3f (65%% H2 / 35%% N2 into air)\n\n", cs.Z_st);
+
+  const int ioh = mech.index("OH"), iho2 = mech.index("HO2");
+  const auto& l = s.layout();
+
+  // fig. 11 stations and accumulators: conditional mean/std of T on Z.
+  const double stations[4] = {0.125, 0.25, 0.5, 0.75};
+  std::vector<sv::ConditionalStats> T_on_Z(
+      4, sv::ConditionalStats(0.0, 1.0, 25));
+  viz::TimeHistogram oh_hist(0.0, 0.02, 40);
+
+  s3d::Timer wall;
+  int snaps = 0;
+  const int sample_every = 60;
+  while (s.time() < t_end) {
+    s.run(sample_every, {}, 10);
+    auto& prim = s.primitives();
+    auto Z = sv::mixture_fraction_field(mech, prim, l, cs.Y_ox, cs.Y_fuel);
+    oh_hist.add_snapshot(prim.Y[ioh]);
+    ++snaps;
+    if (s.time() >= t_stats) {
+      for (int st = 0; st < 4; ++st) {
+        const int i = std::min(static_cast<int>(stations[st] * l.nx),
+                               l.nx - 1);
+        for (int j = 0; j < l.ny; ++j)
+          T_on_Z[st].add(Z(i, j, 0), prim.T(i, j, 0));
+      }
+    }
+  }
+  std::printf("Simulated %.0f us in %d steps (%.1f s wall, %d snapshots)\n\n",
+              s.time() * 1e6, s.steps_taken(), wall.seconds(), snaps);
+
+  // ---- Figure 11 table ----
+  auto& prim = s.primitives();
+  auto Z = sv::mixture_fraction_field(mech, prim, l, cs.Y_ox, cs.Y_fuel);
+  std::printf("Figure 11: conditional mean (std) of T [K] vs mixture "
+              "fraction Z\n");
+  s3d::Table t11({"Z bin", "x/L=1/8", "x/L=1/4", "x/L=1/2", "x/L=3/4"});
+  for (int b = 0; b < 25; ++b) {
+    if (T_on_Z[0].count(b) + T_on_Z[1].count(b) + T_on_Z[2].count(b) +
+            T_on_Z[3].count(b) ==
+        0)
+      continue;
+    std::vector<std::string> row{s3d::Table::num(T_on_Z[0].bin_center(b), 3)};
+    for (int st = 0; st < 4; ++st) {
+      if (T_on_Z[st].count(b) < 3) {
+        row.push_back("-");
+      } else {
+        row.push_back(s3d::Table::num(T_on_Z[st].mean(b), 4) + " (" +
+                      s3d::Table::num(T_on_Z[st].stddev(b), 3) + ")");
+      }
+    }
+    t11.add_row(row);
+  }
+  t11.print(std::cout);
+
+  // Shape check: where is conditional T elevated vs the frozen mixing
+  // line? Find the Z of peak conditional mean T per station.
+  std::printf("\nZ at peak conditional T per station (ignition walks from "
+              "lean toward Z_st=%.2f):\n", cs.Z_st);
+  for (int st = 0; st < 4; ++st) {
+    double best = 0.0;
+    double zb = 0.0;
+    for (int b = 0; b < 25; ++b)
+      if (T_on_Z[st].count(b) >= 3 && T_on_Z[st].mean(b) > best) {
+        best = T_on_Z[st].mean(b);
+        zb = T_on_Z[st].bin_center(b);
+      }
+    std::printf("  x/L=%-5.3f  Z_peak=%.3f  T_peak=%.0f K\n", stations[st],
+                zb, best);
+  }
+
+  // ---- Figure 10 marker: HO2 upstream of OH ----
+  auto centroid_x = [&](const sv::GField& f) {
+    double num = 0.0, den = 0.0;
+    for (int j = 0; j < l.ny; ++j)
+      for (int i = 0; i < l.nx; ++i) {
+        num += f(i, j, 0) * s.coord(0, i);
+        den += f(i, j, 0);
+      }
+    return den > 0 ? num / den : 0.0;
+  };
+  const double x_ho2 = centroid_x(prim.Y[iho2]);
+  const double x_oh = centroid_x(prim.Y[ioh]);
+  std::printf(
+      "\nFigure 10 marker: HO2 mass centroid x = %.2f mm, OH centroid x = "
+      "%.2f mm\n  -> HO2 accumulates %s of OH (paper: upstream, the "
+      "autoignition precursor)\n",
+      x_ho2 * 1e3, x_oh * 1e3, x_ho2 < x_oh ? "UPSTREAM" : "downstream");
+
+  // ---- Figures 10/14 renderings ----
+  double oh_max = 0.0, ho2_max = 0.0;
+  for (int j = 0; j < l.ny; ++j)
+    for (int i = 0; i < l.nx; ++i) {
+      oh_max = std::max(oh_max, prim.Y[ioh](i, j, 0));
+      ho2_max = std::max(ho2_max, prim.Y[iho2](i, j, 0));
+    }
+  viz::TransferFunction tf_oh;
+  tf_oh.lo = 0.0;
+  tf_oh.hi = std::max(oh_max, 1e-8);
+  tf_oh.color = viz::colormap_hot;
+  tf_oh.opacity = 0.9;
+  viz::TransferFunction tf_ho2 = tf_oh;
+  tf_ho2.hi = std::max(ho2_max, 1e-9);
+  tf_ho2.color = viz::colormap_cool;
+  viz::TransferFunction tf_ziso;
+  tf_ziso.iso = cs.Z_st;
+  tf_ziso.iso_width = 0.02;
+  tf_ziso.opacity = 0.8;
+  tf_ziso.color = [](double) { return viz::Rgb{0.85, 0.7, 0.2}; };  // gold
+
+  viz::VolumeRenderer vr(2);
+  vr.render({{&prim.Y[ioh], tf_oh}, {&prim.Y[iho2], tf_ho2}}, 4)
+      .write_ppm(out + "/fig10_oh_ho2.ppm");
+  vr.render({{&Z, tf_ziso}, {&prim.Y[iho2], tf_ho2}}, 4)
+      .write_ppm(out + "/fig14_zst_ho2.ppm");
+  vr.render({{&Z, tf_ziso}, {&prim.Y[ioh], tf_oh}}, 4)
+      .write_ppm(out + "/fig14_zst_oh.ppm");
+  viz::render_slice(prim.T, 300.0, 2400.0, viz::colormap_hot, 4)
+      .write_ppm(out + "/fig10_temperature.ppm");
+  std::printf("\nWrote fig10_oh_ho2.ppm, fig14_zst_ho2.ppm, fig14_zst_oh.ppm,"
+              "\nfig10_temperature.ppm to %s/\n", out.c_str());
+
+  // ---- Figure 15: trispace ----
+  // chi proxy: |grad Z|^2 (scalar dissipation without the diffusivity).
+  auto gZ = sv::gradient_magnitude(s.rhs().ops(), Z);
+  sv::GField chi(l);
+  double chi_max = 0.0;
+  for (int j = 0; j < l.ny; ++j)
+    for (int i = 0; i < l.nx; ++i) {
+      const double g = gZ(i, j, 0);
+      chi(i, j, 0) = g * g;
+      chi_max = std::max(chi_max, chi(i, j, 0));
+    }
+  viz::ParallelCoords pc({{"Z", &Z, 0.0, 1.0},
+                          {"chi", &chi, 0.0, chi_max + 1e-300},
+                          {"OH", &prim.Y[ioh], 0.0, std::max(oh_max, 1e-8)}},
+                         48);
+  pc.accumulate();
+  pc.render().write_ppm(out + "/fig15_parallel_coords.ppm");
+  oh_hist.render().write_ppm(out + "/fig15_time_histogram.ppm");
+
+  const double corr = viz::masked_correlation(
+      chi, prim.Y[ioh], viz::near_iso_mask(Z, cs.Z_st, 0.05));
+  std::printf(
+      "\nFigure 15: correlation(chi, OH) near the Z_st isosurface = %.3f\n"
+      "  (paper: negative -- high mixing rates suppress OH)\n"
+      "Wrote fig15_parallel_coords.ppm, fig15_time_histogram.ppm\n",
+      corr);
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Demonstrates the parallel-I/O layer (paper section 5): the same S3D
+// checkpoint written four ways to a simulated Lustre-like filesystem, with
+// the lock-conflict accounting that explains the performance gaps.
+//
+//   $ ./examples/io_checkpoint
+
+#include <cstdio>
+
+#include "iosim/simfs.hpp"
+#include "iosim/writers.hpp"
+
+namespace io = s3d::iosim;
+
+int main() {
+  io::CheckpointSpec spec;
+  spec.nx = spec.ny = spec.nz = 50;  // 15.26 MB per process
+  spec.px = 4;
+  spec.py = 2;
+  spec.pz = 2;  // 16 processes
+  std::printf(
+      "S3D checkpoint: %d procs x %.2f MB (mass 11 + velocity 3 + pressure "
+      "+ temperature)\n\n",
+      spec.nprocs(), spec.bytes_per_proc() / 1e6);
+
+  struct Method {
+    const char* name;
+    io::WriteResult (*fn)(io::SimFS&, const io::CheckpointSpec&,
+                          const io::NetParams&, int, double);
+  };
+  const Method methods[] = {
+      {"Fortran file-per-process", io::write_fortran},
+      {"native collective (two-phase)", io::write_native_collective},
+      {"MPI-I/O caching (aligned)", io::write_mpiio_caching},
+      {"two-stage write-behind", io::write_write_behind},
+  };
+
+  std::printf("%-32s %10s %10s %12s %10s %6s\n", "method", "open [ms]",
+              "write [s]", "BW [MB/s]", "conflicts", "RMWs");
+  for (const auto& m : methods) {
+    io::SimFS fs(io::lustre_like());
+    auto r = m.fn(fs, spec, {}, 0, 0.0);
+    std::printf("%-32s %10.1f %10.3f %12.1f %10ld %6ld\n", m.name,
+                r.open_time * 1e3, r.write_time, r.bandwidth() / 1e6,
+                fs.stats().n_lock_conflicts, fs.stats().n_rmw);
+  }
+  std::printf(
+      "\nThe unaligned two-phase writer false-shares stripe locks at its\n"
+      "file-domain boundaries (conflicts + read-modify-writes); the\n"
+      "page-aligned caching and write-behind layers eliminate them -- the\n"
+      "mechanism behind the paper's figure 9.\n");
+  return 0;
+}

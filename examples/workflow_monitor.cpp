@@ -1,0 +1,52 @@
+// Runs the fig.-16 S3D monitoring workflow against a live producer:
+// restart morphing + transfer + archival, netcdf plotting, and the min/max
+// dashboard, with checkpointed fault tolerance.
+//
+//   $ ./examples/workflow_monitor [workdir]
+
+#include <cstdio>
+#include <filesystem>
+
+#include "workflow/s3d_pipeline.hpp"
+
+namespace wf = s3d::workflow;
+namespace fs = std::filesystem;
+
+int main(int argc, char** argv) {
+  const fs::path base = argc > 1 ? argv[1] : "workflow_demo";
+  fs::remove_all(base);
+
+  wf::S3dWorkflowDirs dirs{base / "run",  base / "ewok",  base / "sandia",
+                           base / "hpss", base / "dashboard",
+                           base / "logs"};
+  wf::ProvenanceStore prov;
+  wf::S3dMonitoringWorkflow mon(dirs, /*restart_pieces=*/8, &prov);
+  wf::FakeSimulation sim(dirs.run_dir, 8);
+
+  std::printf("Pumping 5 simulation steps through the three pipelines...\n");
+  for (int step = 0; step < 5; ++step) {
+    sim.emit_step(step);
+    const long fired = mon.pump();
+    std::printf("  step %d: %ld actor firings\n", step, fired);
+  }
+
+  std::printf("\nResults:\n");
+  std::printf("  morphed+transferred restarts: %ld\n",
+              mon.transfer().executed());
+  std::printf("  archived to HPSS stand-in:    %ld\n",
+              mon.archiver().executed());
+  std::printf("  dashboard samples (T):        %d\n",
+              mon.dashboard().samples("T"));
+  std::printf("  provenance records:           %zu\n",
+              prov.records().size());
+
+  const auto lin = prov.lineage((dirs.remote_dir / "morph_0.dat").string());
+  std::printf("  lineage of sandia/morph_0.dat: %zu ancestor artifacts\n",
+              lin.size());
+  std::printf(
+      "\nBrowse %s: dashboard/ has SVG time traces and per-step plots;\n"
+      "logs/ holds the checkpoint logs that make restarts skip completed\n"
+      "work (kill and rerun this example to see it).\n",
+      base.string().c_str());
+  return 0;
+}

@@ -1,0 +1,8 @@
+#!/bin/sh
+# Regenerate every paper table/figure (see DESIGN.md experiment index).
+# Usage: ./run_benches.sh  [S3DPP_FULL=1 for the larger configurations]
+set -e
+cd "$(dirname "$0")"
+for b in build/bench/*; do
+  [ -x "$b" ] && [ -f "$b" ] && "$b"
+done

@@ -1,0 +1,268 @@
+#include "chem/mechanism.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "chem/thermo.hpp"
+#include "common/constants.hpp"
+#include "common/error.hpp"
+
+namespace s3d::chem {
+
+using constants::Ru;
+
+double Arrhenius::k(double T, double lnT) const {
+  return A * std::exp(b * lnT - E_R / T);
+}
+
+namespace {
+
+// c^nu with fast paths for the overwhelmingly common integer exponents and
+// a clamp at zero so non-integer orders from global mechanisms never see a
+// negative base (transient undershoots in DNS).
+double conc_pow(double c, double nu) {
+  if (c <= 0.0) return 0.0;
+  if (nu == 1.0) return c;
+  if (nu == 2.0) return c * c;
+  if (nu == 3.0) return c * c * c;
+  return std::pow(c, nu);
+}
+
+}  // namespace
+
+Mechanism::Mechanism(std::string name, std::vector<Species> species,
+                     std::vector<Reaction> reactions)
+    : name_(std::move(name)),
+      species_(std::move(species)),
+      reactions_(std::move(reactions)) {
+  S3D_REQUIRE(!species_.empty(), "mechanism needs species");
+  S3D_REQUIRE(n_species() <= kMaxSpecies,
+              "mechanism exceeds kMaxSpecies; raise the limit");
+  dnu_.resize(reactions_.size());
+  for (std::size_t r = 0; r < reactions_.size(); ++r) {
+    auto& rx = reactions_[r];
+    double dnu = 0.0;
+    for (const auto& t : rx.products) {
+      S3D_REQUIRE(t.species >= 0 && t.species < n_species(),
+                  "bad species index in " + rx.equation);
+      dnu += t.nu;
+    }
+    for (const auto& t : rx.reactants) {
+      S3D_REQUIRE(t.species >= 0 && t.species < n_species(),
+                  "bad species index in " + rx.equation);
+      dnu -= t.nu;
+    }
+    dnu_[r] = dnu;
+    if (rx.forward_orders.empty()) rx.forward_orders = rx.reactants;
+    if (rx.rev && rx.reverse_orders.empty()) rx.reverse_orders = rx.products;
+    if (rx.type == Reaction::Type::falloff)
+      S3D_REQUIRE(rx.low.A > 0.0, "falloff reaction needs a low-pressure "
+                                  "limit: " + rx.equation);
+  }
+}
+
+int Mechanism::find(std::string_view sp_name) const {
+  for (int i = 0; i < n_species(); ++i)
+    if (species_[i].name == sp_name) return i;
+  return -1;
+}
+
+int Mechanism::index(std::string_view sp_name) const {
+  int i = find(sp_name);
+  S3D_REQUIRE(i >= 0, "unknown species " + std::string(sp_name));
+  return i;
+}
+
+double Mechanism::mean_W_from_Y(std::span<const double> Y) const {
+  double s = 0.0;
+  for (int i = 0; i < n_species(); ++i) s += Y[i] / species_[i].W;
+  return 1.0 / s;
+}
+
+double Mechanism::mean_W_from_X(std::span<const double> X) const {
+  double s = 0.0;
+  for (int i = 0; i < n_species(); ++i) s += X[i] * species_[i].W;
+  return s;
+}
+
+void Mechanism::X_from_Y(std::span<const double> Y,
+                         std::span<double> X) const {
+  const double W = mean_W_from_Y(Y);
+  for (int i = 0; i < n_species(); ++i) X[i] = Y[i] * W / species_[i].W;
+}
+
+void Mechanism::Y_from_X(std::span<const double> X,
+                         std::span<double> Y) const {
+  const double W = mean_W_from_X(X);
+  for (int i = 0; i < n_species(); ++i) Y[i] = X[i] * species_[i].W / W;
+}
+
+double Mechanism::cp_mass_mix(double T, std::span<const double> Y) const {
+  double cp = 0.0;
+  for (int i = 0; i < n_species(); ++i) cp += Y[i] * cp_mass(species_[i], T);
+  return cp;
+}
+
+double Mechanism::cv_mass_mix(double T, std::span<const double> Y) const {
+  return cp_mass_mix(T, Y) - Ru / mean_W_from_Y(Y);
+}
+
+double Mechanism::h_mass_mix(double T, std::span<const double> Y) const {
+  double h = 0.0;
+  for (int i = 0; i < n_species(); ++i) h += Y[i] * h_mass(species_[i], T);
+  return h;
+}
+
+double Mechanism::e_mass_mix(double T, std::span<const double> Y) const {
+  return h_mass_mix(T, Y) - Ru / mean_W_from_Y(Y) * T;
+}
+
+namespace {
+constexpr double kTmin = 50.0;
+constexpr double kTmax = 6000.0;
+}  // namespace
+
+double Mechanism::T_from_e(double e, std::span<const double> Y,
+                           double T_guess) const {
+  double T = std::clamp(T_guess, kTmin, kTmax);
+  for (int it = 0; it < 100; ++it) {
+    const double f = e_mass_mix(T, Y) - e;
+    const double cv = cv_mass_mix(T, Y);
+    const double dT = -f / cv;
+    T = std::clamp(T + dT, kTmin, kTmax);
+    if (std::abs(dT) < 1e-9 * T) return T;
+  }
+  return T;
+}
+
+double Mechanism::T_from_h(double h, std::span<const double> Y,
+                           double T_guess) const {
+  double T = std::clamp(T_guess, kTmin, kTmax);
+  for (int it = 0; it < 100; ++it) {
+    const double f = h_mass_mix(T, Y) - h;
+    const double cp = cp_mass_mix(T, Y);
+    const double dT = -f / cp;
+    T = std::clamp(T + dT, kTmin, kTmax);
+    if (std::abs(dT) < 1e-9 * T) return T;
+  }
+  return T;
+}
+
+double Mechanism::density(double p, double T,
+                          std::span<const double> Y) const {
+  return p * mean_W_from_Y(Y) / (Ru * T);
+}
+
+double Mechanism::pressure(double rho, double T,
+                           std::span<const double> Y) const {
+  return rho * Ru * T / mean_W_from_Y(Y);
+}
+
+void Mechanism::concentrations(double rho, std::span<const double> Y,
+                               std::span<double> c) const {
+  for (int i = 0; i < n_species(); ++i)
+    c[i] = rho * Y[i] / species_[i].W;
+}
+
+// The pointwise kinetics kernel. Computes, for every reaction, the net rate
+// of progress q_r and (optionally) accumulates species production rates.
+void Mechanism::net_rates(double T, std::span<const double> c, double* q_out,
+                          double* wdot) const {
+  const int ns = n_species();
+  const double lnT = std::log(T);
+
+  // Gibbs energies for equilibrium constants.
+  double gRT[kMaxSpecies];
+  for (int i = 0; i < ns; ++i) gRT[i] = g_RT(species_[i], T);
+
+  // Total concentration for third bodies.
+  double ctot = 0.0;
+  for (int i = 0; i < ns; ++i) ctot += std::max(c[i], 0.0);
+
+  if (wdot) std::fill(wdot, wdot + ns, 0.0);
+
+  const double ln_c0 = std::log(constants::p_ref / (Ru * T));  // kmol/m^3
+
+  for (int r = 0; r < n_reactions(); ++r) {
+    const Reaction& rx = reactions_[r];
+
+    double kf = rx.fwd.k(T, lnT);
+
+    // Third-body concentration with efficiencies.
+    double cM = ctot;
+    for (const auto& [sp, eff] : rx.efficiencies)
+      cM += (eff - 1.0) * std::max(c[sp], 0.0);
+
+    if (rx.type == Reaction::Type::falloff) {
+      const double k0 = rx.low.k(T, lnT);
+      const double Pr = std::max(k0 * cM / std::max(kf, 1e-300), 1e-300);
+      double F = 1.0;
+      if (rx.troe) {
+        const Troe& tr = *rx.troe;
+        double Fcent = (1.0 - tr.a) * std::exp(-T / tr.T3) +
+                       tr.a * std::exp(-T / tr.T1);
+        if (tr.has_T2) Fcent += std::exp(-tr.T2 / T);
+        Fcent = std::max(Fcent, 1e-30);
+        const double log_Fc = std::log10(Fcent);
+        const double cF = -0.4 - 0.67 * log_Fc;
+        const double nF = 0.75 - 1.27 * log_Fc;
+        const double log_Pr = std::log10(Pr);
+        const double f1 = (log_Pr + cF) / (nF - 0.14 * (log_Pr + cF));
+        F = std::pow(10.0, log_Fc / (1.0 + f1 * f1));
+      }
+      kf *= Pr / (1.0 + Pr) * F;
+    }
+
+    // Forward rate of progress.
+    double qf = kf;
+    for (const auto& t : rx.forward_orders) qf *= conc_pow(c[t.species], t.nu);
+
+    // Reverse rate of progress.
+    double qr = 0.0;
+    if (rx.rev) {
+      double kr = rx.rev->k(T, lnT);
+      qr = kr;
+      for (const auto& t : rx.reverse_orders)
+        qr *= conc_pow(c[t.species], t.nu);
+    } else if (rx.reversible) {
+      // ln Kc = -sum(nu_i g_i/RT) + dnu ln(p_ref/(Ru T))
+      double dg = 0.0;
+      for (const auto& t : rx.products) dg += t.nu * gRT[t.species];
+      for (const auto& t : rx.reactants) dg -= t.nu * gRT[t.species];
+      const double lnKc = -dg + dnu_[r] * ln_c0;
+      const double kr = kf * std::exp(std::clamp(-lnKc, -230.0, 230.0));
+      qr = kr;
+      for (const auto& t : rx.products) qr *= conc_pow(c[t.species], t.nu);
+    }
+
+    double q = qf - qr;
+    if (rx.type == Reaction::Type::three_body) q *= cM;
+
+    if (q_out) q_out[r] = q;
+    if (wdot) {
+      for (const auto& t : rx.products) wdot[t.species] += t.nu * q;
+      for (const auto& t : rx.reactants) wdot[t.species] -= t.nu * q;
+    }
+  }
+}
+
+void Mechanism::production_rates(double T, std::span<const double> c,
+                                 std::span<double> wdot) const {
+  net_rates(T, c, nullptr, wdot.data());
+}
+
+void Mechanism::rates_of_progress(double T, std::span<const double> c,
+                                  std::span<double> q) const {
+  net_rates(T, c, q.data(), nullptr);
+}
+
+double Mechanism::heat_release_rate(double T, std::span<const double> c) const {
+  double wdot[kMaxSpecies];
+  net_rates(T, c, nullptr, wdot);
+  double hrr = 0.0;
+  for (int i = 0; i < n_species(); ++i)
+    hrr -= h_molar(species_[i], T) * wdot[i];
+  return hrr;
+}
+
+}  // namespace s3d::chem

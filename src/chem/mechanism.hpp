@@ -1,0 +1,160 @@
+#pragma once
+// Reaction mechanism representation and gas-phase kinetics engine.
+//
+// Replaces the CHEMKIN library the paper links into S3D (section 2.6):
+// elementary reversible reactions with modified-Arrhenius rates, third-body
+// enhancement, Lindemann/Troe pressure falloff, duplicate reactions,
+// explicit reverse rates and non-integer forward orders (for global
+// mechanisms). Reverse rates of reversible elementary reactions come from
+// the equilibrium constant evaluated with the NASA-7 data.
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "chem/species.hpp"
+
+namespace s3d::chem {
+
+/// Maximum species count supported by the stack-allocated kinetics kernels.
+inline constexpr int kMaxSpecies = 24;
+
+/// Modified Arrhenius rate k = A T^b exp(-E_R / T), SI units
+/// (A in (m^3/kmol)^(order-1)/s, E_R = Ea/Ru in K).
+struct Arrhenius {
+  double A = 0.0;
+  double b = 0.0;
+  double E_R = 0.0;
+
+  double k(double T, double lnT) const;
+};
+
+/// Troe falloff blending parameters.
+struct Troe {
+  double a = 0.0;
+  double T3 = 1.0;   ///< T*** [K]
+  double T1 = 1.0;   ///< T*   [K]
+  double T2 = 0.0;   ///< T**  [K]; only used when has_T2
+  bool has_T2 = false;
+};
+
+/// One (species index, stoichiometric coefficient) pair.
+struct StoichTerm {
+  int species = 0;
+  double nu = 0.0;
+};
+
+/// One reaction. Build with the helpers in mechanism_builder.hpp or fill
+/// directly; Mechanism validates on construction.
+struct Reaction {
+  enum class Type {
+    elementary,  ///< k depends on T only
+    three_body,  ///< rate multiplied by third-body concentration [M]
+    falloff      ///< Lindemann/Troe pressure-dependent (+M) reaction
+  };
+
+  std::string equation;  ///< human-readable equation, e.g. "H+O2<=>O+OH"
+  Type type = Type::elementary;
+  std::vector<StoichTerm> reactants;
+  std::vector<StoichTerm> products;
+  /// Forward concentration orders; empty => use reactant stoichiometry.
+  std::vector<StoichTerm> forward_orders;
+  Arrhenius fwd;          ///< high-pressure limit for falloff reactions
+  Arrhenius low;          ///< low-pressure limit k0 (falloff only)
+  std::optional<Troe> troe;
+  bool reversible = true;
+  /// Explicit reverse Arrhenius (global mechanisms); when set, overrides
+  /// the equilibrium-constant reverse. Reverse orders default to product
+  /// stoichiometry.
+  std::optional<Arrhenius> rev;
+  std::vector<StoichTerm> reverse_orders;
+  /// Per-species third-body efficiencies (defaults to 1 for all species);
+  /// pairs of (species index, efficiency).
+  std::vector<std::pair<int, double>> efficiencies;
+};
+
+/// A chemical mechanism: species table plus reaction list, with the
+/// kinetics and mixture-thermodynamics kernels S3D++ evaluates pointwise.
+class Mechanism {
+ public:
+  Mechanism(std::string name, std::vector<Species> species,
+            std::vector<Reaction> reactions);
+
+  const std::string& name() const { return name_; }
+  int n_species() const { return static_cast<int>(species_.size()); }
+  int n_reactions() const { return static_cast<int>(reactions_.size()); }
+
+  const Species& species(int i) const { return species_[i]; }
+  const std::vector<Species>& all_species() const { return species_; }
+  const Reaction& reaction(int r) const { return reactions_[r]; }
+
+  /// Index of a species by name; throws s3d::Error if absent.
+  int index(std::string_view sp_name) const;
+  /// Index of a species by name, or -1 if absent.
+  int find(std::string_view sp_name) const;
+
+  /// Molecular weight of species i [kg/kmol].
+  double W(int i) const { return species_[i].W; }
+
+  // --- Mixture thermodynamic state helpers (paper eqs. 5-9) ---
+
+  /// Mean molecular weight from mass fractions [kg/kmol] (paper eq. 8).
+  double mean_W_from_Y(std::span<const double> Y) const;
+  /// Mean molecular weight from mole fractions [kg/kmol].
+  double mean_W_from_X(std::span<const double> X) const;
+  /// Convert mass fractions to mole fractions (paper eq. 9).
+  void X_from_Y(std::span<const double> Y, std::span<double> X) const;
+  /// Convert mole fractions to mass fractions.
+  void Y_from_X(std::span<const double> X, std::span<double> Y) const;
+
+  /// Mixture isobaric heat capacity [J/(kg K)].
+  double cp_mass_mix(double T, std::span<const double> Y) const;
+  /// Mixture isochoric heat capacity [J/(kg K)]; cp - cv = Ru/W.
+  double cv_mass_mix(double T, std::span<const double> Y) const;
+  /// Mixture specific enthalpy [J/kg] (sensible + chemical).
+  double h_mass_mix(double T, std::span<const double> Y) const;
+  /// Mixture specific internal energy [J/kg].
+  double e_mass_mix(double T, std::span<const double> Y) const;
+
+  /// Invert e(T) by Newton iteration (bisection fallback); returns T [K].
+  double T_from_e(double e, std::span<const double> Y, double T_guess) const;
+  /// Invert h(T); returns T [K].
+  double T_from_h(double h, std::span<const double> Y, double T_guess) const;
+
+  /// Ideal-gas density [kg/m^3] (paper eq. 7).
+  double density(double p, double T, std::span<const double> Y) const;
+  /// Ideal-gas pressure [Pa].
+  double pressure(double rho, double T, std::span<const double> Y) const;
+
+  // --- Kinetics ---
+
+  /// Molar production rates wdot [kmol/(m^3 s)] from temperature and molar
+  /// concentrations c [kmol/m^3]. This is the paper's REACTION_RATE kernel.
+  void production_rates(double T, std::span<const double> c,
+                        std::span<double> wdot) const;
+
+  /// Net rates of progress q_r [kmol/(m^3 s)] per reaction.
+  void rates_of_progress(double T, std::span<const double> c,
+                         std::span<double> q) const;
+
+  /// Volumetric heat release rate [W/m^3] = -sum_i h_i^molar wdot_i.
+  double heat_release_rate(double T, std::span<const double> c) const;
+
+  /// Concentrations [kmol/m^3] from (rho, Y).
+  void concentrations(double rho, std::span<const double> Y,
+                      std::span<double> c) const;
+
+ private:
+  void net_rates(double T, std::span<const double> c, double* q,
+                 double* wdot) const;
+
+  std::string name_;
+  std::vector<Species> species_;
+  std::vector<Reaction> reactions_;
+  std::vector<double> dnu_;  ///< per-reaction sum(nu_prod) - sum(nu_react)
+};
+
+}  // namespace s3d::chem

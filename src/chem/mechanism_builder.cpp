@@ -1,0 +1,216 @@
+#include "chem/mechanism_builder.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+
+namespace s3d::chem {
+
+namespace {
+
+std::string strip_spaces(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s)
+    if (c != ' ') out.push_back(c);
+  return out;
+}
+
+// Remove every occurrence of `pat` from `s`; returns how many were removed.
+int remove_all(std::string& s, std::string_view pat) {
+  int n = 0;
+  for (std::size_t p; (p = s.find(pat)) != std::string::npos; ++n)
+    s.erase(p, pat.size());
+  return n;
+}
+
+std::vector<std::string> split_plus(const std::string& side) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= side.size(); ++i) {
+    if (i == side.size() || side[i] == '+') {
+      if (i > start) out.push_back(side.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+double total_order(const Reaction& rx) {
+  double m = 0.0;
+  const auto& ord = rx.forward_orders.empty() ? rx.reactants
+                                              : rx.forward_orders;
+  for (const auto& t : ord) m += t.nu;
+  if (rx.type == Reaction::Type::three_body) m += 1.0;
+  return m;
+}
+
+}  // namespace
+
+MechBuilder::MechBuilder(std::vector<Species> species)
+    : species_(std::move(species)) {}
+
+int MechBuilder::index(std::string_view name) const {
+  for (std::size_t i = 0; i < species_.size(); ++i)
+    if (species_[i].name == name) return static_cast<int>(i);
+  throw Error("MechBuilder: unknown species " + std::string(name));
+}
+
+// (1 cm^3/mol)^(m-1)/s -> (m^3/kmol)^(m-1)/s
+double MechBuilder::si_A(double A_cgs, double order) const {
+  return A_cgs * std::pow(1.0e-3, order - 1.0);
+}
+
+MechBuilder::RxRef MechBuilder::add(std::string equation, double A_cgs,
+                                    double b, double Ea_cal) {
+  Reaction rx;
+  rx.equation = equation;
+  std::string eq = strip_spaces(equation);
+
+  // Falloff markers first, so the plain "+M" scan below doesn't see them.
+  const int n_falloff = remove_all(eq, "(+M)");
+  if (n_falloff > 0) {
+    S3D_REQUIRE(n_falloff == 2, "(+M) must appear on both sides: " + equation);
+    rx.type = Reaction::Type::falloff;
+  }
+
+  std::string lhs, rhs;
+  if (auto p = eq.find("<=>"); p != std::string::npos) {
+    rx.reversible = true;
+    lhs = eq.substr(0, p);
+    rhs = eq.substr(p + 3);
+  } else if (auto q = eq.find("=>"); q != std::string::npos) {
+    rx.reversible = false;
+    lhs = eq.substr(0, q);
+    rhs = eq.substr(q + 2);
+  } else if (auto e = eq.find('='); e != std::string::npos) {
+    rx.reversible = true;
+    lhs = eq.substr(0, e);
+    rhs = eq.substr(e + 1);
+  } else {
+    throw Error("reaction has no '=': " + equation);
+  }
+
+  auto parse_side = [&](const std::string& side,
+                        std::vector<StoichTerm>& terms) {
+    int n_M = 0;
+    for (const auto& tok : split_plus(side)) {
+      if (tok == "M") {
+        ++n_M;
+        continue;
+      }
+      // Longest numeric prefix whose remainder is a known species.
+      double nu = 1.0;
+      std::string sp_name = tok;
+      std::size_t num_end = 0;
+      while (num_end < tok.size() &&
+             (std::isdigit(static_cast<unsigned char>(tok[num_end])) ||
+              tok[num_end] == '.'))
+        ++num_end;
+      for (std::size_t cut = num_end; cut > 0; --cut) {
+        const std::string rest = tok.substr(cut);
+        bool known = false;
+        for (const auto& s : species_)
+          if (s.name == rest) known = true;
+        if (known && !rest.empty()) {
+          nu = std::stod(tok.substr(0, cut));
+          sp_name = rest;
+          break;
+        }
+      }
+      const int sp = index(sp_name);
+      // Merge repeated species ("H+H").
+      bool merged = false;
+      for (auto& t : terms)
+        if (t.species == sp) {
+          t.nu += nu;
+          merged = true;
+        }
+      if (!merged) terms.push_back({sp, nu});
+    }
+    return n_M;
+  };
+
+  const int ml = parse_side(lhs, rx.reactants);
+  const int mr = parse_side(rhs, rx.products);
+  if (ml > 0 || mr > 0) {
+    S3D_REQUIRE(ml == 1 && mr == 1, "+M must appear on both sides: " + equation);
+    S3D_REQUIRE(rx.type != Reaction::Type::falloff,
+                "reaction cannot be both +M and (+M): " + equation);
+    rx.type = Reaction::Type::three_body;
+  }
+
+  rx.fwd.b = b;
+  rx.fwd.E_R = Ea_cal / constants::Ru_cal;
+  rx.fwd.A = si_A(A_cgs, total_order(rx));
+
+  reactions_.push_back(std::move(rx));
+  return RxRef(*this, reactions_.size() - 1);
+}
+
+MechBuilder::RxRef& MechBuilder::RxRef::low(double A_cgs, double b,
+                                            double Ea_cal) {
+  Reaction& rx = b_.reactions_[r_];
+  S3D_REQUIRE(rx.type == Reaction::Type::falloff,
+              "low() only applies to (+M) reactions: " + rx.equation);
+  rx.low.b = b;
+  rx.low.E_R = Ea_cal / constants::Ru_cal;
+  rx.low.A = b_.si_A(A_cgs, total_order(rx) + 1.0);
+  return *this;
+}
+
+MechBuilder::RxRef& MechBuilder::RxRef::troe(double a, double T3, double T1) {
+  Reaction& rx = b_.reactions_[r_];
+  rx.troe = Troe{a, T3, T1, 0.0, false};
+  return *this;
+}
+
+MechBuilder::RxRef& MechBuilder::RxRef::troe(double a, double T3, double T1,
+                                             double T2) {
+  Reaction& rx = b_.reactions_[r_];
+  rx.troe = Troe{a, T3, T1, T2, true};
+  return *this;
+}
+
+MechBuilder::RxRef& MechBuilder::RxRef::eff(std::string_view sp, double e) {
+  Reaction& rx = b_.reactions_[r_];
+  rx.efficiencies.emplace_back(b_.index(sp), e);
+  return *this;
+}
+
+MechBuilder::RxRef& MechBuilder::RxRef::rev(double A_cgs, double b,
+                                            double Ea_cal) {
+  Reaction& rx = b_.reactions_[r_];
+  double m = 0.0;
+  for (const auto& t : rx.products) m += t.nu;
+  if (rx.type == Reaction::Type::three_body) m += 1.0;
+  Arrhenius a;
+  a.b = b;
+  a.E_R = Ea_cal / constants::Ru_cal;
+  a.A = b_.si_A(A_cgs, m);
+  rx.rev = a;
+  rx.reversible = true;
+  return *this;
+}
+
+MechBuilder::RxRef& MechBuilder::RxRef::orders(
+    std::vector<std::pair<std::string_view, double>> ord) {
+  Reaction& rx = b_.reactions_[r_];
+  const double m_old = total_order(rx);
+  rx.forward_orders.clear();
+  for (const auto& [sp, nu] : ord)
+    rx.forward_orders.push_back({b_.index(sp), nu});
+  const double m_new = total_order(rx);
+  // The published A was in units matching the published orders; re-express.
+  rx.fwd.A *= std::pow(1.0e-3, m_new - m_old);
+  return *this;
+}
+
+Mechanism MechBuilder::build(std::string name) {
+  return Mechanism(std::move(name), std::move(species_),
+                   std::move(reactions_));
+}
+
+}  // namespace s3d::chem

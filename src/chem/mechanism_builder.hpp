@@ -1,0 +1,73 @@
+#pragma once
+// CHEMKIN-style mechanism construction.
+//
+// MechBuilder accepts reaction equations as strings ("H+O2<=>O+OH",
+// "H+O2(+M)<=>HO2(+M)", "H2+M<=>H+H+M") with rate constants in the CGS /
+// cal-per-mol units mechanisms are published in, and converts everything to
+// SI at build time. This mirrors how the paper's S3D consumed CHEMKIN input
+// decks.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "chem/mechanism.hpp"
+
+namespace s3d::chem {
+
+/// Incremental mechanism builder. Typical use:
+///
+///   MechBuilder b(species_list({"H2", "O2", ...}));
+///   b.add("H+O2<=>O+OH", 3.547e15, -0.406, 16599);
+///   b.add("H+O2(+M)<=>HO2(+M)", 1.475e12, 0.60, 0)
+///       .low(6.366e20, -1.72, 524.8).troe(0.8, 1e-30, 1e30)
+///       .eff("H2", 2.0).eff("H2O", 11.0);
+///   Mechanism mech = b.build("h2_li2004");
+class MechBuilder {
+ public:
+  explicit MechBuilder(std::vector<Species> species);
+
+  /// Fluent handle to the reaction most recently added.
+  class RxRef {
+   public:
+    RxRef(MechBuilder& b, std::size_t r) : b_(b), r_(r) {}
+    /// Set the low-pressure (k0) limit of a falloff reaction
+    /// (A in CGS, Ea in cal/mol).
+    RxRef& low(double A_cgs, double b, double Ea_cal);
+    /// Set Troe blending parameters; pass T2 only when the 4-parameter
+    /// form is used.
+    RxRef& troe(double a, double T3, double T1);
+    RxRef& troe(double a, double T3, double T1, double T2);
+    /// Set a third-body collision efficiency.
+    RxRef& eff(std::string_view sp, double e);
+    /// Give an explicit reverse Arrhenius rate (A in CGS, Ea in cal/mol);
+    /// reverse orders default to product stoichiometry.
+    RxRef& rev(double A_cgs, double b, double Ea_cal);
+    /// Override forward concentration orders (global mechanisms).
+    RxRef& orders(std::vector<std::pair<std::string_view, double>> ord);
+
+   private:
+    MechBuilder& b_;
+    std::size_t r_;
+  };
+
+  /// Parse `equation` and append a reaction with forward rate
+  /// (A in CGS mol-cm-s units, b dimensionless, Ea in cal/mol).
+  /// Supports "<=>"/"=" (reversible), "=>" (irreversible), "+M" third
+  /// bodies, "(+M)" falloff, and numeric stoichiometric prefixes
+  /// (including non-integer, e.g. "1.5O2").
+  RxRef add(std::string equation, double A_cgs, double b, double Ea_cal);
+
+  /// Finalize. The builder is left empty.
+  Mechanism build(std::string name);
+
+  int index(std::string_view name) const;
+
+ private:
+  friend class RxRef;
+  double si_A(double A_cgs, double order) const;
+  std::vector<Species> species_;
+  std::vector<Reaction> reactions_;
+};
+
+}  // namespace s3d::chem

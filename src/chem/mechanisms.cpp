@@ -1,0 +1,132 @@
+#include "chem/mechanisms.hpp"
+
+#include "chem/mechanism_builder.hpp"
+#include "chem/species_db.hpp"
+
+namespace s3d::chem {
+
+// Rate parameters from Li, Zhao, Kazakov & Dryer, Int. J. Chem. Kinet. 36
+// (2004): A in mol-cm-s, Ea in cal/mol (converted to SI by MechBuilder).
+Mechanism h2_li2004() {
+  MechBuilder b(
+      species_list({"H2", "O2", "O", "OH", "H2O", "H", "HO2", "H2O2", "N2"}));
+
+  // H2/O2 chain reactions.
+  b.add("H+O2<=>O+OH", 3.547e15, -0.406, 16599.0);
+  b.add("O+H2<=>H+OH", 5.080e4, 2.67, 6290.0);
+  b.add("H2+OH<=>H2O+H", 2.160e8, 1.51, 3430.0);
+  b.add("O+H2O<=>OH+OH", 2.970e6, 2.02, 13400.0);
+
+  // Dissociation/recombination.
+  b.add("H2+M<=>H+H+M", 4.577e19, -1.40, 104380.0)
+      .eff("H2", 2.5).eff("H2O", 12.0);
+  b.add("O+O+M<=>O2+M", 6.165e15, -0.50, 0.0)
+      .eff("H2", 2.5).eff("H2O", 12.0);
+  b.add("O+H+M<=>OH+M", 4.714e18, -1.00, 0.0)
+      .eff("H2", 2.5).eff("H2O", 12.0);
+  b.add("H+OH+M<=>H2O+M", 3.800e22, -2.00, 0.0)
+      .eff("H2", 2.5).eff("H2O", 12.0);
+
+  // HO2 formation (the autoignition precursor highlighted in the paper's
+  // lifted-flame analysis) and consumption.
+  b.add("H+O2(+M)<=>HO2(+M)", 1.475e12, 0.60, 0.0)
+      .low(6.366e20, -1.72, 524.8)
+      .troe(0.8, 1.0e-30, 1.0e30)
+      .eff("H2", 2.0).eff("H2O", 11.0).eff("O2", 0.78);
+  b.add("HO2+H<=>H2+O2", 1.660e13, 0.00, 823.0);
+  b.add("HO2+H<=>OH+OH", 7.079e13, 0.00, 295.0);
+  b.add("HO2+O<=>O2+OH", 3.250e13, 0.00, 0.0);
+  b.add("HO2+OH<=>H2O+O2", 2.890e13, 0.00, -497.0);
+
+  // H2O2 chemistry (duplicate HO2+HO2 pair as published).
+  b.add("HO2+HO2<=>H2O2+O2", 4.200e14, 0.00, 11982.0);
+  b.add("HO2+HO2<=>H2O2+O2", 1.300e11, 0.00, -1629.3);
+  b.add("H2O2(+M)<=>OH+OH(+M)", 2.951e14, 0.00, 48430.0)
+      .low(1.202e17, 0.00, 45500.0)
+      .troe(0.5, 1.0e-30, 1.0e30)
+      .eff("H2", 2.5).eff("H2O", 12.0);
+  b.add("H2O2+H<=>H2O+OH", 2.410e13, 0.00, 3970.0);
+  b.add("H2O2+H<=>HO2+H2", 4.820e13, 0.00, 7950.0);
+  b.add("H2O2+O<=>OH+HO2", 9.550e6, 2.00, 3970.0);
+  b.add("H2O2+OH<=>HO2+H2O", 1.000e12, 0.00, 0.0);
+  b.add("H2O2+OH<=>HO2+H2O", 5.800e14, 0.00, 9557.0);
+
+  return b.build("h2_li2004");
+}
+
+// BFER-style global 2-step scheme (Franzelli et al. form): a fuel-breakdown
+// step with non-integer orders plus reversible CO oxidation.
+Mechanism ch4_bfer2step() {
+  MechBuilder b(species_list({"CH4", "O2", "CO", "CO2", "H2O", "N2"}));
+
+  b.add("CH4+1.5O2=>CO+2H2O", 4.9e9, 0.0, 35500.0)
+      .orders({{"CH4", 0.50}, {"O2", 0.65}});
+  b.add("CO+0.5O2<=>CO2", 2.0e9, 0.0, 12000.0)
+      .orders({{"CO", 1.0}, {"O2", 0.5}});
+
+  return b.build("ch4_bfer2step");
+}
+
+Mechanism ch4_onestep() {
+  MechBuilder b(species_list({"CH4", "O2", "CO2", "H2O", "N2"}));
+  b.add("CH4+2O2=>CO2+2H2O", 2.119e11, 0.0, 30000.0)
+      .orders({{"CH4", 1.0}, {"O2", 1.0}});
+  return b.build("ch4_onestep");
+}
+
+// H2 subsystem as in h2_li2004 plus the CO oxidation reactions with
+// Davis et al. (2005) rate parameters.
+Mechanism syngas_co_h2() {
+  MechBuilder b(species_list(
+      {"H2", "O2", "O", "OH", "H2O", "H", "HO2", "H2O2", "CO", "CO2", "N2"}));
+
+  b.add("H+O2<=>O+OH", 3.547e15, -0.406, 16599.0);
+  b.add("O+H2<=>H+OH", 5.080e4, 2.67, 6290.0);
+  b.add("H2+OH<=>H2O+H", 2.160e8, 1.51, 3430.0);
+  b.add("O+H2O<=>OH+OH", 2.970e6, 2.02, 13400.0);
+  b.add("H2+M<=>H+H+M", 4.577e19, -1.40, 104380.0)
+      .eff("H2", 2.5).eff("H2O", 12.0).eff("CO", 1.9).eff("CO2", 3.8);
+  b.add("O+O+M<=>O2+M", 6.165e15, -0.50, 0.0)
+      .eff("H2", 2.5).eff("H2O", 12.0).eff("CO", 1.9).eff("CO2", 3.8);
+  b.add("O+H+M<=>OH+M", 4.714e18, -1.00, 0.0)
+      .eff("H2", 2.5).eff("H2O", 12.0).eff("CO", 1.9).eff("CO2", 3.8);
+  b.add("H+OH+M<=>H2O+M", 3.800e22, -2.00, 0.0)
+      .eff("H2", 2.5).eff("H2O", 12.0).eff("CO", 1.9).eff("CO2", 3.8);
+  b.add("H+O2(+M)<=>HO2(+M)", 1.475e12, 0.60, 0.0)
+      .low(6.366e20, -1.72, 524.8)
+      .troe(0.8, 1.0e-30, 1.0e30)
+      .eff("H2", 2.0).eff("H2O", 11.0).eff("O2", 0.78)
+      .eff("CO", 1.9).eff("CO2", 3.8);
+  b.add("HO2+H<=>H2+O2", 1.660e13, 0.00, 823.0);
+  b.add("HO2+H<=>OH+OH", 7.079e13, 0.00, 295.0);
+  b.add("HO2+O<=>O2+OH", 3.250e13, 0.00, 0.0);
+  b.add("HO2+OH<=>H2O+O2", 2.890e13, 0.00, -497.0);
+  b.add("HO2+HO2<=>H2O2+O2", 4.200e14, 0.00, 11982.0);
+  b.add("HO2+HO2<=>H2O2+O2", 1.300e11, 0.00, -1629.3);
+  b.add("H2O2(+M)<=>OH+OH(+M)", 2.951e14, 0.00, 48430.0)
+      .low(1.202e17, 0.00, 45500.0)
+      .troe(0.5, 1.0e-30, 1.0e30)
+      .eff("H2", 2.5).eff("H2O", 12.0).eff("CO", 1.9).eff("CO2", 3.8);
+  b.add("H2O2+H<=>H2O+OH", 2.410e13, 0.00, 3970.0);
+  b.add("H2O2+H<=>HO2+H2", 4.820e13, 0.00, 7950.0);
+  b.add("H2O2+O<=>OH+HO2", 9.550e6, 2.00, 3970.0);
+  b.add("H2O2+OH<=>HO2+H2O", 1.000e12, 0.00, 0.0);
+  b.add("H2O2+OH<=>HO2+H2O", 5.800e14, 0.00, 9557.0);
+
+  // CO oxidation.
+  b.add("CO+OH<=>CO2+H", 4.760e7, 1.228, 70.0);
+  b.add("CO+O2<=>CO2+O", 1.119e12, 0.00, 47700.0);
+  b.add("CO+O(+M)<=>CO2(+M)", 1.362e10, 0.00, 2384.0)
+      .low(1.173e24, -2.79, 4191.0)
+      .eff("H2", 2.0).eff("H2O", 12.0).eff("CO", 1.75).eff("CO2", 3.6);
+  b.add("CO+HO2<=>CO2+OH", 3.010e13, 0.00, 23000.0);
+
+  return b.build("syngas_co_h2");
+}
+
+Mechanism air_inert() {
+  MechBuilder b(species_list({"O2", "N2"}));
+  return b.build("air_inert");
+}
+
+}  // namespace s3d::chem

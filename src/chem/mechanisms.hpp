@@ -1,0 +1,39 @@
+#pragma once
+// Built-in reaction mechanisms.
+//
+// - h2_li2004(): detailed hydrogen/air mechanism (9 species, 21 reaction
+//   entries incl. duplicates, Troe falloff) with the rate parameters of
+//   Li, Zhao, Kazakov & Dryer (2004). This is the chemistry class used by
+//   the paper's lifted H2/air jet flame (section 6).
+// - ch4_bfer2step(): global 2-step methane/air mechanism (6 species) in the
+//   Westbrook-Dryer/BFER form with non-integer orders; stands in for the
+//   reduced CH4 mechanism of the paper's premixed Bunsen study (section 7),
+//   see DESIGN.md substitutions.
+// - ch4_onestep(): single-step methane oxidation; cheap test chemistry.
+// - air_inert(): O2/N2, no reactions; used by the non-reacting
+//   pressure-wave performance test (section 4.1 model problem).
+
+#include "chem/mechanism.hpp"
+
+namespace s3d::chem {
+
+/// Detailed H2/air mechanism (Li et al. 2004 rate set), N2 inert.
+Mechanism h2_li2004();
+
+/// Global 2-step CH4/air mechanism (BFER-style), N2 inert.
+Mechanism ch4_bfer2step();
+
+/// Single-step CH4/air test mechanism, N2 inert.
+Mechanism ch4_onestep();
+
+/// Syngas (CO/H2/air) mechanism: the H2 subsystem of Li et al. (2004)
+/// plus CO oxidation (Davis et al. 2005 rate set). This is the chemistry
+/// class of the paper's temporally evolving plane-jet hero runs
+/// ("non-premixed flames, 500 million grid points, 16 variables",
+/// skeletal CO/H2 kinetics, ref. [16]).
+Mechanism syngas_co_h2();
+
+/// Non-reacting O2/N2 air.
+Mechanism air_inert();
+
+}  // namespace s3d::chem

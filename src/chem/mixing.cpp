@@ -1,0 +1,94 @@
+#include "chem/mixing.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace s3d::chem {
+
+namespace {
+constexpr double W_C = 12.011, W_H = 1.008, W_O = 15.999, W_N = 14.007;
+}
+
+std::vector<double> premixed_fuel_air_Y(const Mechanism& mech,
+                                        std::string_view fuel, double phi) {
+  S3D_REQUIRE(phi > 0.0, "equivalence ratio must be positive");
+  const int i_fuel = mech.index(fuel);
+  const int i_o2 = mech.index("O2");
+  const int i_n2 = mech.index("N2");
+  const Elements& el = mech.species(i_fuel).elements;
+  // Stoichiometric O2 moles per mole of fuel CxHyOz: x + y/4 - z/2.
+  const double nu_o2 = el.C + el.H / 4.0 - el.O / 2.0;
+  S3D_REQUIRE(nu_o2 > 0.0, "species is not a fuel: " + std::string(fuel));
+
+  // Mole basis: phi moles fuel per nu_o2 moles O2 (+ 3.76 N2 each).
+  std::vector<double> X(mech.n_species(), 0.0);
+  X[i_fuel] = phi;
+  X[i_o2] = nu_o2;
+  X[i_n2] = nu_o2 * 3.76;
+  double sum = 0.0;
+  for (double x : X) sum += x;
+  for (double& x : X) x /= sum;
+
+  std::vector<double> Y(mech.n_species());
+  mech.Y_from_X(X, Y);
+  return Y;
+}
+
+std::vector<double> stream_Y_from_X(
+    const Mechanism& mech,
+    const std::vector<std::pair<std::string_view, double>>& fuel_X) {
+  std::vector<double> X(mech.n_species(), 0.0);
+  double sum = 0.0;
+  for (const auto& [name, x] : fuel_X) {
+    X[mech.index(name)] = x;
+    sum += x;
+  }
+  S3D_REQUIRE(sum > 0.0, "stream composition is empty");
+  for (double& x : X) x /= sum;
+  std::vector<double> Y(mech.n_species());
+  mech.Y_from_X(X, Y);
+  return Y;
+}
+
+std::array<double, 4> elemental_mass_fractions(const Mechanism& mech,
+                                               std::span<const double> Y) {
+  std::array<double, 4> Z{0.0, 0.0, 0.0, 0.0};
+  for (int i = 0; i < mech.n_species(); ++i) {
+    const Species& sp = mech.species(i);
+    const double f = Y[i] / sp.W;
+    Z[0] += f * sp.elements.C * W_C;
+    Z[1] += f * sp.elements.H * W_H;
+    Z[2] += f * sp.elements.O * W_O;
+    Z[3] += f * sp.elements.N * W_N;
+  }
+  return Z;
+}
+
+double bilger_beta(const Mechanism& mech, std::span<const double> Y) {
+  const auto Z = elemental_mass_fractions(mech, Y);
+  return 2.0 * Z[0] / W_C + 0.5 * Z[1] / W_H - Z[2] / W_O;
+}
+
+double bilger_mixture_fraction(const Mechanism& mech,
+                               std::span<const double> Y,
+                               std::span<const double> Y_ox,
+                               std::span<const double> Y_fuel) {
+  const double b = bilger_beta(mech, Y);
+  const double b_ox = bilger_beta(mech, Y_ox);
+  const double b_fu = bilger_beta(mech, Y_fuel);
+  S3D_REQUIRE(std::abs(b_fu - b_ox) > 1e-300,
+              "fuel and oxidizer streams are identical");
+  return (b - b_ox) / (b_fu - b_ox);
+}
+
+double stoichiometric_mixture_fraction(const Mechanism& mech,
+                                       std::span<const double> Y_ox,
+                                       std::span<const double> Y_fuel) {
+  const double b_ox = bilger_beta(mech, Y_ox);
+  const double b_fu = bilger_beta(mech, Y_fuel);
+  return -b_ox / (b_fu - b_ox);
+}
+
+}  // namespace s3d::chem

@@ -1,0 +1,42 @@
+#pragma once
+// Mixture composition helpers: fuel/air mixtures from equivalence ratio,
+// elemental mass fractions, and the Bilger mixture fraction used by the
+// lifted-flame diagnostics (paper figure 11).
+
+#include <span>
+#include <vector>
+
+#include "chem/mechanism.hpp"
+
+namespace s3d::chem {
+
+/// Mass fractions of a premixed fuel/air mixture at equivalence ratio phi.
+/// `fuel` must be a hydrocarbon or hydrogen species of the mechanism; air is
+/// O2 + 3.76 N2 (by mole). Throws if the mechanism lacks O2 or N2.
+std::vector<double> premixed_fuel_air_Y(const Mechanism& mech,
+                                        std::string_view fuel, double phi);
+
+/// Mass fractions for a two-stream fuel jet: `fuel_X` mole fractions of the
+/// fuel stream (e.g. 65% H2 / 35% N2 in the paper's lifted flame).
+std::vector<double> stream_Y_from_X(const Mechanism& mech,
+                                    const std::vector<std::pair<std::string_view, double>>& fuel_X);
+
+/// Elemental mass fractions (C, H, O, N order) of a composition Y.
+std::array<double, 4> elemental_mass_fractions(const Mechanism& mech,
+                                               std::span<const double> Y);
+
+/// Bilger's coupling function beta = 2 Z_C/W_C + Z_H/(2 W_H) - Z_O/W_O.
+double bilger_beta(const Mechanism& mech, std::span<const double> Y);
+
+/// Bilger mixture fraction of Y between an oxidizer stream and fuel stream.
+double bilger_mixture_fraction(const Mechanism& mech,
+                               std::span<const double> Y,
+                               std::span<const double> Y_ox,
+                               std::span<const double> Y_fuel);
+
+/// Stoichiometric mixture fraction for the given streams.
+double stoichiometric_mixture_fraction(const Mechanism& mech,
+                                       std::span<const double> Y_ox,
+                                       std::span<const double> Y_fuel);
+
+}  // namespace s3d::chem

@@ -1,0 +1,286 @@
+#include "chem/reactor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "chem/thermo.hpp"
+#include "common/error.hpp"
+
+namespace s3d::chem {
+
+ConstPressureReactor::ConstPressureReactor(const Mechanism& mech,
+                                           double pressure)
+    : mech_(mech), p_(pressure), Y_(mech.n_species(), 0.0) {
+  S3D_REQUIRE(pressure > 0.0, "pressure must be positive");
+}
+
+void ConstPressureReactor::set_state(double T, std::span<const double> Y) {
+  S3D_REQUIRE(static_cast<int>(Y.size()) == mech_.n_species(),
+              "Y size mismatch");
+  T_ = T;
+  std::copy(Y.begin(), Y.end(), Y_.begin());
+  t_ = 0.0;
+  dt_ = 1e-9;
+}
+
+void ConstPressureReactor::rhs(double T, std::span<const double> Y,
+                               std::span<double> dY, double& dT) const {
+  const int ns = mech_.n_species();
+  const double rho = mech_.density(p_, T, Y);
+  double c[kMaxSpecies], wdot[kMaxSpecies];
+  for (int i = 0; i < ns; ++i) c[i] = rho * std::max(Y[i], 0.0) / mech_.W(i);
+  mech_.production_rates(T, {c, c + ns}, {wdot, wdot + ns});
+  double hdot = 0.0;
+  for (int i = 0; i < ns; ++i) {
+    dY[i] = wdot[i] * mech_.W(i) / rho;
+    hdot += h_mass(mech_.species(i), T) * wdot[i] * mech_.W(i);
+  }
+  dT = -hdot / (rho * mech_.cp_mass_mix(T, Y));
+}
+
+namespace {
+// Cash-Karp RK4(5) tableau.
+constexpr double c2 = 1.0 / 5, c3 = 3.0 / 10, c4 = 3.0 / 5, c5 = 1.0,
+                 c6 = 7.0 / 8;
+constexpr double a21 = 1.0 / 5;
+constexpr double a31 = 3.0 / 40, a32 = 9.0 / 40;
+constexpr double a41 = 3.0 / 10, a42 = -9.0 / 10, a43 = 6.0 / 5;
+constexpr double a51 = -11.0 / 54, a52 = 5.0 / 2, a53 = -70.0 / 27,
+                 a54 = 35.0 / 27;
+constexpr double a61 = 1631.0 / 55296, a62 = 175.0 / 512, a63 = 575.0 / 13824,
+                 a64 = 44275.0 / 110592, a65 = 253.0 / 4096;
+constexpr double b1 = 37.0 / 378, b3 = 250.0 / 621, b4 = 125.0 / 594,
+                 b6 = 512.0 / 1771;
+constexpr double d1 = 2825.0 / 27648, d3 = 18575.0 / 48384,
+                 d4 = 13525.0 / 55296, d5 = 277.0 / 14336, d6 = 1.0 / 4;
+}  // namespace
+
+void ConstPressureReactor::advance(double t_end, double rtol, double atol) {
+  const int ns = mech_.n_species();
+  const int n = ns + 1;  // state = [Y..., T]
+
+  auto eval = [&](const std::vector<double>& u, std::vector<double>& du) {
+    double dT;
+    rhs(u[ns], {u.data(), static_cast<std::size_t>(ns)},
+        {du.data(), static_cast<std::size_t>(ns)}, dT);
+    du[ns] = dT;
+  };
+
+  std::vector<double> u(n), utmp(n), k1(n), k2(n), k3(n), k4(n), k5(n), k6(n),
+      u5(n), err(n);
+  std::copy(Y_.begin(), Y_.end(), u.begin());
+  u[ns] = T_;
+
+  while (t_ < t_end) {
+    double h = std::min(dt_, t_end - t_);
+    eval(u, k1);
+    bool accepted = false;
+    while (!accepted) {
+      auto stage = [&](std::vector<double>& out,
+                       std::initializer_list<std::pair<const std::vector<double>*, double>> terms) {
+        for (int i = 0; i < n; ++i) {
+          double s = 0.0;
+          for (const auto& [kv, a] : terms) s += a * (*kv)[i];
+          out[i] = u[i] + h * s;
+        }
+      };
+      stage(utmp, {{&k1, a21}});
+      eval(utmp, k2);
+      stage(utmp, {{&k1, a31}, {&k2, a32}});
+      eval(utmp, k3);
+      stage(utmp, {{&k1, a41}, {&k2, a42}, {&k3, a43}});
+      eval(utmp, k4);
+      stage(utmp, {{&k1, a51}, {&k2, a52}, {&k3, a53}, {&k4, a54}});
+      eval(utmp, k5);
+      stage(utmp, {{&k1, a61}, {&k2, a62}, {&k3, a63}, {&k4, a64}, {&k5, a65}});
+      eval(utmp, k6);
+
+      double errnorm = 0.0;
+      for (int i = 0; i < n; ++i) {
+        u5[i] = u[i] + h * (b1 * k1[i] + b3 * k3[i] + b4 * k4[i] + b6 * k6[i]);
+        const double u4 = u[i] + h * (d1 * k1[i] + d3 * k3[i] + d4 * k4[i] +
+                                      d5 * k5[i] + d6 * k6[i]);
+        const double sc = atol + rtol * std::max(std::abs(u[i]), std::abs(u5[i]));
+        const double e = (u5[i] - u4) / sc;
+        errnorm = std::max(errnorm, std::abs(e));
+      }
+
+      if (errnorm <= 1.0 || h <= 1e-16) {
+        accepted = true;
+        t_ += h;
+        u = u5;
+        // Step-size controller (PI-free, classic 0.2 exponent).
+        const double fac =
+            std::clamp(0.9 * std::pow(std::max(errnorm, 1e-10), -0.2), 0.2, 5.0);
+        dt_ = std::min(h * fac, 1e-3);
+      } else {
+        h *= std::clamp(0.9 * std::pow(errnorm, -0.25), 0.1, 0.5);
+      }
+    }
+    // Keep mass fractions physical between steps (explicit integrators can
+    // undershoot trace species).
+    double sum = 0.0;
+    for (int i = 0; i < ns; ++i) {
+      u[i] = std::max(u[i], 0.0);
+      sum += u[i];
+    }
+    for (int i = 0; i < ns; ++i) u[i] /= sum;
+  }
+
+  std::copy(u.begin(), u.begin() + ns, Y_.begin());
+  T_ = u[ns];
+}
+
+ReactorHistory ConstPressureReactor::advance_recorded(double t_end,
+                                                      double sample_dt,
+                                                      double rtol,
+                                                      double atol) {
+  ReactorHistory hist;
+  hist.t.push_back(t_);
+  hist.T.push_back(T_);
+  hist.Y.emplace_back(Y_.begin(), Y_.end());
+  while (t_ < t_end - 1e-15) {
+    advance(std::min(t_ + sample_dt, t_end), rtol, atol);
+    hist.t.push_back(t_);
+    hist.T.push_back(T_);
+    hist.Y.emplace_back(Y_.begin(), Y_.end());
+  }
+  return hist;
+}
+
+ConstVolumeReactor::ConstVolumeReactor(const Mechanism& mech, double rho)
+    : mech_(mech), rho_(rho), Y_(mech.n_species(), 0.0) {
+  S3D_REQUIRE(rho > 0.0, "density must be positive");
+}
+
+void ConstVolumeReactor::set_state(double T, std::span<const double> Y) {
+  S3D_REQUIRE(static_cast<int>(Y.size()) == mech_.n_species(),
+              "Y size mismatch");
+  T_ = T;
+  std::copy(Y.begin(), Y.end(), Y_.begin());
+  t_ = 0.0;
+  dt_ = 1e-9;
+}
+
+double ConstVolumeReactor::pressure() const {
+  return mech_.pressure(rho_, T_, Y_);
+}
+
+void ConstVolumeReactor::advance(double t_end, double rtol, double atol) {
+  // Reuse the constant-pressure reactor's adaptive machinery by running a
+  // small embedded RK12 here is not accurate enough; instead integrate
+  // with the same Cash-Karp scheme via a local copy of the stepper acting
+  // on [Y..., T] with the constant-volume right-hand side.
+  const int ns = mech_.n_species();
+  const int n = ns + 1;
+
+  auto eval = [&](const std::vector<double>& u, std::vector<double>& du) {
+    double c[kMaxSpecies], wdot[kMaxSpecies];
+    for (int i = 0; i < ns; ++i)
+      c[i] = rho_ * std::max(u[i], 0.0) / mech_.W(i);
+    mech_.production_rates(u[ns], {c, static_cast<std::size_t>(ns)},
+                           {wdot, static_cast<std::size_t>(ns)});
+    double edot = 0.0;
+    for (int i = 0; i < ns; ++i) {
+      du[i] = wdot[i] * mech_.W(i) / rho_;
+      edot += e_mass(mech_.species(i), u[ns]) * wdot[i] * mech_.W(i);
+    }
+    const double cv = mech_.cv_mass_mix(
+        u[ns], {u.data(), static_cast<std::size_t>(ns)});
+    du[ns] = -edot / (rho_ * cv);
+  };
+
+  std::vector<double> u(n), utmp(n), k1(n), k2(n), k3(n), k4(n), k5(n),
+      k6(n), u5(n);
+  std::copy(Y_.begin(), Y_.end(), u.begin());
+  u[ns] = T_;
+
+  while (t_ < t_end) {
+    double h = std::min(dt_, t_end - t_);
+    eval(u, k1);
+    bool accepted = false;
+    while (!accepted) {
+      auto stage = [&](std::vector<double>& out,
+                       std::initializer_list<std::pair<const std::vector<double>*, double>> terms) {
+        for (int i = 0; i < n; ++i) {
+          double s = 0.0;
+          for (const auto& [kv, a] : terms) s += a * (*kv)[i];
+          out[i] = u[i] + h * s;
+        }
+      };
+      stage(utmp, {{&k1, a21}});
+      eval(utmp, k2);
+      stage(utmp, {{&k1, a31}, {&k2, a32}});
+      eval(utmp, k3);
+      stage(utmp, {{&k1, a41}, {&k2, a42}, {&k3, a43}});
+      eval(utmp, k4);
+      stage(utmp, {{&k1, a51}, {&k2, a52}, {&k3, a53}, {&k4, a54}});
+      eval(utmp, k5);
+      stage(utmp, {{&k1, a61}, {&k2, a62}, {&k3, a63}, {&k4, a64}, {&k5, a65}});
+      eval(utmp, k6);
+
+      double errnorm = 0.0;
+      for (int i = 0; i < n; ++i) {
+        u5[i] = u[i] + h * (b1 * k1[i] + b3 * k3[i] + b4 * k4[i] + b6 * k6[i]);
+        const double u4 = u[i] + h * (d1 * k1[i] + d3 * k3[i] + d4 * k4[i] +
+                                      d5 * k5[i] + d6 * k6[i]);
+        const double sc = atol + rtol * std::max(std::abs(u[i]), std::abs(u5[i]));
+        errnorm = std::max(errnorm, std::abs((u5[i] - u4) / sc));
+      }
+      if (errnorm <= 1.0 || h <= 1e-16) {
+        accepted = true;
+        t_ += h;
+        u = u5;
+        const double fac =
+            std::clamp(0.9 * std::pow(std::max(errnorm, 1e-10), -0.2), 0.2, 5.0);
+        dt_ = std::min(h * fac, 1e-3);
+      } else {
+        h *= std::clamp(0.9 * std::pow(errnorm, -0.25), 0.1, 0.5);
+      }
+    }
+    double sum = 0.0;
+    for (int i = 0; i < ns; ++i) {
+      u[i] = std::max(u[i], 0.0);
+      sum += u[i];
+    }
+    for (int i = 0; i < ns; ++i) u[i] /= sum;
+  }
+
+  std::copy(u.begin(), u.begin() + ns, Y_.begin());
+  T_ = u[ns];
+}
+
+double ignition_delay(const Mechanism& mech, double T0, double p,
+                      std::span<const double> Y0, double t_max) {
+  ConstPressureReactor r(mech, p);
+  r.set_state(T0, Y0);
+  // Sample finely enough to locate the steepest temperature rise.
+  const int n_samples = 2000;
+  const double dt = t_max / n_samples;
+  double best_slope = 0.0, t_ign = -1.0;
+  double t_prev = 0.0, T_prev = T0;
+  for (int s = 1; s <= n_samples; ++s) {
+    r.advance(s * dt);
+    const double slope = (r.T() - T_prev) / (r.time() - t_prev + 1e-300);
+    if (slope > best_slope) {
+      best_slope = slope;
+      t_ign = 0.5 * (r.time() + t_prev);
+    }
+    t_prev = r.time();
+    T_prev = r.T();
+  }
+  // Demand a real temperature runaway, not numeric noise.
+  if (r.T() < T0 + 200.0) return -1.0;
+  return t_ign;
+}
+
+std::pair<double, std::vector<double>> equilibrium_products(
+    const Mechanism& mech, double T0, double p, std::span<const double> Y0,
+    double t_burn) {
+  ConstPressureReactor r(mech, p);
+  r.set_state(T0, Y0);
+  r.advance(t_burn, 1e-5, 1e-9);
+  return {r.T(), std::vector<double>(r.Y().begin(), r.Y().end())};
+}
+
+}  // namespace s3d::chem

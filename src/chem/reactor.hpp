@@ -1,0 +1,92 @@
+#pragma once
+// Zero-dimensional homogeneous reactors with adaptive explicit integration.
+//
+// Used for mechanism validation (ignition delays, equilibrium approach) and
+// to seed the vitiated-coflow composition of the lifted-flame configuration.
+
+#include <span>
+#include <vector>
+
+#include "chem/mechanism.hpp"
+
+namespace s3d::chem {
+
+/// Result of one adaptive reactor integration.
+struct ReactorHistory {
+  std::vector<double> t;   ///< time [s]
+  std::vector<double> T;   ///< temperature [K]
+  std::vector<std::vector<double>> Y;  ///< mass fractions per sample
+};
+
+/// Constant-pressure adiabatic reactor:
+///   dY_i/dt = wdot_i W_i / rho,  dT/dt = -sum h_i wdot_i W_i / (rho cp)
+class ConstPressureReactor {
+ public:
+  ConstPressureReactor(const Mechanism& mech, double pressure);
+
+  /// Set the initial state.
+  void set_state(double T, std::span<const double> Y);
+
+  double T() const { return T_; }
+  double time() const { return t_; }
+  std::span<const double> Y() const { return Y_; }
+
+  /// Advance to time `t_end` with embedded Cash-Karp RK4(5) error control;
+  /// `rtol`/`atol` bound the per-step error estimate.
+  void advance(double t_end, double rtol = 1e-8, double atol = 1e-12);
+
+  /// Advance while recording (t, T, Y) every `sample_dt`.
+  ReactorHistory advance_recorded(double t_end, double sample_dt,
+                                  double rtol = 1e-8, double atol = 1e-12);
+
+ private:
+  void rhs(double T, std::span<const double> Y, std::span<double> dY,
+           double& dT) const;
+
+  const Mechanism& mech_;
+  double p_;
+  double t_ = 0.0;
+  double T_ = 300.0;
+  double dt_ = 1e-9;  ///< current adaptive step
+  std::vector<double> Y_;
+};
+
+/// Constant-volume adiabatic reactor (fixed density):
+///   dY_i/dt = wdot_i W_i / rho,  dT/dt = -sum e_i wdot_i W_i / (rho cv).
+/// Pressure rises as the mixture burns (knock/engine-relevant variant).
+class ConstVolumeReactor {
+ public:
+  ConstVolumeReactor(const Mechanism& mech, double rho);
+
+  void set_state(double T, std::span<const double> Y);
+
+  double T() const { return T_; }
+  double time() const { return t_; }
+  std::span<const double> Y() const { return Y_; }
+  /// Current pressure from the ideal-gas law.
+  double pressure() const;
+
+  void advance(double t_end, double rtol = 1e-8, double atol = 1e-12);
+
+ private:
+  const Mechanism& mech_;
+  double rho_;
+  double t_ = 0.0;
+  double T_ = 300.0;
+  double dt_ = 1e-9;
+  std::vector<double> Y_;
+};
+
+/// Ignition delay of an initial (T0, p, Y0) state: time of maximum dT/dt.
+/// Returns a negative value if no ignition occurs within `t_max`.
+double ignition_delay(const Mechanism& mech, double T0, double p,
+                      std::span<const double> Y0, double t_max);
+
+/// Integrate a constant-pressure reactor long enough to approach chemical
+/// equilibrium and return (T_eq, Y_eq). Useful for building "complete
+/// combustion products" coflow streams (paper section 7.2).
+std::pair<double, std::vector<double>> equilibrium_products(
+    const Mechanism& mech, double T0, double p, std::span<const double> Y0,
+    double t_burn = 0.02);
+
+}  // namespace s3d::chem

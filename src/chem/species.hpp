@@ -1,0 +1,51 @@
+#pragma once
+// Species data: name, molecular weight, elemental composition, NASA-7
+// thermodynamic polynomials, and Lennard-Jones transport parameters.
+//
+// This is the data model that the CHEMKIN / TRANSPORT libraries provided to
+// the original S3D (paper section 2.6); here the same information is carried
+// by plain structs that mechanisms fill in at construction.
+
+#include <array>
+#include <string>
+
+namespace s3d::chem {
+
+/// Geometry class of a molecule, used by kinetic-theory transport.
+enum class Geometry { atom = 0, linear = 1, nonlinear = 2 };
+
+/// NASA-7 polynomial set for one temperature range:
+///   cp/R  = a0 + a1 T + a2 T^2 + a3 T^3 + a4 T^4
+///   h/RT  = a0 + a1/2 T + a2/3 T^2 + a3/4 T^3 + a4/5 T^4 + a5/T
+///   s/R   = a0 ln T + a1 T + a2/2 T^2 + a3/3 T^3 + a4/4 T^4 + a6
+using Nasa7 = std::array<double, 7>;
+
+/// Elemental composition (atoms per molecule) in the order C, H, O, N.
+struct Elements {
+  double C = 0, H = 0, O = 0, N = 0;
+};
+
+/// Lennard-Jones transport parameters (CHEMKIN tran.dat conventions).
+struct TransportData {
+  Geometry geometry = Geometry::linear;
+  double eps_over_kB = 100.0;   ///< LJ well depth epsilon/kB [K]
+  double sigma = 3.5;           ///< LJ collision diameter [Angstrom]
+  double dipole = 0.0;          ///< dipole moment [Debye]
+  double polarizability = 0.0;  ///< polarizability [Angstrom^3]
+  double z_rot = 1.0;           ///< rotational relaxation number at 298 K
+};
+
+/// Complete description of one chemical species.
+struct Species {
+  std::string name;
+  double W = 0.0;  ///< molecular weight [kg/kmol]
+  Elements elements;
+  double T_low = 200.0;   ///< lower validity bound of the thermo fit [K]
+  double T_mid = 1000.0;  ///< switch temperature between the two fits [K]
+  double T_high = 3500.0; ///< upper validity bound [K]
+  Nasa7 nasa_low{};       ///< coefficients for T < T_mid
+  Nasa7 nasa_high{};      ///< coefficients for T >= T_mid
+  TransportData transport;
+};
+
+}  // namespace s3d::chem

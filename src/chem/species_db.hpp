@@ -1,0 +1,21 @@
+#pragma once
+// Built-in species database: NASA-7 thermodynamic fits (GRI-Mech 3.0
+// conventions) and Lennard-Jones transport parameters (CHEMKIN tran.dat
+// conventions) for the species used by the shipped mechanisms.
+
+#include <string_view>
+#include <vector>
+
+#include "chem/species.hpp"
+
+namespace s3d::chem {
+
+/// Look up a species by name in the built-in database; throws s3d::Error
+/// for unknown names. Known: H2, H, O, O2, OH, H2O, HO2, H2O2, N2, CH4,
+/// CO, CO2, AR.
+Species species_from_db(std::string_view name);
+
+/// Convenience: build a species list from names.
+std::vector<Species> species_list(const std::vector<std::string_view>& names);
+
+}  // namespace s3d::chem

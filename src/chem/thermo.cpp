@@ -1,0 +1,81 @@
+#include "chem/thermo.hpp"
+
+#include <cmath>
+
+#include "common/constants.hpp"
+
+namespace s3d::chem {
+
+namespace {
+const Nasa7& select(const Species& sp, double T) {
+  return T < sp.T_mid ? sp.nasa_low : sp.nasa_high;
+}
+
+double cp_R_raw(const Species& sp, double T) {
+  const Nasa7& a = select(sp, T);
+  return a[0] + T * (a[1] + T * (a[2] + T * (a[3] + T * a[4])));
+}
+
+double h_RT_raw(const Species& sp, double T) {
+  const Nasa7& a = select(sp, T);
+  return a[0] + T * (a[1] / 2 + T * (a[2] / 3 + T * (a[3] / 4 + T * a[4] / 5))) +
+         a[5] / T;
+}
+
+double s_R_raw(const Species& sp, double T) {
+  const Nasa7& a = select(sp, T);
+  return a[0] * std::log(T) +
+         T * (a[1] + T * (a[2] / 2 + T * (a[3] / 3 + T * a[4] / 4))) + a[6];
+}
+
+// Outside the fit's validity range the polynomials are extended with
+// constant cp (C1-continuous): h grows linearly, s logarithmically. A hard
+// clamp of h would make e = h - R T *decrease* with T just outside the
+// range (negative effective cv), which destabilizes the compressible
+// solver whenever an acoustic rarefaction dips below T_low.
+double edge(const Species& sp, double T) {
+  return T < sp.T_low ? sp.T_low : sp.T_high;
+}
+}  // namespace
+
+double cp_R(const Species& sp, double T) {
+  if (T >= sp.T_low && T <= sp.T_high) return cp_R_raw(sp, T);
+  return cp_R_raw(sp, edge(sp, T));
+}
+
+double h_RT(const Species& sp, double T) {
+  if (T >= sp.T_low && T <= sp.T_high) return h_RT_raw(sp, T);
+  const double Te = edge(sp, T);
+  // h(T) = h(Te) + cp(Te) (T - Te)  =>  h/RT = (h_RT(Te) Te + cp_R(Te) (T - Te)) / T
+  return (h_RT_raw(sp, Te) * Te + cp_R_raw(sp, Te) * (T - Te)) / T;
+}
+
+double s_R(const Species& sp, double T) {
+  if (T >= sp.T_low && T <= sp.T_high) return s_R_raw(sp, T);
+  const double Te = edge(sp, T);
+  return s_R_raw(sp, Te) + cp_R_raw(sp, Te) * std::log(T / Te);
+}
+
+double g_RT(const Species& sp, double T) { return h_RT(sp, T) - s_R(sp, T); }
+
+double cp_molar(const Species& sp, double T) {
+  return constants::Ru * cp_R(sp, T);
+}
+
+double h_molar(const Species& sp, double T) {
+  return constants::Ru * T * h_RT(sp, T);
+}
+
+double cp_mass(const Species& sp, double T) {
+  return cp_molar(sp, T) / sp.W;
+}
+
+double h_mass(const Species& sp, double T) {
+  return h_molar(sp, T) / sp.W;
+}
+
+double e_mass(const Species& sp, double T) {
+  return h_mass(sp, T) - constants::Ru / sp.W * T;
+}
+
+}  // namespace s3d::chem

@@ -1,0 +1,40 @@
+#pragma once
+// NASA-7 thermodynamic property evaluation (paper section 2.1 relationships).
+//
+// All properties are returned in SI: cp, cv in J/(kg K) or J/(kmol K) as
+// noted, h in J/kg or J/kmol, s in J/(kmol K).
+
+#include <span>
+
+#include "chem/species.hpp"
+
+namespace s3d::chem {
+
+/// Nondimensional cp/R of one species at temperature T.
+double cp_R(const Species& sp, double T);
+
+/// Nondimensional h/(R T) of one species (includes enthalpy of formation).
+double h_RT(const Species& sp, double T);
+
+/// Nondimensional s/R of one species at 1 atm standard state.
+double s_R(const Species& sp, double T);
+
+/// Nondimensional Gibbs energy g/(R T) = h/(R T) - s/R.
+double g_RT(const Species& sp, double T);
+
+/// Molar heat capacity [J/(kmol K)].
+double cp_molar(const Species& sp, double T);
+
+/// Molar enthalpy [J/kmol] (sensible + formation).
+double h_molar(const Species& sp, double T);
+
+/// Mass-based heat capacity [J/(kg K)].
+double cp_mass(const Species& sp, double T);
+
+/// Mass-based enthalpy [J/kg].
+double h_mass(const Species& sp, double T);
+
+/// Mass-based internal energy [J/kg]: e = h - R/W * T.
+double e_mass(const Species& sp, double T);
+
+}  // namespace s3d::chem

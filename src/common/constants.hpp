@@ -1,0 +1,45 @@
+#pragma once
+// Physical constants (SI units) and unit-conversion factors used throughout
+// S3D++. Mechanism data are entered in their native CGS / cal-mol units and
+// converted with the factors below at construction time.
+
+namespace s3d::constants {
+
+/// Universal gas constant [J / (kmol K)].
+inline constexpr double Ru = 8314.462618;
+
+/// Universal gas constant [J / (mol K)].
+inline constexpr double Ru_mol = 8.314462618;
+
+/// Boltzmann constant [J/K].
+inline constexpr double kB = 1.380649e-23;
+
+/// Avogadro constant [1/kmol].
+inline constexpr double NA = 6.02214076e26;
+
+/// Standard atmosphere [Pa].
+inline constexpr double p_atm = 101325.0;
+
+/// Reference pressure for equilibrium constants [Pa].
+inline constexpr double p_ref = 101325.0;
+
+/// Thermal energy conversion: 1 cal = 4.184 J (thermochemical calorie).
+inline constexpr double cal_to_J = 4.184;
+
+/// Gas constant in cal/(mol K), used to convert activation energies that
+/// are tabulated in cal/mol to the dimensionless Ea/Ru form.
+inline constexpr double Ru_cal = 1.98720425864083;
+
+/// cm^3/(mol s) -> m^3/(kmol s): 1e-6 m^3/cm^3 * 1e3 mol/kmol.
+inline constexpr double A_bimolecular_cgs_to_si = 1.0e-3;
+
+/// cm^6/(mol^2 s) -> m^6/(kmol^2 s).
+inline constexpr double A_termolecular_cgs_to_si = 1.0e-9;
+
+/// Angstrom -> meter.
+inline constexpr double angstrom = 1.0e-10;
+
+/// Debye -> C m (for dipole moments in transport data).
+inline constexpr double debye = 3.33564e-30;
+
+}  // namespace s3d::constants

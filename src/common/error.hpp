@@ -1,0 +1,46 @@
+#pragma once
+// Error handling for S3D++.
+//
+// The library throws s3d::Error (derived from std::runtime_error) for all
+// recoverable failures; S3D_REQUIRE is used for precondition checks on
+// public API boundaries, S3D_ASSERT for internal invariants (compiled out
+// in release builds only when S3DPP_NO_ASSERT is defined).
+
+#include <stdexcept>
+#include <string>
+
+namespace s3d {
+
+/// Exception type thrown by all S3D++ components.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail(const char* kind, const char* expr,
+                              const char* file, int line,
+                              const std::string& msg) {
+  throw Error(std::string(kind) + " failed: " + expr + " at " + file + ":" +
+              std::to_string(line) + (msg.empty() ? "" : (": " + msg)));
+}
+}  // namespace detail
+
+}  // namespace s3d
+
+#define S3D_REQUIRE(expr, msg)                                        \
+  do {                                                                \
+    if (!(expr))                                                      \
+      ::s3d::detail::fail("precondition", #expr, __FILE__, __LINE__,  \
+                          (msg));                                     \
+  } while (0)
+
+#ifdef S3DPP_NO_ASSERT
+#define S3D_ASSERT(expr) ((void)0)
+#else
+#define S3D_ASSERT(expr)                                                  \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::s3d::detail::fail("assertion", #expr, __FILE__, __LINE__, "");    \
+  } while (0)
+#endif

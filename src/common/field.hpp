@@ -1,0 +1,121 @@
+#pragma once
+// Dense multi-dimensional field containers for structured-grid data.
+//
+// Layout policy: Field3 stores a single scalar on an (nx, ny, nz) grid with
+// x fastest (unit stride in i), matching the stencil sweep direction so the
+// inner loops vectorize. Field4 stores nv scalars as an array-of-fields
+// (variable-major, i.e. SoA): component v is a contiguous Field3-shaped
+// block. This mirrors S3D's Fortran (i,j,k,v) layout.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace s3d {
+
+/// Index triple for structured grids.
+struct Index3 {
+  int i = 0, j = 0, k = 0;
+};
+
+/// A dense scalar field on an (nx, ny, nz) structured grid, x fastest.
+class Field3 {
+ public:
+  Field3() = default;
+
+  /// Construct an (nx, ny, nz) field initialized to `init`.
+  Field3(int nx, int ny, int nz, double init = 0.0)
+      : nx_(nx), ny_(ny), nz_(nz),
+        data_(static_cast<std::size_t>(nx) * ny * nz, init) {
+    S3D_REQUIRE(nx > 0 && ny > 0 && nz > 0, "field extents must be positive");
+  }
+
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  int nz() const { return nz_; }
+  std::size_t size() const { return data_.size(); }
+
+  /// Flat index of (i, j, k).
+  std::size_t idx(int i, int j, int k) const {
+    return static_cast<std::size_t>(k) * ny_ * nx_ +
+           static_cast<std::size_t>(j) * nx_ + i;
+  }
+
+  double& operator()(int i, int j, int k) { return data_[idx(i, j, k)]; }
+  double operator()(int i, int j, int k) const { return data_[idx(i, j, k)]; }
+
+  double& operator[](std::size_t n) { return data_[n]; }
+  double operator[](std::size_t n) const { return data_[n]; }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  std::span<double> span() { return {data_.data(), data_.size()}; }
+  std::span<const double> span() const { return {data_.data(), data_.size()}; }
+
+  /// Set every entry to `v`.
+  void fill(double v) { data_.assign(data_.size(), v); }
+
+ private:
+  int nx_ = 0, ny_ = 0, nz_ = 0;
+  std::vector<double> data_;
+};
+
+/// A dense vector field: nv scalar components on an (nx, ny, nz) grid,
+/// stored variable-major (component v is one contiguous scalar block).
+class Field4 {
+ public:
+  Field4() = default;
+
+  Field4(int nx, int ny, int nz, int nv, double init = 0.0)
+      : nx_(nx), ny_(ny), nz_(nz), nv_(nv),
+        stride_(static_cast<std::size_t>(nx) * ny * nz),
+        data_(stride_ * nv, init) {
+    S3D_REQUIRE(nx > 0 && ny > 0 && nz > 0 && nv > 0,
+                "field extents must be positive");
+  }
+
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  int nz() const { return nz_; }
+  int nv() const { return nv_; }
+  /// Number of grid points per component.
+  std::size_t points() const { return stride_; }
+  std::size_t size() const { return data_.size(); }
+
+  std::size_t idx(int i, int j, int k, int v) const {
+    return static_cast<std::size_t>(v) * stride_ +
+           static_cast<std::size_t>(k) * ny_ * nx_ +
+           static_cast<std::size_t>(j) * nx_ + i;
+  }
+
+  double& operator()(int i, int j, int k, int v) {
+    return data_[idx(i, j, k, v)];
+  }
+  double operator()(int i, int j, int k, int v) const {
+    return data_[idx(i, j, k, v)];
+  }
+
+  /// Contiguous view of one component.
+  std::span<double> comp(int v) {
+    S3D_ASSERT(v >= 0 && v < nv_);
+    return {data_.data() + static_cast<std::size_t>(v) * stride_, stride_};
+  }
+  std::span<const double> comp(int v) const {
+    S3D_ASSERT(v >= 0 && v < nv_);
+    return {data_.data() + static_cast<std::size_t>(v) * stride_, stride_};
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  void fill(double v) { data_.assign(data_.size(), v); }
+
+ private:
+  int nx_ = 0, ny_ = 0, nz_ = 0, nv_ = 0;
+  std::size_t stride_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace s3d

@@ -1,0 +1,44 @@
+#pragma once
+// Deterministic random number generation.
+//
+// All stochastic pieces of S3D++ (synthetic turbulence, workload generators,
+// failure injection) draw from an explicitly seeded Rng so every experiment
+// is reproducible bit-for-bit across runs.
+
+#include <cstdint>
+#include <random>
+
+namespace s3d {
+
+/// Seeded pseudo-random generator with convenience draws.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x53d0c0deULL) : eng_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(eng_);
+  }
+
+  /// Standard normal draw scaled to mean/stddev.
+  double normal(double mean = 0.0, double stddev = 1.0) {
+    return std::normal_distribution<double>(mean, stddev)(eng_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int uniform_int(int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(eng_);
+  }
+
+  /// Bernoulli draw with probability p of true.
+  bool bernoulli(double p) {
+    return std::bernoulli_distribution(p)(eng_);
+  }
+
+  std::mt19937_64& engine() { return eng_; }
+
+ private:
+  std::mt19937_64 eng_;
+};
+
+}  // namespace s3d

@@ -1,0 +1,32 @@
+#pragma once
+// Fixed-width text table printer used by the benchmark harness to emit
+// paper-style result tables on stdout.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace s3d {
+
+/// Accumulates rows of string cells and prints them as an aligned table.
+class Table {
+ public:
+  /// Create a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append one row; must have the same number of cells as there are
+  /// headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Format a double with `prec` significant-looking decimals.
+  static std::string num(double v, int prec = 4);
+
+  /// Render the table to `os` with column alignment and a header rule.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace s3d

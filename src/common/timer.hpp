@@ -1,0 +1,26 @@
+#pragma once
+// Wall-clock timing utilities.
+
+#include <chrono>
+
+namespace s3d {
+
+/// Simple monotonic stopwatch (seconds, double precision).
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace s3d

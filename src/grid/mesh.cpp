@@ -1,0 +1,123 @@
+#include "grid/mesh.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace s3d::grid {
+
+namespace {
+
+// Build coordinates and the d(xi)/dx metric for one axis. xi is the index
+// coordinate (0..n-1). For stretched axes, y(eta) with eta = i/(n-1):
+//   y = origin + L * (sinh(beta (2 eta - 1)) / sinh(beta) + 1) / 2
+// which clusters points near the axis centre for beta > 0.
+void build_axis(const AxisSpec& s, std::vector<double>& x,
+                std::vector<double>& inv) {
+  const int n = s.n;
+  x.resize(n);
+  inv.resize(n);
+  if (n == 1) {
+    x[0] = s.origin;
+    inv[0] = 0.0;  // inactive axis: derivatives vanish
+    return;
+  }
+  if (s.stretch <= 0.0) {
+    // Uniform. Periodic axes exclude the repeated endpoint: h = L/n;
+    // bounded axes include both endpoints: h = L/(n-1).
+    const double h = s.periodic ? s.length / n : s.length / (n - 1);
+    for (int i = 0; i < n; ++i) {
+      x[i] = s.origin + i * h;
+      inv[i] = 1.0 / h;
+    }
+    return;
+  }
+  S3D_REQUIRE(!s.periodic, "stretched periodic axes are not supported");
+  const double beta = s.stretch;
+  const double sb = std::sinh(beta);
+  for (int i = 0; i < n; ++i) {
+    const double eta = static_cast<double>(i) / (n - 1);
+    x[i] = s.origin + s.length * (std::sinh(beta * (2 * eta - 1)) / sb + 1.0) / 2.0;
+    // dy/deta = L * beta * cosh(beta(2 eta - 1)) / sinh(beta);
+    // d(xi)/dy = 1 / (dy/deta * deta/dxi), deta/dxi = 1/(n-1).
+    const double dyde = s.length * beta * std::cosh(beta * (2 * eta - 1)) / sb;
+    // Index-space step is d(eta) = 1/(n-1), so d(xi)/dy = (n-1)/(dy/deta).
+    inv[i] = (n - 1) / dyde;
+  }
+}
+
+}  // namespace
+
+Mesh::Mesh(AxisSpec x, AxisSpec y, AxisSpec z) : spec_{x, y, z} {
+  for (int a = 0; a < 3; ++a) {
+    S3D_REQUIRE(spec_[a].n >= 1, "axis needs at least one point");
+    S3D_REQUIRE(spec_[a].length > 0.0, "axis length must be positive");
+    build_axis(spec_[a], coords_[a], inv_spacing_[a]);
+  }
+}
+
+double Mesh::min_spacing(int axis) const {
+  if (!active(axis)) return std::numeric_limits<double>::infinity();
+  double h = std::numeric_limits<double>::infinity();
+  const auto& x = coords_[axis];
+  for (std::size_t i = 1; i < x.size(); ++i)
+    h = std::min(h, x[i] - x[i - 1]);
+  return h;
+}
+
+double Mesh::min_spacing() const {
+  double h = std::numeric_limits<double>::infinity();
+  for (int a = 0; a < 3; ++a)
+    if (active(a)) h = std::min(h, min_spacing(a));
+  return h;
+}
+
+Decomp::Decomp(int nx, int ny, int nz, int px, int py, int pz)
+    : n_{nx, ny, nz}, p_{px, py, pz} {
+  S3D_REQUIRE(px >= 1 && py >= 1 && pz >= 1, "process grid must be >= 1");
+  S3D_REQUIRE(nx >= px && ny >= py && nz >= pz,
+              "fewer grid points than processes along an axis");
+}
+
+std::array<int, 3> Decomp::coords_of(int rank) const {
+  S3D_REQUIRE(rank >= 0 && rank < nranks(), "rank out of range");
+  return {rank % p_[0], (rank / p_[0]) % p_[1], rank / (p_[0] * p_[1])};
+}
+
+int Decomp::rank_of(int cx, int cy, int cz) const {
+  if (cx < 0 || cx >= p_[0] || cy < 0 || cy >= p_[1] || cz < 0 ||
+      cz >= p_[2])
+    return -1;
+  return cx + p_[0] * (cy + p_[1] * cz);
+}
+
+std::pair<int, int> Decomp::local_range(int axis, int c) const {
+  const int n = n_[axis], p = p_[axis];
+  const int base = n / p, rem = n % p;
+  // First `rem` blocks get one extra point.
+  const int begin = c * base + std::min(c, rem);
+  const int len = base + (c < rem ? 1 : 0);
+  return {begin, begin + len};
+}
+
+std::array<int, 3> Decomp::local_extent(int rank) const {
+  const auto c = coords_of(rank);
+  std::array<int, 3> e;
+  for (int a = 0; a < 3; ++a) {
+    auto [b, ed] = local_range(a, c[a]);
+    e[a] = ed - b;
+  }
+  return e;
+}
+
+int Decomp::neighbor(int rank, int axis, int sign,
+                     const std::array<bool, 3>& periodic) const {
+  auto c = coords_of(rank);
+  c[axis] += sign;
+  if (periodic[axis]) {
+    c[axis] = (c[axis] + p_[axis]) % p_[axis];
+  }
+  return rank_of(c[0], c[1], c[2]);
+}
+
+}  // namespace s3d::grid

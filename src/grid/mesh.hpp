@@ -1,0 +1,96 @@
+#pragma once
+// Structured Cartesian meshes for 1/2/3-D domains, with the algebraically
+// stretched transverse axis the paper uses for its jet configurations
+// (sections 6.2, 7.2: uniform in x and z, stretched in y), and block
+// domain decomposition for parallel runs.
+
+#include <array>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace s3d::grid {
+
+/// One coordinate axis.
+struct AxisSpec {
+  int n = 1;              ///< number of grid points
+  double length = 1.0;    ///< domain extent [m]
+  bool periodic = false;
+  /// Algebraic stretching strength; 0 = uniform. Positive values cluster
+  /// points near the axis centre (sinh map), as used for the transverse
+  /// direction of slot-jet DNS.
+  double stretch = 0.0;
+  double origin = 0.0;    ///< coordinate of the first point
+};
+
+/// A structured (possibly stretched) Cartesian mesh. Axes with n == 1 are
+/// inactive: derivatives along them vanish, making 1-D and 2-D runs
+/// natural special cases of the 3-D solver.
+class Mesh {
+ public:
+  Mesh(AxisSpec x, AxisSpec y, AxisSpec z);
+
+  int nx() const { return spec_[0].n; }
+  int ny() const { return spec_[1].n; }
+  int nz() const { return spec_[2].n; }
+  std::size_t points() const {
+    return static_cast<std::size_t>(nx()) * ny() * nz();
+  }
+  bool active(int axis) const { return spec_[axis].n > 1; }
+  bool periodic(int axis) const { return spec_[axis].periodic; }
+  const AxisSpec& spec(int axis) const { return spec_[axis]; }
+
+  /// Node coordinate along `axis` at index i.
+  double coord(int axis, int i) const { return coords_[axis][i]; }
+  const std::vector<double>& coords(int axis) const { return coords_[axis]; }
+
+  /// Metric d(xi)/dx at node i (1/h for uniform axes); derivative stencils
+  /// computed in index space are multiplied by this to give physical
+  /// derivatives.
+  const std::vector<double>& inv_spacing(int axis) const {
+    return inv_spacing_[axis];
+  }
+
+  /// Smallest physical grid spacing of an axis (time-step estimates).
+  double min_spacing(int axis) const;
+
+  /// Smallest spacing over all active axes.
+  double min_spacing() const;
+
+ private:
+  std::array<AxisSpec, 3> spec_;
+  std::array<std::vector<double>, 3> coords_;
+  std::array<std::vector<double>, 3> inv_spacing_;
+};
+
+/// Block decomposition of a global mesh onto a (px, py, pz) process grid
+/// (paper section 2.6: 3-D domain decomposition, equal loads).
+class Decomp {
+ public:
+  Decomp(int nx, int ny, int nz, int px, int py, int pz);
+
+  int px() const { return p_[0]; }
+  int py() const { return p_[1]; }
+  int pz() const { return p_[2]; }
+  int nranks() const { return p_[0] * p_[1] * p_[2]; }
+
+  /// Process coordinates of `rank` (x fastest).
+  std::array<int, 3> coords_of(int rank) const;
+  /// Rank of process coordinates; -1 when out of range and not periodic.
+  int rank_of(int cx, int cy, int cz) const;
+
+  /// Local index range [begin, end) along `axis` for process coord c.
+  std::pair<int, int> local_range(int axis, int c) const;
+  /// Local extents of `rank`.
+  std::array<int, 3> local_extent(int rank) const;
+
+  /// Neighbour rank in direction axis/sign for `rank`; -1 at a physical
+  /// (non-periodic) boundary. Periodicity per axis supplied here.
+  int neighbor(int rank, int axis, int sign,
+               const std::array<bool, 3>& periodic) const;
+
+ private:
+  std::array<int, 3> n_, p_;
+};
+
+}  // namespace s3d::grid

@@ -1,0 +1,117 @@
+#include "iosim/simfs.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace s3d::iosim {
+
+FsParams lustre_like() {
+  FsParams p;
+  p.name = "lustre";
+  p.n_servers = 16;
+  p.stripe_size = 512 * 1024;
+  p.server_bw = 55e6;
+  p.request_latency = 0.8e-3;
+  p.lock_revoke = 40e-3;
+  p.mds_service = 2e-3;
+  return p;
+}
+
+FsParams gpfs_like() {
+  FsParams p;
+  p.name = "gpfs";
+  p.n_servers = 54;
+  p.stripe_size = 512 * 1024;
+  p.server_bw = 5.5e6;
+  p.request_latency = 3e-3;
+  p.lock_revoke = 30e-3;
+  p.mds_service = 30e-3;
+  return p;
+}
+
+int SimFS::open(const std::string& name, double now, double* done) {
+  if (server_free_.empty()) server_free_.assign(p_.n_servers, 0.0);
+  // MDS queue: opens serialize.
+  const double start = std::max(now, mds_free_);
+  mds_free_ = start + p_.mds_service;
+  if (done) *done = mds_free_;
+  drain_ = std::max(drain_, mds_free_);
+  ++stats_.n_opens;
+
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) return it->second;
+  files_.push_back(File{name, 0, {}, {}});
+  const int fd = static_cast<int>(files_.size()) - 1;
+  by_name_[name] = fd;
+  return fd;
+}
+
+double SimFS::write(int fd, int client, std::size_t offset, std::size_t len,
+                    double now, const std::uint8_t* data) {
+  S3D_REQUIRE(fd >= 0 && fd < static_cast<int>(files_.size()), "bad fd");
+  if (len == 0) return now;
+  File& f = files_[fd];
+
+  const std::size_t ss = p_.stripe_size;
+  const std::size_t s0 = offset / ss;
+  const std::size_t s1 = (offset + len - 1) / ss;
+  double done_all = now;
+
+  for (std::size_t s = s0; s <= s1; ++s) {
+    const std::size_t lo = std::max(offset, s * ss);
+    const std::size_t hi = std::min(offset + len, (s + 1) * ss);
+    const std::size_t bytes = hi - lo;
+    // Per-file starting-server offset (real filesystems rotate the first
+    // OST/NSD per file so concurrent files spread load).
+    const int srv = static_cast<int>(
+        (s + static_cast<std::size_t>(fd) * 2654435761u) % p_.n_servers);
+
+    double start = std::max(now, server_free_[srv]);
+    double extra = p_.request_latency;
+
+    auto& lock = f.stripe_lock[s];
+    const bool held_by_other = lock.second > 0.0 && lock.first != client;
+    if (held_by_other) {
+      // Wait for the holder, pay revocation; partial-stripe writes also
+      // read-modify-write the stripe.
+      ++stats_.n_lock_conflicts;
+      start = std::max(start, lock.second);
+      extra += p_.lock_revoke;
+      if (bytes < ss) {
+        extra += ss / p_.server_bw;  // RMW read
+        ++stats_.n_rmw;
+      }
+    }
+
+    const double done = start + extra + bytes / p_.server_bw;
+    server_free_[srv] = done;
+    lock = {client, done};
+    done_all = std::max(done_all, done);
+  }
+
+  if (p_.store_data) {
+    if (f.data.size() < offset + len) f.data.resize(offset + len, 0);
+    if (data) std::copy(data, data + len, f.data.begin() + offset);
+  }
+  f.size = std::max(f.size, offset + len);
+  stats_.bytes_written += len;
+  ++stats_.n_writes;
+  drain_ = std::max(drain_, done_all);
+  return done_all;
+}
+
+std::size_t SimFS::file_size(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? 0 : files_[it->second].size;
+}
+
+const std::vector<std::uint8_t>& SimFS::file_data(
+    const std::string& name) const {
+  auto it = by_name_.find(name);
+  S3D_REQUIRE(it != by_name_.end(), "no such file: " + name);
+  S3D_REQUIRE(p_.store_data, "SimFS was not storing data");
+  return files_[it->second].data;
+}
+
+}  // namespace s3d::iosim

@@ -1,0 +1,40 @@
+#include "iosim/workload.hpp"
+
+namespace s3d::iosim {
+
+void for_each_chunk(const CheckpointSpec& spec, int proc,
+                    const std::function<void(const Chunk&)>& fn) {
+  const int cx = proc % spec.px;
+  const int cy = (proc / spec.px) % spec.py;
+  const int cz = proc / (spec.px * spec.py);
+
+  const std::size_t gx = static_cast<std::size_t>(spec.nx) * spec.px;
+  const std::size_t gy = static_cast<std::size_t>(spec.ny) * spec.py;
+  const std::size_t gz = static_cast<std::size_t>(spec.nz) * spec.pz;
+  const std::size_t scalar = gx * gy * gz * spec.elem;
+
+  // Scalars in file order: mass[0..10], velocity[0..2], pressure, temp.
+  const int n_scalars = static_cast<int>(spec.var4_len[0] + spec.var4_len[1]) + 2;
+
+  const std::size_t x0 = static_cast<std::size_t>(cx) * spec.nx;
+  const std::size_t y0 = static_cast<std::size_t>(cy) * spec.ny;
+  const std::size_t z0 = static_cast<std::size_t>(cz) * spec.nz;
+  const std::size_t row = static_cast<std::size_t>(spec.nx) * spec.elem;
+
+  for (int v = 0; v < n_scalars; ++v) {
+    const std::size_t base = static_cast<std::size_t>(v) * scalar;
+    for (int k = 0; k < spec.nz; ++k) {
+      for (int j = 0; j < spec.ny; ++j) {
+        const std::size_t off =
+            base + (((z0 + k) * gy + (y0 + j)) * gx + x0) * spec.elem;
+        fn(Chunk{off, row});
+      }
+    }
+  }
+}
+
+void fill_expected(std::size_t offset, std::size_t len, std::uint8_t* out) {
+  for (std::size_t i = 0; i < len; ++i) out[i] = expected_byte(offset + i);
+}
+
+}  // namespace s3d::iosim

@@ -1,0 +1,62 @@
+#pragma once
+// The S3D-I/O checkpoint workload (paper section 5.3 and figure 8).
+//
+// Four global arrays are written per checkpoint in canonical (global,
+// x-fastest) order into one shared file:
+//   mass        4-D, 4th dimension length 11 (not partitioned),
+//   velocity    4-D, 4th dimension length 3,
+//   pressure    3-D,
+//   temperature 3-D.
+// The lowest X-Y-Z dimensions are block-block-block partitioned among the
+// processes. Every process therefore contributes many short contiguous
+// runs (one local x-row = nx_local * 8 bytes each), which is exactly the
+// unaligned access pattern whose lock behaviour section 5 studies.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace s3d::iosim {
+
+struct CheckpointSpec {
+  int nx = 50, ny = 50, nz = 50;  ///< local points per process per axis
+  int px = 2, py = 2, pz = 2;     ///< process grid
+  int nprocs() const { return px * py * pz; }
+  std::size_t elem = 8;           ///< bytes per value
+
+  std::size_t var4_len[2] = {11, 3};  ///< mass, velocity 4th-dim lengths
+
+  /// Bytes of one full 3-D global scalar.
+  std::size_t scalar_bytes() const {
+    return static_cast<std::size_t>(nx) * px * ny * py * nz * pz * elem;
+  }
+  /// Total checkpoint bytes (11 + 3 + 1 + 1 scalars).
+  std::size_t total_bytes() const { return scalar_bytes() * 16; }
+  /// Bytes contributed by each process.
+  std::size_t bytes_per_proc() const { return total_bytes() / nprocs(); }
+};
+
+/// One contiguous run of a process's data in the shared file.
+struct Chunk {
+  std::size_t offset;  ///< global file offset [bytes]
+  std::size_t len;     ///< length [bytes]
+};
+
+/// Invoke fn for every contiguous chunk owned by `proc`, in file order.
+void for_each_chunk(const CheckpointSpec& spec, int proc,
+                    const std::function<void(const Chunk&)>& fn);
+
+/// Deterministic file-content oracle: the byte every correct writer must
+/// place at global offset `o`.
+inline std::uint8_t expected_byte(std::size_t o) {
+  std::uint64_t x = o * 0x9E3779B97F4A7C15ull + 0x1234567ull;
+  x ^= x >> 29;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 32;
+  return static_cast<std::uint8_t>(x);
+}
+
+/// Fill `out` with the expected bytes for [offset, offset+len).
+void fill_expected(std::size_t offset, std::size_t len, std::uint8_t* out);
+
+}  // namespace s3d::iosim

@@ -1,0 +1,347 @@
+#include "iosim/writers.hpp"
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace s3d::iosim {
+
+namespace {
+
+std::string shared_name(int checkpoint) {
+  return "ckpt" + std::to_string(checkpoint) + ".field";
+}
+
+// Scratch buffer holding the expected bytes for a range (only when the
+// filesystem stores data).
+class ExpectedBuf {
+ public:
+  explicit ExpectedBuf(bool enabled) : enabled_(enabled) {}
+  const std::uint8_t* get(std::size_t offset, std::size_t len) {
+    if (!enabled_) return nullptr;
+    buf_.resize(len);
+    fill_expected(offset, len, buf_.data());
+    return buf_.data();
+  }
+
+ private:
+  bool enabled_;
+  std::vector<std::uint8_t> buf_;
+};
+
+// Asynchronous message to a peer's background I/O thread (the paper's
+// caching/write-behind designs run a service thread per process, so
+// receiving does NOT block the receiver's main progress). The sender pays
+// injection cost; `ready[dst]` records when the data has arrived.
+void post_msg(std::vector<double>& clock, std::vector<double>& ready,
+              const NetParams& net, int src, int dst, std::size_t bytes,
+              int n_msgs = 1) {
+  clock[src] += bytes / net.bw + n_msgs * net.latency;
+  ready[dst] = std::max(ready[dst], clock[src] + net.latency);
+}
+
+double sync_all(std::vector<double>& clock) {
+  const double t = *std::max_element(clock.begin(), clock.end());
+  std::fill(clock.begin(), clock.end(), t);
+  return t;
+}
+
+// Coalesced dirty extents per page, used by the aligned writers.
+struct PageExtents {
+  std::map<std::size_t, std::pair<std::size_t, std::size_t>> ext;  // page -> [lo,hi)
+  void add(std::size_t page_size, std::size_t offset, std::size_t len) {
+    std::size_t pos = offset;
+    const std::size_t end = offset + len;
+    while (pos < end) {
+      const std::size_t page = pos / page_size;
+      const std::size_t hi = std::min(end, (page + 1) * page_size);
+      auto it = ext.find(page);
+      if (it == ext.end()) {
+        ext[page] = {pos, hi};
+      } else {
+        it->second.first = std::min(it->second.first, pos);
+        it->second.second = std::max(it->second.second, hi);
+      }
+      pos = hi;
+    }
+  }
+};
+
+}  // namespace
+
+WriteResult write_fortran(SimFS& fs, const CheckpointSpec& spec,
+                          const NetParams& net, int checkpoint,
+                          double t_start) {
+  (void)net;
+  const int np = spec.nprocs();
+  std::vector<double> clock(np, t_start);
+  ExpectedBuf buf(fs.params().store_data);
+
+  // Open phase: every process opens its own file; the MDS serializes.
+  std::vector<int> fd(np);
+  for (int p = 0; p < np; ++p) {
+    double done = 0.0;
+    fd[p] = fs.open("ckpt" + std::to_string(checkpoint) + ".p" +
+                        std::to_string(p),
+                    clock[p], &done);
+    clock[p] = done;
+  }
+  const double open_end = sync_all(clock);
+
+  // Each process writes its local data contiguously into its private file:
+  // one request per scalar variable.
+  const std::size_t scalar_local =
+      static_cast<std::size_t>(spec.nx) * spec.ny * spec.nz * spec.elem;
+  const int n_scalars =
+      static_cast<int>(spec.var4_len[0] + spec.var4_len[1]) + 2;
+  for (int p = 0; p < np; ++p) {
+    // Gather this proc's global chunks so the stored private file can be
+    // validated against the oracle (content = concatenated chunks).
+    std::vector<std::uint8_t> local;
+    if (fs.params().store_data) {
+      local.reserve(spec.bytes_per_proc());
+      for_each_chunk(spec, p, [&](const Chunk& c) {
+        const std::size_t at = local.size();
+        local.resize(at + c.len);
+        fill_expected(c.offset, c.len, local.data() + at);
+      });
+    }
+    // Buffered (async) writes: submission is cheap; the file is durable
+    // only at close, so the process waits for its last completion then.
+    std::size_t pos = 0;
+    double done_p = clock[p];
+    for (int v = 0; v < n_scalars; ++v) {
+      const std::uint8_t* data =
+          fs.params().store_data ? local.data() + pos : nullptr;
+      done_p = std::max(done_p,
+                        fs.write(fd[p], p, pos, scalar_local, clock[p], data));
+      pos += scalar_local;
+    }
+    clock[p] = done_p;
+  }
+  const double end = sync_all(clock);
+
+  WriteResult r;
+  r.open_time = open_end - t_start;
+  r.write_time = end - open_end;
+  r.bytes = spec.total_bytes();
+  return r;
+}
+
+WriteResult write_native_collective(SimFS& fs, const CheckpointSpec& spec,
+                                    const NetParams& net, int checkpoint,
+                                    double t_start) {
+  const int np = spec.nprocs();
+  std::vector<double> clock(np, t_start);
+  ExpectedBuf buf(fs.params().store_data);
+
+  double done = 0.0;
+  const int fd = fs.open(shared_name(checkpoint), clock[0], &done);
+  // A shared-file open is one collective open: everyone waits for it.
+  std::fill(clock.begin(), clock.end(), done);
+  const double open_end = done;
+
+  // One two-phase collective write per scalar variable. The accessed
+  // region is split into nprocs equal contiguous file domains that do NOT
+  // respect stripe boundaries (the paper's unaligned case).
+  const std::size_t scalar = spec.scalar_bytes();
+  const int n_scalars =
+      static_cast<int>(spec.var4_len[0] + spec.var4_len[1]) + 2;
+  for (int v = 0; v < n_scalars; ++v) {
+    // Exchange phase: each proc redistributes its ~scalar/np bytes; nearly
+    // all of it goes to other ranks.
+    const std::size_t to_send = scalar / np;
+    for (int p = 0; p < np; ++p)
+      clock[p] += to_send / net.bw + (np > 1 ? (np - 1) : 0) * net.latency;
+    sync_all(clock);
+
+    // Write phase: aggregator p owns [base + p*domain, base + (p+1)*domain)
+    // and writes it in collective-buffer-sized requests.
+    const std::size_t base = static_cast<std::size_t>(v) * scalar;
+    const std::size_t domain = scalar / np;
+    for (int p = 0; p < np; ++p) {
+      const std::size_t lo = base + p * domain;
+      const std::size_t hi = (p == np - 1) ? base + scalar : lo + domain;
+      std::size_t pos = lo;
+      while (pos < hi) {
+        const std::size_t len = std::min(kCollBuffer, hi - pos);
+        clock[p] = fs.write(fd, p, pos, len, clock[p], buf.get(pos, len));
+        pos += len;
+      }
+    }
+    sync_all(clock);
+  }
+  const double end = sync_all(clock);
+
+  WriteResult r;
+  r.open_time = open_end - t_start;
+  r.write_time = end - open_end;
+  r.bytes = spec.total_bytes();
+  return r;
+}
+
+WriteResult write_mpiio_caching(SimFS& fs, const CheckpointSpec& spec,
+                                const NetParams& net, int checkpoint,
+                                double t_start) {
+  const int np = spec.nprocs();
+  std::vector<double> clock(np, t_start);
+  ExpectedBuf buf(fs.params().store_data);
+  const std::size_t page = fs.params().stripe_size;
+
+  double done = 0.0;
+  const int fd = fs.open(shared_name(checkpoint), clock[0], &done);
+  std::fill(clock.begin(), clock.end(), done);
+  const double open_end = done;
+
+  // Cache state: page -> owner (first process to touch it, paper sec 5.1),
+  // and per-owner dirty extents.
+  std::map<std::size_t, int> owner;
+  std::vector<PageExtents> dirty(np);
+  std::vector<double> ready(np, 0.0);
+  // Track which (proc, page) pairs already paid the metadata lock
+  // round-trip; later accesses hit the cached metadata.
+  std::map<std::size_t, std::vector<bool>> metadata_seen;
+
+  // Each variable is one MPI-I/O request per process (S3D writes each
+  // variable with a single collective call over a derived datatype), so
+  // the caching layer forwards remote-page data in per-(request, page)
+  // batches, not per row. Process variables in order with the processes
+  // interleaved to emulate concurrent first-touch.
+  std::vector<std::vector<Chunk>> chunks(np);
+  for (int p = 0; p < np; ++p)
+    for_each_chunk(spec, p, [&](const Chunk& c) { chunks[p].push_back(c); });
+  const std::size_t chunks_per_var =
+      static_cast<std::size_t>(spec.ny) * spec.nz;
+  const int n_vars =
+      static_cast<int>(spec.var4_len[0] + spec.var4_len[1]) + 2;
+
+  for (int v = 0; v < n_vars; ++v) {
+    // First touch / ownership resolution for this request wave.
+    std::vector<std::map<std::size_t, std::size_t>> remote_bytes(np);
+    for (std::size_t ci = v * chunks_per_var; ci < (v + 1) * chunks_per_var;
+         ++ci) {
+      for (int p = 0; p < np; ++p) {
+        const Chunk& c = chunks[p][ci];
+        std::size_t pos = c.offset;
+        const std::size_t end = c.offset + c.len;
+        while (pos < end) {
+          const std::size_t pg = pos / page;
+          const std::size_t hi = std::min(end, (pg + 1) * page);
+          auto& seen = metadata_seen[pg];
+          if (seen.empty()) seen.assign(np, false);
+          if (!seen[p]) {
+            // Metadata lock round-trip to the round-robin holder's I/O
+            // thread: two message latencies on the requester.
+            clock[p] += 2 * net.latency;
+            seen[p] = true;
+          }
+          auto it = owner.find(pg);
+          if (it == owner.end()) {
+            owner[pg] = p;  // first touch: cache locally
+            dirty[p].add(page, pos, hi - pos);
+          } else if (it->second == p) {
+            dirty[p].add(page, pos, hi - pos);  // local cache hit
+          } else {
+            remote_bytes[p][pg] += hi - pos;
+            dirty[it->second].add(page, pos, hi - pos);
+          }
+          pos = hi;
+        }
+      }
+    }
+    // Ship this request's remote-page batches.
+    for (int p = 0; p < np; ++p)
+      for (const auto& [pg, bytes] : remote_bytes[p])
+        post_msg(clock, ready, net, p, static_cast<int>(owner[pg]), bytes);
+  }
+
+  // Close: each owner flushes its dirty pages once its forwarded data has
+  // arrived; flushes are pipelined (async submit, wait for the last).
+  for (int p = 0; p < np; ++p) {
+    clock[p] = std::max(clock[p], ready[p]);
+    double done_p = clock[p];
+    for (const auto& [pg, ext] : dirty[p].ext) {
+      const std::size_t len = ext.second - ext.first;
+      done_p = std::max(done_p, fs.write(fd, p, ext.first, len, clock[p],
+                                         buf.get(ext.first, len)));
+    }
+    clock[p] = done_p;
+  }
+  const double end = sync_all(clock);
+
+  WriteResult r;
+  r.open_time = open_end - t_start;
+  r.write_time = end - open_end;
+  r.bytes = spec.total_bytes();
+  return r;
+}
+
+WriteResult write_write_behind(SimFS& fs, const CheckpointSpec& spec,
+                               const NetParams& net, int checkpoint,
+                               double t_start) {
+  const int np = spec.nprocs();
+  std::vector<double> clock(np, t_start);
+  ExpectedBuf buf(fs.params().store_data);
+  const std::size_t page = fs.params().stripe_size;
+
+  double done = 0.0;
+  const int fd = fs.open(shared_name(checkpoint), clock[0], &done);
+  std::fill(clock.begin(), clock.end(), done);
+  const double open_end = done;
+
+  // Static round-robin page ownership; per-destination 64 kB sub-buffers.
+  std::vector<PageExtents> global_buf(np);
+  std::vector<double> ready(np, 0.0);
+  std::vector<std::vector<std::size_t>> sub_fill(
+      np, std::vector<std::size_t>(np, 0));
+
+  for (int p = 0; p < np; ++p) {
+    for_each_chunk(spec, p, [&](const Chunk& c) {
+      std::size_t pos = c.offset;
+      const std::size_t end = c.offset + c.len;
+      while (pos < end) {
+        const std::size_t pg = pos / page;
+        const std::size_t hi = std::min(end, (pg + 1) * page);
+        const int own = static_cast<int>(pg % np);
+        const std::size_t bytes = hi - pos;
+        global_buf[own].add(page, pos, bytes);
+        if (own != p) {
+          sub_fill[p][own] += bytes + 16;  // offset-length header
+          if (sub_fill[p][own] >= kSubBuffer) {
+            post_msg(clock, ready, net, p, own, sub_fill[p][own]);
+            sub_fill[p][own] = 0;
+          }
+        }
+        pos = hi;
+      }
+    });
+  }
+  // Flush the partial sub-buffers.
+  for (int p = 0; p < np; ++p)
+    for (int d = 0; d < np; ++d)
+      if (sub_fill[p][d] > 0) post_msg(clock, ready, net, p, d, sub_fill[p][d]);
+
+  // Page owners write their global pages (aligned) once data arrived;
+  // pipelined like the caching flush.
+  for (int p = 0; p < np; ++p) {
+    clock[p] = std::max(clock[p], ready[p]);
+    double done_p = clock[p];
+    for (const auto& [pg, ext] : global_buf[p].ext) {
+      const std::size_t len = ext.second - ext.first;
+      done_p = std::max(done_p, fs.write(fd, p, ext.first, len, clock[p],
+                                         buf.get(ext.first, len)));
+    }
+    clock[p] = done_p;
+  }
+  const double end = sync_all(clock);
+
+  WriteResult r;
+  r.open_time = open_end - t_start;
+  r.write_time = end - open_end;
+  r.bytes = spec.total_bytes();
+  return r;
+}
+
+}  // namespace s3d::iosim

@@ -1,0 +1,66 @@
+#pragma once
+// The four checkpoint-writing strategies compared in the paper's fig. 9,
+// implemented over the simulated filesystem and a simple network model:
+//
+//   write_fortran           -- original S3D Fortran I/O: one private file
+//                              per process per checkpoint (no sharing, but
+//                              nprocs opens serialized at the MDS);
+//   write_native_collective -- ROMIO-style two-phase collective I/O on a
+//                              shared file, one collective write per
+//                              variable; file domains are NOT aligned with
+//                              stripe boundaries, so neighbouring
+//                              aggregators false-share boundary stripes;
+//   write_mpiio_caching     -- the paper's MPI-I/O caching layer (section
+//                              5.1): stripe-aligned cache pages, at most
+//                              one cached copy, metadata distributed
+//                              round-robin with distributed locking,
+//                              flush-on-close with aligned page writes;
+//   write_write_behind      -- the two-stage write-behind scheme (section
+//                              5.2): per-destination 64 kB local
+//                              sub-buffers flushed to statically
+//                              round-robin-assigned page owners, aligned
+//                              page writes at close.
+
+#include "iosim/simfs.hpp"
+#include "iosim/workload.hpp"
+
+namespace s3d::iosim {
+
+/// Interconnect model for inter-process data movement.
+struct NetParams {
+  double bw = 100e6;     ///< bytes/s per process (GigE-like)
+  double latency = 8e-5; ///< per message [s]
+};
+
+/// Timing of one checkpoint write.
+struct WriteResult {
+  double open_time = 0.0;   ///< file-open phase [s]
+  double write_time = 0.0;  ///< data phase (comm + I/O) [s]
+  std::size_t bytes = 0;
+  double bandwidth() const {
+    return write_time > 0.0 ? bytes / write_time : 0.0;
+  }
+};
+
+/// First-stage sub-buffer size of the write-behind scheme (paper: 64 kB).
+inline constexpr std::size_t kSubBuffer = 64 * 1024;
+/// Two-phase collective buffer size per aggregator round.
+inline constexpr std::size_t kCollBuffer = 4 * 1024 * 1024;
+
+WriteResult write_fortran(SimFS& fs, const CheckpointSpec& spec,
+                          const NetParams& net, int checkpoint,
+                          double t_start);
+
+WriteResult write_native_collective(SimFS& fs, const CheckpointSpec& spec,
+                                    const NetParams& net, int checkpoint,
+                                    double t_start);
+
+WriteResult write_mpiio_caching(SimFS& fs, const CheckpointSpec& spec,
+                                const NetParams& net, int checkpoint,
+                                double t_start);
+
+WriteResult write_write_behind(SimFS& fs, const CheckpointSpec& spec,
+                               const NetParams& net, int checkpoint,
+                               double t_start);
+
+}  // namespace s3d::iosim

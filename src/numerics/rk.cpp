@@ -1,0 +1,55 @@
+#include "numerics/rk.hpp"
+
+namespace s3d::numerics {
+
+const RkScheme& rk_carpenter_kennedy4() {
+  static const RkScheme s{
+      "carpenter-kennedy-4",
+      4,
+      {0.0, -567301805773.0 / 1357537059087.0,
+       -2404267990393.0 / 2016746695238.0,
+       -3550918686646.0 / 2091501179385.0,
+       -1275806237668.0 / 842570457699.0},
+      {1432997174477.0 / 9575080441755.0, 5161836677717.0 / 13612068292357.0,
+       1720146321549.0 / 2090206949498.0, 3134564353537.0 / 4481467310338.0,
+       2277821191437.0 / 14882151754819.0},
+      {0.0, 1432997174477.0 / 9575080441755.0,
+       2526269341429.0 / 6820363962896.0, 2006345519317.0 / 3224310063776.0,
+       2802321613138.0 / 2924317926251.0}};
+  return s;
+}
+
+const RkScheme& rk_williamson3() {
+  static const RkScheme s{"williamson-3",
+                          3,
+                          {0.0, -5.0 / 9.0, -153.0 / 128.0},
+                          {1.0 / 3.0, 15.0 / 16.0, 8.0 / 15.0},
+                          {0.0, 1.0 / 3.0, 3.0 / 4.0}};
+  return s;
+}
+
+const RkScheme& rk_euler() {
+  static const RkScheme s{"euler", 1, {0.0}, {1.0}, {0.0}};
+  return s;
+}
+
+void LowStorageRk::step(std::span<double> u, double t, double dt,
+                        const Rhs& rhs) {
+  const std::size_t n = u.size();
+  if (k_.size() != n) {
+    k_.assign(n, 0.0);
+    du_.assign(n, 0.0);
+  }
+  for (double& v : k_) v = 0.0;
+  for (int s = 0; s < scheme_.stages(); ++s) {
+    rhs({u.data(), n}, t + scheme_.C[s] * dt, {du_.data(), n});
+    const double A = scheme_.A[s];
+    const double B = scheme_.B[s];
+    for (std::size_t i = 0; i < n; ++i) {
+      k_[i] = A * k_[i] + dt * du_[i];
+      u[i] += B * k_[i];
+    }
+  }
+}
+
+}  // namespace s3d::numerics

@@ -1,0 +1,60 @@
+#pragma once
+// Low-storage (2N-register) explicit Runge-Kutta time integration.
+//
+// The paper (section 2.6) advances S3D with a six-stage fourth-order
+// explicit RK of Kennedy & Carpenter. We implement the same 2N-register
+// family; the shipped fourth-order coefficient set is the five-stage
+// Carpenter-Kennedy (1994) scheme (see DESIGN.md substitution note), plus
+// classic RK4 coefficients expressed in 2N form for testing and forward
+// Euler as a baseline.
+//
+// Update per stage s:  k <- A[s] k + dt f(u);  u <- u + B[s] k.
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace s3d::numerics {
+
+/// A 2N-storage ERK coefficient set.
+struct RkScheme {
+  std::string name;
+  int order = 0;
+  std::vector<double> A;  ///< per-stage k-recurrence coefficient (A[0] = 0)
+  std::vector<double> B;  ///< per-stage solution increment coefficient
+  std::vector<double> C;  ///< stage times (for time-dependent forcing)
+  int stages() const { return static_cast<int>(A.size()); }
+};
+
+/// Five-stage fourth-order Carpenter-Kennedy (1994) 2N scheme; S3D's
+/// integrator family.
+const RkScheme& rk_carpenter_kennedy4();
+
+/// Three-stage third-order Williamson (1980) 2N scheme.
+const RkScheme& rk_williamson3();
+
+/// Forward Euler in 2N form (testing baseline).
+const RkScheme& rk_euler();
+
+/// Integrates du/dt = f(u, t) for flat state vectors with a 2N-register
+/// footprint: the state `u` plus one scratch register of the same size.
+class LowStorageRk {
+ public:
+  /// RHS callback: fills dudt from (u, t). Must not alias u.
+  using Rhs = std::function<void(std::span<const double> u, double t,
+                                 std::span<double> dudt)>;
+
+  explicit LowStorageRk(const RkScheme& scheme) : scheme_(scheme) {}
+
+  const RkScheme& scheme() const { return scheme_; }
+
+  /// Advance `u` in place by one step dt starting at time t.
+  void step(std::span<double> u, double t, double dt, const Rhs& rhs);
+
+ private:
+  RkScheme scheme_;
+  std::vector<double> k_, du_;
+};
+
+}  // namespace s3d::numerics

@@ -1,0 +1,63 @@
+#pragma once
+// High-order finite-difference operators (paper section 2.6):
+//   - 8th-order central first derivative (9-point stencil),
+//   - reduced-order one-sided/narrow closures at non-periodic boundaries,
+//   - 10th-order explicit low-pass filter (11-point stencil) to remove
+//     spurious high-frequency content.
+//
+// Data model: every line carries `ng = 4` ghost points on each side. When a
+// boundary is "ghosted" (periodic wrap or a parallel neighbour filled it),
+// the full central stencil is used up to the edge; otherwise the operators
+// fall back to one-sided/narrower closures that only read interior data.
+
+#include <cstddef>
+
+namespace s3d::numerics {
+
+/// Ghost-layer width required by the 9-point derivative stencil.
+inline constexpr int kGhost = 4;
+/// Ghost width needed by the 11-point filter.
+inline constexpr int kGhostFilter = 5;
+
+/// Whether a line endpoint has valid ghost data beyond it.
+struct LineBC {
+  bool ghost_lo = false;
+  bool ghost_hi = false;
+};
+
+/// First derivative along a strided line.
+///
+/// `f` points at the first *interior* sample; samples are at
+/// f[(i) * stride] for i in [-ng, n-1+ng] where the ghost range is only
+/// read on sides with ghost data. `df[i * dstride]` receives the
+/// derivative scaled by `inv_h` (uniform grid) for i in [0, n).
+void deriv_line(const double* f, std::ptrdiff_t stride, double* df,
+                std::ptrdiff_t dstride, int n, double inv_h, LineBC bc);
+
+/// First derivative with a per-point metric (stretched grids):
+/// df[i] = (dfdxi at i) * inv_h[i].
+void deriv_line_metric(const double* f, std::ptrdiff_t stride, double* df,
+                       std::ptrdiff_t dstride, int n, const double* inv_h,
+                       LineBC bc);
+
+/// 10th-order filter along a strided line, in place semantics via separate
+/// output: out[i] = f[i] - (alpha/1024) * (10th binomial difference).
+/// `alpha` in (0, 1]; 1 is the paper's full-strength filter. Points whose
+/// stencil would leave the interior on a non-ghosted side are passed
+/// through with symmetric lower-order filters (down to no filtering at the
+/// last interior point).
+void filter_line(const double* f, std::ptrdiff_t stride, double* out,
+                 std::ptrdiff_t ostride, int n, double alpha, LineBC bc);
+
+/// 6th-order one-sided first derivative (index space) at f[0], reading the
+/// seven samples f[0], f[sign*stride], ..., f[6*sign*stride]. Used by the
+/// NSCBC boundary treatment. Multiply by the metric and by `sign` to get a
+/// physical derivative along +axis.
+double one_sided_deriv(const double* f, std::ptrdiff_t stride, int sign);
+
+/// Damping factor of the interior filter at normalized wavenumber
+/// theta = k*h in [0, pi]: transfer(theta) = 1 - alpha * sin^10(theta/2)...
+/// returned exactly as implemented (used by tests).
+double filter_transfer(double theta, double alpha);
+
+}  // namespace s3d::numerics

@@ -1,0 +1,172 @@
+#include "perf/kernels.hpp"
+
+#include <cmath>
+
+namespace s3d::perf {
+
+void DiffFluxArrays::init(int n_grid, int n_species) {
+  n = n_grid;
+  nsp = n_species;
+  const std::size_t np = pts();
+  auto fill = [&](std::vector<double>& v, std::size_t count, double phase) {
+    v.resize(count);
+    for (std::size_t i = 0; i < count; ++i)
+      v[i] = 1.0 + 0.3 * std::sin(1e-3 * static_cast<double>(i) + phase);
+  };
+  fill(rho, np, 0.1);
+  fill(mixMW, np, 0.2);
+  for (int m = 0; m < 3; ++m) {
+    fill(p_grad[m], np, 0.3 + m);
+    fill(mixMW_grad[m], np, 0.4 + m);
+    diffFlux[m].assign(np * nsp, 0.0);
+  }
+  fill(Ys, np * nsp, 0.5);
+  fill(Ds, np * nsp, 0.6);
+  for (int m = 0; m < 3; ++m) fill(grad_Ys[m], np * nsp, 0.7 + m);
+}
+
+// --- naive: one full-grid sweep per Fortran-90 array statement ---
+
+void run_naive(DiffFluxArrays& a, const DiffFluxSwitches& sw) {
+  const std::size_t np = a.pts();
+  std::vector<double> tmp(np);  // the compiler's scalarization temporary
+
+  for (int m = 0; m < 3; ++m) {
+    double* fluxN = a.diffFlux[m].data() + np * (a.nsp - 1);
+    for (std::size_t i = 0; i < np; ++i) fluxN[i] = 0.0;
+
+    for (int n = 0; n < a.nsp - 1; ++n) {
+      const double* ys = a.Ys.data() + np * n;
+      const double* ds = a.Ds.data() + np * n;
+      const double* gys = a.grad_Ys[m].data() + np * n;
+      double* flux = a.diffFlux[m].data() + np * n;
+
+      // stmt 1: tmp = grad_Ys(:,:,:,n,m)
+      for (std::size_t i = 0; i < np; ++i) tmp[i] = gys[i];
+      // stmt 2: tmp = tmp + Ys*grad(mixMW)/mixMW
+      for (std::size_t i = 0; i < np; ++i)
+        tmp[i] += ys[i] * a.mixMW_grad[m][i] / a.mixMW[i];
+      // stmt 3: diffFlux = -rho*Ds*tmp
+      for (std::size_t i = 0; i < np; ++i)
+        flux[i] = -a.rho[i] * ds[i] * tmp[i];
+      // conditionals evaluated inside the nest, each its own sweep
+      if (sw.baro) {
+        for (std::size_t i = 0; i < np; ++i)
+          flux[i] -= a.rho[i] * ds[i] * ys[i] * a.p_grad[m][i];
+      }
+      if (sw.therm_diff) {
+        for (std::size_t i = 0; i < np; ++i)
+          flux[i] -= 0.5 * ds[i] * ys[i] * a.p_grad[m][i];
+      }
+      // stmt 4: last species balances the sum (eq. 15)
+      for (std::size_t i = 0; i < np; ++i) fluxN[i] -= flux[i];
+    }
+  }
+}
+
+// --- optimized: unswitched + scalarized + fused + unroll-and-jam ---
+//
+// Mirrors fig. 5's transformed structure: the conditionals are unswitched
+// into four customized nests (here: template instantiations), the array
+// statements are scalarized and fused into one sweep, the SPECIES loop is
+// unrolled-and-jammed by 2 ("n=1,nspec-2,2" in the figure) with a peeled
+// remainder, and the DIRECTION loop is fully unrolled inside the sweep so
+// rho, 1/mixMW and the per-direction gradients are loaded once and reused
+// from registers.
+
+namespace {
+
+template <bool Baro, bool Therm>
+void optimized_impl(DiffFluxArrays& a) {
+  const std::size_t np = a.pts();
+  const int nsp1 = a.nsp - 1;
+
+  for (int m = 0; m < 3; ++m) {
+    double* fN = a.diffFlux[m].data() + np * (a.nsp - 1);
+    for (std::size_t i = 0; i < np; ++i) fN[i] = 0.0;
+  }
+
+  for (int n = 0; n < nsp1; n += 2) {
+    const bool pair = n + 1 < nsp1;
+    const double* ys0 = a.Ys.data() + np * n;
+    const double* ds0 = a.Ds.data() + np * n;
+    const double* ys1 = a.Ys.data() + np * (n + 1);
+    const double* ds1 = a.Ds.data() + np * (n + 1);
+    const double* g0[3] = {a.grad_Ys[0].data() + np * n,
+                           a.grad_Ys[1].data() + np * n,
+                           a.grad_Ys[2].data() + np * n};
+    const double* g1[3] = {a.grad_Ys[0].data() + np * (n + 1),
+                           a.grad_Ys[1].data() + np * (n + 1),
+                           a.grad_Ys[2].data() + np * (n + 1)};
+    double* f0[3] = {a.diffFlux[0].data() + np * n,
+                     a.diffFlux[1].data() + np * n,
+                     a.diffFlux[2].data() + np * n};
+    double* f1[3] = {a.diffFlux[0].data() + np * (n + 1),
+                     a.diffFlux[1].data() + np * (n + 1),
+                     a.diffFlux[2].data() + np * (n + 1)};
+    double* fN[3] = {a.diffFlux[0].data() + np * nsp1,
+                     a.diffFlux[1].data() + np * nsp1,
+                     a.diffFlux[2].data() + np * nsp1};
+
+    if (pair) {
+      for (std::size_t i = 0; i < np; ++i) {
+        const double inv = 1.0 / a.mixMW[i];
+        const double r = a.rho[i];
+        const double rd0 = r * ds0[i], y0 = ys0[i];
+        const double rd1 = r * ds1[i], y1 = ys1[i];
+        for (int m = 0; m < 3; ++m) {  // fully unrolled by the compiler
+          const double gw = a.mixMW_grad[m][i] * inv;
+          double fa = -rd0 * (g0[m][i] + y0 * gw);
+          double fb = -rd1 * (g1[m][i] + y1 * gw);
+          if constexpr (Baro) {
+            const double gp = a.p_grad[m][i];
+            fa -= rd0 * y0 * gp;
+            fb -= rd1 * y1 * gp;
+          }
+          if constexpr (Therm) {
+            const double gp = a.p_grad[m][i];
+            fa -= 0.5 * ds0[i] * y0 * gp;
+            fb -= 0.5 * ds1[i] * y1 * gp;
+          }
+          f0[m][i] = fa;
+          f1[m][i] = fb;
+          fN[m][i] -= fa + fb;
+        }
+      }
+    } else {
+      // Peeled remainder iteration (even nsp: one species left over).
+      for (std::size_t i = 0; i < np; ++i) {
+        const double inv = 1.0 / a.mixMW[i];
+        const double rd0 = a.rho[i] * ds0[i], y0 = ys0[i];
+        for (int m = 0; m < 3; ++m) {
+          const double gw = a.mixMW_grad[m][i] * inv;
+          double fa = -rd0 * (g0[m][i] + y0 * gw);
+          if constexpr (Baro) fa -= rd0 * y0 * a.p_grad[m][i];
+          if constexpr (Therm) fa -= 0.5 * ds0[i] * y0 * a.p_grad[m][i];
+          f0[m][i] = fa;
+          fN[m][i] -= fa;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void run_optimized(DiffFluxArrays& a, const DiffFluxSwitches& sw) {
+  // Loop unswitching: one customized nest per switch combination.
+  if (sw.baro && sw.therm_diff) return optimized_impl<true, true>(a);
+  if (sw.baro) return optimized_impl<true, false>(a);
+  if (sw.therm_diff) return optimized_impl<false, true>(a);
+  return optimized_impl<false, false>(a);
+}
+
+double checksum(const DiffFluxArrays& a) {
+  double s = 0.0;
+  for (int m = 0; m < 3; ++m)
+    for (std::size_t i = 0; i < a.diffFlux[m].size(); ++i)
+      s += a.diffFlux[m][i] * (1.0 + (i % 7));
+  return s;
+}
+
+}  // namespace s3d::perf

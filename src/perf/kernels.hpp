@@ -1,0 +1,56 @@
+#pragma once
+// The diffusive-flux loop nest of paper fig. 4, in two forms:
+//
+//   run_naive      -- the code as "naturally written" in Fortran-90 array
+//                     syntax: every array statement is its own sweep over
+//                     the 3-D grid with materialized temporaries, and the
+//                     barodiffusion / thermal-diffusion conditionals sit
+//                     inside the DIRECTION x SPECIES loops. Each sweep
+//                     evicts the previous one's data from cache, so the
+//                     kernel is memory-bandwidth bound (the paper measured
+//                     4% of peak).
+//   run_optimized  -- the LoopTool-transformed version of fig. 5:
+//                     conditionals unswitched out of the loop nest, the
+//                     array statements scalarized and fused into a single
+//                     triple loop, the DIRECTION loop fully unrolled (3x)
+//                     and the SPECIES loop unrolled-and-jammed by 2, so
+//                     every loaded value is reused while in register/cache.
+//
+// Both forms compute identical values (tests compare checksums); the
+// benchmark measures the speedup (paper: 2.94x on a Cray XD1).
+
+#include <cstddef>
+#include <vector>
+
+namespace s3d::perf {
+
+/// Inputs/outputs of the diffusive-flux computation on an n^3 grid with
+/// `nsp` species: diffFlux(:,:,:,n,m) for m = 0..2 directions.
+struct DiffFluxArrays {
+  int n = 50;
+  int nsp = 9;
+  std::size_t pts() const { return static_cast<std::size_t>(n) * n * n; }
+
+  // Inputs (SoA: [species or direction][point]).
+  std::vector<double> rho, mixMW, p_grad[3], mixMW_grad[3];
+  std::vector<double> Ys, Ds, grad_Ys[3];  // [n * pts] species-major
+  // Output: [m][n * pts].
+  std::vector<double> diffFlux[3];
+
+  /// Allocate and fill with a deterministic smooth pattern.
+  void init(int n_grid, int n_species);
+};
+
+/// Flags matching fig. 4's BARO_SWITCH and THERMDIFF_SWITCH conditionals.
+struct DiffFluxSwitches {
+  bool baro = false;
+  bool therm_diff = false;
+};
+
+void run_naive(DiffFluxArrays& a, const DiffFluxSwitches& sw);
+void run_optimized(DiffFluxArrays& a, const DiffFluxSwitches& sw);
+
+/// Checksum of the output (for the equality tests).
+double checksum(const DiffFluxArrays& a);
+
+}  // namespace s3d::perf

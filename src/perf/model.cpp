@@ -1,0 +1,83 @@
+#include "perf/model.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace s3d::perf {
+
+ClusterModel::ClusterModel(std::vector<KernelShare> kernels,
+                           double anchor_cost, NodeClass anchor)
+    : kernels_(std::move(kernels)),
+      anchor_cost_(anchor_cost),
+      anchor_(std::move(anchor)) {
+  S3D_REQUIRE(!kernels_.empty() && anchor_cost > 0.0, "bad model inputs");
+  total_measured_ = 0.0;
+  for (const auto& k : kernels_) {
+    S3D_REQUIRE(k.mem_fraction >= 0.0 && k.mem_fraction <= 1.0,
+                "mem_fraction out of range for " + k.name);
+    total_measured_ += k.seconds;
+  }
+  S3D_REQUIRE(total_measured_ > 0.0, "kernel shares sum to zero");
+}
+
+double ClusterModel::mem_fraction() const {
+  double f = 0.0;
+  for (const auto& k : kernels_)
+    f += k.seconds / total_measured_ * k.mem_fraction;
+  return f;
+}
+
+double ClusterModel::cost(const NodeClass& nc) const {
+  // CPU part identical across classes; memory part scales inversely with
+  // bandwidth relative to the anchor class.
+  const double f = mem_fraction();
+  const double scale = (1.0 - f) + f * anchor_.mem_bw / nc.mem_bw;
+  return anchor_cost_ * scale;
+}
+
+double ClusterModel::hybrid_cost(double frac_xt4) const {
+  if (frac_xt4 >= 1.0) return cost(xt4());
+  if (frac_xt4 <= 0.0) return cost(xt3());
+  // Per-step ghost-exchange sync: everyone runs at the slow class's pace.
+  return std::max(cost(xt3()), cost(xt4()));
+}
+
+double ClusterModel::balanced_cost(double frac_xt4, double xt3_shrink) const {
+  const double c4 = cost(xt4());
+  // Points processed per core-step: XT4 full block (1), XT3 shrunk block.
+  // The shrink is chosen so wall time matches; average cost per point is
+  // wall time / average points.
+  const double avg_points = frac_xt4 * 1.0 + (1.0 - frac_xt4) * xt3_shrink;
+  return c4 / avg_points;
+}
+
+std::vector<ClusterModel::KernelTime> ClusterModel::kernel_breakdown(
+    const NodeClass& nc, std::size_t points, bool hybrid_with_other) const {
+  std::vector<KernelTime> out;
+  const double f_anchor_to_nc =
+      anchor_cost_ / total_measured_;  // measured share -> anchor seconds
+  double my_total = 0.0;
+  for (const auto& k : kernels_) {
+    const double anchor_s = k.seconds * f_anchor_to_nc * points;
+    const double scale =
+        (1.0 - k.mem_fraction) + k.mem_fraction * anchor_.mem_bw / nc.mem_bw;
+    out.push_back({k.name, anchor_s * scale});
+    my_total += anchor_s * scale;
+  }
+  if (hybrid_with_other) {
+    // Ranks on the faster class wait for the slower class at the exchange.
+    const NodeClass other = nc.name == "XT3" ? xt4() : xt3();
+    double other_total = 0.0;
+    for (const auto& k : kernels_) {
+      const double anchor_s = k.seconds * f_anchor_to_nc * points;
+      const double scale = (1.0 - k.mem_fraction) +
+                           k.mem_fraction * anchor_.mem_bw / other.mem_bw;
+      other_total += anchor_s * scale;
+    }
+    out.push_back({"MPI_WAIT", std::max(other_total - my_total, 0.0)});
+  }
+  return out;
+}
+
+}  // namespace s3d::perf

@@ -1,0 +1,84 @@
+#pragma once
+// Node/cluster performance model for the Cray XT3+XT4 hybrid Jaguar
+// (DESIGN.md substitution for the machine itself). The model rests on the
+// paper's own findings (section 4):
+//   - per-core cost splits into CPU-bound work (identical on XT3/XT4) and
+//     memory-bandwidth-bound work (scales with the node's memory
+//     bandwidth: XT3 6.4 GB/s, XT4 10.6 GB/s);
+//   - weak scaling is flat because communication is nearest-neighbour
+//     only; the per-step ghost-exchange synchronization makes a hybrid
+//     run's cost the MAX over node classes, with the faster nodes
+//     accumulating the difference as MPI_Wait time (fig. 2);
+//   - giving XT3 nodes a 50x50x40 block instead of 50x50x50 equalizes the
+//     class times, and the average cost per point then depends on the
+//     XT4 fraction (fig. 3).
+//
+// The kernel decomposition (which fraction of the step is memory-bound)
+// is CALIBRATED from real measurements of this repository's solver on the
+// build host (see bench_fig1_weak_scaling), anchored to the paper's
+// 55 us/point/step XT4 rate.
+
+#include <string>
+#include <vector>
+
+namespace s3d::perf {
+
+/// One node class of the hybrid machine.
+struct NodeClass {
+  std::string name;
+  double mem_bw;  ///< peak memory bandwidth [B/s]
+};
+
+inline NodeClass xt3() { return {"XT3", 6.4e9}; }
+inline NodeClass xt4() { return {"XT4", 10.6e9}; }
+
+/// A solver kernel's measured share of the step and how memory-bound it
+/// is (0 = pure compute, 1 = pure streaming).
+struct KernelShare {
+  std::string name;
+  double seconds;       ///< measured on the calibration host
+  double mem_fraction;  ///< fraction of this kernel that is bandwidth-bound
+};
+
+class ClusterModel {
+ public:
+  /// @param kernels        measured kernel decomposition (any units --
+  ///                       only the relative split matters)
+  /// @param anchor_cost    cost per grid point per step on `anchor`
+  ///                       hardware [s] (paper: 55e-6 on XT4)
+  ClusterModel(std::vector<KernelShare> kernels, double anchor_cost,
+               NodeClass anchor = xt4());
+
+  /// Cost per grid point per step on a node class [s].
+  double cost(const NodeClass& nc) const;
+
+  /// Hybrid weak-scaling cost per point per step when every core gets the
+  /// same block: the synchronized max over classes present.
+  double hybrid_cost(double frac_xt4) const;
+
+  /// Fig. 3: balanced load (XT3 blocks shrunk by `xt3_shrink`, paper
+  /// 40/50 = 0.8): average cost per grid point across the machine.
+  double balanced_cost(double frac_xt4, double xt3_shrink = 0.8) const;
+
+  /// Per-kernel seconds-per-step on a node class for a block of
+  /// `points` grid points, plus the MPI_Wait a rank of this class incurs
+  /// in an unbalanced hybrid run (fig. 2's table).
+  struct KernelTime {
+    std::string name;
+    double seconds;
+  };
+  std::vector<KernelTime> kernel_breakdown(const NodeClass& nc,
+                                           std::size_t points,
+                                           bool hybrid_with_other) const;
+
+  /// Fraction of the anchor step that is memory-bandwidth bound.
+  double mem_fraction() const;
+
+ private:
+  std::vector<KernelShare> kernels_;
+  double anchor_cost_;
+  NodeClass anchor_;
+  double total_measured_;
+};
+
+}  // namespace s3d::perf

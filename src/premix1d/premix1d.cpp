@@ -1,0 +1,272 @@
+#include "premix1d/premix1d.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "chem/reactor.hpp"
+#include "chem/thermo.hpp"
+#include "common/constants.hpp"
+#include "common/error.hpp"
+#include "transport/transport.hpp"
+
+namespace s3d::premix1d {
+
+using constants::Ru;
+
+namespace {
+
+int autodetect_fuel(const chem::Mechanism& mech) {
+  for (int s = 0; s < mech.n_species(); ++s) {
+    const auto& el = mech.species(s).elements;
+    if (el.C > 0) return s;
+  }
+  const int ih2 = mech.find("H2");
+  S3D_REQUIRE(ih2 >= 0, "could not autodetect a fuel species");
+  return ih2;
+}
+
+}  // namespace
+
+FlameSolution solve_premixed_flame(const chem::Mechanism& mech, double p,
+                                   double T_u, std::span<const double> Y_u,
+                                   const Options& opt) {
+  const int ns = mech.n_species();
+  const int n = opt.n;
+  const double h = opt.length / (n - 1);
+  const int i_fuel =
+      opt.fuel_index >= 0 ? opt.fuel_index : autodetect_fuel(mech);
+
+  transport::TransportFits fits(mech);
+
+  // Burnt reference state for ignition and the consumption integral.
+  auto [T_b0, Y_b] = chem::equilibrium_products(mech, 1600.0, p, Y_u, 0.05);
+  const double h_u = mech.h_mass_mix(T_u, Y_u);
+  const double T_ad = mech.T_from_h(h_u, Y_b, T_b0);
+
+  // Fields.
+  std::vector<double> T(n), u(n, 0.0), rho(n);
+  std::vector<std::vector<double>> Y(ns, std::vector<double>(n));
+  // Ignite against the right end: burnt for x > 0.7 L.
+  for (int i = 0; i < n; ++i) {
+    const double x = i * h;
+    const double f = 0.5 * (1.0 + std::tanh((x - 0.7 * opt.length) /
+                                            (4.0 * h)));
+    T[i] = T_u + (T_ad - T_u) * f;
+    for (int s = 0; s < ns; ++s) Y[s][i] = Y_u[s] + (Y_b[s] - Y_u[s]) * f;
+  }
+
+  auto density = [&](int i) {
+    double Yp[chem::kMaxSpecies];
+    for (int s = 0; s < ns; ++s) Yp[s] = Y[s][i];
+    return mech.density(p, T[i], {Yp, static_cast<std::size_t>(ns)});
+  };
+  for (int i = 0; i < n; ++i) rho[i] = density(i);
+  const double rho_u = rho[0];
+
+  // Work arrays.
+  std::vector<double> lam(n), cp(n), drho_dt(n), dT(n);
+  std::vector<std::vector<double>> D(ns, std::vector<double>(n));
+  std::vector<std::vector<double>> dY(ns, std::vector<double>(n));
+
+  auto update_props = [&]() {
+    double X[chem::kMaxSpecies], Yp[chem::kMaxSpecies],
+        Dm[chem::kMaxSpecies];
+    for (int i = 0; i < n; ++i) {
+      for (int s = 0; s < ns; ++s) Yp[s] = Y[s][i];
+      const double Wb = mech.mean_W_from_Y({Yp, static_cast<std::size_t>(ns)});
+      for (int s = 0; s < ns; ++s) X[s] = Yp[s] * Wb / mech.W(s);
+      lam[i] = fits.mixture_conductivity(T[i], {X, static_cast<std::size_t>(ns)});
+      cp[i] = mech.cp_mass_mix(T[i], {Yp, static_cast<std::size_t>(ns)});
+      fits.mixture_diffusion(T[i], p, {X, static_cast<std::size_t>(ns)},
+                             {Dm, static_cast<std::size_t>(ns)});
+      for (int s = 0; s < ns; ++s) D[s][i] = Dm[s];
+      rho[i] = density(i);
+    }
+  };
+
+  // Transport RHS (diffusion + convection with the current u). Uses
+  // conservative half-node fluxes; 2nd order.
+  auto transport_rhs = [&]() {
+    for (int i = 1; i < n - 1; ++i) {
+      // Species diffusion with the mixture-averaged correction velocity.
+      double sumJ_p = 0.0, sumJ_m = 0.0;  // at i+1/2 and i-1/2
+      double Jp[chem::kMaxSpecies], Jm[chem::kMaxSpecies];
+      for (int s = 0; s < ns; ++s) {
+        const double rDp = 0.5 * (rho[i] * D[s][i] + rho[i + 1] * D[s][i + 1]);
+        const double rDm = 0.5 * (rho[i] * D[s][i] + rho[i - 1] * D[s][i - 1]);
+        Jp[s] = -rDp * (Y[s][i + 1] - Y[s][i]) / h;
+        Jm[s] = -rDm * (Y[s][i] - Y[s][i - 1]) / h;
+        sumJ_p += Jp[s];
+        sumJ_m += Jm[s];
+      }
+      for (int s = 0; s < ns; ++s) {
+        const double Yp_face = 0.5 * (Y[s][i] + Y[s][i + 1]);
+        const double Ym_face = 0.5 * (Y[s][i] + Y[s][i - 1]);
+        const double Jp_c = Jp[s] - Yp_face * sumJ_p;
+        const double Jm_c = Jm[s] - Ym_face * sumJ_m;
+        const double conv = -u[i] * (Y[s][i + 1] - Y[s][i - 1]) / (2 * h);
+        dY[s][i] = conv - (Jp_c - Jm_c) / (h * rho[i]);
+      }
+      // Temperature: conduction + convection (+ enthalpy flux of species
+      // diffusion, the Sum cp_s J_s dT/dx term).
+      const double lp = 0.5 * (lam[i] + lam[i + 1]);
+      const double lm = 0.5 * (lam[i] + lam[i - 1]);
+      const double cond =
+          (lp * (T[i + 1] - T[i]) - lm * (T[i] - T[i - 1])) / (h * h);
+      double jcp = 0.0;
+      for (int s = 0; s < ns; ++s) {
+        const double cps = chem::cp_mass(mech.species(s), T[i]);
+        jcp += cps * 0.5 * (Jp[s] + Jm[s]);
+      }
+      const double dTdx = (T[i + 1] - T[i - 1]) / (2 * h);
+      dT[i] = -u[i] * dTdx + (cond - jcp * dTdx) / (rho[i] * cp[i]);
+    }
+    // Boundaries: left held at the unburnt state, right zero-gradient.
+    dT[0] = 0.0;
+    dT[n - 1] = dT[n - 2];
+    for (int s = 0; s < ns; ++s) {
+      dY[s][0] = 0.0;
+      dY[s][n - 1] = dY[s][n - 2];
+    }
+  };
+
+  // Velocity from continuity: rho u(x) = -int_0^x drho/dt dx', u(0) = 0.
+  auto update_velocity = [&]() {
+    for (int i = 0; i < n; ++i) {
+      double Yp[chem::kMaxSpecies], sYW = 0.0;
+      for (int s = 0; s < ns; ++s) {
+        Yp[s] = Y[s][i];
+        sYW += dY[s][i] / mech.W(s);
+      }
+      const double Wb = mech.mean_W_from_Y({Yp, static_cast<std::size_t>(ns)});
+      const double Wb_t = -Wb * Wb * sYW;
+      drho_dt[i] = rho[i] * (Wb_t / Wb - dT[i] / T[i]);
+    }
+    double flux = 0.0;
+    u[0] = 0.0;
+    for (int i = 1; i < n; ++i) {
+      flux -= 0.5 * (drho_dt[i] + drho_dt[i - 1]) * h;
+      u[i] = flux / rho[i];
+    }
+  };
+
+  // Consumption speed from the fuel burning-rate integral.
+  std::vector<double> c_loc(ns), wdot(ns);
+  auto consumption_speed = [&]() {
+    double integral = 0.0;
+    for (int i = 0; i < n; ++i) {
+      for (int s = 0; s < ns; ++s)
+        c_loc[s] = rho[i] * std::max(Y[s][i], 0.0) / mech.W(s);
+      mech.production_rates(T[i], c_loc, wdot);
+      integral += -wdot[i_fuel] * mech.W(i_fuel) * h;
+    }
+    const double dYf = Y_u[i_fuel] - Y_b[i_fuel];
+    return dYf > 1e-300 ? integral / (rho_u * dYf) : 0.0;
+  };
+
+  // March.
+  double t = 0.0;
+  double S_prev = -1.0;
+  int steps = 0;
+  bool converged = false;
+  while (t < opt.t_max) {
+    update_props();
+    // Diffusive-stability time step.
+    double dmax = 1e-300;
+    for (int i = 0; i < n; ++i) {
+      dmax = std::max(dmax, lam[i] / (rho[i] * cp[i]));
+      for (int s = 0; s < ns; ++s) dmax = std::max(dmax, D[s][i]);
+    }
+    const double dt = opt.cfl_diff * h * h / (2.0 * dmax);
+
+    // Strang: half chemistry, full transport (Heun), half chemistry.
+    auto chem_half = [&]() {
+      double Yp[chem::kMaxSpecies];
+      chem::ConstPressureReactor reactor(mech, p);
+      for (int i = 1; i < n; ++i) {
+        for (int s = 0; s < ns; ++s) Yp[s] = std::max(Y[s][i], 0.0);
+        reactor.set_state(T[i], {Yp, static_cast<std::size_t>(ns)});
+        reactor.advance(0.5 * dt, 1e-6, 1e-10);
+        T[i] = reactor.T();
+        for (int s = 0; s < ns; ++s) Y[s][i] = reactor.Y()[s];
+      }
+    };
+
+    chem_half();
+    update_props();
+    transport_rhs();
+    update_velocity();
+    transport_rhs();  // convection now sees the updated velocity
+    // Forward-Euler transport update (dt is diffusion-limited anyway).
+    for (int i = 0; i < n; ++i) {
+      T[i] += dt * dT[i];
+      double sum = 0.0;
+      for (int s = 0; s < ns; ++s) {
+        Y[s][i] = std::max(Y[s][i] + dt * dY[s][i], 0.0);
+        sum += Y[s][i];
+      }
+      for (int s = 0; s < ns; ++s) Y[s][i] /= sum;
+    }
+    chem_half();
+
+    t += dt;
+    ++steps;
+    if (steps % opt.check_interval == 0) {
+      update_props();
+      const double S = consumption_speed();
+      // Find the flame front (max |dT/dx|) and require it to stay away
+      // from the domain ends.
+      int i_front = 1;
+      double g_max = 0.0;
+      for (int i = 1; i < n - 1; ++i) {
+        const double g = std::abs(T[i + 1] - T[i - 1]) / (2 * h);
+        if (g > g_max) {
+          g_max = g;
+          i_front = i;
+        }
+      }
+      if (i_front < n / 8) break;  // flame about to hit the fresh end
+      if (S_prev > 0.0 && std::abs(S - S_prev) < opt.steady_tol * S &&
+          S > 0.0) {
+        converged = true;
+        break;
+      }
+      S_prev = S;
+    }
+  }
+
+  // Assemble the solution.
+  FlameSolution sol;
+  update_props();
+  sol.converged = converged;
+  sol.S_L = consumption_speed();
+  sol.T_burnt = T[n - 1];
+  sol.x.resize(n);
+  sol.T = T;
+  sol.hrr.resize(n);
+  double g_max = 0.0;
+  for (int i = 0; i < n; ++i) {
+    sol.x[i] = i * h;
+    for (int s = 0; s < ns; ++s)
+      c_loc[s] = rho[i] * std::max(Y[s][i], 0.0) / mech.W(s);
+    sol.hrr[i] = mech.heat_release_rate(T[i], c_loc);
+    if (i > 0 && i < n - 1)
+      g_max = std::max(g_max, std::abs(T[i + 1] - T[i - 1]) / (2 * h));
+  }
+  sol.delta_L = g_max > 0.0 ? (sol.T_burnt - T_u) / g_max : 0.0;
+  // FWHM of the heat release profile.
+  const double hrr_max = *std::max_element(sol.hrr.begin(), sol.hrr.end());
+  int i_lo = -1, i_hi = -1;
+  for (int i = 0; i < n; ++i) {
+    if (sol.hrr[i] >= 0.5 * hrr_max) {
+      if (i_lo < 0) i_lo = i;
+      i_hi = i;
+    }
+  }
+  sol.delta_H = i_lo >= 0 ? (i_hi - i_lo + 1) * h : 0.0;
+  sol.Y.assign(ns, {});
+  for (int s = 0; s < ns; ++s) sol.Y[s] = Y[s];
+  return sol;
+}
+
+}  // namespace s3d::premix1d

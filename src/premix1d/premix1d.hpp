@@ -1,0 +1,55 @@
+#pragma once
+// One-dimensional freely-propagating laminar premixed flame solver -- the
+// stand-in for PREMIX (paper ref. [38]), used to produce the unstrained
+// laminar reference quantities of section 7.2 / Table 1:
+//   S_L      laminar flame speed (consumption speed),
+//   delta_L  thermal thickness from the maximum temperature gradient,
+//   delta_H  FWHM of the heat-release-rate profile,
+//   tau_f    flame time scale delta_L / S_L.
+//
+// Method: isobaric (low-Mach) unsteady flame in the lab frame with the
+// unburnt side at rest; Strang splitting with pointwise adaptive chemistry
+// (ConstPressureReactor kernels) around explicit conservative transport;
+// velocity from the integrated continuity constraint. The flame is ignited
+// against the burnt side and marched until the consumption speed is
+// quasi-steady.
+
+#include <span>
+#include <vector>
+
+#include "chem/mechanism.hpp"
+
+namespace s3d::premix1d {
+
+struct Options {
+  int n = 400;               ///< grid points
+  double length = 0.02;      ///< domain length [m]
+  double t_max = 0.05;       ///< give-up horizon [s]
+  double steady_tol = 0.01;  ///< relative S_L drift defining "steady"
+  int check_interval = 200;  ///< steps between steadiness checks
+  double cfl_diff = 0.35;    ///< diffusive stability number
+  /// Index of the fuel species for the consumption-speed integral; -1
+  /// autodetects (first species containing C or H2).
+  int fuel_index = -1;
+};
+
+struct FlameSolution {
+  double S_L = 0.0;       ///< consumption speed [m/s]
+  double delta_L = 0.0;   ///< thermal thickness [m]
+  double delta_H = 0.0;   ///< heat-release FWHM [m]
+  double T_burnt = 0.0;   ///< product temperature [K]
+  double tau_f() const { return S_L > 0.0 ? delta_L / S_L : 0.0; }
+  bool converged = false;
+  std::vector<double> x;  ///< grid [m]
+  std::vector<double> T;  ///< temperature profile [K]
+  std::vector<double> hrr;  ///< heat release rate [W/m^3]
+  std::vector<std::vector<double>> Y;  ///< Y[s][i]
+};
+
+/// Solve a freely propagating premixed flame at pressure p with unburnt
+/// state (T_u, Y_u).
+FlameSolution solve_premixed_flame(const chem::Mechanism& mech, double p,
+                                   double T_u, std::span<const double> Y_u,
+                                   const Options& opt = {});
+
+}  // namespace s3d::premix1d

@@ -1,0 +1,224 @@
+#include "solver/cases.hpp"
+
+#include <cmath>
+
+#include "chem/mechanisms.hpp"
+#include "chem/mixing.hpp"
+#include "chem/reactor.hpp"
+
+namespace s3d::solver {
+
+namespace {
+
+// Smooth top-hat jet profile: 1 inside |y| < h/2, 0 outside, tanh
+// shoulders of thickness delta.
+double jet_profile(double y, double h, double delta) {
+  return 0.5 * (std::tanh((y + 0.5 * h) / delta) -
+                std::tanh((y - 0.5 * h) / delta));
+}
+
+}  // namespace
+
+CaseSetup pressure_wave_case(int n, bool two_d) {
+  CaseSetup cs;
+  auto mech = std::make_shared<const chem::Mechanism>(chem::air_inert());
+  cs.cfg.mech = mech;
+  const double L = 0.01;
+  cs.cfg.x = {n, L, true};
+  cs.cfg.y = {n, L, true};
+  cs.cfg.z = {two_d ? 1 : n, L, two_d ? false : true};
+  for (int a = 0; a < 3; ++a)
+    for (auto& f : cs.cfg.faces[a]) f.kind = BcKind::periodic;
+  cs.cfg.transport = TransportModel::power_law;
+  cs.cfg.T_ref = 300.0;
+
+  cs.Y_ox = chem::stream_Y_from_X(*mech, {{"O2", 0.21}, {"N2", 0.79}});
+  auto Y_air = cs.Y_ox;
+  cs.init = [L, Y_air](double x, double y, double z, InflowState& s,
+                       double& p) {
+    s.u = s.v = s.w = 0.0;
+    s.T = 300.0;
+    s.Y.fill(0.0);
+    for (std::size_t i = 0; i < Y_air.size(); ++i) s.Y[i] = Y_air[i];
+    const double r2 = std::pow(x - 0.5 * L, 2) + std::pow(y - 0.5 * L, 2) +
+                      std::pow(z - 0.5 * L, 2);
+    p = 101325.0 * (1.0 + 0.01 * std::exp(-r2 / std::pow(0.1 * L, 2)));
+  };
+  return cs;
+}
+
+CaseSetup lifted_jet_case(const LiftedJetParams& prm) {
+  CaseSetup cs;
+  auto mech = std::make_shared<const chem::Mechanism>(chem::h2_li2004());
+  Config& cfg = cs.cfg;
+  cfg.mech = mech;
+  cfg.x = {prm.nx, prm.Lx, false};
+  cfg.y = {prm.ny, prm.Ly, false, prm.y_stretch, -0.5 * prm.Ly};
+  cfg.z = {1, 1.0, false};
+  cfg.faces[0][0] = {BcKind::nscbc_inflow, prm.p, 0.25};
+  cfg.faces[0][1] = {BcKind::nscbc_outflow, prm.p, 0.25, 0.12 * prm.Lx, 0.4};
+  cfg.faces[1][0] = {BcKind::nscbc_outflow, prm.p, 0.25, 0.15 * prm.Ly, 0.4};
+  cfg.faces[1][1] = {BcKind::nscbc_outflow, prm.p, 0.25, 0.15 * prm.Ly, 0.4};
+  cfg.transport = prm.transport;
+  cfg.T_ref = 900.0;
+  cfg.p_ref = prm.p;
+
+  // Fuel stream: 65% H2 / 35% N2 by volume (paper section 6.2).
+  cs.Y_fuel = chem::stream_Y_from_X(*mech, {{"H2", 0.65}, {"N2", 0.35}});
+  cs.Y_ox = chem::stream_Y_from_X(*mech, {{"O2", 0.21}, {"N2", 0.79}});
+  cs.Z_st = chem::stoichiometric_mixture_fraction(*mech, cs.Y_ox, cs.Y_fuel);
+
+  cs.turb = std::make_shared<SyntheticTurbulence>(prm.u_rms, prm.turb_len,
+                                                  64, prm.seed, true);
+
+  const double delta = prm.slot_h / 8.0;
+  const auto Yf = cs.Y_fuel;
+  const auto Yo = cs.Y_ox;
+  const double h = prm.slot_h;
+  auto profile_state = [=, turb = cs.turb](double t, double y, double z,
+                                           InflowState& s) {
+    const double f = jet_profile(y, h, delta);
+    s.T = prm.T_coflow + (prm.T_fuel - prm.T_coflow) * f;
+    for (std::size_t i = 0; i < Yf.size(); ++i)
+      s.Y[i] = Yo[i] + (Yf[i] - Yo[i]) * f;
+    const auto up = turb->at_inflow(t, prm.u_jet, y, z);
+    s.u = prm.u_coflow + (prm.u_jet - prm.u_coflow) * f + f * up[0];
+    s.v = f * up[1];
+    s.w = 0.0;
+  };
+  cfg.inflow = [profile_state](double t, double y, double z, InflowState& s) {
+    s.Y.fill(0.0);
+    profile_state(t, y, z, s);
+  };
+  const double p0 = prm.p;
+  cs.init = [profile_state, p0](double /*x*/, double y, double z,
+                                InflowState& s, double& p) {
+    s.Y.fill(0.0);
+    profile_state(0.0, y, z, s);  // columnar extension of the inflow
+    p = p0;
+  };
+  return cs;
+}
+
+CaseSetup bunsen_case(const BunsenParams& prm) {
+  CaseSetup cs;
+  auto mech = std::make_shared<const chem::Mechanism>(chem::ch4_bfer2step());
+  Config& cfg = cs.cfg;
+  cfg.mech = mech;
+  cfg.x = {prm.nx, prm.Lx, false};
+  cfg.y = {prm.ny, prm.Ly, false, prm.y_stretch, -0.5 * prm.Ly};
+  cfg.z = {1, 1.0, false};
+  cfg.faces[0][0] = {BcKind::nscbc_inflow, prm.p, 0.25};
+  cfg.faces[0][1] = {BcKind::nscbc_outflow, prm.p, 0.25, 0.12 * prm.Lx, 0.4};
+  cfg.faces[1][0] = {BcKind::nscbc_outflow, prm.p, 0.25, 0.15 * prm.Ly, 0.4};
+  cfg.faces[1][1] = {BcKind::nscbc_outflow, prm.p, 0.25, 0.15 * prm.Ly, 0.4};
+  cfg.transport = prm.transport;
+  cfg.T_ref = prm.T_unburnt;
+  cfg.p_ref = prm.p;
+
+  // Unburnt reactants and their complete-combustion products (the coflow
+  // is the hot-products "pilot", paper section 7.2).
+  auto Yu = chem::premixed_fuel_air_Y(*mech, "CH4", prm.phi);
+  auto [Tb, Yb] =
+      chem::equilibrium_products(*mech, 1600.0, prm.p, Yu, 0.05);
+  // Shift the product temperature to the adiabatic value from T_unburnt:
+  // h(Tb') = h(T_unburnt, Yu).
+  const double h_u = mech->h_mass_mix(prm.T_unburnt, Yu);
+  const double T_ad = mech->T_from_h(h_u, Yb, Tb);
+
+  cs.Y_fuel = Yu;
+  cs.Y_ox = Yb;
+  cs.Y_o2_unburnt = Yu[mech->index("O2")];
+  cs.Y_o2_burnt = Yb[mech->index("O2")];
+  cs.T_burnt = T_ad;
+
+  cs.turb = std::make_shared<SyntheticTurbulence>(prm.u_rms, prm.turb_len,
+                                                  64, prm.seed, true);
+
+  const double delta = prm.slot_h / 8.0;
+  const double h = prm.slot_h;
+  auto blend = [=](double f, InflowState& s) {
+    s.T = T_ad + (prm.T_unburnt - T_ad) * f;
+    for (std::size_t i = 0; i < Yu.size(); ++i)
+      s.Y[i] = Yb[i] + (Yu[i] - Yb[i]) * f;
+  };
+  cfg.inflow = [=, turb = cs.turb](double t, double y, double z,
+                                   InflowState& s) {
+    s.Y.fill(0.0);
+    const double f = jet_profile(y, h, delta);
+    blend(f, s);
+    const auto up = turb->at_inflow(t, prm.u_jet, y, z);
+    s.u = prm.u_coflow + (prm.u_jet - prm.u_coflow) * f + f * up[0];
+    s.v = f * up[1];
+    s.w = 0.0;
+  };
+  const double p0 = prm.p;
+  const double Lx = prm.Lx;
+  cs.init = [=](double x, double y, double /*z*/, InflowState& s,
+                double& p) {
+    s.Y.fill(0.0);
+    // The reactant column burns out by mid-domain initially: a planar
+    // flame sheet that subsequently wrinkles (paper fig. 12: "the flame is
+    // initially planar at the inlet").
+    const double burnout = 0.5 * (1.0 + std::tanh((x - 0.45 * Lx) /
+                                                  (0.06 * Lx)));
+    const double f = jet_profile(y, h, delta) * (1.0 - burnout);
+    blend(f, s);
+    s.u = prm.u_coflow + (prm.u_jet - prm.u_coflow) * f;
+    s.v = s.w = 0.0;
+    p = p0;
+  };
+  return cs;
+}
+
+CaseSetup temporal_jet_case(const TemporalJetParams& prm) {
+  CaseSetup cs;
+  auto mech = std::make_shared<const chem::Mechanism>(chem::syngas_co_h2());
+  Config& cfg = cs.cfg;
+  cfg.mech = mech;
+  cfg.x = {prm.nx, prm.Lx, true};
+  cfg.y = {prm.ny, prm.Ly, false, 0.0, -0.5 * prm.Ly};
+  cfg.z = {1, 1.0, false};
+  cfg.faces[0][0].kind = BcKind::periodic;
+  cfg.faces[0][1].kind = BcKind::periodic;
+  cfg.faces[1][0] = {BcKind::nscbc_outflow, prm.p, 0.25, 0.12 * prm.Ly, 0.4};
+  cfg.faces[1][1] = {BcKind::nscbc_outflow, prm.p, 0.25, 0.12 * prm.Ly, 0.4};
+  cfg.transport = TransportModel::power_law;
+  cfg.T_ref = prm.T0;
+  cfg.p_ref = prm.p;
+
+  // Streams of Hawkes et al. (2007): fuel 50% CO / 10% H2 / 40% N2,
+  // oxidizer 25% O2 / 75% N2, both at T0.
+  cs.Y_fuel = chem::stream_Y_from_X(
+      *mech, {{"CO", 0.50}, {"H2", 0.10}, {"N2", 0.40}});
+  cs.Y_ox = chem::stream_Y_from_X(*mech, {{"O2", 0.25}, {"N2", 0.75}});
+  cs.Z_st = chem::stoichiometric_mixture_fraction(*mech, cs.Y_ox, cs.Y_fuel);
+
+  cs.turb = std::make_shared<SyntheticTurbulence>(prm.u_rms, prm.turb_len,
+                                                  64, prm.seed, true);
+
+  const double delta = prm.jet_h / 10.0;
+  const auto Yf = cs.Y_fuel;
+  const auto Yo = cs.Y_ox;
+  const double p0 = prm.p;
+  cs.init = [=, turb = cs.turb](double x, double y, double /*z*/,
+                                InflowState& s, double& p) {
+    s.Y.fill(0.0);
+    const double f = jet_profile(y, prm.jet_h, delta);
+    for (std::size_t i = 0; i < Yf.size(); ++i)
+      s.Y[i] = Yo[i] + (Yf[i] - Yo[i]) * f;
+    // Counter-flowing streams; perturbations confined to the shear layers.
+    const double shear =
+        std::exp(-std::pow((std::abs(y) - 0.5 * prm.jet_h) / (2 * delta), 2));
+    const auto up = turb->velocity(x, y, 0.0);
+    s.u = prm.dU * (f - 0.5) + shear * up[0];
+    s.v = shear * up[1];
+    s.w = 0.0;
+    // Hot ignition strips at the two fuel/oxidizer interfaces.
+    s.T = prm.T0 + (prm.T_ignite - prm.T0) * shear;
+    p = p0;
+  };
+  return cs;
+}
+
+}  // namespace s3d::solver

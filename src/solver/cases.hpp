@@ -1,0 +1,98 @@
+#pragma once
+// Ready-made problem configurations reproducing the paper's runs:
+//   - pressure_wave_case: the single-node performance model problem of
+//     section 4.1 (non-reacting pressure wave on a periodic box),
+//   - lifted_jet_case: the autoigniting lifted H2/N2 jet flame in hot
+//     coflow of section 6 (65% H2 / 35% N2 at 400 K into 1100 K air),
+//   - bunsen_case: the lean premixed CH4/air slot Bunsen flame of section
+//     7 (phi = 0.7, 800 K reactants, hot-products coflow), parameterized
+//     by turbulence intensity for cases A/B/C of Table 1.
+//
+// Scaled-down defaults run in minutes on one core (see DESIGN.md sizing
+// policy); every dimension is adjustable.
+
+#include <memory>
+#include <vector>
+
+#include "solver/config.hpp"
+#include "solver/turbulence.hpp"
+
+namespace s3d::solver {
+
+/// A complete run setup: configuration, initial condition, inflow
+/// turbulence, and the stream compositions needed by the diagnostics.
+struct CaseSetup {
+  Config cfg;
+  InitFn init;
+  std::shared_ptr<SyntheticTurbulence> turb;
+  std::vector<double> Y_fuel;  ///< fuel-stream composition
+  std::vector<double> Y_ox;    ///< oxidizer/coflow composition
+  double Z_st = 0.0;           ///< stoichiometric mixture fraction
+  double Y_o2_unburnt = 0.0;   ///< progress-variable endpoints (premixed)
+  double Y_o2_burnt = 0.0;
+  double T_burnt = 0.0;        ///< adiabatic product temperature (premixed)
+};
+
+/// Section 4.1 model problem: quiescent air with a Gaussian pressure pulse
+/// on an n^3 (or n x n x 1 for two_d) periodic box.
+CaseSetup pressure_wave_case(int n, bool two_d = false);
+
+struct LiftedJetParams {
+  int nx = 192, ny = 144;
+  double Lx = 0.012, Ly = 0.012;  ///< [m]
+  double slot_h = 0.0012;         ///< jet width [m]
+  double u_jet = 120.0;           ///< [m/s]
+  double u_coflow = 4.0;          ///< [m/s]
+  double T_fuel = 400.0;          ///< [K]
+  double T_coflow = 1100.0;       ///< [K] (above H2 crossover: autoignitive)
+  double p = 101325.0;
+  double u_rms = 12.0;            ///< inflow turbulence intensity [m/s]
+  double turb_len = 0.0006;       ///< inflow turbulence length scale [m]
+  double y_stretch = 1.2;         ///< transverse mesh stretching
+  TransportModel transport = TransportModel::constant_lewis;
+  std::uint64_t seed = 0x5eed;
+};
+
+/// Lifted turbulent H2/N2 jet flame in heated coflow (paper section 6).
+CaseSetup lifted_jet_case(const LiftedJetParams& p);
+
+struct BunsenParams {
+  int nx = 144, ny = 120;
+  double Lx = 0.012, Ly = 0.009;
+  double slot_h = 0.0012;
+  double u_jet = 60.0;
+  double u_coflow = 15.0;
+  double phi = 0.7;      ///< equivalence ratio (paper: 0.7)
+  double T_unburnt = 800.0;
+  double p = 101325.0;
+  double u_rms = 5.0;    ///< inflow turbulence intensity [m/s]
+  double turb_len = 0.0008;
+  double y_stretch = 1.0;
+  TransportModel transport = TransportModel::power_law;
+  std::uint64_t seed = 0xb0b;
+};
+
+/// Lean premixed CH4/air slot-burner Bunsen flame (paper section 7).
+CaseSetup bunsen_case(const BunsenParams& p);
+
+struct TemporalJetParams {
+  int nx = 128, ny = 112;
+  double Lx = 0.008, Ly = 0.01;
+  double jet_h = 0.0015;   ///< central fuel-stream width [m]
+  double dU = 90.0;        ///< velocity difference between the streams
+  double T0 = 500.0;       ///< both streams preheated (ref. [16])
+  double p = 101325.0;
+  double u_rms = 6.0;      ///< broadband perturbation in the shear layers
+  double turb_len = 0.0006;
+  double T_ignite = 1500.0;  ///< ignition-strip temperature at Z_st
+  std::uint64_t seed = 0x7e3;
+};
+
+/// Temporally evolving plane syngas (CO/H2) jet flame -- the paper's
+/// non-premixed hero-run class ("500 million grid points, 16 variables",
+/// skeletal CO/H2 kinetics). Periodic in x; the central fuel stream moves
+/// +x and the surrounding oxidizer -x, shear layers roll up in time. The
+/// flames are ignited by hot strips at the two stoichiometric interfaces.
+CaseSetup temporal_jet_case(const TemporalJetParams& p);
+
+}  // namespace s3d::solver

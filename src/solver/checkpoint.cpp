@@ -1,0 +1,240 @@
+#include "solver/checkpoint.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace s3d::solver {
+
+namespace {
+
+constexpr std::uint64_t kRestartMagic = 0x53334452535452ull;  // "S3DRSTR"
+constexpr std::uint64_t kAnalysisMagic = 0x533344414e4cull;   // "S3DANL"
+
+template <typename T>
+void put(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+template <typename T>
+T get(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  S3D_REQUIRE(is.good(), "truncated file");
+  return v;
+}
+void put_str(std::ostream& os, const std::string& s) {
+  put<std::uint32_t>(os, static_cast<std::uint32_t>(s.size()));
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+std::string get_str(std::istream& is) {
+  const auto n = get<std::uint32_t>(is);
+  std::string s(n, '\0');
+  is.read(s.data(), n);
+  S3D_REQUIRE(is.good(), "truncated string");
+  return s;
+}
+void put_vec(std::ostream& os, const std::vector<double>& v) {
+  put<std::uint64_t>(os, v.size());
+  os.write(reinterpret_cast<const char*>(v.data()),
+           static_cast<std::streamsize>(v.size() * sizeof(double)));
+}
+std::vector<double> get_vec(std::istream& is) {
+  const auto n = get<std::uint64_t>(is);
+  std::vector<double> v(n);
+  is.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(n * sizeof(double)));
+  S3D_REQUIRE(is.good(), "truncated array");
+  return v;
+}
+
+}  // namespace
+
+void write_restart(const std::string& path, const Solver& s) {
+  const Layout& l = s.layout();
+  std::ofstream f(path, std::ios::binary);
+  S3D_REQUIRE(f.good(), "cannot open " + path);
+  put(f, kRestartMagic);
+  put<std::int32_t>(f, l.nx);
+  put<std::int32_t>(f, l.ny);
+  put<std::int32_t>(f, l.nz);
+  put<std::int32_t>(f, s.state().nv());
+  put<double>(f, s.time());
+  put<std::int64_t>(f, s.steps_taken());
+  // Interior of each conserved variable, x fastest.
+  for (int v = 0; v < s.state().nv(); ++v) {
+    const double* var = s.state().var(v);
+    for (int k = 0; k < l.nz; ++k)
+      for (int j = 0; j < l.ny; ++j) {
+        const std::size_t row = l.at(0, j, k);
+        f.write(reinterpret_cast<const char*>(var + row),
+                static_cast<std::streamsize>(l.nx * sizeof(double)));
+      }
+  }
+  S3D_REQUIRE(f.good(), "write failed: " + path);
+}
+
+void read_restart(const std::string& path, Solver& s) {
+  const Layout& l = s.layout();
+  std::ifstream f(path, std::ios::binary);
+  S3D_REQUIRE(f.good(), "cannot open " + path);
+  S3D_REQUIRE(get<std::uint64_t>(f) == kRestartMagic,
+              "not a restart file: " + path);
+  const int nx = get<std::int32_t>(f);
+  const int ny = get<std::int32_t>(f);
+  const int nz = get<std::int32_t>(f);
+  const int nv = get<std::int32_t>(f);
+  S3D_REQUIRE(nx == l.nx && ny == l.ny && nz == l.nz &&
+                  nv == s.state().nv(),
+              "restart grid/variable mismatch: " + path);
+  const double t = get<double>(f);
+  const auto steps = get<std::int64_t>(f);
+  for (int v = 0; v < nv; ++v) {
+    double* var = s.state().var(v);
+    for (int k = 0; k < nz; ++k)
+      for (int j = 0; j < ny; ++j) {
+        const std::size_t row = l.at(0, j, k);
+        f.read(reinterpret_cast<char*>(var + row),
+               static_cast<std::streamsize>(nx * sizeof(double)));
+        S3D_REQUIRE(f.good(), "truncated restart: " + path);
+      }
+  }
+  s.set_time(t, static_cast<int>(steps));
+}
+
+double restart_time(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  S3D_REQUIRE(f.good(), "cannot open " + path);
+  S3D_REQUIRE(get<std::uint64_t>(f) == kRestartMagic,
+              "not a restart file: " + path);
+  for (int i = 0; i < 4; ++i) get<std::int32_t>(f);
+  return get<double>(f);
+}
+
+void AnalysisFile::add_profile(const std::string& name,
+                               std::vector<double> x,
+                               std::vector<double> y) {
+  S3D_REQUIRE(x.size() == y.size(), "profile x/y size mismatch: " + name);
+  if (!profiles_.count(name)) p_names_.push_back(name);
+  profiles_[name] = {std::move(x), std::move(y)};
+}
+
+void AnalysisFile::add_slice(const std::string& name, int nx, int ny,
+                             std::vector<double> data) {
+  S3D_REQUIRE(static_cast<std::size_t>(nx) * ny == data.size(),
+              "slice size mismatch: " + name);
+  if (!slices_.count(name)) s_names_.push_back(name);
+  slices_[name] = {nx, ny, std::move(data)};
+}
+
+const std::pair<std::vector<double>, std::vector<double>>&
+AnalysisFile::profile(const std::string& name) const {
+  auto it = profiles_.find(name);
+  S3D_REQUIRE(it != profiles_.end(), "no such profile: " + name);
+  return it->second;
+}
+
+std::tuple<int, int, const std::vector<double>*> AnalysisFile::slice(
+    const std::string& name) const {
+  auto it = slices_.find(name);
+  S3D_REQUIRE(it != slices_.end(), "no such slice: " + name);
+  return {std::get<0>(it->second), std::get<1>(it->second),
+          &std::get<2>(it->second)};
+}
+
+void AnalysisFile::write(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary);
+  S3D_REQUIRE(f.good(), "cannot open " + path);
+  put(f, kAnalysisMagic);
+  put<std::uint32_t>(f, static_cast<std::uint32_t>(p_names_.size()));
+  for (const auto& n : p_names_) {
+    put_str(f, n);
+    put_vec(f, profiles_.at(n).first);
+    put_vec(f, profiles_.at(n).second);
+  }
+  put<std::uint32_t>(f, static_cast<std::uint32_t>(s_names_.size()));
+  for (const auto& n : s_names_) {
+    const auto& [nx, ny, data] = slices_.at(n);
+    put_str(f, n);
+    put<std::int32_t>(f, nx);
+    put<std::int32_t>(f, ny);
+    put_vec(f, data);
+  }
+  S3D_REQUIRE(f.good(), "write failed: " + path);
+}
+
+AnalysisFile AnalysisFile::read(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  S3D_REQUIRE(f.good(), "cannot open " + path);
+  S3D_REQUIRE(get<std::uint64_t>(f) == kAnalysisMagic,
+              "not an analysis file: " + path);
+  AnalysisFile out;
+  const auto np = get<std::uint32_t>(f);
+  for (std::uint32_t i = 0; i < np; ++i) {
+    const std::string name = get_str(f);
+    auto x = get_vec(f);
+    auto y = get_vec(f);
+    out.add_profile(name, std::move(x), std::move(y));
+  }
+  const auto ns = get<std::uint32_t>(f);
+  for (std::uint32_t i = 0; i < ns; ++i) {
+    const std::string name = get_str(f);
+    const int nx = get<std::int32_t>(f);
+    const int ny = get<std::int32_t>(f);
+    out.add_slice(name, nx, ny, get_vec(f));
+  }
+  return out;
+}
+
+std::vector<std::string> AnalysisFile::export_xy(
+    const std::string& stem) const {
+  std::vector<std::string> written;
+  for (const auto& n : p_names_) {
+    const auto& [x, y] = profiles_.at(n);
+    const std::string path = stem + "_" + n + ".xy";
+    std::ofstream f(path);
+    for (std::size_t i = 0; i < x.size(); ++i)
+      f << x[i] << ' ' << y[i] << '\n';
+    written.push_back(path);
+  }
+  return written;
+}
+
+void write_minmax(
+    const std::string& path,
+    const std::map<std::string, std::pair<double, double>>& mm) {
+  std::ofstream f(path);
+  S3D_REQUIRE(f.good(), "cannot open " + path);
+  for (const auto& [var, v] : mm) f << var << ' ' << v.first << ' '
+                                    << v.second << '\n';
+}
+
+std::map<std::string, std::pair<double, double>> collect_minmax(Solver& s) {
+  const auto& prim = s.primitives();
+  const Layout& l = s.layout();
+  std::map<std::string, std::pair<double, double>> mm;
+  auto scan = [&](const std::string& name, const GField& f) {
+    double lo = 1e300, hi = -1e300;
+    for (int k = 0; k < l.nz; ++k)
+      for (int j = 0; j < l.ny; ++j)
+        for (int i = 0; i < l.nx; ++i) {
+          lo = std::min(lo, f(i, j, k));
+          hi = std::max(hi, f(i, j, k));
+        }
+    mm[name] = {lo, hi};
+  };
+  scan("T", prim.T);
+  scan("p", prim.p);
+  scan("u", prim.u);
+  scan("v", prim.v);
+  const auto& mech = s.rhs().mech();
+  for (const char* sp : {"OH", "HO2", "CO", "CH4", "H2"}) {
+    const int idx = mech.find(sp);
+    if (idx >= 0) scan(std::string("Y_") + sp, prim.Y[idx]);
+  }
+  return mm;
+}
+
+}  // namespace s3d::solver

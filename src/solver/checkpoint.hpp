@@ -1,0 +1,75 @@
+#pragma once
+// The three file kinds S3D emits and the paper's workflow manages
+// (section 9):
+//   (i)   restart files -- the conserved state ("the bulk of the analysis
+//         data"); binary, self-describing, bit-exact round trip;
+//   (ii)  analysis files -- named 1-D profiles and 2-D slices of derived
+//         quantities, written more frequently than restarts (the paper's
+//         "netcdf" files; here a compact self-describing binary plus text
+//         traces the workflow's plot stage consumes);
+//   (iii) min/max ASCII files -- per-variable extrema for the dashboard.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "solver/solver.hpp"
+
+namespace s3d::solver {
+
+/// Write the solver's conserved state (interior only) with grid/time
+/// metadata. Serial solvers only (a parallel run writes per-rank files via
+/// the I/O layer; see iosim for the shared-file strategies).
+void write_restart(const std::string& path, const Solver& s);
+
+/// Restore a restart file into `s`; grid extents and variable count must
+/// match. Restores the simulation time; the state is bit-exact.
+void read_restart(const std::string& path, Solver& s);
+
+/// Simulation time recorded in a restart file (cheap header peek).
+double restart_time(const std::string& path);
+
+/// The "netcdf" analysis-file substitute: named 1-D profiles and 2-D
+/// slices in one self-describing binary container.
+class AnalysisFile {
+ public:
+  /// Add an x-y trace (the workflow plots these).
+  void add_profile(const std::string& name, std::vector<double> x,
+                   std::vector<double> y);
+  /// Add a 2-D slice stored row-major (ny rows of nx).
+  void add_slice(const std::string& name, int nx, int ny,
+                 std::vector<double> data);
+
+  const std::vector<std::string>& profile_names() const { return p_names_; }
+  const std::vector<std::string>& slice_names() const { return s_names_; }
+  const std::pair<std::vector<double>, std::vector<double>>& profile(
+      const std::string& name) const;
+  /// Slice extents and data.
+  std::tuple<int, int, const std::vector<double>*> slice(
+      const std::string& name) const;
+
+  void write(const std::string& path) const;
+  static AnalysisFile read(const std::string& path);
+
+  /// Export every profile as whitespace x-y text files next to `stem`
+  /// (stem + "_" + name + ".xy"), the format the workflow's PlotXYActor
+  /// consumes. Returns the written paths.
+  std::vector<std::string> export_xy(const std::string& stem) const;
+
+ private:
+  std::vector<std::string> p_names_, s_names_;
+  std::map<std::string, std::pair<std::vector<double>, std::vector<double>>>
+      profiles_;
+  std::map<std::string, std::tuple<int, int, std::vector<double>>> slices_;
+};
+
+/// Write a min/max ASCII file ("var min max" per line, the dashboard
+/// format).
+void write_minmax(const std::string& path,
+                  const std::map<std::string, std::pair<double, double>>& mm);
+
+/// Collect min/max of the standard monitored variables (T, p, u, |Y_i|
+/// maxima for the radical species present) from the current primitives.
+std::map<std::string, std::pair<double, double>> collect_minmax(Solver& s);
+
+}  // namespace s3d::solver

@@ -1,0 +1,101 @@
+#pragma once
+// Solver configuration: domain, chemistry, boundary conditions, numerics
+// parameters. One Config fully describes a run (the paper's "problem
+// configuration" sections 6.2 / 7.2).
+
+#include <array>
+#include <functional>
+#include <memory>
+
+#include "chem/mechanism.hpp"
+#include "grid/mesh.hpp"
+
+namespace s3d::solver {
+
+/// Boundary treatment of one face (paper section 2.6: NSCBC).
+enum class BcKind {
+  periodic,        ///< wrap (both faces of the axis must be periodic)
+  nscbc_outflow,   ///< subsonic non-reflecting outflow, pressure relaxation
+  nscbc_inflow,    ///< subsonic inflow: u, v, w, T, Y imposed, rho floats
+};
+
+/// Per-face boundary spec.
+struct FaceBc {
+  BcKind kind = BcKind::periodic;
+  double p_target = 101325.0;  ///< far-field pressure for outflow faces
+  double sigma = 0.25;         ///< outflow relaxation coefficient
+  /// Absorbing-layer width [m] ahead of an outflow face (0 = none). The
+  /// reduced-order boundary closures stall outgoing waves; a cubic-ramped
+  /// sponge that relaxes pressure toward p_target absorbs them first. The
+  /// relaxation preserves T, Y and u (target state is (p_target/p) U).
+  double sponge_width = 0.0;
+  double sponge_strength = 1.0;  ///< multiplies c/width at the wall
+};
+
+/// The primitive state an inflow face imposes at a boundary point.
+struct InflowState {
+  double u = 0.0, v = 0.0, w = 0.0;
+  double T = 300.0;
+  /// Mass fractions, size = mechanism species count.
+  std::array<double, chem::kMaxSpecies> Y{};
+};
+
+/// Inflow generator: fills `s` for boundary point (y, z) at time t.
+using InflowFn =
+    std::function<void(double t, double y, double z, InflowState& s)>;
+
+/// Initial condition: fills the primitive state and pressure at (x, y, z).
+using InitFn = std::function<void(double x, double y, double z,
+                                  InflowState& s, double& p)>;
+
+/// Molecular-transport closure used by the RHS.
+enum class TransportModel {
+  /// Full mixture-averaged model (paper eqs. 14, 17-20): kinetic-theory
+  /// fits, Wilke viscosity, Mathur conductivity, per-species D_i^mix.
+  mixture_averaged,
+  /// Wilke/Mathur mu and lambda, species diffusivities from constant
+  /// per-species Lewis numbers calibrated at a reference state (a standard
+  /// S3D option; much cheaper in the inner loop).
+  constant_lewis,
+  /// Power-law mu(T), constant Prandtl and Lewis numbers; the classic
+  /// cheap DNS closure, used by the scaled-down benchmark runs.
+  power_law,
+};
+
+struct Config {
+  grid::AxisSpec x{1, 1.0, true};
+  grid::AxisSpec y{1, 1.0, true};
+  grid::AxisSpec z{1, 1.0, true};
+
+  std::shared_ptr<const chem::Mechanism> mech;
+
+  TransportModel transport = TransportModel::mixture_averaged;
+  /// Reference state for calibrating constant-Lewis / power-law closures.
+  double T_ref = 800.0;
+  double p_ref = 101325.0;
+  double Pr = 0.708;        ///< Prandtl number for power_law
+  double visc_exp = 0.7;    ///< mu ~ (T/T_ref)^visc_exp for power_law
+
+  /// faces[axis][side]: side 0 = low, 1 = high.
+  std::array<std::array<FaceBc, 2>, 3> faces{};
+
+  InflowFn inflow;  ///< required when any face is nscbc_inflow
+
+  double cfl = 0.8;            ///< acoustic CFL number
+  double fourier = 0.4;        ///< diffusive stability number
+  double filter_alpha = 0.999; ///< filter strength (paper: 10th-order)
+  int filter_interval = 1;     ///< apply filter every N steps
+
+  bool include_viscous = true;   ///< viscous + diffusive terms on/off
+  bool include_chemistry = true;
+  /// Soret (thermal diffusion) term of paper eq. 16, with constant
+  /// per-species thermal-diffusion ratios (significant for H2/H; the
+  /// paper notes Soret matters mainly for premixed flames).
+  bool include_soret = false;
+
+  /// Characteristic domain length for outflow relaxation K (defaults to
+  /// x-length when 0).
+  double L_relax = 0.0;
+};
+
+}  // namespace s3d::solver

@@ -1,0 +1,248 @@
+#include "solver/diagnostics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "chem/mixing.hpp"
+#include "common/error.hpp"
+
+namespace s3d::solver {
+
+namespace {
+// Visit interior plus exchanged ghost shells pointwise.
+template <typename Fn>
+void for_valid(const Layout& l, const GhostFlags& gh, Fn&& fn) {
+  const int klo = gh.lo[2] ? -l.gz : 0, khi = l.nz + (gh.hi[2] ? l.gz : 0);
+  const int jlo = gh.lo[1] ? -l.gy : 0, jhi = l.ny + (gh.hi[1] ? l.gy : 0);
+  const int ilo = gh.lo[0] ? -l.gx : 0, ihi = l.nx + (gh.hi[0] ? l.gx : 0);
+  for (int k = klo; k < khi; ++k)
+    for (int j = jlo; j < jhi; ++j)
+      for (int i = ilo; i < ihi; ++i) fn(i, j, k);
+}
+}  // namespace
+
+GField mixture_fraction_field(const chem::Mechanism& mech, const Prim& prim,
+                              const Layout& l, std::span<const double> Y_ox,
+                              std::span<const double> Y_fuel) {
+  GField Z(l);
+  const int ns = mech.n_species();
+  const double b_ox = chem::bilger_beta(mech, Y_ox);
+  const double b_fu = chem::bilger_beta(mech, Y_fuel);
+  double Yp[chem::kMaxSpecies];
+  // Compute everywhere (stale physical ghosts produce harmless garbage that
+  // derivative closures never read).
+  for (std::size_t n = 0; n < Z.size(); ++n) {
+    for (int s = 0; s < ns; ++s) Yp[s] = prim.Y[s].data()[n];
+    const double b = chem::bilger_beta(mech, {Yp, static_cast<std::size_t>(ns)});
+    Z.data()[n] = (b - b_ox) / (b_fu - b_ox);
+  }
+  return Z;
+}
+
+GField progress_variable_field(const chem::Mechanism& mech, const Prim& prim,
+                               const Layout& l, double Y_o2_unburnt,
+                               double Y_o2_burnt) {
+  GField c(l);
+  const int io2 = mech.index("O2");
+  const double denom = Y_o2_unburnt - Y_o2_burnt;
+  S3D_REQUIRE(std::abs(denom) > 1e-300, "degenerate progress variable");
+  for (std::size_t n = 0; n < c.size(); ++n) {
+    const double v = (Y_o2_unburnt - prim.Y[io2].data()[n]) / denom;
+    c.data()[n] = std::clamp(v, 0.0, 1.0);
+  }
+  return c;
+}
+
+GField gradient_magnitude(const FieldOps& ops, const GField& f) {
+  const Layout& l = ops.layout();
+  GField g(l), d(l);
+  for (int a = 0; a < 3; ++a) {
+    if (!l.active(a)) continue;
+    ops.deriv(f, a, d);
+    for (std::size_t n = 0; n < g.size(); ++n)
+      g.data()[n] += d.data()[n] * d.data()[n];
+  }
+  for (std::size_t n = 0; n < g.size(); ++n)
+    g.data()[n] = std::sqrt(g.data()[n]);
+  return g;
+}
+
+ConditionalStats::ConditionalStats(double lo, double hi, int nbins)
+    : lo_(lo), hi_(hi), count_(nbins, 0), sum_(nbins, 0.0), sum2_(nbins, 0.0) {
+  S3D_REQUIRE(hi > lo && nbins > 0, "bad conditional-stats bins");
+}
+
+void ConditionalStats::add(double cond, double value) {
+  if (cond < lo_ || cond >= hi_) return;
+  const int b = static_cast<int>((cond - lo_) / (hi_ - lo_) * nbins());
+  if (b < 0 || b >= nbins()) return;
+  ++count_[b];
+  sum_[b] += value;
+  sum2_[b] += value * value;
+}
+
+void ConditionalStats::merge(const ConditionalStats& other) {
+  S3D_REQUIRE(other.nbins() == nbins(), "bin mismatch in merge");
+  for (int b = 0; b < nbins(); ++b) {
+    count_[b] += other.count_[b];
+    sum_[b] += other.sum_[b];
+    sum2_[b] += other.sum2_[b];
+  }
+}
+
+double ConditionalStats::bin_center(int b) const {
+  return lo_ + (b + 0.5) * (hi_ - lo_) / nbins();
+}
+
+double ConditionalStats::mean(int b) const {
+  return count_[b] > 0 ? sum_[b] / count_[b] : 0.0;
+}
+
+double ConditionalStats::stddev(int b) const {
+  if (count_[b] < 2) return 0.0;
+  const double m = mean(b);
+  const double v = sum2_[b] / count_[b] - m * m;
+  return v > 0.0 ? std::sqrt(v) : 0.0;
+}
+
+double contour_length_2d(const GField& f, const Layout& l,
+                         const grid::Mesh& mesh, std::array<int, 3> offset,
+                         double iso, int k) {
+  S3D_REQUIRE(l.active(0) && l.active(1), "contour needs an x-y plane");
+  double total = 0.0;
+  auto xc = [&](int i) { return mesh.coord(0, offset[0] + i); };
+  auto yc = [&](int j) { return mesh.coord(1, offset[1] + j); };
+
+  // Corner values exactly on the contour would make the strict crossing
+  // test miss segments; nudge them off by a value-scale epsilon.
+  const double nudge = 1e-12 * (std::abs(iso) + 1.0) + 1e-300;
+  auto val = [&](int i, int j) {
+    const double v = f(i, j, k);
+    return v == iso ? iso + nudge : v;
+  };
+  for (int j = 0; j + 1 < l.ny; ++j) {
+    for (int i = 0; i + 1 < l.nx; ++i) {
+      const double v00 = val(i, j), v10 = val(i + 1, j);
+      const double v01 = val(i, j + 1), v11 = val(i + 1, j + 1);
+      // Collect iso-crossings on the four cell edges.
+      struct Pt { double x, y; };
+      Pt pts[4];
+      int np = 0;
+      auto edge = [&](double a, double b, double xa, double ya, double xb,
+                      double yb) {
+        if ((a - iso) * (b - iso) < 0.0) {
+          const double t = (iso - a) / (b - a);
+          pts[np++] = {xa + t * (xb - xa), ya + t * (yb - ya)};
+        }
+      };
+      edge(v00, v10, xc(i), yc(j), xc(i + 1), yc(j));          // bottom
+      edge(v10, v11, xc(i + 1), yc(j), xc(i + 1), yc(j + 1));  // right
+      edge(v11, v01, xc(i + 1), yc(j + 1), xc(i), yc(j + 1));  // top
+      edge(v01, v00, xc(i), yc(j + 1), xc(i), yc(j));          // left
+      if (np == 2) {
+        total += std::hypot(pts[1].x - pts[0].x, pts[1].y - pts[0].y);
+      } else if (np == 4) {
+        // Saddle: pair crossings (0-1, 2-3); ambiguity is negligible for
+        // length statistics.
+        total += std::hypot(pts[1].x - pts[0].x, pts[1].y - pts[0].y);
+        total += std::hypot(pts[3].x - pts[2].x, pts[3].y - pts[2].y);
+      }
+    }
+  }
+  return total;
+}
+
+std::vector<std::pair<double, double>> plane_scatter(const GField& a,
+                                                     const GField& b,
+                                                     const Layout& l, int i) {
+  std::vector<std::pair<double, double>> out;
+  out.reserve(static_cast<std::size_t>(l.ny) * l.nz);
+  for (int k = 0; k < l.nz; ++k)
+    for (int j = 0; j < l.ny; ++j)
+      out.emplace_back(a(i, j, k), b(i, j, k));
+  return out;
+}
+
+double rms_on_plane(const GField& f, const Layout& l, int i, int j0, int j1,
+                    int k0, int k1) {
+  double sum = 0.0, sum2 = 0.0;
+  long n = 0;
+  for (int k = k0; k < k1; ++k)
+    for (int j = j0; j < j1; ++j) {
+      const double v = f(i, j, k);
+      sum += v;
+      sum2 += v * v;
+      ++n;
+    }
+  if (n < 2) return 0.0;
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+double integral_length_scale(const GField& f, const Layout& l,
+                             const grid::Mesh& mesh,
+                             std::array<int, 3> offset, int axis, int i_fix,
+                             int j_fix, int k_fix) {
+  S3D_REQUIRE(l.active(axis), "axis inactive");
+  const int n = l.n(axis);
+  // Extract the line and subtract its mean.
+  std::vector<double> line(n);
+  for (int s = 0; s < n; ++s) {
+    int ijk[3] = {i_fix, j_fix, k_fix};
+    ijk[axis] = s;
+    line[s] = f(ijk[0], ijk[1], ijk[2]);
+  }
+  double mean = 0.0;
+  for (double v : line) mean += v;
+  mean /= n;
+  for (double& v : line) v -= mean;
+
+  // Autocorrelation (periodic-agnostic, biased estimator).
+  double r0 = 0.0;
+  for (double v : line) r0 += v * v;
+  if (r0 <= 0.0) return 0.0;
+
+  const double h = (mesh.coord(axis, offset[axis] + n - 1) -
+                    mesh.coord(axis, offset[axis])) / (n - 1);
+  double integral = 0.0;
+  for (int lag = 1; lag < n / 2; ++lag) {
+    double r = 0.0;
+    for (int s = 0; s + lag < n; ++s) r += line[s] * line[s + lag];
+    r /= (n - lag);
+    const double rho = r / (r0 / n);
+    if (rho <= 0.0) break;  // integrate to first zero crossing
+    integral += rho * h;
+  }
+  return integral;
+}
+
+double mean_dissipation(const FieldOps& ops, const Prim& prim,
+                        const Layout& l, double nu) {
+  GField d(l);
+  // Accumulate 2 <S_ij S_ij> using the symmetric part of grad u.
+  std::vector<std::vector<GField>> g(3, std::vector<GField>(3));
+  const GField* vel[3] = {&prim.u, &prim.v, &prim.w};
+  for (int a = 0; a < 3; ++a)
+    for (int b = 0; b < 3; ++b) {
+      g[a][b] = GField(l);
+      if (l.active(b)) ops.deriv(*vel[a], b, g[a][b]);
+    }
+  double acc = 0.0;
+  long n = 0;
+  for (int k = 0; k < l.nz; ++k)
+    for (int j = 0; j < l.ny; ++j)
+      for (int i = 0; i < l.nx; ++i) {
+        double ss = 0.0;
+        for (int a = 0; a < 3; ++a)
+          for (int b = 0; b < 3; ++b) {
+            const double s_ab = 0.5 * (g[a][b](i, j, k) + g[b][a](i, j, k));
+            ss += s_ab * s_ab;
+          }
+        acc += 2.0 * ss;
+        ++n;
+      }
+  return nu * acc / std::max<long>(n, 1);
+}
+
+}  // namespace s3d::solver

@@ -1,0 +1,87 @@
+#pragma once
+// Post-processing diagnostics used by the paper's analyses:
+//   - Bilger mixture fraction field and scatter data (fig. 11),
+//   - reaction progress variable c from O2 (paper section 7.3) and |grad c|
+//     conditional statistics (fig. 13),
+//   - flame-surface contour length in 2-D slices (fig. 12 proxy),
+//   - turbulence statistics for Table 1 (u', length scales, Re_t, Ka, Da).
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "chem/mechanism.hpp"
+#include "grid/mesh.hpp"
+#include "solver/field_ops.hpp"
+#include "solver/state.hpp"
+
+namespace s3d::solver {
+
+/// Bilger mixture fraction at every (valid) point of `prim`.
+GField mixture_fraction_field(const chem::Mechanism& mech, const Prim& prim,
+                              const Layout& l, std::span<const double> Y_ox,
+                              std::span<const double> Y_fuel);
+
+/// Progress variable c linear in Y_O2: c = (Y_u - Y_O2) / (Y_u - Y_b),
+/// clipped to [0, 1] (paper: c = 0 in reactants, 1 in products).
+GField progress_variable_field(const chem::Mechanism& mech, const Prim& prim,
+                               const Layout& l, double Y_o2_unburnt,
+                               double Y_o2_burnt);
+
+/// |grad f| over the interior (ghost shells of f must be valid where
+/// flagged; physical boundaries use one-sided closures).
+GField gradient_magnitude(const FieldOps& ops, const GField& f);
+
+/// Accumulates conditional statistics of `value` binned on `cond`.
+class ConditionalStats {
+ public:
+  ConditionalStats(double lo, double hi, int nbins);
+
+  void add(double cond, double value);
+  /// Merge another accumulator (e.g. across snapshots or ranks).
+  void merge(const ConditionalStats& other);
+
+  int nbins() const { return static_cast<int>(count_.size()); }
+  double bin_center(int b) const;
+  long count(int b) const { return count_[b]; }
+  double mean(int b) const;
+  double stddev(int b) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<long> count_;
+  std::vector<double> sum_, sum2_;
+};
+
+/// Length of the iso-contour f = iso in the z = k plane (marching squares
+/// with linear interpolation). For the Bunsen cases this measures flame
+/// surface (per unit z) and its growth with wrinkling.
+double contour_length_2d(const GField& f, const Layout& l,
+                         const grid::Mesh& mesh, std::array<int, 3> offset,
+                         double iso, int k = 0);
+
+/// Scatter samples (a, b) on the plane of constant local x-index i.
+std::vector<std::pair<double, double>> plane_scatter(const GField& a,
+                                                     const GField& b,
+                                                     const Layout& l, int i);
+
+/// RMS fluctuation of a component about its mean over a y-z window at
+/// local x-index i (window given in local j/k index ranges).
+double rms_on_plane(const GField& f, const Layout& l, int i, int j0, int j1,
+                    int k0, int k1);
+
+/// Integral length scale from the two-point autocorrelation of `f` along
+/// axis `axis` at fixed other indices: integral of the normalized
+/// autocorrelation up to its first zero crossing.
+double integral_length_scale(const GField& f, const Layout& l,
+                             const grid::Mesh& mesh,
+                             std::array<int, 3> offset, int axis, int i_fix,
+                             int j_fix, int k_fix);
+
+/// Mean turbulent-kinetic-energy dissipation rate over the interior:
+/// eps = 2 nu <S_ij S_ij> computed from the velocity-gradient fields.
+/// `nu` is a representative kinematic viscosity.
+double mean_dissipation(const FieldOps& ops, const Prim& prim,
+                        const Layout& l, double nu);
+
+}  // namespace s3d::solver

@@ -1,0 +1,129 @@
+#include "solver/halo.hpp"
+
+#include <cstring>
+
+namespace s3d::solver {
+
+Halo::Halo(const Layout& l, std::array<bool, 3> periodic)
+    : l_(l), periodic_(periodic) {}
+
+Halo::Halo(const Layout& l, std::array<bool, 3> periodic, vmpi::Comm* comm,
+           const vmpi::Cart* cart)
+    : l_(l), periodic_(periodic), comm_(comm), cart_(cart) {}
+
+namespace {
+
+// Visit all (i, j, k) of a slab: `axis` runs over [a_begin, a_end), the
+// orthogonal axes run over their full ghosted extents.
+template <typename Fn>
+void slab(const Layout& l, int axis, int a_begin, int a_end, Fn&& fn) {
+  const int a1 = (axis + 1) % 3, a2 = (axis + 2) % 3;
+  int ijk[3];
+  for (int q = -l.g(a2); q < l.n(a2) + l.g(a2); ++q) {
+    for (int r = -l.g(a1); r < l.n(a1) + l.g(a1); ++r) {
+      for (int s = a_begin; s < a_end; ++s) {
+        ijk[axis] = s;
+        ijk[a1] = r;
+        ijk[a2] = q;
+        fn(ijk[0], ijk[1], ijk[2]);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void Halo::exchange_axis_local(double* f, int axis) {
+  const int n = l_.n(axis), g = l_.g(axis);
+  // Low ghosts <- high interior; high ghosts <- low interior.
+  slab(l_, axis, -g, 0, [&](int i, int j, int k) {
+    int src[3] = {i, j, k};
+    src[axis] += n;
+    f[l_.at(i, j, k)] = f[l_.at(src[0], src[1], src[2])];
+  });
+  slab(l_, axis, n, n + g, [&](int i, int j, int k) {
+    int src[3] = {i, j, k};
+    src[axis] -= n;
+    f[l_.at(i, j, k)] = f[l_.at(src[0], src[1], src[2])];
+  });
+}
+
+void Halo::exchange_axis_parallel(const std::vector<double*>& fields,
+                                  int axis) {
+  const int n = l_.n(axis), g = l_.g(axis);
+  const int nb_lo = cart_->neighbor(axis, -1);
+  const int nb_hi = cart_->neighbor(axis, +1);
+
+  // Pack order: for each field, slab points in deterministic order.
+  auto pack = [&](int a_begin, int a_end) {
+    std::vector<double> buf;
+    buf.reserve(fields.size() * g * l_.total() / std::max(l_.n(axis), 1));
+    for (double* f : fields)
+      slab(l_, axis, a_begin, a_end,
+           [&](int i, int j, int k) { buf.push_back(f[l_.at(i, j, k)]); });
+    return buf;
+  };
+  auto unpack = [&](const std::vector<double>& buf, int a_begin, int a_end) {
+    std::size_t p = 0;
+    for (double* f : fields)
+      slab(l_, axis, a_begin, a_end,
+           [&](int i, int j, int k) { f[l_.at(i, j, k)] = buf[p++]; });
+    S3D_ASSERT(p == buf.size());
+  };
+
+  const int tag_up = 100 + axis * 2;      // data moving toward +axis
+  const int tag_down = 101 + axis * 2;    // data moving toward -axis
+
+  std::vector<double> send_hi, send_lo, recv_lo_buf, recv_hi_buf;
+  std::vector<vmpi::Request> reqs;
+
+  const std::size_t slab_elems =
+      fields.size() * static_cast<std::size_t>(g) *
+      (l_.n((axis + 1) % 3) + 2 * l_.g((axis + 1) % 3)) *
+      (l_.n((axis + 2) % 3) + 2 * l_.g((axis + 2) % 3));
+
+  if (nb_hi >= 0) {
+    send_hi = pack(n - g, n);  // my top interior -> neighbour's low ghosts
+    reqs.push_back(comm_->isend(nb_hi, tag_up, send_hi));
+    recv_hi_buf.resize(slab_elems);
+    reqs.push_back(comm_->irecv(nb_hi, tag_down, recv_hi_buf));
+  }
+  if (nb_lo >= 0) {
+    send_lo = pack(0, g);  // my bottom interior -> neighbour's high ghosts
+    reqs.push_back(comm_->isend(nb_lo, tag_down, send_lo));
+    recv_lo_buf.resize(slab_elems);
+    reqs.push_back(comm_->irecv(nb_lo, tag_up, recv_lo_buf));
+  }
+  comm_->waitall(reqs);
+  if (nb_lo >= 0) unpack(recv_lo_buf, -g, 0);
+  if (nb_hi >= 0) unpack(recv_hi_buf, n, n + g);
+}
+
+void Halo::exchange(const std::vector<double*>& fields) {
+  for (int axis = 0; axis < 3; ++axis) {
+    if (!l_.active(axis)) continue;
+    if (comm_ && cart_) {
+      // A rank that is its own neighbour (single rank along a periodic
+      // axis) wraps locally.
+      const bool self_lo = cart_->neighbor(axis, -1) == comm_->rank();
+      const bool self_hi = cart_->neighbor(axis, +1) == comm_->rank();
+      if (self_lo && self_hi) {
+        for (double* f : fields) exchange_axis_local(f, axis);
+      } else if (cart_->neighbor(axis, -1) >= 0 ||
+                 cart_->neighbor(axis, +1) >= 0) {
+        exchange_axis_parallel(fields, axis);
+      }
+    } else if (periodic_[axis]) {
+      for (double* f : fields) exchange_axis_local(f, axis);
+    }
+  }
+}
+
+void Halo::exchange_fields(const std::vector<GField*>& fields) {
+  std::vector<double*> raw;
+  raw.reserve(fields.size());
+  for (GField* f : fields) raw.push_back(f->data());
+  exchange(raw);
+}
+
+}  // namespace s3d::solver

@@ -1,0 +1,48 @@
+#pragma once
+// Ghost-zone exchange (paper section 2.6: "a ghost-zone is constructed at
+// the processor boundaries by non-blocking MPI sends and receives among
+// the nearest neighbors in the 3D processor topology").
+//
+// Works in two modes:
+//   - serial: periodic axes wrap locally, physical boundaries are left to
+//     the one-sided closures;
+//   - parallel (vmpi): slabs are packed and exchanged with Cartesian
+//     neighbours using non-blocking sends/receives; periodic wrap happens
+//     through the topology. Axis exchanges are sequenced x, y, z with
+//     slabs spanning the other axes' ghost shells so corners fill in.
+
+#include <array>
+#include <vector>
+
+#include "solver/layout.hpp"
+#include "vmpi/vmpi.hpp"
+
+namespace s3d::solver {
+
+class Halo {
+ public:
+  /// Serial constructor. `periodic` marks axes that wrap.
+  Halo(const Layout& l, std::array<bool, 3> periodic);
+
+  /// Parallel constructor: `comm` and `cart` describe this rank's place in
+  /// the process grid. Each axis wraps through the topology when periodic.
+  Halo(const Layout& l, std::array<bool, 3> periodic, vmpi::Comm* comm,
+       const vmpi::Cart* cart);
+
+  /// Exchange ghost shells of all fields (raw storage over the shared
+  /// layout; GField::data() or State::var() pointers).
+  void exchange(const std::vector<double*>& fields);
+  /// Convenience overload for GFields.
+  void exchange_fields(const std::vector<GField*>& fields);
+
+ private:
+  void exchange_axis_local(double* f, int axis);
+  void exchange_axis_parallel(const std::vector<double*>& fields, int axis);
+
+  Layout l_;
+  std::array<bool, 3> periodic_;
+  vmpi::Comm* comm_ = nullptr;
+  const vmpi::Cart* cart_ = nullptr;
+};
+
+}  // namespace s3d::solver

@@ -1,0 +1,89 @@
+#pragma once
+// Ghosted-field memory layout for the solver.
+//
+// Every solver field is stored with `kNg` ghost layers along each *active*
+// axis (inactive axes -- n == 1 -- carry no ghosts, which is how 1-D and
+// 2-D runs fall out of the 3-D code). Indices passed to Layout are
+// interior-based: i in [-gx, nx+gx).
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+#include "numerics/stencil.hpp"
+
+namespace s3d::solver {
+
+/// Ghost width used by all solver fields (filter needs 5).
+inline constexpr int kNg = numerics::kGhostFilter;
+
+/// Describes the local (per-rank) ghosted box.
+struct Layout {
+  int nx = 1, ny = 1, nz = 1;  ///< interior extents
+  int gx = 0, gy = 0, gz = 0;  ///< ghost widths per axis
+
+  static Layout make(int nx, int ny, int nz) {
+    Layout l;
+    l.nx = nx;
+    l.ny = ny;
+    l.nz = nz;
+    l.gx = nx > 1 ? kNg : 0;
+    l.gy = ny > 1 ? kNg : 0;
+    l.gz = nz > 1 ? kNg : 0;
+    return l;
+  }
+
+  int sx() const { return nx + 2 * gx; }
+  int sy() const { return ny + 2 * gy; }
+  int sz() const { return nz + 2 * gz; }
+  std::size_t total() const {
+    return static_cast<std::size_t>(sx()) * sy() * sz();
+  }
+  std::size_t interior() const {
+    return static_cast<std::size_t>(nx) * ny * nz;
+  }
+
+  /// Flat index from interior-based (i, j, k).
+  std::size_t at(int i, int j, int k) const {
+    S3D_ASSERT(i >= -gx && i < nx + gx && j >= -gy && j < ny + gy &&
+               k >= -gz && k < nz + gz);
+    return static_cast<std::size_t>(k + gz) * sy() * sx() +
+           static_cast<std::size_t>(j + gy) * sx() + (i + gx);
+  }
+
+  std::ptrdiff_t stride(int axis) const {
+    switch (axis) {
+      case 0: return 1;
+      case 1: return sx();
+      default: return static_cast<std::ptrdiff_t>(sx()) * sy();
+    }
+  }
+
+  int n(int axis) const { return axis == 0 ? nx : axis == 1 ? ny : nz; }
+  int g(int axis) const { return axis == 0 ? gx : axis == 1 ? gy : gz; }
+  bool active(int axis) const { return n(axis) > 1; }
+};
+
+/// A scalar field over a ghosted Layout box.
+class GField {
+ public:
+  GField() = default;
+  explicit GField(const Layout& l, double init = 0.0)
+      : l_(l), data_(l.total(), init) {}
+
+  const Layout& layout() const { return l_; }
+  double& operator()(int i, int j, int k) { return data_[l_.at(i, j, k)]; }
+  double operator()(int i, int j, int k) const {
+    return data_[l_.at(i, j, k)];
+  }
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  std::size_t size() const { return data_.size(); }
+  void fill(double v) { data_.assign(data_.size(), v); }
+
+ private:
+  Layout l_;
+  std::vector<double> data_;
+};
+
+}  // namespace s3d::solver

@@ -1,0 +1,219 @@
+// Navier-Stokes characteristic boundary conditions (paper section 2.6,
+// refs. Poinsot & Lele; Yoo & Im). LODI-based treatment:
+//
+// For a face with outward/inward flow, the inviscid normal terms of the
+// interior RHS are replaced by a characteristic reconstruction in which
+// incoming wave amplitudes are modelled:
+//   - subsonic outflow: the single incoming acoustic wave is relaxed
+//     toward the far-field pressure, L_in = K (p - p_inf),
+//     K = sigma (1 - M^2) c / L;
+//   - subsonic inflow: u, v, w, T, Y are held (their LODI time derivatives
+//     vanish), density floats through the outgoing acoustic wave.
+
+#include <cmath>
+
+#include "chem/thermo.hpp"
+#include "common/constants.hpp"
+#include "numerics/stencil.hpp"
+#include "solver/rhs.hpp"
+
+namespace s3d::solver {
+
+using constants::Ru;
+
+void RhsEvaluator::apply_nscbc(const State& U, double t, State& dUdt) {
+  for (int axis : active_axes_) {
+    for (int side = 0; side < 2; ++side) {
+      const BcKind kind = cfg_.faces[axis][side].kind;
+      if (kind == BcKind::periodic) continue;
+      // Only the rank owning the physical face applies the condition.
+      const bool owns = side == 0 ? !ghosts_.lo[axis] : !ghosts_.hi[axis];
+      if (!owns) continue;
+      nscbc_face(U, t, dUdt, axis, side);
+    }
+  }
+}
+
+void RhsEvaluator::nscbc_face(const State& U, double t, State& dUdt,
+                              int axis, int side) {
+  (void)t;
+  const FaceBc& face = cfg_.faces[axis][side];
+  const int ns = mech_->n_species();
+  const Layout& l = l_;
+  const int n_axis = l.n(axis);
+  const int m0 = side == 0 ? 0 : n_axis - 1;
+  // Sampling direction for one-sided stencils: into the interior.
+  const int sgn = side == 0 ? +1 : -1;
+  const std::ptrdiff_t stride = l.stride(axis);
+
+  const int a1 = (axis + 1) % 3, a2 = (axis + 2) % 3;
+  const GField* vel[3] = {&prim_.u, &prim_.v, &prim_.w};
+
+  const double L_relax = cfg_.L_relax > 0.0
+                             ? cfg_.L_relax
+                             : (axis == 0 ? cfg_.x.length
+                                          : axis == 1 ? cfg_.y.length
+                                                      : cfg_.z.length);
+
+  double Yp[chem::kMaxSpecies], dY[chem::kMaxSpecies], LY[chem::kMaxSpecies];
+
+  for (int q = 0; q < l.n(a2); ++q) {
+    for (int r = 0; r < l.n(a1); ++r) {
+      int ijk[3];
+      ijk[axis] = m0;
+      ijk[a1] = r;
+      ijk[a2] = q;
+      const std::size_t n = l.at(ijk[0], ijk[1], ijk[2]);
+
+      const double rho = prim_.rho.data()[n];
+      const double p = prim_.p.data()[n];
+      const double T = prim_.T.data()[n];
+      const double Wbar = prim_.Wbar.data()[n];
+      const double un = vel[axis]->data()[n];
+      const double ut1 = vel[a1]->data()[n];
+      const double ut2 = vel[a2]->data()[n];
+      for (int s = 0; s < ns; ++s) Yp[s] = prim_.Y[s].data()[n];
+
+      const double cp =
+          mech_->cp_mass_mix(T, {Yp, static_cast<std::size_t>(ns)});
+      const double cv = cp - Ru / Wbar;
+      const double gamma = cp / cv;
+      const double c = std::sqrt(gamma * Ru * T / Wbar);
+
+      // One-sided physical derivatives along +axis at the face.
+      const double inv_h = ops_.inv_h(axis)[m0];
+      auto dn = [&](const double* f) {
+        return sgn * numerics::one_sided_deriv(f + n, stride, sgn) * inv_h;
+      };
+      const double drho = dn(prim_.rho.data());
+      const double dp = dn(prim_.p.data());
+      const double dun = dn(vel[axis]->data());
+      const double dut1 = dn(vel[a1]->data());
+      const double dut2 = dn(vel[a2]->data());
+      for (int s = 0; s < ns; ++s) dY[s] = dn(prim_.Y[s].data());
+
+      // Characteristic wave amplitudes (Poinsot-Lele).
+      double L1 = (un - c) * (dp - rho * c * dun);
+      double L5 = (un + c) * (dp + rho * c * dun);
+      double L2 = un * (c * c * drho - dp);
+      double L3 = un * dut1;
+      double L4 = un * dut2;
+      for (int s = 0; s < ns; ++s) LY[s] = un * dY[s];
+
+      const double M = std::min(std::abs(un) / c, 0.99);
+      const double K = face.sigma * (1.0 - M * M) * c / L_relax;
+
+      bool hold_state = false;  // inflow: primitive state is pinned
+      if (face.kind == BcKind::nscbc_outflow) {
+        if (side == 1) {
+          L1 = K * (p - face.p_target);
+          if (un < 0.0) { L2 = L3 = L4 = 0.0; for (int s = 0; s < ns; ++s) LY[s] = 0.0; }
+        } else {
+          L5 = K * (p - face.p_target);
+          if (un > 0.0) { L2 = L3 = L4 = 0.0; for (int s = 0; s < ns; ++s) LY[s] = 0.0; }
+        }
+      } else if (face.kind == BcKind::nscbc_inflow) {
+        hold_state = true;
+        // Outgoing acoustic wave is kept from the interior; all other
+        // amplitudes follow from d(u,T,Y)/dt = 0 on the face.
+        const double L_out = side == 0 ? L1 : L5;
+        L1 = L_out;
+        L5 = L_out;
+        L2 = (gamma - 1.0) * L_out;  // from dT/dt = 0 with fixed Y
+        L3 = L4 = 0.0;
+        for (int s = 0; s < ns; ++s) LY[s] = 0.0;
+      } else {
+        continue;  // periodic faces are handled by the halo exchange
+      }
+
+      // LODI "d" system.
+      const double d1 = (L2 + 0.5 * (L5 + L1)) / (c * c);
+      const double d2 = 0.5 * (L5 + L1);
+      const double d3 = (L5 - L1) / (2.0 * rho * c);
+      const double d4 = L3;
+      const double d5 = L4;
+
+      // Primitive time derivatives contributed by the normal terms.
+      const double rho_t = -d1;
+      const double p_t = -d2;
+      const double un_t = hold_state ? 0.0 : -d3;
+      const double ut1_t = hold_state ? 0.0 : -d4;
+      const double ut2_t = hold_state ? 0.0 : -d5;
+
+      // T_t from the EOS: T = p Wbar / (rho Ru); W_t from Y_t.
+      double sumYW_t = 0.0;
+      for (int s = 0; s < ns; ++s) sumYW_t += (hold_state ? 0.0 : -LY[s]) / mech_->W(s);
+      const double Wbar_t = -Wbar * Wbar * sumYW_t;
+      const double T_t = hold_state
+                             ? 0.0
+                             : T * (p_t / p - rho_t / rho + Wbar_t / Wbar);
+
+      // Conservative time derivatives replacing the normal inviscid part.
+      // First remove what the interior scheme put in: recompute the
+      // one-sided divergence of the normal Euler fluxes.
+      auto euler_flux_div = [&](auto flux_at) {
+        // flux_at(offset_index) evaluates the flux at points along the
+        // normal line; differentiate one-sidedly.
+        double fv[7];
+        for (int jj = 0; jj < 7; ++jj) fv[jj] = flux_at(n + sgn * jj * stride);
+        return sgn * numerics::one_sided_deriv(fv, 1, 1) * inv_h;
+      };
+
+      const double* re0 = U.var(UIndex::e0);
+      const double div_mass = euler_flux_div([&](std::size_t m) {
+        return prim_.rho.data()[m] * vel[axis]->data()[m];
+      });
+      const double div_mn = euler_flux_div([&](std::size_t m) {
+        return prim_.rho.data()[m] * vel[axis]->data()[m] *
+                   vel[axis]->data()[m] +
+               prim_.p.data()[m];
+      });
+      const double div_mt1 = euler_flux_div([&](std::size_t m) {
+        return prim_.rho.data()[m] * vel[axis]->data()[m] *
+               vel[a1]->data()[m];
+      });
+      const double div_mt2 = euler_flux_div([&](std::size_t m) {
+        return prim_.rho.data()[m] * vel[axis]->data()[m] *
+               vel[a2]->data()[m];
+      });
+      const double div_e = euler_flux_div([&](std::size_t m) {
+        return vel[axis]->data()[m] * (re0[m] + prim_.p.data()[m]);
+      });
+
+      // Energy pieces for the characteristic replacement.
+      double e_int = 0.0, sum_es_Yt = 0.0;
+      for (int s = 0; s < ns; ++s) {
+        const double es = chem::e_mass(mech_->species(s), T);
+        e_int += Yp[s] * es;
+        sum_es_Yt += es * (hold_state ? 0.0 : -LY[s]);
+      }
+      const double ke = 0.5 * (un * un + ut1 * ut1 + ut2 * ut2);
+      const double e0 = e_int + ke;
+      const double e_t = cv * T_t + sum_es_Yt;
+      const double ke_t = un * un_t + ut1 * ut1_t + ut2 * ut2_t;
+
+      // Map normal/tangential components back to x/y/z momentum slots.
+      double* d_rho = dUdt.var(UIndex::rho);
+      double* d_e = dUdt.var(UIndex::e0);
+      double* d_m[3] = {dUdt.var(UIndex::mx), dUdt.var(UIndex::my),
+                        dUdt.var(UIndex::mz)};
+
+      d_rho[n] += div_mass + rho_t;
+      d_m[axis][n] += div_mn + (un * rho_t + rho * un_t);
+      d_m[a1][n] += div_mt1 + (ut1 * rho_t + rho * ut1_t);
+      d_m[a2][n] += div_mt2 + (ut2 * rho_t + rho * ut2_t);
+      d_e[n] += div_e + (e0 * rho_t + rho * (e_t + ke_t));
+
+      for (int s = 0; s < ns - 1; ++s) {
+        const double div_Ys = euler_flux_div([&](std::size_t m) {
+          return prim_.rho.data()[m] * prim_.Y[s].data()[m] *
+                 vel[axis]->data()[m];
+        });
+        const double Ys_t = hold_state ? 0.0 : -LY[s];
+        dUdt.var(UIndex::Y0 + s)[n] += div_Ys + (Yp[s] * rho_t + rho * Ys_t);
+      }
+    }
+  }
+}
+
+}  // namespace s3d::solver

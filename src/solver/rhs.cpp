@@ -1,0 +1,425 @@
+#include "solver/rhs.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "chem/mixing.hpp"
+#include "chem/thermo.hpp"
+#include "common/constants.hpp"
+#include "common/timer.hpp"
+#include "numerics/stencil.hpp"
+
+namespace s3d::solver {
+
+using constants::Ru;
+
+namespace {
+
+// Iterate the interior; fn(flat_index, i, j, k).
+template <typename Fn>
+void for_interior(const Layout& l, Fn&& fn) {
+  for (int k = 0; k < l.nz; ++k)
+    for (int j = 0; j < l.ny; ++j) {
+      const std::size_t row = l.at(0, j, k);
+      for (int i = 0; i < l.nx; ++i) fn(row + i, i, j, k);
+    }
+}
+
+// Iterate interior plus the ghost shells that have been exchanged.
+template <typename Fn>
+void for_valid(const Layout& l, const GhostFlags& gh, Fn&& fn) {
+  const int klo = gh.lo[2] ? -l.gz : 0, khi = l.nz + (gh.hi[2] ? l.gz : 0);
+  const int jlo = gh.lo[1] ? -l.gy : 0, jhi = l.ny + (gh.hi[1] ? l.gy : 0);
+  const int ilo = gh.lo[0] ? -l.gx : 0, ihi = l.nx + (gh.hi[0] ? l.gx : 0);
+  for (int k = klo; k < khi; ++k)
+    for (int j = jlo; j < jhi; ++j) {
+      const std::size_t row = l.at(ilo, j, k);
+      for (int i = 0; i < ihi - ilo; ++i) fn(row + i);
+    }
+}
+
+}  // namespace
+
+RhsEvaluator::RhsEvaluator(const Config& cfg, const grid::Mesh& mesh,
+                           const Layout& l, std::array<int, 3> offset,
+                           GhostFlags ghosts, Halo halo)
+    : cfg_(cfg),
+      mesh_(&mesh),
+      l_(l),
+      offset_(offset),
+      ghosts_(ghosts),
+      ops_(l, mesh, offset, ghosts),
+      halo_(std::move(halo)),
+      mech_(cfg.mech),
+      fits_(*cfg.mech) {
+  S3D_REQUIRE(mech_ != nullptr, "Config.mech must be set");
+  const int ns = mech_->n_species();
+
+  prim_.allocate(l_, ns);
+  // Benign defaults in never-written ghost corners so pointwise math over
+  // stale cells cannot produce NaN/Inf that would slow everything down.
+  prim_.rho.fill(1.0);
+  prim_.p.fill(cfg_.p_ref);
+  prim_.Wbar.fill(28.0);
+
+  for (int a = 0; a < 3; ++a) {
+    for (int b = 0; b < 3; ++b) {
+      dudx_[a][b] = GField(l_);
+      tau_[a][b] = GField(l_);
+    }
+    gradW_[a] = GField(l_);
+    gradT_[a] = GField(l_);
+    q_[a] = GField(l_);
+  }
+  J_.resize(ns);
+  for (int s = 0; s < ns; ++s)
+    for (int a = 0; a < 3; ++a) J_[s][a] = GField(l_);
+  mu_f_ = GField(l_, 1.8e-5);
+  lam_f_ = GField(l_, 0.026);
+  flux_tmp_ = GField(l_);
+  deriv_tmp_ = GField(l_);
+
+  for (int a = 0; a < 3; ++a)
+    if (l_.active(a)) active_axes_.push_back(a);
+
+  // Calibrate the constant-Lewis / power-law closures at the reference
+  // state (air-like if the mechanism has O2 and N2, else equimolar).
+  std::vector<double> Xr(ns, 0.0), Yr(ns);
+  const int io2 = mech_->find("O2"), in2 = mech_->find("N2");
+  if (io2 >= 0 && in2 >= 0) {
+    Xr[io2] = 0.21;
+    Xr[in2] = 0.79;
+  } else {
+    std::fill(Xr.begin(), Xr.end(), 1.0 / ns);
+  }
+  mech_->Y_from_X(Xr, Yr);
+  const double Tr = cfg_.T_ref, pr = cfg_.p_ref;
+  const double rho_r = mech_->density(pr, Tr, Yr);
+  const double cp_r = mech_->cp_mass_mix(Tr, Yr);
+  const double lam_r = fits_.mixture_conductivity(Tr, Xr);
+  std::vector<double> Dr(ns);
+  fits_.mixture_diffusion(Tr, pr, Xr, Dr);
+  Le_.resize(ns);
+  for (int s = 0; s < ns; ++s) Le_[s] = lam_r / (rho_r * cp_r * Dr[s]);
+  mu_ref_pl_ = fits_.mixture_viscosity(Tr, Xr);
+}
+
+void RhsEvaluator::compute_transport_point(double T, double lnT, double rho,
+                                           double cp, const double* X,
+                                           double& mu, double& lam,
+                                           double* D) const {
+  const int ns = mech_->n_species();
+  switch (cfg_.transport) {
+    case TransportModel::power_law: {
+      mu = mu_ref_pl_ * std::pow(T / cfg_.T_ref, cfg_.visc_exp);
+      lam = mu * cp / cfg_.Pr;
+      const double alpha = lam / (rho * cp);
+      for (int s = 0; s < ns; ++s) D[s] = alpha / Le_[s];
+      return;
+    }
+    case TransportModel::constant_lewis: {
+      mu = fits_.mixture_viscosity(T, {X, static_cast<std::size_t>(ns)});
+      lam = fits_.mixture_conductivity(T, {X, static_cast<std::size_t>(ns)});
+      const double alpha = lam / (rho * cp);
+      for (int s = 0; s < ns; ++s) D[s] = alpha / Le_[s];
+      return;
+    }
+    case TransportModel::mixture_averaged: {
+      mu = fits_.mixture_viscosity(T, {X, static_cast<std::size_t>(ns)});
+      lam = fits_.mixture_conductivity(T, {X, static_cast<std::size_t>(ns)});
+      // p from the ideal-gas law at this point: D ~ 1/p handled inside.
+      const double p = rho * Ru * T /
+                       mech_->mean_W_from_X({X, static_cast<std::size_t>(ns)});
+      fits_.mixture_diffusion(T, p, {X, static_cast<std::size_t>(ns)},
+                              {D, static_cast<std::size_t>(ns)});
+      return;
+    }
+  }
+}
+
+void RhsEvaluator::eval(const State& U, double t, State& dUdt) {
+  Timer phase;
+  const int ns = mech_->n_species();
+  const int nv = n_conserved(ns);
+
+  // ---- 1. primitives ----
+  phase.reset();
+  prim_from_conserved(*mech_, U, prim_);
+  timers_.primitives += phase.seconds();
+
+  // ---- 2. halo exchange of primitives (paper: ghost zone construction
+  //         via non-blocking nearest-neighbour messages) ----
+  phase.reset();
+  {
+    std::vector<double*> fields = {prim_.rho.data(), prim_.u.data(),
+                                   prim_.v.data(),   prim_.w.data(),
+                                   prim_.T.data(),   prim_.p.data(),
+                                   prim_.Wbar.data()};
+    // Total energy is needed in ghost shells for the convective flux;
+    // exchange it directly from U (interior is owned by the integrator).
+    fields.push_back(const_cast<double*>(U.var(UIndex::e0)));
+    for (int s = 0; s < ns; ++s) fields.push_back(prim_.Y[s].data());
+    halo_.exchange(fields);
+  }
+  timers_.halo += phase.seconds();
+
+  if (cfg_.include_viscous) {
+    // ---- 3. gradients ----
+    phase.reset();
+    for (int a : active_axes_) {
+      ops_.deriv(prim_.u, a, dudx_[0][a]);
+      ops_.deriv(prim_.v, a, dudx_[1][a]);
+      ops_.deriv(prim_.w, a, dudx_[2][a]);
+      ops_.deriv(prim_.T, a, gradT_[a]);
+      ops_.deriv(prim_.Wbar, a, gradW_[a]);
+      for (int s = 0; s < ns; ++s) ops_.deriv(prim_.Y[s], a, J_[s][a]);
+    }
+    timers_.gradients += phase.seconds();
+
+    // ---- 4. transport properties and diffusive fluxes (interior) ----
+    // This is the COMPUTESPECIESDIFFFLUX / COMPUTEHEATFLUX kernel family
+    // of the paper's fig. 2/4.
+    phase.reset();
+    double X[chem::kMaxSpecies], Yp[chem::kMaxSpecies], D[chem::kMaxSpecies];
+    double Jp[chem::kMaxSpecies][3];
+    for_interior(l_, [&](std::size_t n, int, int, int) {
+      const double T = prim_.T.data()[n];
+      const double lnT = std::log(T);
+      const double rho = prim_.rho.data()[n];
+      const double Wbar = prim_.Wbar.data()[n];
+      for (int s = 0; s < ns; ++s) {
+        Yp[s] = prim_.Y[s].data()[n];
+        X[s] = Yp[s] * Wbar / mech_->W(s);
+      }
+      const double cp =
+          mech_->cp_mass_mix(T, {Yp, static_cast<std::size_t>(ns)});
+      double mu, lam;
+      compute_transport_point(T, lnT, rho, cp, X, mu, lam, D);
+      mu_f_.data()[n] = mu;
+      lam_f_.data()[n] = lam;
+
+      // Stress tensor, paper eq. 14.
+      double divu = 0.0;
+      for (int a : active_axes_) divu += dudx_[a][a].data()[n];
+      for (int a : active_axes_)
+        for (int b : active_axes_) {
+          double tv = mu * (dudx_[a][b].data()[n] + dudx_[b][a].data()[n]);
+          if (a == b) tv -= (2.0 / 3.0) * mu * divu;
+          tau_[a][b].data()[n] = tv;
+        }
+
+      // Species diffusive fluxes, paper eqs. 18-19, with the correction
+      // that enforces eq. 15 (sum of fluxes = 0). The optional Soret term
+      // is the second term of eq. 16 with constant thermal-diffusion
+      // ratios.
+      double sumJ[3] = {0, 0, 0};
+      for (int s = 0; s < ns; ++s) {
+        const double rD = rho * D[s];
+        const double soret =
+            cfg_.include_soret
+                ? transport::soret_ratio(mech_->species(s)) * Yp[s] / T
+                : 0.0;
+        for (int a : active_axes_) {
+          const double gy = J_[s][a].data()[n];  // holds dY_s/dx_a
+          double j = -rD * (gy + Yp[s] * gradW_[a].data()[n] / Wbar);
+          if (cfg_.include_soret) j -= rD * soret * gradT_[a].data()[n];
+          Jp[s][a] = j;
+          sumJ[a] += j;
+        }
+      }
+      for (int s = 0; s < ns; ++s)
+        for (int a : active_axes_)
+          J_[s][a].data()[n] = Jp[s][a] - Yp[s] * sumJ[a];
+
+      // Heat flux, paper eq. 20: Fourier + species-enthalpy transport.
+      for (int a : active_axes_) {
+        double qa = -lam * gradT_[a].data()[n];
+        for (int s = 0; s < ns; ++s)
+          qa += chem::h_mass(mech_->species(s), T) * J_[s][a].data()[n];
+        q_[a].data()[n] = qa;
+      }
+    });
+    timers_.diffusive_flux += phase.seconds();
+
+    // ---- 5. halo exchange of diffusive fluxes ----
+    phase.reset();
+    {
+      std::vector<double*> fields;
+      for (int a : active_axes_) {
+        for (int b : active_axes_)
+          if (b >= a) fields.push_back(tau_[a][b].data());
+        fields.push_back(q_[a].data());
+        for (int s = 0; s < ns; ++s) fields.push_back(J_[s][a].data());
+      }
+      halo_.exchange(fields);
+      // Symmetric lower triangle mirrors the exchanged upper triangle.
+      for (int a : active_axes_)
+        for (int b : active_axes_)
+          if (b < a) tau_[a][b] = tau_[b][a];
+    }
+    timers_.halo += phase.seconds();
+  }
+
+  // ---- 6. total flux divergences ----
+  phase.reset();
+  auto du_all = dUdt.flat();
+  std::fill(du_all.begin(), du_all.end(), 0.0);
+
+  const double* re0 = U.var(UIndex::e0);
+  const bool visc = cfg_.include_viscous;
+  for (int b : active_axes_) {
+    const GField& ub = b == 0 ? prim_.u : b == 1 ? prim_.v : prim_.w;
+
+    auto add_div = [&](int v) {
+      ops_.deriv(flux_tmp_.data(), b, deriv_tmp_.data(), deriv_tmp_.size());
+      double* out = dUdt.var(v);
+      for_interior(l_, [&](std::size_t n, int, int, int) {
+        out[n] -= deriv_tmp_.data()[n];
+      });
+    };
+
+    // Mass: rho u_b.
+    for_valid(l_, ghosts_, [&](std::size_t n) {
+      flux_tmp_.data()[n] = prim_.rho.data()[n] * ub.data()[n];
+    });
+    add_div(UIndex::rho);
+
+    // Momentum components (only active axes can carry momentum).
+    for (int a : active_axes_) {
+      const GField& ua = a == 0 ? prim_.u : a == 1 ? prim_.v : prim_.w;
+      const double* taup = visc ? tau_[a][b].data() : nullptr;
+      for_valid(l_, ghosts_, [&](std::size_t n) {
+        double f = prim_.rho.data()[n] * ua.data()[n] * ub.data()[n];
+        if (a == b) f += prim_.p.data()[n];
+        if (taup) f -= taup[n];
+        flux_tmp_.data()[n] = f;
+      });
+      add_div(UIndex::mx + a);
+    }
+
+    // Total energy: u_b (rho e0 + p) - (tau . u)_b + q_b.
+    for_valid(l_, ghosts_, [&](std::size_t n) {
+      double f = ub.data()[n] * (re0[n] + prim_.p.data()[n]);
+      if (visc) {
+        for (int a : active_axes_) {
+          const GField& ua = a == 0 ? prim_.u : a == 1 ? prim_.v : prim_.w;
+          f -= tau_[a][b].data()[n] * ua.data()[n];
+        }
+        f += q_[b].data()[n];
+      }
+      flux_tmp_.data()[n] = f;
+    });
+    add_div(UIndex::e0);
+
+    // Species (first ns-1): rho Y_s u_b + J_sb.
+    for (int s = 0; s < ns - 1; ++s) {
+      const double* Jp = visc ? J_[s][b].data() : nullptr;
+      for_valid(l_, ghosts_, [&](std::size_t n) {
+        double f = prim_.rho.data()[n] * prim_.Y[s].data()[n] * ub.data()[n];
+        if (Jp) f += Jp[n];
+        flux_tmp_.data()[n] = f;
+      });
+      add_div(UIndex::Y0 + s);
+    }
+  }
+  timers_.convective += phase.seconds();
+
+  // ---- 7. chemistry (paper's REACTION_RATE kernel) ----
+  if (cfg_.include_chemistry && mech_->n_reactions() > 0) {
+    phase.reset();
+    double c[chem::kMaxSpecies], wdot[chem::kMaxSpecies];
+    for_interior(l_, [&](std::size_t n, int, int, int) {
+      const double rho = prim_.rho.data()[n];
+      const double T = prim_.T.data()[n];
+      for (int s = 0; s < ns; ++s)
+        c[s] = rho * prim_.Y[s].data()[n] / mech_->W(s);
+      mech_->production_rates(T, {c, static_cast<std::size_t>(ns)},
+                              {wdot, static_cast<std::size_t>(ns)});
+      for (int s = 0; s < ns - 1; ++s)
+        dUdt.var(UIndex::Y0 + s)[n] += wdot[s] * mech_->W(s);
+    });
+    timers_.reaction_rate += phase.seconds();
+  }
+
+  // ---- 8. characteristic boundary conditions + absorbing layers ----
+  phase.reset();
+  apply_nscbc(U, t, dUdt);
+  apply_sponges(U, dUdt);
+  timers_.boundary += phase.seconds();
+
+  ++timers_.evals;
+  (void)nv;
+}
+
+// Absorbing layers ahead of outflow faces: relax toward the same-(T,Y,u)
+// state at the target pressure, whose conserved vector is (p_t/p) U, with a
+// cubic strength ramp. Damps the wave pile-up the reduced-order boundary
+// closures would otherwise accumulate.
+void RhsEvaluator::apply_sponges(const State& U, State& dUdt) {
+  for (int axis : active_axes_) {
+    for (int side = 0; side < 2; ++side) {
+      const FaceBc& face = cfg_.faces[axis][side];
+      if (face.sponge_width <= 0.0) continue;
+      if (face.kind != BcKind::nscbc_outflow) continue;
+
+      // Face coordinate in global mesh space.
+      const auto& xs = mesh_->coords(axis);
+      const double x_face = side == 0 ? xs.front() : xs.back();
+      // Reference sound speed for the relaxation rate.
+      const double c_ref = std::sqrt(1.3 * Ru * cfg_.T_ref / 28.0);
+      const double sig0 =
+          face.sponge_strength * c_ref / face.sponge_width;
+      const int nv = dUdt.nv();
+
+      for_interior(l_, [&](std::size_t n, int i, int j, int k) {
+        const int idx3[3] = {i, j, k};
+        const double x = xs[offset_[axis] + idx3[axis]];
+        const double dist = std::abs(x - x_face);
+        if (dist >= face.sponge_width) return;
+        const double xi = 1.0 - dist / face.sponge_width;
+        const double sig = sig0 * xi * xi * xi;
+        const double p = prim_.p.data()[n];
+        const double fac = sig * (1.0 - face.p_target / p);
+        for (int v = 0; v < nv; ++v)
+          dUdt.var(v)[n] -= fac * U.var(v)[n];
+      });
+    }
+  }
+}
+
+double RhsEvaluator::suggest_dt() const {
+  const int ns = mech_->n_species();
+  double dt = 1e30;
+  double Le_min = 1.0;
+  for (int s = 0; s < ns; ++s) Le_min = std::min(Le_min, Le_[s]);
+  double Yp[chem::kMaxSpecies];
+
+  for_interior(l_, [&](std::size_t n, int i, int j, int k) {
+    const double T = prim_.T.data()[n];
+    const double rho = prim_.rho.data()[n];
+    const double Wbar = prim_.Wbar.data()[n];
+    for (int s = 0; s < ns; ++s) Yp[s] = prim_.Y[s].data()[n];
+    const double cp =
+        mech_->cp_mass_mix(T, {Yp, static_cast<std::size_t>(ns)});
+    const double gamma = cp / (cp - Ru / Wbar);
+    const double c = std::sqrt(gamma * Ru * T / Wbar);
+    const double vel[3] = {prim_.u.data()[n], prim_.v.data()[n],
+                           prim_.w.data()[n]};
+    const int idx3[3] = {i, j, k};
+    double h_min = 1e30;
+    for (int a : active_axes_) {
+      const double h = 1.0 / ops_.inv_h(a)[idx3[a]];
+      h_min = std::min(h_min, h);
+      dt = std::min(dt, cfg_.cfl * h / (std::abs(vel[a]) + c));
+    }
+    if (cfg_.include_viscous) {
+      const double nu = mu_f_.data()[n] / rho;
+      const double alpha = lam_f_.data()[n] / (rho * cp);
+      const double dmax = std::max(nu, alpha / Le_min);
+      dt = std::min(dt, cfg_.fourier * h_min * h_min / std::max(dmax, 1e-30));
+    }
+  });
+  return dt;
+}
+
+}  // namespace s3d::solver

@@ -1,0 +1,108 @@
+#pragma once
+// Right-hand-side assembly for the compressible reacting Navier-Stokes
+// equations in conservative form (paper eqs. 1-4):
+//
+//   d(rho)/dt    = -div(rho u)
+//   d(rho u)/dt  = -div(rho u u) - grad p + div tau
+//   d(rho e0)/dt = -div(u (rho e0 + p)) + div(tau . u) - div q
+//   d(rho Y)/dt  = -div(rho Y u) - div J + W wdot
+//
+// with tau from eq. 14, J from the mixture-averaged model eqs. 18-19 plus
+// the correction velocity that enforces eq. 15, and q from eq. 20.
+//
+// Evaluation order per call (which is also S3D's structure):
+//   1. primitives from U (interior), 2. halo exchange of primitives,
+//   3. gradients + transport + diffusive fluxes (interior),
+//   4. halo exchange of diffusive fluxes, 5. total flux divergences and
+//      chemistry, 6. NSCBC boundary corrections.
+
+#include <array>
+#include <memory>
+
+#include "solver/config.hpp"
+#include "solver/field_ops.hpp"
+#include "solver/halo.hpp"
+#include "solver/state.hpp"
+#include "transport/transport.hpp"
+
+namespace s3d::solver {
+
+/// Per-kernel wall-clock accounting (feeds the paper's fig. 2 profile).
+struct RhsTimers {
+  double primitives = 0.0;
+  double halo = 0.0;
+  double gradients = 0.0;
+  double transport_props = 0.0;
+  double diffusive_flux = 0.0;
+  double reaction_rate = 0.0;
+  double convective = 0.0;
+  double boundary = 0.0;
+  int evals = 0;
+};
+
+class RhsEvaluator {
+ public:
+  /// `offset`: global index of this rank's first interior point per axis;
+  /// `ghosts`: which sides have exchanged ghost shells; `halo` performs
+  /// the exchanges (serial or parallel).
+  RhsEvaluator(const Config& cfg, const grid::Mesh& mesh, const Layout& l,
+               std::array<int, 3> offset, GhostFlags ghosts, Halo halo);
+
+  /// Evaluate dU/dt at time t. Interiors of dUdt are written; its ghost
+  /// entries are zeroed.
+  void eval(const State& U, double t, State& dUdt);
+
+  /// Primitive fields from the most recent eval (valid incl. exchanged
+  /// ghost shells).
+  const Prim& prim() const { return prim_; }
+  Prim& prim() { return prim_; }
+
+  /// Stable time step from the most recent primitives: acoustic CFL plus
+  /// diffusive limit (serial estimate; reduce across ranks for parallel).
+  double suggest_dt() const;
+
+  const RhsTimers& timers() const { return timers_; }
+  void reset_timers() { timers_ = RhsTimers{}; }
+
+  const Layout& layout() const { return l_; }
+  const FieldOps& ops() const { return ops_; }
+  const chem::Mechanism& mech() const { return *cfg_.mech; }
+  const Config& config() const { return cfg_; }
+
+ private:
+  void compute_transport_point(double T, double lnT, double rho, double cp,
+                               const double* X, double& mu, double& lam,
+                               double* D) const;
+  void apply_nscbc(const State& U, double t, State& dUdt);
+  void nscbc_face(const State& U, double t, State& dUdt, int axis, int side);
+  void apply_sponges(const State& U, State& dUdt);
+
+  Config cfg_;
+  const grid::Mesh* mesh_;
+  Layout l_;
+  std::array<int, 3> offset_;
+  GhostFlags ghosts_;
+  FieldOps ops_;
+  Halo halo_;
+  std::shared_ptr<const chem::Mechanism> mech_;
+  transport::TransportFits fits_;
+
+  Prim prim_;
+  // Work fields.
+  std::array<std::array<GField, 3>, 3> dudx_;  ///< dudx_[comp][axis]
+  std::array<GField, 3> gradW_;
+  std::array<GField, 3> gradT_;
+  std::vector<std::array<GField, 3>> J_;  ///< per species, per axis
+  std::array<std::array<GField, 3>, 3> tau_;
+  std::array<GField, 3> q_;
+  GField mu_f_, lam_f_;
+  GField flux_tmp_, deriv_tmp_;
+
+  std::vector<double> Le_;       ///< constant Lewis numbers
+  double mu_ref_pl_ = 1.8e-5;    ///< power-law reference viscosity
+  std::vector<int> active_axes_;
+
+  RhsTimers timers_;
+};
+
+}  // namespace s3d::solver

@@ -1,0 +1,199 @@
+#include "solver/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace s3d::solver {
+
+Solver::Solver(const Config& cfg) : scheme_(numerics::rk_carpenter_kennedy4()) {
+  setup(cfg, nullptr, 1, 1, 1);
+}
+
+Solver::Solver(const Config& cfg, vmpi::Comm& comm, int px, int py, int pz)
+    : scheme_(numerics::rk_carpenter_kennedy4()) {
+  setup(cfg, &comm, px, py, pz);
+}
+
+void Solver::setup(const Config& cfg, vmpi::Comm* comm, int px, int py,
+                   int pz) {
+  cfg_ = cfg;
+  comm_ = comm;
+  S3D_REQUIRE(cfg_.mech != nullptr, "Config.mech must be set");
+  const int ns = cfg_.mech->n_species();
+
+  mesh_ = std::make_unique<grid::Mesh>(cfg_.x, cfg_.y, cfg_.z);
+
+  std::array<bool, 3> periodic{cfg_.x.periodic, cfg_.y.periodic,
+                               cfg_.z.periodic};
+  const grid::AxisSpec* specs[3] = {&cfg_.x, &cfg_.y, &cfg_.z};
+  for (int a = 0; a < 3; ++a) {
+    if (specs[a]->n <= 1) continue;  // inactive axis: faces are unused
+    const bool face_periodic = cfg_.faces[a][0].kind == BcKind::periodic &&
+                               cfg_.faces[a][1].kind == BcKind::periodic;
+    S3D_REQUIRE(periodic[a] == face_periodic,
+                "axis periodicity must match both face BCs");
+  }
+
+  Layout l;
+  GhostFlags gh;
+  if (comm) {
+    grid::Decomp dec(mesh_->nx(), mesh_->ny(), mesh_->nz(), px, py, pz);
+    S3D_REQUIRE(dec.nranks() == comm->size(),
+                "process grid does not match communicator");
+    cart_ = std::make_unique<vmpi::Cart>(*comm, px, py, pz, periodic);
+    const auto c = cart_->coords();
+    std::array<int, 3> ext{};
+    for (int a = 0; a < 3; ++a) {
+      auto [b, e] = dec.local_range(a, c[a]);
+      offset_[a] = b;
+      ext[a] = e - b;
+    }
+    l = Layout::make(ext[0], ext[1], ext[2]);
+    for (int a = 0; a < 3; ++a) {
+      gh.lo[a] = cart_->neighbor(a, -1) >= 0;
+      gh.hi[a] = cart_->neighbor(a, +1) >= 0;
+    }
+  } else {
+    l = Layout::make(mesh_->nx(), mesh_->ny(), mesh_->nz());
+    for (int a = 0; a < 3; ++a) {
+      gh.lo[a] = periodic[a] && l.active(a);
+      gh.hi[a] = gh.lo[a];
+    }
+  }
+
+  Halo halo = comm ? Halo(l, periodic, comm, cart_.get())
+                   : Halo(l, periodic);
+  halo_state_ = std::make_unique<Halo>(halo);
+  rhs_ = std::make_unique<RhsEvaluator>(cfg_, *mesh_, l, offset_, gh, halo);
+
+  const int nv = n_conserved(ns);
+  U_ = State(l, nv);
+  dU_ = State(l, nv);
+  k_ = State(l, nv);
+  filt_tmp_ = GField(l);
+}
+
+void Solver::initialize(const InitFn& init) {
+  const Layout& l = rhs_->layout();
+  const int ns = cfg_.mech->n_species();
+  InflowState s;
+  double u_pt[32];
+  for (int k = 0; k < l.nz; ++k)
+    for (int j = 0; j < l.ny; ++j)
+      for (int i = 0; i < l.nx; ++i) {
+        double p = cfg_.p_ref;
+        init(coord(0, i), coord(1, j), coord(2, k), s, p);
+        const double rho = cfg_.mech->density(
+            p, s.T, {s.Y.data(), static_cast<std::size_t>(ns)});
+        point_to_conserved(*cfg_.mech, rho, s.u, s.v, s.w, s.T,
+                           {s.Y.data(), static_cast<std::size_t>(ns)},
+                           {u_pt, static_cast<std::size_t>(n_conserved(ns))});
+        for (int v = 0; v < U_.nv(); ++v)
+          U_.var(v)[l.at(i, j, k)] = u_pt[v];
+      }
+  t_ = 0.0;
+  steps_ = 0;
+  dt_cached_ = -1.0;
+}
+
+void Solver::step(double dt) {
+  auto k = k_.flat();
+  auto u = U_.flat();
+  std::fill(k.begin(), k.end(), 0.0);
+  for (int s = 0; s < scheme_.stages(); ++s) {
+    rhs_->eval(U_, t_ + scheme_.C[s] * dt, dU_);
+    const double A = scheme_.A[s], B = scheme_.B[s];
+    const auto& du = dU_.flat();
+    for (std::size_t i = 0; i < u.size(); ++i) {
+      k[i] = A * k[i] + dt * du[i];
+      u[i] += B * k[i];
+    }
+  }
+  t_ += dt;
+  ++steps_;
+  enforce_inflow();
+  if (cfg_.filter_interval > 0 && steps_ % cfg_.filter_interval == 0)
+    apply_filter();
+}
+
+void Solver::enforce_inflow() {
+  if (!cfg_.inflow) return;
+  const Layout& l = rhs_->layout();
+  const int ns = cfg_.mech->n_species();
+  for (int axis = 0; axis < 3; ++axis) {
+    for (int side = 0; side < 2; ++side) {
+      if (cfg_.faces[axis][side].kind != BcKind::nscbc_inflow) continue;
+      const bool owns =
+          side == 0 ? !rhs_->ops().ghosts().lo[axis] : !rhs_->ops().ghosts().hi[axis];
+      if (!owns) continue;
+      S3D_REQUIRE(axis == 0 && side == 0,
+                  "inflow is supported on the low-x face");
+      InflowState s;
+      double u_pt[32];
+      for (int k = 0; k < l.nz; ++k)
+        for (int j = 0; j < l.ny; ++j) {
+          cfg_.inflow(t_, coord(1, j), coord(2, k), s);
+          const std::size_t n = l.at(0, j, k);
+          // Density continues to float (the outgoing characteristic owns
+          // it); velocity, temperature and composition are imposed.
+          const double rho = U_.var(UIndex::rho)[n];
+          point_to_conserved(*cfg_.mech, rho, s.u, s.v, s.w, s.T,
+                             {s.Y.data(), static_cast<std::size_t>(ns)},
+                             {u_pt, static_cast<std::size_t>(U_.nv())});
+          for (int v = 0; v < U_.nv(); ++v) U_.var(v)[n] = u_pt[v];
+        }
+    }
+  }
+}
+
+void Solver::apply_filter() {
+  const Layout& l = rhs_->layout();
+  std::vector<double*> vars;
+  for (int v = 0; v < U_.nv(); ++v) vars.push_back(U_.var(v));
+  for (int axis = 0; axis < 3; ++axis) {
+    if (!l.active(axis)) continue;
+    halo_state_->exchange(vars);
+    for (double* f : vars) {
+      rhs_->ops().filter_axis(f, axis, cfg_.filter_alpha, filt_tmp_.data());
+      // Copy filtered interior back.
+      for (int k = 0; k < l.nz; ++k)
+        for (int j = 0; j < l.ny; ++j) {
+          const std::size_t row = l.at(0, j, k);
+          std::copy(filt_tmp_.data() + row, filt_tmp_.data() + row + l.nx,
+                    f + row);
+        }
+    }
+  }
+}
+
+double Solver::stable_dt() {
+  // Ensure primitives (and transport fields) reflect the current state.
+  rhs_->eval(U_, t_, dU_);
+  double dt = rhs_->suggest_dt();
+  if (comm_) dt = comm_->allreduce_min(dt);
+  return dt;
+}
+
+void Solver::run(int nsteps, const std::function<void(int)>& monitor,
+                 int dt_every) {
+  for (int s = 0; s < nsteps; ++s) {
+    if (dt_cached_ < 0.0 || (dt_every > 0 && s % dt_every == 0))
+      dt_cached_ = stable_dt();
+    step(dt_cached_);
+    if (monitor) monitor(s);
+  }
+}
+
+const Prim& Solver::primitives() {
+  prim_from_conserved(*cfg_.mech, U_, rhs_->prim());
+  const int ns = cfg_.mech->n_species();
+  std::vector<double*> fields = {
+      rhs_->prim().rho.data(), rhs_->prim().u.data(), rhs_->prim().v.data(),
+      rhs_->prim().w.data(),   rhs_->prim().T.data(), rhs_->prim().p.data(),
+      rhs_->prim().Wbar.data()};
+  for (int s = 0; s < ns; ++s) fields.push_back(rhs_->prim().Y[s].data());
+  halo_state_->exchange(fields);
+  return rhs_->prim();
+}
+
+}  // namespace s3d::solver

@@ -1,0 +1,83 @@
+#pragma once
+// Time-integration driver: owns the mesh, the conserved state, and the RHS
+// evaluator; advances with the low-storage Runge-Kutta scheme, applies the
+// 10th-order filter, and enforces the (possibly turbulent) inflow plane.
+
+#include <functional>
+#include <memory>
+
+#include "numerics/rk.hpp"
+#include "solver/config.hpp"
+#include "solver/rhs.hpp"
+
+namespace s3d::solver {
+
+class Solver {
+ public:
+  /// Serial solver over the whole domain.
+  explicit Solver(const Config& cfg);
+
+  /// Parallel solver: this rank's share of a (px, py, pz) decomposition.
+  Solver(const Config& cfg, vmpi::Comm& comm, int px, int py, int pz);
+
+  /// Apply the initial condition over the local interior.
+  void initialize(const InitFn& init);
+
+  /// One RK step of size dt at the current time.
+  void step(double dt);
+
+  /// Advance `nsteps` with automatic dt (re-estimated every `dt_every`
+  /// steps); invokes monitor(step_index) when provided.
+  void run(int nsteps, const std::function<void(int)>& monitor = {},
+           int dt_every = 5);
+
+  /// Stable dt from the current state (parallel-reduced when parallel).
+  double stable_dt();
+
+  double time() const { return t_; }
+  int steps_taken() const { return steps_; }
+  /// Restore clock/step counter (restart-file loading).
+  void set_time(double t, int steps) {
+    t_ = t;
+    steps_ = steps;
+    dt_cached_ = -1.0;
+  }
+
+  /// Recompute primitives from the current conserved state (diagnostics;
+  /// ghost shells are re-exchanged too) and return them.
+  const Prim& primitives();
+
+  State& state() { return U_; }
+  const State& state() const { return U_; }
+  const Layout& layout() const { return rhs_->layout(); }
+  const grid::Mesh& mesh() const { return *mesh_; }
+  RhsEvaluator& rhs() { return *rhs_; }
+  /// Global index offset of the local box.
+  std::array<int, 3> offset() const { return offset_; }
+
+  /// Physical coordinate of local interior index along an axis.
+  double coord(int axis, int local_idx) const {
+    return mesh_->coord(axis, offset_[axis] + local_idx);
+  }
+
+ private:
+  void setup(const Config& cfg, vmpi::Comm* comm, int px, int py, int pz);
+  void enforce_inflow();
+  void apply_filter();
+
+  Config cfg_;
+  std::unique_ptr<grid::Mesh> mesh_;
+  std::unique_ptr<vmpi::Cart> cart_;
+  vmpi::Comm* comm_ = nullptr;
+  std::array<int, 3> offset_{0, 0, 0};
+  std::unique_ptr<RhsEvaluator> rhs_;
+  std::unique_ptr<Halo> halo_state_;  ///< for filtering U
+  State U_, dU_, k_;
+  GField filt_tmp_;
+  numerics::RkScheme scheme_;
+  double t_ = 0.0;
+  double dt_cached_ = -1.0;
+  int steps_ = 0;
+};
+
+}  // namespace s3d::solver

@@ -1,0 +1,89 @@
+#pragma once
+// Conserved-variable state and primitive-variable workspace.
+//
+// Conserved vector per grid point (paper eqs. 1-4):
+//   U = [rho, rho u, rho v, rho w, rho e0, rho Y_1 .. rho Y_{Ns-1}]
+// The last species is recovered from sum(Y) = 1 (paper eq. 6).
+
+#include <span>
+#include <vector>
+
+#include "chem/mechanism.hpp"
+#include "solver/layout.hpp"
+
+namespace s3d::solver {
+
+/// Indices into the conserved vector.
+struct UIndex {
+  static constexpr int rho = 0;
+  static constexpr int mx = 1;
+  static constexpr int my = 2;
+  static constexpr int mz = 3;
+  static constexpr int e0 = 4;
+  static constexpr int Y0 = 5;  ///< first of Ns-1 partial densities
+};
+
+/// Number of conserved variables for a mechanism with ns species.
+inline int n_conserved(int ns) { return 5 + ns - 1; }
+
+/// Flat conserved state over a ghosted box: nv contiguous GField-shaped
+/// blocks so the whole state is one span for the RK integrator.
+class State {
+ public:
+  State() = default;
+  State(const Layout& l, int nv)
+      : l_(l), nv_(nv), block_(l.total()), u_(block_ * nv, 0.0) {}
+
+  const Layout& layout() const { return l_; }
+  int nv() const { return nv_; }
+
+  double* var(int v) { return u_.data() + block_ * v; }
+  const double* var(int v) const { return u_.data() + block_ * v; }
+
+  double& at(int v, int i, int j, int k) { return var(v)[l_.at(i, j, k)]; }
+  double at(int v, int i, int j, int k) const {
+    return var(v)[l_.at(i, j, k)];
+  }
+
+  std::span<double> flat() { return u_; }
+  std::span<const double> flat() const { return u_; }
+  std::size_t block() const { return block_; }
+
+ private:
+  Layout l_;
+  int nv_ = 0;
+  std::size_t block_ = 0;
+  std::vector<double> u_;
+};
+
+/// Primitive fields recomputed from U at every RHS evaluation. All carry
+/// ghosts; interiors are filled by prim_from_conserved, ghosts by halo
+/// exchange / periodic wrap.
+struct Prim {
+  GField rho, u, v, w, T, p;
+  GField Wbar;              ///< mean molecular weight
+  std::vector<GField> Y;    ///< ns mass fractions
+
+  void allocate(const Layout& l, int ns) {
+    rho = GField(l);
+    u = GField(l);
+    v = GField(l);
+    w = GField(l);
+    T = GField(l, 300.0);
+    p = GField(l);
+    Wbar = GField(l);
+    Y.assign(ns, GField(l));
+  }
+};
+
+/// Fill Prim interiors (plus any already-valid ghost region is ignored)
+/// from the conserved state. `T_prev` seeds the Newton iteration for T.
+void prim_from_conserved(const chem::Mechanism& mech, const State& U,
+                         Prim& prim);
+
+/// Build the conserved state at one point from primitives.
+void point_to_conserved(const chem::Mechanism& mech, double rho, double uu,
+                        double vv, double ww, double T,
+                        std::span<const double> Y, std::span<double> u_point);
+
+}  // namespace s3d::solver

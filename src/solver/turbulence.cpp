@@ -1,0 +1,82 @@
+#include "solver/turbulence.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace s3d::solver {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+
+// von Karman-like energy spectrum shape (unnormalized): peaks near k_e.
+double spectrum_shape(double k, double k_e) {
+  const double r = k / k_e;
+  return std::pow(r, 4) / std::pow(1.0 + r * r, 17.0 / 6.0);
+}
+}  // namespace
+
+SyntheticTurbulence::SyntheticTurbulence(double u_rms, double length,
+                                         int n_modes, std::uint64_t seed,
+                                         bool two_d)
+    : u_rms_(u_rms), length_(length) {
+  S3D_REQUIRE(u_rms >= 0.0 && length > 0.0 && n_modes > 0,
+              "bad turbulence parameters");
+  Rng rng(seed);
+  const double k_e = 2.0 * kPi / length;
+
+  modes_.resize(n_modes);
+  for (auto& m : modes_) {
+    // Log-uniform wavenumber magnitude spanning ~1.5 decades around k_e,
+    // weighted by the spectrum so energy concentrates near k_e.
+    const double k_mag = k_e * std::pow(10.0, rng.uniform(-0.7, 0.8));
+    const double amp = std::sqrt(spectrum_shape(k_mag, k_e));
+
+    std::array<double, 3> khat;
+    if (two_d) {
+      const double th = rng.uniform(0.0, 2.0 * kPi);
+      khat = {std::cos(th), std::sin(th), 0.0};
+      // In-plane unit vector perpendicular to k.
+      m.sigma = {-khat[1] * amp, khat[0] * amp, 0.0};
+    } else {
+      const double ct = rng.uniform(-1.0, 1.0);
+      const double st = std::sqrt(1.0 - ct * ct);
+      const double ph = rng.uniform(0.0, 2.0 * kPi);
+      khat = {st * std::cos(ph), st * std::sin(ph), ct};
+      // Random direction perpendicular to k: project a random vector.
+      std::array<double, 3> r{rng.normal(), rng.normal(), rng.normal()};
+      const double dot = r[0] * khat[0] + r[1] * khat[1] + r[2] * khat[2];
+      for (int a = 0; a < 3; ++a) r[a] -= dot * khat[a];
+      const double norm =
+          std::sqrt(r[0] * r[0] + r[1] * r[1] + r[2] * r[2]) + 1e-300;
+      for (int a = 0; a < 3; ++a) m.sigma[a] = r[a] / norm * amp;
+    }
+    for (int a = 0; a < 3; ++a) m.k[a] = khat[a] * k_mag;
+    m.phase = rng.uniform(0.0, 2.0 * kPi);
+  }
+
+  // Normalize so the mean per-component variance equals u_rms^2.
+  double var = 0.0;
+  for (const auto& m : modes_)
+    for (int a = 0; a < 3; ++a) var += 2.0 * m.sigma[a] * m.sigma[a];
+  const int ncomp = two_d ? 2 : 3;
+  var /= ncomp;
+  const double scale = var > 0.0 ? u_rms / std::sqrt(var) : 0.0;
+  for (auto& m : modes_)
+    for (int a = 0; a < 3; ++a) m.sigma[a] *= scale;
+}
+
+std::array<double, 3> SyntheticTurbulence::velocity(double x, double y,
+                                                    double z) const {
+  std::array<double, 3> u{0.0, 0.0, 0.0};
+  for (const auto& m : modes_) {
+    const double arg = m.k[0] * x + m.k[1] * y + m.k[2] * z + m.phase;
+    const double c = 2.0 * std::cos(arg);
+    u[0] += c * m.sigma[0];
+    u[1] += c * m.sigma[1];
+    u[2] += c * m.sigma[2];
+  }
+  return u;
+}
+
+}  // namespace s3d::solver

@@ -1,0 +1,54 @@
+#pragma once
+// Synthetic turbulence for inflow forcing and initial conditions.
+//
+// Kraichnan-style random Fourier modes: a divergence-free velocity field
+//   u'(x) = 2 sum_m  a_m  cos(k_m . x + phi_m) sigma_m,   sigma_m  k_m
+// with wavevectors sampled from a von Karman-like energy spectrum around a
+// prescribed integral length scale and amplitudes normalized so the RMS of
+// each component is u_rms. The paper's slot-jet DNS feed turbulent
+// fluctuations at the inflow plane by sweeping a frozen field with Taylor's
+// hypothesis (sections 6.2, 7.2); SyntheticTurbulence::at_inflow does
+// exactly that.
+
+#include <array>
+#include <vector>
+
+#include "common/random.hpp"
+
+namespace s3d::solver {
+
+class SyntheticTurbulence {
+ public:
+  /// @param u_rms    target RMS of each fluctuation component [m/s]
+  /// @param length   energy-containing (integral-like) length scale [m]
+  /// @param n_modes  number of Fourier modes
+  /// @param seed     RNG seed (runs are reproducible)
+  /// @param two_d    restrict wavevectors and fluctuations to the x-y plane
+  SyntheticTurbulence(double u_rms, double length, int n_modes,
+                      std::uint64_t seed = 0x711b, bool two_d = false);
+
+  /// Frozen-field fluctuation velocity at a point.
+  std::array<double, 3> velocity(double x, double y, double z) const;
+
+  /// Taylor-hypothesis inflow fluctuation: the frozen field swept past the
+  /// inflow plane at convection speed U_c, i.e. velocity(-U_c t, y, z).
+  std::array<double, 3> at_inflow(double t, double U_c, double y,
+                                  double z) const {
+    return velocity(-U_c * t, y, z);
+  }
+
+  double u_rms() const { return u_rms_; }
+  double length_scale() const { return length_; }
+
+ private:
+  struct Mode {
+    std::array<double, 3> k;
+    std::array<double, 3> sigma;  ///< amplitude vector, perpendicular to k
+    double phase;
+  };
+  std::vector<Mode> modes_;
+  double u_rms_;
+  double length_;
+};
+
+}  // namespace s3d::solver

@@ -1,0 +1,226 @@
+#include "transport/transport.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+
+namespace s3d::transport {
+
+namespace c = s3d::constants;
+
+double omega22(double Tstar) {
+  // Neufeld, Janzen & Aziz (1972) fit, valid 0.3 <= T* <= 100.
+  return 1.16145 * std::pow(Tstar, -0.14874) +
+         0.52487 * std::exp(-0.77320 * Tstar) +
+         2.16178 * std::exp(-2.43787 * Tstar);
+}
+
+double omega11(double Tstar) {
+  return 1.06036 * std::pow(Tstar, -0.15610) +
+         0.19300 * std::exp(-0.47635 * Tstar) +
+         1.03587 * std::exp(-1.52996 * Tstar) +
+         1.76474 * std::exp(-3.89411 * Tstar);
+}
+
+double viscosity(const chem::Species& sp, double T) {
+  // Chapman-Enskog: mu = 5/16 sqrt(pi m kB T) / (pi sigma^2 Omega22).
+  const double m = sp.W / c::NA;  // kg per molecule
+  const double sigma = sp.transport.sigma * c::angstrom;
+  const double Tstar = T / sp.transport.eps_over_kB;
+  const double pi = 3.14159265358979323846;
+  return 5.0 / 16.0 * std::sqrt(pi * m * c::kB * T) /
+         (pi * sigma * sigma * omega22(Tstar));
+}
+
+double conductivity(const chem::Species& sp, double T) {
+  // Modified Eucken correction: splits cv into translational, rotational
+  // and vibrational parts with different transport factors. (Warnatz form.)
+  const double mu = viscosity(sp, T);
+  const double R_sp = c::Ru / sp.W;  // J/(kg K)
+  double cv_rot = 0.0;
+  switch (sp.transport.geometry) {
+    case chem::Geometry::atom: cv_rot = 0.0; break;
+    case chem::Geometry::linear: cv_rot = R_sp; break;
+    case chem::Geometry::nonlinear: cv_rot = 1.5 * R_sp; break;
+  }
+  const double cv_trans = 1.5 * R_sp;
+  // cv from thermo: cp - R.
+  // Avoid a chem::thermo dependency here by the caller-supplied polynomial?
+  // conductivity() is only used for reference/fitting; use cp from NASA
+  // polynomials through a local evaluation of cp/R.
+  const double Tc = std::min(std::max(T, sp.T_low), sp.T_high);
+  const auto& a = Tc < sp.T_mid ? sp.nasa_low : sp.nasa_high;
+  const double cpR = a[0] + Tc * (a[1] + Tc * (a[2] + Tc * (a[3] + Tc * a[4])));
+  const double cv = (cpR - 1.0) * R_sp;
+  const double cv_vib = std::max(cv - cv_trans - cv_rot, 0.0);
+  // Transport factors: f_trans = 5/2, f_rot = f_vib = rho D / mu ~ 1.32
+  // (constant Schmidt approximation of the self-diffusion ratio).
+  const double f_trans = 2.5, f_int = 1.32;
+  return mu * (f_trans * cv_trans + f_int * (cv_rot + cv_vib));
+}
+
+double binary_diffusion(const chem::Species& a, const chem::Species& b,
+                        double T, double p) {
+  // Chapman-Enskog first approximation:
+  //   D_ab = 3/16 sqrt(2 pi kB^3 T^3 / m_ab) / (p pi sigma_ab^2 Omega11).
+  const double pi = 3.14159265358979323846;
+  const double m_a = a.W / c::NA, m_b = b.W / c::NA;
+  const double m_ab = m_a * m_b / (m_a + m_b);
+  const double sigma_ab =
+      0.5 * (a.transport.sigma + b.transport.sigma) * c::angstrom;
+  const double eps_ab =
+      std::sqrt(a.transport.eps_over_kB * b.transport.eps_over_kB);
+  const double Tstar = T / eps_ab;
+  return 3.0 / 16.0 *
+         std::sqrt(2.0 * pi * c::kB * c::kB * c::kB * T * T * T / m_ab) /
+         (p * pi * sigma_ab * sigma_ab * omega11(Tstar));
+}
+
+double soret_ratio(const chem::Species& sp) {
+  // Light-species approximation (Chapman-Enskog leading order): only
+  // species much lighter than the bath have appreciable ratios.
+  if (sp.name == "H2") return -0.29;
+  if (sp.name == "H") return -0.35;
+  if (sp.name == "HE") return -0.29;
+  return 0.0;
+}
+
+namespace {
+
+// Least-squares cubic fit of ln(property) vs ln(T) over n sample points.
+std::array<double, 4> fit_lnT(const std::vector<double>& lnT,
+                              const std::vector<double>& lnF) {
+  // Normal equations for a cubic; 4x4 solve by Gaussian elimination.
+  double S[4][5] = {};
+  const std::size_t n = lnT.size();
+  for (std::size_t s = 0; s < n; ++s) {
+    double xp[7] = {1, 0, 0, 0, 0, 0, 0};
+    for (int k = 1; k < 7; ++k) xp[k] = xp[k - 1] * lnT[s];
+    for (int r = 0; r < 4; ++r) {
+      for (int col = 0; col < 4; ++col) S[r][col] += xp[r + col];
+      S[r][4] += xp[r] * lnF[s];
+    }
+  }
+  for (int piv = 0; piv < 4; ++piv) {
+    int best = piv;
+    for (int r = piv + 1; r < 4; ++r)
+      if (std::abs(S[r][piv]) > std::abs(S[best][piv])) best = r;
+    for (int col = 0; col < 5; ++col) std::swap(S[piv][col], S[best][col]);
+    for (int r = 0; r < 4; ++r) {
+      if (r == piv) continue;
+      const double f = S[r][piv] / S[piv][piv];
+      for (int col = piv; col < 5; ++col) S[r][col] -= f * S[piv][col];
+    }
+  }
+  return {S[0][4] / S[0][0], S[1][4] / S[1][1], S[2][4] / S[2][2],
+          S[3][4] / S[3][3]};
+}
+
+}  // namespace
+
+TransportFits::TransportFits(const chem::Mechanism& mech, double T_lo,
+                             double T_hi)
+    : ns_(mech.n_species()), chem_p_ref_(c::p_atm) {
+  S3D_REQUIRE(T_hi > T_lo && T_lo > 0.0, "bad transport fit range");
+  W_.resize(ns_);
+  for (int i = 0; i < ns_; ++i) W_[i] = mech.W(i);
+
+  constexpr int kSamples = 24;
+  std::vector<double> lnT(kSamples), lnF(kSamples);
+  for (int s = 0; s < kSamples; ++s) {
+    const double T = T_lo + (T_hi - T_lo) * s / (kSamples - 1);
+    lnT[s] = std::log(T);
+  }
+
+  visc_.resize(ns_);
+  cond_.resize(ns_);
+  for (int i = 0; i < ns_; ++i) {
+    const auto& sp = mech.species(i);
+    for (int s = 0; s < kSamples; ++s)
+      lnF[s] = std::log(transport::viscosity(sp, std::exp(lnT[s])));
+    visc_[i] = fit_lnT(lnT, lnF);
+    for (int s = 0; s < kSamples; ++s)
+      lnF[s] = std::log(transport::conductivity(sp, std::exp(lnT[s])));
+    cond_[i] = fit_lnT(lnT, lnF);
+  }
+
+  diff_.resize(static_cast<std::size_t>(ns_) * ns_);
+  for (int i = 0; i < ns_; ++i) {
+    for (int j = 0; j < ns_; ++j) {
+      const auto& a = mech.species(i);
+      const auto& b = mech.species(j);
+      for (int s = 0; s < kSamples; ++s)
+        lnF[s] = std::log(
+            transport::binary_diffusion(a, b, std::exp(lnT[s]), chem_p_ref_));
+      diff_[static_cast<std::size_t>(i) * ns_ + j] = fit_lnT(lnT, lnF);
+    }
+  }
+
+  wilke_denom_.resize(static_cast<std::size_t>(ns_) * ns_);
+  w_ratio_.resize(static_cast<std::size_t>(ns_) * ns_);
+  for (int i = 0; i < ns_; ++i)
+    for (int j = 0; j < ns_; ++j) {
+      wilke_denom_[i * ns_ + j] = std::sqrt(8.0 * (1.0 + W_[i] / W_[j]));
+      w_ratio_[i * ns_ + j] = W_[j] / W_[i];
+    }
+}
+
+double TransportFits::mixture_viscosity(double T,
+                                        std::span<const double> X) const {
+  const double lnT = std::log(T);
+  double mu_i[chem::kMaxSpecies];
+  for (int i = 0; i < ns_; ++i) mu_i[i] = viscosity(i, lnT);
+  double mu = 0.0;
+  for (int i = 0; i < ns_; ++i) {
+    if (X[i] <= 0.0) continue;
+    double denom = 0.0;
+    for (int j = 0; j < ns_; ++j) {
+      const double r = 1.0 + std::sqrt(mu_i[i] / mu_i[j]) *
+                                 std::pow(w_ratio_[i * ns_ + j], 0.25);
+      const double phi = r * r / wilke_denom_[i * ns_ + j];
+      denom += X[j] * phi;
+    }
+    mu += X[i] * mu_i[i] / denom;
+  }
+  return mu;
+}
+
+double TransportFits::mixture_conductivity(double T,
+                                           std::span<const double> X) const {
+  const double lnT = std::log(T);
+  // Mathur-Saxena: lambda = 1/2 (sum X_i lam_i + 1 / sum X_i / lam_i).
+  double s1 = 0.0, s2 = 0.0;
+  for (int i = 0; i < ns_; ++i) {
+    const double lam = conductivity(i, lnT);
+    const double Xi = std::max(X[i], 0.0);
+    s1 += Xi * lam;
+    s2 += Xi / lam;
+  }
+  return 0.5 * (s1 + 1.0 / s2);
+}
+
+void TransportFits::mixture_diffusion(double T, double p,
+                                      std::span<const double> X,
+                                      std::span<double> Dmix) const {
+  const double lnT = std::log(T);
+  for (int i = 0; i < ns_; ++i) {
+    double denom = 0.0;
+    for (int j = 0; j < ns_; ++j) {
+      if (j == i) continue;
+      denom += std::max(X[j], 0.0) / binary_diffusion(i, j, lnT, p);
+    }
+    const double Xi = std::min(std::max(X[i], 0.0), 1.0);
+    if (denom < 1e-12) {
+      // Pure-species limit: fall back to self-pair estimate with the
+      // nearest other species negligible; use D with the heaviest species.
+      Dmix[i] = binary_diffusion(i, (i + 1) % ns_, lnT, p);
+    } else {
+      Dmix[i] = (1.0 - Xi) / denom;
+      if (Dmix[i] <= 0.0) Dmix[i] = binary_diffusion(i, (i + 1) % ns_, lnT, p);
+    }
+  }
+}
+
+}  // namespace s3d::transport

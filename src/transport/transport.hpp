@@ -1,0 +1,105 @@
+#pragma once
+// Molecular transport properties (the TRANSPORT library of paper section
+// 2.6): pure-species viscosity, thermal conductivity, and binary diffusion
+// coefficients from Chapman-Enskog kinetic theory with Neufeld collision
+// integral fits, plus the mixture rules S3D uses:
+//   - Wilke's formula for mixture viscosity,
+//   - Mathur's combination for mixture conductivity,
+//   - mixture-averaged diffusion coefficients, paper eq. (17).
+//
+// Like CHEMKIN's TRANSPORT, the expensive kinetic-theory expressions are
+// fitted once per mechanism to polynomials in ln T and evaluated from the
+// fits in the solver's inner loops (see TransportFits).
+
+#include <array>
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "chem/mechanism.hpp"
+
+namespace s3d::transport {
+
+/// Reduced collision integral Omega(2,2)* (viscosity/conductivity),
+/// Neufeld et al. fit; Tstar = kB T / eps.
+double omega22(double Tstar);
+
+/// Reduced collision integral Omega(1,1)* (diffusion), Neufeld fit.
+double omega11(double Tstar);
+
+/// Pure-species dynamic viscosity [Pa s] from kinetic theory.
+double viscosity(const chem::Species& sp, double T);
+
+/// Pure-species thermal conductivity [W/(m K)] using the modified Eucken
+/// correction for internal degrees of freedom.
+double conductivity(const chem::Species& sp, double T);
+
+/// Binary diffusion coefficient [m^2/s] of species pair at (T, p).
+double binary_diffusion(const chem::Species& a, const chem::Species& b,
+                        double T, double p);
+
+/// Constant thermal-diffusion (Soret) ratio theta_i for species `sp`:
+/// the species drift velocity is V_i^Soret = -D_i theta_i grad(ln T).
+/// Negative for the light species (H2, H drift toward hot regions);
+/// ~0 for heavy species. Values follow the common light-species
+/// approximation used with mixture-averaged transport.
+double soret_ratio(const chem::Species& sp);
+
+/// Polynomial fits (3rd order in ln T) of the pure-species properties and
+/// binary diffusion matrix for one mechanism, CHEMKIN TRANSPORT style.
+/// Fitted over [T_fit_lo, T_fit_hi]; diffusion fits are at the reference
+/// pressure and rescaled by p_ref/p at evaluation.
+class TransportFits {
+ public:
+  /// Build fits for every species and pair of `mech`.
+  explicit TransportFits(const chem::Mechanism& mech, double T_lo = 250.0,
+                         double T_hi = 3200.0);
+
+  int n_species() const { return ns_; }
+
+  /// Fitted pure-species viscosity [Pa s].
+  double viscosity(int i, double lnT) const {
+    return eval(visc_, i, lnT);
+  }
+  /// Fitted pure-species conductivity [W/(m K)].
+  double conductivity(int i, double lnT) const {
+    return eval(cond_, i, lnT);
+  }
+  /// Fitted binary diffusion [m^2/s] at pressure p [Pa].
+  double binary_diffusion(int i, int j, double lnT, double p) const {
+    return eval(diff_, i * ns_ + j, lnT) * (chem_p_ref_ / p);
+  }
+
+  // --- Mixture rules (evaluated pointwise in the solver RHS) ---
+
+  /// Wilke mixture viscosity [Pa s] from mole fractions X.
+  double mixture_viscosity(double T, std::span<const double> X) const;
+
+  /// Mathur-Saxena mixture conductivity [W/(m K)].
+  double mixture_conductivity(double T, std::span<const double> X) const;
+
+  /// Mixture-averaged diffusion coefficients (paper eq. 17):
+  ///   D_i^mix = (1 - X_i) / sum_{j != i} X_j / D_ij
+  /// Writes ns coefficients [m^2/s]. A small floor on the denominator keeps
+  /// the pure-species limit (X_i -> 1) finite, where eq. 17 is 0/0; the
+  /// standard regularization (also used by CHEMKIN) is applied.
+  void mixture_diffusion(double T, double p, std::span<const double> X,
+                         std::span<double> Dmix) const;
+
+ private:
+  static double eval(const std::vector<std::array<double, 4>>& c, int idx,
+                     double lnT) {
+    const auto& a = c[idx];
+    return std::exp(a[0] + lnT * (a[1] + lnT * (a[2] + lnT * a[3])));
+  }
+
+  int ns_;
+  double chem_p_ref_;
+  std::vector<double> W_;  ///< molecular weights
+  std::vector<std::array<double, 4>> visc_, cond_, diff_;
+  // Precomputed Wilke phi denominators sqrt(8 (1 + Wi/Wj)).
+  std::vector<double> wilke_denom_;
+  std::vector<double> w_ratio_;  ///< Wj/Wi table for Wilke
+};
+
+}  // namespace s3d::transport

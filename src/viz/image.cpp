@@ -1,0 +1,51 @@
+#include "viz/image.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace s3d::viz {
+
+void Image::write_ppm(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary);
+  S3D_REQUIRE(f.good(), "cannot open " + path);
+  f << "P6\n" << w_ << " " << h_ << "\n255\n";
+  std::vector<unsigned char> row(static_cast<std::size_t>(w_) * 3);
+  for (int y = 0; y < h_; ++y) {
+    for (int x = 0; x < w_; ++x) {
+      const Rgb& p = at(x, y);
+      row[3 * x + 0] = static_cast<unsigned char>(
+          std::clamp(p.r, 0.0, 1.0) * 255.0 + 0.5);
+      row[3 * x + 1] = static_cast<unsigned char>(
+          std::clamp(p.g, 0.0, 1.0) * 255.0 + 0.5);
+      row[3 * x + 2] = static_cast<unsigned char>(
+          std::clamp(p.b, 0.0, 1.0) * 255.0 + 0.5);
+    }
+    f.write(reinterpret_cast<const char*>(row.data()), row.size());
+  }
+}
+
+Rgb colormap_hot(double t) {
+  t = std::clamp(t, 0.0, 1.0);
+  return {std::min(1.0, 3.0 * t), std::clamp(3.0 * t - 1.0, 0.0, 1.0),
+          std::clamp(3.0 * t - 2.0, 0.0, 1.0)};
+}
+
+Rgb colormap_cool(double t) {
+  t = std::clamp(t, 0.0, 1.0);
+  return {t * 0.4, 0.5 * t + 0.4 * t * t, std::min(1.0, 0.5 + 0.7 * t)};
+}
+
+Rgb colormap_viridis(double t) {
+  t = std::clamp(t, 0.0, 1.0);
+  // Cubic fits to the viridis control points (adequate for rendering).
+  const double r = 0.267 + t * (0.005 + t * (-1.38 + t * 2.09));
+  const double g = 0.005 + t * (1.40 + t * (-0.85 + t * 0.35));
+  const double b = 0.329 + t * (1.50 + t * (-4.00 + t * 2.30));
+  return {std::clamp(r, 0.0, 1.0), std::clamp(g, 0.0, 1.0),
+          std::clamp(b, 0.0, 1.0)};
+}
+
+}  // namespace s3d::viz

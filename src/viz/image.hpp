@@ -1,0 +1,41 @@
+#pragma once
+// Minimal RGB image with PPM output (the renderer's target).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace s3d::viz {
+
+struct Rgb {
+  double r = 0, g = 0, b = 0;
+  Rgb operator+(const Rgb& o) const { return {r + o.r, g + o.g, b + o.b}; }
+  Rgb operator*(double s) const { return {r * s, g * s, b * s}; }
+};
+
+class Image {
+ public:
+  Image(int w, int h, Rgb fill = {0, 0, 0})
+      : w_(w), h_(h), px_(static_cast<std::size_t>(w) * h, fill) {}
+
+  int width() const { return w_; }
+  int height() const { return h_; }
+  Rgb& at(int x, int y) { return px_[static_cast<std::size_t>(y) * w_ + x]; }
+  const Rgb& at(int x, int y) const {
+    return px_[static_cast<std::size_t>(y) * w_ + x];
+  }
+
+  /// Write a binary PPM (P6); channel values clamped to [0, 1].
+  void write_ppm(const std::string& path) const;
+
+ private:
+  int w_, h_;
+  std::vector<Rgb> px_;
+};
+
+/// Colormaps used by the combustion visualizations.
+Rgb colormap_hot(double t);      ///< black-red-yellow-white
+Rgb colormap_cool(double t);     ///< blue-cyan-white
+Rgb colormap_viridis(double t);  ///< perceptually uniform (approximate)
+
+}  // namespace s3d::viz

@@ -1,0 +1,21 @@
+#include "viz/insitu.hpp"
+
+#include "common/timer.hpp"
+
+namespace s3d::viz {
+
+void InSituVis::on_step(int step) {
+  if (interval_ <= 0 || step % interval_ != 0) return;
+  s3d::Timer t;
+  for (const auto& p : products_) {
+    const solver::GField* f = p.field();
+    if (!f) continue;
+    VolumeRenderer vr(2);
+    Image img = vr.render({Layer{f, p.tf}});
+    img.write_ppm(dir_ + "/" + p.name + "_" + std::to_string(step) + ".ppm");
+  }
+  ++frames_;
+  overhead_ += t.seconds();
+}
+
+}  // namespace s3d::viz

@@ -1,0 +1,89 @@
+#include "viz/render.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace s3d::viz {
+
+double TransferFunction::alpha(double v) const {
+  if (iso >= 0.0) {
+    const double d = std::abs(v - iso);
+    if (d > iso_width) return 0.0;
+    return opacity * (1.0 - d / iso_width);
+  }
+  const double t = std::clamp(norm(v), 0.0, 1.0);
+  return opacity * std::pow(t, gamma);
+}
+
+Rgb TransferFunction::shade(double v) const {
+  if (iso >= 0.0) return color(0.8);
+  return color(std::clamp(norm(v), 0.0, 1.0));
+}
+
+Image VolumeRenderer::render(const std::vector<Layer>& layers, int scale,
+                             Rgb background) const {
+  S3D_REQUIRE(!layers.empty() && layers[0].field, "no layers to render");
+  const solver::Layout& l = layers[0].field->layout();
+  for (const auto& lay : layers)
+    S3D_REQUIRE(lay.field->layout().total() == l.total(),
+                "layers must share a layout");
+
+  const int a1 = (axis_ + 1) % 3, a2 = (axis_ + 2) % 3;
+  const int n1 = l.n(a1), n2 = l.n(a2), nd = l.n(axis_);
+  Image img(n1 * scale, n2 * scale, background);
+
+  for (int q = 0; q < n2; ++q) {
+    for (int r = 0; r < n1; ++r) {
+      // Front-to-back compositing along the casting axis.
+      Rgb acc{0, 0, 0};
+      double transmittance = 1.0;
+      for (int s = 0; s < nd && transmittance > 1e-3; ++s) {
+        int ijk[3];
+        ijk[axis_] = s;
+        ijk[a1] = r;
+        ijk[a2] = q;
+        // Fuse the layers at this sample.
+        Rgb c{0, 0, 0};
+        double a = 0.0, wsum = 0.0;
+        for (const auto& lay : layers) {
+          const double v = (*lay.field)(ijk[0], ijk[1], ijk[2]);
+          const double la = lay.tf.alpha(v);
+          if (la <= 0.0) continue;
+          c = c + lay.tf.shade(v) * la;
+          wsum += la;
+          a = 1.0 - (1.0 - a) * (1.0 - la);
+        }
+        if (a <= 0.0) continue;
+        // Opacity-weighted colour average, scaled by the fused opacity.
+        c = c * (a / wsum);
+        acc = acc + c * transmittance;
+        transmittance *= (1.0 - a);
+      }
+      acc = acc + background * transmittance;
+      for (int py = 0; py < scale; ++py)
+        for (int px = 0; px < scale; ++px)
+          img.at(r * scale + px, (n2 - 1 - q) * scale + py) = acc;
+    }
+  }
+  return img;
+}
+
+Image render_slice(const solver::GField& f, double lo, double hi,
+                   const std::function<Rgb(double)>& cmap, int scale,
+                   int k) {
+  const solver::Layout& l = f.layout();
+  Image img(l.nx * scale, l.ny * scale);
+  for (int j = 0; j < l.ny; ++j)
+    for (int i = 0; i < l.nx; ++i) {
+      const double t = (f(i, j, k) - lo) / (hi - lo);
+      const Rgb c = cmap(std::clamp(t, 0.0, 1.0));
+      for (int py = 0; py < scale; ++py)
+        for (int px = 0; px < scale; ++px)
+          img.at(i * scale + px, (l.ny - 1 - j) * scale + py) = c;
+    }
+  return img;
+}
+
+}  // namespace s3d::viz

@@ -1,0 +1,141 @@
+#include "viz/trispace.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace s3d::viz {
+
+ParallelCoords::ParallelCoords(std::vector<VarAxis> axes, int nbins)
+    : axes_(std::move(axes)), nbins_(nbins) {
+  S3D_REQUIRE(axes_.size() >= 2, "parallel coordinates need >= 2 axes");
+  for (const auto& a : axes_) S3D_REQUIRE(a.field, "axis without field");
+  pair_bins_.assign(axes_.size() - 1,
+                    std::vector<long>(static_cast<std::size_t>(nbins_) * nbins_, 0));
+}
+
+void ParallelCoords::accumulate(const std::vector<Brush>& brushes) {
+  const solver::Layout& l = axes_[0].field->layout();
+  auto bin_of = [&](int a, double v) {
+    const double t = (v - axes_[a].lo) / (axes_[a].hi - axes_[a].lo);
+    return static_cast<int>(std::clamp(t, 0.0, 1.0 - 1e-12) * nbins_);
+  };
+  for (int k = 0; k < l.nz; ++k)
+    for (int j = 0; j < l.ny; ++j)
+      for (int i = 0; i < l.nx; ++i) {
+        bool pass = true;
+        for (const auto& b : brushes) {
+          const double v = (*axes_[b.axis].field)(i, j, k);
+          if (v < b.lo || v > b.hi) {
+            pass = false;
+            break;
+          }
+        }
+        if (!pass) continue;
+        ++total_;
+        for (std::size_t a = 0; a + 1 < axes_.size(); ++a) {
+          const int b0 = bin_of(static_cast<int>(a),
+                                (*axes_[a].field)(i, j, k));
+          const int b1 = bin_of(static_cast<int>(a + 1),
+                                (*axes_[a + 1].field)(i, j, k));
+          ++pair_bins_[a][static_cast<std::size_t>(b0) * nbins_ + b1];
+        }
+      }
+}
+
+long ParallelCoords::density(int a, int bin_a, int bin_a1) const {
+  return pair_bins_[a][static_cast<std::size_t>(bin_a) * nbins_ + bin_a1];
+}
+
+Image ParallelCoords::render(int cell) const {
+  const int np = naxes() - 1;
+  Image img(np * nbins_ * cell + (np - 1) * cell, nbins_ * cell);
+  long dmax = 1;
+  for (const auto& pb : pair_bins_)
+    for (long v : pb) dmax = std::max(dmax, v);
+  for (int a = 0; a < np; ++a) {
+    const int x0 = a * (nbins_ * cell + cell);
+    for (int b0 = 0; b0 < nbins_; ++b0)
+      for (int b1 = 0; b1 < nbins_; ++b1) {
+        const double t =
+            std::log1p(static_cast<double>(density(a, b0, b1))) /
+            std::log1p(static_cast<double>(dmax));
+        const Rgb c = colormap_viridis(t);
+        for (int py = 0; py < cell; ++py)
+          for (int px = 0; px < cell; ++px)
+            img.at(x0 + b0 * cell + px, (nbins_ - 1 - b1) * cell + py) = c;
+      }
+  }
+  return img;
+}
+
+TimeHistogram::TimeHistogram(double lo, double hi, int nbins)
+    : lo_(lo), hi_(hi), nbins_(nbins) {
+  S3D_REQUIRE(hi > lo && nbins > 0, "bad time-histogram bins");
+}
+
+void TimeHistogram::add_snapshot(const solver::GField& f) {
+  const solver::Layout& l = f.layout();
+  std::vector<long> h(nbins_, 0);
+  for (int k = 0; k < l.nz; ++k)
+    for (int j = 0; j < l.ny; ++j)
+      for (int i = 0; i < l.nx; ++i) {
+        const double t = (f(i, j, k) - lo_) / (hi_ - lo_);
+        const int b = static_cast<int>(std::clamp(t, 0.0, 1.0 - 1e-12) * nbins_);
+        ++h[b];
+      }
+  hist_.push_back(std::move(h));
+}
+
+Image TimeHistogram::render(int cell) const {
+  const int nt = nsnapshots();
+  Image img(std::max(nt, 1) * cell, nbins_ * cell);
+  long dmax = 1;
+  for (const auto& h : hist_)
+    for (long v : h) dmax = std::max(dmax, v);
+  for (int t = 0; t < nt; ++t)
+    for (int b = 0; b < nbins_; ++b) {
+      const double v = std::log1p(static_cast<double>(hist_[t][b])) /
+                       std::log1p(static_cast<double>(dmax));
+      const Rgb c = colormap_viridis(v);
+      for (int py = 0; py < cell; ++py)
+        for (int px = 0; px < cell; ++px)
+          img.at(t * cell + px, (nbins_ - 1 - b) * cell + py) = c;
+    }
+  return img;
+}
+
+double masked_correlation(const solver::GField& a, const solver::GField& b,
+                          const std::function<bool(int, int, int)>& mask) {
+  const solver::Layout& l = a.layout();
+  double sa = 0, sb = 0, saa = 0, sbb = 0, sab = 0;
+  long n = 0;
+  for (int k = 0; k < l.nz; ++k)
+    for (int j = 0; j < l.ny; ++j)
+      for (int i = 0; i < l.nx; ++i) {
+        if (mask && !mask(i, j, k)) continue;
+        const double va = a(i, j, k), vb = b(i, j, k);
+        sa += va;
+        sb += vb;
+        saa += va * va;
+        sbb += vb * vb;
+        sab += va * vb;
+        ++n;
+      }
+  if (n < 2) return 0.0;
+  const double cov = sab / n - (sa / n) * (sb / n);
+  const double va = saa / n - (sa / n) * (sa / n);
+  const double vb = sbb / n - (sb / n) * (sb / n);
+  if (va <= 0.0 || vb <= 0.0) return 0.0;
+  return cov / std::sqrt(va * vb);
+}
+
+std::function<bool(int, int, int)> near_iso_mask(const solver::GField& f,
+                                                 double iso, double width) {
+  return [&f, iso, width](int i, int j, int k) {
+    return std::abs(f(i, j, k) - iso) <= width;
+  };
+}
+
+}  // namespace s3d::viz

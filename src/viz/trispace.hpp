@@ -1,0 +1,86 @@
+#pragma once
+// The trispace exploration interface's data backends (paper section 8.2,
+// fig. 15): parallel coordinates over multiple variables, per-variable
+// time histograms, and brushing (value-window selection) with spatial
+// correlation queries -- e.g. the negative correlation between scalar
+// dissipation rate chi and OH near the stoichiometric isosurface.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "solver/layout.hpp"
+#include "viz/image.hpp"
+
+namespace s3d::viz {
+
+/// A named variable with its display window.
+struct VarAxis {
+  std::string name;
+  const solver::GField* field = nullptr;
+  double lo = 0.0, hi = 1.0;
+};
+
+/// Value-window brush on one variable (the fig. 15 "transfer function
+/// widgets ... used as the brushing tool").
+struct Brush {
+  int axis = 0;
+  double lo = 0.0, hi = 1.0;
+};
+
+/// Parallel-coordinates density: for each adjacent axis pair, a 2-D bin
+/// count of the polylines passing from one axis to the next.
+class ParallelCoords {
+ public:
+  ParallelCoords(std::vector<VarAxis> axes, int nbins = 64);
+
+  /// Accumulate every interior point that passes all brushes.
+  void accumulate(const std::vector<Brush>& brushes = {});
+
+  int nbins() const { return nbins_; }
+  int naxes() const { return static_cast<int>(axes_.size()); }
+  /// Density between axis a and a+1 at (bin_a, bin_a1).
+  long density(int a, int bin_a, int bin_a1) const;
+  long total_selected() const { return total_; }
+
+  /// Render all pairs side by side as a density heat map.
+  Image render(int cell = 4) const;
+
+ private:
+  std::vector<VarAxis> axes_;
+  int nbins_;
+  long total_ = 0;
+  std::vector<std::vector<long>> pair_bins_;  ///< per pair, nbins*nbins
+};
+
+/// Time histogram of one variable (fig. 15's temporal view).
+class TimeHistogram {
+ public:
+  TimeHistogram(double lo, double hi, int nbins);
+
+  /// Append one snapshot of the variable.
+  void add_snapshot(const solver::GField& f);
+
+  int nsnapshots() const { return static_cast<int>(hist_.size()); }
+  int nbins() const { return nbins_; }
+  long count(int snapshot, int bin) const { return hist_[snapshot][bin]; }
+
+  Image render(int cell = 4) const;
+
+ private:
+  double lo_, hi_;
+  int nbins_;
+  std::vector<std::vector<long>> hist_;
+};
+
+/// Pearson correlation of two fields over the interior points selected by
+/// `mask` (mask may be null to select everything).
+double masked_correlation(const solver::GField& a, const solver::GField& b,
+                          const std::function<bool(int, int, int)>& mask);
+
+/// Convenience mask: points within `width` of iso-value of a field (the
+/// "near the isosurface of mixture fraction" selection).
+std::function<bool(int, int, int)> near_iso_mask(const solver::GField& f,
+                                                 double iso, double width);
+
+}  // namespace s3d::viz

@@ -1,0 +1,258 @@
+#include "vmpi/vmpi.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <exception>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace s3d::vmpi {
+
+namespace {
+struct Message {
+  int src;
+  int tag;
+  std::vector<std::uint8_t> data;
+};
+}  // namespace
+
+struct Request::State {
+  bool is_recv = false;
+  bool done = false;
+  int peer = 0;  // source for recv
+  int tag = 0;
+  std::uint8_t* buf = nullptr;
+  std::size_t cap = 0;
+  std::size_t len = 0;
+};
+
+struct Comm::Hub {
+  explicit Hub(int n) : nranks(n), boxes(n), slots(n, 0.0), vec_ptrs(n) {}
+
+  int nranks;
+
+  struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Message> msgs;
+  };
+  std::vector<Mailbox> boxes;
+
+  // Barrier.
+  std::mutex bar_mu;
+  std::condition_variable bar_cv;
+  int bar_count = 0;
+  std::uint64_t bar_gen = 0;
+
+  // Reduction scratch.
+  std::vector<double> slots;
+  std::vector<std::span<double>> vec_ptrs;
+
+  std::atomic<bool> aborted{false};
+
+  void abort_all() {
+    aborted.store(true);
+    for (auto& b : boxes) b.cv.notify_all();
+    bar_cv.notify_all();
+  }
+  void check_abort() const {
+    if (aborted.load()) throw Error("vmpi: a peer rank aborted");
+  }
+};
+
+Comm::Comm(int rank, std::shared_ptr<Hub> hub)
+    : rank_(rank), hub_(std::move(hub)) {}
+
+int Comm::size() const { return hub_->nranks; }
+
+Request Comm::isend_bytes(int dest, int tag,
+                          std::span<const std::uint8_t> data) {
+  S3D_REQUIRE(dest >= 0 && dest < size(), "isend: bad destination rank");
+  auto& box = hub_->boxes[dest];
+  {
+    std::lock_guard<std::mutex> lk(box.mu);
+    box.msgs.push_back(
+        Message{rank_, tag, std::vector<std::uint8_t>(data.begin(), data.end())});
+  }
+  box.cv.notify_all();
+  Request r;
+  r.state_ = std::make_shared<Request::State>();
+  r.state_->done = true;
+  r.state_->len = data.size();
+  return r;
+}
+
+Request Comm::irecv_bytes(int source, int tag, std::span<std::uint8_t> data) {
+  S3D_REQUIRE(source >= 0 && source < size(), "irecv: bad source rank");
+  Request r;
+  r.state_ = std::make_shared<Request::State>();
+  auto& s = *r.state_;
+  s.is_recv = true;
+  s.peer = source;
+  s.tag = tag;
+  s.buf = data.data();
+  s.cap = data.size();
+  return r;
+}
+
+Request Comm::isend(int dest, int tag, std::span<const double> data) {
+  return isend_bytes(dest, tag,
+                     {reinterpret_cast<const std::uint8_t*>(data.data()),
+                      data.size() * sizeof(double)});
+}
+
+Request Comm::irecv(int source, int tag, std::span<double> data) {
+  return irecv_bytes(source, tag,
+                     {reinterpret_cast<std::uint8_t*>(data.data()),
+                      data.size() * sizeof(double)});
+}
+
+void Comm::send(int dest, int tag, std::span<const double> data) {
+  isend(dest, tag, data);
+}
+
+void Comm::recv(int source, int tag, std::span<double> data) {
+  Request r = irecv(source, tag, data);
+  wait(r);
+}
+
+void Comm::wait(Request& req, std::size_t* received_len) {
+  S3D_REQUIRE(req.valid(), "wait on an empty request");
+  auto& s = *req.state_;
+  if (s.done) {
+    if (received_len) *received_len = s.len;
+    return;
+  }
+  S3D_ASSERT(s.is_recv);
+  auto& box = hub_->boxes[rank_];
+  std::unique_lock<std::mutex> lk(box.mu);
+  for (;;) {
+    hub_->check_abort();
+    auto it = std::find_if(box.msgs.begin(), box.msgs.end(),
+                           [&](const Message& m) {
+                             return m.src == s.peer && m.tag == s.tag;
+                           });
+    if (it != box.msgs.end()) {
+      S3D_REQUIRE(it->data.size() <= s.cap,
+                  "vmpi: message longer than receive buffer");
+      std::memcpy(s.buf, it->data.data(), it->data.size());
+      s.len = it->data.size();
+      s.done = true;
+      box.msgs.erase(it);
+      if (received_len) *received_len = s.len;
+      return;
+    }
+    box.cv.wait(lk);
+  }
+}
+
+void Comm::waitall(std::span<Request> reqs) {
+  for (auto& r : reqs) wait(r);
+}
+
+void Comm::barrier() {
+  std::unique_lock<std::mutex> lk(hub_->bar_mu);
+  hub_->check_abort();
+  const std::uint64_t gen = hub_->bar_gen;
+  if (++hub_->bar_count == hub_->nranks) {
+    hub_->bar_count = 0;
+    ++hub_->bar_gen;
+    hub_->bar_cv.notify_all();
+    return;
+  }
+  hub_->bar_cv.wait(lk, [&] {
+    return hub_->bar_gen != gen || hub_->aborted.load();
+  });
+  hub_->check_abort();
+}
+
+double Comm::allreduce_sum(double v) {
+  hub_->slots[rank_] = v;
+  barrier();
+  double s = 0.0;
+  for (int r = 0; r < size(); ++r) s += hub_->slots[r];
+  barrier();
+  return s;
+}
+
+double Comm::allreduce_max(double v) {
+  hub_->slots[rank_] = v;
+  barrier();
+  double s = hub_->slots[0];
+  for (int r = 1; r < size(); ++r) s = std::max(s, hub_->slots[r]);
+  barrier();
+  return s;
+}
+
+double Comm::allreduce_min(double v) {
+  hub_->slots[rank_] = v;
+  barrier();
+  double s = hub_->slots[0];
+  for (int r = 1; r < size(); ++r) s = std::min(s, hub_->slots[r]);
+  barrier();
+  return s;
+}
+
+void Comm::allreduce_sum(std::span<double> v) {
+  hub_->vec_ptrs[rank_] = v;
+  barrier();
+  std::vector<double> acc(v.size(), 0.0);
+  for (int r = 0; r < size(); ++r) {
+    const auto& src = hub_->vec_ptrs[r];
+    S3D_REQUIRE(src.size() == v.size(), "allreduce_sum: size mismatch");
+    for (std::size_t i = 0; i < v.size(); ++i) acc[i] += src[i];
+  }
+  barrier();  // everyone has read all inputs
+  std::copy(acc.begin(), acc.end(), v.begin());
+  barrier();
+}
+
+void run(int nranks, const std::function<void(Comm&)>& fn) {
+  S3D_REQUIRE(nranks >= 1, "need at least one rank");
+  auto hub = std::make_shared<Comm::Hub>(nranks);
+  std::vector<std::thread> threads;
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+
+  auto body = [&](int rank) {
+    try {
+      Comm comm(rank, hub);
+      fn(comm);
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lk(err_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+      hub->abort_all();
+    }
+  };
+
+  threads.reserve(nranks - 1);
+  for (int r = 1; r < nranks; ++r) threads.emplace_back(body, r);
+  body(0);
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+Cart::Cart(Comm& comm, int px, int py, int pz, std::array<bool, 3> periodic) {
+  S3D_REQUIRE(px * py * pz == comm.size(),
+              "Cart: process grid does not match communicator size");
+  const int rank = comm.rank();
+  coords_ = {rank % px, (rank / px) % py, rank / (px * py)};
+  const int p[3] = {px, py, pz};
+  auto rank_of = [&](int cx, int cy, int cz) {
+    return cx + px * (cy + py * cz);
+  };
+  for (int a = 0; a < 3; ++a) {
+    for (int dir = 0; dir < 2; ++dir) {
+      auto c = coords_;
+      c[a] += dir == 0 ? -1 : 1;
+      if (periodic[a]) c[a] = (c[a] + p[a]) % p[a];
+      nb_[a][dir] = (c[a] < 0 || c[a] >= p[a]) ? -1 : rank_of(c[0], c[1], c[2]);
+    }
+  }
+}
+
+}  // namespace s3d::vmpi

@@ -1,0 +1,103 @@
+#pragma once
+// vmpi: an in-process message-passing runtime with MPI-like semantics.
+//
+// The paper's S3D runs over MPI with a 3-D domain decomposition whose only
+// communication is non-blocking nearest-neighbour point-to-point plus rare
+// reductions (section 2.6). vmpi reproduces exactly that programming model
+// with ranks as threads inside one process, so the solver's parallel
+// structure is real and testable on a single machine (see DESIGN.md
+// substitutions). Semantics:
+//   - isend is buffered: it copies the payload and completes immediately;
+//   - irecv matches on (source, tag) in posting order;
+//   - barrier and allreduce are collective over all ranks;
+//   - messages between a (src, dst, tag) triple are non-overtaking.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+namespace s3d::vmpi {
+
+class Comm;
+
+/// Handle for a pending non-blocking operation.
+class Request {
+ public:
+  Request() = default;
+  bool valid() const { return state_ != nullptr; }
+
+ private:
+  friend class Comm;
+  struct State;
+  std::shared_ptr<State> state_;
+};
+
+/// Launch `nranks` ranks, each executing fn(comm). Returns when every rank
+/// has finished. The first exception thrown by any rank is rethrown here.
+void run(int nranks, const std::function<void(Comm&)>& fn);
+
+/// Per-rank communicator handle. Valid only inside run()'s callback.
+class Comm {
+ public:
+  int rank() const { return rank_; }
+  int size() const;
+
+  // --- Point-to-point (doubles payload; byte payloads via the _bytes
+  //     variants used by the I/O layers) ---
+
+  /// Buffered non-blocking send: data is copied out; completes immediately.
+  Request isend(int dest, int tag, std::span<const double> data);
+  /// Non-blocking receive into `data` (must outlive the wait).
+  Request irecv(int source, int tag, std::span<double> data);
+  /// Blocking send/recv convenience wrappers.
+  void send(int dest, int tag, std::span<const double> data);
+  void recv(int source, int tag, std::span<double> data);
+
+  Request isend_bytes(int dest, int tag, std::span<const std::uint8_t> data);
+  Request irecv_bytes(int source, int tag, std::span<std::uint8_t> data);
+
+  /// Block until the request completes. Receives report the matched
+  /// message length through `received_len` when provided.
+  void wait(Request& req, std::size_t* received_len = nullptr);
+  void waitall(std::span<Request> reqs);
+
+  // --- Collectives ---
+
+  void barrier();
+  double allreduce_sum(double v);
+  double allreduce_max(double v);
+  double allreduce_min(double v);
+  /// Element-wise sum-reduction of a vector across ranks (in place).
+  void allreduce_sum(std::span<double> v);
+
+ private:
+  friend void run(int, const std::function<void(Comm&)>&);
+  struct Hub;
+  Comm(int rank, std::shared_ptr<Hub> hub);
+  int rank_ = 0;
+  std::shared_ptr<Hub> hub_;
+};
+
+/// Halo-exchange helper: a 3-D Cartesian layout over the ranks with
+/// per-axis periodicity, built on Comm (mirrors MPI_Cart_create usage).
+class Cart {
+ public:
+  Cart(Comm& comm, int px, int py, int pz, std::array<bool, 3> periodic);
+
+  std::array<int, 3> coords() const { return coords_; }
+  /// Rank of the neighbour along axis in direction sign, or -1 at a
+  /// physical boundary.
+  int neighbor(int axis, int sign) const { return nb_[axis][sign < 0 ? 0 : 1]; }
+
+ private:
+  std::array<int, 3> coords_{};
+  int nb_[3][2];
+};
+
+}  // namespace s3d::vmpi

@@ -1,0 +1,42 @@
+#include "workflow/actor.hpp"
+
+#include "common/error.hpp"
+
+namespace s3d::workflow {
+
+std::shared_ptr<Channel>* Actor::port_ref(
+    std::map<std::string, std::shared_ptr<Channel>>& m,
+    const std::string& port) {
+  auto& slot = m[port];
+  if (!slot) slot = std::make_shared<Channel>();
+  return &slot;
+}
+
+void Actor::connect(const std::string& out_port, Actor& downstream,
+                    const std::string& in_port) {
+  auto* mine = port_ref(outputs_, out_port);
+  auto* theirs = downstream.port_ref(downstream.inputs_, in_port);
+  // Share one channel: my emits land in their input.
+  *theirs = *mine;
+}
+
+void Actor::emit(Token t, const std::string& port) {
+  out(port).push(std::move(t));
+}
+
+long Workflow::run_until_idle(int max_sweeps) {
+  long fired = 0;
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    bool progressed = false;
+    for (Actor* a : actors_) {
+      while (a->fire()) {
+        ++fired;
+        progressed = true;
+      }
+    }
+    if (!progressed) break;
+  }
+  return fired;
+}
+
+}  // namespace s3d::workflow

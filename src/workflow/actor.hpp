@@ -1,0 +1,111 @@
+#pragma once
+// Actor-oriented workflow engine (the paper's Kepler/Ptolemy II substitute,
+// section 9): data-centric actors connected by token channels, with the
+// scheduling policy factored into a separate director -- the
+// "actor-oriented modeling" separation the paper highlights. Workflows are
+// graphs of actors; tokens flow along connections according to the
+// director's schedule.
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace s3d::workflow {
+
+/// A unit of data flowing between actors: a tagged record (file names,
+/// parameters, status), Kepler-token style.
+class Token {
+ public:
+  Token() = default;
+  explicit Token(std::string path) { fields_["path"] = std::move(path); }
+
+  std::string& operator[](const std::string& key) { return fields_[key]; }
+  const std::string& get(const std::string& key) const {
+    static const std::string empty;
+    auto it = fields_.find(key);
+    return it == fields_.end() ? empty : it->second;
+  }
+  bool has(const std::string& key) const { return fields_.count(key) > 0; }
+  const std::string& path() const { return get("path"); }
+
+ private:
+  std::map<std::string, std::string> fields_;
+};
+
+/// A FIFO channel between an output and an input port.
+class Channel {
+ public:
+  void push(Token t) { q_.push_back(std::move(t)); }
+  bool empty() const { return q_.empty(); }
+  std::size_t size() const { return q_.size(); }
+  Token pop() {
+    Token t = std::move(q_.front());
+    q_.pop_front();
+    return t;
+  }
+
+ private:
+  std::deque<Token> q_;
+};
+
+/// Base actor: named, with named input and output ports. fire() consumes
+/// available inputs and produces outputs; it returns true if it did any
+/// work (the director iterates until the graph quiesces).
+class Actor {
+ public:
+  explicit Actor(std::string name) : name_(std::move(name)) {}
+  virtual ~Actor() = default;
+
+  const std::string& name() const { return name_; }
+
+  /// Perform one quantum of work; true if anything happened.
+  virtual bool fire() = 0;
+
+  /// Ports are created on demand.
+  Channel& in(const std::string& port) { return **port_ref(inputs_, port); }
+  Channel& out(const std::string& port) { return **port_ref(outputs_, port); }
+  bool has_input(const std::string& port = "in") {
+    return inputs_.count(port) && !inputs_[port]->empty();
+  }
+
+  /// Wire this actor's output port to a downstream actor's input port:
+  /// they share the channel.
+  void connect(const std::string& out_port, Actor& downstream,
+               const std::string& in_port = "in");
+
+ protected:
+  Token take(const std::string& port = "in") { return in(port).pop(); }
+  void emit(Token t, const std::string& port = "out");
+
+ private:
+  std::shared_ptr<Channel>* port_ref(
+      std::map<std::string, std::shared_ptr<Channel>>& m,
+      const std::string& port);
+
+  std::string name_;
+  std::map<std::string, std::shared_ptr<Channel>> inputs_;
+  std::map<std::string, std::shared_ptr<Channel>> outputs_;
+};
+
+/// Sequential process-network director: round-robin fires actors until no
+/// actor makes progress (one "sweep" of the workflow), Kepler-style but
+/// deterministic. Actors owned elsewhere; the workflow holds raw pointers.
+class Workflow {
+ public:
+  explicit Workflow(std::string name) : name_(std::move(name)) {}
+  const std::string& name() const { return name_; }
+
+  void add(Actor* a) { actors_.push_back(a); }
+
+  /// Fire actors round-robin until quiescent; returns the number of
+  /// firings that did work.
+  long run_until_idle(int max_sweeps = 1000);
+
+ private:
+  std::string name_;
+  std::vector<Actor*> actors_;
+};
+
+}  // namespace s3d::workflow

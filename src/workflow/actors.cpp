@@ -1,0 +1,283 @@
+#include "workflow/actors.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace s3d::workflow {
+
+namespace fs = std::filesystem;
+
+FileWatcherActor::FileWatcherActor(std::string name, fs::path dir,
+                                   std::string suffix, bool require_marker,
+                                   ProvenanceStore* prov)
+    : Actor(std::move(name)),
+      dir_(std::move(dir)),
+      suffix_(std::move(suffix)),
+      require_marker_(require_marker),
+      prov_(prov) {}
+
+bool FileWatcherActor::fire() {
+  if (!fs::exists(dir_)) return false;
+  bool any = false;
+  std::vector<fs::path> found;
+  for (const auto& e : fs::directory_iterator(dir_)) {
+    if (!e.is_regular_file()) continue;
+    const std::string p = e.path().string();
+    if (p.size() < suffix_.size() ||
+        p.compare(p.size() - suffix_.size(), suffix_.size(), suffix_) != 0)
+      continue;
+    if (seen_.count(p)) continue;
+    if (require_marker_ && !fs::exists(p + ".done")) continue;
+    found.push_back(e.path());
+  }
+  std::sort(found.begin(), found.end());
+  for (const auto& p : found) {
+    seen_.insert(p.string());
+    emit(Token(p.string()));
+    if (prov_) prov_->record(name(), "", p.string(), "watched");
+    any = true;
+  }
+  return any;
+}
+
+ProcessFileActor::ProcessFileActor(std::string name, FileOp op,
+                                   fs::path checkpoint_log, int max_retries,
+                                   ProvenanceStore* prov)
+    : Actor(std::move(name)),
+      op_(std::move(op)),
+      log_path_(std::move(checkpoint_log)),
+      max_retries_(max_retries),
+      prov_(prov) {}
+
+void ProcessFileActor::load_log() {
+  loaded_ = true;
+  std::ifstream f(log_path_);
+  std::string line;
+  while (std::getline(f, line)) {
+    const auto tab = line.find('\t');
+    if (tab == std::string::npos) continue;
+    done_[line.substr(0, tab)] = line.substr(tab + 1);
+  }
+}
+
+void ProcessFileActor::append_log(const std::string& input,
+                                  const std::string& output) {
+  std::ofstream f(log_path_, std::ios::app);
+  f << input << '\t' << output << '\n';
+}
+
+bool ProcessFileActor::fire() {
+  if (!loaded_) load_log();
+  if (!has_input()) return false;
+  Token t = take();
+  const std::string input = t.path();
+
+  // Checkpoint: completed inputs are skipped (paper: "the automatic check
+  // pointing within this actor allows the workflow to skip steps that had
+  // already been accomplished, while retrying the failed ones").
+  auto it = done_.find(input);
+  if (it != done_.end()) {
+    Token out = t;
+    out["path"] = it->second;
+    out["status"] = "skipped";
+    ++skipped_;
+    if (prov_) prov_->record(name(), input, it->second, "skipped");
+    emit(std::move(out));
+    return true;
+  }
+
+  for (int attempt = 0; attempt <= max_retries_; ++attempt) {
+    Token out = t;
+    if (op_(t, out)) {
+      done_[input] = out.path();
+      append_log(input, out.path());
+      out["status"] = "ok";
+      ++executed_;
+      if (prov_) prov_->record(name(), input, out.path(), "ok");
+      emit(std::move(out));
+      return true;
+    }
+  }
+  // Exhausted retries: error log + error port; the pipeline keeps going.
+  {
+    std::ofstream err(log_path_.string() + ".errors", std::ios::app);
+    err << input << '\n';
+  }
+  Token out = t;
+  out["status"] = "failed";
+  ++failed_;
+  if (prov_) prov_->record(name(), input, "", "failed");
+  emit(std::move(out), "error");
+  return true;
+}
+
+MorphActor::MorphActor(std::string name, int group_size, fs::path out_dir,
+                       ProvenanceStore* prov)
+    : Actor(std::move(name)),
+      group_size_(group_size),
+      out_dir_(std::move(out_dir)),
+      prov_(prov) {
+  S3D_REQUIRE(group_size_ >= 1, "morph group size must be >= 1");
+}
+
+bool MorphActor::fire() {
+  bool any = false;
+  while (has_input()) {
+    pending_.push_back(take());
+    any = true;
+  }
+  while (static_cast<int>(pending_.size()) >= group_size_) {
+    fs::create_directories(out_dir_);
+    const fs::path out =
+        out_dir_ / ("morph_" + std::to_string(batch_++) + ".dat");
+    std::ofstream o(out, std::ios::binary);
+    for (int i = 0; i < group_size_; ++i) {
+      std::ifstream in(pending_[i].path(), std::ios::binary);
+      o << in.rdbuf();
+      if (prov_) prov_->record(name(), pending_[i].path(), out.string(), "ok");
+    }
+    pending_.erase(pending_.begin(), pending_.begin() + group_size_);
+    emit(Token(out.string()));
+    any = true;
+  }
+  return any;
+}
+
+PlotXYActor::PlotXYActor(std::string name, fs::path out_dir,
+                         ProvenanceStore* prov)
+    : Actor(std::move(name)), out_dir_(std::move(out_dir)), prov_(prov) {}
+
+bool PlotXYActor::fire() {
+  if (!has_input()) return false;
+  Token t = take();
+  std::ifstream in(t.path());
+  std::vector<double> xs, ys;
+  double a, b;
+  while (in >> a >> b) {
+    xs.push_back(a);
+    ys.push_back(b);
+  }
+  fs::create_directories(out_dir_);
+  const fs::path out =
+      out_dir_ / (fs::path(t.path()).stem().string() + ".svg");
+  write_svg_polyline(out, xs, ys, fs::path(t.path()).filename().string());
+  if (prov_) prov_->record(name(), t.path(), out.string(), "ok");
+  Token o = t;
+  o["path"] = out.string();
+  emit(std::move(o));
+  return true;
+}
+
+MinMaxDashboardActor::MinMaxDashboardActor(std::string name, fs::path out_dir,
+                                           ProvenanceStore* prov)
+    : Actor(std::move(name)), out_dir_(std::move(out_dir)), prov_(prov) {}
+
+bool MinMaxDashboardActor::fire() {
+  if (!has_input()) return false;
+  bool any = false;
+  while (has_input()) {
+    Token t = take();
+    std::ifstream in(t.path());
+    std::string var;
+    double mn, mx;
+    while (in >> var >> mn >> mx) traces_[var].emplace_back(mn, mx);
+    if (prov_) prov_->record(name(), t.path(), "", "ok");
+    any = true;
+  }
+  if (any) render_dashboard();
+  return any;
+}
+
+int MinMaxDashboardActor::samples(const std::string& var) const {
+  auto it = traces_.find(var);
+  return it == traces_.end() ? 0 : static_cast<int>(it->second.size());
+}
+
+void MinMaxDashboardActor::render_dashboard() {
+  fs::create_directories(out_dir_);
+  std::ofstream idx(out_dir_ / "dashboard.txt");
+  idx << "S3D++ run dashboard (min/max time traces)\n";
+  for (const auto& [var, tr] : traces_) {
+    std::vector<double> xs, mins, maxs;
+    for (std::size_t i = 0; i < tr.size(); ++i) {
+      xs.push_back(static_cast<double>(i));
+      mins.push_back(tr[i].first);
+      maxs.push_back(tr[i].second);
+    }
+    write_svg_polyline(out_dir_ / (var + "_min.svg"), xs, mins, var + " min");
+    write_svg_polyline(out_dir_ / (var + "_max.svg"), xs, maxs, var + " max");
+    idx << var << "  samples=" << tr.size() << "  last=[" << tr.back().first
+        << ", " << tr.back().second << "]\n";
+  }
+}
+
+FileOp copy_op(fs::path dst_dir) {
+  return [dst_dir](const Token& in, Token& out) {
+    std::error_code ec;
+    fs::create_directories(dst_dir, ec);
+    const fs::path dst = dst_dir / fs::path(in.path()).filename();
+    fs::copy_file(in.path(), dst, fs::copy_options::overwrite_existing, ec);
+    if (ec) return false;
+    out["path"] = dst.string();
+    return true;
+  };
+}
+
+FileOp archive_op(fs::path archive_dir) {
+  return [archive_dir](const Token& in, Token& out) {
+    std::error_code ec;
+    fs::create_directories(archive_dir, ec);
+    const fs::path dst = archive_dir / fs::path(in.path()).filename();
+    fs::copy_file(in.path(), dst, fs::copy_options::overwrite_existing, ec);
+    if (ec) return false;
+    std::ofstream cat(archive_dir / "catalog.txt", std::ios::app);
+    cat << dst.string() << '\n';
+    out["path"] = dst.string();
+    return true;
+  };
+}
+
+FileOp flaky_op(FileOp inner, int n_failures) {
+  auto counts = std::make_shared<std::map<std::string, int>>();
+  return [inner, n_failures, counts](const Token& in, Token& out) {
+    int& c = (*counts)[in.path()];
+    if (c < n_failures) {
+      ++c;
+      return false;
+    }
+    return inner(in, out);
+  };
+}
+
+void write_svg_polyline(const fs::path& path, const std::vector<double>& xs,
+                        const std::vector<double>& ys,
+                        const std::string& title) {
+  const int W = 480, H = 280, M = 30;
+  double x0 = 0, x1 = 1, y0 = 0, y1 = 1;
+  if (!xs.empty()) {
+    x0 = *std::min_element(xs.begin(), xs.end());
+    x1 = *std::max_element(xs.begin(), xs.end());
+    y0 = *std::min_element(ys.begin(), ys.end());
+    y1 = *std::max_element(ys.begin(), ys.end());
+    if (x1 == x0) x1 = x0 + 1;
+    if (y1 == y0) y1 = y0 + 1;
+  }
+  std::ofstream f(path);
+  f << "<svg xmlns='http://www.w3.org/2000/svg' width='" << W
+    << "' height='" << H << "'>\n"
+    << "<rect width='100%' height='100%' fill='white'/>\n"
+    << "<text x='10' y='16' font-size='12'>" << title << "</text>\n"
+    << "<polyline fill='none' stroke='steelblue' stroke-width='1.5' points='";
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double px = M + (xs[i] - x0) / (x1 - x0) * (W - 2 * M);
+    const double py = H - M - (ys[i] - y0) / (y1 - y0) * (H - 2 * M);
+    f << px << ',' << py << ' ';
+  }
+  f << "'/>\n</svg>\n";
+}
+
+}  // namespace s3d::workflow

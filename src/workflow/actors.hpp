@@ -1,0 +1,150 @@
+#pragma once
+// The actor library used by the S3D monitoring workflow (paper section 9):
+//
+//   FileWatcherActor  -- polls a directory for new files, the "indirect
+//                        connection between the simulation and the
+//                        workflow" (emits once per file; optionally only
+//                        when a completion marker exists, the equivalent
+//                        of watching the simulation log);
+//   ProcessFileActor  -- runs an operation on each incoming file token
+//                        with automatic checkpointing (completed work is
+//                        skipped after a restart), bounded retries and an
+//                        error log: the paper's fault-tolerance design;
+//   MorphActor        -- N-to-M file morphing (combines N restart pieces
+//                        into one analysis file);
+//   PlotXYActor       -- renders two-column data files to SVG plots (the
+//                        Grace/gnuplot stage feeding the dashboard);
+//   MinMaxDashboardActor -- accumulates per-variable min/max time traces
+//                        and regenerates the dashboard artifacts (fig. 17).
+//
+// "Remote hosts" (the ewok cluster, Sandia, HPSS) are sandbox directories;
+// transfers are copies, preserving the pipeline structure.
+
+#include <filesystem>
+#include <functional>
+#include <set>
+
+#include "workflow/actor.hpp"
+#include "workflow/provenance.hpp"
+
+namespace s3d::workflow {
+
+class FileWatcherActor : public Actor {
+ public:
+  /// Watch `dir` for files whose name ends with `suffix`. When
+  /// `require_marker` is set, a file is only emitted once `<file>.done`
+  /// exists (the writer signals completeness, as S3D's log entries do).
+  FileWatcherActor(std::string name, std::filesystem::path dir,
+                   std::string suffix, bool require_marker = false,
+                   ProvenanceStore* prov = nullptr);
+
+  bool fire() override;
+
+ private:
+  std::filesystem::path dir_;
+  std::string suffix_;
+  bool require_marker_;
+  std::set<std::string> seen_;
+  ProvenanceStore* prov_;
+};
+
+/// Operation run by ProcessFileActor: transform the input token into an
+/// output token (e.g. set out["path"]); return false on failure.
+using FileOp = std::function<bool(const Token& in, Token& out)>;
+
+class ProcessFileActor : public Actor {
+ public:
+  /// @param checkpoint_log  persistent record of completed (actor, input)
+  ///        pairs; on restart, already-completed inputs are skipped and
+  ///        their recorded outputs re-emitted downstream
+  /// @param max_retries     op retries before the token goes to the
+  ///        "error" port and the error log
+  ProcessFileActor(std::string name, FileOp op,
+                   std::filesystem::path checkpoint_log, int max_retries = 2,
+                   ProvenanceStore* prov = nullptr);
+
+  bool fire() override;
+  long executed() const { return executed_; }
+  long skipped() const { return skipped_; }
+  long failed() const { return failed_; }
+
+ private:
+  void load_log();
+  void append_log(const std::string& input, const std::string& output);
+
+  FileOp op_;
+  std::filesystem::path log_path_;
+  int max_retries_;
+  std::map<std::string, std::string> done_;  ///< input path -> output path
+  bool loaded_ = false;
+  long executed_ = 0, skipped_ = 0, failed_ = 0;
+  ProvenanceStore* prov_;
+};
+
+/// Combine groups of `group_size` incoming files into single output files
+/// (restart N-to-M morphing).
+class MorphActor : public Actor {
+ public:
+  MorphActor(std::string name, int group_size, std::filesystem::path out_dir,
+             ProvenanceStore* prov = nullptr);
+  bool fire() override;
+
+ private:
+  int group_size_;
+  std::filesystem::path out_dir_;
+  std::vector<Token> pending_;
+  int batch_ = 0;
+  ProvenanceStore* prov_;
+};
+
+/// Render a whitespace-separated two-column data file as an SVG polyline.
+class PlotXYActor : public Actor {
+ public:
+  PlotXYActor(std::string name, std::filesystem::path out_dir,
+              ProvenanceStore* prov = nullptr);
+  bool fire() override;
+
+ private:
+  std::filesystem::path out_dir_;
+  ProvenanceStore* prov_;
+};
+
+/// Dashboard backend: consumes min/max files ("var min max" per line),
+/// appends to per-variable traces and regenerates SVG plots plus a
+/// dashboard index.
+class MinMaxDashboardActor : public Actor {
+ public:
+  MinMaxDashboardActor(std::string name, std::filesystem::path out_dir,
+                       ProvenanceStore* prov = nullptr);
+  bool fire() override;
+
+  /// Number of samples recorded for a variable.
+  int samples(const std::string& var) const;
+
+ private:
+  void render_dashboard();
+  std::filesystem::path out_dir_;
+  std::map<std::string, std::vector<std::pair<double, double>>> traces_;
+  ProvenanceStore* prov_;
+};
+
+// --- prefab FileOps ---
+
+/// Copy the input file into `dst_dir` ("scp to a remote host").
+FileOp copy_op(std::filesystem::path dst_dir);
+
+/// Copy into an archive directory and append to its catalog file
+/// (HPSS stand-in).
+FileOp archive_op(std::filesystem::path archive_dir);
+
+/// An op that fails the first `n_failures` times it sees each distinct
+/// input (testing fault tolerance), then delegates.
+FileOp flaky_op(FileOp inner, int n_failures);
+
+/// Minimal SVG polyline writer used by the plot actors.
+void write_svg_polyline(const std::filesystem::path& path,
+                        const std::vector<double>& xs,
+                        const std::vector<double>& ys,
+                        const std::string& title);
+
+}  // namespace s3d::workflow

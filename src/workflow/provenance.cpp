@@ -1,0 +1,39 @@
+#include "workflow/provenance.hpp"
+
+#include <set>
+
+namespace s3d::workflow {
+
+void ProvenanceStore::record(std::string actor, std::string input,
+                             std::string output, std::string status) {
+  recs_.push_back({std::move(actor), std::move(input), std::move(output),
+                   std::move(status)});
+}
+
+std::vector<std::string> ProvenanceStore::lineage(
+    const std::string& artifact) const {
+  std::set<std::string> known{artifact};
+  // Fixed-point backward closure over (input -> output) edges.
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    for (const auto& r : recs_) {
+      if (!r.output.empty() && known.count(r.output) && !r.input.empty() &&
+          !known.count(r.input)) {
+        known.insert(r.input);
+        grew = true;
+      }
+    }
+  }
+  known.erase(artifact);
+  return {known.begin(), known.end()};
+}
+
+long ProvenanceStore::count(const std::string& actor) const {
+  long n = 0;
+  for (const auto& r : recs_)
+    if (r.actor == actor) ++n;
+  return n;
+}
+
+}  // namespace s3d::workflow

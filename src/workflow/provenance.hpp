@@ -1,0 +1,37 @@
+#pragma once
+// Provenance tracking (paper section 9: "Kepler is being extended to
+// support the integration of provenance tracking, for the workflow as well
+// as for the data"): every actor firing is recorded with its inputs,
+// outputs and status, and the store answers lineage queries -- e.g. which
+// original files contributed to a given artifact.
+
+#include <string>
+#include <vector>
+
+namespace s3d::workflow {
+
+struct ProvenanceRecord {
+  std::string actor;
+  std::string input;   ///< input artifact (path), may be empty
+  std::string output;  ///< output artifact (path), may be empty
+  std::string status;  ///< "ok", "skipped", "failed", "watched", ...
+};
+
+class ProvenanceStore {
+ public:
+  void record(std::string actor, std::string input, std::string output,
+              std::string status);
+
+  const std::vector<ProvenanceRecord>& records() const { return recs_; }
+
+  /// All ancestor artifacts of `artifact` (transitively), oldest first.
+  std::vector<std::string> lineage(const std::string& artifact) const;
+
+  /// Firings of a given actor.
+  long count(const std::string& actor) const;
+
+ private:
+  std::vector<ProvenanceRecord> recs_;
+};
+
+}  // namespace s3d::workflow

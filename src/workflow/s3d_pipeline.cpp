@@ -1,0 +1,94 @@
+#include "workflow/s3d_pipeline.hpp"
+
+#include <fstream>
+
+namespace s3d::workflow {
+
+namespace fs = std::filesystem;
+
+S3dMonitoringWorkflow::S3dMonitoringWorkflow(S3dWorkflowDirs dirs,
+                                             int restart_pieces,
+                                             ProvenanceStore* prov)
+    : dirs_(std::move(dirs)) {
+  fs::create_directories(dirs_.log_dir);
+
+  // Pipeline 1: restart -> morph -> (transfer, archive).
+  watch_restart_ = std::make_unique<FileWatcherActor>(
+      "watch-restart", dirs_.run_dir, ".restart", /*require_marker=*/true,
+      prov);
+  morph_ = std::make_unique<MorphActor>("morph", restart_pieces,
+                                        dirs_.work_dir / "morphed", prov);
+  tee_ = std::make_unique<TeeActor>("tee");
+  transfer_ = std::make_unique<ProcessFileActor>(
+      "transfer-remote", copy_op(dirs_.remote_dir),
+      dirs_.log_dir / "transfer.log", 2, prov);
+  archive_ = std::make_unique<ProcessFileActor>(
+      "archive-hpss", archive_op(dirs_.archive_dir),
+      dirs_.log_dir / "archive.log", 2, prov);
+
+  watch_restart_->connect("out", *morph_);
+  morph_->connect("out", *tee_);
+  tee_->connect("out0", *transfer_);
+  tee_->connect("out1", *archive_);
+
+  // Pipeline 2: netcdf analysis -> stage -> plot.
+  watch_nc_ = std::make_unique<FileWatcherActor>("watch-ncdat",
+                                                 dirs_.run_dir, ".ncdat",
+                                                 false, prov);
+  stage_nc_ = std::make_unique<ProcessFileActor>(
+      "stage-ncdat", copy_op(dirs_.work_dir / "ncdat"),
+      dirs_.log_dir / "stage.log", 2, prov);
+  plot_ = std::make_unique<PlotXYActor>("plot-xy", dirs_.dashboard_dir,
+                                        prov);
+  watch_nc_->connect("out", *stage_nc_);
+  stage_nc_->connect("out", *plot_);
+
+  // Pipeline 3: min/max -> dashboard.
+  watch_minmax_ = std::make_unique<FileWatcherActor>(
+      "watch-minmax", dirs_.run_dir, ".minmax", false, prov);
+  dashboard_ = std::make_unique<MinMaxDashboardActor>(
+      "dashboard", dirs_.dashboard_dir, prov);
+  watch_minmax_->connect("out", *dashboard_);
+
+  for (Actor* a :
+       {static_cast<Actor*>(watch_restart_.get()), static_cast<Actor*>(morph_.get()),
+        static_cast<Actor*>(tee_.get()), static_cast<Actor*>(transfer_.get()),
+        static_cast<Actor*>(archive_.get()), static_cast<Actor*>(watch_nc_.get()),
+        static_cast<Actor*>(stage_nc_.get()), static_cast<Actor*>(plot_.get()),
+        static_cast<Actor*>(watch_minmax_.get()),
+        static_cast<Actor*>(dashboard_.get())})
+    wf_.add(a);
+}
+
+long S3dMonitoringWorkflow::pump() { return wf_.run_until_idle(); }
+
+FakeSimulation::FakeSimulation(fs::path run_dir, int n_restart_pieces)
+    : dir_(std::move(run_dir)), n_pieces_(n_restart_pieces) {
+  fs::create_directories(dir_);
+}
+
+void FakeSimulation::emit_step(int step) {
+  // Restart pieces with completion markers.
+  for (int p = 0; p < n_pieces_; ++p) {
+    const fs::path f =
+        dir_ / ("step" + std::to_string(step) + "_p" + std::to_string(p) +
+                ".restart");
+    std::ofstream o(f, std::ios::binary);
+    o << "restart step=" << step << " piece=" << p << "\n";
+    std::ofstream marker(f.string() + ".done");
+  }
+  // NetCDF-like analysis file: two-column trace.
+  {
+    std::ofstream o(dir_ / ("step" + std::to_string(step) + ".ncdat"));
+    for (int i = 0; i < 32; ++i)
+      o << i << ' ' << (step + 1) * i * (32 - i) << '\n';
+  }
+  // Min/max summary.
+  {
+    std::ofstream o(dir_ / ("step" + std::to_string(step) + ".minmax"));
+    o << "T " << 300.0 - step << ' ' << 2200.0 + 10 * step << '\n';
+    o << "P " << 101000.0 << ' ' << 101500.0 + step << '\n';
+  }
+}
+
+}  // namespace s3d::workflow

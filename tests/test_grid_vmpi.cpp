@@ -1,0 +1,262 @@
+// Grid and vmpi runtime tests: mesh construction, stretching metrics,
+// block decomposition, and message-passing semantics.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+
+#include "grid/mesh.hpp"
+#include "vmpi/vmpi.hpp"
+
+namespace grid = s3d::grid;
+namespace vmpi = s3d::vmpi;
+
+TEST(Mesh, UniformBoundedAxisSpacing) {
+  grid::Mesh m({11, 1.0, false}, {1, 1.0, false}, {1, 1.0, false});
+  EXPECT_DOUBLE_EQ(m.coord(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(m.coord(0, 10), 1.0);
+  EXPECT_NEAR(m.min_spacing(0), 0.1, 1e-14);
+  EXPECT_NEAR(m.inv_spacing(0)[5], 10.0, 1e-12);
+}
+
+TEST(Mesh, UniformPeriodicAxisExcludesEndpoint) {
+  grid::Mesh m({10, 1.0, true}, {1, 1.0, false}, {1, 1.0, false});
+  EXPECT_DOUBLE_EQ(m.coord(0, 9), 0.9);
+  EXPECT_NEAR(m.min_spacing(0), 0.1, 1e-14);
+}
+
+TEST(Mesh, InactiveAxisHasZeroMetric) {
+  grid::Mesh m({8, 1.0, false}, {1, 1.0, false}, {1, 1.0, false});
+  EXPECT_FALSE(m.active(1));
+  EXPECT_DOUBLE_EQ(m.inv_spacing(1)[0], 0.0);
+}
+
+TEST(Mesh, StretchedAxisClustersAtCenter) {
+  grid::AxisSpec y{101, 0.032, false, 2.2, -0.016};
+  grid::Mesh m({1, 1.0, false}, y, {1, 1.0, false});
+  // Spacing at the centre must be smaller than at the edges.
+  const double h_mid = m.coord(1, 51) - m.coord(1, 50);
+  const double h_edge = m.coord(1, 100) - m.coord(1, 99);
+  EXPECT_LT(h_mid, 0.5 * h_edge);
+  // Endpoints map exactly.
+  EXPECT_NEAR(m.coord(1, 0), -0.016, 1e-12);
+  EXPECT_NEAR(m.coord(1, 100), 0.016, 1e-12);
+}
+
+TEST(Mesh, StretchedMetricMatchesFiniteDifference) {
+  grid::AxisSpec y{81, 0.02, false, 1.8, 0.0};
+  grid::Mesh m({1, 1.0, false}, y, {1, 1.0, false});
+  for (int j = 1; j < 80; ++j) {
+    const double dy_dxi = (m.coord(1, j + 1) - m.coord(1, j - 1)) / 2.0;
+    EXPECT_NEAR(m.inv_spacing(1)[j], 1.0 / dy_dxi,
+                0.01 / dy_dxi)  // 2nd-order FD check, 1% tolerance
+        << j;
+  }
+}
+
+TEST(Mesh, MonotoneCoordinates) {
+  grid::AxisSpec y{64, 0.01, false, 2.5, 0.0};
+  grid::Mesh m({1, 1.0, false}, y, {1, 1.0, false});
+  for (int j = 1; j < 64; ++j)
+    EXPECT_GT(m.coord(1, j), m.coord(1, j - 1));
+}
+
+TEST(Decomp, RangesPartitionExactly) {
+  grid::Decomp d(50, 47, 13, 4, 3, 2);
+  for (int axis = 0; axis < 3; ++axis) {
+    const int p = axis == 0 ? 4 : axis == 1 ? 3 : 2;
+    const int n = axis == 0 ? 50 : axis == 1 ? 47 : 13;
+    int covered = 0, prev_end = 0;
+    for (int c = 0; c < p; ++c) {
+      auto [b, e] = d.local_range(axis, c);
+      EXPECT_EQ(b, prev_end);
+      EXPECT_GT(e, b);
+      covered += e - b;
+      prev_end = e;
+    }
+    EXPECT_EQ(covered, n);
+  }
+}
+
+TEST(Decomp, BalancedWithinOnePoint) {
+  grid::Decomp d(103, 1, 1, 8, 1, 1);
+  int mn = 1 << 30, mx = 0;
+  for (int c = 0; c < 8; ++c) {
+    auto [b, e] = d.local_range(0, c);
+    mn = std::min(mn, e - b);
+    mx = std::max(mx, e - b);
+  }
+  EXPECT_LE(mx - mn, 1);
+}
+
+TEST(Decomp, CoordsRoundTrip) {
+  grid::Decomp d(16, 16, 16, 2, 3, 4);
+  for (int r = 0; r < d.nranks(); ++r) {
+    auto c = d.coords_of(r);
+    EXPECT_EQ(d.rank_of(c[0], c[1], c[2]), r);
+  }
+}
+
+TEST(Decomp, NeighborsRespectPeriodicity) {
+  grid::Decomp d(16, 16, 16, 4, 1, 1);
+  // Non-periodic: edge ranks have no outward neighbour.
+  EXPECT_EQ(d.neighbor(0, 0, -1, {false, false, false}), -1);
+  EXPECT_EQ(d.neighbor(3, 0, +1, {false, false, false}), -1);
+  // Periodic: wraps.
+  EXPECT_EQ(d.neighbor(0, 0, -1, {true, false, false}), 3);
+  EXPECT_EQ(d.neighbor(3, 0, +1, {true, false, false}), 0);
+  // Interior.
+  EXPECT_EQ(d.neighbor(1, 0, +1, {false, false, false}), 2);
+}
+
+// ---- vmpi ----
+
+TEST(Vmpi, RunsAllRanks) {
+  std::atomic<int> count{0};
+  vmpi::run(5, [&](vmpi::Comm& c) {
+    EXPECT_EQ(c.size(), 5);
+    count.fetch_add(c.rank() + 1);
+  });
+  EXPECT_EQ(count.load(), 15);
+}
+
+TEST(Vmpi, PointToPointRoundTrip) {
+  vmpi::run(2, [](vmpi::Comm& c) {
+    std::vector<double> buf(4);
+    if (c.rank() == 0) {
+      std::vector<double> msg{1.0, 2.0, 3.0, 4.0};
+      c.send(1, 7, msg);
+      c.recv(1, 8, buf);
+      EXPECT_DOUBLE_EQ(buf[0], 10.0);
+    } else {
+      c.recv(0, 7, buf);
+      EXPECT_DOUBLE_EQ(buf[3], 4.0);
+      std::vector<double> reply{10.0, 20.0, 30.0, 40.0};
+      c.send(0, 8, reply);
+    }
+  });
+}
+
+TEST(Vmpi, NonBlockingExchangeCompletes) {
+  // The solver's ghost-exchange pattern: everyone isends to both
+  // neighbours then irecvs; waitall must complete without deadlock.
+  const int n = 6;
+  vmpi::run(n, [&](vmpi::Comm& c) {
+    const int left = (c.rank() + n - 1) % n;
+    const int right = (c.rank() + 1) % n;
+    std::vector<double> out{double(c.rank())};
+    std::vector<double> from_left(1), from_right(1);
+    std::vector<vmpi::Request> reqs;
+    reqs.push_back(c.isend(right, 1, out));
+    reqs.push_back(c.isend(left, 2, out));
+    reqs.push_back(c.irecv(left, 1, from_left));
+    reqs.push_back(c.irecv(right, 2, from_right));
+    c.waitall(reqs);
+    EXPECT_DOUBLE_EQ(from_left[0], double(left));
+    EXPECT_DOUBLE_EQ(from_right[0], double(right));
+  });
+}
+
+TEST(Vmpi, MessagesNonOvertakingPerTag) {
+  vmpi::run(2, [](vmpi::Comm& c) {
+    if (c.rank() == 0) {
+      for (int i = 0; i < 10; ++i) {
+        std::vector<double> v{double(i)};
+        c.send(1, 3, v);
+      }
+    } else {
+      std::vector<double> v(1);
+      for (int i = 0; i < 10; ++i) {
+        c.recv(0, 3, v);
+        EXPECT_DOUBLE_EQ(v[0], double(i));
+      }
+    }
+  });
+}
+
+TEST(Vmpi, TagsSelectMessages) {
+  vmpi::run(2, [](vmpi::Comm& c) {
+    if (c.rank() == 0) {
+      std::vector<double> a{1.0}, b{2.0};
+      c.send(1, 100, a);
+      c.send(1, 200, b);
+    } else {
+      std::vector<double> v(1);
+      // Receive in reverse tag order; matching must be by tag.
+      c.recv(0, 200, v);
+      EXPECT_DOUBLE_EQ(v[0], 2.0);
+      c.recv(0, 100, v);
+      EXPECT_DOUBLE_EQ(v[0], 1.0);
+    }
+  });
+}
+
+TEST(Vmpi, AllreduceSumMaxMin) {
+  vmpi::run(7, [](vmpi::Comm& c) {
+    const double r = c.rank();
+    EXPECT_DOUBLE_EQ(c.allreduce_sum(r), 21.0);
+    EXPECT_DOUBLE_EQ(c.allreduce_max(r), 6.0);
+    EXPECT_DOUBLE_EQ(c.allreduce_min(r), 0.0);
+  });
+}
+
+TEST(Vmpi, VectorAllreduce) {
+  vmpi::run(4, [](vmpi::Comm& c) {
+    std::vector<double> v{double(c.rank()), 1.0};
+    c.allreduce_sum(std::span<double>(v));
+    EXPECT_DOUBLE_EQ(v[0], 6.0);
+    EXPECT_DOUBLE_EQ(v[1], 4.0);
+  });
+}
+
+TEST(Vmpi, RepeatedBarriers) {
+  vmpi::run(3, [](vmpi::Comm& c) {
+    for (int i = 0; i < 50; ++i) c.barrier();
+    SUCCEED();
+  });
+}
+
+TEST(Vmpi, ExceptionPropagatesAndUnblocksPeers) {
+  EXPECT_THROW(
+      vmpi::run(3,
+                [](vmpi::Comm& c) {
+                  if (c.rank() == 1) throw s3d::Error("rank 1 died");
+                  // Other ranks block on a receive that will never arrive;
+                  // the abort must unblock them.
+                  std::vector<double> v(1);
+                  c.recv((c.rank() + 1) % 3, 9, v);
+                }),
+      s3d::Error);
+}
+
+TEST(Vmpi, CartTopologyNeighbors) {
+  vmpi::run(8, [](vmpi::Comm& c) {
+    vmpi::Cart cart(c, 2, 2, 2, {true, false, false});
+    auto co = cart.coords();
+    // x periodic with px=2: both x-neighbours are the same partner rank.
+    EXPECT_EQ(cart.neighbor(0, -1), cart.neighbor(0, +1));
+    // y non-periodic: coordinate 0 has no -y neighbour.
+    if (co[1] == 0) EXPECT_EQ(cart.neighbor(1, -1), -1);
+    if (co[1] == 1) EXPECT_EQ(cart.neighbor(1, +1), -1);
+  });
+}
+
+TEST(Vmpi, ByteMessages) {
+  vmpi::run(2, [](vmpi::Comm& c) {
+    if (c.rank() == 0) {
+      std::vector<std::uint8_t> data{0x53, 0x3d, 0x00, 0xff};
+      auto r = c.isend_bytes(1, 5, data);
+      c.wait(r);
+    } else {
+      std::vector<std::uint8_t> buf(16);
+      auto r = c.irecv_bytes(0, 5, buf);
+      std::size_t len = 0;
+      c.wait(r, &len);
+      EXPECT_EQ(len, 4u);
+      EXPECT_EQ(buf[0], 0x53);
+      EXPECT_EQ(buf[3], 0xff);
+    }
+  });
+}

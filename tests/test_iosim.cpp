@@ -1,0 +1,238 @@
+// I/O simulator tests: filesystem model semantics, the fig. 8 checkpoint
+// layout, and end-to-end correctness of all four writers (every method
+// must produce the identical canonical file image).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "iosim/simfs.hpp"
+#include "iosim/workload.hpp"
+#include "iosim/writers.hpp"
+
+namespace io = s3d::iosim;
+
+namespace {
+io::FsParams tiny_fs(bool store = true) {
+  io::FsParams p;
+  p.name = "tiny";
+  p.n_servers = 4;
+  p.stripe_size = 1024;
+  p.server_bw = 1e8;
+  p.request_latency = 1e-4;
+  p.lock_revoke = 1e-3;
+  p.mds_service = 1e-3;
+  p.store_data = store;
+  return p;
+}
+
+io::CheckpointSpec tiny_spec() {
+  io::CheckpointSpec s;
+  s.nx = 4;
+  s.ny = 4;
+  s.nz = 4;
+  s.px = 2;
+  s.py = 2;
+  s.pz = 2;
+  return s;
+}
+}  // namespace
+
+TEST(SimFS, OpensSerializeAtMds) {
+  io::SimFS fs(tiny_fs(false));
+  double d1 = 0, d2 = 0, d3 = 0;
+  fs.open("a", 0.0, &d1);
+  fs.open("b", 0.0, &d2);
+  fs.open("c", 0.0, &d3);
+  EXPECT_NEAR(d1, 1e-3, 1e-12);
+  EXPECT_NEAR(d2, 2e-3, 1e-12);
+  EXPECT_NEAR(d3, 3e-3, 1e-12);
+}
+
+TEST(SimFS, WriteTimeScalesWithBytes) {
+  io::SimFS fs(tiny_fs(false));
+  double d = 0;
+  const int fd = fs.open("f", 0.0, &d);
+  const double t1 = fs.write(fd, 0, 0, 512, d);
+  // Same stripe, same client: no revocation, just service time.
+  const double t2 = fs.write(fd, 0, 512, 512, t1);
+  EXPECT_GT(t2, t1);
+  EXPECT_NEAR((t2 - t1), 1e-4 + 512 / 1e8, 1e-9);
+}
+
+TEST(SimFS, FalseSharingSerializesAndCharges) {
+  io::SimFS fs(tiny_fs(false));
+  double d = 0;
+  const int fd = fs.open("f", 0.0, &d);
+  // Two clients write disjoint halves of the same 1 kB stripe at the same
+  // time: the second must wait for the first and pay revocation + RMW.
+  const double t1 = fs.write(fd, 0, 0, 512, d);
+  const double t2 = fs.write(fd, 1, 512, 512, d);
+  EXPECT_GE(t2, t1);  // serialized
+  EXPECT_EQ(fs.stats().n_lock_conflicts, 1);
+  EXPECT_EQ(fs.stats().n_rmw, 1);
+}
+
+TEST(SimFS, AlignedWritesFromDifferentClientsDoNotConflict) {
+  io::SimFS fs(tiny_fs(false));
+  double d = 0;
+  const int fd = fs.open("f", 0.0, &d);
+  fs.write(fd, 0, 0, 1024, d);      // stripe 0 (server 0)
+  fs.write(fd, 1, 1024, 1024, d);   // stripe 1 (server 1)
+  EXPECT_EQ(fs.stats().n_lock_conflicts, 0);
+  EXPECT_EQ(fs.stats().n_rmw, 0);
+}
+
+TEST(SimFS, StripesMapRoundRobinToServers) {
+  // Writes to stripes 0 and 4 (both server 0 with 4 servers) serialize on
+  // the server even from the same client.
+  io::SimFS fs(tiny_fs(false));
+  double d = 0;
+  const int fd = fs.open("f", 0.0, &d);
+  const double t1 = fs.write(fd, 0, 0, 1024, 0.0);
+  const double t2 = fs.write(fd, 0, 4 * 1024, 1024, 0.0);
+  EXPECT_GE(t2, t1);
+}
+
+TEST(SimFS, StoresData) {
+  io::SimFS fs(tiny_fs(true));
+  double d = 0;
+  const int fd = fs.open("f", 0.0, &d);
+  std::vector<std::uint8_t> v{1, 2, 3, 4};
+  fs.write(fd, 0, 10, 4, d, v.data());
+  const auto& data = fs.file_data("f");
+  ASSERT_EQ(data.size(), 14u);
+  EXPECT_EQ(data[10], 1);
+  EXPECT_EQ(data[13], 4);
+}
+
+TEST(Workload, ChunksTileEachScalarExactly) {
+  auto spec = tiny_spec();
+  // Union of all procs' chunks must cover [0, total) exactly once.
+  std::vector<int> cover(spec.total_bytes(), 0);
+  for (int p = 0; p < spec.nprocs(); ++p)
+    io::for_each_chunk(spec, p, [&](const io::Chunk& c) {
+      for (std::size_t b = c.offset; b < c.offset + c.len; ++b) ++cover[b];
+    });
+  for (std::size_t b = 0; b < cover.size(); ++b)
+    ASSERT_EQ(cover[b], 1) << "byte " << b;
+}
+
+TEST(Workload, PerProcBytesMatchSpec) {
+  auto spec = tiny_spec();
+  for (int p = 0; p < spec.nprocs(); ++p) {
+    std::size_t bytes = 0;
+    io::for_each_chunk(spec, p, [&](const io::Chunk& c) { bytes += c.len; });
+    EXPECT_EQ(bytes, spec.bytes_per_proc());
+  }
+}
+
+TEST(Workload, FourthDimensionNotPartitioned) {
+  // Paper fig. 8(b): each proc contributes to every 4th-dim index; with
+  // 16 scalars, each proc's chunk count = 16 * ny * nz.
+  auto spec = tiny_spec();
+  long n = 0;
+  io::for_each_chunk(spec, 3, [&](const io::Chunk&) { ++n; });
+  EXPECT_EQ(n, 16L * spec.ny * spec.nz);
+}
+
+// ---- Writers: every method must produce the identical file image ----
+
+namespace {
+void check_shared_file_content(io::SimFS& fs, const io::CheckpointSpec& spec,
+                               const std::string& name) {
+  const auto& data = fs.file_data(name);
+  ASSERT_EQ(data.size(), spec.total_bytes());
+  for (std::size_t b = 0; b < data.size(); ++b)
+    ASSERT_EQ(data[b], io::expected_byte(b)) << "byte " << b;
+}
+}  // namespace
+
+TEST(Writers, NativeCollectiveProducesCanonicalFile) {
+  io::SimFS fs(tiny_fs(true));
+  auto spec = tiny_spec();
+  auto r = io::write_native_collective(fs, spec, {}, 0, 0.0);
+  EXPECT_EQ(r.bytes, spec.total_bytes());
+  check_shared_file_content(fs, spec, "ckpt0.field");
+}
+
+TEST(Writers, CachingProducesCanonicalFile) {
+  io::SimFS fs(tiny_fs(true));
+  auto spec = tiny_spec();
+  auto r = io::write_mpiio_caching(fs, spec, {}, 0, 0.0);
+  EXPECT_EQ(r.bytes, spec.total_bytes());
+  check_shared_file_content(fs, spec, "ckpt0.field");
+}
+
+TEST(Writers, WriteBehindProducesCanonicalFile) {
+  io::SimFS fs(tiny_fs(true));
+  auto spec = tiny_spec();
+  auto r = io::write_write_behind(fs, spec, {}, 0, 0.0);
+  EXPECT_EQ(r.bytes, spec.total_bytes());
+  check_shared_file_content(fs, spec, "ckpt0.field");
+}
+
+TEST(Writers, FortranProducesPerProcessFilesWithLocalStreams) {
+  io::SimFS fs(tiny_fs(true));
+  auto spec = tiny_spec();
+  auto r = io::write_fortran(fs, spec, {}, 0, 0.0);
+  EXPECT_EQ(r.bytes, spec.total_bytes());
+  for (int p = 0; p < spec.nprocs(); ++p) {
+    const auto& data = fs.file_data("ckpt0.p" + std::to_string(p));
+    ASSERT_EQ(data.size(), spec.bytes_per_proc());
+    // Private file = concatenation of the proc's global chunks.
+    std::size_t pos = 0;
+    bool ok = true;
+    io::for_each_chunk(spec, p, [&](const io::Chunk& c) {
+      for (std::size_t b = 0; b < c.len; ++b)
+        if (data[pos + b] != io::expected_byte(c.offset + b)) ok = false;
+      pos += c.len;
+    });
+    EXPECT_TRUE(ok) << "proc " << p;
+  }
+}
+
+TEST(Writers, AlignedMethodsAvoidFalseSharing) {
+  // With page size == stripe size, caching and write-behind must generate
+  // zero RMW cycles, while the unaligned native collective must generate
+  // some.
+  auto spec = tiny_spec();
+  {
+    io::SimFS fs(tiny_fs(false));
+    io::write_mpiio_caching(fs, spec, {}, 0, 0.0);
+    EXPECT_EQ(fs.stats().n_rmw, 0);
+  }
+  {
+    io::SimFS fs(tiny_fs(false));
+    io::write_write_behind(fs, spec, {}, 0, 0.0);
+    EXPECT_EQ(fs.stats().n_rmw, 0);
+  }
+  {
+    io::SimFS fs(tiny_fs(false));
+    io::write_native_collective(fs, spec, {}, 0, 0.0);
+    EXPECT_GT(fs.stats().n_lock_conflicts + fs.stats().n_rmw, 0);
+  }
+}
+
+TEST(Writers, FortranPaysOpenCostProportionalToProcs) {
+  auto spec = tiny_spec();  // 8 procs
+  io::SimFS fs(tiny_fs(false));
+  auto r8 = io::write_fortran(fs, spec, {}, 0, 0.0);
+  // 8 opens serialized at 1 ms each.
+  EXPECT_NEAR(r8.open_time, 8e-3, 1e-9);
+
+  io::SimFS fs2(tiny_fs(false));
+  auto rc = io::write_native_collective(fs2, spec, {}, 0, 0.0);
+  EXPECT_NEAR(rc.open_time, 1e-3, 1e-9);  // one shared open
+}
+
+TEST(Writers, TimesArePositiveAndFinite) {
+  auto spec = tiny_spec();
+  io::SimFS fs(io::lustre_like());
+  for (auto* f : {&io::write_fortran, &io::write_native_collective,
+                  &io::write_mpiio_caching, &io::write_write_behind}) {
+    auto r = (*f)(fs, spec, {}, 0, 0.0);
+    EXPECT_GT(r.write_time, 0.0);
+    EXPECT_GT(r.bandwidth(), 0.0);
+  }
+}

@@ -1,0 +1,94 @@
+// Laminar premixed flame solver tests (the PREMIX substitute): flame
+// speeds, thicknesses, and parametric trends.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "chem/mechanisms.hpp"
+#include "chem/mixing.hpp"
+#include "premix1d/premix1d.hpp"
+
+namespace chem = s3d::chem;
+namespace pm = s3d::premix1d;
+
+namespace {
+// Coarse/short options for tests (benches use finer settings).
+pm::Options quick() {
+  pm::Options o;
+  o.n = 192;
+  o.length = 0.012;
+  o.t_max = 0.02;
+  o.steady_tol = 0.03;
+  o.check_interval = 150;
+  return o;
+}
+}  // namespace
+
+TEST(Premix1d, CH4Phi07Preheated800KMatchesPaperBand) {
+  // Paper section 7.2: phi = 0.7 CH4/air at 800 K, 1 atm =>
+  // S_L = 1.8 m/s, delta_L = 0.3 mm, delta_H ~ 0.14 mm (detailed
+  // chemistry). Our 2-step global scheme should land in the same decade
+  // with the right orderings.
+  auto mech = chem::ch4_bfer2step();
+  auto Yu = chem::premixed_fuel_air_Y(mech, "CH4", 0.7);
+  auto sol = pm::solve_premixed_flame(mech, 101325.0, 800.0, Yu, quick());
+  EXPECT_GT(sol.S_L, 0.5);
+  EXPECT_LT(sol.S_L, 6.0);
+  EXPECT_GT(sol.delta_L, 5e-5);
+  EXPECT_LT(sol.delta_L, 1.5e-3);
+  // The reaction layer is thinner than the preheat layer.
+  EXPECT_LT(sol.delta_H, sol.delta_L * 1.5);
+  // Burnt temperature near the adiabatic value for phi=0.7 at 800 K
+  // preheat (~2300 K with full equilibrium; global scheme slightly high).
+  EXPECT_GT(sol.T_burnt, 2000.0);
+  EXPECT_LT(sol.T_burnt, 2800.0);
+}
+
+TEST(Premix1d, FlameSpeedIncreasesWithPreheat) {
+  auto mech = chem::ch4_bfer2step();
+  auto Yu = chem::premixed_fuel_air_Y(mech, "CH4", 0.7);
+  auto cold = pm::solve_premixed_flame(mech, 101325.0, 600.0, Yu, quick());
+  auto hot = pm::solve_premixed_flame(mech, 101325.0, 800.0, Yu, quick());
+  EXPECT_GT(hot.S_L, cold.S_L * 1.2);
+}
+
+TEST(Premix1d, LeanerFlameIsSlower) {
+  auto mech = chem::ch4_bfer2step();
+  auto Y07 = chem::premixed_fuel_air_Y(mech, "CH4", 0.7);
+  auto Y10 = chem::premixed_fuel_air_Y(mech, "CH4", 1.0);
+  auto lean = pm::solve_premixed_flame(mech, 101325.0, 800.0, Y07, quick());
+  auto stoich = pm::solve_premixed_flame(mech, 101325.0, 800.0, Y10, quick());
+  EXPECT_LT(lean.S_L, stoich.S_L);
+  EXPECT_LT(lean.T_burnt, stoich.T_burnt);
+}
+
+TEST(Premix1d, SolutionProfilesAreMonotoneAndNormalized) {
+  auto mech = chem::ch4_bfer2step();
+  auto Yu = chem::premixed_fuel_air_Y(mech, "CH4", 0.8);
+  auto sol = pm::solve_premixed_flame(mech, 101325.0, 800.0, Yu, quick());
+  // T rises from unburnt to burnt without large overshoot.
+  EXPECT_NEAR(sol.T.front(), 800.0, 30.0);
+  for (std::size_t i = 0; i < sol.T.size(); ++i) {
+    EXPECT_GT(sol.T[i], 700.0);
+    EXPECT_LT(sol.T[i], sol.T_burnt * 1.08);
+  }
+  // Mass fractions normalized everywhere.
+  for (std::size_t i = 0; i < sol.T.size(); ++i) {
+    double sum = 0.0;
+    for (const auto& Ys : sol.Y) sum += Ys[i];
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+  // Heat release concentrated in a thin layer: positive peak.
+  double hrr_max = 0.0;
+  for (double v : sol.hrr) hrr_max = std::max(hrr_max, v);
+  EXPECT_GT(hrr_max, 1e8);  // W/m^3, vigorous flame
+}
+
+TEST(Premix1d, TauFIsConsistent) {
+  auto mech = chem::ch4_bfer2step();
+  auto Yu = chem::premixed_fuel_air_Y(mech, "CH4", 0.7);
+  auto sol = pm::solve_premixed_flame(mech, 101325.0, 800.0, Yu, quick());
+  EXPECT_NEAR(sol.tau_f(), sol.delta_L / sol.S_L, 1e-15);
+  EXPECT_GT(sol.tau_f(), 0.0);
+}

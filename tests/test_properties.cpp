@@ -1,0 +1,296 @@
+// Parameterized property sweeps across the library:
+//   - thermodynamic identities for every database species x temperature,
+//   - kinetics invariants for every mechanism x temperature,
+//   - derivative/filter spectral properties across wavenumbers,
+//   - RK order across schemes,
+//   - I/O writer correctness across methods x process grids,
+//   - transport positivity across states.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "chem/mechanisms.hpp"
+#include "chem/mixing.hpp"
+#include "chem/species_db.hpp"
+#include "chem/thermo.hpp"
+#include "common/constants.hpp"
+#include "iosim/simfs.hpp"
+#include "iosim/writers.hpp"
+#include "numerics/rk.hpp"
+#include "numerics/stencil.hpp"
+#include "transport/transport.hpp"
+
+namespace chem = s3d::chem;
+namespace num = s3d::numerics;
+namespace tr = s3d::transport;
+namespace io = s3d::iosim;
+using std::numbers::pi;
+
+// ---------- thermo identities per (species, T) ----------
+
+class SpeciesThermoP
+    : public ::testing::TestWithParam<std::tuple<const char*, double>> {};
+
+TEST_P(SpeciesThermoP, GibbsIdentity) {
+  auto sp = chem::species_from_db(std::get<0>(GetParam()));
+  const double T = std::get<1>(GetParam());
+  EXPECT_NEAR(chem::g_RT(sp, T), chem::h_RT(sp, T) - chem::s_R(sp, T),
+              1e-12 * std::abs(chem::h_RT(sp, T)) + 1e-12);
+}
+
+TEST_P(SpeciesThermoP, CpPositive) {
+  auto sp = chem::species_from_db(std::get<0>(GetParam()));
+  const double T = std::get<1>(GetParam());
+  EXPECT_GT(chem::cp_R(sp, T), 0.0);
+}
+
+TEST_P(SpeciesThermoP, EnthalpyMonotoneInT) {
+  // h(T + dT) > h(T): cv > 0 equivalent, including outside the fit range
+  // where the C1 extension must keep it monotone (the bug class that broke
+  // the compressible solver).
+  auto sp = chem::species_from_db(std::get<0>(GetParam()));
+  const double T = std::get<1>(GetParam());
+  EXPECT_GT(chem::h_mass(sp, T + 1.0), chem::h_mass(sp, T));
+  // Internal energy too: e = h - RT must also increase.
+  EXPECT_GT(chem::e_mass(sp, T + 1.0), chem::e_mass(sp, T));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSpecies, SpeciesThermoP,
+    ::testing::Combine(::testing::Values("H2", "H", "O", "O2", "OH", "H2O",
+                                         "HO2", "H2O2", "N2", "CH4", "CO",
+                                         "CO2", "AR"),
+                       ::testing::Values(120.0, 290.0, 301.0, 999.0, 1001.0,
+                                         2400.0, 4500.0)));
+
+// ---------- kinetics invariants per (mechanism, T) ----------
+
+namespace {
+const chem::Mechanism& mech_by_name(const std::string& name) {
+  static const chem::Mechanism h2 = chem::h2_li2004();
+  static const chem::Mechanism ch4 = chem::ch4_bfer2step();
+  static const chem::Mechanism one = chem::ch4_onestep();
+  if (name == "h2") return h2;
+  if (name == "ch4_2step") return ch4;
+  return one;
+}
+}  // namespace
+
+class MechKineticsP
+    : public ::testing::TestWithParam<std::tuple<const char*, double>> {};
+
+TEST_P(MechKineticsP, MassConservedByChemistry) {
+  const auto& m = mech_by_name(std::get<0>(GetParam()));
+  const double T = std::get<1>(GetParam());
+  std::vector<double> c(m.n_species()), wdot(m.n_species());
+  for (int i = 0; i < m.n_species(); ++i) c[i] = 2e-3 / (i + 1);
+  m.production_rates(T, c, wdot);
+  double mdot = 0.0, scale = 1e-30;
+  for (int i = 0; i < m.n_species(); ++i) {
+    mdot += wdot[i] * m.W(i);
+    scale += std::abs(wdot[i]) * m.W(i);
+  }
+  EXPECT_LE(std::abs(mdot), 1e-10 * scale);
+}
+
+TEST_P(MechKineticsP, ElementsConservedByChemistry) {
+  const auto& m = mech_by_name(std::get<0>(GetParam()));
+  const double T = std::get<1>(GetParam());
+  std::vector<double> c(m.n_species()), wdot(m.n_species());
+  for (int i = 0; i < m.n_species(); ++i) c[i] = 1e-3 * (1 + (i % 3));
+  m.production_rates(T, c, wdot);
+  double el[4] = {0, 0, 0, 0};
+  double scale = 1e-30;
+  for (int i = 0; i < m.n_species(); ++i) {
+    const auto& e = m.species(i).elements;
+    el[0] += wdot[i] * e.C;
+    el[1] += wdot[i] * e.H;
+    el[2] += wdot[i] * e.O;
+    el[3] += wdot[i] * e.N;
+    scale += std::abs(wdot[i]);
+  }
+  for (int k = 0; k < 4; ++k) EXPECT_LE(std::abs(el[k]), 1e-9 * scale) << k;
+}
+
+TEST_P(MechKineticsP, RatesFiniteAndZeroWithoutReactants) {
+  const auto& m = mech_by_name(std::get<0>(GetParam()));
+  const double T = std::get<1>(GetParam());
+  std::vector<double> c(m.n_species(), 0.0), wdot(m.n_species());
+  m.production_rates(T, c, wdot);
+  for (int i = 0; i < m.n_species(); ++i) {
+    EXPECT_TRUE(std::isfinite(wdot[i]));
+    EXPECT_DOUBLE_EQ(wdot[i], 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMechs, MechKineticsP,
+    ::testing::Combine(::testing::Values("h2", "ch4_2step", "ch4_1step"),
+                       ::testing::Values(400.0, 900.0, 1600.0, 2800.0)));
+
+// ---------- derivative exactness across wavenumbers ----------
+
+class DerivSpectralP : public ::testing::TestWithParam<int> {};
+
+TEST_P(DerivSpectralP, ResolvedModesDifferentiatedAccurately) {
+  const int k = GetParam();
+  const int n = 64;
+  const double L = 2 * pi;
+  std::vector<double> buf(n + 2 * num::kGhost);
+  double* f = buf.data() + num::kGhost;
+  for (int i = -num::kGhost; i < n + num::kGhost; ++i)
+    f[i] = std::sin(k * (i * L / n));
+  std::vector<double> df(n);
+  num::deriv_line(f, 1, df.data(), 1, n, n / L, {true, true});
+  // Modified wavenumber of the 8th-order stencil: relative error bounded
+  // by (theta/pi)^8-ish; for k <= 8 on 64 points it is tiny.
+  double err = 0.0;
+  for (int i = 0; i < n; ++i)
+    err = std::max(err, std::abs(df[i] - k * std::cos(k * (i * L / n))));
+  const double theta = 2 * pi * k / n;
+  EXPECT_LT(err / k, 0.02 * std::pow(theta, 8) + 1e-10) << "k=" << k;
+}
+
+TEST_P(DerivSpectralP, FilterTransferMatchesTheory) {
+  const int k = GetParam();
+  const int n = 64;
+  std::vector<double> buf(n + 2 * num::kGhostFilter);
+  double* f = buf.data() + num::kGhostFilter;
+  for (int i = -num::kGhostFilter; i < n + num::kGhostFilter; ++i)
+    f[i] = std::cos(2 * pi * k * i / n);
+  std::vector<double> out(n);
+  num::filter_line(f, 1, out.data(), 1, n, 0.8, {true, true});
+  const double expected = num::filter_transfer(2 * pi * k / n, 0.8);
+  EXPECT_NEAR(out[0], expected, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Wavenumbers, DerivSpectralP,
+                         ::testing::Values(1, 2, 4, 6, 8, 12, 16, 24, 31));
+
+// ---------- RK order per scheme ----------
+
+class RkOrderP
+    : public ::testing::TestWithParam<std::pair<const num::RkScheme*, int>> {};
+
+TEST_P(RkOrderP, ConvergesAtDesignOrder) {
+  const auto& [scheme, order] = GetParam();
+  auto err = [&](int steps) {
+    num::LowStorageRk rk(*scheme);
+    std::vector<double> u{1.0, 0.0};
+    const double dt = 1.0 / steps;
+    for (int s = 0; s < steps; ++s)
+      rk.step(u, s * dt, dt,
+              [](std::span<const double> x, double, std::span<double> dx) {
+                dx[0] = -x[1];  // harmonic oscillator
+                dx[1] = x[0];
+              });
+    return std::hypot(u[0] - std::cos(1.0), u[1] - std::sin(1.0));
+  };
+  const double rate = std::log2(err(20) / err(40));
+  EXPECT_GT(rate, order - 0.5);
+  EXPECT_LT(rate, order + 0.9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, RkOrderP,
+    ::testing::Values(std::pair{&num::rk_carpenter_kennedy4(), 4},
+                      std::pair{&num::rk_williamson3(), 3},
+                      std::pair{&num::rk_euler(), 1}));
+
+// ---------- I/O writers: correctness across methods and grids ----------
+
+struct WriterCase {
+  const char* name;
+  io::WriteResult (*fn)(io::SimFS&, const io::CheckpointSpec&,
+                        const io::NetParams&, int, double);
+  int px, py, pz;
+};
+
+class WritersP : public ::testing::TestWithParam<WriterCase> {};
+
+TEST_P(WritersP, SharedFileImageIsCanonical) {
+  const auto& wc = GetParam();
+  io::FsParams p;
+  p.n_servers = 3;
+  p.stripe_size = 768;  // deliberately awkward vs the 8-byte rows
+  p.store_data = true;
+  io::SimFS fs(p);
+  io::CheckpointSpec spec;
+  spec.nx = 3;
+  spec.ny = 4;
+  spec.nz = 2;
+  spec.px = wc.px;
+  spec.py = wc.py;
+  spec.pz = wc.pz;
+  wc.fn(fs, spec, {}, 0, 0.0);
+  const auto& data = fs.file_data("ckpt0.field");
+  ASSERT_EQ(data.size(), spec.total_bytes());
+  for (std::size_t b = 0; b < data.size(); ++b)
+    ASSERT_EQ(data[b], io::expected_byte(b)) << "byte " << b;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MethodsAndGrids, WritersP,
+    ::testing::Values(
+        WriterCase{"collective_221", io::write_native_collective, 2, 2, 1},
+        WriterCase{"collective_313", io::write_native_collective, 3, 1, 3},
+        WriterCase{"caching_221", io::write_mpiio_caching, 2, 2, 1},
+        WriterCase{"caching_313", io::write_mpiio_caching, 3, 1, 3},
+        WriterCase{"caching_114", io::write_mpiio_caching, 1, 1, 4},
+        WriterCase{"wbehind_221", io::write_write_behind, 2, 2, 1},
+        WriterCase{"wbehind_313", io::write_write_behind, 3, 1, 3},
+        WriterCase{"wbehind_141", io::write_write_behind, 1, 4, 1}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+// ---------- transport positivity across states ----------
+
+class TransportStateP
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(TransportStateP, MixturePropertiesPositiveAndFinite) {
+  static const chem::Mechanism m = chem::h2_li2004();
+  static const tr::TransportFits fits(m);
+  const double T = std::get<0>(GetParam());
+  const double p = std::get<1>(GetParam());
+  // A deliberately lopsided composition.
+  std::vector<double> X(m.n_species(), 0.01);
+  X[m.index("N2")] = 1.0 - 0.01 * (m.n_species() - 1);
+  const double mu = fits.mixture_viscosity(T, X);
+  const double lam = fits.mixture_conductivity(T, X);
+  EXPECT_GT(mu, 1e-6);
+  EXPECT_LT(mu, 3e-4);
+  EXPECT_GT(lam, 1e-3);
+  EXPECT_LT(lam, 5.0);
+  std::vector<double> D(m.n_species());
+  fits.mixture_diffusion(T, p, X, D);
+  for (double d : D) {
+    EXPECT_GT(d, 0.0);
+    EXPECT_TRUE(std::isfinite(d));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    States, TransportStateP,
+    ::testing::Combine(::testing::Values(300.0, 800.0, 1500.0, 2800.0),
+                       ::testing::Values(0.5e5, 1.01325e5, 10e5)));
+
+// ---------- premixed mixtures across phi ----------
+
+class PhiP : public ::testing::TestWithParam<double> {};
+
+TEST_P(PhiP, PremixedCompositionNormalizedAndLean) {
+  static const chem::Mechanism m = chem::h2_li2004();
+  const double phi = GetParam();
+  auto Y = chem::premixed_fuel_air_Y(m, "H2", phi);
+  double sum = 0.0;
+  for (double y : Y) sum += y;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  // Fuel mass fraction increases monotonically with phi.
+  auto Y2 = chem::premixed_fuel_air_Y(m, "H2", phi + 0.1);
+  EXPECT_GT(Y2[m.index("H2")], Y[m.index("H2")]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Phis, PhiP,
+                         ::testing::Values(0.4, 0.7, 1.0, 1.3, 2.0));

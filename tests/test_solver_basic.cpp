@@ -1,0 +1,321 @@
+// Basic solver tests on non-reacting configurations: quiescent-state
+// preservation, conservation in periodic boxes, acoustic propagation speed,
+// viscous decay, and decomposition invariance over vmpi.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <numbers>
+
+#include "chem/mechanisms.hpp"
+#include "solver/solver.hpp"
+#include "vmpi/vmpi.hpp"
+
+namespace sv = s3d::solver;
+namespace chem = s3d::chem;
+using std::numbers::pi;
+
+namespace {
+
+std::shared_ptr<const chem::Mechanism> air() {
+  static auto m = std::make_shared<const chem::Mechanism>(chem::air_inert());
+  return m;
+}
+
+// Air at rest in a fully periodic 1-D box.
+sv::Config periodic_air_1d(int n, double L) {
+  sv::Config cfg;
+  cfg.mech = air();
+  cfg.x = {n, L, true};
+  cfg.y = {1, 1.0, false};
+  cfg.z = {1, 1.0, false};
+  for (auto& f : cfg.faces[0]) f.kind = sv::BcKind::periodic;
+  for (auto& f : cfg.faces[1]) f.kind = sv::BcKind::periodic;
+  for (auto& f : cfg.faces[2]) f.kind = sv::BcKind::periodic;
+  cfg.transport = sv::TransportModel::power_law;
+  return cfg;
+}
+
+void quiescent_air(double, double, double, sv::InflowState& s, double& p) {
+  s.u = s.v = s.w = 0.0;
+  s.T = 300.0;
+  s.Y.fill(0.0);
+  s.Y[0] = 0.233;  // O2
+  s.Y[1] = 0.767;  // N2
+  p = 101325.0;
+}
+
+double total_mass(sv::Solver& s) {
+  const auto& l = s.layout();
+  double m = 0.0;
+  for (int k = 0; k < l.nz; ++k)
+    for (int j = 0; j < l.ny; ++j)
+      for (int i = 0; i < l.nx; ++i)
+        m += s.state().at(sv::UIndex::rho, i, j, k);
+  return m;
+}
+
+}  // namespace
+
+TEST(SolverBasic, QuiescentStateStaysQuiescent) {
+  auto cfg = periodic_air_1d(32, 0.01);
+  sv::Solver s(cfg);
+  s.initialize(quiescent_air);
+  s.run(20);
+  const auto& prim = s.primitives();
+  const auto& l = s.layout();
+  for (int i = 0; i < l.nx; ++i) {
+    EXPECT_NEAR(prim.u(i, 0, 0), 0.0, 1e-8);
+    EXPECT_NEAR(prim.T(i, 0, 0), 300.0, 1e-6);
+    EXPECT_NEAR(prim.p(i, 0, 0), 101325.0, 1e-3);
+  }
+}
+
+TEST(SolverBasic, PeriodicBoxConservesMassMomentumEnergy) {
+  auto cfg = periodic_air_1d(48, 0.01);
+  sv::Solver s(cfg);
+  // A smooth density/velocity perturbation.
+  s.initialize([](double x, double, double, sv::InflowState& st, double& p) {
+    st.u = 2.0 * std::sin(2 * pi * x / 0.01);
+    st.v = st.w = 0.0;
+    st.T = 300.0 * (1.0 + 0.02 * std::cos(2 * pi * x / 0.01));
+    st.Y.fill(0.0);
+    st.Y[0] = 0.233;
+    st.Y[1] = 0.767;
+    p = 101325.0;
+  });
+  const auto& l = s.layout();
+  auto sum_var = [&](int v) {
+    double acc = 0.0;
+    for (int i = 0; i < l.nx; ++i) acc += s.state().at(v, i, 0, 0);
+    return acc;
+  };
+  const double m0 = sum_var(sv::UIndex::rho);
+  const double px0 = sum_var(sv::UIndex::mx);
+  const double e00 = sum_var(sv::UIndex::e0);
+  s.run(50);
+  EXPECT_NEAR(sum_var(sv::UIndex::rho), m0, 1e-9 * std::abs(m0));
+  EXPECT_NEAR(sum_var(sv::UIndex::mx), px0, 1e-8 * std::abs(e00 / 340.0));
+  EXPECT_NEAR(sum_var(sv::UIndex::e0), e00, 1e-9 * std::abs(e00));
+}
+
+TEST(SolverBasic, AcousticPulseTravelsAtSoundSpeed) {
+  // Track the peak of a weak right-running simple wave (u = p'/(rho c));
+  // it must move at u + c = c to leading order.
+  const double L = 0.02;
+  const int n = 128;
+  auto cfg = periodic_air_1d(n, L);
+  cfg.include_viscous = false;
+  sv::Solver s(cfg);
+  const double p0 = 101325.0, T0 = 300.0;
+  // rho0, c0 for air.
+  const double W = 28.85, gamma = 1.4;
+  const double rho0 = p0 * W / (8314.46 * T0);
+  const double c0 = std::sqrt(gamma * p0 / rho0);
+  s.initialize([&](double x, double, double, sv::InflowState& st, double& p) {
+    const double dp = 20.0 * std::exp(-std::pow((x - 0.25 * L) / 0.001, 2));
+    p = p0 + dp;
+    st.u = dp / (rho0 * c0);
+    st.v = st.w = 0.0;
+    st.T = T0 * std::pow(p / p0, (gamma - 1.0) / gamma);
+    st.Y.fill(0.0);
+    st.Y[0] = 0.233;
+    st.Y[1] = 0.767;
+  });
+
+  auto peak_x = [&]() {
+    const auto& prim = s.primitives();
+    int best = 0;
+    for (int i = 0; i < n; ++i)
+      if (prim.p(i, 0, 0) > prim.p(best, 0, 0)) best = i;
+    return s.coord(0, best);
+  };
+
+  const double x_start = peak_x();
+  const double t_start = s.time();
+  // Travel ~ a third of the box.
+  while (s.time() - t_start < 0.3 * L / c0) s.step(0.8 * s.stable_dt());
+  double dx = peak_x() - x_start;
+  if (dx < 0) dx += L;  // periodic wrap
+  const double c_measured = dx / (s.time() - t_start);
+  EXPECT_NEAR(c_measured, c0, 0.05 * c0);
+}
+
+TEST(SolverBasic, ShearLayerDecaysViscously) {
+  // A sinusoidal shear u(y) in a periodic 2-D box decays at rate nu k^2.
+  sv::Config cfg;
+  cfg.mech = air();
+  const double L = 0.002;
+  cfg.x = {16, L, true};
+  cfg.y = {48, L, true};
+  cfg.z = {1, 1.0, false};
+  for (int a = 0; a < 3; ++a)
+    for (auto& f : cfg.faces[a]) f.kind = sv::BcKind::periodic;
+  cfg.transport = sv::TransportModel::power_law;
+  cfg.filter_interval = 0;  // pure viscous physics
+  sv::Solver s(cfg);
+  const double u_amp = 1.0;
+  s.initialize([&](double, double y, double, sv::InflowState& st, double& p) {
+    st.u = u_amp * std::sin(2 * pi * y / L);
+    st.v = st.w = 0.0;
+    st.T = 300.0;
+    st.Y.fill(0.0);
+    st.Y[0] = 0.233;
+    st.Y[1] = 0.767;
+    p = 101325.0;
+  });
+  // nu at 300 K for air ~ 1.57e-5 m^2/s; get the model's own value.
+  const double k = 2 * pi / L;
+  const double t_end = 2e-5;
+  while (s.time() < t_end) s.step(std::min(0.8 * s.stable_dt(), t_end - s.time()));
+  const auto& prim = s.primitives();
+  // Fit the measured amplitude of u at the quarter-wave row.
+  double amp = 0.0;
+  const auto& l = s.layout();
+  for (int j = 0; j < l.ny; ++j)
+    amp = std::max(amp, std::abs(prim.u(4, j, 0)));
+  // Expected decay with nu in [1.2e-5, 2.2e-5]: amp in a known band.
+  const double amp_hi = u_amp * std::exp(-1.2e-5 * k * k * t_end);
+  const double amp_lo = u_amp * std::exp(-2.2e-5 * k * k * t_end);
+  EXPECT_LT(amp, amp_hi * 1.02);
+  EXPECT_GT(amp, amp_lo * 0.98);
+}
+
+TEST(SolverBasic, SpeciesSumPreserved) {
+  auto cfg = periodic_air_1d(32, 0.01);
+  sv::Solver s(cfg);
+  s.initialize([](double x, double, double, sv::InflowState& st, double& p) {
+    st.u = 5.0 * std::sin(2 * pi * x / 0.01);
+    st.v = st.w = 0.0;
+    st.T = 320.0;
+    st.Y.fill(0.0);
+    st.Y[0] = 0.233 + 0.05 * std::sin(4 * pi * x / 0.01);
+    st.Y[1] = 1.0 - st.Y[0];
+    p = 101325.0;
+  });
+  s.run(30);
+  const auto& prim = s.primitives();
+  const auto& l = s.layout();
+  for (int i = 0; i < l.nx; ++i) {
+    double sum = 0.0;
+    for (const auto& Y : prim.Y) sum += Y(i, 0, 0);
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(SolverBasic, DecompositionInvariance1D) {
+  // The same periodic problem run serial and on 3 vmpi ranks must agree to
+  // round-off after several steps.
+  const int n = 45;
+  const double L = 0.01;
+  auto init = [](double x, double, double, sv::InflowState& st, double& p) {
+    st.u = 3.0 * std::sin(2 * pi * x / 0.01) + std::cos(4 * pi * x / 0.01);
+    st.v = st.w = 0.0;
+    st.T = 300.0 + 10.0 * std::cos(2 * pi * x / 0.01);
+    st.Y.fill(0.0);
+    st.Y[0] = 0.233;
+    st.Y[1] = 0.767;
+    p = 101325.0;
+  };
+
+  auto cfg = periodic_air_1d(n, L);
+  sv::Solver serial(cfg);
+  serial.initialize(init);
+  const double dt = 0.5 * serial.stable_dt();
+  for (int s = 0; s < 10; ++s) serial.step(dt);
+  std::vector<double> rho_serial(n);
+  for (int i = 0; i < n; ++i)
+    rho_serial[i] = serial.state().at(sv::UIndex::rho, i, 0, 0);
+
+  std::vector<double> rho_par(n, 0.0);
+  s3d::vmpi::run(3, [&](s3d::vmpi::Comm& comm) {
+    sv::Solver par(cfg, comm, 3, 1, 1);
+    par.initialize(init);
+    for (int s = 0; s < 10; ++s) par.step(dt);
+    // Gather into the shared result (each rank writes its interior).
+    const auto& l = par.layout();
+    for (int i = 0; i < l.nx; ++i)
+      rho_par[par.offset()[0] + i] = par.state().at(sv::UIndex::rho, i, 0, 0);
+    comm.barrier();
+  });
+
+  for (int i = 0; i < n; ++i)
+    EXPECT_NEAR(rho_par[i], rho_serial[i], 1e-12 * rho_serial[i]) << i;
+}
+
+TEST(SolverBasic, FilterControlsOddEvenMode) {
+  // Inject a Nyquist oscillation; with the filter on it must collapse
+  // within a few steps.
+  auto cfg = periodic_air_1d(64, 0.01);
+  cfg.filter_interval = 1;
+  sv::Solver s(cfg);
+  s.initialize([](double x, double, double, sv::InflowState& st, double& p) {
+    const int i = static_cast<int>(std::round(x / (0.01 / 64)));
+    st.u = (i % 2 == 0) ? 0.5 : -0.5;
+    st.v = st.w = 0.0;
+    st.T = 300.0;
+    st.Y.fill(0.0);
+    st.Y[0] = 0.233;
+    st.Y[1] = 0.767;
+    p = 101325.0;
+  });
+  s.run(10);
+  const auto& prim = s.primitives();
+  double umax = 0.0;
+  for (int i = 0; i < 64; ++i) umax = std::max(umax, std::abs(prim.u(i, 0, 0)));
+  EXPECT_LT(umax, 0.05);
+}
+
+TEST(SolverBasic, DecompositionInvariance2D) {
+  // A 2-D periodic reacting-free problem on a 2x2 process grid must match
+  // the serial run to round-off (exercises corner ghost fills).
+  sv::Config cfg;
+  cfg.mech = air();
+  const double L = 0.004;
+  cfg.x = {24, L, true};
+  cfg.y = {20, L, true};
+  cfg.z = {1, 1.0, false};
+  for (int a = 0; a < 3; ++a)
+    for (auto& f : cfg.faces[a]) f.kind = sv::BcKind::periodic;
+  cfg.transport = sv::TransportModel::power_law;
+  auto init = [&](double x, double y, double, sv::InflowState& st,
+                  double& p) {
+    st.u = 2.0 * std::sin(2 * pi * x / L) * std::cos(2 * pi * y / L);
+    st.v = -2.0 * std::cos(2 * pi * x / L) * std::sin(2 * pi * y / L);
+    st.w = 0.0;
+    st.T = 300.0 + 5.0 * std::sin(2 * pi * (x + y) / L);
+    st.Y.fill(0.0);
+    st.Y[0] = 0.233;
+    st.Y[1] = 0.767;
+    p = 101325.0;
+  };
+
+  sv::Solver serial(cfg);
+  serial.initialize(init);
+  const double dt = 0.5 * serial.stable_dt();
+  for (int s = 0; s < 6; ++s) serial.step(dt);
+  std::vector<double> T_serial(24 * 20);
+  {
+    const auto& prim = serial.primitives();
+    for (int j = 0; j < 20; ++j)
+      for (int i = 0; i < 24; ++i) T_serial[j * 24 + i] = prim.T(i, j, 0);
+  }
+
+  std::vector<double> T_par(24 * 20, 0.0);
+  s3d::vmpi::run(4, [&](s3d::vmpi::Comm& comm) {
+    sv::Solver par(cfg, comm, 2, 2, 1);
+    par.initialize(init);
+    for (int s = 0; s < 6; ++s) par.step(dt);
+    const auto& prim = par.primitives();
+    const auto& l = par.layout();
+    const auto off = par.offset();
+    for (int j = 0; j < l.ny; ++j)
+      for (int i = 0; i < l.nx; ++i)
+        T_par[(off[1] + j) * 24 + (off[0] + i)] = prim.T(i, j, 0);
+    comm.barrier();
+  });
+
+  for (int n = 0; n < 24 * 20; ++n)
+    EXPECT_NEAR(T_par[n], T_serial[n], 1e-9) << n;
+}

@@ -1,0 +1,283 @@
+// Tests for synthetic turbulence, diagnostics, and the packaged case
+// setups (short smoke runs of the 2-D configurations).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "chem/mechanisms.hpp"
+#include "chem/mixing.hpp"
+#include "solver/cases.hpp"
+#include "solver/diagnostics.hpp"
+#include "solver/solver.hpp"
+#include "solver/turbulence.hpp"
+
+namespace sv = s3d::solver;
+namespace chem = s3d::chem;
+using std::numbers::pi;
+
+TEST(Turbulence, RmsMatchesTarget) {
+  sv::SyntheticTurbulence turb(3.0, 0.001, 96, 42, false);
+  // Sample the frozen field; mean component variance should be ~u_rms^2.
+  double sum2 = 0.0;
+  int n = 0;
+  s3d::Rng rng(7);
+  for (int s = 0; s < 4000; ++s) {
+    const auto u = turb.velocity(rng.uniform(0, 0.01), rng.uniform(0, 0.01),
+                                 rng.uniform(0, 0.01));
+    sum2 += u[0] * u[0] + u[1] * u[1] + u[2] * u[2];
+    n += 3;
+  }
+  const double rms = std::sqrt(sum2 / n);
+  EXPECT_NEAR(rms, 3.0, 0.45);
+}
+
+TEST(Turbulence, FieldIsDivergenceFree) {
+  sv::SyntheticTurbulence turb(2.0, 0.002, 64, 5, false);
+  const double eps = 1e-7;
+  s3d::Rng rng(11);
+  for (int s = 0; s < 50; ++s) {
+    const double x = rng.uniform(0, 0.01), y = rng.uniform(0, 0.01),
+                 z = rng.uniform(0, 0.01);
+    const double dudx = (turb.velocity(x + eps, y, z)[0] -
+                         turb.velocity(x - eps, y, z)[0]) / (2 * eps);
+    const double dvdy = (turb.velocity(x, y + eps, z)[1] -
+                         turb.velocity(x, y - eps, z)[1]) / (2 * eps);
+    const double dwdz = (turb.velocity(x, y, z + eps)[2] -
+                         turb.velocity(x, y, z - eps)[2]) / (2 * eps);
+    const double div = dudx + dvdy + dwdz;
+    // Scale: velocity gradient magnitude ~ u_rms / length.
+    EXPECT_LT(std::abs(div), 1e-3 * (2.0 / 0.002));
+  }
+}
+
+TEST(Turbulence, TwoDModeHasNoZComponent) {
+  sv::SyntheticTurbulence turb(2.0, 0.001, 48, 3, true);
+  for (double x : {0.0, 0.003, 0.007}) {
+    const auto u = turb.velocity(x, 0.002, 0.0);
+    EXPECT_DOUBLE_EQ(u[2], 0.0);
+  }
+}
+
+TEST(Turbulence, DeterministicForFixedSeed) {
+  sv::SyntheticTurbulence a(1.0, 0.001, 32, 99, false);
+  sv::SyntheticTurbulence b(1.0, 0.001, 32, 99, false);
+  const auto ua = a.velocity(0.001, 0.002, 0.003);
+  const auto ub = b.velocity(0.001, 0.002, 0.003);
+  EXPECT_DOUBLE_EQ(ua[0], ub[0]);
+  EXPECT_DOUBLE_EQ(ua[1], ub[1]);
+}
+
+TEST(Turbulence, TaylorSweepMatchesFrozenField) {
+  sv::SyntheticTurbulence turb(1.5, 0.001, 32, 12, true);
+  const double Uc = 50.0, t = 1.3e-5;
+  const auto a = turb.at_inflow(t, Uc, 0.002, 0.0);
+  const auto b = turb.velocity(-Uc * t, 0.002, 0.0);
+  EXPECT_DOUBLE_EQ(a[0], b[0]);
+  EXPECT_DOUBLE_EQ(a[1], b[1]);
+}
+
+TEST(ConditionalStats, MeanAndStdOfKnownDistribution) {
+  sv::ConditionalStats cs(0.0, 1.0, 10);
+  // In bin 3 (cond ~ 0.35): values 1, 2, 3.
+  cs.add(0.35, 1.0);
+  cs.add(0.32, 2.0);
+  cs.add(0.38, 3.0);
+  EXPECT_EQ(cs.count(3), 3);
+  EXPECT_NEAR(cs.mean(3), 2.0, 1e-12);
+  EXPECT_NEAR(cs.stddev(3), std::sqrt(2.0 / 3.0), 1e-12);
+  EXPECT_EQ(cs.count(7), 0);
+}
+
+TEST(ConditionalStats, OutOfRangeIgnoredAndMergeWorks) {
+  sv::ConditionalStats a(0.0, 1.0, 4), b(0.0, 1.0, 4);
+  a.add(-0.1, 5.0);
+  a.add(1.1, 5.0);
+  a.add(0.1, 2.0);
+  b.add(0.15, 4.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(0), 2);
+  EXPECT_NEAR(a.mean(0), 3.0, 1e-12);
+}
+
+TEST(Diagnostics, ContourLengthOfCircle) {
+  // f = r - R on a fine grid: contour length ~ 2 pi R.
+  sv::Layout l = sv::Layout::make(101, 101, 1);
+  s3d::grid::Mesh mesh({101, 1.0, false}, {101, 1.0, false}, {1, 1.0, false});
+  sv::GField f(l);
+  const double R = 0.3;
+  for (int j = 0; j < 101; ++j)
+    for (int i = 0; i < 101; ++i) {
+      const double x = i / 100.0 - 0.5, y = j / 100.0 - 0.5;
+      f(i, j, 0) = std::hypot(x, y) - R;
+    }
+  const double len = sv::contour_length_2d(f, l, mesh, {0, 0, 0}, 0.0);
+  EXPECT_NEAR(len, 2 * pi * R, 0.02 * 2 * pi * R);
+}
+
+TEST(Diagnostics, ContourLengthOfStraightLine) {
+  sv::Layout l = sv::Layout::make(64, 32, 1);
+  s3d::grid::Mesh mesh({64, 2.0, false}, {32, 1.0, false}, {1, 1.0, false});
+  sv::GField f(l);
+  for (int j = 0; j < 32; ++j)
+    for (int i = 0; i < 64; ++i)
+      f(i, j, 0) = mesh.coord(1, j) - 0.47;  // horizontal line y = 0.47
+  const double len = sv::contour_length_2d(f, l, mesh, {0, 0, 0}, 0.0);
+  EXPECT_NEAR(len, 2.0, 0.02);
+}
+
+TEST(Diagnostics, IntegralLengthScaleOfSineIsPositive) {
+  sv::Layout l = sv::Layout::make(128, 1, 1);
+  s3d::grid::Mesh mesh({128, 1.0, true}, {1, 1.0, false}, {1, 1.0, false});
+  sv::GField f(l);
+  const double lam = 0.25;  // wavelength
+  for (int i = 0; i < 128; ++i)
+    f(i, 0, 0) = std::sin(2 * pi * mesh.coord(0, i) / lam);
+  const double L = sv::integral_length_scale(f, l, mesh, {0, 0, 0}, 0, 0, 0, 0);
+  // Autocorrelation of a sine integrates to ~lam/(2 pi) up to first zero.
+  EXPECT_GT(L, 0.2 * lam / (2 * pi));
+  EXPECT_LT(L, 3.0 * lam / (2 * pi));
+}
+
+TEST(Diagnostics, MixtureFractionFieldMatchesPointwiseBilger) {
+  auto mech = chem::h2_li2004();
+  sv::Layout l = sv::Layout::make(8, 4, 1);
+  sv::Prim prim;
+  prim.allocate(l, mech.n_species());
+  auto Y_ox = chem::stream_Y_from_X(mech, {{"O2", 0.21}, {"N2", 0.79}});
+  auto Y_fu = chem::stream_Y_from_X(mech, {{"H2", 0.65}, {"N2", 0.35}});
+  for (int j = 0; j < 4; ++j)
+    for (int i = 0; i < 8; ++i) {
+      const double z = (i + 1) / 10.0;
+      for (int s = 0; s < mech.n_species(); ++s)
+        prim.Y[s](i, j, 0) = (1 - z) * Y_ox[s] + z * Y_fu[s];
+    }
+  auto Z = sv::mixture_fraction_field(mech, prim, l, Y_ox, Y_fu);
+  for (int i = 0; i < 8; ++i) EXPECT_NEAR(Z(i, 2, 0), (i + 1) / 10.0, 1e-12);
+}
+
+TEST(Diagnostics, ProgressVariableEndpoints) {
+  auto mech = chem::ch4_bfer2step();
+  sv::Layout l = sv::Layout::make(4, 1, 1);
+  sv::Prim prim;
+  prim.allocate(l, mech.n_species());
+  const int io2 = mech.index("O2");
+  prim.Y[io2](0, 0, 0) = 0.20;   // unburnt
+  prim.Y[io2](1, 0, 0) = 0.05;   // burnt
+  prim.Y[io2](2, 0, 0) = 0.125;  // halfway
+  prim.Y[io2](3, 0, 0) = 0.30;   // beyond unburnt: clipped
+  auto c = sv::progress_variable_field(mech, prim, l, 0.20, 0.05);
+  EXPECT_NEAR(c(0, 0, 0), 0.0, 1e-12);
+  EXPECT_NEAR(c(1, 0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(c(2, 0, 0), 0.5, 1e-12);
+  EXPECT_NEAR(c(3, 0, 0), 0.0, 1e-12);
+}
+
+// ---- Case smoke tests (tiny, short) ----
+
+TEST(Cases, PressureWaveRunsAndStaysFinite) {
+  auto cs = sv::pressure_wave_case(24, true);
+  sv::Solver s(cs.cfg);
+  s.initialize(cs.init);
+  s.run(10);
+  const auto& prim = s.primitives();
+  for (int j = 0; j < 24; ++j)
+    for (int i = 0; i < 24; ++i) {
+      EXPECT_TRUE(std::isfinite(prim.p(i, j, 0)));
+      EXPECT_NEAR(prim.p(i, j, 0), 101325.0, 2500.0);
+    }
+}
+
+TEST(Cases, LiftedJetShortRunProducesMixing) {
+  sv::LiftedJetParams prm;
+  prm.nx = 72;
+  prm.ny = 64;
+  prm.Lx = 0.006;
+  prm.Ly = 0.006;
+  prm.u_jet = 80.0;
+  prm.u_rms = 8.0;
+  auto cs = sv::lifted_jet_case(prm);
+  sv::Solver s(cs.cfg);
+  s.initialize(cs.init);
+  s.run(25);
+  const auto& prim = s.primitives();
+  auto Z = sv::mixture_fraction_field(*cs.cfg.mech, prim, s.layout(),
+                                      cs.Y_ox, cs.Y_fuel);
+  // Jet core near Z=1, coflow near Z=0, everything finite.
+  double zmax = 0.0, zmin = 1.0;
+  for (int j = 0; j < prm.ny; ++j)
+    for (int i = 0; i < prm.nx; ++i) {
+      EXPECT_TRUE(std::isfinite(prim.T(i, j, 0))) << i << "," << j;
+      zmax = std::max(zmax, Z(i, j, 0));
+      zmin = std::min(zmin, Z(i, j, 0));
+    }
+  EXPECT_GT(zmax, 0.8);
+  EXPECT_LT(zmin, 0.1);
+}
+
+TEST(Cases, BunsenShortRunHasFlameBrush) {
+  sv::BunsenParams prm;
+  prm.nx = 64;
+  prm.ny = 56;
+  prm.Lx = 0.006;
+  prm.Ly = 0.005;
+  prm.u_jet = 40.0;
+  prm.u_rms = 2.0;
+  auto cs = sv::bunsen_case(prm);
+  sv::Solver s(cs.cfg);
+  s.initialize(cs.init);
+  s.run(25);
+  const auto& prim = s.primitives();
+  auto c = sv::progress_variable_field(*cs.cfg.mech, prim, s.layout(),
+                                       cs.Y_o2_unburnt, cs.Y_o2_burnt);
+  // Both unburnt and burnt fluid present; flame surface has finite length.
+  double cmin = 1.0, cmax = 0.0;
+  for (int j = 0; j < prm.ny; ++j)
+    for (int i = 0; i < prm.nx; ++i) {
+      EXPECT_TRUE(std::isfinite(prim.T(i, j, 0)));
+      cmin = std::min(cmin, c(i, j, 0));
+      cmax = std::max(cmax, c(i, j, 0));
+    }
+  EXPECT_LT(cmin, 0.05);
+  EXPECT_GT(cmax, 0.95);
+  const double len = sv::contour_length_2d(c, s.layout(), s.mesh(),
+                                           s.offset(), 0.65);
+  EXPECT_GT(len, 0.5 * prm.slot_h);
+}
+
+TEST(Soret, LightSpeciesDriftTowardHotRegions) {
+  // A quiescent H2/air slab with a temperature gradient and Soret ON: the
+  // H2 flux acquires a component toward the hot side (theta_H2 < 0), so
+  // after a short time Y_H2 increases where it is hot relative to the
+  // Soret-OFF run.
+  auto mech = std::make_shared<const chem::Mechanism>(chem::h2_li2004());
+  auto run = [&](bool soret) {
+    sv::Config cfg;
+    cfg.mech = mech;
+    cfg.x = {96, 0.004, false};
+    cfg.y = {1, 1.0, false};
+    cfg.z = {1, 1.0, false};
+    cfg.faces[0][0] = {sv::BcKind::nscbc_outflow, 101325.0, 0.25};
+    cfg.faces[0][1] = {sv::BcKind::nscbc_outflow, 101325.0, 0.25};
+    cfg.transport = sv::TransportModel::constant_lewis;
+    cfg.include_chemistry = false;  // isolate transport
+    cfg.include_soret = soret;
+    sv::Solver s(cfg);
+    s.initialize([&](double x, double, double, sv::InflowState& st,
+                     double& p) {
+      st.u = st.v = st.w = 0.0;
+      st.T = 500.0 + 400.0 * std::tanh((x - 0.002) / 4e-4);  // hot right
+      st.Y.fill(0.0);
+      st.Y[mech->index("H2")] = 0.02;
+      st.Y[mech->index("N2")] = 0.98;
+      p = 101325.0;
+    });
+    while (s.time() < 1.2e-5) s.step(0.7 * s.stable_dt());
+    // Y_H2 at a point on the hot side of the gradient.
+    return s.primitives().Y[mech->index("H2")](70, 0, 0);
+  };
+  const double y_off = run(false);
+  const double y_on = run(true);
+  EXPECT_GT(y_on, y_off + 1e-7);  // H2 enriched on the hot side with Soret
+}

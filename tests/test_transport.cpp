@@ -1,0 +1,237 @@
+// Transport property tests: collision integrals, pure-species properties
+// against tabulated values, fit accuracy, and mixture rules (paper
+// section 2.2-2.5).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "chem/mechanisms.hpp"
+#include "chem/mixing.hpp"
+#include "chem/species_db.hpp"
+#include "transport/transport.hpp"
+
+namespace chem = s3d::chem;
+namespace tr = s3d::transport;
+
+namespace {
+const chem::Mechanism& h2mech() {
+  static const chem::Mechanism m = chem::h2_li2004();
+  return m;
+}
+const tr::TransportFits& h2fits() {
+  static const tr::TransportFits f(h2mech());
+  return f;
+}
+}  // namespace
+
+TEST(CollisionIntegrals, Omega22KnownValues) {
+  // Hirschfelder-Curtiss-Bird table: Omega22*(T*=1) ~ 1.593,
+  // Omega22*(T*=10) ~ 0.8242.
+  EXPECT_NEAR(tr::omega22(1.0), 1.593, 0.02);
+  EXPECT_NEAR(tr::omega22(10.0), 0.8242, 0.01);
+}
+
+TEST(CollisionIntegrals, Omega11KnownValues) {
+  // Omega11*(T*=1) ~ 1.439, Omega11*(T*=10) ~ 0.7424.
+  EXPECT_NEAR(tr::omega11(1.0), 1.439, 0.02);
+  EXPECT_NEAR(tr::omega11(10.0), 0.7424, 0.01);
+}
+
+TEST(CollisionIntegrals, MonotoneDecreasing) {
+  for (double t = 0.5; t < 50.0; t *= 1.5) {
+    EXPECT_GT(tr::omega22(t), tr::omega22(t * 1.5));
+    EXPECT_GT(tr::omega11(t), tr::omega11(t * 1.5));
+  }
+}
+
+TEST(PureSpecies, N2ViscosityAt300K) {
+  // mu(N2, 300 K) ~ 1.78e-5 Pa s.
+  auto n2 = chem::species_from_db("N2");
+  EXPECT_NEAR(tr::viscosity(n2, 300.0), 1.78e-5, 0.15e-5);
+}
+
+TEST(PureSpecies, N2ViscosityAt1000K) {
+  // mu(N2, 1000 K) ~ 4.1e-5 Pa s.
+  auto n2 = chem::species_from_db("N2");
+  EXPECT_NEAR(tr::viscosity(n2, 1000.0), 4.1e-5, 0.4e-5);
+}
+
+TEST(PureSpecies, H2ViscosityAt300K) {
+  // mu(H2, 300 K) ~ 0.90e-5 Pa s.
+  auto h2 = chem::species_from_db("H2");
+  EXPECT_NEAR(tr::viscosity(h2, 300.0), 0.90e-5, 0.1e-5);
+}
+
+TEST(PureSpecies, N2ConductivityAt300K) {
+  // lambda(N2, 300 K) ~ 0.026 W/(m K).
+  auto n2 = chem::species_from_db("N2");
+  EXPECT_NEAR(tr::conductivity(n2, 300.0), 0.026, 0.004);
+}
+
+TEST(PureSpecies, H2ConductivityAt300K) {
+  // lambda(H2, 300 K) ~ 0.18 W/(m K), the highest of common gases.
+  auto h2 = chem::species_from_db("H2");
+  EXPECT_NEAR(tr::conductivity(h2, 300.0), 0.18, 0.04);
+}
+
+TEST(PureSpecies, BinaryDiffusionH2N2) {
+  // D(H2-N2, 300 K, 1 atm) ~ 0.78 cm^2/s = 7.8e-5 m^2/s.
+  auto h2 = chem::species_from_db("H2");
+  auto n2 = chem::species_from_db("N2");
+  EXPECT_NEAR(tr::binary_diffusion(h2, n2, 300.0, 101325.0), 7.8e-5, 1.2e-5);
+}
+
+TEST(PureSpecies, BinaryDiffusionSymmetric) {
+  auto a = chem::species_from_db("O2");
+  auto b = chem::species_from_db("H2O");
+  for (double T : {300.0, 1000.0, 2000.0}) {
+    EXPECT_DOUBLE_EQ(tr::binary_diffusion(a, b, T, 101325.0),
+                     tr::binary_diffusion(b, a, T, 101325.0));
+  }
+}
+
+TEST(PureSpecies, DiffusionScalesInverselyWithPressure) {
+  auto a = chem::species_from_db("O2");
+  auto b = chem::species_from_db("N2");
+  const double d1 = tr::binary_diffusion(a, b, 500.0, 101325.0);
+  const double d2 = tr::binary_diffusion(a, b, 500.0, 2 * 101325.0);
+  EXPECT_NEAR(d1 / d2, 2.0, 1e-12);
+}
+
+TEST(Fits, ViscosityFitMatchesKineticTheory) {
+  const auto& m = h2mech();
+  const auto& f = h2fits();
+  for (int i = 0; i < m.n_species(); ++i) {
+    for (double T : {300.0, 700.0, 1500.0, 2800.0}) {
+      const double exact = tr::viscosity(m.species(i), T);
+      EXPECT_NEAR(f.viscosity(i, std::log(T)), exact, 0.01 * exact)
+          << m.species(i).name << " T=" << T;
+    }
+  }
+}
+
+TEST(Fits, ConductivityFitMatchesKineticTheory) {
+  const auto& m = h2mech();
+  const auto& f = h2fits();
+  for (int i = 0; i < m.n_species(); ++i) {
+    for (double T : {300.0, 1000.0, 2500.0}) {
+      const double exact = tr::conductivity(m.species(i), T);
+      EXPECT_NEAR(f.conductivity(i, std::log(T)), exact, 0.03 * exact)
+          << m.species(i).name;
+    }
+  }
+}
+
+TEST(Fits, DiffusionFitMatchesKineticTheoryAndPressureScaling) {
+  const auto& m = h2mech();
+  const auto& f = h2fits();
+  for (double T : {400.0, 1200.0}) {
+    for (double p : {101325.0, 5e5}) {
+      const double exact = tr::binary_diffusion(m.species(0), m.species(1), T, p);
+      EXPECT_NEAR(f.binary_diffusion(0, 1, std::log(T), p), exact,
+                  0.02 * exact);
+    }
+  }
+}
+
+TEST(Mixture, AirViscosityAt300K) {
+  const auto& m = h2mech();
+  const auto& f = h2fits();
+  std::vector<double> X(m.n_species(), 0.0);
+  X[m.index("O2")] = 0.21;
+  X[m.index("N2")] = 0.79;
+  EXPECT_NEAR(f.mixture_viscosity(300.0, X), 1.85e-5, 0.2e-5);
+}
+
+TEST(Mixture, ViscosityReducesToPureSpecies) {
+  const auto& m = h2mech();
+  const auto& f = h2fits();
+  std::vector<double> X(m.n_species(), 0.0);
+  X[m.index("N2")] = 1.0;
+  const double mu_mix = f.mixture_viscosity(800.0, X);
+  const double mu_pure = tr::viscosity(m.species(m.index("N2")), 800.0);
+  EXPECT_NEAR(mu_mix, mu_pure, 0.02 * mu_pure);
+}
+
+TEST(Mixture, ConductivityReducesToPureSpecies) {
+  const auto& m = h2mech();
+  const auto& f = h2fits();
+  std::vector<double> X(m.n_species(), 0.0);
+  X[m.index("H2")] = 1.0;
+  const double l_mix = f.mixture_conductivity(600.0, X);
+  const double l_pure = tr::conductivity(m.species(m.index("H2")), 600.0);
+  EXPECT_NEAR(l_mix, l_pure, 0.04 * l_pure);
+}
+
+TEST(Mixture, MixtureViscosityBetweenPureValues) {
+  const auto& m = h2mech();
+  const auto& f = h2fits();
+  std::vector<double> X(m.n_species(), 0.0);
+  X[m.index("H2")] = 0.5;
+  X[m.index("N2")] = 0.5;
+  const double mu = f.mixture_viscosity(500.0, X);
+  const double mu_h2 = tr::viscosity(m.species(m.index("H2")), 500.0);
+  const double mu_n2 = tr::viscosity(m.species(m.index("N2")), 500.0);
+  EXPECT_GT(mu, std::min(mu_h2, mu_n2) * 0.9);
+  EXPECT_LT(mu, std::max(mu_h2, mu_n2) * 1.1);
+}
+
+TEST(Mixture, MixtureDiffusionMatchesBinaryForTraceSpecies) {
+  // Paper eq. 17: for trace species i in nearly pure N2,
+  // D_i^mix -> D_iN2.
+  const auto& m = h2mech();
+  const auto& f = h2fits();
+  std::vector<double> X(m.n_species(), 0.0);
+  const int ih2 = m.index("H2"), in2 = m.index("N2");
+  X[ih2] = 1e-6;
+  X[in2] = 1.0 - 1e-6;
+  std::vector<double> D(m.n_species());
+  f.mixture_diffusion(800.0, 101325.0, X, D);
+  const double d_bin =
+      tr::binary_diffusion(m.species(ih2), m.species(in2), 800.0, 101325.0);
+  EXPECT_NEAR(D[ih2], d_bin, 0.03 * d_bin);
+}
+
+TEST(Mixture, MixtureDiffusionAllPositive) {
+  const auto& m = h2mech();
+  const auto& f = h2fits();
+  std::vector<double> X(m.n_species(), 1.0 / m.n_species());
+  std::vector<double> D(m.n_species());
+  for (double T : {350.0, 1100.0, 2600.0}) {
+    f.mixture_diffusion(T, 101325.0, X, D);
+    for (int i = 0; i < m.n_species(); ++i) EXPECT_GT(D[i], 0.0);
+  }
+}
+
+TEST(Mixture, PureSpeciesLimitIsFinite) {
+  // X_i -> 1 makes eq. 17 indeterminate; the regularization must return a
+  // finite positive value.
+  const auto& m = h2mech();
+  const auto& f = h2fits();
+  std::vector<double> X(m.n_species(), 0.0);
+  X[m.index("N2")] = 1.0;
+  std::vector<double> D(m.n_species());
+  f.mixture_diffusion(700.0, 101325.0, X, D);
+  for (int i = 0; i < m.n_species(); ++i) {
+    EXPECT_TRUE(std::isfinite(D[i]));
+    EXPECT_GT(D[i], 0.0);
+  }
+}
+
+TEST(Mixture, PrandtlNumberOfAirIsPhysical) {
+  const auto& m = h2mech();
+  const auto& f = h2fits();
+  std::vector<double> X(m.n_species(), 0.0);
+  X[m.index("O2")] = 0.21;
+  X[m.index("N2")] = 0.79;
+  std::vector<double> Y(m.n_species());
+  m.Y_from_X(X, Y);
+  const double T = 300.0;
+  const double mu = f.mixture_viscosity(T, X);
+  const double lam = f.mixture_conductivity(T, X);
+  const double cp = m.cp_mass_mix(T, Y);
+  const double Pr = mu * cp / lam;
+  EXPECT_GT(Pr, 0.6);
+  EXPECT_LT(Pr, 0.85);
+}

@@ -1,0 +1,272 @@
+// Workflow engine tests: token routing, checkpoint/retry fault tolerance,
+// file watching with completion markers, morphing, provenance lineage, and
+// the full three-pipeline S3D monitoring workflow.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "workflow/actors.hpp"
+#include "workflow/s3d_pipeline.hpp"
+
+namespace wf = s3d::workflow;
+namespace fs = std::filesystem;
+
+namespace {
+
+// Fresh scratch dir per test.
+class WorkflowTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_ = fs::temp_directory_path() /
+            ("s3dpp_wf_" +
+             std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+             "_" + ::testing::UnitTest::GetInstance()
+                       ->current_test_info()
+                       ->name());
+    fs::remove_all(base_);
+    fs::create_directories(base_);
+  }
+  void TearDown() override { fs::remove_all(base_); }
+
+  fs::path file(const std::string& name, const std::string& content) {
+    const fs::path p = base_ / name;
+    std::ofstream f(p);
+    f << content;
+    return p;
+  }
+
+  fs::path base_;
+};
+
+// Simple sink actor collecting tokens.
+class Sink : public wf::Actor {
+ public:
+  Sink() : Actor("sink") {}
+  bool fire() override {
+    bool any = false;
+    while (has_input()) {
+      got.push_back(take());
+      any = true;
+    }
+    return any;
+  }
+  std::vector<wf::Token> got;
+};
+
+}  // namespace
+
+TEST_F(WorkflowTest, TokensFlowThroughConnections) {
+  wf::ProcessFileActor pass(
+      "pass", [](const wf::Token& in, wf::Token& out) {
+        out["path"] = in.path();
+        return true;
+      },
+      base_ / "pass.log");
+  Sink sink;
+  pass.connect("out", sink);
+  pass.in("in").push(wf::Token("alpha"));
+  pass.in("in").push(wf::Token("beta"));
+
+  wf::Workflow g("t");
+  g.add(&pass);
+  g.add(&sink);
+  g.run_until_idle();
+  ASSERT_EQ(sink.got.size(), 2u);
+  EXPECT_EQ(sink.got[0].path(), "alpha");
+  EXPECT_EQ(sink.got[1].path(), "beta");
+}
+
+TEST_F(WorkflowTest, ProcessFileRetriesThenSucceeds) {
+  const fs::path src = file("a.dat", "data");
+  auto inner = wf::copy_op(base_ / "dst");
+  wf::ProcessFileActor p("copy", wf::flaky_op(inner, 2), base_ / "p.log",
+                         /*max_retries=*/2);
+  Sink sink;
+  p.connect("out", sink);
+  p.in("in").push(wf::Token(src.string()));
+  wf::Workflow g("t");
+  g.add(&p);
+  g.add(&sink);
+  g.run_until_idle();
+  EXPECT_EQ(p.executed(), 1);
+  EXPECT_EQ(p.failed(), 0);
+  ASSERT_EQ(sink.got.size(), 1u);
+  EXPECT_TRUE(fs::exists(base_ / "dst" / "a.dat"));
+}
+
+TEST_F(WorkflowTest, ProcessFileGivesUpAfterRetriesAndLogsError) {
+  const fs::path src = file("a.dat", "data");
+  wf::ProcessFileActor p(
+      "fail", [](const wf::Token&, wf::Token&) { return false; },
+      base_ / "p.log", 1);
+  Sink err;
+  p.connect("error", err);
+  p.in("in").push(wf::Token(src.string()));
+  wf::Workflow g("t");
+  g.add(&p);
+  g.add(&err);
+  g.run_until_idle();
+  EXPECT_EQ(p.failed(), 1);
+  ASSERT_EQ(err.got.size(), 1u);
+  EXPECT_EQ(err.got[0].get("status"), "failed");
+  std::ifstream elog(base_ / "p.log.errors");
+  std::string line;
+  EXPECT_TRUE(std::getline(elog, line));
+}
+
+TEST_F(WorkflowTest, CheckpointSkipsCompletedWorkAfterRestart) {
+  const fs::path src = file("a.dat", "data");
+  const fs::path log = base_ / "cp.log";
+  long copies = 0;
+  auto counting = [&](const wf::Token& in, wf::Token& out) {
+    ++copies;
+    return wf::copy_op(base_ / "dst")(in, out);
+  };
+  {
+    wf::ProcessFileActor p("copy", counting, log);
+    Sink s;
+    p.connect("out", s);
+    p.in("in").push(wf::Token(src.string()));
+    wf::Workflow g("t");
+    g.add(&p);
+    g.add(&s);
+    g.run_until_idle();
+    EXPECT_EQ(p.executed(), 1);
+  }
+  // "Restart" the workflow: a new actor instance with the same log must
+  // skip the completed input but still emit downstream.
+  {
+    wf::ProcessFileActor p("copy", counting, log);
+    Sink s;
+    p.connect("out", s);
+    p.in("in").push(wf::Token(src.string()));
+    wf::Workflow g("t");
+    g.add(&p);
+    g.add(&s);
+    g.run_until_idle();
+    EXPECT_EQ(p.executed(), 0);
+    EXPECT_EQ(p.skipped(), 1);
+    ASSERT_EQ(s.got.size(), 1u);
+    EXPECT_EQ(s.got[0].get("status"), "skipped");
+  }
+  EXPECT_EQ(copies, 1);
+}
+
+TEST_F(WorkflowTest, FileWatcherEmitsOncePerFileAndHonorsMarkers) {
+  wf::FileWatcherActor w("w", base_, ".restart", /*require_marker=*/true);
+  Sink s;
+  w.connect("out", s);
+  wf::Workflow g("t");
+  g.add(&w);
+  g.add(&s);
+
+  file("x.restart", "incomplete");  // no marker yet
+  g.run_until_idle();
+  EXPECT_EQ(s.got.size(), 0u);
+
+  file("x.restart.done", "");
+  g.run_until_idle();
+  ASSERT_EQ(s.got.size(), 1u);
+
+  // No duplicate emission on later sweeps.
+  g.run_until_idle();
+  EXPECT_EQ(s.got.size(), 1u);
+}
+
+TEST_F(WorkflowTest, MorphCombinesGroups) {
+  wf::MorphActor m("m", 3, base_ / "out");
+  Sink s;
+  m.connect("out", s);
+  for (int i = 0; i < 7; ++i)
+    m.in("in").push(
+        wf::Token(file("p" + std::to_string(i) + ".bin", "piece" +
+                       std::to_string(i)).string()));
+  wf::Workflow g("t");
+  g.add(&m);
+  g.add(&s);
+  g.run_until_idle();
+  // 7 pieces -> 2 morphed files, 1 left pending.
+  ASSERT_EQ(s.got.size(), 2u);
+  std::ifstream f(s.got[0].path(), std::ios::binary);
+  std::string content((std::istreambuf_iterator<char>(f)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "piece0piece1piece2");
+}
+
+TEST_F(WorkflowTest, ProvenanceLineageTracksThroughPipeline) {
+  wf::ProvenanceStore prov;
+  prov.record("morph", "/run/a.restart", "/work/m0.dat", "ok");
+  prov.record("morph", "/run/b.restart", "/work/m0.dat", "ok");
+  prov.record("transfer", "/work/m0.dat", "/remote/m0.dat", "ok");
+  auto lin = prov.lineage("/remote/m0.dat");
+  EXPECT_EQ(lin.size(), 3u);  // both restarts + the morphed file
+  EXPECT_EQ(prov.count("morph"), 2);
+}
+
+TEST_F(WorkflowTest, SvgPlotWritten) {
+  wf::write_svg_polyline(base_ / "p.svg", {0, 1, 2}, {3, 1, 2}, "demo");
+  std::ifstream f(base_ / "p.svg");
+  std::string all((std::istreambuf_iterator<char>(f)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_NE(all.find("<svg"), std::string::npos);
+  EXPECT_NE(all.find("polyline"), std::string::npos);
+}
+
+TEST_F(WorkflowTest, FullS3dMonitoringWorkflow) {
+  wf::S3dWorkflowDirs dirs{base_ / "run",  base_ / "work",
+                           base_ / "remote", base_ / "hpss",
+                           base_ / "dash", base_ / "logs"};
+  wf::ProvenanceStore prov;
+  wf::S3dMonitoringWorkflow mon(dirs, /*restart_pieces=*/4, &prov);
+  wf::FakeSimulation sim(dirs.run_dir, 4);
+
+  for (int step = 0; step < 3; ++step) {
+    sim.emit_step(step);
+    mon.pump();  // workflow keeps up with the simulation
+  }
+
+  // Restart pipeline: 3 morphed files transferred and archived.
+  EXPECT_EQ(mon.transfer().executed(), 3);
+  EXPECT_EQ(mon.archiver().executed(), 3);
+  EXPECT_TRUE(fs::exists(dirs.remote_dir / "morph_0.dat"));
+  EXPECT_TRUE(fs::exists(dirs.archive_dir / "catalog.txt"));
+
+  // Netcdf pipeline: plots in the dashboard.
+  EXPECT_TRUE(fs::exists(dirs.dashboard_dir / "step0.svg"));
+  EXPECT_TRUE(fs::exists(dirs.dashboard_dir / "step2.svg"));
+
+  // Min/max pipeline: dashboard traces for both variables, 3 samples.
+  EXPECT_EQ(mon.dashboard().samples("T"), 3);
+  EXPECT_EQ(mon.dashboard().samples("P"), 3);
+  EXPECT_TRUE(fs::exists(dirs.dashboard_dir / "dashboard.txt"));
+  EXPECT_TRUE(fs::exists(dirs.dashboard_dir / "T_max.svg"));
+
+  // Provenance: a remote morph file descends from 4 restart pieces.
+  const auto lin = prov.lineage((dirs.remote_dir / "morph_0.dat").string());
+  EXPECT_GE(lin.size(), 5u);  // 4 pieces + work-dir morph file
+}
+
+TEST_F(WorkflowTest, WorkflowRestartSkipsArchivedTransfers) {
+  wf::S3dWorkflowDirs dirs{base_ / "run",  base_ / "work",
+                           base_ / "remote", base_ / "hpss",
+                           base_ / "dash", base_ / "logs"};
+  wf::FakeSimulation sim(dirs.run_dir, 2);
+  sim.emit_step(0);
+  {
+    wf::S3dMonitoringWorkflow mon(dirs, 2);
+    mon.pump();
+    EXPECT_EQ(mon.transfer().executed(), 1);
+  }
+  // New workflow instance (a restart): the watcher re-discovers the file,
+  // morph regenerates it, but transfer/archive skip via their checkpoint
+  // logs.
+  {
+    wf::S3dMonitoringWorkflow mon(dirs, 2);
+    mon.pump();
+    EXPECT_EQ(mon.transfer().executed(), 0);
+    EXPECT_EQ(mon.transfer().skipped(), 1);
+    EXPECT_EQ(mon.archiver().skipped(), 1);
+  }
+}
