@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bunsen.dir/bench_bunsen.cpp.o"
+  "CMakeFiles/bench_bunsen.dir/bench_bunsen.cpp.o.d"
+  "bench_bunsen"
+  "bench_bunsen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bunsen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

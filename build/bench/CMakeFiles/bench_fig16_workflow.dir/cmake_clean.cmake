@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_workflow.dir/bench_fig16_workflow.cpp.o"
+  "CMakeFiles/bench_fig16_workflow.dir/bench_fig16_workflow.cpp.o.d"
+  "bench_fig16_workflow"
+  "bench_fig16_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

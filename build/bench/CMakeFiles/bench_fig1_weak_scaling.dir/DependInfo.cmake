@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig1_weak_scaling.cpp" "bench/CMakeFiles/bench_fig1_weak_scaling.dir/bench_fig1_weak_scaling.cpp.o" "gcc" "bench/CMakeFiles/bench_fig1_weak_scaling.dir/bench_fig1_weak_scaling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/solver/CMakeFiles/s3dpp_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/s3dpp_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/s3dpp_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/chem/CMakeFiles/s3dpp_chem.dir/DependInfo.cmake"
+  "/root/repo/build/src/numerics/CMakeFiles/s3dpp_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/s3dpp_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmpi/CMakeFiles/s3dpp_vmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/s3dpp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig45_looptool.dir/bench_fig45_looptool.cpp.o"
+  "CMakeFiles/bench_fig45_looptool.dir/bench_fig45_looptool.cpp.o.d"
+  "bench_fig45_looptool"
+  "bench_fig45_looptool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig45_looptool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

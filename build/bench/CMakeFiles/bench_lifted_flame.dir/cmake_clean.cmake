@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lifted_flame.dir/bench_lifted_flame.cpp.o"
+  "CMakeFiles/bench_lifted_flame.dir/bench_lifted_flame.cpp.o.d"
+  "bench_lifted_flame"
+  "bench_lifted_flame.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lifted_flame.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

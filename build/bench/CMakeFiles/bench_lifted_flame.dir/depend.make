@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_lifted_flame.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bunsen_premixed.dir/bunsen_premixed.cpp.o"
+  "CMakeFiles/bunsen_premixed.dir/bunsen_premixed.cpp.o.d"
+  "bunsen_premixed"
+  "bunsen_premixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bunsen_premixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

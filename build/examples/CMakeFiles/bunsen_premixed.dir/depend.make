@@ -1,0 +1,2 @@
+# Empty dependencies file for bunsen_premixed.
+# This may be replaced when dependencies are built.

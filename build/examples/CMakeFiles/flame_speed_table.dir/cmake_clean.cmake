@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flame_speed_table.dir/flame_speed_table.cpp.o"
+  "CMakeFiles/flame_speed_table.dir/flame_speed_table.cpp.o.d"
+  "flame_speed_table"
+  "flame_speed_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flame_speed_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

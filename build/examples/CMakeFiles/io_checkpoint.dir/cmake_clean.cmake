@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_checkpoint.dir/io_checkpoint.cpp.o"
+  "CMakeFiles/io_checkpoint.dir/io_checkpoint.cpp.o.d"
+  "io_checkpoint"
+  "io_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

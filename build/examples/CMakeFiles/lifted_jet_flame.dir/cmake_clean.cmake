@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lifted_jet_flame.dir/lifted_jet_flame.cpp.o"
+  "CMakeFiles/lifted_jet_flame.dir/lifted_jet_flame.cpp.o.d"
+  "lifted_jet_flame"
+  "lifted_jet_flame.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lifted_jet_flame.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for lifted_jet_flame.
+# This may be replaced when dependencies are built.

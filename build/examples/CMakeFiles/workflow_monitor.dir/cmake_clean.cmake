@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workflow_monitor.dir/workflow_monitor.cpp.o"
+  "CMakeFiles/workflow_monitor.dir/workflow_monitor.cpp.o.d"
+  "workflow_monitor"
+  "workflow_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workflow_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

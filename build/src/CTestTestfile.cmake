@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("chem")
+subdirs("transport")
+subdirs("numerics")
+subdirs("grid")
+subdirs("vmpi")
+subdirs("solver")
+subdirs("premix1d")
+subdirs("iosim")
+subdirs("viz")
+subdirs("workflow")
+subdirs("perf")

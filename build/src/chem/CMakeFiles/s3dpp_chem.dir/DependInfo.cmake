@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chem/mechanism.cpp" "src/chem/CMakeFiles/s3dpp_chem.dir/mechanism.cpp.o" "gcc" "src/chem/CMakeFiles/s3dpp_chem.dir/mechanism.cpp.o.d"
+  "/root/repo/src/chem/mechanism_builder.cpp" "src/chem/CMakeFiles/s3dpp_chem.dir/mechanism_builder.cpp.o" "gcc" "src/chem/CMakeFiles/s3dpp_chem.dir/mechanism_builder.cpp.o.d"
+  "/root/repo/src/chem/mechanisms.cpp" "src/chem/CMakeFiles/s3dpp_chem.dir/mechanisms.cpp.o" "gcc" "src/chem/CMakeFiles/s3dpp_chem.dir/mechanisms.cpp.o.d"
+  "/root/repo/src/chem/mixing.cpp" "src/chem/CMakeFiles/s3dpp_chem.dir/mixing.cpp.o" "gcc" "src/chem/CMakeFiles/s3dpp_chem.dir/mixing.cpp.o.d"
+  "/root/repo/src/chem/reactor.cpp" "src/chem/CMakeFiles/s3dpp_chem.dir/reactor.cpp.o" "gcc" "src/chem/CMakeFiles/s3dpp_chem.dir/reactor.cpp.o.d"
+  "/root/repo/src/chem/species_db.cpp" "src/chem/CMakeFiles/s3dpp_chem.dir/species_db.cpp.o" "gcc" "src/chem/CMakeFiles/s3dpp_chem.dir/species_db.cpp.o.d"
+  "/root/repo/src/chem/thermo.cpp" "src/chem/CMakeFiles/s3dpp_chem.dir/thermo.cpp.o" "gcc" "src/chem/CMakeFiles/s3dpp_chem.dir/thermo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/s3dpp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

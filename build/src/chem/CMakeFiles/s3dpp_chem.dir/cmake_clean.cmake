@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s3dpp_chem.dir/mechanism.cpp.o"
+  "CMakeFiles/s3dpp_chem.dir/mechanism.cpp.o.d"
+  "CMakeFiles/s3dpp_chem.dir/mechanism_builder.cpp.o"
+  "CMakeFiles/s3dpp_chem.dir/mechanism_builder.cpp.o.d"
+  "CMakeFiles/s3dpp_chem.dir/mechanisms.cpp.o"
+  "CMakeFiles/s3dpp_chem.dir/mechanisms.cpp.o.d"
+  "CMakeFiles/s3dpp_chem.dir/mixing.cpp.o"
+  "CMakeFiles/s3dpp_chem.dir/mixing.cpp.o.d"
+  "CMakeFiles/s3dpp_chem.dir/reactor.cpp.o"
+  "CMakeFiles/s3dpp_chem.dir/reactor.cpp.o.d"
+  "CMakeFiles/s3dpp_chem.dir/species_db.cpp.o"
+  "CMakeFiles/s3dpp_chem.dir/species_db.cpp.o.d"
+  "CMakeFiles/s3dpp_chem.dir/thermo.cpp.o"
+  "CMakeFiles/s3dpp_chem.dir/thermo.cpp.o.d"
+  "libs3dpp_chem.a"
+  "libs3dpp_chem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s3dpp_chem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for s3dpp_chem.
+# This may be replaced when dependencies are built.

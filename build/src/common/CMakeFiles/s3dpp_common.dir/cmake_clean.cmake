@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s3dpp_common.dir/table.cpp.o"
+  "CMakeFiles/s3dpp_common.dir/table.cpp.o.d"
+  "libs3dpp_common.a"
+  "libs3dpp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s3dpp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

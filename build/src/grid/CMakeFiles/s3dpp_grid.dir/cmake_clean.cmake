@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s3dpp_grid.dir/mesh.cpp.o"
+  "CMakeFiles/s3dpp_grid.dir/mesh.cpp.o.d"
+  "libs3dpp_grid.a"
+  "libs3dpp_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s3dpp_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

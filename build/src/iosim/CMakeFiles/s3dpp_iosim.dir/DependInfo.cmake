@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/iosim/simfs.cpp" "src/iosim/CMakeFiles/s3dpp_iosim.dir/simfs.cpp.o" "gcc" "src/iosim/CMakeFiles/s3dpp_iosim.dir/simfs.cpp.o.d"
+  "/root/repo/src/iosim/workload.cpp" "src/iosim/CMakeFiles/s3dpp_iosim.dir/workload.cpp.o" "gcc" "src/iosim/CMakeFiles/s3dpp_iosim.dir/workload.cpp.o.d"
+  "/root/repo/src/iosim/writers.cpp" "src/iosim/CMakeFiles/s3dpp_iosim.dir/writers.cpp.o" "gcc" "src/iosim/CMakeFiles/s3dpp_iosim.dir/writers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/s3dpp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

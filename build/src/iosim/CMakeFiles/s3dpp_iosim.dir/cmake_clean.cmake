@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s3dpp_iosim.dir/simfs.cpp.o"
+  "CMakeFiles/s3dpp_iosim.dir/simfs.cpp.o.d"
+  "CMakeFiles/s3dpp_iosim.dir/workload.cpp.o"
+  "CMakeFiles/s3dpp_iosim.dir/workload.cpp.o.d"
+  "CMakeFiles/s3dpp_iosim.dir/writers.cpp.o"
+  "CMakeFiles/s3dpp_iosim.dir/writers.cpp.o.d"
+  "libs3dpp_iosim.a"
+  "libs3dpp_iosim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s3dpp_iosim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s3dpp_numerics.dir/rk.cpp.o"
+  "CMakeFiles/s3dpp_numerics.dir/rk.cpp.o.d"
+  "CMakeFiles/s3dpp_numerics.dir/stencil.cpp.o"
+  "CMakeFiles/s3dpp_numerics.dir/stencil.cpp.o.d"
+  "libs3dpp_numerics.a"
+  "libs3dpp_numerics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s3dpp_numerics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

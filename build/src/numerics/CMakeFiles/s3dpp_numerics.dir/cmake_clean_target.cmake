@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libs3dpp_numerics.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s3dpp_perf.dir/kernels.cpp.o"
+  "CMakeFiles/s3dpp_perf.dir/kernels.cpp.o.d"
+  "CMakeFiles/s3dpp_perf.dir/model.cpp.o"
+  "CMakeFiles/s3dpp_perf.dir/model.cpp.o.d"
+  "libs3dpp_perf.a"
+  "libs3dpp_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s3dpp_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s3dpp_premix1d.dir/premix1d.cpp.o"
+  "CMakeFiles/s3dpp_premix1d.dir/premix1d.cpp.o.d"
+  "libs3dpp_premix1d.a"
+  "libs3dpp_premix1d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s3dpp_premix1d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

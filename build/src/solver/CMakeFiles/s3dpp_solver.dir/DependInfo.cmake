@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solver/cases.cpp" "src/solver/CMakeFiles/s3dpp_solver.dir/cases.cpp.o" "gcc" "src/solver/CMakeFiles/s3dpp_solver.dir/cases.cpp.o.d"
+  "/root/repo/src/solver/checkpoint.cpp" "src/solver/CMakeFiles/s3dpp_solver.dir/checkpoint.cpp.o" "gcc" "src/solver/CMakeFiles/s3dpp_solver.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/solver/diagnostics.cpp" "src/solver/CMakeFiles/s3dpp_solver.dir/diagnostics.cpp.o" "gcc" "src/solver/CMakeFiles/s3dpp_solver.dir/diagnostics.cpp.o.d"
+  "/root/repo/src/solver/field_ops.cpp" "src/solver/CMakeFiles/s3dpp_solver.dir/field_ops.cpp.o" "gcc" "src/solver/CMakeFiles/s3dpp_solver.dir/field_ops.cpp.o.d"
+  "/root/repo/src/solver/halo.cpp" "src/solver/CMakeFiles/s3dpp_solver.dir/halo.cpp.o" "gcc" "src/solver/CMakeFiles/s3dpp_solver.dir/halo.cpp.o.d"
+  "/root/repo/src/solver/nscbc.cpp" "src/solver/CMakeFiles/s3dpp_solver.dir/nscbc.cpp.o" "gcc" "src/solver/CMakeFiles/s3dpp_solver.dir/nscbc.cpp.o.d"
+  "/root/repo/src/solver/rhs.cpp" "src/solver/CMakeFiles/s3dpp_solver.dir/rhs.cpp.o" "gcc" "src/solver/CMakeFiles/s3dpp_solver.dir/rhs.cpp.o.d"
+  "/root/repo/src/solver/solver.cpp" "src/solver/CMakeFiles/s3dpp_solver.dir/solver.cpp.o" "gcc" "src/solver/CMakeFiles/s3dpp_solver.dir/solver.cpp.o.d"
+  "/root/repo/src/solver/state.cpp" "src/solver/CMakeFiles/s3dpp_solver.dir/state.cpp.o" "gcc" "src/solver/CMakeFiles/s3dpp_solver.dir/state.cpp.o.d"
+  "/root/repo/src/solver/turbulence.cpp" "src/solver/CMakeFiles/s3dpp_solver.dir/turbulence.cpp.o" "gcc" "src/solver/CMakeFiles/s3dpp_solver.dir/turbulence.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/chem/CMakeFiles/s3dpp_chem.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/s3dpp_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/numerics/CMakeFiles/s3dpp_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/s3dpp_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmpi/CMakeFiles/s3dpp_vmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/s3dpp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s3dpp_solver.dir/cases.cpp.o"
+  "CMakeFiles/s3dpp_solver.dir/cases.cpp.o.d"
+  "CMakeFiles/s3dpp_solver.dir/checkpoint.cpp.o"
+  "CMakeFiles/s3dpp_solver.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/s3dpp_solver.dir/diagnostics.cpp.o"
+  "CMakeFiles/s3dpp_solver.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/s3dpp_solver.dir/field_ops.cpp.o"
+  "CMakeFiles/s3dpp_solver.dir/field_ops.cpp.o.d"
+  "CMakeFiles/s3dpp_solver.dir/halo.cpp.o"
+  "CMakeFiles/s3dpp_solver.dir/halo.cpp.o.d"
+  "CMakeFiles/s3dpp_solver.dir/nscbc.cpp.o"
+  "CMakeFiles/s3dpp_solver.dir/nscbc.cpp.o.d"
+  "CMakeFiles/s3dpp_solver.dir/rhs.cpp.o"
+  "CMakeFiles/s3dpp_solver.dir/rhs.cpp.o.d"
+  "CMakeFiles/s3dpp_solver.dir/solver.cpp.o"
+  "CMakeFiles/s3dpp_solver.dir/solver.cpp.o.d"
+  "CMakeFiles/s3dpp_solver.dir/state.cpp.o"
+  "CMakeFiles/s3dpp_solver.dir/state.cpp.o.d"
+  "CMakeFiles/s3dpp_solver.dir/turbulence.cpp.o"
+  "CMakeFiles/s3dpp_solver.dir/turbulence.cpp.o.d"
+  "libs3dpp_solver.a"
+  "libs3dpp_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s3dpp_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

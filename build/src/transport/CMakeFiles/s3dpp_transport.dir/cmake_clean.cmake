@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s3dpp_transport.dir/transport.cpp.o"
+  "CMakeFiles/s3dpp_transport.dir/transport.cpp.o.d"
+  "libs3dpp_transport.a"
+  "libs3dpp_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s3dpp_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s3dpp_viz.dir/image.cpp.o"
+  "CMakeFiles/s3dpp_viz.dir/image.cpp.o.d"
+  "CMakeFiles/s3dpp_viz.dir/insitu.cpp.o"
+  "CMakeFiles/s3dpp_viz.dir/insitu.cpp.o.d"
+  "CMakeFiles/s3dpp_viz.dir/render.cpp.o"
+  "CMakeFiles/s3dpp_viz.dir/render.cpp.o.d"
+  "CMakeFiles/s3dpp_viz.dir/trispace.cpp.o"
+  "CMakeFiles/s3dpp_viz.dir/trispace.cpp.o.d"
+  "libs3dpp_viz.a"
+  "libs3dpp_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s3dpp_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

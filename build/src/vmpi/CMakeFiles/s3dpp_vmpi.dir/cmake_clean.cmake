@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s3dpp_vmpi.dir/vmpi.cpp.o"
+  "CMakeFiles/s3dpp_vmpi.dir/vmpi.cpp.o.d"
+  "libs3dpp_vmpi.a"
+  "libs3dpp_vmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s3dpp_vmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workflow/actor.cpp" "src/workflow/CMakeFiles/s3dpp_workflow.dir/actor.cpp.o" "gcc" "src/workflow/CMakeFiles/s3dpp_workflow.dir/actor.cpp.o.d"
+  "/root/repo/src/workflow/actors.cpp" "src/workflow/CMakeFiles/s3dpp_workflow.dir/actors.cpp.o" "gcc" "src/workflow/CMakeFiles/s3dpp_workflow.dir/actors.cpp.o.d"
+  "/root/repo/src/workflow/provenance.cpp" "src/workflow/CMakeFiles/s3dpp_workflow.dir/provenance.cpp.o" "gcc" "src/workflow/CMakeFiles/s3dpp_workflow.dir/provenance.cpp.o.d"
+  "/root/repo/src/workflow/s3d_pipeline.cpp" "src/workflow/CMakeFiles/s3dpp_workflow.dir/s3d_pipeline.cpp.o" "gcc" "src/workflow/CMakeFiles/s3dpp_workflow.dir/s3d_pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/s3dpp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

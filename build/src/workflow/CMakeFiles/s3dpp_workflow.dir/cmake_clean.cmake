@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s3dpp_workflow.dir/actor.cpp.o"
+  "CMakeFiles/s3dpp_workflow.dir/actor.cpp.o.d"
+  "CMakeFiles/s3dpp_workflow.dir/actors.cpp.o"
+  "CMakeFiles/s3dpp_workflow.dir/actors.cpp.o.d"
+  "CMakeFiles/s3dpp_workflow.dir/provenance.cpp.o"
+  "CMakeFiles/s3dpp_workflow.dir/provenance.cpp.o.d"
+  "CMakeFiles/s3dpp_workflow.dir/s3d_pipeline.cpp.o"
+  "CMakeFiles/s3dpp_workflow.dir/s3d_pipeline.cpp.o.d"
+  "libs3dpp_workflow.a"
+  "libs3dpp_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s3dpp_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chem_kinetics.dir/test_chem_kinetics.cpp.o"
+  "CMakeFiles/test_chem_kinetics.dir/test_chem_kinetics.cpp.o.d"
+  "test_chem_kinetics"
+  "test_chem_kinetics.pdb"
+  "test_chem_kinetics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chem_kinetics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

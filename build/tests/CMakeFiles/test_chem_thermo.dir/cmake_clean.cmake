@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chem_thermo.dir/test_chem_thermo.cpp.o"
+  "CMakeFiles/test_chem_thermo.dir/test_chem_thermo.cpp.o.d"
+  "test_chem_thermo"
+  "test_chem_thermo.pdb"
+  "test_chem_thermo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chem_thermo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_grid_vmpi.dir/test_grid_vmpi.cpp.o"
+  "CMakeFiles/test_grid_vmpi.dir/test_grid_vmpi.cpp.o.d"
+  "test_grid_vmpi"
+  "test_grid_vmpi.pdb"
+  "test_grid_vmpi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_grid_vmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_premix1d.dir/test_premix1d.cpp.o"
+  "CMakeFiles/test_premix1d.dir/test_premix1d.cpp.o.d"
+  "test_premix1d"
+  "test_premix1d.pdb"
+  "test_premix1d[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_premix1d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

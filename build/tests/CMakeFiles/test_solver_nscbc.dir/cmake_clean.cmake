@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_solver_nscbc.dir/test_solver_nscbc.cpp.o"
+  "CMakeFiles/test_solver_nscbc.dir/test_solver_nscbc.cpp.o.d"
+  "test_solver_nscbc"
+  "test_solver_nscbc.pdb"
+  "test_solver_nscbc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_solver_nscbc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

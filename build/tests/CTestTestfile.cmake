@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_chem_thermo[1]_include.cmake")
+include("/root/repo/build/tests/test_chem_kinetics[1]_include.cmake")
+include("/root/repo/build/tests/test_transport[1]_include.cmake")
+include("/root/repo/build/tests/test_numerics[1]_include.cmake")
+include("/root/repo/build/tests/test_grid_vmpi[1]_include.cmake")
+include("/root/repo/build/tests/test_solver_basic[1]_include.cmake")
+include("/root/repo/build/tests/test_solver_nscbc[1]_include.cmake")
+include("/root/repo/build/tests/test_solver_diagnostics[1]_include.cmake")
+include("/root/repo/build/tests/test_premix1d[1]_include.cmake")
+include("/root/repo/build/tests/test_iosim[1]_include.cmake")
+include("/root/repo/build/tests/test_viz[1]_include.cmake")
+include("/root/repo/build/tests/test_workflow[1]_include.cmake")
+include("/root/repo/build/tests/test_perf[1]_include.cmake")
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_checkpoint[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
