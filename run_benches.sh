@@ -3,6 +3,15 @@
 # Usage: ./run_benches.sh  [S3DPP_FULL=1 for the larger configurations]
 set -e
 cd "$(dirname "$0")"
+mkdir -p bench_output
 for b in build/bench/*; do
   [ -x "$b" ] && [ -f "$b" ] && "$b"
 done
+
+# bench_trace leaves the instrumentation artifacts behind; surface them.
+if [ -f bench_output/trace_summary.txt ]; then
+  echo ""
+  echo "trace artifacts:"
+  echo "  bench_output/trace.json          (ui.perfetto.dev / chrome://tracing)"
+  echo "  bench_output/trace_summary.txt   (per-phase kernel x rank table)"
+fi

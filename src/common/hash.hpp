@@ -1,0 +1,50 @@
+#pragma once
+// Deterministic non-cryptographic hashing (FNV-1a 64).
+//
+// Used wherever the repo needs a stable fingerprint of binary data: the
+// restart-file integrity checksum and the golden-run regression harness's
+// field checksums. Byte-order sensitive by design: two states hash equal
+// iff they are bitwise identical.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace s3d {
+
+/// Incremental FNV-1a 64-bit hasher.
+class Fnv1a64 {
+ public:
+  void update(const void* data, std::size_t len) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < len; ++i) {
+      h_ ^= p[i];
+      h_ *= 0x100000001b3ull;
+    }
+  }
+  template <typename T>
+  void update_value(const T& v) {
+    update(&v, sizeof(T));
+  }
+  std::uint64_t digest() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 0xcbf29ce484222325ull;
+};
+
+/// One-shot convenience.
+inline std::uint64_t fnv1a64(const void* data, std::size_t len) {
+  Fnv1a64 h;
+  h.update(data, len);
+  return h.digest();
+}
+
+/// Fixed-width lowercase hex rendering (stable golden-file format).
+inline std::string hex64(std::uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string s(16, '0');
+  for (int i = 15; i >= 0; --i, v >>= 4) s[i] = digits[v & 0xf];
+  return s;
+}
+
+}  // namespace s3d

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/error.hpp"
+#include "trace/trace.hpp"
 
 namespace s3d::iosim {
 
@@ -75,6 +76,7 @@ WriteResult write_fortran(SimFS& fs, const CheckpointSpec& spec,
                           const NetParams& net, int checkpoint,
                           double t_start) {
   (void)net;
+  trace::Span sp("iosim.fortran", "iosim");
   const int np = spec.nprocs();
   std::vector<double> clock(np, t_start);
   ExpectedBuf buf(fs.params().store_data);
@@ -133,6 +135,7 @@ WriteResult write_fortran(SimFS& fs, const CheckpointSpec& spec,
 WriteResult write_native_collective(SimFS& fs, const CheckpointSpec& spec,
                                     const NetParams& net, int checkpoint,
                                     double t_start) {
+  trace::Span sp("iosim.collective", "iosim");
   const int np = spec.nprocs();
   std::vector<double> clock(np, t_start);
   ExpectedBuf buf(fs.params().store_data);
@@ -185,6 +188,7 @@ WriteResult write_native_collective(SimFS& fs, const CheckpointSpec& spec,
 WriteResult write_mpiio_caching(SimFS& fs, const CheckpointSpec& spec,
                                 const NetParams& net, int checkpoint,
                                 double t_start) {
+  trace::Span sp("iosim.caching", "iosim");
   const int np = spec.nprocs();
   std::vector<double> clock(np, t_start);
   ExpectedBuf buf(fs.params().store_data);
@@ -281,13 +285,19 @@ WriteResult write_mpiio_caching(SimFS& fs, const CheckpointSpec& spec,
 WriteResult write_write_behind(SimFS& fs, const CheckpointSpec& spec,
                                const NetParams& net, int checkpoint,
                                double t_start) {
+  trace::Span sp("iosim.write_behind", "iosim");
+  sp.set_bytes(spec.total_bytes());
   const int np = spec.nprocs();
   std::vector<double> clock(np, t_start);
   ExpectedBuf buf(fs.params().store_data);
   const std::size_t page = fs.params().stripe_size;
 
   double done = 0.0;
-  const int fd = fs.open(shared_name(checkpoint), clock[0], &done);
+  int fd = -1;
+  {
+    trace::Span sp_open("iosim.wb.open", "iosim");
+    fd = fs.open(shared_name(checkpoint), clock[0], &done);
+  }
   std::fill(clock.begin(), clock.end(), done);
   const double open_end = done;
 
@@ -297,6 +307,7 @@ WriteResult write_write_behind(SimFS& fs, const CheckpointSpec& spec,
   std::vector<std::vector<std::size_t>> sub_fill(
       np, std::vector<std::size_t>(np, 0));
 
+  trace::Span sp_stage("iosim.wb.stage_subbuffers", "iosim");
   for (int p = 0; p < np; ++p) {
     for_each_chunk(spec, p, [&](const Chunk& c) {
       std::size_t pos = c.offset;
@@ -322,6 +333,8 @@ WriteResult write_write_behind(SimFS& fs, const CheckpointSpec& spec,
   for (int p = 0; p < np; ++p)
     for (int d = 0; d < np; ++d)
       if (sub_fill[p][d] > 0) post_msg(clock, ready, net, p, d, sub_fill[p][d]);
+  sp_stage.stop();
+  trace::Span sp_flush("iosim.wb.flush_pages", "iosim");
 
   // Page owners write their global pages (aligned) once data arrived;
   // pipelined like the caching flush.

@@ -6,6 +6,7 @@
 #include <fstream>
 
 #include "common/error.hpp"
+#include "common/hash.hpp"
 
 namespace s3d::solver {
 
@@ -56,6 +57,7 @@ void write_restart(const std::string& path, const Solver& s) {
   const Layout& l = s.layout();
   std::ofstream f(path, std::ios::binary);
   S3D_REQUIRE(f.good(), "cannot open " + path);
+  Fnv1a64 hash;
   put(f, kRestartMagic);
   put<std::int32_t>(f, l.nx);
   put<std::int32_t>(f, l.ny);
@@ -63,6 +65,12 @@ void write_restart(const std::string& path, const Solver& s) {
   put<std::int32_t>(f, s.state().nv());
   put<double>(f, s.time());
   put<std::int64_t>(f, s.steps_taken());
+  hash.update_value<std::int32_t>(l.nx);
+  hash.update_value<std::int32_t>(l.ny);
+  hash.update_value<std::int32_t>(l.nz);
+  hash.update_value<std::int32_t>(s.state().nv());
+  hash.update_value<double>(s.time());
+  hash.update_value<std::int64_t>(s.steps_taken());
   // Interior of each conserved variable, x fastest.
   for (int v = 0; v < s.state().nv(); ++v) {
     const double* var = s.state().var(v);
@@ -71,8 +79,12 @@ void write_restart(const std::string& path, const Solver& s) {
         const std::size_t row = l.at(0, j, k);
         f.write(reinterpret_cast<const char*>(var + row),
                 static_cast<std::streamsize>(l.nx * sizeof(double)));
+        hash.update(var + row, l.nx * sizeof(double));
       }
   }
+  // Trailing integrity checksum over header fields + payload; read_restart
+  // refuses corrupted or truncated files instead of silently loading them.
+  put<std::uint64_t>(f, hash.digest());
   S3D_REQUIRE(f.good(), "write failed: " + path);
 }
 
@@ -82,6 +94,7 @@ void read_restart(const std::string& path, Solver& s) {
   S3D_REQUIRE(f.good(), "cannot open " + path);
   S3D_REQUIRE(get<std::uint64_t>(f) == kRestartMagic,
               "not a restart file: " + path);
+  Fnv1a64 hash;
   const int nx = get<std::int32_t>(f);
   const int ny = get<std::int32_t>(f);
   const int nz = get<std::int32_t>(f);
@@ -91,14 +104,34 @@ void read_restart(const std::string& path, Solver& s) {
               "restart grid/variable mismatch: " + path);
   const double t = get<double>(f);
   const auto steps = get<std::int64_t>(f);
+  hash.update_value<std::int32_t>(nx);
+  hash.update_value<std::int32_t>(ny);
+  hash.update_value<std::int32_t>(nz);
+  hash.update_value<std::int32_t>(nv);
+  hash.update_value<double>(t);
+  hash.update_value<std::int64_t>(steps);
+  // Stage into scratch: the solver state is only touched once the
+  // checksum has verified, so a corrupted file cannot half-load.
+  std::vector<std::vector<double>> staged(
+      static_cast<std::size_t>(nv),
+      std::vector<double>(static_cast<std::size_t>(nx) * ny * nz));
+  for (int v = 0; v < nv; ++v) {
+    f.read(reinterpret_cast<char*>(staged[v].data()),
+           static_cast<std::streamsize>(staged[v].size() * sizeof(double)));
+    S3D_REQUIRE(f.good(), "truncated restart: " + path);
+    hash.update(staged[v].data(), staged[v].size() * sizeof(double));
+  }
+  const auto stored = get<std::uint64_t>(f);
+  S3D_REQUIRE(stored == hash.digest(),
+              "restart checksum mismatch (corrupted file): " + path);
   for (int v = 0; v < nv; ++v) {
     double* var = s.state().var(v);
+    const double* src = staged[v].data();
     for (int k = 0; k < nz; ++k)
       for (int j = 0; j < ny; ++j) {
         const std::size_t row = l.at(0, j, k);
-        f.read(reinterpret_cast<char*>(var + row),
-               static_cast<std::streamsize>(nx * sizeof(double)));
-        S3D_REQUIRE(f.good(), "truncated restart: " + path);
+        std::memcpy(var + row, src, nx * sizeof(double));
+        src += nx;
       }
   }
   s.set_time(t, static_cast<int>(steps));

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "trace/trace.hpp"
+
 namespace s3d::solver {
 
 Halo::Halo(const Layout& l, std::array<bool, 3> periodic)
@@ -94,12 +96,19 @@ void Halo::exchange_axis_parallel(const std::vector<double*>& fields,
     recv_lo_buf.resize(slab_elems);
     reqs.push_back(comm_->irecv(nb_lo, tag_up, recv_lo_buf));
   }
-  comm_->waitall(reqs);
+  const std::size_t sent = (send_hi.size() + send_lo.size()) * sizeof(double);
+  trace::counter_add("halo.bytes", static_cast<double>(sent));
+  {
+    trace::Span wait_sp("halo.wait", "halo");
+    wait_sp.set_bytes(sent);
+    comm_->waitall(reqs);
+  }
   if (nb_lo >= 0) unpack(recv_lo_buf, -g, 0);
   if (nb_hi >= 0) unpack(recv_hi_buf, n, n + g);
 }
 
 void Halo::exchange(const std::vector<double*>& fields) {
+  trace::Span sp("halo.exchange", "halo");
   for (int axis = 0; axis < 3; ++axis) {
     if (!l_.active(axis)) continue;
     if (comm_ && cart_) {

@@ -8,6 +8,7 @@
 #include "common/constants.hpp"
 #include "common/timer.hpp"
 #include "numerics/stencil.hpp"
+#include "trace/trace.hpp"
 
 namespace s3d::solver {
 
@@ -138,13 +139,17 @@ void RhsEvaluator::compute_transport_point(double T, double lnT, double rho,
 }
 
 void RhsEvaluator::eval(const State& U, double t, State& dUdt) {
+  trace::Span sp_eval("rhs.eval", "solver");
   Timer phase;
   const int ns = mech_->n_species();
   const int nv = n_conserved(ns);
 
   // ---- 1. primitives ----
   phase.reset();
-  prim_from_conserved(*mech_, U, prim_);
+  {
+    trace::Span sp("rhs.primitives", "solver");
+    prim_from_conserved(*mech_, U, prim_);
+  }
   timers_.primitives += phase.seconds();
 
   // ---- 2. halo exchange of primitives (paper: ghost zone construction
@@ -166,13 +171,16 @@ void RhsEvaluator::eval(const State& U, double t, State& dUdt) {
   if (cfg_.include_viscous) {
     // ---- 3. gradients ----
     phase.reset();
-    for (int a : active_axes_) {
-      ops_.deriv(prim_.u, a, dudx_[0][a]);
-      ops_.deriv(prim_.v, a, dudx_[1][a]);
-      ops_.deriv(prim_.w, a, dudx_[2][a]);
-      ops_.deriv(prim_.T, a, gradT_[a]);
-      ops_.deriv(prim_.Wbar, a, gradW_[a]);
-      for (int s = 0; s < ns; ++s) ops_.deriv(prim_.Y[s], a, J_[s][a]);
+    {
+      trace::Span sp("rhs.gradients", "solver");
+      for (int a : active_axes_) {
+        ops_.deriv(prim_.u, a, dudx_[0][a]);
+        ops_.deriv(prim_.v, a, dudx_[1][a]);
+        ops_.deriv(prim_.w, a, dudx_[2][a]);
+        ops_.deriv(prim_.T, a, gradT_[a]);
+        ops_.deriv(prim_.Wbar, a, gradW_[a]);
+        for (int s = 0; s < ns; ++s) ops_.deriv(prim_.Y[s], a, J_[s][a]);
+      }
     }
     timers_.gradients += phase.seconds();
 
@@ -180,6 +188,8 @@ void RhsEvaluator::eval(const State& U, double t, State& dUdt) {
     // This is the COMPUTESPECIESDIFFFLUX / COMPUTEHEATFLUX kernel family
     // of the paper's fig. 2/4.
     phase.reset();
+    {
+    trace::Span sp("rhs.diffusive_flux", "solver");
     double X[chem::kMaxSpecies], Yp[chem::kMaxSpecies], D[chem::kMaxSpecies];
     double Jp[chem::kMaxSpecies][3];
     for_interior(l_, [&](std::size_t n, int, int, int) {
@@ -239,6 +249,7 @@ void RhsEvaluator::eval(const State& U, double t, State& dUdt) {
         q_[a].data()[n] = qa;
       }
     });
+    }
     timers_.diffusive_flux += phase.seconds();
 
     // ---- 5. halo exchange of diffusive fluxes ----
@@ -262,6 +273,8 @@ void RhsEvaluator::eval(const State& U, double t, State& dUdt) {
 
   // ---- 6. total flux divergences ----
   phase.reset();
+  {
+  trace::Span sp_conv("rhs.convective", "solver");
   auto du_all = dUdt.flat();
   std::fill(du_all.begin(), du_all.end(), 0.0);
 
@@ -322,11 +335,13 @@ void RhsEvaluator::eval(const State& U, double t, State& dUdt) {
       add_div(UIndex::Y0 + s);
     }
   }
+  }
   timers_.convective += phase.seconds();
 
   // ---- 7. chemistry (paper's REACTION_RATE kernel) ----
   if (cfg_.include_chemistry && mech_->n_reactions() > 0) {
     phase.reset();
+    trace::Span sp("chem.reaction_rate", "chem");
     double c[chem::kMaxSpecies], wdot[chem::kMaxSpecies];
     for_interior(l_, [&](std::size_t n, int, int, int) {
       const double rho = prim_.rho.data()[n];
@@ -343,8 +358,11 @@ void RhsEvaluator::eval(const State& U, double t, State& dUdt) {
 
   // ---- 8. characteristic boundary conditions + absorbing layers ----
   phase.reset();
-  apply_nscbc(U, t, dUdt);
-  apply_sponges(U, dUdt);
+  {
+    trace::Span sp("rhs.boundary", "solver");
+    apply_nscbc(U, t, dUdt);
+    apply_sponges(U, dUdt);
+  }
   timers_.boundary += phase.seconds();
 
   ++timers_.evals;

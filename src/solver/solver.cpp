@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "trace/trace.hpp"
+
 namespace s3d::solver {
 
 Solver::Solver(const Config& cfg) : scheme_(numerics::rk_carpenter_kennedy4()) {
@@ -97,10 +99,12 @@ void Solver::initialize(const InitFn& init) {
 }
 
 void Solver::step(double dt) {
+  trace::Span sp_step("solver.step", "solver");
   auto k = k_.flat();
   auto u = U_.flat();
   std::fill(k.begin(), k.end(), 0.0);
   for (int s = 0; s < scheme_.stages(); ++s) {
+    trace::Span sp_stage("solver.rk_stage", "solver");
     rhs_->eval(U_, t_ + scheme_.C[s] * dt, dU_);
     const double A = scheme_.A[s], B = scheme_.B[s];
     const auto& du = dU_.flat();
@@ -114,6 +118,7 @@ void Solver::step(double dt) {
   enforce_inflow();
   if (cfg_.filter_interval > 0 && steps_ % cfg_.filter_interval == 0)
     apply_filter();
+  trace::gauge_set("solver.t", t_);
 }
 
 void Solver::enforce_inflow() {
@@ -147,6 +152,7 @@ void Solver::enforce_inflow() {
 }
 
 void Solver::apply_filter() {
+  trace::Span sp("solver.filter", "solver");
   const Layout& l = rhs_->layout();
   std::vector<double*> vars;
   for (int v = 0; v < U_.nv(); ++v) vars.push_back(U_.var(v));
@@ -167,6 +173,7 @@ void Solver::apply_filter() {
 }
 
 double Solver::stable_dt() {
+  trace::Span sp("solver.stable_dt", "solver");
   // Ensure primitives (and transport fields) reflect the current state.
   rhs_->eval(U_, t_, dU_);
   double dt = rhs_->suggest_dt();

@@ -1,0 +1,346 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <set>
+#include <unordered_set>
+
+#include "common/table.hpp"
+
+namespace s3d::trace {
+
+std::int64_t KernelStat::total_calls() const {
+  std::int64_t n = 0;
+  for (const auto& r : ranks) n += r.calls;
+  return n;
+}
+
+double KernelStat::total_s() const {
+  double t = 0.0;
+  for (const auto& r : ranks) t += r.total_s;
+  return t;
+}
+
+double KernelStat::min_rank_s() const {
+  double m = ranks.empty() ? 0.0 : ranks.front().total_s;
+  for (const auto& r : ranks) m = std::min(m, r.total_s);
+  return m;
+}
+
+double KernelStat::mean_rank_s() const {
+  return ranks.empty() ? 0.0 : total_s() / static_cast<double>(ranks.size());
+}
+
+double KernelStat::max_rank_s() const {
+  double m = 0.0;
+  for (const auto& r : ranks) m = std::max(m, r.total_s);
+  return m;
+}
+
+const KernelStat* Summary::find(const std::string& name) const {
+  for (const auto& k : kernels)
+    if (k.name == name) return &k;
+  return nullptr;
+}
+
+const CounterStat* Summary::find_counter(const std::string& name) const {
+  for (const auto& c : counters)
+    if (c.name == name) return &c;
+  return nullptr;
+}
+
+namespace {
+
+std::string json_escape(const char* s) {
+  std::string out;
+  for (; *s; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\')
+      out += {'\\', c};
+    else if (static_cast<unsigned char>(c) < 0x20)
+      out += ' ';
+    else
+      out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+#ifndef S3D_TRACE_DISABLED
+
+namespace {
+
+enum class EventKind : std::uint8_t { span, counter, gauge };
+
+struct Event {
+  const char* name;
+  const char* cat;      // spans only
+  std::int64_t ts_ns;   // since process trace epoch
+  std::int64_t dur_ns;  // spans: duration; counters/gauges: unused
+  double value;         // counters: delta; gauges: sample
+  std::int64_t bytes;   // spans: optional payload size (-1 = none)
+  int rank;
+  EventKind kind;
+};
+
+struct ThreadBuf {
+  std::mutex mu;
+  std::vector<Event> events;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadBuf>> bufs;
+  std::mutex intern_mu;
+  std::set<std::string> interned;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+std::atomic<bool> g_enabled{false};
+thread_local int tl_rank = 0;
+thread_local std::shared_ptr<ThreadBuf> tl_buf;
+
+std::int64_t now_ns() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - epoch)
+      .count();
+}
+
+ThreadBuf& local_buf() {
+  if (!tl_buf) {
+    tl_buf = std::make_shared<ThreadBuf>();
+    auto& reg = registry();
+    std::lock_guard<std::mutex> lk(reg.mu);
+    reg.bufs.push_back(tl_buf);
+  }
+  return *tl_buf;
+}
+
+void push(const Event& e) {
+  ThreadBuf& b = local_buf();
+  std::lock_guard<std::mutex> lk(b.mu);
+  b.events.push_back(e);
+}
+
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+bool init_from_env() {
+  const char* v = std::getenv("S3D_TRACE");
+  set_enabled(v != nullptr && *v != '\0' && std::string(v) != "0");
+  return enabled();
+}
+
+void set_rank(int rank) { tl_rank = rank; }
+int current_rank() { return tl_rank; }
+
+const char* intern(const std::string& name) {
+  auto& reg = registry();
+  std::lock_guard<std::mutex> lk(reg.intern_mu);
+  return reg.interned.insert(name).first->c_str();
+}
+
+void clear() {
+  auto& reg = registry();
+  std::lock_guard<std::mutex> lk(reg.mu);
+  for (auto& b : reg.bufs) {
+    std::lock_guard<std::mutex> blk(b->mu);
+    b->events.clear();
+  }
+}
+
+void Span::begin(const char* name, const char* category) {
+  name_ = name;
+  cat_ = category != nullptr ? category : "default";
+  t0_ = now_ns();
+  armed_ = true;
+}
+
+void Span::end() {
+  // Recorded even if tracing was switched off mid-span: a begun scope is
+  // worth more complete than missing.
+  push(Event{name_, cat_, t0_, now_ns() - t0_, 0.0, bytes_, tl_rank,
+             EventKind::span});
+}
+
+void counter_add(const char* name, double delta) {
+  if (!enabled()) return;
+  push(Event{name, nullptr, now_ns(), 0, delta, -1, tl_rank,
+             EventKind::counter});
+}
+
+void gauge_set(const char* name, double value) {
+  if (!enabled()) return;
+  push(Event{name, nullptr, now_ns(), 0, value, -1, tl_rank,
+             EventKind::gauge});
+}
+
+namespace {
+
+/// Snapshot every buffer's events (stable even if other threads keep
+/// recording while we export).
+std::vector<Event> snapshot() {
+  std::vector<std::shared_ptr<ThreadBuf>> bufs;
+  {
+    auto& reg = registry();
+    std::lock_guard<std::mutex> lk(reg.mu);
+    bufs = reg.bufs;
+  }
+  std::vector<Event> all;
+  for (auto& b : bufs) {
+    std::lock_guard<std::mutex> lk(b->mu);
+    all.insert(all.end(), b->events.begin(), b->events.end());
+  }
+  std::sort(all.begin(), all.end(), [](const Event& a, const Event& b) {
+    return a.ts_ns < b.ts_ns;
+  });
+  return all;
+}
+
+}  // namespace
+
+Summary summarize() {
+  Summary out;
+  std::map<std::string, KernelStat> kernels;
+  std::map<std::string, CounterStat> counters;
+  for (const Event& e : snapshot()) {
+    if (e.kind == EventKind::span) {
+      KernelStat& k = kernels[e.name];
+      if (k.name.empty()) {
+        k.name = e.name;
+        k.category = e.cat;
+      }
+      auto it = std::find_if(k.ranks.begin(), k.ranks.end(),
+                             [&](const KernelRankStat& r) {
+                               return r.rank == e.rank;
+                             });
+      if (it == k.ranks.end()) {
+        k.ranks.push_back(KernelRankStat{e.rank, 0, 0.0});
+        it = std::prev(k.ranks.end());
+      }
+      ++it->calls;
+      it->total_s += static_cast<double>(e.dur_ns) * 1e-9;
+    } else {
+      CounterStat& c = counters[e.name];
+      c.name = e.name;
+      ++c.samples;
+      c.is_gauge = e.kind == EventKind::gauge;
+      if (c.is_gauge)
+        c.total = e.value;  // last value wins (events are time-sorted)
+      else
+        c.total += e.value;
+    }
+  }
+  for (auto& [name, k] : kernels) {
+    std::sort(k.ranks.begin(), k.ranks.end(),
+              [](const KernelRankStat& a, const KernelRankStat& b) {
+                return a.rank < b.rank;
+              });
+    out.kernels.push_back(std::move(k));
+  }
+  for (auto& [name, c] : counters) out.counters.push_back(std::move(c));
+  return out;
+}
+
+void write_summary(std::ostream& os) {
+  const Summary s = summarize();
+  os << "trace summary: " << s.kernels.size() << " kernels, "
+     << s.counters.size() << " metrics\n";
+  if (!s.kernels.empty()) {
+    Table t({"kernel", "cat", "ranks", "calls", "total [ms]",
+             "mean/rank [ms]", "min rank [ms]", "max rank [ms]", "imbal"});
+    for (const auto& k : s.kernels) {
+      const double mean = k.mean_rank_s();
+      t.add_row({k.name, k.category, std::to_string(k.ranks.size()),
+                 std::to_string(k.total_calls()),
+                 Table::num(k.total_s() * 1e3, 3),
+                 Table::num(mean * 1e3, 3),
+                 Table::num(k.min_rank_s() * 1e3, 3),
+                 Table::num(k.max_rank_s() * 1e3, 3),
+                 mean > 0.0 ? Table::num(k.max_rank_s() / mean, 3) : "-"});
+    }
+    t.print(os);
+  }
+  if (!s.counters.empty()) {
+    Table t({"metric", "kind", "samples", "value"});
+    for (const auto& c : s.counters)
+      t.add_row({c.name, c.is_gauge ? "gauge" : "counter",
+                 std::to_string(c.samples), Table::num(c.total, 6)});
+    t.print(os);
+  }
+}
+
+bool write_chrome_trace(const std::string& path) {
+  std::ofstream f(path);
+  if (!f.good()) return false;
+  f << "[";
+  // One metadata row per rank so Perfetto labels the timelines.
+  std::unordered_set<int> ranks;
+  const auto events = snapshot();
+  bool first = true;
+  auto sep = [&]() -> std::ostream& {
+    if (!first) f << ",\n";
+    first = false;
+    return f;
+  };
+  for (const Event& e : events) ranks.insert(e.rank);
+  for (int r : std::set<int>(ranks.begin(), ranks.end()))
+    sep() << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << r
+          << ",\"args\":{\"name\":\"rank " << r << "\"}}";
+  for (const Event& e : events) {
+    const double ts_us = static_cast<double>(e.ts_ns) * 1e-3;
+    switch (e.kind) {
+      case EventKind::span:
+        sep() << "{\"name\":\"" << json_escape(e.name) << "\",\"cat\":\""
+              << json_escape(e.cat) << "\",\"ph\":\"X\",\"ts\":" << ts_us
+              << ",\"dur\":" << static_cast<double>(e.dur_ns) * 1e-3
+              << ",\"pid\":0,\"tid\":" << e.rank;
+        if (e.bytes >= 0) f << ",\"args\":{\"bytes\":" << e.bytes << "}";
+        f << "}";
+        break;
+      case EventKind::counter:
+      case EventKind::gauge:
+        sep() << "{\"name\":\"" << json_escape(e.name)
+              << "\",\"ph\":\"C\",\"ts\":" << ts_us
+              << ",\"pid\":0,\"tid\":" << e.rank << ",\"args\":{\"value\":"
+              << e.value << "}}";
+        break;
+    }
+  }
+  f << "]\n";
+  return f.good();
+}
+
+#else  // S3D_TRACE_DISABLED
+
+Summary summarize() { return Summary{}; }
+
+void write_summary(std::ostream& os) {
+  os << "trace summary: tracing compiled out (S3D_TRACE_DISABLED)\n";
+}
+
+bool write_chrome_trace(const std::string& path) {
+  std::ofstream f(path);
+  if (!f.good()) return false;
+  f << "[]\n";
+  return f.good();
+}
+
+#endif  // S3D_TRACE_DISABLED
+
+}  // namespace s3d::trace

@@ -1,0 +1,165 @@
+#pragma once
+// Structured tracing + metrics for S3D++ (see DESIGN.md "Observability").
+//
+// The paper's performance story (fig. 2 kernel profile, fig. 1/3 scaling
+// shape, fig. 9 write-behind) rests on knowing where time goes per rank
+// per step. This subsystem makes that observable from any run:
+//
+//   - Span      RAII scope timer; records one complete event per scope.
+//   - Counter   monotonically accumulated named value (e.g. halo bytes).
+//   - Gauge     last-value-wins named sample.
+//
+// Ranks are vmpi threads; every event carries the rank label the thread
+// declared via set_rank() (vmpi::run does this automatically). Exporters:
+//
+//   - write_chrome_trace()  Chrome-trace JSON ("chrome://tracing", or
+//                           https://ui.perfetto.dev) with one timeline row
+//                           per rank;
+//   - write_summary()       plain-text per-phase table, kernel x rank ->
+//                           calls / mean / min / max, the fig. 2 profile
+//                           shape measured live.
+//
+// Overhead discipline: a disabled runtime flag (the default) makes every
+// hot-path call a single relaxed atomic load plus branch, and defining
+// S3D_TRACE_DISABLED (CMake option of the same name) compiles the whole
+// subsystem down to empty inline stubs.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace s3d::trace {
+
+/// One aggregated kernel row of the summary (per span name, per rank).
+struct KernelRankStat {
+  int rank = 0;
+  std::int64_t calls = 0;
+  double total_s = 0.0;
+};
+
+struct KernelStat {
+  std::string name;
+  std::string category;
+  std::vector<KernelRankStat> ranks;  ///< sorted by rank
+
+  std::int64_t total_calls() const;
+  double total_s() const;
+  /// Min / mean / max of the per-rank totals (seconds).
+  double min_rank_s() const;
+  double mean_rank_s() const;
+  double max_rank_s() const;
+};
+
+struct CounterStat {
+  std::string name;
+  std::int64_t samples = 0;
+  double total = 0.0;  ///< sum of deltas (Counter) or last value (Gauge)
+  bool is_gauge = false;
+};
+
+struct Summary {
+  std::vector<KernelStat> kernels;    ///< sorted by name
+  std::vector<CounterStat> counters;  ///< sorted by name
+  const KernelStat* find(const std::string& name) const;
+  const CounterStat* find_counter(const std::string& name) const;
+};
+
+#ifndef S3D_TRACE_DISABLED
+
+/// Runtime switch. Off by default: every instrumentation point then costs
+/// one relaxed atomic load.
+bool enabled();
+void set_enabled(bool on);
+/// Honour the S3D_TRACE environment variable (any non-empty value other
+/// than "0" enables tracing). Returns the resulting state.
+bool init_from_env();
+
+/// Label the calling thread as `rank` (vmpi::run does this). Threads that
+/// never call it record as rank 0.
+void set_rank(int rank);
+int current_rank();
+
+/// Stable storage for dynamically built span names (Span keeps only the
+/// pointer). Repeated calls with the same string return the same pointer.
+const char* intern(const std::string& name);
+
+/// Drop every recorded event and metric (golden runs / benches isolate
+/// phases with this).
+void clear();
+
+/// RAII scope timer. `name` and `category` must outlive the trace buffer:
+/// string literals or intern()ed strings.
+class Span {
+ public:
+  Span(const char* name, const char* category) {
+    if (name != nullptr && enabled()) begin(name, category);
+  }
+  ~Span() {
+    if (armed_) end();
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attach a byte count shown in the Chrome trace ("args":{"bytes":N}).
+  void set_bytes(std::uint64_t n) { bytes_ = static_cast<std::int64_t>(n); }
+  /// Discard this span (e.g. the guarded work turned out to be a no-op).
+  void cancel() { armed_ = false; }
+  /// Record the span now instead of at scope exit (sequential stages).
+  void stop() {
+    if (armed_) end();
+    armed_ = false;
+  }
+
+ private:
+  void begin(const char* name, const char* category);
+  void end();
+  const char* name_ = nullptr;
+  const char* cat_ = nullptr;
+  std::int64_t t0_ = 0;
+  std::int64_t bytes_ = -1;
+  bool armed_ = false;
+};
+
+/// Accumulate `delta` onto the named counter for this thread's rank.
+void counter_add(const char* name, double delta);
+/// Record the named gauge's current value.
+void gauge_set(const char* name, double value);
+
+/// Aggregate everything recorded so far.
+Summary summarize();
+/// Render the fig.2-style table (kernel x rank -> calls/mean/min/max plus
+/// counters) to `os`.
+void write_summary(std::ostream& os);
+/// Write Chrome-trace JSON to `path`; returns false when the file cannot
+/// be opened. An empty recording still produces a valid trace.
+bool write_chrome_trace(const std::string& path);
+
+#else  // S3D_TRACE_DISABLED: the whole subsystem compiles to nothing.
+
+inline bool enabled() { return false; }
+inline void set_enabled(bool) {}
+inline bool init_from_env() { return false; }
+inline void set_rank(int) {}
+inline int current_rank() { return 0; }
+inline const char* intern(const std::string&) { return ""; }
+inline void clear() {}
+
+class Span {
+ public:
+  Span(const char*, const char*) {}
+  void set_bytes(std::uint64_t) {}
+  void cancel() {}
+  void stop() {}
+};
+
+inline void counter_add(const char*, double) {}
+inline void gauge_set(const char*, double) {}
+
+Summary summarize();
+void write_summary(std::ostream& os);
+bool write_chrome_trace(const std::string& path);
+
+#endif  // S3D_TRACE_DISABLED
+
+}  // namespace s3d::trace

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "common/error.hpp"
+#include "trace/trace.hpp"
 
 namespace s3d::vmpi {
 
@@ -217,6 +218,7 @@ void run(int nranks, const std::function<void(Comm&)>& fn) {
   std::exception_ptr first_error;
 
   auto body = [&](int rank) {
+    trace::set_rank(rank);  // label this thread's trace events
     try {
       Comm comm(rank, hub);
       fn(comm);

@@ -1,6 +1,7 @@
 #include "workflow/actor.hpp"
 
 #include "common/error.hpp"
+#include "trace/trace.hpp"
 
 namespace s3d::workflow {
 
@@ -29,7 +30,16 @@ long Workflow::run_until_idle(int max_sweeps) {
   for (int sweep = 0; sweep < max_sweeps; ++sweep) {
     bool progressed = false;
     for (Actor* a : actors_) {
-      while (a->fire()) {
+      // Interned per-actor span name ("wf.<actor>"); idle probes (fire()
+      // returning false) are cancelled so only real work is recorded.
+      const char* span_name =
+          trace::enabled() ? trace::intern("wf." + a->name()) : nullptr;
+      for (;;) {
+        trace::Span sp(span_name, "workflow");
+        if (!a->fire()) {
+          sp.cancel();
+          break;
+        }
         ++fired;
         progressed = true;
       }

@@ -1,0 +1,239 @@
+// s3d::trace unit tests: runtime gating, span/counter/gauge recording,
+// per-rank labelling through vmpi, summary aggregation, and the Chrome
+// trace exporter's JSON.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "trace/trace.hpp"
+#include "vmpi/vmpi.hpp"
+
+namespace trace = s3d::trace;
+
+namespace {
+
+std::string tmp_file(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+struct TraceSession {
+  TraceSession() {
+    trace::clear();
+    trace::set_enabled(true);
+  }
+  ~TraceSession() {
+    trace::set_enabled(false);
+    trace::clear();
+  }
+};
+
+}  // namespace
+
+#ifndef S3D_TRACE_DISABLED
+
+TEST(Trace, DisabledByDefaultRecordsNothing) {
+  trace::set_enabled(false);
+  trace::clear();
+  {
+    trace::Span sp("ghost", "test");
+    trace::counter_add("ghost.count", 1.0);
+    trace::gauge_set("ghost.gauge", 2.0);
+  }
+  const auto s = trace::summarize();
+  EXPECT_TRUE(s.kernels.empty());
+  EXPECT_TRUE(s.counters.empty());
+}
+
+TEST(Trace, SpanRecordsDurationAndCategory) {
+  TraceSession session;
+  {
+    trace::Span sp("unit.work", "test");
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const auto s = trace::summarize();
+  const auto* k = s.find("unit.work");
+  ASSERT_NE(k, nullptr);
+  EXPECT_EQ(k->category, "test");
+  EXPECT_EQ(k->total_calls(), 1);
+  EXPECT_GE(k->total_s(), 0.002);
+}
+
+TEST(Trace, CancelAndStop) {
+  TraceSession session;
+  {
+    trace::Span sp("unit.cancelled", "test");
+    sp.cancel();
+  }
+  {
+    trace::Span sp("unit.stopped", "test");
+    sp.stop();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }  // the sleep happens after stop(): must not count
+  const auto s = trace::summarize();
+  EXPECT_EQ(s.find("unit.cancelled"), nullptr);
+  const auto* k = s.find("unit.stopped");
+  ASSERT_NE(k, nullptr);
+  EXPECT_LT(k->total_s(), 0.005);
+}
+
+TEST(Trace, CountersAccumulateAndGaugesKeepLastValue) {
+  TraceSession session;
+  trace::counter_add("unit.bytes", 100.0);
+  trace::counter_add("unit.bytes", 150.0);
+  trace::gauge_set("unit.level", 1.0);
+  trace::gauge_set("unit.level", 42.0);
+  const auto s = trace::summarize();
+  const auto* c = s.find_counter("unit.bytes");
+  ASSERT_NE(c, nullptr);
+  EXPECT_FALSE(c->is_gauge);
+  EXPECT_EQ(c->samples, 2);
+  EXPECT_DOUBLE_EQ(c->total, 250.0);
+  const auto* g = s.find_counter("unit.level");
+  ASSERT_NE(g, nullptr);
+  EXPECT_TRUE(g->is_gauge);
+  EXPECT_DOUBLE_EQ(g->total, 42.0);
+}
+
+TEST(Trace, VmpiRanksLabelTheirEvents) {
+  TraceSession session;
+  s3d::vmpi::run(4, [](s3d::vmpi::Comm& comm) {
+    trace::Span sp("unit.rank_work", "test");
+    trace::counter_add("unit.rank_count", 1.0);
+    comm.barrier();
+  });
+  const auto s = trace::summarize();
+  const auto* k = s.find("unit.rank_work");
+  ASSERT_NE(k, nullptr);
+  ASSERT_EQ(k->ranks.size(), 4u);
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_EQ(k->ranks[r].rank, r);
+    EXPECT_EQ(k->ranks[r].calls, 1);
+  }
+  const auto* c = s.find_counter("unit.rank_count");
+  ASSERT_NE(c, nullptr);
+  EXPECT_DOUBLE_EQ(c->total, 4.0);
+}
+
+TEST(Trace, InternReturnsStablePointers) {
+  const char* a = trace::intern("wf.some-actor");
+  const char* b = trace::intern("wf.some-actor");
+  EXPECT_EQ(a, b);
+  EXPECT_STREQ(a, "wf.some-actor");
+  EXPECT_NE(a, trace::intern("wf.other-actor"));
+}
+
+TEST(Trace, ChromeTraceIsValidJson) {
+  TraceSession session;
+  s3d::vmpi::run(2, [](s3d::vmpi::Comm&) {
+    trace::Span sp("unit.json \"quoted\"", "test");
+    sp.set_bytes(1234);
+    trace::counter_add("unit.json_counter", 3.5);
+  });
+  const std::string path = tmp_file("s3dpp_trace_test.json");
+  ASSERT_TRUE(trace::write_chrome_trace(path));
+  const std::string body = slurp(path);
+  std::remove(path.c_str());
+
+  // Structural JSON checks: array form, balanced braces, escaped quotes,
+  // required chrome-trace keys, both rank rows present.
+  ASSERT_FALSE(body.empty());
+  EXPECT_EQ(body.front(), '[');
+  EXPECT_EQ(body[body.find_last_not_of("\n ")], ']');
+  long depth = 0;
+  bool in_str = false;
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    const char c = body[i];
+    if (in_str) {
+      if (c == '\\')
+        ++i;
+      else if (c == '"')
+        in_str = false;
+    } else if (c == '"') {
+      in_str = true;
+    } else if (c == '{') {
+      ++depth;
+    } else if (c == '}') {
+      --depth;
+      EXPECT_GE(depth, 0);
+    }
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_NE(body.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(body.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(body.find("\\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(body.find("\"bytes\":1234"), std::string::npos);
+  EXPECT_NE(body.find("\"tid\":0"), std::string::npos);
+  EXPECT_NE(body.find("\"tid\":1"), std::string::npos);
+}
+
+TEST(Trace, SummaryTableRenders) {
+  TraceSession session;
+  { trace::Span sp("unit.row", "test"); }
+  trace::counter_add("unit.metric", 7.0);
+  std::ostringstream os;
+  trace::write_summary(os);
+  const std::string body = os.str();
+  EXPECT_NE(body.find("unit.row"), std::string::npos);
+  EXPECT_NE(body.find("unit.metric"), std::string::npos);
+  EXPECT_NE(body.find("max rank"), std::string::npos);
+}
+
+TEST(Trace, ClearDropsEverything) {
+  TraceSession session;
+  { trace::Span sp("unit.gone", "test"); }
+  trace::clear();
+  EXPECT_TRUE(trace::summarize().kernels.empty());
+}
+
+TEST(Trace, ConcurrentRecordingIsSafe) {
+  TraceSession session;
+  std::atomic<int> go{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t)
+    threads.emplace_back([&go, t] {
+      trace::set_rank(t);
+      go.fetch_add(1);
+      while (go.load() < 4) {
+      }
+      for (int i = 0; i < 1000; ++i) {
+        trace::Span sp("unit.concurrent", "test");
+        trace::counter_add("unit.concurrent_count", 1.0);
+      }
+    });
+  for (auto& th : threads) th.join();
+  const auto s = trace::summarize();
+  const auto* k = s.find("unit.concurrent");
+  ASSERT_NE(k, nullptr);
+  EXPECT_EQ(k->total_calls(), 4000);
+  EXPECT_DOUBLE_EQ(s.find_counter("unit.concurrent_count")->total, 4000.0);
+}
+
+#else  // compiled-out build: the API must still link and stay silent
+
+TEST(Trace, CompiledOutIsInert) {
+  trace::set_enabled(true);
+  { trace::Span sp("unit.noop", "test"); }
+  trace::counter_add("unit.noop", 1.0);
+  EXPECT_FALSE(trace::enabled());
+  EXPECT_TRUE(trace::summarize().kernels.empty());
+  const std::string path = tmp_file("s3dpp_trace_disabled.json");
+  ASSERT_TRUE(trace::write_chrome_trace(path));
+  EXPECT_EQ(slurp(path), "[]\n");
+  std::remove(path.c_str());
+}
+
+#endif

@@ -1,0 +1,167 @@
+// vmpi semantics stress tests (the documented contract in vmpi.hpp):
+//   - messages between a (src, dst, tag) triple are non-overtaking, even
+//     under randomized send interleavings and randomized receive order;
+//   - allreduce returns the identical value on every rank;
+//   - an exception thrown by one rank is rethrown by vmpi::run and aborts
+//     peers blocked in waits/collectives.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+#include "vmpi/vmpi.hpp"
+
+namespace vmpi = s3d::vmpi;
+
+namespace {
+
+constexpr int kRanks = 8;
+constexpr int kTags = 3;
+
+struct PlannedMsg {
+  int src, dst, tag;
+  std::uint64_t seq;  ///< per-(src, dst, tag) sequence number, from 0
+};
+
+// Deterministic global plan every rank can reconstruct from the seed: a
+// shuffled multiset of messages with per-triple sequence numbers assigned
+// in (shuffled) plan order — the order each sender will post them.
+std::vector<PlannedMsg> make_plan(std::uint64_t seed, int n_msgs) {
+  s3d::Rng rng(seed);
+  std::vector<PlannedMsg> plan;
+  plan.reserve(n_msgs);
+  for (int m = 0; m < n_msgs; ++m) {
+    PlannedMsg pm;
+    pm.src = rng.uniform_int(0, kRanks - 1);
+    pm.dst = rng.uniform_int(0, kRanks - 1);
+    pm.tag = rng.uniform_int(0, kTags - 1);
+    pm.seq = 0;
+    plan.push_back(pm);
+  }
+  // Assign per-triple sequence numbers in plan order.
+  std::uint64_t counts[kRanks][kRanks][kTags] = {};
+  for (auto& pm : plan) pm.seq = counts[pm.src][pm.dst][pm.tag]++;
+  return plan;
+}
+
+}  // namespace
+
+TEST(VmpiSemantics, NonOvertakingPerTripleUnderRandomizedOrderings) {
+  for (std::uint64_t seed : {0x5eed1ull, 0x5eed2ull, 0x5eed3ull}) {
+    const auto plan = make_plan(seed, 400);
+    vmpi::run(kRanks, [&](vmpi::Comm& comm) {
+      const int me = comm.rank();
+
+      // Send my share in plan order (which interleaves destinations and
+      // tags arbitrarily), preserving per-triple posting order — exactly
+      // the ordering the non-overtaking guarantee is stated over.
+      for (const auto& pm : plan)
+        if (pm.src == me) {
+          const double payload = static_cast<double>(pm.seq);
+          comm.isend(pm.dst, pm.tag, {&payload, 1});
+        }
+
+      // Receive: collect my inbound (src, tag) streams, then drain them in
+      // a per-rank randomized round-robin so matching order is stressed.
+      struct Stream {
+        int src, tag;
+        std::uint64_t expect = 0, total = 0;
+      };
+      std::vector<Stream> streams;
+      for (const auto& pm : plan)
+        if (pm.dst == me) {
+          auto it = std::find_if(streams.begin(), streams.end(),
+                                 [&](const Stream& s) {
+                                   return s.src == pm.src && s.tag == pm.tag;
+                                 });
+          if (it == streams.end()) {
+            streams.push_back(Stream{pm.src, pm.tag, 0, 1});
+          } else {
+            ++it->total;
+          }
+        }
+      s3d::Rng rng(seed * 1000003u + static_cast<std::uint64_t>(me));
+      std::shuffle(streams.begin(), streams.end(), rng.engine());
+
+      std::uint64_t remaining = 0;
+      for (const auto& s : streams) remaining += s.total;
+      while (remaining > 0) {
+        const int pick = rng.uniform_int(0, static_cast<int>(streams.size()) - 1);
+        Stream& s = streams[pick];
+        if (s.expect == s.total) continue;  // stream drained
+        double payload = -1.0;
+        comm.recv(s.src, s.tag, {&payload, 1});
+        // Non-overtaking: the next message on this triple must carry the
+        // next sequence number.
+        ASSERT_EQ(static_cast<std::uint64_t>(payload), s.expect)
+            << "overtaking on (" << s.src << " -> " << me << ", tag "
+            << s.tag << ")";
+        ++s.expect;
+        --remaining;
+      }
+      comm.barrier();
+    });
+  }
+}
+
+TEST(VmpiSemantics, AllreduceAgreesOnAllRanks) {
+  std::vector<double> sums(kRanks), maxs(kRanks), mins(kRanks);
+  std::vector<std::vector<double>> vecs(kRanks);
+  vmpi::run(kRanks, [&](vmpi::Comm& comm) {
+    const int me = comm.rank();
+    s3d::Rng rng(0xa11eed + static_cast<std::uint64_t>(me));
+    const double mine = rng.uniform(-1e6, 1e6);
+    sums[me] = comm.allreduce_sum(mine);
+    maxs[me] = comm.allreduce_max(mine);
+    mins[me] = comm.allreduce_min(mine);
+    std::vector<double> v = {mine, -mine, 1.0};
+    comm.allreduce_sum(std::span<double>(v));
+    vecs[me] = v;
+  });
+  for (int r = 1; r < kRanks; ++r) {
+    // Bitwise agreement: every rank reduced the same slots in the same
+    // order.
+    EXPECT_EQ(sums[r], sums[0]) << "allreduce_sum diverged on rank " << r;
+    EXPECT_EQ(maxs[r], maxs[0]);
+    EXPECT_EQ(mins[r], mins[0]);
+    ASSERT_EQ(vecs[r].size(), 3u);
+    for (int i = 0; i < 3; ++i) EXPECT_EQ(vecs[r][i], vecs[0][i]);
+  }
+  EXPECT_DOUBLE_EQ(vecs[0][2], static_cast<double>(kRanks));
+  EXPECT_LE(mins[0], maxs[0]);
+}
+
+TEST(VmpiSemantics, ExceptionInOneRankIsRethrownAndUnblocksPeers) {
+  EXPECT_THROW(
+      vmpi::run(kRanks,
+                [&](vmpi::Comm& comm) {
+                  if (comm.rank() == 3) throw s3d::Error("rank 3 exploded");
+                  // Every other rank blocks on a receive that will never
+                  // be matched; the abort must wake them.
+                  double buf = 0.0;
+                  comm.recv((comm.rank() + 1) % kRanks, 99, {&buf, 1});
+                }),
+      s3d::Error);
+
+  // Peers blocked in a collective must be released too.
+  EXPECT_THROW(vmpi::run(kRanks,
+                         [&](vmpi::Comm& comm) {
+                           if (comm.rank() == 0)
+                             throw s3d::Error("rank 0 exploded");
+                           comm.barrier();
+                         }),
+               s3d::Error);
+
+  // And the runtime stays usable afterwards.
+  double total = 0.0;
+  vmpi::run(2, [&](vmpi::Comm& comm) {
+    const double s = comm.allreduce_sum(1.0);
+    if (comm.rank() == 0) total = s;
+  });
+  EXPECT_DOUBLE_EQ(total, 2.0);
+}
