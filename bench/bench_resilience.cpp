@@ -1,0 +1,141 @@
+// Resilience overhead sweep (DESIGN.md "Resilience"): checkpoint interval
+// vs injected failure rate for the run_resilient driver. For each cell we
+// run a small 2-D case to completion under seeded solver.step failures and
+// report attempts, recoveries, wall time, the overhead over the fault-free
+// run at the same interval, and MTTR (mean time to repair = overhead
+// amortised over the recoveries that incurred it). The sweep shows the
+// classic trade-off: frequent checkpoints cost steady-state I/O but bound
+// the work lost per failure.
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "bench_common.hpp"
+#include "chem/mechanisms.hpp"
+#include "resilience/fault.hpp"
+#include "solver/resilient.hpp"
+#include "solver/solver.hpp"
+
+namespace sv = s3d::solver;
+namespace chem = s3d::chem;
+namespace fault = s3d::fault;
+
+namespace {
+
+sv::Config bench_cfg() {
+  sv::Config cfg;
+  static auto mech =
+      std::make_shared<const chem::Mechanism>(chem::air_inert());
+  cfg.mech = mech;
+  cfg.x = {24, 0.01, true};
+  cfg.y = {12, 0.01, true};
+  cfg.z = {1, 1.0, false};
+  for (int a = 0; a < 3; ++a)
+    for (auto& f : cfg.faces[a]) f.kind = sv::BcKind::periodic;
+  cfg.transport = sv::TransportModel::power_law;
+  return cfg;
+}
+
+void quiescent_init(double, double, double, sv::InflowState& st, double& p) {
+  st.u = 2.0;
+  st.v = 0.5;
+  st.w = 0.0;
+  st.T = 300.0;
+  st.Y.fill(0.0);
+  st.Y[0] = 0.233;
+  st.Y[1] = 0.767;
+  p = 101325.0;
+}
+
+struct Cell {
+  double wall_ms = 0.0;
+  int attempts = 0;
+  int recoveries = 0;
+  bool ok = false;
+};
+
+Cell run_cell(const sv::Config& cfg, int nsteps, int interval, double p_fail,
+              const std::string& dir) {
+  namespace fs = std::filesystem;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  fault::set_seed(0x5eedU + interval * 131 +
+                  static_cast<unsigned>(p_fail * 1e4));
+  if (p_fail > 0.0)
+    fault::arm({.site = "solver.step",
+                .kind = fault::Kind::fail,
+                .nth = -1,
+                .probability = p_fail,
+                .max_fires = -1});
+
+  sv::ResilienceConfig rc;
+  rc.dir = dir;
+  rc.checkpoint_every = interval;
+  rc.keep_last = 2;
+  rc.max_attempts = 200;
+
+  sv::Solver s(cfg);
+  Cell cell;
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto rep = sv::run_resilient(s, quiescent_init, nsteps, rc);
+  const auto t1 = std::chrono::steady_clock::now();
+  fault::reset();
+  fs::remove_all(dir);
+
+  cell.wall_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  cell.attempts = rep.attempts;
+  cell.recoveries = rep.recoveries;
+  cell.ok = rep.succeeded;
+  return cell;
+}
+
+}  // namespace
+
+int main() {
+  using s3dpp_bench::banner;
+  using s3dpp_bench::full_mode;
+  using s3dpp_bench::out_dir;
+
+  banner("bench_resilience",
+         "checkpoint interval vs failure rate (run_resilient, MTTR)");
+#ifdef S3D_FAULTS_DISABLED
+  std::printf("fault injection compiled out (S3D_FAULTS_DISABLED); the\n"
+              "failure-rate axis degenerates to p=0.\n\n");
+#endif
+
+  const auto cfg = bench_cfg();
+  const int nsteps = full_mode() ? 120 : 40;
+  const int intervals[] = {2, 5, 10};
+  const double rates[] = {0.0, 0.01, 0.03};
+  const std::string dir = out_dir() + "/resilience_ckpt";
+
+  std::printf("nsteps=%d (grid 24x12, air_inert)\n\n", nsteps);
+  std::printf("%-10s %-8s %-9s %-11s %-10s %-10s %-9s\n", "interval",
+              "p_fail", "attempts", "recoveries", "wall_ms", "overhead",
+              "MTTR_ms");
+
+  for (int interval : intervals) {
+    const Cell clean = run_cell(cfg, nsteps, interval, 0.0, dir);
+    for (double p : rates) {
+      const Cell c =
+          p == 0.0 ? clean : run_cell(cfg, nsteps, interval, p, dir);
+      const double overhead = c.wall_ms - clean.wall_ms;
+      std::printf("%-10d %-8.2f %-9d %-11d %-10.1f %-10.1f ", interval, p,
+                  c.attempts, c.recoveries, c.wall_ms,
+                  p == 0.0 ? 0.0 : overhead);
+      if (!c.ok)
+        std::printf("budget exhausted\n");
+      else if (c.recoveries > 0)
+        std::printf("%-9.1f\n", overhead / c.recoveries);
+      else
+        std::printf("-\n");
+    }
+  }
+  std::printf("\nMTTR = (faulty wall - fault-free wall at the same "
+              "interval) / recoveries.\n");
+  return 0;
+}

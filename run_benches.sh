@@ -8,6 +8,10 @@ for b in build/bench/*; do
   [ -x "$b" ] && [ -f "$b" ] && "$b"
 done
 
+# bench_resilience sweeps checkpoint interval vs injected failure rate and
+# prints an MTTR table; it is part of the loop above (build/bench/*) and
+# needs no artifacts beyond its stdout table.
+
 # bench_trace leaves the instrumentation artifacts behind; surface them.
 if [ -f bench_output/trace_summary.txt ]; then
   echo ""

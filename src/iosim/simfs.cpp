@@ -1,8 +1,10 @@
 #include "iosim/simfs.hpp"
 
 #include <algorithm>
+#include <vector>
 
 #include "common/error.hpp"
+#include "resilience/fault.hpp"
 
 namespace s3d::iosim {
 
@@ -51,6 +53,39 @@ double SimFS::write(int fd, int client, std::size_t offset, std::size_t len,
                     double now, const std::uint8_t* data) {
   S3D_REQUIRE(fd >= 0 && fd < static_cast<int>(files_.size()), "bad fd");
   if (len == 0) return now;
+
+  // Transient faults ("iosim.write" site): failures retry with capped
+  // exponential backoff in virtual time; only an exhausted retry budget
+  // propagates. Drops discard the request; corruptions damage the stored
+  // payload (silent until a reader checksums it); delays burn clock.
+  std::vector<std::uint8_t> corrupted;
+  for (int attempt = 0;; ++attempt) {
+    const auto a = fault::probe("iosim.write");
+    if (!a) break;
+    if (a.kind == fault::Kind::fail) {
+      if (attempt >= p_.write_retries) fault::apply(a, "iosim.write");
+      const double backoff = std::min(
+          p_.retry_backoff * static_cast<double>(1L << attempt),
+          p_.retry_backoff_cap);
+      if (attempt == 0) ++stats_.n_retried_writes;
+      ++stats_.n_retries;
+      stats_.retry_delay_s += backoff;
+      now += backoff;
+      continue;
+    }
+    if (a.kind == fault::Kind::delay) {
+      now += a.delay_ms * 1e-3;
+    } else if (a.kind == fault::Kind::drop) {
+      ++stats_.n_dropped_writes;
+      return now;
+    } else if (a.kind == fault::Kind::corrupt && data) {
+      corrupted.assign(data, data + len);
+      fault::corrupt_bytes(a, corrupted.data(), corrupted.size());
+      data = corrupted.data();
+    }
+    break;
+  }
+
   File& f = files_[fd];
 
   const std::size_t ss = p_.stripe_size;
@@ -109,8 +144,14 @@ std::size_t SimFS::file_size(const std::string& name) const {
 const std::vector<std::uint8_t>& SimFS::file_data(
     const std::string& name) const {
   auto it = by_name_.find(name);
-  S3D_REQUIRE(it != by_name_.end(), "no such file: " + name);
-  S3D_REQUIRE(p_.store_data, "SimFS was not storing data");
+  S3D_REQUIRE(it != by_name_.end(),
+              "SimFS::file_data: no such file '" + name + "' on filesystem '" +
+                  p_.name + "' (" + std::to_string(files_.size()) +
+                  " files known)");
+  S3D_REQUIRE(p_.store_data,
+              "SimFS::file_data('" + name +
+                  "'): filesystem was created with store_data=false, so "
+                  "content was not retained");
   return files_[it->second].data;
 }
 

@@ -36,6 +36,15 @@ struct FsParams {
   double lock_revoke = 10e-3;     ///< stealing a held stripe lock [s]
   double mds_service = 2e-3;      ///< per open, serialized at the MDS [s]
   bool store_data = false;
+
+  /// Transient-write-failure handling (DESIGN.md "Resilience"): a write
+  /// that fails (the "iosim.write" fault site) is retried up to
+  /// `write_retries` times with exponential backoff in virtual time,
+  /// starting at `retry_backoff` and doubling up to `retry_backoff_cap`.
+  /// Only when the budget is exhausted does the failure propagate.
+  int write_retries = 3;
+  double retry_backoff = 5e-3;      ///< first-retry delay [s]
+  double retry_backoff_cap = 80e-3; ///< backoff ceiling [s]
 };
 
 /// Lustre-like profile (paper's Tungsten: 16 stripes, 512 kB).
@@ -51,6 +60,10 @@ struct FsStats {
   long n_opens = 0;
   long n_lock_conflicts = 0;  ///< stripe writes that waited on a lock
   long n_rmw = 0;             ///< partial-stripe read-modify-writes
+  long n_retried_writes = 0;  ///< writes that needed at least one retry
+  long n_retries = 0;         ///< total retry attempts across all writes
+  double retry_delay_s = 0.0; ///< virtual time spent in retry backoff
+  long n_dropped_writes = 0;  ///< writes discarded by an injected drop
 };
 
 class SimFS {

@@ -1,0 +1,191 @@
+#include "resilience/fault.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "common/hash.hpp"
+#include "common/random.hpp"
+#include "trace/trace.hpp"
+
+namespace s3d::fault {
+
+const char* kind_name(Kind k) {
+  switch (k) {
+    case Kind::none:
+      return "none";
+    case Kind::fail:
+      return "fail";
+    case Kind::corrupt:
+      return "corrupt";
+    case Kind::delay:
+      return "delay";
+    case Kind::drop:
+      return "drop";
+  }
+  return "?";
+}
+
+#ifndef S3D_FAULTS_DISABLED
+
+namespace {
+
+/// Per-plan, per-rank trigger state. The Rng stream is keyed on (seed,
+/// site, plan index, rank), so probability schedules are a pure function
+/// of the per-rank call sequence, never of thread interleaving.
+struct PlanState {
+  Plan plan;
+  std::map<int, Rng> rng;
+  std::map<int, long> fires;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::uint64_t seed = 0x5eedf417u;
+  std::vector<PlanState> plans;
+  std::map<std::pair<std::string, int>, long> calls;  ///< (site, rank) -> n
+  std::vector<Fired> log;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+// Fast-path gate: probes bail on one relaxed load while nothing is armed.
+std::atomic<int> g_armed{0};
+thread_local int tl_rank = 0;
+
+std::uint64_t mix(std::uint64_t seed, const std::string& site,
+                  std::uint64_t salt) {
+  Fnv1a64 h;
+  h.update_value(seed);
+  h.update(site.data(), site.size());
+  h.update_value(salt);
+  return h.digest();
+}
+
+}  // namespace
+
+void set_seed(std::uint64_t seed) {
+  auto& reg = registry();
+  std::lock_guard<std::mutex> lk(reg.mu);
+  reg.seed = seed;
+  reg.calls.clear();
+  reg.log.clear();
+  for (auto& p : reg.plans) {
+    p.rng.clear();
+    p.fires.clear();
+  }
+}
+
+void arm(Plan plan) {
+  auto& reg = registry();
+  std::lock_guard<std::mutex> lk(reg.mu);
+  reg.plans.push_back(PlanState{std::move(plan), {}, {}});
+  g_armed.store(static_cast<int>(reg.plans.size()),
+                std::memory_order_relaxed);
+}
+
+void reset() {
+  auto& reg = registry();
+  std::lock_guard<std::mutex> lk(reg.mu);
+  reg.plans.clear();
+  reg.calls.clear();
+  reg.log.clear();
+  g_armed.store(0, std::memory_order_relaxed);
+}
+
+bool armed() { return g_armed.load(std::memory_order_relaxed) > 0; }
+
+void set_rank(int rank) { tl_rank = rank; }
+int current_rank() { return tl_rank; }
+
+Action probe(const char* site) {
+  if (g_armed.load(std::memory_order_relaxed) == 0) return {};
+  auto& reg = registry();
+  std::lock_guard<std::mutex> lk(reg.mu);
+  const int rank = tl_rank;
+  const long call = reg.calls[{site, rank}]++;
+  for (std::size_t pi = 0; pi < reg.plans.size(); ++pi) {
+    PlanState& ps = reg.plans[pi];
+    const Plan& p = ps.plan;
+    if (p.site != site) continue;
+    if (p.rank >= 0 && p.rank != rank) continue;
+    bool fire = false;
+    if (p.nth >= 0) {
+      fire = call == p.nth;
+    } else if (p.probability > 0.0) {
+      auto it = ps.rng.find(rank);
+      if (it == ps.rng.end())
+        it = ps.rng.emplace(rank, Rng(mix(reg.seed, p.site, pi * 1000003ull +
+                                                              rank)))
+                 .first;
+      // One draw per probed call keeps the stream aligned with the call
+      // index even when max_fires has been exhausted.
+      fire = it->second.bernoulli(p.probability);
+    }
+    if (!fire) continue;
+    long& fired_n = ps.fires[rank];
+    if (p.max_fires >= 0 && fired_n >= p.max_fires) continue;
+    ++fired_n;
+    reg.log.push_back(Fired{p.site, rank, call, p.kind});
+    trace::counter_add("fault.fired", 1.0);
+    Action a;
+    a.kind = p.kind;
+    a.delay_ms = p.delay_ms;
+    a.rng = mix(reg.seed, p.site, 0x9e3779b97f4a7c15ull ^
+                                      (static_cast<std::uint64_t>(rank) << 32 |
+                                       static_cast<std::uint64_t>(call)));
+    return a;
+  }
+  return {};
+}
+
+void apply(const Action& a, const char* site) {
+  switch (a.kind) {
+    case Kind::fail: {
+      auto& reg = registry();
+      long call = 0;
+      {
+        std::lock_guard<std::mutex> lk(reg.mu);
+        call = reg.calls[{site, tl_rank}] - 1;
+      }
+      throw InjectedFault(site, tl_rank, call);
+    }
+    case Kind::delay:
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(a.delay_ms));
+      return;
+    default:
+      return;
+  }
+}
+
+bool corrupt_bytes(const Action& a, std::uint8_t* data, std::size_t len) {
+  if (a.kind != Kind::corrupt || data == nullptr || len == 0) return false;
+  data[a.rng % len] ^= 0x40;
+  return true;
+}
+
+std::vector<Fired> fired_log() {
+  auto& reg = registry();
+  std::lock_guard<std::mutex> lk(reg.mu);
+  return reg.log;
+}
+
+long fires_at(const std::string& site) {
+  auto& reg = registry();
+  std::lock_guard<std::mutex> lk(reg.mu);
+  long n = 0;
+  for (const auto& f : reg.log)
+    if (f.site == site) ++n;
+  return n;
+}
+
+#endif  // S3D_FAULTS_DISABLED
+
+}  // namespace s3d::fault

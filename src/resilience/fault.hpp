@@ -1,0 +1,146 @@
+#pragma once
+// Deterministic, seeded fault injection (DESIGN.md "Resilience").
+//
+// The paper's terascale campaigns survive on checkpoint/restart plus a
+// babysitting workflow (sections 5 and 9): components fail routinely and
+// the surrounding machinery recovers. To make that machinery *testable*,
+// this registry lets any run arm named fault sites with composable plans:
+//
+//   site          a stable name at a call site that may fail in production
+//                 ("vmpi.isend", "vmpi.collective", "solver.step",
+//                  "iosim.write", "checkpoint.write", "restart.read",
+//                  "workflow.fire");
+//   plan          when the site fires (the Nth call, or a seeded per-call
+//                 probability), for which rank, and how many times;
+//   kind          what happens: fail (throw InjectedFault), corrupt
+//                 (deterministically flip payload bytes), delay (sleep),
+//                 drop (discard the operation's effect).
+//
+// Everything is deterministic from set_seed(): per-(site, rank) call
+// counters drive Nth-call triggers, and probability draws come from an
+// Rng keyed on (seed, site, plan, rank), so the same seed and plan yield
+// the same fault schedule on every run regardless of thread interleaving.
+// Every fired fault is recorded in a log tests can compare.
+//
+// Overhead discipline mirrors src/trace: with no plans armed a probe is
+// one relaxed atomic load plus branch, and the S3D_FAULTS_DISABLED CMake
+// option compiles the whole subsystem down to inline no-ops.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace s3d::fault {
+
+enum class Kind : std::uint8_t { none, fail, corrupt, delay, drop };
+
+const char* kind_name(Kind k);
+
+/// Thrown by apply() for Kind::fail faults; a typed subclass so recovery
+/// drivers and tests can tell injected failures from organic ones.
+class InjectedFault : public Error {
+ public:
+  InjectedFault(const std::string& site, int rank, long call)
+      : Error("injected fault at site '" + site + "' (rank " +
+              std::to_string(rank) + ", call " + std::to_string(call) + ")"),
+        site_(site) {}
+  const std::string& site() const { return site_; }
+
+ private:
+  std::string site_;
+};
+
+/// One armed fault rule. Either `nth` (0-based call index per rank at the
+/// site) or `probability` (seeded per-call Bernoulli) selects the calls
+/// that fire; `rank` restricts the rule to one rank; `max_fires` caps the
+/// number of firings per rank.
+struct Plan {
+  std::string site;
+  Kind kind = Kind::fail;
+  long nth = -1;             ///< fire on this call index; -1 = use probability
+  double probability = 0.0;  ///< per-call fire probability when nth < 0
+  int rank = -1;             ///< -1 = all ranks
+  long max_fires = 1;        ///< per-rank firing cap; -1 = unlimited
+  double delay_ms = 1.0;     ///< Kind::delay sleep duration
+};
+
+/// One entry of the fired-fault log.
+struct Fired {
+  std::string site;
+  int rank = 0;
+  long call = 0;  ///< per-(site, rank) call index that fired
+  Kind kind = Kind::none;
+};
+
+/// What a probe tells the call site to do. `rng` is a deterministic word
+/// (a pure function of seed, site, rank and call index) that corrupt_bytes
+/// uses to place the corruption.
+struct Action {
+  Kind kind = Kind::none;
+  double delay_ms = 0.0;
+  std::uint64_t rng = 0;
+  explicit operator bool() const { return kind != Kind::none; }
+};
+
+#ifndef S3D_FAULTS_DISABLED
+
+/// Seed for every probability draw and corruption placement. Also clears
+/// counters and the fired log, so a test can replay a schedule exactly.
+void set_seed(std::uint64_t seed);
+
+/// Arm a plan. Plans are checked in arming order; the first match fires.
+void arm(Plan plan);
+
+/// Disarm all plans and clear counters + the fired log (seed kept).
+void reset();
+
+/// True when at least one plan is armed.
+bool armed();
+
+/// Label the calling thread as `rank` (vmpi::run does this; the main
+/// thread outside vmpi is rank 0).
+void set_rank(int rank);
+int current_rank();
+
+/// Consult the registry at a call site. Advances the (site, rank) call
+/// counter; returns the action to perform (Kind::none almost always).
+Action probe(const char* site);
+
+/// Perform the simple actions: throw InjectedFault for Kind::fail, sleep
+/// for Kind::delay. Kind::corrupt / Kind::drop are interpreted by the
+/// call site (they need access to the payload).
+void apply(const Action& a, const char* site);
+
+/// Deterministically flip one byte of `data` (xor 0x40 at an offset
+/// derived from a.rng). Returns true when a corruption was applied.
+bool corrupt_bytes(const Action& a, std::uint8_t* data, std::size_t len);
+
+/// Copy of the fired log (order: per-(site, rank) sequences are
+/// deterministic; interleaving across ranks is not — sort before diffing).
+std::vector<Fired> fired_log();
+
+/// Total firings recorded at a site (all ranks).
+long fires_at(const std::string& site);
+
+#else  // S3D_FAULTS_DISABLED: the whole subsystem compiles to nothing.
+
+inline void set_seed(std::uint64_t) {}
+inline void arm(const Plan&) {}
+inline void reset() {}
+inline bool armed() { return false; }
+inline void set_rank(int) {}
+inline int current_rank() { return 0; }
+inline Action probe(const char*) { return {}; }
+inline void apply(const Action&, const char*) {}
+inline bool corrupt_bytes(const Action&, std::uint8_t*, std::size_t) {
+  return false;
+}
+inline std::vector<Fired> fired_log() { return {}; }
+inline long fires_at(const std::string&) { return 0; }
+
+#endif  // S3D_FAULTS_DISABLED
+
+}  // namespace s3d::fault

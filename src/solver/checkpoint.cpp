@@ -2,18 +2,99 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <set>
+#include <sstream>
 
 #include "common/error.hpp"
 #include "common/hash.hpp"
+#include "resilience/fault.hpp"
 
 namespace s3d::solver {
 
 namespace {
 
+namespace stdfs = std::filesystem;
+
 constexpr std::uint64_t kRestartMagic = 0x53334452535452ull;  // "S3DRSTR"
 constexpr std::uint64_t kAnalysisMagic = 0x533344414e4cull;   // "S3DANL"
+
+/// Write `image` durably: stage to <path>.tmp, flush, then rename into
+/// place. A crash (or injected fault) mid-write never leaves a partial
+/// file at `path` — at worst a stale .tmp that the next write replaces.
+void atomic_write_file(const std::string& path, const std::string& image) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    S3D_REQUIRE(f.good(), "cannot open for writing: " + tmp);
+    f.write(image.data(), static_cast<std::streamsize>(image.size()));
+    f.flush();
+    S3D_REQUIRE(f.good(), "write failed: " + tmp);
+  }
+  std::error_code ec;
+  stdfs::rename(tmp, path, ec);
+  S3D_REQUIRE(!ec, "rename failed: " + tmp + " -> " + path + ": " +
+                       ec.message());
+}
+
+/// Bounds-checked cursor over an in-memory file image; every read that
+/// would run past the end throws a typed error naming the file.
+class ByteReader {
+ public:
+  ByteReader(const std::string& image, const std::string& path)
+      : data_(image), path_(path) {}
+
+  template <typename T>
+  T get() {
+    require(sizeof(T), "value");
+    T v{};
+    std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::string get_str() {
+    const auto n = get<std::uint32_t>();
+    require(n, "string");
+    std::string s = data_.substr(pos_, n);
+    pos_ += n;
+    return s;
+  }
+
+  std::vector<double> get_vec() {
+    const auto n = get<std::uint64_t>();
+    S3D_REQUIRE(n <= remaining() / sizeof(double),
+                "corrupt array length in " + path_);
+    std::vector<double> v(n);
+    std::memcpy(v.data(), data_.data() + pos_, n * sizeof(double));
+    pos_ += n * sizeof(double);
+    return v;
+  }
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  std::size_t pos() const { return pos_; }
+
+ private:
+  void require(std::size_t n, const char* what) {
+    S3D_REQUIRE(n <= remaining(),
+                std::string("truncated ") + what + " in " + path_);
+  }
+  const std::string& data_;
+  std::string path_;
+  std::size_t pos_ = 0;
+};
+
+std::string read_file_image(const std::string& path, const char* kind) {
+  std::ifstream f(path, std::ios::binary);
+  S3D_REQUIRE(f.good(), std::string("cannot open ") + kind + ": " + path +
+                            " (missing or unreadable)");
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return std::move(ss).str();
+}
 
 template <typename T>
 void put(std::ostream& os, const T& v) {
@@ -30,33 +111,17 @@ void put_str(std::ostream& os, const std::string& s) {
   put<std::uint32_t>(os, static_cast<std::uint32_t>(s.size()));
   os.write(s.data(), static_cast<std::streamsize>(s.size()));
 }
-std::string get_str(std::istream& is) {
-  const auto n = get<std::uint32_t>(is);
-  std::string s(n, '\0');
-  is.read(s.data(), n);
-  S3D_REQUIRE(is.good(), "truncated string");
-  return s;
-}
 void put_vec(std::ostream& os, const std::vector<double>& v) {
   put<std::uint64_t>(os, v.size());
   os.write(reinterpret_cast<const char*>(v.data()),
            static_cast<std::streamsize>(v.size() * sizeof(double)));
-}
-std::vector<double> get_vec(std::istream& is) {
-  const auto n = get<std::uint64_t>(is);
-  std::vector<double> v(n);
-  is.read(reinterpret_cast<char*>(v.data()),
-          static_cast<std::streamsize>(n * sizeof(double)));
-  S3D_REQUIRE(is.good(), "truncated array");
-  return v;
 }
 
 }  // namespace
 
 void write_restart(const std::string& path, const Solver& s) {
   const Layout& l = s.layout();
-  std::ofstream f(path, std::ios::binary);
-  S3D_REQUIRE(f.good(), "cannot open " + path);
+  std::ostringstream f(std::ios::binary);
   Fnv1a64 hash;
   put(f, kRestartMagic);
   put<std::int32_t>(f, l.nx);
@@ -71,9 +136,14 @@ void write_restart(const std::string& path, const Solver& s) {
   hash.update_value<std::int32_t>(s.state().nv());
   hash.update_value<double>(s.time());
   hash.update_value<std::int64_t>(s.steps_taken());
-  // Interior of each conserved variable, x fastest.
-  for (int v = 0; v < s.state().nv(); ++v) {
-    const double* var = s.state().var(v);
+  // Interior of each conserved variable, x fastest, followed by the
+  // primitive temperature field. T is genuine solver state, not a derived
+  // quantity: prim_from_conserved warm-starts its Newton solve from the
+  // previous T, so restarts replay bitwise only if T is restored too.
+  const double* T_field = s.rhs().prim().T.data();
+  for (int v = 0; v < s.state().nv() + 1; ++v) {
+    const double* var =
+        v < s.state().nv() ? s.state().var(v) : T_field;
     for (int k = 0; k < l.nz; ++k)
       for (int j = 0; j < l.ny; ++j) {
         const std::size_t row = l.at(0, j, k);
@@ -85,25 +155,41 @@ void write_restart(const std::string& path, const Solver& s) {
   // Trailing integrity checksum over header fields + payload; read_restart
   // refuses corrupted or truncated files instead of silently loading them.
   put<std::uint64_t>(f, hash.digest());
-  S3D_REQUIRE(f.good(), "write failed: " + path);
+
+  std::string image = std::move(f).str();
+  if (auto a = fault::probe("checkpoint.write")) {
+    fault::apply(a, "checkpoint.write");  // Kind::fail throws before any I/O
+    if (a.kind == fault::Kind::drop) return;
+    // Kind::corrupt lands a full-length but bit-damaged image on disk —
+    // exactly what read_restart's checksum and RestartSeries::read_latest
+    // must catch.
+    fault::corrupt_bytes(a, reinterpret_cast<std::uint8_t*>(image.data()),
+                         image.size());
+  }
+  atomic_write_file(path, image);
 }
 
 void read_restart(const std::string& path, Solver& s) {
   const Layout& l = s.layout();
-  std::ifstream f(path, std::ios::binary);
-  S3D_REQUIRE(f.good(), "cannot open " + path);
-  S3D_REQUIRE(get<std::uint64_t>(f) == kRestartMagic,
+  std::string image = read_file_image(path, "restart file");
+  if (auto a = fault::probe("restart.read")) {
+    fault::apply(a, "restart.read");  // Kind::fail models a read error
+    fault::corrupt_bytes(a, reinterpret_cast<std::uint8_t*>(image.data()),
+                         image.size());
+  }
+  ByteReader r(image, path);
+  S3D_REQUIRE(r.get<std::uint64_t>() == kRestartMagic,
               "not a restart file: " + path);
   Fnv1a64 hash;
-  const int nx = get<std::int32_t>(f);
-  const int ny = get<std::int32_t>(f);
-  const int nz = get<std::int32_t>(f);
-  const int nv = get<std::int32_t>(f);
+  const int nx = r.get<std::int32_t>();
+  const int ny = r.get<std::int32_t>();
+  const int nz = r.get<std::int32_t>();
+  const int nv = r.get<std::int32_t>();
   S3D_REQUIRE(nx == l.nx && ny == l.ny && nz == l.nz &&
                   nv == s.state().nv(),
               "restart grid/variable mismatch: " + path);
-  const double t = get<double>(f);
-  const auto steps = get<std::int64_t>(f);
+  const double t = r.get<double>();
+  const auto steps = r.get<std::int64_t>();
   hash.update_value<std::int32_t>(nx);
   hash.update_value<std::int32_t>(ny);
   hash.update_value<std::int32_t>(nz);
@@ -112,20 +198,34 @@ void read_restart(const std::string& path, Solver& s) {
   hash.update_value<std::int64_t>(steps);
   // Stage into scratch: the solver state is only touched once the
   // checksum has verified, so a corrupted file cannot half-load.
-  std::vector<std::vector<double>> staged(
-      static_cast<std::size_t>(nv),
-      std::vector<double>(static_cast<std::size_t>(nx) * ny * nz));
-  for (int v = 0; v < nv; ++v) {
-    f.read(reinterpret_cast<char*>(staged[v].data()),
-           static_cast<std::streamsize>(staged[v].size() * sizeof(double)));
-    S3D_REQUIRE(f.good(), "truncated restart: " + path);
-    hash.update(staged[v].data(), staged[v].size() * sizeof(double));
+  // nv conserved variables plus the temperature field (see write_restart).
+  const int nrec = nv + 1;
+  const std::size_t pts = static_cast<std::size_t>(nx) * ny * nz;
+  S3D_REQUIRE(r.remaining() >= static_cast<std::size_t>(nrec) * pts *
+                                       sizeof(double) +
+                                   sizeof(std::uint64_t),
+              "truncated restart: " + path);
+  std::vector<std::vector<double>> staged(static_cast<std::size_t>(nrec));
+  for (int v = 0; v < nrec; ++v) {
+    staged[v].resize(pts);
+    std::memcpy(staged[v].data(), image.data() + r.pos() +
+                                      static_cast<std::size_t>(v) * pts *
+                                          sizeof(double),
+                pts * sizeof(double));
+    hash.update(staged[v].data(), pts * sizeof(double));
   }
-  const auto stored = get<std::uint64_t>(f);
+  std::uint64_t stored = 0;
+  std::memcpy(&stored, image.data() + r.pos() +
+                           static_cast<std::size_t>(nrec) * pts *
+                               sizeof(double),
+              sizeof(stored));
   S3D_REQUIRE(stored == hash.digest(),
-              "restart checksum mismatch (corrupted file): " + path);
-  for (int v = 0; v < nv; ++v) {
-    double* var = s.state().var(v);
+              "restart checksum mismatch (corrupted file): " + path +
+                  ": stored=" + hex64(stored) +
+                  " computed=" + hex64(hash.digest()));
+  for (int v = 0; v < nrec; ++v) {
+    double* var =
+        v < nv ? s.state().var(v) : s.rhs().prim().T.data();
     const double* src = staged[v].data();
     for (int k = 0; k < nz; ++k)
       for (int j = 0; j < ny; ++j) {
@@ -139,11 +239,100 @@ void read_restart(const std::string& path, Solver& s) {
 
 double restart_time(const std::string& path) {
   std::ifstream f(path, std::ios::binary);
-  S3D_REQUIRE(f.good(), "cannot open " + path);
+  S3D_REQUIRE(f.good(),
+              "cannot open restart file: " + path + " (missing or unreadable)");
   S3D_REQUIRE(get<std::uint64_t>(f) == kRestartMagic,
               "not a restart file: " + path);
   for (int i = 0; i < 4; ++i) get<std::int32_t>(f);
   return get<double>(f);
+}
+
+RestartSeries::RestartSeries(std::string dir, std::string stem, int keep_last)
+    : dir_(std::move(dir)), stem_(std::move(stem)), keep_last_(keep_last) {
+  S3D_REQUIRE(keep_last_ >= 1, "RestartSeries: keep_last must be >= 1");
+}
+
+std::string RestartSeries::path(long gen) const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), ".g%06ld.rst", gen);
+  return dir_ + "/" + stem_ + buf;
+}
+
+std::string RestartSeries::manifest_path() const {
+  return dir_ + "/" + stem_ + ".manifest";
+}
+
+std::vector<long> RestartSeries::generations() const {
+  std::set<long, std::greater<long>> gens;
+  {
+    std::ifstream f(manifest_path());
+    std::string line;
+    while (std::getline(f, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      std::istringstream ss(line);
+      long g;
+      if (ss >> g) gens.insert(g);
+    }
+  }
+  // Directory scan as fallback: a lost manifest must not orphan good
+  // restart files.
+  std::error_code ec;
+  const std::string prefix = stem_ + ".g";
+  for (const auto& e : stdfs::directory_iterator(dir_, ec)) {
+    const std::string name = e.path().filename().string();
+    if (name.size() != prefix.size() + 10 || name.compare(0, prefix.size(), prefix) != 0 ||
+        name.compare(name.size() - 4, 4, ".rst") != 0)
+      continue;
+    const std::string digits = name.substr(prefix.size(), 6);
+    if (digits.find_first_not_of("0123456789") != std::string::npos) continue;
+    gens.insert(std::stol(digits));
+  }
+  return {gens.begin(), gens.end()};
+}
+
+void RestartSeries::write(const Solver& s, long gen) {
+  std::error_code ec;
+  stdfs::create_directories(dir_, ec);
+  write_restart(path(gen), s);
+  // Refresh the manifest (newest first) and prune beyond keep_last.
+  std::set<long, std::greater<long>> gens;
+  for (long g : generations()) gens.insert(g);
+  gens.insert(gen);
+  std::ostringstream m;
+  m << "# RestartSeries manifest for '" << stem_ << "' (newest first)\n";
+  int kept = 0;
+  std::vector<long> pruned;
+  for (long g : gens) {
+    if (kept < keep_last_) {
+      m << g << "\n";
+      ++kept;
+    } else {
+      pruned.push_back(g);
+    }
+  }
+  atomic_write_file(manifest_path(), m.str());
+  for (long g : pruned) stdfs::remove(path(g), ec);
+}
+
+bool RestartSeries::try_load(long gen, Solver& s, std::string* err) const {
+  try {
+    read_restart(path(gen), s);
+    return true;
+  } catch (const Error& e) {
+    if (err) *err = e.what();
+    return false;
+  }
+}
+
+long RestartSeries::read_latest(Solver& s,
+                                std::vector<std::string>* skipped) const {
+  for (long gen : generations()) {
+    std::string err;
+    if (try_load(gen, s, &err)) return gen;
+    if (skipped)
+      skipped->push_back("gen " + std::to_string(gen) + ": " + err);
+  }
+  return -1;
 }
 
 void AnalysisFile::add_profile(const std::string& name,
@@ -178,8 +367,7 @@ std::tuple<int, int, const std::vector<double>*> AnalysisFile::slice(
 }
 
 void AnalysisFile::write(const std::string& path) const {
-  std::ofstream f(path, std::ios::binary);
-  S3D_REQUIRE(f.good(), "cannot open " + path);
+  std::ostringstream f(std::ios::binary);
   put(f, kAnalysisMagic);
   put<std::uint32_t>(f, static_cast<std::uint32_t>(p_names_.size()));
   for (const auto& n : p_names_) {
@@ -195,28 +383,46 @@ void AnalysisFile::write(const std::string& path) const {
     put<std::int32_t>(f, ny);
     put_vec(f, data);
   }
-  S3D_REQUIRE(f.good(), "write failed: " + path);
+  // Trailing integrity checksum over the whole payload, restart-style:
+  // read() rejects bit flips instead of returning silently wrong plots.
+  std::string image = std::move(f).str();
+  Fnv1a64 hash;
+  hash.update(image.data(), image.size());
+  std::uint64_t digest = hash.digest();
+  image.append(reinterpret_cast<const char*>(&digest), sizeof(digest));
+  atomic_write_file(path, image);
 }
 
 AnalysisFile AnalysisFile::read(const std::string& path) {
-  std::ifstream f(path, std::ios::binary);
-  S3D_REQUIRE(f.good(), "cannot open " + path);
-  S3D_REQUIRE(get<std::uint64_t>(f) == kAnalysisMagic,
+  const std::string image = read_file_image(path, "analysis file");
+  S3D_REQUIRE(image.size() >= sizeof(std::uint64_t) * 2,
+              "truncated analysis file: " + path);
+  const std::size_t payload = image.size() - sizeof(std::uint64_t);
+  std::uint64_t stored = 0;
+  std::memcpy(&stored, image.data() + payload, sizeof(stored));
+  Fnv1a64 hash;
+  hash.update(image.data(), payload);
+  S3D_REQUIRE(stored == hash.digest(),
+              "analysis file checksum mismatch (corrupted file): " + path +
+                  ": stored=" + hex64(stored) +
+                  " computed=" + hex64(hash.digest()));
+  ByteReader r(image, path);
+  S3D_REQUIRE(r.get<std::uint64_t>() == kAnalysisMagic,
               "not an analysis file: " + path);
   AnalysisFile out;
-  const auto np = get<std::uint32_t>(f);
+  const auto np = r.get<std::uint32_t>();
   for (std::uint32_t i = 0; i < np; ++i) {
-    const std::string name = get_str(f);
-    auto x = get_vec(f);
-    auto y = get_vec(f);
+    const std::string name = r.get_str();
+    auto x = r.get_vec();
+    auto y = r.get_vec();
     out.add_profile(name, std::move(x), std::move(y));
   }
-  const auto ns = get<std::uint32_t>(f);
+  const auto ns = r.get<std::uint32_t>();
   for (std::uint32_t i = 0; i < ns; ++i) {
-    const std::string name = get_str(f);
-    const int nx = get<std::int32_t>(f);
-    const int ny = get<std::int32_t>(f);
-    out.add_slice(name, nx, ny, get_vec(f));
+    const std::string name = r.get_str();
+    const int nx = r.get<std::int32_t>();
+    const int ny = r.get<std::int32_t>();
+    out.add_slice(name, nx, ny, r.get_vec());
   }
   return out;
 }

@@ -19,15 +19,60 @@ namespace s3d::solver {
 
 /// Write the solver's conserved state (interior only) with grid/time
 /// metadata. Serial solvers only (a parallel run writes per-rank files via
-/// the I/O layer; see iosim for the shared-file strategies).
+/// the I/O layer; see iosim for the shared-file strategies). Durable:
+/// the image is staged to `<path>.tmp` and atomically renamed into place,
+/// so a crash mid-write never leaves a half-written restart at `path`.
 void write_restart(const std::string& path, const Solver& s);
 
 /// Restore a restart file into `s`; grid extents and variable count must
-/// match. Restores the simulation time; the state is bit-exact.
+/// match. Restores the simulation time; the state is bit-exact. The
+/// solver is only touched after the trailing checksum verifies, so a
+/// corrupted file cannot half-load.
 void read_restart(const std::string& path, Solver& s);
 
 /// Simulation time recorded in a restart file (cheap header peek).
 double restart_time(const std::string& path);
+
+/// Rotating, manifest-tracked series of restart generations
+/// (DESIGN.md "Resilience"): `dir/stem.g<NNNNNN>.rst` plus a
+/// `dir/stem.manifest` listing generations newest-first. Writes are
+/// atomic (write_restart's temp+rename), the manifest keeps the newest
+/// `keep_last` generations and prunes the rest, and recovery walks the
+/// manifest newest-first skipping any generation whose file fails header
+/// or checksum validation.
+class RestartSeries {
+ public:
+  RestartSeries(std::string dir, std::string stem, int keep_last = 3);
+
+  const std::string& dir() const { return dir_; }
+  const std::string& stem() const { return stem_; }
+  int keep_last() const { return keep_last_; }
+
+  std::string path(long gen) const;
+  std::string manifest_path() const;
+
+  /// Checkpoint the solver as generation `gen` (typically its step
+  /// count), update the manifest and prune old generations.
+  void write(const Solver& s, long gen);
+
+  /// Known generations, newest first (manifest union directory scan, so
+  /// a lost or corrupted manifest degrades to the scan).
+  std::vector<long> generations() const;
+
+  /// Validate-and-load one generation; false (with the reason in `err`)
+  /// when the file is missing, corrupt, or mismatched.
+  bool try_load(long gen, Solver& s, std::string* err = nullptr) const;
+
+  /// Load the newest generation that validates; returns its number, or
+  /// -1 when no valid generation exists. Skipped generations are
+  /// reported through `skipped` ("gen N: reason") when provided.
+  long read_latest(Solver& s, std::vector<std::string>* skipped = nullptr)
+      const;
+
+ private:
+  std::string dir_, stem_;
+  int keep_last_;
+};
 
 /// The "netcdf" analysis-file substitute: named 1-D profiles and 2-D
 /// slices in one self-describing binary container.

@@ -1,0 +1,145 @@
+#include "solver/resilient.hpp"
+
+#include <mutex>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace s3d::solver {
+
+std::vector<long> checkpoint_schedule(int nsteps, int checkpoint_every) {
+  std::vector<long> bounds;
+  if (checkpoint_every <= 0) {
+    if (nsteps > 0) bounds.push_back(nsteps);
+    return bounds;
+  }
+  for (long s = checkpoint_every; s < nsteps; s += checkpoint_every)
+    bounds.push_back(s);
+  if (nsteps > 0) bounds.push_back(nsteps);
+  return bounds;
+}
+
+namespace {
+
+// Advance `s` to `nsteps` along the checkpoint schedule. Chunk boundaries
+// are absolute step counts, so a solver restored at a boundary replays
+// the same chunking (and therefore the same dt re-estimation points) as
+// an uninterrupted run.
+void advance_chunked(Solver& s, const std::vector<long>& bounds,
+                     RestartSeries& series, vmpi::Comm* comm = nullptr) {
+  for (long target : bounds) {
+    if (target <= s.steps_taken()) continue;
+    s.run(static_cast<int>(target - s.steps_taken()));
+    series.write(s, s.steps_taken());
+    // A generation only counts once every rank's file is durable; the
+    // barrier makes that a run-wide event, so a failure in the next chunk
+    // can never observe a generation some rank had yet to write.
+    if (comm) comm->barrier();
+  }
+}
+
+std::string attempt_failed(int attempt, const char* what) {
+  return "attempt " + std::to_string(attempt) + " failed: " + what;
+}
+
+}  // namespace
+
+ResilienceReport run_resilient(Solver& s, const InitFn& init, int nsteps,
+                               const ResilienceConfig& rc) {
+  ResilienceReport rep;
+  RestartSeries series(rc.dir, rc.stem, rc.keep_last);
+  const auto bounds = checkpoint_schedule(nsteps, rc.checkpoint_every);
+  for (int attempt = 1; attempt <= rc.max_attempts; ++attempt) {
+    ++rep.attempts;
+    try {
+      std::vector<std::string> skipped;
+      const long gen = series.read_latest(s, &skipped);
+      for (const auto& sk : skipped)
+        rep.events.push_back("skipped " + sk);
+      if (gen < 0) {
+        s.initialize(init);
+        s.set_time(0.0, 0);
+        if (attempt > 1)
+          rep.events.push_back("no valid generation; restarted from t=0");
+      } else if (attempt > 1) {
+        rep.events.push_back("restored generation " + std::to_string(gen));
+      }
+      advance_chunked(s, bounds, series);
+      rep.succeeded = true;
+      rep.final_steps = s.steps_taken();
+      return rep;
+    } catch (const std::exception& e) {
+      rep.events.push_back(attempt_failed(attempt, e.what()));
+      trace::counter_add("resilience.failures", 1.0);
+      if (attempt < rc.max_attempts) ++rep.recoveries;
+    }
+  }
+  rep.events.push_back("attempt budget exhausted (" +
+                       std::to_string(rc.max_attempts) + ")");
+  return rep;
+}
+
+ResilienceReport run_resilient(const Config& cfg, const InitFn& init,
+                               int nsteps, const ResilienceConfig& rc,
+                               int px, int py, int pz,
+                               const FinalizeFn& finalize) {
+  ResilienceReport rep;
+  const auto bounds = checkpoint_schedule(nsteps, rc.checkpoint_every);
+  const int nranks = px * py * pz;
+  for (int attempt = 1; attempt <= rc.max_attempts; ++attempt) {
+    ++rep.attempts;
+    std::mutex ev_mu;
+    std::vector<std::string> events;
+    try {
+      vmpi::run(
+          nranks,
+          [&](vmpi::Comm& comm) {
+            Solver s(cfg, comm, px, py, pz);
+            RestartSeries series(
+                rc.dir, rc.stem + ".r" + std::to_string(comm.rank()),
+                rc.keep_last);
+            // Collective generation agreement: every rank walks the same
+            // schedule boundaries newest-first and votes; a generation is
+            // used only when it validates on all ranks, so one corrupted
+            // per-rank file rolls the whole decomposition back together.
+            long gen = -1;
+            for (auto it = bounds.rbegin(); it != bounds.rend(); ++it) {
+              std::string err;
+              const bool ok = series.try_load(*it, s, &err);
+              if (!ok && !err.empty() &&
+                  err.find("missing or unreadable") == std::string::npos) {
+                std::lock_guard<std::mutex> lk(ev_mu);
+                events.push_back("rank " + std::to_string(comm.rank()) +
+                                 " skipped gen " + std::to_string(*it) +
+                                 ": " + err);
+              }
+              if (comm.allreduce_min(ok ? 1.0 : 0.0) > 0.5) {
+                gen = *it;
+                break;
+              }
+            }
+            if (gen < 0) {
+              s.initialize(init);
+              s.set_time(0.0, 0);
+            }
+            advance_chunked(s, bounds, series, &comm);
+            if (finalize) finalize(s, comm);
+          },
+          rc.vmpi);
+      rep.events.insert(rep.events.end(), events.begin(), events.end());
+      rep.succeeded = true;
+      rep.final_steps = nsteps;
+      return rep;
+    } catch (const std::exception& e) {
+      rep.events.insert(rep.events.end(), events.begin(), events.end());
+      rep.events.push_back(attempt_failed(attempt, e.what()));
+      trace::counter_add("resilience.failures", 1.0);
+      if (attempt < rc.max_attempts) ++rep.recoveries;
+    }
+  }
+  rep.events.push_back("attempt budget exhausted (" +
+                       std::to_string(rc.max_attempts) + ")");
+  return rep;
+}
+
+}  // namespace s3d::solver

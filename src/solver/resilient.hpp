@@ -1,0 +1,73 @@
+#pragma once
+// Fault-tolerant run drivers (DESIGN.md "Resilience").
+//
+// The paper's multi-day campaigns survive because checkpoint/restart is
+// the recovery mechanism: when a component dies the job is resubmitted
+// from the newest restart files (sections 5 and 9). run_resilient() is
+// that loop as a library: advance in checkpoint-interval chunks writing
+// a rotating RestartSeries, and when a step, checkpoint, or peer rank
+// throws, restore the newest generation that validates on every rank and
+// retry under a bounded attempt budget.
+//
+// Determinism contract: chunks always start at checkpoint boundaries and
+// dt is re-estimated at each chunk start, so a recovered run replays the
+// exact dt schedule of an uninterrupted run — final fields are bitwise
+// identical to a fault-free run of the same driver (the golden
+// resilience test asserts this per variable).
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "solver/checkpoint.hpp"
+#include "solver/solver.hpp"
+#include "vmpi/vmpi.hpp"
+
+namespace s3d::solver {
+
+struct ResilienceConfig {
+  std::string dir;             ///< checkpoint directory
+  std::string stem = "restart";
+  int checkpoint_every = 5;    ///< steps between generations
+  int keep_last = 3;           ///< generations retained per rank
+  int max_attempts = 5;        ///< total attempt budget (1 = no retry)
+  vmpi::RunOptions vmpi;       ///< watchdog options for the parallel driver
+};
+
+struct ResilienceReport {
+  bool succeeded = false;
+  int attempts = 0;    ///< attempt bodies started (1 = fault-free)
+  int recoveries = 0;  ///< failures absorbed by restore-and-retry
+  long final_steps = 0;
+  std::vector<std::string> events;  ///< human-readable recovery log
+};
+
+/// Serial driver: bring `s` to `nsteps` total steps, checkpointing every
+/// `checkpoint_every` steps into rc.dir. On failure, restores the newest
+/// valid generation (or re-applies `init` when none survives) and
+/// retries. Never throws for absorbed faults; report.succeeded is false
+/// when the attempt budget is exhausted (the last error is in events).
+ResilienceReport run_resilient(Solver& s, const InitFn& init, int nsteps,
+                               const ResilienceConfig& rc);
+
+/// Per-rank hook run inside the successful attempt after `nsteps` is
+/// reached (collect checksums, write diagnostics, ...).
+using FinalizeFn = std::function<void(Solver&, vmpi::Comm&)>;
+
+/// Parallel driver: each attempt is a fresh vmpi::run over a
+/// (px, py, pz) decomposition; rank k checkpoints `stem.r<k>`. Recovery
+/// is collective — a generation counts only when every rank's file
+/// validates (allreduce vote walking the deterministic checkpoint
+/// schedule newest-first) — so a generation corrupted on one rank rolls
+/// every rank back together. RankFailure/DeadlockError from vmpi are
+/// absorbed like any other fault, up to the attempt budget.
+ResilienceReport run_resilient(const Config& cfg, const InitFn& init,
+                               int nsteps, const ResilienceConfig& rc,
+                               int px, int py, int pz,
+                               const FinalizeFn& finalize = {});
+
+/// The checkpoint-boundary schedule both drivers follow: step counts
+/// after each chunk of at most `checkpoint_every` steps, ascending.
+std::vector<long> checkpoint_schedule(int nsteps, int checkpoint_every);
+
+}  // namespace s3d::solver

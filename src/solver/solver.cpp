@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "resilience/fault.hpp"
 #include "trace/trace.hpp"
 
 namespace s3d::solver {
@@ -99,6 +100,7 @@ void Solver::initialize(const InitFn& init) {
 }
 
 void Solver::step(double dt) {
+  if (auto a = fault::probe("solver.step")) fault::apply(a, "solver.step");
   trace::Span sp_step("solver.step", "solver");
   auto k = k_.flat();
   auto u = U_.flat();

@@ -52,6 +52,7 @@ class Solver {
   const Layout& layout() const { return rhs_->layout(); }
   const grid::Mesh& mesh() const { return *mesh_; }
   RhsEvaluator& rhs() { return *rhs_; }
+  const RhsEvaluator& rhs() const { return *rhs_; }
   /// Global index offset of the local box.
   std::array<int, 3> offset() const { return offset_; }
 

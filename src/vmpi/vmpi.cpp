@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <exception>
+#include <optional>
 #include <thread>
 
 #include "common/error.hpp"
+#include "resilience/fault.hpp"
 #include "trace/trace.hpp"
 
 namespace s3d::vmpi {
@@ -30,7 +33,8 @@ struct Request::State {
 };
 
 struct Comm::Hub {
-  explicit Hub(int n) : nranks(n), boxes(n), slots(n, 0.0), vec_ptrs(n) {}
+  explicit Hub(int n)
+      : nranks(n), boxes(n), slots(n, 0.0), vec_ptrs(n), blocked_site(n) {}
 
   int nranks;
 
@@ -51,15 +55,118 @@ struct Comm::Hub {
   std::vector<double> slots;
   std::vector<std::span<double>> vec_ptrs;
 
+  // --- Progress watchdog state (DESIGN.md "Resilience") ---
+  // `progress` counts every communication event that can unblock a rank
+  // (message delivery, barrier completion). A blocked rank that times out
+  // declares deadlock only when every live rank is blocked AND progress
+  // has not advanced for a full watchdog interval; ordering matters: the
+  // blocked count is read before the progress counter, so any delivery by
+  // a rank observed as blocked is also observed as progress.
+  double watchdog_s = 0.0;
+  std::atomic<std::uint64_t> progress{0};
+  std::atomic<int> nblocked{0};
+  std::atomic<int> nfinished{0};
+  std::mutex site_mu;  ///< guards blocked_site + failure/deadlock reports
+  std::vector<std::string> blocked_site;
+
   std::atomic<bool> aborted{false};
+  std::atomic<bool> deadlocked{false};
+  int failed_rank = -1;                                 ///< guarded by site_mu
+  std::string failure_what;                             ///< guarded by site_mu
+  std::string deadlock_what;                            ///< guarded by site_mu
+  std::vector<DeadlockError::BlockedRank> deadlock_rk;  ///< guarded by site_mu
 
   void abort_all() {
     aborted.store(true);
-    for (auto& b : boxes) b.cv.notify_all();
-    bar_cv.notify_all();
+    for (auto& b : boxes) {
+      std::lock_guard<std::mutex> lk(b.mu);
+      b.cv.notify_all();
+    }
+    {
+      std::lock_guard<std::mutex> lk(bar_mu);
+      bar_cv.notify_all();
+    }
   }
-  void check_abort() const {
-    if (aborted.load()) throw Error("vmpi: a peer rank aborted");
+
+  void record_failure(int rank, const std::string& what) {
+    {
+      std::lock_guard<std::mutex> lk(site_mu);
+      if (failed_rank < 0) {
+        failed_rank = rank;
+        failure_what = what;
+      }
+    }
+    abort_all();
+  }
+
+  void check_abort() {
+    if (deadlocked.load()) {
+      std::lock_guard<std::mutex> lk(site_mu);
+      throw DeadlockError(deadlock_what, deadlock_rk);
+    }
+    if (aborted.load()) {
+      std::lock_guard<std::mutex> lk(site_mu);
+      throw RankFailure(failed_rank,
+                        failure_what.empty() ? "unknown" : failure_what);
+    }
+  }
+
+  /// Called by a blocked rank whose watchdog interval expired with no
+  /// progress while every live rank was blocked. Builds the per-rank
+  /// report and aborts the run. `held` is the caller's mailbox/barrier
+  /// lock: it must be released before abort_all re-acquires every lock.
+  [[noreturn]] void declare_deadlock(std::unique_lock<std::mutex>& held) {
+    std::vector<DeadlockError::BlockedRank> ranks;
+    std::string what = "vmpi: deadlock detected (no communication progress "
+                       "with all live ranks blocked):";
+    {
+      std::lock_guard<std::mutex> lk(site_mu);
+      for (int r = 0; r < nranks; ++r) {
+        std::string site = blocked_site[r];
+        if (site.empty()) site = "running";
+        what += " rank " + std::to_string(r) + ": " + site + ";";
+        ranks.push_back({r, std::move(site)});
+      }
+      deadlock_what = what;
+      deadlock_rk = ranks;
+    }
+    trace::counter_add("vmpi.deadlock", 1.0);
+    deadlocked.store(true);
+    held.unlock();
+    abort_all();
+    throw DeadlockError(what, std::move(ranks));
+  }
+
+  /// RAII registration of a rank as blocked at `site`.
+  class BlockedGuard {
+   public:
+    BlockedGuard(Hub& h, int rank, std::string site) : h_(h), rank_(rank) {
+      {
+        std::lock_guard<std::mutex> lk(h_.site_mu);
+        h_.blocked_site[rank_] = std::move(site);
+      }
+      h_.nblocked.fetch_add(1);
+    }
+    ~BlockedGuard() {
+      h_.nblocked.fetch_sub(1);
+      std::lock_guard<std::mutex> lk(h_.site_mu);
+      h_.blocked_site[rank_].clear();
+    }
+
+   private:
+    Hub& h_;
+    int rank_;
+  };
+
+  /// One watchdog bookkeeping step after a timed-out wait: declares
+  /// deadlock when warranted, otherwise refreshes `last_progress`.
+  void watchdog_tick(std::unique_lock<std::mutex>& held,
+                     std::uint64_t& last_progress) {
+    const int live = nranks - nfinished.load();
+    const int blocked = nblocked.load();
+    const std::uint64_t p = progress.load();
+    if (blocked >= live && p == last_progress) declare_deadlock(held);
+    last_progress = p;
   }
 };
 
@@ -71,17 +178,25 @@ int Comm::size() const { return hub_->nranks; }
 Request Comm::isend_bytes(int dest, int tag,
                           std::span<const std::uint8_t> data) {
   S3D_REQUIRE(dest >= 0 && dest < size(), "isend: bad destination rank");
-  auto& box = hub_->boxes[dest];
-  {
-    std::lock_guard<std::mutex> lk(box.mu);
-    box.msgs.push_back(
-        Message{rank_, tag, std::vector<std::uint8_t>(data.begin(), data.end())});
-  }
-  box.cv.notify_all();
   Request r;
   r.state_ = std::make_shared<Request::State>();
   r.state_->done = true;
   r.state_->len = data.size();
+
+  std::vector<std::uint8_t> payload(data.begin(), data.end());
+  if (auto a = fault::probe("vmpi.isend")) {
+    fault::apply(a, "vmpi.isend");  // Kind::fail throws, Kind::delay sleeps
+    if (a.kind == fault::Kind::drop) return r;  // message lost in transit
+    fault::corrupt_bytes(a, payload.data(), payload.size());
+  }
+
+  auto& box = hub_->boxes[dest];
+  {
+    std::lock_guard<std::mutex> lk(box.mu);
+    box.msgs.push_back(Message{rank_, tag, std::move(payload)});
+    hub_->progress.fetch_add(1);
+  }
+  box.cv.notify_all();
   return r;
 }
 
@@ -129,6 +244,8 @@ void Comm::wait(Request& req, std::size_t* received_len) {
   S3D_ASSERT(s.is_recv);
   auto& box = hub_->boxes[rank_];
   std::unique_lock<std::mutex> lk(box.mu);
+  std::optional<Hub::BlockedGuard> guard;
+  std::uint64_t last_progress = hub_->progress.load();
   for (;;) {
     hub_->check_abort();
     auto it = std::find_if(box.msgs.begin(), box.msgs.end(),
@@ -145,7 +262,19 @@ void Comm::wait(Request& req, std::size_t* received_len) {
       if (received_len) *received_len = s.len;
       return;
     }
-    box.cv.wait(lk);
+    // About to block: register the site for the watchdog's report. Only
+    // after a failed scan, so the found-immediately fast path stays free.
+    if (!guard)
+      guard.emplace(*hub_, rank_,
+                    "irecv(src=" + std::to_string(s.peer) +
+                        ", tag=" + std::to_string(s.tag) + ")");
+    if (hub_->watchdog_s <= 0.0) {
+      box.cv.wait(lk);
+    } else if (box.cv.wait_for(lk, std::chrono::duration<double>(
+                                       hub_->watchdog_s)) ==
+               std::cv_status::timeout) {
+      hub_->watchdog_tick(lk, last_progress);
+    }
   }
 }
 
@@ -154,18 +283,32 @@ void Comm::waitall(std::span<Request> reqs) {
 }
 
 void Comm::barrier() {
+  if (auto a = fault::probe("vmpi.collective"))
+    fault::apply(a, "vmpi.collective");
   std::unique_lock<std::mutex> lk(hub_->bar_mu);
   hub_->check_abort();
   const std::uint64_t gen = hub_->bar_gen;
   if (++hub_->bar_count == hub_->nranks) {
     hub_->bar_count = 0;
     ++hub_->bar_gen;
+    hub_->progress.fetch_add(1);
     hub_->bar_cv.notify_all();
     return;
   }
-  hub_->bar_cv.wait(lk, [&] {
-    return hub_->bar_gen != gen || hub_->aborted.load();
-  });
+  Hub::BlockedGuard guard(*hub_, rank_, "barrier");
+  std::uint64_t last_progress = hub_->progress.load();
+  for (;;) {
+    if (hub_->bar_gen != gen || hub_->aborted.load() ||
+        hub_->deadlocked.load())
+      break;
+    if (hub_->watchdog_s <= 0.0) {
+      hub_->bar_cv.wait(lk);
+    } else if (hub_->bar_cv.wait_for(lk, std::chrono::duration<double>(
+                                             hub_->watchdog_s)) ==
+               std::cv_status::timeout) {
+      hub_->watchdog_tick(lk, last_progress);
+    }
+  }
   hub_->check_abort();
 }
 
@@ -210,24 +353,36 @@ void Comm::allreduce_sum(std::span<double> v) {
   barrier();
 }
 
-void run(int nranks, const std::function<void(Comm&)>& fn) {
+void run(int nranks, const std::function<void(Comm&)>& fn,
+         const RunOptions& opts) {
   S3D_REQUIRE(nranks >= 1, "need at least one rank");
   auto hub = std::make_shared<Comm::Hub>(nranks);
+  hub->watchdog_s = opts.watchdog_s;
   std::vector<std::thread> threads;
   std::mutex err_mu;
   std::exception_ptr first_error;
 
   auto body = [&](int rank) {
     trace::set_rank(rank);  // label this thread's trace events
+    fault::set_rank(rank);  // and its fault-injection schedule
     try {
       Comm comm(rank, hub);
       fn(comm);
+      hub->nfinished.fetch_add(1);
     } catch (...) {
+      hub->nfinished.fetch_add(1);
+      std::string what = "unknown exception";
+      try {
+        throw;
+      } catch (const std::exception& e) {
+        what = e.what();
+      } catch (...) {
+      }
       {
         std::lock_guard<std::mutex> lk(err_mu);
         if (!first_error) first_error = std::current_exception();
       }
-      hub->abort_all();
+      hub->record_failure(rank, what);
     }
   };
 
@@ -235,7 +390,14 @@ void run(int nranks, const std::function<void(Comm&)>& fn) {
   for (int r = 1; r < nranks; ++r) threads.emplace_back(body, r);
   body(0);
   for (auto& t : threads) t.join();
+  // The launching thread keeps rank 0's labels outside run(); restore the
+  // fault rank so serial code after a parallel section probes as rank 0.
+  fault::set_rank(0);
   if (first_error) std::rethrow_exception(first_error);
+}
+
+void run(int nranks, const std::function<void(Comm&)>& fn) {
+  run(nranks, fn, RunOptions{});
 }
 
 Cart::Cart(Comm& comm, int px, int py, int pz, std::array<bool, 3> periodic) {

@@ -20,11 +20,57 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <string>
 #include <vector>
+
+#include "common/error.hpp"
 
 namespace s3d::vmpi {
 
 class Comm;
+
+/// Thrown on every rank when the progress watchdog finds all live ranks
+/// blocked with no message or collective progress for a full watchdog
+/// interval: the run is deadlocked and would otherwise hang forever.
+/// Carries the per-rank blocked-site report ("irecv(src=2, tag=7)",
+/// "barrier", ...) so the stuck communication pattern is visible.
+class DeadlockError : public Error {
+ public:
+  struct BlockedRank {
+    int rank = 0;
+    std::string site;  ///< blocked site, or "running"/"finished"
+  };
+
+  DeadlockError(const std::string& what, std::vector<BlockedRank> ranks)
+      : Error(what), ranks_(std::move(ranks)) {}
+  const std::vector<BlockedRank>& blocked() const { return ranks_; }
+
+ private:
+  std::vector<BlockedRank> ranks_;
+};
+
+/// Thrown on surviving ranks when a peer rank's body exits with an
+/// exception: peers are cleanly unblocked out of waits and collectives
+/// instead of stranding. run() still rethrows the *original* failure.
+class RankFailure : public Error {
+ public:
+  RankFailure(int rank, const std::string& why)
+      : Error("vmpi: rank " + std::to_string(rank) + " failed: " + why),
+        rank_(rank) {}
+  int failed_rank() const { return rank_; }
+
+ private:
+  int rank_ = -1;
+};
+
+/// Options for run().
+struct RunOptions {
+  /// Progress watchdog: when every live rank has been blocked (point-to-
+  /// point wait or collective) with zero communication progress for this
+  /// many seconds, the run throws DeadlockError instead of hanging.
+  /// 0 disables the watchdog.
+  double watchdog_s = 30.0;
+};
 
 /// Handle for a pending non-blocking operation.
 class Request {
@@ -39,8 +85,12 @@ class Request {
 };
 
 /// Launch `nranks` ranks, each executing fn(comm). Returns when every rank
-/// has finished. The first exception thrown by any rank is rethrown here.
+/// has finished. The first exception thrown by any rank is rethrown here;
+/// the other ranks are unblocked with RankFailure (or DeadlockError when
+/// the watchdog fired).
 void run(int nranks, const std::function<void(Comm&)>& fn);
+void run(int nranks, const std::function<void(Comm&)>& fn,
+         const RunOptions& opts);
 
 /// Per-rank communicator handle. Valid only inside run()'s callback.
 class Comm {
@@ -77,7 +127,8 @@ class Comm {
   void allreduce_sum(std::span<double> v);
 
  private:
-  friend void run(int, const std::function<void(Comm&)>&);
+  friend void run(int, const std::function<void(Comm&)>&,
+                  const RunOptions&);
   struct Hub;
   Comm(int rank, std::shared_ptr<Hub> hub);
   int rank_ = 0;

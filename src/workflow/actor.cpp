@@ -1,6 +1,7 @@
 #include "workflow/actor.hpp"
 
 #include "common/error.hpp"
+#include "resilience/fault.hpp"
 #include "trace/trace.hpp"
 
 namespace s3d::workflow {
@@ -25,6 +26,30 @@ void Actor::emit(Token t, const std::string& port) {
   out(port).push(std::move(t));
 }
 
+int Workflow::fire_guarded(Actor& a) {
+  for (int attempt = 0;; ++attempt) {
+    try {
+      if (auto act = fault::probe("workflow.fire"))
+        fault::apply(act, "workflow.fire");
+      return a.fire() ? 1 : 0;
+    } catch (const std::exception& e) {
+      ++stats_.fire_errors;
+      if (attempt < fire_retries) {
+        ++stats_.retries;
+        continue;
+      }
+      Token dead;
+      dead["actor"] = a.name();
+      dead["error"] = e.what();
+      dead["workflow"] = name_;
+      a.out("error").push(std::move(dead));
+      ++stats_.dead_letters;
+      trace::counter_add("workflow.dead_letter", 1.0);
+      return -1;
+    }
+  }
+}
+
 long Workflow::run_until_idle(int max_sweeps) {
   long fired = 0;
   for (int sweep = 0; sweep < max_sweeps; ++sweep) {
@@ -36,12 +61,15 @@ long Workflow::run_until_idle(int max_sweeps) {
           trace::enabled() ? trace::intern("wf." + a->name()) : nullptr;
       for (;;) {
         trace::Span sp(span_name, "workflow");
-        if (!a->fire()) {
+        const int r = fire_guarded(*a);
+        if (r == 0) {
           sp.cancel();
           break;
         }
-        ++fired;
         progressed = true;
+        if (r < 0) break;  // dead-lettered: move on, don't hammer the actor
+        ++fired;
+        ++stats_.fired;
       }
     }
     if (!progressed) break;

@@ -92,6 +92,15 @@ class Actor {
 /// Sequential process-network director: round-robin fires actors until no
 /// actor makes progress (one "sweep" of the workflow), Kepler-style but
 /// deterministic. Actors owned elsewhere; the workflow holds raw pointers.
+///
+/// Firings are fault-guarded (DESIGN.md "Resilience"): an exception from
+/// fire() (organic, or injected at the "workflow.fire" site) is retried up
+/// to `fire_retries` times; when the budget is exhausted a dead-letter
+/// token carrying {actor, error, workflow} is routed to the actor's
+/// "error" port and the sweep continues — one failing actor no longer
+/// takes the whole workflow down. The engine retries the *firing*, not a
+/// specific token: an actor that consumed input before throwing sees its
+/// next token on retry.
 class Workflow {
  public:
   explicit Workflow(std::string name) : name_(std::move(name)) {}
@@ -100,12 +109,29 @@ class Workflow {
   void add(Actor* a) { actors_.push_back(a); }
 
   /// Fire actors round-robin until quiescent; returns the number of
-  /// firings that did work.
+  /// firings that did work (dead-letter firings are counted separately in
+  /// stats()).
   long run_until_idle(int max_sweeps = 1000);
 
+  /// Fire-failure accounting for the last / cumulative runs.
+  struct Stats {
+    long fired = 0;         ///< successful firings that did work
+    long fire_errors = 0;   ///< exceptions caught from fire()
+    long retries = 0;       ///< firing retries attempted
+    long dead_letters = 0;  ///< tokens routed to an "error" port
+  };
+  const Stats& stats() const { return stats_; }
+
+  /// Firing retry budget before an error dead-letters (0 = no retry).
+  int fire_retries = 2;
+
  private:
+  /// 1 = did work, 0 = idle, -1 = dead-lettered.
+  int fire_guarded(Actor& a);
+
   std::string name_;
   std::vector<Actor*> actors_;
+  Stats stats_;
 };
 
 }  // namespace s3d::workflow

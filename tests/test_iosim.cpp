@@ -4,9 +4,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <set>
+#include <string>
+#include <vector>
 
+#include "common/error.hpp"
 #include "iosim/simfs.hpp"
+#include "resilience/fault.hpp"
 #include "iosim/workload.hpp"
 #include "iosim/writers.hpp"
 
@@ -236,3 +241,109 @@ TEST(Writers, TimesArePositiveAndFinite) {
     EXPECT_GT(r.bandwidth(), 0.0);
   }
 }
+
+// --- Resilience: descriptive errors and transient-write retry ---
+
+TEST(SimFS, FileDataErrorsAreDescriptive) {
+  io::SimFS fs(tiny_fs(true));
+  try {
+    fs.file_data("ghost.bin");
+    FAIL() << "missing file returned data";
+  } catch (const s3d::Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("ghost.bin"), std::string::npos) << what;
+    EXPECT_NE(what.find("tiny"), std::string::npos)
+        << "filesystem name missing from: " << what;
+  }
+
+  io::SimFS fs2(tiny_fs(false));
+  double done = 0.0;
+  const int fd = fs2.open("a.bin", 0.0, &done);
+  fs2.write(fd, 0, 0, 8, done);
+  try {
+    fs2.file_data("a.bin");
+    FAIL() << "store_data=false returned data";
+  } catch (const s3d::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("store_data"), std::string::npos)
+        << e.what();
+  }
+}
+
+#ifndef S3D_FAULTS_DISABLED
+
+namespace {
+struct FaultSession {
+  FaultSession() { s3d::fault::set_seed(99); }
+  ~FaultSession() { s3d::fault::reset(); }
+};
+}  // namespace
+
+TEST(SimFS, TransientWriteFaultsRetryWithBackoff) {
+  FaultSession fsess;
+  // Two consecutive transient failures on the first write call, then
+  // clean: the write must succeed after two backoff delays.
+  s3d::fault::arm({.site = "iosim.write", .kind = s3d::fault::Kind::fail,
+                   .nth = 0});
+  s3d::fault::arm({.site = "iosim.write", .kind = s3d::fault::Kind::fail,
+                   .nth = 1});
+  auto p = tiny_fs(false);
+  io::SimFS fs(p);
+  double done = 0.0;
+  const int fd = fs.open("ck.bin", 0.0, &done);
+  const double t = fs.write(fd, 0, 0, 1024, done);
+  EXPECT_EQ(fs.stats().n_retried_writes, 1);
+  EXPECT_EQ(fs.stats().n_retries, 2);
+  // Exponential: retry_backoff + 2*retry_backoff.
+  EXPECT_NEAR(fs.stats().retry_delay_s, 3 * p.retry_backoff, 1e-12);
+  EXPECT_GE(t, done + 3 * p.retry_backoff);
+  EXPECT_EQ(fs.file_size("ck.bin"), 1024u);
+}
+
+TEST(SimFS, PersistentWriteFaultExhaustsRetryBudget) {
+  FaultSession fsess;
+  s3d::fault::arm({.site = "iosim.write", .kind = s3d::fault::Kind::fail,
+                   .nth = -1, .probability = 1.0, .max_fires = -1});
+  auto p = tiny_fs(false);
+  p.write_retries = 2;
+  io::SimFS fs(p);
+  double done = 0.0;
+  const int fd = fs.open("ck.bin", 0.0, &done);
+  EXPECT_THROW(fs.write(fd, 0, 0, 64, done), s3d::fault::InjectedFault);
+  EXPECT_EQ(fs.stats().n_retries, 2);
+  EXPECT_EQ(fs.stats().n_writes, 0) << "failed write was accounted";
+}
+
+TEST(SimFS, DroppedWritesAreCountedNotStored) {
+  FaultSession fsess;
+  s3d::fault::arm({.site = "iosim.write", .kind = s3d::fault::Kind::drop,
+                   .nth = 0});
+  io::SimFS fs(tiny_fs(true));
+  double done = 0.0;
+  const int fd = fs.open("d.bin", 0.0, &done);
+  const std::vector<std::uint8_t> payload(64, 0x5a);
+  fs.write(fd, 0, 0, payload.size(), done, payload.data());
+  EXPECT_EQ(fs.stats().n_dropped_writes, 1);
+  EXPECT_EQ(fs.file_size("d.bin"), 0u) << "dropped write landed";
+  // The next write goes through.
+  fs.write(fd, 0, 0, payload.size(), done, payload.data());
+  EXPECT_EQ(fs.file_size("d.bin"), payload.size());
+}
+
+TEST(SimFS, CorruptedWriteDamagesExactlyOneStoredByte) {
+  FaultSession fsess;
+  s3d::fault::arm({.site = "iosim.write", .kind = s3d::fault::Kind::corrupt,
+                   .nth = 0});
+  io::SimFS fs(tiny_fs(true));
+  double done = 0.0;
+  const int fd = fs.open("c.bin", 0.0, &done);
+  const std::vector<std::uint8_t> payload(128, 0x11);
+  fs.write(fd, 0, 0, payload.size(), done, payload.data());
+  const auto& stored = fs.file_data("c.bin");
+  ASSERT_EQ(stored.size(), payload.size());
+  int ndiff = 0;
+  for (std::size_t i = 0; i < payload.size(); ++i)
+    if (stored[i] != payload[i]) ++ndiff;
+  EXPECT_EQ(ndiff, 1) << "silent corruption should flip exactly one byte";
+}
+
+#endif  // S3D_FAULTS_DISABLED

@@ -7,6 +7,8 @@
 #include <filesystem>
 #include <fstream>
 
+#include "common/error.hpp"
+#include "resilience/fault.hpp"
 #include "workflow/actors.hpp"
 #include "workflow/s3d_pipeline.hpp"
 
@@ -270,3 +272,108 @@ TEST_F(WorkflowTest, WorkflowRestartSkipsArchivedTransfers) {
     EXPECT_EQ(mon.archiver().skipped(), 1);
   }
 }
+
+// --- Engine-level firing faults: retry then dead-letter ---
+
+namespace {
+
+// Throws from fire() `fails` times before working normally.
+struct FlakyActor : wf::Actor {
+  int fails_left;
+  int processed = 0;
+  explicit FlakyActor(int fails) : Actor("flaky"), fails_left(fails) {}
+  bool fire() override {
+    if (!has_input()) return false;
+    if (fails_left > 0) {
+      --fails_left;
+      throw s3d::Error("flaky actor exploded");
+    }
+    take();
+    ++processed;
+    return true;
+  }
+};
+
+struct SinkActor : wf::Actor {
+  std::vector<wf::Token> got;
+  SinkActor() : Actor("sink") {}
+  bool fire() override {
+    if (!has_input()) return false;
+    got.push_back(take());
+    return true;
+  }
+};
+
+}  // namespace
+
+TEST(WorkflowEngine, TransientFiringFailuresAreRetried) {
+  FlakyActor flaky(2);
+  flaky.in("in").push(wf::Token("x"));
+  wf::Workflow w("retry");
+  w.fire_retries = 2;
+  w.add(&flaky);
+  const long fired = w.run_until_idle();
+  EXPECT_EQ(flaky.processed, 1);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(w.stats().fire_errors, 2);
+  EXPECT_EQ(w.stats().retries, 2);
+  EXPECT_EQ(w.stats().dead_letters, 0);
+}
+
+TEST(WorkflowEngine, ExhaustedRetriesRouteDeadLetterDownstream) {
+  FlakyActor flaky(3);  // one full attempt cycle (1 + 2 retries) fails
+  SinkActor sink;
+  flaky.connect("error", sink);
+  flaky.in("in").push(wf::Token("x"));
+  wf::Workflow w("deadletter");
+  w.fire_retries = 2;
+  w.add(&flaky);
+  w.add(&sink);
+  w.run_until_idle();
+
+  // The poisoned firing dead-lettered; the token itself was processed on
+  // the next sweep once the actor recovered.
+  EXPECT_EQ(w.stats().dead_letters, 1);
+  EXPECT_EQ(w.stats().fire_errors, 3);
+  EXPECT_EQ(flaky.processed, 1);
+  ASSERT_EQ(sink.got.size(), 1u);
+  EXPECT_EQ(sink.got[0].get("actor"), "flaky");
+  EXPECT_EQ(sink.got[0].get("workflow"), "deadletter");
+  EXPECT_NE(sink.got[0].get("error").find("exploded"), std::string::npos);
+}
+
+TEST(WorkflowEngine, PersistentFailureIsBoundedByDeadLetters) {
+  // An actor that never recovers must not wedge run_until_idle: each
+  // sweep dead-letters once and the sweep budget bounds the loop.
+  FlakyActor flaky(1 << 28);
+  flaky.in("in").push(wf::Token("x"));
+  wf::Workflow w("poison");
+  w.fire_retries = 1;
+  w.add(&flaky);
+  w.run_until_idle(/*max_sweeps=*/5);
+  EXPECT_EQ(flaky.processed, 0);
+  EXPECT_EQ(w.stats().dead_letters, 5);
+  EXPECT_EQ(flaky.out("error").size(), 5u);
+}
+
+#ifndef S3D_FAULTS_DISABLED
+
+TEST(WorkflowEngine, InjectedFireFaultIsRetriedTransparently) {
+  s3d::fault::set_seed(7);
+  s3d::fault::arm({.site = "workflow.fire",
+                   .kind = s3d::fault::Kind::fail,
+                   .nth = 0});
+  FlakyActor healthy(0);
+  healthy.in("in").push(wf::Token("x"));
+  wf::Workflow w("injected");
+  w.add(&healthy);
+  w.run_until_idle();
+  s3d::fault::reset();
+
+  EXPECT_EQ(healthy.processed, 1);
+  EXPECT_EQ(w.stats().fire_errors, 1);
+  EXPECT_EQ(w.stats().retries, 1);
+  EXPECT_EQ(w.stats().dead_letters, 0);
+}
+
+#endif  // S3D_FAULTS_DISABLED
