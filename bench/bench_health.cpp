@@ -1,0 +1,123 @@
+// Health-sentinel overhead on the lifted-flame step loop (DESIGN.md
+// "Numerical health & recovery"). Three configurations of the same run:
+//
+//   bare      Solver::run(), no guard at all (the baseline);
+//   disarmed  run_guarded() with health.enabled = false — the acceptance
+//             bar is <= ~2% overhead, i.e. guarding a run costs nothing
+//             until it is armed;
+//   armed     run_guarded() with per-step scans and snapshots — the scan
+//             cost is also broken out per step from the health.scan trace
+//             span, plus the snapshot ring's memory footprint.
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "solver/cases.hpp"
+#include "solver/health.hpp"
+#include "solver/solver.hpp"
+#include "trace/trace.hpp"
+
+namespace sv = s3d::solver;
+namespace trace = s3d::trace;
+
+namespace {
+
+double wall_ms(const std::chrono::steady_clock::time_point& t0,
+               const std::chrono::steady_clock::time_point& t1) {
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+sv::CaseSetup flame_case() {
+  sv::LiftedJetParams p;
+  p.nx = s3dpp_bench::full_mode() ? 64 : 32;
+  p.ny = s3dpp_bench::full_mode() ? 48 : 24;
+  return sv::lifted_jet_case(p);
+}
+
+}  // namespace
+
+int main() {
+  using s3dpp_bench::banner;
+  using s3dpp_bench::full_mode;
+
+  banner("bench_health",
+         "health sentinel overhead on the lifted-flame step loop");
+
+  const auto setup = flame_case();
+  const int nsteps = full_mode() ? 60 : 20;
+  const int warmup = 3;
+  std::printf("grid %dx%d, %d steps (+%d warmup), air over H2/air chem\n\n",
+              setup.cfg.x.n, setup.cfg.y.n, nsteps, warmup);
+
+  // --- bare step loop -----------------------------------------------------
+  double bare_ms = 0.0;
+  {
+    sv::Solver s(setup.cfg);
+    s.initialize(setup.init);
+    s.run(warmup);
+    const auto t0 = std::chrono::steady_clock::now();
+    s.run(nsteps);
+    bare_ms = wall_ms(t0, std::chrono::steady_clock::now());
+  }
+
+  // --- guarded, disarmed --------------------------------------------------
+  double disarmed_ms = 0.0;
+  {
+    sv::Solver s(setup.cfg);
+    s.initialize(setup.init);
+    s.run(warmup);
+    sv::GuardOptions opts;
+    opts.health.enabled = false;
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto rep = sv::run_guarded(s, nsteps, opts);
+    disarmed_ms = wall_ms(t0, std::chrono::steady_clock::now());
+    if (!rep.completed) std::printf("disarmed run did not complete!\n");
+  }
+
+  // --- guarded, armed (per-step scan + snapshot) --------------------------
+  double armed_ms = 0.0;
+  double scan_ms_per_step = 0.0;
+  long scans = 0;
+  int rollbacks = 0;
+  std::size_t ring_bytes = 0;
+  {
+    sv::Solver s(setup.cfg);
+    s.initialize(setup.init);
+    s.run(warmup);
+    sv::GuardOptions opts;  // defaults: scan + snapshot every step
+    {
+      sv::SnapshotRing probe(opts.ring_depth);
+      probe.capture(s);
+      ring_bytes = probe.bytes() * opts.ring_depth;
+    }
+    trace::clear();
+    trace::set_enabled(true);
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto rep = sv::run_guarded(s, nsteps, opts);
+    armed_ms = wall_ms(t0, std::chrono::steady_clock::now());
+    trace::set_enabled(false);
+    const auto sum = trace::summarize();
+    if (const auto* k = sum.find("health.scan"); k && k->total_calls() > 0)
+      scan_ms_per_step = k->total_s() * 1e3 / k->total_calls();
+    trace::clear();
+    scans = rep.scans;
+    rollbacks = rep.rollbacks;
+    if (!rep.completed) std::printf("armed run did not complete!\n");
+  }
+
+  const double per_step = bare_ms / nsteps;
+  std::printf("%-28s %10.2f ms  (%.3f ms/step)\n", "bare Solver::run", bare_ms,
+              per_step);
+  std::printf("%-28s %10.2f ms  (%+.2f%% vs bare)\n", "run_guarded, disarmed",
+              disarmed_ms, 100.0 * (disarmed_ms - bare_ms) / bare_ms);
+  std::printf("%-28s %10.2f ms  (%+.2f%% vs bare)\n", "run_guarded, armed",
+              armed_ms, 100.0 * (armed_ms - bare_ms) / bare_ms);
+  std::printf("\narmed details: %ld scans, %d rollbacks, scan cost "
+              "%.3f ms/step (%.1f%% of a step), snapshot ring %.1f MiB\n",
+              scans, rollbacks, scan_ms_per_step,
+              100.0 * scan_ms_per_step / per_step,
+              static_cast<double>(ring_bytes) / (1024.0 * 1024.0));
+  std::printf("\nacceptance: disarmed overhead must stay <= ~2%%.\n");
+  return 0;
+}

@@ -122,28 +122,59 @@ constexpr double kTmin = 50.0;
 constexpr double kTmax = 6000.0;
 }  // namespace
 
+double Mechanism::T_newton_min() { return kTmin; }
+double Mechanism::T_newton_max() { return kTmax; }
+
 double Mechanism::T_from_e(double e, std::span<const double> Y,
-                           double T_guess) const {
+                           double T_guess, NewtonStats* stats) const {
   double T = std::clamp(T_guess, kTmin, kTmax);
-  for (int it = 0; it < 100; ++it) {
+  double dT = 0.0;
+  int it = 0;
+  bool converged = false;
+  for (; it < 100; ++it) {
     const double f = e_mass_mix(T, Y) - e;
     const double cv = cv_mass_mix(T, Y);
-    const double dT = -f / cv;
+    dT = -f / cv;
     T = std::clamp(T + dT, kTmin, kTmax);
-    if (std::abs(dT) < 1e-9 * T) return T;
+    if (std::abs(dT) < 1e-9 * T) {
+      converged = true;
+      ++it;
+      break;
+    }
+  }
+  if (stats) {
+    stats->iterations = it;
+    stats->residual = std::abs(dT);
+    // A NaN update never satisfies the tolerance, so `converged` already
+    // reports non-finite inputs as divergence.
+    stats->converged = converged;
+    stats->hit_bounds = (T <= kTmin || T >= kTmax);
   }
   return T;
 }
 
 double Mechanism::T_from_h(double h, std::span<const double> Y,
-                           double T_guess) const {
+                           double T_guess, NewtonStats* stats) const {
   double T = std::clamp(T_guess, kTmin, kTmax);
-  for (int it = 0; it < 100; ++it) {
+  double dT = 0.0;
+  int it = 0;
+  bool converged = false;
+  for (; it < 100; ++it) {
     const double f = h_mass_mix(T, Y) - h;
     const double cp = cp_mass_mix(T, Y);
-    const double dT = -f / cp;
+    dT = -f / cp;
     T = std::clamp(T + dT, kTmin, kTmax);
-    if (std::abs(dT) < 1e-9 * T) return T;
+    if (std::abs(dT) < 1e-9 * T) {
+      converged = true;
+      ++it;
+      break;
+    }
+  }
+  if (stats) {
+    stats->iterations = it;
+    stats->residual = std::abs(dT);
+    stats->converged = converged;
+    stats->hit_bounds = (T <= kTmin || T >= kTmax);
   }
   return T;
 }

@@ -119,10 +119,30 @@ class Mechanism {
   /// Mixture specific internal energy [J/kg].
   double e_mass_mix(double T, std::span<const double> Y) const;
 
+  /// Convergence record of one T_from_e / T_from_h Newton solve. The
+  /// solver's health sentinel consumes this instead of the historical
+  /// silent clamp: a non-converged or bound-pegged inversion is a
+  /// numerical-health breach, not a value to integrate onwards.
+  struct NewtonStats {
+    int iterations = 0;       ///< Newton updates performed
+    double residual = 0.0;    ///< |dT| of the last update [K]
+    bool converged = false;   ///< residual met the relative tolerance
+    bool hit_bounds = false;  ///< result pegged at the [Tmin, Tmax] clamp
+  };
+
+  /// Temperature bounds the Newton inversions clamp to [K]; states pegged
+  /// at either bound are outside the thermodynamic fit range.
+  static double T_newton_min();
+  static double T_newton_max();
+
   /// Invert e(T) by Newton iteration (bisection fallback); returns T [K].
-  double T_from_e(double e, std::span<const double> Y, double T_guess) const;
+  /// When `stats` is non-null the convergence record is reported instead
+  /// of silently clamping a diverged solve.
+  double T_from_e(double e, std::span<const double> Y, double T_guess,
+                  NewtonStats* stats = nullptr) const;
   /// Invert h(T); returns T [K].
-  double T_from_h(double h, std::span<const double> Y, double T_guess) const;
+  double T_from_h(double h, std::span<const double> Y, double T_guess,
+                  NewtonStats* stats = nullptr) const;
 
   /// Ideal-gas density [kg/m^3] (paper eq. 7).
   double density(double p, double T, std::span<const double> Y) const;

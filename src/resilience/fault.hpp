@@ -8,8 +8,8 @@
 //
 //   site          a stable name at a call site that may fail in production
 //                 ("vmpi.isend", "vmpi.collective", "solver.step",
-//                  "iosim.write", "checkpoint.write", "restart.read",
-//                  "workflow.fire");
+//                  "solver.health", "iosim.write", "checkpoint.write",
+//                  "restart.read", "workflow.fire");
 //   plan          when the site fires (the Nth call, or a seeded per-call
 //                 probability), for which rank, and how many times;
 //   kind          what happens: fail (throw InjectedFault), corrupt

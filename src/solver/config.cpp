@@ -1,0 +1,84 @@
+#include "solver/config.hpp"
+
+#include <cmath>
+
+namespace s3d::solver {
+
+namespace {
+
+void require(bool ok, const char* field, const std::string& why) {
+  if (!ok) throw ConfigError(field, why);
+}
+
+bool finite_positive(double v) { return std::isfinite(v) && v > 0.0; }
+
+}  // namespace
+
+void Config::validate() const {
+  require(mech != nullptr, "mech", "mechanism must be set");
+  require(mech->n_species() >= 1, "mech", "mechanism has no species");
+
+  const grid::AxisSpec* axes[3] = {&x, &y, &z};
+  const char* axis_names[3] = {"x", "y", "z"};
+  for (int a = 0; a < 3; ++a) {
+    require(axes[a]->n >= 1, axis_names[a],
+            "grid dimension must be >= 1 (got " +
+                std::to_string(axes[a]->n) + ")");
+    if (axes[a]->n > 1)
+      require(finite_positive(axes[a]->length), axis_names[a],
+              "active axis needs a positive finite length");
+    // Axis periodicity must agree with both face BCs (inactive axes carry
+    // no faces; the solver ignores them).
+    if (axes[a]->n > 1) {
+      const bool face_periodic =
+          faces[a][0].kind == BcKind::periodic &&
+          faces[a][1].kind == BcKind::periodic;
+      require(axes[a]->periodic == face_periodic, "faces",
+              std::string("axis ") + axis_names[a] +
+                  " periodicity must match both face BCs");
+    }
+    for (int side = 0; side < 2; ++side) {
+      const FaceBc& f = faces[a][side];
+      if (axes[a]->n <= 1) continue;
+      if (f.kind == BcKind::nscbc_outflow) {
+        require(finite_positive(f.p_target), "faces",
+                "outflow face needs a positive far-field pressure");
+        require(finite_positive(f.sigma), "faces",
+                "outflow face needs a positive relaxation coefficient");
+      }
+      require(std::isfinite(f.sponge_width) && f.sponge_width >= 0.0,
+              "faces", "sponge_width must be finite and >= 0");
+      require(std::isfinite(f.sponge_strength) && f.sponge_strength >= 0.0,
+              "faces", "sponge_strength must be finite and >= 0");
+    }
+  }
+
+  bool any_inflow = false;
+  for (int a = 0; a < 3; ++a)
+    for (int side = 0; side < 2; ++side)
+      if (axes[a]->n > 1 && faces[a][side].kind == BcKind::nscbc_inflow)
+        any_inflow = true;
+  require(!any_inflow || static_cast<bool>(inflow), "inflow",
+          "an nscbc_inflow face requires the inflow generator");
+
+  require(finite_positive(cfl), "cfl",
+          "CFL number must be positive and finite");
+  require(finite_positive(fourier), "fourier",
+          "Fourier number must be positive and finite");
+  require(std::isfinite(filter_alpha) && filter_alpha > 0.0 &&
+              filter_alpha <= 1.0,
+          "filter_alpha", "filter strength must lie in (0, 1]");
+  require(filter_interval >= 0, "filter_interval",
+          "filter interval must be >= 0 (0 disables the filter)");
+  require(finite_positive(T_ref), "T_ref",
+          "reference temperature must be positive");
+  require(finite_positive(p_ref), "p_ref",
+          "reference pressure must be positive");
+  require(finite_positive(Pr), "Pr", "Prandtl number must be positive");
+  require(std::isfinite(visc_exp), "visc_exp",
+          "viscosity exponent must be finite");
+  require(std::isfinite(L_relax) && L_relax >= 0.0, "L_relax",
+          "relaxation length must be finite and >= 0");
+}
+
+}  // namespace s3d::solver

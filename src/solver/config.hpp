@@ -6,11 +6,26 @@
 #include <array>
 #include <functional>
 #include <memory>
+#include <string>
 
 #include "chem/mechanism.hpp"
+#include "common/error.hpp"
 #include "grid/mesh.hpp"
 
 namespace s3d::solver {
+
+/// Thrown by Config::validate(): a malformed run configuration, named by
+/// the offending field so drivers can report exactly what to fix.
+class ConfigError : public Error {
+ public:
+  ConfigError(std::string field, const std::string& why)
+      : Error("invalid Config." + field + ": " + why),
+        field_(std::move(field)) {}
+  const std::string& field() const { return field_; }
+
+ private:
+  std::string field_;
+};
 
 /// Boundary treatment of one face (paper section 2.6: NSCBC).
 enum class BcKind {
@@ -96,6 +111,22 @@ struct Config {
   /// Characteristic domain length for outflow relaxation K (defaults to
   /// x-length when 0).
   double L_relax = 0.0;
+
+  /// Prim-boundary mass-fraction repair (see PrimOptions in state.hpp):
+  /// renormalize clipped Y vectors whose explicit species sum past one,
+  /// instead of only zeroing the implied last species. Changes the
+  /// trajectory, so it is off by default and never applied silently.
+  bool y_renormalize = false;
+  /// Count prim-boundary clip events into the `health.y_clip` trace
+  /// counter (and collect Newton convergence stats each RHS evaluation).
+  bool count_y_clips = false;
+
+  /// Check the configuration for malformed values (non-positive grid
+  /// dims or lengths, missing/empty mechanism, bad CFL / Fourier /
+  /// filter factors, face inconsistencies); throws ConfigError naming
+  /// the offending field. Solver construction calls this, so every
+  /// driver gets the typed report before any allocation.
+  void validate() const;
 };
 
 }  // namespace s3d::solver

@@ -1,0 +1,530 @@
+#include "solver/health.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+
+#include "resilience/fault.hpp"
+#include "trace/trace.hpp"
+
+namespace s3d::solver {
+
+namespace {
+
+/// Sentinel cell code meaning "no cell" — larger than any encodable
+/// global index, so an allreduce_min over codes ignores it.
+constexpr double kNoCell = 1e300;
+/// Sentinel dt meaning "no local estimate" (its negation loses every
+/// allreduce_max against a real estimate).
+constexpr double kNoDt = 1e300;
+
+void require_opt(bool ok, const char* field, const std::string& why) {
+  if (!ok) throw ConfigError(field, why);
+}
+
+}  // namespace
+
+const char* breach_name(Breach b) {
+  switch (b) {
+    case Breach::none: return "health.none";
+    case Breach::dt_violation: return "health.dt_violation";
+    case Breach::y_sum: return "health.y_sum";
+    case Breach::newton: return "health.newton";
+    case Breach::temperature: return "health.temperature";
+    case Breach::negative_density: return "health.negative_density";
+    case Breach::non_finite: return "health.non_finite";
+    case Breach::injected: return "health.injected";
+  }
+  return "health.unknown";
+}
+
+std::string HealthReport::message() const {
+  std::string m = site();
+  m += " at step " + std::to_string(step);
+  if (rank >= 0) m += ", rank " + std::to_string(rank);
+  if (cell[0] >= 0)
+    m += ", cell (" + std::to_string(cell[0]) + ", " +
+         std::to_string(cell[1]) + ", " + std::to_string(cell[2]) + ")";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, ": value %.6g (threshold %.6g)", value,
+                threshold);
+  m += buf;
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// SnapshotRing
+
+SnapshotRing::SnapshotRing(int depth) : depth_(depth) {
+  S3D_REQUIRE(depth >= 1, "snapshot ring depth must be >= 1");
+}
+
+void SnapshotRing::capture(const Solver& s) {
+  Snapshot sn;
+  sn.t = s.time();
+  sn.steps = s.steps_taken();
+  const auto u = s.state().flat();
+  sn.u.assign(u.begin(), u.end());
+  // The warm-start temperature travels with the state so a restored
+  // solver replays the Newton iteration bitwise (same contract as the
+  // restart files).
+  const GField& T = s.rhs().prim().T;
+  sn.T.assign(T.data(), T.data() + T.size());
+  if (static_cast<int>(ring_.size()) == depth_) ring_.pop_front();
+  ring_.push_back(std::move(sn));
+}
+
+void SnapshotRing::restore_newest(Solver& s) const {
+  S3D_REQUIRE(!ring_.empty(), "snapshot ring is empty");
+  const Snapshot& sn = ring_.back();
+  auto u = s.state().flat();
+  S3D_REQUIRE(u.size() == sn.u.size(),
+              "snapshot does not match the solver's state size");
+  std::copy(sn.u.begin(), sn.u.end(), u.begin());
+  GField& T = s.rhs().prim().T;
+  S3D_REQUIRE(T.size() == sn.T.size(),
+              "snapshot does not match the solver's field size");
+  std::copy(sn.T.begin(), sn.T.end(), T.data());
+  s.set_time(sn.t, sn.steps);  // also invalidates the cached dt
+}
+
+void SnapshotRing::pop_newest() {
+  S3D_REQUIRE(!ring_.empty(), "snapshot ring is empty");
+  ring_.pop_back();
+}
+
+long SnapshotRing::newest_step() const {
+  return ring_.empty() ? -1 : ring_.back().steps;
+}
+
+std::size_t SnapshotRing::bytes() const {
+  std::size_t b = 0;
+  for (const auto& sn : ring_)
+    b += (sn.u.size() + sn.T.size()) * sizeof(double);
+  return b;
+}
+
+// ---------------------------------------------------------------------------
+// HealthSentinel
+
+HealthSentinel::HealthSentinel(Solver& s, const HealthConfig& hc,
+                               vmpi::Comm* comm)
+    : s_(s), hc_(hc), comm_(comm) {}
+
+double HealthSentinel::encode_cell(int i, int j, int k) const {
+  const auto off = s_.offset();
+  const double NX = s_.mesh().nx();
+  const double NY = s_.mesh().ny();
+  return (off[0] + i) + NX * ((off[1] + j) + NY * (off[2] + k));
+}
+
+HealthSentinel::LocalVerdict HealthSentinel::local_scan(double /*dt_used*/) {
+  LocalVerdict v;
+  v.cell_code = kNoCell;
+  v.dt_suggest = kNoDt;
+
+  const Layout& l = s_.layout();
+  const State& U = s_.state();
+  const int nv = U.nv();
+  const int ns = s_.rhs().mech().n_species();
+
+  // Pass 1: conserved-state tripwires. Cheap (no Newton), and they gate
+  // pass 2 so the primitive inversion never runs on garbage.
+  long nonfinite = 0;
+  double nonfinite_cell = kNoCell;
+  double rho_worst = std::numeric_limits<double>::infinity();
+  double rho_cell = kNoCell;
+  double y_worst = 0.0;
+  double y_cell = kNoCell;
+
+  for (int k = 0; k < l.nz; ++k)
+    for (int j = 0; j < l.ny; ++j)
+      for (int i = 0; i < l.nx; ++i) {
+        const std::size_t n = l.at(i, j, k);
+        bool cell_finite = true;
+        for (int vv = 0; vv < nv; ++vv)
+          if (!std::isfinite(U.var(vv)[n])) {
+            ++nonfinite;
+            cell_finite = false;
+          }
+        if (!cell_finite) {
+          // Loop order is ascending in the global code, so the first
+          // offender is the local minimum — deterministic across runs.
+          if (nonfinite_cell >= kNoCell) nonfinite_cell = encode_cell(i, j, k);
+          continue;
+        }
+        const double rho = U.var(UIndex::rho)[n];
+        if (rho <= hc_.rho_min) {
+          if (rho < rho_worst) {
+            rho_worst = rho;
+            rho_cell = encode_cell(i, j, k);
+          }
+          continue;  // mass fractions are meaningless without density
+        }
+        // Raw mass fractions straight from the conserved vector: the worst
+        // undershoot covers both negative species and sum overshoot (the
+        // recovered last species going negative).
+        double ysum = 0.0, ymin = 0.0;
+        for (int sp = 0; sp < ns - 1; ++sp) {
+          const double y = U.var(UIndex::Y0 + sp)[n] / rho;
+          ysum += y;
+          if (y < ymin) ymin = y;
+        }
+        const double ylast = 1.0 - ysum;
+        if (ylast < ymin) ymin = ylast;
+        if (-ymin > hc_.y_tol && -ymin > y_worst) {
+          y_worst = -ymin;
+          y_cell = encode_cell(i, j, k);
+        }
+      }
+
+  if (nonfinite > 0) {
+    v.breach = Breach::non_finite;
+    v.metric = static_cast<double>(nonfinite);
+    v.cell_code = nonfinite_cell;
+    v.threshold = 0.0;
+    return v;
+  }
+  if (rho_cell < kNoCell) {
+    v.breach = Breach::negative_density;
+    v.metric = hc_.rho_min - rho_worst;  // excess below the floor
+    v.cell_code = rho_cell;
+    v.threshold = hc_.rho_min;
+    return v;
+  }
+
+  // Pass 2: primitive inversion under full accounting. Warm-started from
+  // the existing T field, so on a healthy state this is one cheap Newton
+  // iteration per cell; the refresh also leaves the primitives (and the
+  // dt suggestion below) consistent with the committed state.
+  PrimOptions popts;
+  popts.renormalize_y = s_.rhs().config().y_renormalize;
+  PrimStats stats;
+  prim_from_conserved(s_.rhs().mech(), U, s_.rhs().prim(), popts, &stats);
+
+  double t_excess = 0.0, t_cell = kNoCell, t_thresh = hc_.T_max;
+  const GField& T = s_.rhs().prim().T;
+  for (int k = 0; k < l.nz; ++k)
+    for (int j = 0; j < l.ny; ++j)
+      for (int i = 0; i < l.nx; ++i) {
+        const double Tv = T.data()[l.at(i, j, k)];
+        const double ex = std::max(Tv - hc_.T_max, hc_.T_min - Tv);
+        if (ex > 0.0 && ex > t_excess) {
+          t_excess = ex;
+          t_cell = encode_cell(i, j, k);
+          t_thresh = Tv > hc_.T_max ? hc_.T_max : hc_.T_min;
+        }
+      }
+
+  const bool newton_bad = stats.newton_nonconverged > 0 ||
+                          stats.newton_max_iterations > hc_.newton_max_iters;
+
+  if (t_cell < kNoCell) {
+    v.breach = Breach::temperature;
+    v.metric = t_excess;  // kelvins outside [T_min, T_max]
+    v.cell_code = t_cell;
+    v.threshold = t_thresh;
+  } else if (newton_bad) {
+    v.breach = Breach::newton;
+    // Non-convergence dominates any iteration count in the reduce.
+    v.metric = stats.newton_nonconverged > 0
+                   ? 1e4 + static_cast<double>(stats.newton_nonconverged)
+                   : static_cast<double>(stats.newton_max_iterations);
+    v.threshold = static_cast<double>(hc_.newton_max_iters);
+    if (stats.worst_cell >= 0) {
+      const auto f = static_cast<std::size_t>(stats.worst_cell);
+      const auto sx = static_cast<std::size_t>(l.sx());
+      const auto sy = static_cast<std::size_t>(l.sy());
+      v.cell_code = encode_cell(static_cast<int>(f % sx) - l.gx,
+                                static_cast<int>((f / sx) % sy) - l.gy,
+                                static_cast<int>(f / (sx * sy)) - l.gz);
+    }
+  } else if (y_cell < kNoCell) {
+    v.breach = Breach::y_sum;
+    v.metric = y_worst;  // worst mass-fraction undershoot magnitude
+    v.cell_code = y_cell;
+    v.threshold = hc_.y_tol;
+  }
+
+  v.dt_suggest = s_.rhs().suggest_dt();
+  return v;
+}
+
+HealthReport HealthSentinel::scan(double dt_used) {
+  if (!hc_.enabled) return {};
+  trace::Span sp("health.scan", "health");
+  ++scans_;
+
+  bool injected = false;
+  if (auto a = fault::probe("solver.health")) {
+    switch (a.kind) {
+      case fault::Kind::drop:
+        return {};  // sentinel blinded: this scan is skipped outright
+      case fault::Kind::corrupt: {
+        // Poison one interior value so recovery from a real contamination
+        // can be exercised deterministically.
+        const Layout& l = s_.layout();
+        State& U = s_.state();
+        const auto r = static_cast<std::uint64_t>(a.rng);
+        const auto nx = static_cast<std::uint64_t>(l.nx);
+        const auto ny = static_cast<std::uint64_t>(l.ny);
+        const auto nz = static_cast<std::uint64_t>(l.nz);
+        const int i = static_cast<int>(r % nx);
+        const int j = static_cast<int>((r / nx) % ny);
+        const int k = static_cast<int>((r / (nx * ny)) % nz);
+        const int vv =
+            static_cast<int>((r >> 32) % static_cast<std::uint64_t>(U.nv()));
+        U.var(vv)[l.at(i, j, k)] =
+            std::numeric_limits<double>::quiet_NaN();
+        break;
+      }
+      case fault::Kind::fail:
+        // Surfaced as the top-severity breach instead of a thrown
+        // InjectedFault: a single-rank fault must produce the identical
+        // collective verdict (and rollback) on every rank.
+        injected = true;
+        break;
+      default:
+        fault::apply(a, "solver.health");  // delay
+    }
+  }
+
+  LocalVerdict lv = local_scan(dt_used);
+  if (injected) {
+    lv.breach = Breach::injected;
+    lv.metric = 1.0;
+    lv.threshold = 0.0;
+    lv.cell_code = encode_cell(0, 0, 0);
+  }
+
+  // Collective verdict, stage 1: severity (max) and stable dt (min via
+  // negated max) in one reduce. Stages 2-4 run only on breach.
+  double gsev = static_cast<double>(static_cast<int>(lv.breach));
+  double gdt = lv.dt_suggest;
+  if (comm_) {
+    std::array<double, 2> v{gsev, -lv.dt_suggest};
+    comm_->allreduce_max(v);
+    gsev = v[0];
+    gdt = -v[1];
+  }
+
+  HealthReport rep;
+  rep.step = s_.steps_taken();
+  const auto sev = static_cast<Breach>(static_cast<int>(gsev));
+
+  if (sev == Breach::none) {
+    // dt check: decided from the reduced stable dt, so every rank reaches
+    // the same verdict even though the estimate is rank-local.
+    if (hc_.check_dt && gdt < kNoDt && dt_used > hc_.dt_safety * gdt) {
+      rep.breach = Breach::dt_violation;
+      rep.value = dt_used / gdt;
+      rep.threshold = hc_.dt_safety;
+    }
+  } else {
+    rep.breach = sev;
+    const bool mine = lv.breach == sev;
+    double gmetric = lv.metric;
+    double gcell = mine ? lv.cell_code : kNoCell;
+    double grank = -1.0;
+    if (comm_) {
+      std::array<double, 1> m{mine ? lv.metric : -kNoCell};
+      comm_->allreduce_max(m);
+      gmetric = m[0];
+      std::array<double, 1> c{mine && lv.metric == gmetric ? lv.cell_code
+                                                           : kNoCell};
+      comm_->allreduce_min(c);
+      gcell = c[0];
+      std::array<double, 1> rk{mine && lv.metric == gmetric &&
+                                       lv.cell_code == gcell
+                                   ? static_cast<double>(comm_->rank())
+                                   : kNoCell};
+      comm_->allreduce_min(rk);
+      grank = rk[0] < kNoCell ? rk[0] : -1.0;
+    }
+    rep.value = gmetric;
+    rep.rank = static_cast<int>(grank);
+    rep.threshold = mine ? lv.threshold : 0.0;
+    if (comm_) {
+      // Thresholds are config-derived except temperature's bound choice;
+      // make the report field identical on every rank.
+      std::array<double, 1> th{rep.threshold};
+      comm_->allreduce_max(th);
+      rep.threshold = th[0];
+    }
+    if (gcell < kNoCell) {
+      const auto idx = static_cast<long long>(std::llround(gcell));
+      const long long NX = s_.mesh().nx();
+      const long long NY = s_.mesh().ny();
+      rep.cell = {static_cast<int>(idx % NX),
+                  static_cast<int>((idx / NX) % NY),
+                  static_cast<int>(idx / (NX * NY))};
+    }
+  }
+
+  if (rep.breach != Breach::none && (!comm_ || comm_->rank() == 0)) {
+    trace::counter_add("health.breaches", 1.0);
+    trace::counter_add(rep.site(), 1.0);
+  }
+  return rep;
+}
+
+// ---------------------------------------------------------------------------
+// run_guarded
+
+void GuardOptions::validate() const {
+  require_opt(health.scan_every >= 1, "guard.scan_every", "must be >= 1");
+  require_opt(std::isfinite(health.rho_min) && health.rho_min >= 0.0,
+              "guard.rho_min", "must be finite and >= 0");
+  require_opt(std::isfinite(health.T_min) && std::isfinite(health.T_max) &&
+                  health.T_min < health.T_max,
+              "guard.T_bounds", "need finite T_min < T_max");
+  require_opt(std::isfinite(health.y_tol) && health.y_tol > 0.0,
+              "guard.y_tol", "must be positive and finite");
+  require_opt(health.newton_max_iters >= 1, "guard.newton_max_iters",
+              "must be >= 1");
+  require_opt(std::isfinite(health.dt_safety) && health.dt_safety > 0.0,
+              "guard.dt_safety", "must be positive and finite");
+  require_opt(snapshot_every >= 1, "guard.snapshot_every", "must be >= 1");
+  require_opt(ring_depth >= 1, "guard.ring_depth", "must be >= 1");
+  require_opt(max_rollbacks >= 0, "guard.max_rollbacks", "must be >= 0");
+  require_opt(retries_per_snapshot >= 1, "guard.retries_per_snapshot",
+              "must be >= 1");
+  require_opt(std::isfinite(dt_factor) && dt_factor > 0.0 && dt_factor < 1.0,
+              "guard.dt_factor", "must lie in (0, 1)");
+  require_opt(std::isfinite(dt_min) && dt_min >= 0.0, "guard.dt_min",
+              "must be finite and >= 0");
+  require_opt(std::isfinite(dt_fixed) && dt_fixed >= 0.0, "guard.dt_fixed",
+              "must be finite and >= 0 (0 = automatic)");
+  require_opt(dt_every >= 0, "guard.dt_every", "must be >= 0");
+}
+
+namespace {
+
+/// Collective newest-valid-generation restore from a (per-rank) restart
+/// series: every rank proposes its newest remaining generation, the
+/// decomposition agrees on the smallest proposal, votes on its validity,
+/// and either restores it everywhere or discards it everywhere. Returns
+/// the restored generation, or -1 when any rank runs out.
+long restore_from_series(Solver& s, RestartSeries& series, vmpi::Comm* comm) {
+  if (!comm) return series.read_latest(s);
+  const auto gens = series.generations();  // newest first
+  std::size_t idx = 0;
+  while (true) {
+    const double cand =
+        idx < gens.size() ? static_cast<double>(gens[idx]) : -1.0;
+    const double chosen = comm->allreduce_min(cand);
+    if (chosen < 0.0) return -1;
+    const auto g = static_cast<long>(chosen);
+    while (idx < gens.size() && gens[idx] > g) ++idx;
+    const bool ok =
+        idx < gens.size() && gens[idx] == g && series.try_load(g, s);
+    if (comm->allreduce_min(ok ? 1.0 : 0.0) > 0.5) return g;
+    while (idx < gens.size() && gens[idx] >= g) ++idx;
+  }
+}
+
+}  // namespace
+
+GuardReport run_guarded(Solver& s, int nsteps, const GuardOptions& opts,
+                        vmpi::Comm* comm) {
+  opts.validate();
+  GuardReport rep;
+  const long start0 = s.steps_taken();
+  const long target = start0 + std::max(nsteps, 0);
+  const bool armed = opts.health.enabled;
+
+  HealthSentinel sentinel(s, opts.health, comm);
+  SnapshotRing ring(opts.ring_depth);
+  // Seed the ring so even a first-step breach has a rollback point.
+  if (armed && target > start0) ring.capture(s);
+
+  HealthReport last;
+  double scale = 1.0;
+  int retries_here = 0;
+  double base_dt = -1.0;
+
+  while (s.steps_taken() < target) {
+    const long st = s.steps_taken();
+    // dt re-estimation points are *absolute* step counts, so a rollback
+    // replays the same estimation schedule deterministically.
+    if (base_dt < 0.0 ||
+        (opts.dt_every > 0 && (st - start0) % opts.dt_every == 0))
+      base_dt = opts.dt_fixed > 0.0 ? opts.dt_fixed : s.stable_dt();
+    const double dt = base_dt * scale;
+    if (opts.dt_min > 0.0 && dt < opts.dt_min)
+      throw HealthError(
+          last, "dt fell below dt_min after " +
+                    std::to_string(rep.rollbacks) + " rollbacks");
+
+    s.step(dt);
+
+    const long now = s.steps_taken();
+    const bool scanned =
+        armed &&
+        ((now - start0) % opts.health.scan_every == 0 || now == target);
+    HealthReport verdict;
+    if (scanned) verdict = sentinel.scan(dt);
+
+    if (verdict.breach == Breach::none) {
+      // Snapshots are taken only from scanned-clean states.
+      if (scanned && (now - start0) % opts.snapshot_every == 0 &&
+          now < target) {
+        ring.capture(s);
+        retries_here = 0;  // progress: retries count anew from here
+      }
+      continue;
+    }
+
+    // --- breach: roll back, shrink dt, retry under the budget ---
+    last = verdict;
+    if (rep.rollbacks >= opts.max_rollbacks)
+      throw HealthError(verdict, "rollback budget (" +
+                                     std::to_string(opts.max_rollbacks) +
+                                     ") exhausted");
+    ++rep.rollbacks;
+
+    if (retries_here >= opts.retries_per_snapshot && !ring.empty()) {
+      ring.pop_newest();  // this point keeps failing: roll back deeper
+      retries_here = 0;
+    }
+
+    HealthEvent ev;
+    ev.report = verdict;
+    if (!ring.empty()) {
+      ring.restore_newest(s);
+    } else if (opts.fallback) {
+      const long gen = restore_from_series(s, *opts.fallback, comm);
+      if (gen < 0)
+        throw HealthError(verdict,
+                          "snapshot ring and restart series both exhausted");
+      ev.from_series = true;
+      ++rep.series_restores;
+      if (!comm || comm->rank() == 0)
+        trace::counter_add("health.series_restores", 1.0);
+      ring.capture(s);
+    } else {
+      throw HealthError(verdict,
+                        "snapshot ring exhausted (no fallback series)");
+    }
+    ++retries_here;
+    scale *= opts.dt_factor;
+    base_dt = -1.0;  // the restored state needs a fresh estimate
+    if (!comm || comm->rank() == 0) {
+      trace::counter_add("health.rollbacks", 1.0);
+      trace::gauge_set("health.dt_scale", scale);
+    }
+    ev.rolled_back_to = s.steps_taken();
+    ev.dt_scale = scale;
+    rep.events.push_back(std::move(ev));
+  }
+
+  rep.completed = true;
+  rep.final_steps = s.steps_taken();
+  rep.scans = sentinel.scans();
+  rep.dt_scale = scale;
+  return rep;
+}
+
+}  // namespace s3d::solver

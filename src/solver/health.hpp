@@ -1,0 +1,218 @@
+#pragma once
+// Numerical health sentinel with collective rollback-and-retry timestep
+// control (DESIGN.md "Numerical health & recovery").
+//
+// PR 2 made S3D++ survive *external* faults; this subsystem closes the
+// *internal* gap the paper's production S3D handles with error trapping
+// and timestep control: stiff-chemistry blow-ups, Newton non-convergence
+// in the conserved->primitive inversion, NaN/Inf contamination, and CFL
+// violations must not let a terascale allocation integrate garbage or
+// die without a diagnosis.
+//
+// Three pieces:
+//   HealthSentinel  scans the committed state after a step for breaches
+//                   (non-finite U, rho <= rho_min, T outside mechanism
+//                   bounds, |sum Y - 1| beyond tolerance, Newton
+//                   iteration/residual overrun, dt above the stable-dt
+//                   safety factor) and reduces the per-rank verdicts to
+//                   one *collective* verdict through vmpi allreduces, so
+//                   every rank of a decomposition takes the identical
+//                   action deterministically.
+//   SnapshotRing    an in-memory ring of full state snapshots (conserved
+//                   vector plus the Newton warm-start temperature field,
+//                   clock and step counter) restored bitwise on breach.
+//   run_guarded     the driver: advance under the sentinel; on breach
+//                   roll back to the newest snapshot (older ring entries
+//                   when retries at one point are exhausted, then the
+//                   PR-2 RestartSeries when the ring itself runs dry),
+//                   shrink dt by a bounded factor, and re-advance under a
+//                   rollback budget. Budget exhaustion throws HealthError
+//                   carrying the final HealthReport — never a silent
+//                   continuation.
+//
+// Determinism contract: scan verdicts derive only from allreduced
+// quantities, snapshots are captured at step-count boundaries, and dt is
+// re-estimated at fixed absolute step counts, so a guarded run recovers
+// at the same points with the same dt schedule on every decomposition —
+// the golden health test asserts bitwise-identical final fields across
+// 1-, 2- and 8-rank runs of the same blow-up.
+
+#include <array>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "solver/checkpoint.hpp"
+#include "solver/solver.hpp"
+#include "vmpi/vmpi.hpp"
+
+namespace s3d::solver {
+
+/// Breach taxonomy, ascending severity; the collective verdict is the
+/// max across ranks, so ordering decides which site is reported when
+/// several trip at once.
+enum class Breach : int {
+  none = 0,
+  dt_violation,      ///< dt_used exceeded the stable-dt safety factor
+  y_sum,             ///< raw mass fractions left [0 - tol, 1 + tol]
+  newton,            ///< T Newton iteration-count/residual overrun
+  temperature,       ///< T outside the configured mechanism bounds
+  negative_density,  ///< rho at or below rho_min
+  non_finite,        ///< NaN/Inf in the conserved state
+  injected,          ///< armed `solver.health` fault reported as a breach
+};
+
+/// Stable site name ("health.non_finite", ...) for traces and reports.
+const char* breach_name(Breach b);
+
+/// Sentinel thresholds. Defaults are deliberately loose: the sentinel is
+/// a tripwire for states that are already numerically doomed, not a
+/// physics validator.
+struct HealthConfig {
+  bool enabled = true;  ///< disarmed sentinel: scans compile to nothing
+  int scan_every = 1;   ///< steps between scans
+  double rho_min = 1e-4;      ///< [kg/m^3] density floor
+  double T_min = 100.0;       ///< [K] breach below
+  double T_max = 5000.0;      ///< [K] breach above
+  /// |sum Y - 1| / undershoot tolerance. Routine dispersion-error
+  /// undershoots in shear layers reach a few 1e-3 (the prim boundary
+  /// clips them silently or, counted, as health.y_clip) — the breach
+  /// threshold sits an order above that noise floor.
+  double y_tol = 1e-2;
+  int newton_max_iters = 50;  ///< Newton iteration-count overrun
+  bool check_dt = true;       ///< compare dt_used against stable dt
+  double dt_safety = 1.5;     ///< breach when dt_used > dt_safety * stable
+};
+
+/// Structured description of one (collective) breach verdict.
+struct HealthReport {
+  Breach breach = Breach::none;
+  long step = 0;  ///< step count at which the scan tripped
+  int rank = -1;  ///< rank owning the worst cell (-1: serial / n.a.)
+  std::array<int, 3> cell{-1, -1, -1};  ///< global ijk of the worst cell
+  double value = 0.0;      ///< breach metric (count, excess, ratio ...)
+  double threshold = 0.0;  ///< the configured limit it crossed
+  const char* site() const { return breach_name(breach); }
+  std::string message() const;
+};
+
+/// Thrown when the rollback budget (or every restore source) is
+/// exhausted: the run fails loudly with the final verdict attached.
+class HealthError : public Error {
+ public:
+  HealthError(const HealthReport& rep, const std::string& context)
+      : Error("health: " + context + ": " + rep.message()), rep_(rep) {}
+  const HealthReport& report() const { return rep_; }
+
+ private:
+  HealthReport rep_;
+};
+
+/// In-memory ring of full solver snapshots (conserved state, Newton
+/// warm-start T field, clock, step counter). Restores are bitwise.
+/// Memory cost per entry: (nv + 1) * layout.total() doubles.
+class SnapshotRing {
+ public:
+  explicit SnapshotRing(int depth);
+
+  void capture(const Solver& s);
+  /// Restore the newest snapshot (kept in the ring for further retries).
+  void restore_newest(Solver& s) const;
+  /// Drop the newest snapshot to roll back deeper.
+  void pop_newest();
+
+  bool empty() const { return ring_.empty(); }
+  int size() const { return static_cast<int>(ring_.size()); }
+  long newest_step() const;
+  std::size_t bytes() const;
+
+ private:
+  struct Snapshot {
+    double t = 0.0;
+    int steps = 0;
+    std::vector<double> u;  ///< full ghosted conserved state
+    std::vector<double> T;  ///< full ghosted warm-start temperature
+  };
+  std::deque<Snapshot> ring_;  ///< oldest first
+  int depth_;
+};
+
+/// Per-step health scanner. scan() is collective when a communicator is
+/// given: every rank returns the identical verdict.
+class HealthSentinel {
+ public:
+  HealthSentinel(Solver& s, const HealthConfig& hc, vmpi::Comm* comm);
+
+  /// Scan the committed state; `dt_used` is the step size just taken.
+  /// Refreshes the primitive workspace (warm-started Newton) as a side
+  /// effect when the conserved state is clean. Collective.
+  HealthReport scan(double dt_used);
+
+  long scans() const { return scans_; }
+
+ private:
+  struct LocalVerdict {
+    Breach breach = Breach::none;
+    double metric = 0.0;       ///< finite severity metric for the reduce
+    double cell_code = 0.0;    ///< encoded global cell of the worst site
+    double threshold = 0.0;
+    double dt_suggest = 1e300; ///< local stable dt (for the dt check)
+  };
+  LocalVerdict local_scan(double dt_used);
+  double encode_cell(int i, int j, int k) const;
+
+  Solver& s_;
+  HealthConfig hc_;
+  vmpi::Comm* comm_;
+  long scans_ = 0;
+};
+
+/// Rollback-and-retry policy for run_guarded.
+struct GuardOptions {
+  HealthConfig health;
+
+  int snapshot_every = 1;  ///< steps between ring captures
+  int ring_depth = 2;      ///< snapshots retained in memory
+  int max_rollbacks = 10;  ///< total rollback budget for the whole run
+  /// Retries at one snapshot before rolling back to an older one.
+  int retries_per_snapshot = 4;
+  double dt_factor = 0.5;  ///< dt scale multiplier applied per rollback
+  double dt_min = 0.0;     ///< fail when the scaled dt falls below (0: off)
+
+  double dt_fixed = 0.0;   ///< fixed base dt when > 0 (else stable_dt())
+  int dt_every = 5;        ///< stable-dt re-estimation cadence (steps)
+
+  /// Last-resort restore source once the ring is exhausted (PR-2
+  /// checkpoint series); consulted collectively in parallel runs.
+  RestartSeries* fallback = nullptr;
+
+  /// Typed ConfigError for malformed budgets/factors/thresholds.
+  void validate() const;
+};
+
+/// One recovery event of a guarded run.
+struct HealthEvent {
+  HealthReport report;
+  long rolled_back_to = -1;  ///< step count restored to
+  double dt_scale = 1.0;     ///< dt scale in effect after the rollback
+  bool from_series = false;  ///< restored from the RestartSeries fallback
+};
+
+struct GuardReport {
+  bool completed = false;
+  long final_steps = 0;
+  int rollbacks = 0;
+  int series_restores = 0;
+  long scans = 0;
+  double dt_scale = 1.0;  ///< final dt scale (1.0: no breach ever)
+  std::vector<HealthEvent> events;
+};
+
+/// Advance `s` by `nsteps` under the sentinel. Pass the communicator the
+/// solver was built with for parallel runs (collective verdicts and
+/// restores); nullptr for serial. Throws HealthError when the rollback
+/// budget, the dt floor, or every restore source is exhausted.
+GuardReport run_guarded(Solver& s, int nsteps, const GuardOptions& opts,
+                        vmpi::Comm* comm = nullptr);
+
+}  // namespace s3d::solver

@@ -26,10 +26,17 @@ namespace {
 // the same chunking (and therefore the same dt re-estimation points) as
 // an uninterrupted run.
 void advance_chunked(Solver& s, const std::vector<long>& bounds,
-                     RestartSeries& series, vmpi::Comm* comm = nullptr) {
+                     RestartSeries& series, const ResilienceConfig& rc,
+                     vmpi::Comm* comm = nullptr) {
   for (long target : bounds) {
     if (target <= s.steps_taken()) continue;
-    s.run(static_cast<int>(target - s.steps_taken()));
+    if (rc.guard) {
+      GuardOptions g = rc.guard_opts;
+      g.fallback = &series;
+      run_guarded(s, static_cast<int>(target - s.steps_taken()), g, comm);
+    } else {
+      s.run(static_cast<int>(target - s.steps_taken()));
+    }
     series.write(s, s.steps_taken());
     // A generation only counts once every rank's file is durable; the
     // barrier makes that a run-wide event, so a failure in the next chunk
@@ -64,7 +71,7 @@ ResilienceReport run_resilient(Solver& s, const InitFn& init, int nsteps,
       } else if (attempt > 1) {
         rep.events.push_back("restored generation " + std::to_string(gen));
       }
-      advance_chunked(s, bounds, series);
+      advance_chunked(s, bounds, series, rc);
       rep.succeeded = true;
       rep.final_steps = s.steps_taken();
       return rep;
@@ -122,7 +129,7 @@ ResilienceReport run_resilient(const Config& cfg, const InitFn& init,
               s.initialize(init);
               s.set_time(0.0, 0);
             }
-            advance_chunked(s, bounds, series, &comm);
+            advance_chunked(s, bounds, series, rc, &comm);
             if (finalize) finalize(s, comm);
           },
           rc.vmpi);

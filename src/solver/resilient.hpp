@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "solver/checkpoint.hpp"
+#include "solver/health.hpp"
 #include "solver/solver.hpp"
 #include "vmpi/vmpi.hpp"
 
@@ -32,6 +33,14 @@ struct ResilienceConfig {
   int keep_last = 3;           ///< generations retained per rank
   int max_attempts = 5;        ///< total attempt budget (1 = no retry)
   vmpi::RunOptions vmpi;       ///< watchdog options for the parallel driver
+  /// Run each chunk under the health sentinel (run_guarded) instead of
+  /// bare run(): numerical breaches roll back in memory first, and only
+  /// a HealthError escaping the guard consumes a restore-and-retry
+  /// attempt here. guard_opts.fallback is wired to this driver's own
+  /// RestartSeries, so the sentinel's last-resort restore and the
+  /// attempt loop share one set of generations.
+  bool guard = false;
+  GuardOptions guard_opts;
 };
 
 struct ResilienceReport {

@@ -148,7 +148,19 @@ void RhsEvaluator::eval(const State& U, double t, State& dUdt) {
   phase.reset();
   {
     trace::Span sp("rhs.primitives", "solver");
-    prim_from_conserved(*mech_, U, prim_);
+    const PrimOptions popts{.renormalize_y = cfg_.y_renormalize};
+    if (cfg_.count_y_clips) {
+      PrimStats pstats;
+      prim_from_conserved(*mech_, U, prim_, popts, &pstats);
+      if (pstats.y_clipped > 0)
+        trace::counter_add("health.y_clip",
+                           static_cast<double>(pstats.y_clipped));
+      if (pstats.newton_nonconverged > 0)
+        trace::counter_add("health.newton_nonconverged",
+                           static_cast<double>(pstats.newton_nonconverged));
+    } else {
+      prim_from_conserved(*mech_, U, prim_, popts);
+    }
   }
   timers_.primitives += phase.seconds();
 

@@ -21,6 +21,7 @@ void Solver::setup(const Config& cfg, vmpi::Comm* comm, int px, int py,
                    int pz) {
   cfg_ = cfg;
   comm_ = comm;
+  cfg_.validate();  // typed ConfigError before any allocation
   S3D_REQUIRE(cfg_.mech != nullptr, "Config.mech must be set");
   const int ns = cfg_.mech->n_species();
 

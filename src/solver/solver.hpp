@@ -36,12 +36,24 @@ class Solver {
 
   double time() const { return t_; }
   int steps_taken() const { return steps_; }
-  /// Restore clock/step counter (restart-file loading).
+  /// Restore clock/step counter (restart-file loading). Invalidates the
+  /// cached dt: the restored state need not resemble the one the cache
+  /// was computed from.
   void set_time(double t, int steps) {
     t_ = t;
     steps_ = steps;
-    dt_cached_ = -1.0;
+    invalidate_dt_cache();
   }
+
+  /// Drop the cached automatic dt so the next run() re-estimates it from
+  /// the current state. Must be called whenever the state is replaced
+  /// behind the solver's back (restart load, health-sentinel rollback):
+  /// a dt computed from the pre-restore state can exceed the stable dt
+  /// of the restored one.
+  void invalidate_dt_cache() { dt_cached_ = -1.0; }
+  /// Cached automatic dt from the last run() estimation, or -1 when the
+  /// cache is invalid (regression hook for the invalidation contract).
+  double cached_dt() const { return dt_cached_; }
 
   /// Recompute primitives from the current conserved state (diagnostics;
   /// ghost shells are re-exchanged too) and return them.

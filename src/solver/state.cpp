@@ -6,7 +6,8 @@
 namespace s3d::solver {
 
 void prim_from_conserved(const chem::Mechanism& mech, const State& U,
-                         Prim& prim) {
+                         Prim& prim, const PrimOptions& opts,
+                         PrimStats* stats) {
   const Layout& l = U.layout();
   const int ns = mech.n_species();
   const double* rho_u = U.var(UIndex::rho);
@@ -29,19 +30,53 @@ void prim_from_conserved(const chem::Mechanism& mech, const State& U,
         const double ww = mz[n] * inv_rho;
 
         double ysum = 0.0;
+        double y_min_raw = 0.0;
         for (int s = 0; s < ns - 1; ++s) {
           // Clip transient undershoots of trace species; the filter keeps
           // these at round-off scale.
-          Yp[s] = std::max(U.var(UIndex::Y0 + s)[n] * inv_rho, 0.0);
+          const double y_raw = U.var(UIndex::Y0 + s)[n] * inv_rho;
+          y_min_raw = std::min(y_min_raw, y_raw);
+          Yp[s] = std::max(y_raw, 0.0);
           ysum += Yp[s];
         }
+        // The last species absorbs the residual; a clipped-to-zero value
+        // here means the explicit species overshot a total of one.
+        y_min_raw = std::min(y_min_raw, 1.0 - ysum);
         Yp[ns - 1] = std::max(1.0 - ysum, 0.0);
+        if (opts.renormalize_y && ysum > 1.0) {
+          const double inv_sum = 1.0 / ysum;
+          for (int s = 0; s < ns; ++s) Yp[s] *= inv_sum;
+        }
+        if (stats && y_min_raw < 0.0) {
+          ++stats->y_clipped;
+          stats->y_most_negative =
+              std::min(stats->y_most_negative, y_min_raw);
+        }
 
         const double e0 = re0[n] * inv_rho;
         const double e_int = e0 - 0.5 * (uu * uu + vv * vv + ww * ww);
         const double T_guess = prim.T.data()[n];
-        const double T = mech.T_from_e(
-            e_int, {Yp, static_cast<std::size_t>(ns)}, T_guess);
+        double T;
+        if (stats) {
+          chem::Mechanism::NewtonStats nw;
+          T = mech.T_from_e(e_int, {Yp, static_cast<std::size_t>(ns)},
+                            T_guess, &nw);
+          if (!nw.converged) ++stats->newton_nonconverged;
+          if (nw.hit_bounds) ++stats->newton_hit_bounds;
+          if (nw.iterations > stats->newton_max_iterations ||
+              (!nw.converged &&
+               nw.residual > stats->newton_worst_residual)) {
+            stats->newton_max_iterations =
+                std::max(stats->newton_max_iterations, nw.iterations);
+            stats->worst_cell = static_cast<std::ptrdiff_t>(n);
+          }
+          if (!nw.converged)
+            stats->newton_worst_residual =
+                std::max(stats->newton_worst_residual, nw.residual);
+        } else {
+          T = mech.T_from_e(e_int, {Yp, static_cast<std::size_t>(ns)},
+                            T_guess);
+        }
 
         prim.rho.data()[n] = rho;
         prim.u.data()[n] = uu;

@@ -76,10 +76,37 @@ struct Prim {
   }
 };
 
+/// Knobs for the conserved->primitive conversion boundary.
+struct PrimOptions {
+  /// Renormalize the clipped mass-fraction vector to sum to one instead
+  /// of dumping the clipped mass into the last species (the historical
+  /// behaviour). Off by default: switching it on changes the integrated
+  /// trajectory, so it is a per-run decision, never a silent one.
+  bool renormalize_y = false;
+};
+
+/// Per-call accounting of what the prim boundary had to repair or could
+/// not invert — the health sentinel's window into the Newton solve and
+/// the dispersion-error Y undershoots that were historically clipped
+/// silently.
+struct PrimStats {
+  long y_clipped = 0;            ///< cells with at least one negative Y clipped
+  double y_most_negative = 0.0;  ///< most negative raw mass fraction seen
+  long newton_nonconverged = 0;  ///< cells whose T Newton did not converge
+  long newton_hit_bounds = 0;    ///< cells pegged at the [Tmin, Tmax] clamp
+  int newton_max_iterations = 0;
+  double newton_worst_residual = 0.0;  ///< |dT| [K] of the worst cell
+  std::ptrdiff_t worst_cell = -1;      ///< flat index of the worst cell
+};
+
 /// Fill Prim interiors (plus any already-valid ghost region is ignored)
-/// from the conserved state. `T_prev` seeds the Newton iteration for T.
+/// from the conserved state. prim.T seeds the Newton iteration for T.
+/// `opts` selects the mass-fraction repair policy; `stats`, when non-null,
+/// collects clip/convergence accounting (the nullptr path compiles to the
+/// historical zero-overhead loop).
 void prim_from_conserved(const chem::Mechanism& mech, const State& U,
-                         Prim& prim);
+                         Prim& prim, const PrimOptions& opts = {},
+                         PrimStats* stats = nullptr);
 
 /// Build the conserved state at one point from primitives.
 void point_to_conserved(const chem::Mechanism& mech, double rho, double uu,

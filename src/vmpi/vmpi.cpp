@@ -353,6 +353,36 @@ void Comm::allreduce_sum(std::span<double> v) {
   barrier();
 }
 
+void Comm::allreduce_max(std::span<double> v) {
+  hub_->vec_ptrs[rank_] = v;
+  barrier();
+  std::vector<double> acc(v.begin(), v.end());
+  for (int r = 0; r < size(); ++r) {
+    const auto& src = hub_->vec_ptrs[r];
+    S3D_REQUIRE(src.size() == v.size(), "allreduce_max: size mismatch");
+    for (std::size_t i = 0; i < v.size(); ++i)
+      acc[i] = std::max(acc[i], src[i]);
+  }
+  barrier();  // everyone has read all inputs
+  std::copy(acc.begin(), acc.end(), v.begin());
+  barrier();
+}
+
+void Comm::allreduce_min(std::span<double> v) {
+  hub_->vec_ptrs[rank_] = v;
+  barrier();
+  std::vector<double> acc(v.begin(), v.end());
+  for (int r = 0; r < size(); ++r) {
+    const auto& src = hub_->vec_ptrs[r];
+    S3D_REQUIRE(src.size() == v.size(), "allreduce_min: size mismatch");
+    for (std::size_t i = 0; i < v.size(); ++i)
+      acc[i] = std::min(acc[i], src[i]);
+  }
+  barrier();  // everyone has read all inputs
+  std::copy(acc.begin(), acc.end(), v.begin());
+  barrier();
+}
+
 void run(int nranks, const std::function<void(Comm&)>& fn,
          const RunOptions& opts) {
   S3D_REQUIRE(nranks >= 1, "need at least one rank");

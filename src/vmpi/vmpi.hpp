@@ -125,6 +125,12 @@ class Comm {
   double allreduce_min(double v);
   /// Element-wise sum-reduction of a vector across ranks (in place).
   void allreduce_sum(std::span<double> v);
+  /// Element-wise max/min reductions of a vector across ranks (in place).
+  /// One collective for a whole verdict vector: the health sentinel packs
+  /// (severity, metric, -dt_suggest, ...) into a single allreduce_max so
+  /// every rank derives the identical verdict from identical numbers.
+  void allreduce_max(std::span<double> v);
+  void allreduce_min(std::span<double> v);
 
  private:
   friend void run(int, const std::function<void(Comm&)>&,

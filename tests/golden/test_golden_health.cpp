@@ -1,0 +1,224 @@
+// Golden health-recovery regression (ctest -L golden / -L health).
+//
+// One case: a pressure-wave cube driven with a fixed dt ~20x the stable
+// limit. Unguarded, the run provably diverges (asserted in-harness).
+// Under run_guarded the sentinel detects each breach, rolls back to the
+// in-memory snapshot ring, halves dt and completes — and because every
+// verdict is collective and every restore bitwise, the recovered final
+// fields must be BITWISE IDENTICAL across 1-, 2- and 8-rank
+// decompositions of the same run. The committed record in data/ also
+// pins the recovery structure (rollback count, final dt scale, final
+// time) against drift.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "solver/cases.hpp"
+#include "solver/health.hpp"
+#include "solver/solver.hpp"
+#include "vmpi/vmpi.hpp"
+
+namespace sv = s3d::solver;
+namespace vmpi = s3d::vmpi;
+
+namespace {
+
+constexpr int kN = 16;        ///< cube edge (2x2x2-decomposable)
+constexpr int kSteps = 4;     ///< guarded steps to complete
+constexpr double kDtFactor = 20.0;  ///< fixed dt in units of stable dt
+
+struct HealthGolden {
+  std::string t_final_hex;
+  long steps = 0;
+  int rollbacks = 0;
+  std::string dt_scale_hex;
+  std::vector<std::string> checksums;  ///< per-variable FNV-1a (hex64)
+};
+
+std::string hexfloat(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+sv::GuardOptions guard_options() {
+  sv::GuardOptions opts;
+  // The blow-up is organic: let the state actually diverge and the scan
+  // catch the contamination, rather than tripping the dt check first.
+  opts.health.check_dt = false;
+  opts.max_rollbacks = 30;
+  // Keep retrying at the newest snapshot: the ring never pops empty, so
+  // recovery needs no on-disk fallback.
+  opts.retries_per_snapshot = 100;
+  opts.ring_depth = 2;
+  return opts;
+}
+
+// Run the guarded blow-up on a (px, py, pz) decomposition and collect the
+// global fields plus the recovery structure.
+HealthGolden run_guarded_case(double dt_fixed, int px, int py, int pz) {
+  const sv::CaseSetup setup = sv::pressure_wave_case(kN);
+  const int nv = sv::n_conserved(setup.cfg.mech->n_species());
+  std::vector<double> global(static_cast<std::size_t>(nv) * kN * kN * kN);
+  HealthGolden rec;
+
+  vmpi::run(px * py * pz, [&](vmpi::Comm& comm) {
+    sv::Solver s(setup.cfg, comm, px, py, pz);
+    s.initialize(setup.init);
+    sv::GuardOptions opts = guard_options();
+    opts.dt_fixed = dt_fixed;
+    const auto rep = sv::run_guarded(s, kSteps, opts, &comm);
+    EXPECT_TRUE(rep.completed);
+    EXPECT_GE(rep.rollbacks, 1)
+        << "the blow-up dt must actually trigger recovery";
+    const auto& l = s.layout();
+    const auto off = s.offset();
+    for (int v = 0; v < nv; ++v) {
+      const double* var = s.state().var(v);
+      for (int k = 0; k < l.nz; ++k)
+        for (int j = 0; j < l.ny; ++j)
+          for (int i = 0; i < l.nx; ++i)
+            global[static_cast<std::size_t>(v) * kN * kN * kN +
+                   static_cast<std::size_t>(off[2] + k) * kN * kN +
+                   static_cast<std::size_t>(off[1] + j) * kN +
+                   (off[0] + i)] = var[l.at(i, j, k)];
+    }
+    if (comm.rank() == 0) {
+      rec.t_final_hex = hexfloat(s.time());
+      rec.steps = s.steps_taken();
+      rec.rollbacks = rep.rollbacks;
+      rec.dt_scale_hex = hexfloat(rep.dt_scale);
+    }
+    comm.barrier();
+  });
+
+  const std::size_t pts = static_cast<std::size_t>(kN) * kN * kN;
+  for (int v = 0; v < nv; ++v)
+    rec.checksums.push_back(s3d::hex64(s3d::fnv1a64(
+        global.data() + static_cast<std::size_t>(v) * pts,
+        pts * sizeof(double))));
+  return rec;
+}
+
+std::string golden_path() {
+  return std::string(S3D_GOLDEN_DIR) + "/health_recovery.golden";
+}
+
+void save(const HealthGolden& rec) {
+  std::ofstream f(golden_path());
+  ASSERT_TRUE(f.good()) << "cannot write " << golden_path();
+  f << "# S3D++ golden record for the guarded blow-up recovery case.\n"
+    << "# Regenerate intentionally: S3D_GOLDEN_REFRESH=1 ctest -L golden\n"
+    << "t " << rec.t_final_hex << "\n"
+    << "steps " << rec.steps << "\n"
+    << "rollbacks " << rec.rollbacks << "\n"
+    << "dt_scale " << rec.dt_scale_hex << "\n";
+  for (std::size_t v = 0; v < rec.checksums.size(); ++v)
+    f << "checksum " << v << " " << rec.checksums[v] << "\n";
+}
+
+bool load(HealthGolden& rec) {
+  std::ifstream f(golden_path());
+  if (!f.good()) return false;
+  std::string line;
+  while (std::getline(f, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    std::string key;
+    ss >> key;
+    if (key == "t") {
+      ss >> rec.t_final_hex;
+    } else if (key == "steps") {
+      ss >> rec.steps;
+    } else if (key == "rollbacks") {
+      ss >> rec.rollbacks;
+    } else if (key == "dt_scale") {
+      ss >> rec.dt_scale_hex;
+    } else if (key == "checksum") {
+      std::size_t idx;
+      std::string sum;
+      ss >> idx >> sum;
+      rec.checksums.resize(std::max(rec.checksums.size(), idx + 1));
+      rec.checksums[idx] = sum;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+TEST(GoldenHealth, GuardedBlowupRecoversBitwiseAcrossDecompositions) {
+  const sv::CaseSetup setup = sv::pressure_wave_case(kN);
+
+  // The fixed dt is computed once (serially) and passed verbatim to every
+  // decomposition, mirroring how a production run would misconfigure it.
+  double dt0 = 0.0;
+  {
+    sv::Solver s(setup.cfg);
+    s.initialize(setup.init);
+    dt0 = s.stable_dt();
+  }
+  const double dt_fixed = kDtFactor * dt0;
+
+  // Prove the case diverges unguarded: stepped blind at this dt the state
+  // must go non-finite (or the sentinel itself is pointless here).
+  {
+    sv::Solver s(setup.cfg);
+    s.initialize(setup.init);
+    bool diverged = false;
+    for (int n = 0; n < 30 && !diverged; ++n) {
+      s.step(dt_fixed);
+      const auto& l = s.layout();
+      for (int v = 0; v < s.state().nv() && !diverged; ++v)
+        for (int k = 0; k < l.nz && !diverged; ++k)
+          for (int j = 0; j < l.ny && !diverged; ++j)
+            for (int i = 0; i < l.nx && !diverged; ++i)
+              if (!std::isfinite(s.state().at(v, i, j, k))) diverged = true;
+    }
+    ASSERT_TRUE(diverged)
+        << "blow-up dt no longer diverges unguarded; raise kDtFactor";
+  }
+
+  const auto serial = run_guarded_case(dt_fixed, 1, 1, 1);
+  const auto two = run_guarded_case(dt_fixed, 2, 1, 1);
+  const auto eight = run_guarded_case(dt_fixed, 2, 2, 2);
+
+  // The decomposition-invariance contract extends through recovery:
+  // identical verdicts, identical rollback schedule, identical fields.
+  ASSERT_EQ(two.checksums, serial.checksums)
+      << "1-rank and 2-rank recovered fields diverged";
+  ASSERT_EQ(eight.checksums, serial.checksums)
+      << "1-rank and 8-rank recovered fields diverged";
+  EXPECT_EQ(two.t_final_hex, serial.t_final_hex);
+  EXPECT_EQ(eight.t_final_hex, serial.t_final_hex);
+  EXPECT_EQ(two.rollbacks, serial.rollbacks);
+  EXPECT_EQ(eight.rollbacks, serial.rollbacks);
+  EXPECT_EQ(two.dt_scale_hex, serial.dt_scale_hex);
+  EXPECT_EQ(eight.dt_scale_hex, serial.dt_scale_hex);
+  EXPECT_EQ(serial.steps, kSteps);
+
+  if (std::getenv("S3D_GOLDEN_REFRESH") != nullptr) {
+    save(serial);
+    GTEST_SKIP() << "golden record refreshed: " << golden_path();
+  }
+
+  HealthGolden gold;
+  ASSERT_TRUE(load(gold)) << "missing golden record " << golden_path()
+                          << " — generate with S3D_GOLDEN_REFRESH=1";
+  EXPECT_EQ(serial.t_final_hex, gold.t_final_hex) << "t_final drifted";
+  EXPECT_EQ(serial.steps, gold.steps);
+  EXPECT_EQ(serial.rollbacks, gold.rollbacks) << "recovery schedule drifted";
+  EXPECT_EQ(serial.dt_scale_hex, gold.dt_scale_hex);
+  ASSERT_EQ(serial.checksums.size(), gold.checksums.size());
+  for (std::size_t v = 0; v < gold.checksums.size(); ++v)
+    EXPECT_EQ(serial.checksums[v], gold.checksums[v])
+        << "recovered field checksum drifted for variable " << v;
+}
