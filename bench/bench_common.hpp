@@ -1,10 +1,13 @@
 #pragma once
 // Shared helpers for the per-figure benchmark binaries.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace s3dpp_bench {
 
@@ -26,6 +29,49 @@ inline void banner(const char* id, const char* what) {
   std::printf("==============================================================\n");
   std::printf("%s: %s\n", id, what);
   std::printf("==============================================================\n");
+}
+
+/// Median of a sample set (destructive on a copy; empty -> 0).
+inline double median(std::vector<double> xs) {
+  if (xs.empty()) return 0.0;
+  const std::size_t m = xs.size() / 2;
+  std::nth_element(xs.begin(), xs.begin() + m, xs.end());
+  double hi = xs[m];
+  if (xs.size() % 2 == 0) {
+    const double lo = *std::max_element(xs.begin(), xs.begin() + m);
+    return 0.5 * (lo + hi);
+  }
+  return hi;
+}
+
+/// Machine-readable result record: written to
+/// <out_dir>/BENCH_<name>.json so CI and plotting scripts can consume
+/// benchmark output without scraping stdout. The fixed keys cover the
+/// common contract (median ns per cell-step and the pass-plan sweep
+/// count); `extra` carries bench-specific scalars.
+struct BenchResult {
+  std::string name;                     ///< bench/series identifier
+  double median_ns_per_cell_step = 0.0; ///< median step cost per cell
+  long passes = 0;                      ///< grid sweeps counted in the run
+  std::vector<std::pair<std::string, double>> extra;
+};
+
+inline void write_bench_json(const BenchResult& r) {
+  const std::string path = out_dir() + "/BENCH_" + r.name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"name\": \"%s\",\n", r.name.c_str());
+  std::fprintf(f, "  \"median_ns_per_cell_step\": %.17g,\n",
+               r.median_ns_per_cell_step);
+  std::fprintf(f, "  \"passes\": %ld", r.passes);
+  for (const auto& [k, v] : r.extra)
+    std::fprintf(f, ",\n  \"%s\": %.17g", k.c_str(), v);
+  std::fprintf(f, "\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
 }
 
 }  // namespace s3dpp_bench

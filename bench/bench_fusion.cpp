@@ -1,0 +1,148 @@
+// Fused-pass execution layer A/B harness (DESIGN.md §10).
+//
+// Runs the same lifted-flame step loop twice — Config::fusion on and
+// off — and reports, for each mode:
+//   - the median wall time per step (and per cell-step in ns),
+//   - the number of grid sweeps per step from the pass-plan accounting
+//     (Solver::pass_stats + RhsEvaluator::pass_stats),
+//   - an FNV-1a checksum of the final conserved state.
+//
+// Acceptance (enforced in-run, nonzero exit on failure):
+//   - the fused plan executes strictly fewer sweeps per step,
+//   - the two final states are bitwise identical (the fusion contract;
+//     the golden suite pins the same property on seeded records),
+// and the fused median step time should be no worse — reported here,
+// asserted only under S3DPP_BENCH_STRICT=1 since wall-clock on shared
+// CI boxes is noisy.
+//
+// Results are also written machine-readably to BENCH_fusion_on.json /
+// BENCH_fusion_off.json.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/hash.hpp"
+#include "solver/cases.hpp"
+#include "solver/solver.hpp"
+
+namespace sv = s3d::solver;
+
+namespace {
+
+struct ModeResult {
+  double median_step_ms = 0.0;
+  double sweeps_per_step = 0.0;
+  long total_sweeps = 0;
+  long stages = 0;
+  std::string checksum;
+};
+
+sv::CaseSetup flame_case() {
+  sv::LiftedJetParams p;
+  p.nx = s3dpp_bench::full_mode() ? 64 : 32;
+  p.ny = s3dpp_bench::full_mode() ? 48 : 24;
+  return sv::lifted_jet_case(p);
+}
+
+ModeResult run_mode(const sv::CaseSetup& setup, bool fusion, int nsteps,
+                    int warmup) {
+  sv::Config cfg = setup.cfg;
+  cfg.fusion = fusion;
+  sv::Solver s(cfg);
+  s.initialize(setup.init);
+  s.run(warmup);
+
+  s.reset_pass_stats();
+  s.rhs().reset_pass_stats();
+  std::vector<double> step_ms;
+  for (int n = 0; n < nsteps; ++n) {
+    const auto t0 = std::chrono::steady_clock::now();
+    s.run(1);
+    const auto t1 = std::chrono::steady_clock::now();
+    step_ms.push_back(
+        std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+
+  ModeResult r;
+  r.median_step_ms = s3dpp_bench::median(step_ms);
+  r.total_sweeps = s.pass_stats().sweeps + s.rhs().pass_stats().sweeps;
+  r.stages = s.pass_stats().stages + s.rhs().pass_stats().stages;
+  r.sweeps_per_step = static_cast<double>(r.total_sweeps) / nsteps;
+
+  const auto flat = s.state().flat();
+  r.checksum = s3d::hex64(
+      s3d::fnv1a64(flat.data(), flat.size() * sizeof(double)));
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  using s3dpp_bench::banner;
+  using s3dpp_bench::full_mode;
+
+  banner("bench_fusion",
+         "fused vs unfused pass plan on the lifted-flame step loop");
+
+  const auto setup = flame_case();
+  const int nsteps = full_mode() ? 40 : 12;
+  const int warmup = 3;
+  const double cells =
+      static_cast<double>(setup.cfg.x.n) * setup.cfg.y.n * setup.cfg.z.n;
+  std::printf("grid %dx%d, %d timed steps (+%d warmup), H2/air chem\n\n",
+              setup.cfg.x.n, setup.cfg.y.n, nsteps, warmup);
+
+  const ModeResult off = run_mode(setup, false, nsteps, warmup);
+  const ModeResult on = run_mode(setup, true, nsteps, warmup);
+
+  std::printf("%-10s %14s %14s %12s  %s\n", "mode", "median ms/step",
+              "sweeps/step", "stages", "state checksum");
+  std::printf("%-10s %14.3f %14.1f %12ld  %s\n", "unfused",
+              off.median_step_ms, off.sweeps_per_step, off.stages,
+              off.checksum.c_str());
+  std::printf("%-10s %14.3f %14.1f %12ld  %s\n", "fused", on.median_step_ms,
+              on.sweeps_per_step, on.stages, on.checksum.c_str());
+  std::printf("\nsweeps saved: %.1f/step (%.0f%%), step time %+.2f%%\n",
+              off.sweeps_per_step - on.sweeps_per_step,
+              100.0 * (off.sweeps_per_step - on.sweeps_per_step) /
+                  off.sweeps_per_step,
+              100.0 * (on.median_step_ms - off.median_step_ms) /
+                  off.median_step_ms);
+
+  for (const bool fusion : {false, true}) {
+    const ModeResult& r = fusion ? on : off;
+    s3dpp_bench::BenchResult out;
+    out.name = fusion ? "fusion_on" : "fusion_off";
+    out.median_ns_per_cell_step = r.median_step_ms * 1e6 / cells;
+    out.passes = r.total_sweeps;
+    out.extra = {{"median_ms_per_step", r.median_step_ms},
+                 {"sweeps_per_step", r.sweeps_per_step},
+                 {"steps", static_cast<double>(nsteps)}};
+    s3dpp_bench::write_bench_json(out);
+  }
+
+  int rc = 0;
+  if (on.total_sweeps >= off.total_sweeps) {
+    std::printf("FAIL: fused plan did not reduce sweep count\n");
+    rc = 1;
+  }
+  if (on.checksum != off.checksum) {
+    std::printf("FAIL: fused and unfused final states are not bitwise "
+                "identical\n");
+    rc = 1;
+  }
+  const char* strict = std::getenv("S3DPP_BENCH_STRICT");
+  if (strict && strict[0] == '1' &&
+      on.median_step_ms > 1.05 * off.median_step_ms) {
+    std::printf("FAIL: fused median step time regressed beyond 5%%\n");
+    rc = 1;
+  }
+  if (rc == 0)
+    std::printf("\nacceptance: fewer sweeps, bitwise-identical state. OK\n");
+  return rc;
+}

@@ -1,13 +1,23 @@
 // Health-sentinel overhead on the lifted-flame step loop (DESIGN.md
-// "Numerical health & recovery"). Three configurations of the same run:
+// "Numerical health & recovery"). Four configurations of the same run:
 //
 //   bare      Solver::run(), no guard at all (the baseline);
 //   disarmed  run_guarded() with health.enabled = false — the acceptance
 //             bar is <= ~2% overhead, i.e. guarding a run costs nothing
 //             until it is armed;
-//   armed     run_guarded() with per-step scans and snapshots — the scan
-//             cost is also broken out per step from the health.scan trace
-//             span, plus the snapshot ring's memory footprint.
+//   armed, in-pass       run_guarded() with per-step scans and
+//             snapshots, conserved-state tripwires folded into the
+//             step's final fused pass (HealthConfig::in_pass, DESIGN.md
+//             §10) — the scan consumes the accumulated verdict instead
+//             of sweeping U again;
+//   armed, legacy scan   the same, with in_pass = false: the sentinel
+//             re-sweeps the committed state separately each step. The
+//             delta between the armed modes is the cost of the extra
+//             sweep the fold removes.
+//
+// The armed scan cost is broken out per step from the health.scan trace
+// span, plus the snapshot ring's memory footprint. Results are written
+// machine-readably to BENCH_health_*.json.
 
 #include <chrono>
 #include <cstdio>
@@ -75,49 +85,96 @@ int main() {
     if (!rep.completed) std::printf("disarmed run did not complete!\n");
   }
 
-  // --- guarded, armed (per-step scan + snapshot) --------------------------
-  double armed_ms = 0.0;
-  double scan_ms_per_step = 0.0;
-  long scans = 0;
-  int rollbacks = 0;
-  std::size_t ring_bytes = 0;
-  {
+  // --- guarded, armed: in-pass tripwires vs legacy separate scan ----------
+  struct ArmedResult {
+    double total_ms = 0.0;
+    double scan_ms_per_step = 0.0;
+    long scans = 0;
+    long in_pass_scans = 0;
+    int rollbacks = 0;
+    std::size_t ring_bytes = 0;
+  };
+  auto run_armed = [&](bool in_pass) {
+    ArmedResult r;
     sv::Solver s(setup.cfg);
     s.initialize(setup.init);
     s.run(warmup);
     sv::GuardOptions opts;  // defaults: scan + snapshot every step
+    opts.health.in_pass = in_pass;
     {
       sv::SnapshotRing probe(opts.ring_depth);
       probe.capture(s);
-      ring_bytes = probe.bytes() * opts.ring_depth;
+      r.ring_bytes = probe.bytes() * opts.ring_depth;
     }
     trace::clear();
     trace::set_enabled(true);
     const auto t0 = std::chrono::steady_clock::now();
     const auto rep = sv::run_guarded(s, nsteps, opts);
-    armed_ms = wall_ms(t0, std::chrono::steady_clock::now());
+    r.total_ms = wall_ms(t0, std::chrono::steady_clock::now());
     trace::set_enabled(false);
     const auto sum = trace::summarize();
     if (const auto* k = sum.find("health.scan"); k && k->total_calls() > 0)
-      scan_ms_per_step = k->total_s() * 1e3 / k->total_calls();
+      r.scan_ms_per_step = k->total_s() * 1e3 / k->total_calls();
+    if (const auto* c = sum.find_counter("health.in_pass_scans"))
+      r.in_pass_scans = static_cast<long>(c->total);
     trace::clear();
-    scans = rep.scans;
-    rollbacks = rep.rollbacks;
+    r.scans = rep.scans;
+    r.rollbacks = rep.rollbacks;
     if (!rep.completed) std::printf("armed run did not complete!\n");
-  }
+    return r;
+  };
+  const ArmedResult in_pass = run_armed(true);
+  const ArmedResult legacy = run_armed(false);
 
   const double per_step = bare_ms / nsteps;
   std::printf("%-28s %10.2f ms  (%.3f ms/step)\n", "bare Solver::run", bare_ms,
               per_step);
   std::printf("%-28s %10.2f ms  (%+.2f%% vs bare)\n", "run_guarded, disarmed",
               disarmed_ms, 100.0 * (disarmed_ms - bare_ms) / bare_ms);
-  std::printf("%-28s %10.2f ms  (%+.2f%% vs bare)\n", "run_guarded, armed",
-              armed_ms, 100.0 * (armed_ms - bare_ms) / bare_ms);
-  std::printf("\narmed details: %ld scans, %d rollbacks, scan cost "
-              "%.3f ms/step (%.1f%% of a step), snapshot ring %.1f MiB\n",
-              scans, rollbacks, scan_ms_per_step,
-              100.0 * scan_ms_per_step / per_step,
-              static_cast<double>(ring_bytes) / (1024.0 * 1024.0));
-  std::printf("\nacceptance: disarmed overhead must stay <= ~2%%.\n");
-  return 0;
+  std::printf("%-28s %10.2f ms  (%+.2f%% vs bare)\n",
+              "run_guarded, armed in-pass", in_pass.total_ms,
+              100.0 * (in_pass.total_ms - bare_ms) / bare_ms);
+  std::printf("%-28s %10.2f ms  (%+.2f%% vs bare)\n",
+              "run_guarded, legacy scan", legacy.total_ms,
+              100.0 * (legacy.total_ms - bare_ms) / bare_ms);
+  std::printf("\nin-pass : %ld scans (%ld folded), %d rollbacks, scan "
+              "consume %.3f ms/step (%.1f%% of a step)\n",
+              in_pass.scans, in_pass.in_pass_scans, in_pass.rollbacks,
+              in_pass.scan_ms_per_step,
+              100.0 * in_pass.scan_ms_per_step / per_step);
+  std::printf("legacy  : %ld scans (%ld folded), %d rollbacks, scan sweep "
+              "  %.3f ms/step (%.1f%% of a step)\n",
+              legacy.scans, legacy.in_pass_scans, legacy.rollbacks,
+              legacy.scan_ms_per_step,
+              100.0 * legacy.scan_ms_per_step / per_step);
+  std::printf("snapshot ring %.1f MiB\n",
+              static_cast<double>(in_pass.ring_bytes) / (1024.0 * 1024.0));
+
+  const double cells =
+      static_cast<double>(setup.cfg.x.n) * setup.cfg.y.n * setup.cfg.z.n;
+  for (const bool folded : {true, false}) {
+    const ArmedResult& r = folded ? in_pass : legacy;
+    s3dpp_bench::BenchResult out;
+    out.name = folded ? "health_armed_in_pass" : "health_armed_legacy";
+    out.median_ns_per_cell_step = r.total_ms * 1e6 / (cells * nsteps);
+    out.passes = r.scans;
+    out.extra = {{"scan_ms_per_step", r.scan_ms_per_step},
+                 {"in_pass_scans", static_cast<double>(r.in_pass_scans)},
+                 {"total_ms", r.total_ms}};
+    s3dpp_bench::write_bench_json(out);
+  }
+
+  int rc = 0;
+  if (in_pass.in_pass_scans == 0) {
+    std::printf("\nFAIL: in-pass mode never folded a tripwire scan\n");
+    rc = 1;
+  }
+  if (legacy.in_pass_scans != 0) {
+    std::printf("\nFAIL: legacy mode reported folded scans\n");
+    rc = 1;
+  }
+  std::printf("\nacceptance: disarmed overhead <= ~2%%; armed in-pass must "
+              "fold its scans (and be no slower than the legacy sweep on "
+              "quiet machines).\n");
+  return rc;
 }

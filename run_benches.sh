@@ -19,3 +19,12 @@ if [ -f bench_output/trace_summary.txt ]; then
   echo "  bench_output/trace.json          (ui.perfetto.dev / chrome://tracing)"
   echo "  bench_output/trace_summary.txt   (per-phase kernel x rank table)"
 fi
+
+# Machine-readable results: each bench writes BENCH_<name>.json
+# (name, median ns/cell-step, pass count, extras) for CI/plotting.
+set -- bench_output/BENCH_*.json
+if [ -f "$1" ]; then
+  echo ""
+  echo "machine-readable results:"
+  for j in "$@"; do echo "  $j"; done
+fi

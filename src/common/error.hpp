@@ -3,8 +3,10 @@
 //
 // The library throws s3d::Error (derived from std::runtime_error) for all
 // recoverable failures; S3D_REQUIRE is used for precondition checks on
-// public API boundaries, S3D_ASSERT for internal invariants (compiled out
-// in release builds only when S3DPP_NO_ASSERT is defined).
+// public API boundaries, S3D_ASSERT for internal invariants. S3D_ASSERT
+// sits on every hot-loop index (Layout::at), so it compiles out in
+// Release (NDEBUG) builds; the sanitizer lanes re-arm it with
+// S3DPP_KEEP_ASSERT, and S3DPP_NO_ASSERT forces it out everywhere.
 
 #include <stdexcept>
 #include <string>
@@ -35,7 +37,8 @@ namespace detail {
                           (msg));                                     \
   } while (0)
 
-#ifdef S3DPP_NO_ASSERT
+#if defined(S3DPP_NO_ASSERT) || \
+    (defined(NDEBUG) && !defined(S3DPP_KEEP_ASSERT))
 #define S3D_ASSERT(expr) ((void)0)
 #else
 #define S3D_ASSERT(expr)                                                  \

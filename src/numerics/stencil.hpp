@@ -40,6 +40,15 @@ void deriv_line_metric(const double* f, std::ptrdiff_t stride, double* df,
                        std::ptrdiff_t dstride, int n, const double* inv_h,
                        LineBC bc);
 
+/// Fused divergence accumulation: df[i] -= (dfdxi at i) * inv_h[i].
+/// Batched flux-divergence passes use this in place of the unfused
+/// write-scratch / subtract-scratch pair; the accumulated values are
+/// bitwise identical to that pair (the derivative is rounded to a
+/// double before the subtraction, never contracted into it).
+void deriv_line_metric_sub(const double* f, std::ptrdiff_t stride, double* df,
+                           std::ptrdiff_t dstride, int n, const double* inv_h,
+                           LineBC bc);
+
 /// 10th-order filter along a strided line, in place semantics via separate
 /// output: out[i] = f[i] - (alpha/1024) * (10th binomial difference).
 /// `alpha` in (0, 1]; 1 is the paper's full-strength filter. Points whose

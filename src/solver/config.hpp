@@ -112,6 +112,18 @@ struct Config {
   /// x-length when 0).
   double L_relax = 0.0;
 
+  /// Fused-pass execution (DESIGN.md §10): evaluate the RHS and RK
+  /// stages as a small list of fused, cache-blocked sweeps (batched
+  /// derivatives, fused flux assembly/divergence, in-pass health
+  /// tripwires). Bitwise identical to the unfused reference path, which
+  /// remains selectable here; building with -DS3D_FUSION=OFF flips the
+  /// default so an entire test lane exercises the reference path.
+#ifdef S3D_FUSION_OFF
+  bool fusion = false;
+#else
+  bool fusion = true;
+#endif
+
   /// Prim-boundary mass-fraction repair (see PrimOptions in state.hpp):
   /// renormalize clipped Y vectors whose explicit species sum past one,
   /// instead of only zeroing the implied last species. Changes the

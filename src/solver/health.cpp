@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <limits>
+#include <optional>
 
 #include "resilience/fault.hpp"
 #include "trace/trace.hpp"
@@ -14,8 +15,9 @@ namespace s3d::solver {
 namespace {
 
 /// Sentinel cell code meaning "no cell" — larger than any encodable
-/// global index, so an allreduce_min over codes ignores it.
-constexpr double kNoCell = 1e300;
+/// global index, so an allreduce_min over codes ignores it (shared with
+/// the in-pass tripwires).
+constexpr double kNoCell = kNoCellCode;
 /// Sentinel dt meaning "no local estimate" (its negation loses every
 /// allreduce_max against a real estimate).
 constexpr double kNoDt = 1e300;
@@ -120,80 +122,63 @@ double HealthSentinel::encode_cell(int i, int j, int k) const {
   return (off[0] + i) + NX * ((off[1] + j) + NY * (off[2] + k));
 }
 
-HealthSentinel::LocalVerdict HealthSentinel::local_scan(double /*dt_used*/) {
+TripwireParams HealthSentinel::params() const {
+  TripwireParams p;
+  p.rho_min = hc_.rho_min;
+  p.y_tol = hc_.y_tol;
+  p.ns = s_.rhs().mech().n_species();
+  p.nv = s_.state().nv();
+  p.offset = s_.offset();
+  p.NX = s_.mesh().nx();
+  p.NY = s_.mesh().ny();
+  return p;
+}
+
+bool HealthSentinel::arm_in_pass() {
+  if (!hc_.enabled || !hc_.in_pass) return false;
+  return s_.arm_tripwires(params());
+}
+
+HealthSentinel::LocalVerdict HealthSentinel::local_scan(
+    double /*dt_used*/, const TripwireAccum* pre) {
   LocalVerdict v;
   v.cell_code = kNoCell;
   v.dt_suggest = kNoDt;
 
   const Layout& l = s_.layout();
   const State& U = s_.state();
-  const int nv = U.nv();
-  const int ns = s_.rhs().mech().n_species();
 
   // Pass 1: conserved-state tripwires. Cheap (no Newton), and they gate
-  // pass 2 so the primitive inversion never runs on garbage.
-  long nonfinite = 0;
-  double nonfinite_cell = kNoCell;
-  double rho_worst = std::numeric_limits<double>::infinity();
-  double rho_cell = kNoCell;
-  double y_worst = 0.0;
-  double y_cell = kNoCell;
+  // pass 2 so the primitive inversion never runs on garbage. An armed
+  // step already accumulated the identical verdict inside its final
+  // fused pass (same rows, same order, same comparisons) — reuse it and
+  // this sweep disappears.
+  TripwireAccum acc;
+  if (pre) {
+    acc = *pre;
+  } else {
+    const TripwireParams p = params();
+    for (int k = 0; k < l.nz; ++k)
+      for (int j = 0; j < l.ny; ++j)
+        acc.check_row(U, p, l.at(0, j, k), 0, l.nx, j, k);
+  }
 
-  for (int k = 0; k < l.nz; ++k)
-    for (int j = 0; j < l.ny; ++j)
-      for (int i = 0; i < l.nx; ++i) {
-        const std::size_t n = l.at(i, j, k);
-        bool cell_finite = true;
-        for (int vv = 0; vv < nv; ++vv)
-          if (!std::isfinite(U.var(vv)[n])) {
-            ++nonfinite;
-            cell_finite = false;
-          }
-        if (!cell_finite) {
-          // Loop order is ascending in the global code, so the first
-          // offender is the local minimum — deterministic across runs.
-          if (nonfinite_cell >= kNoCell) nonfinite_cell = encode_cell(i, j, k);
-          continue;
-        }
-        const double rho = U.var(UIndex::rho)[n];
-        if (rho <= hc_.rho_min) {
-          if (rho < rho_worst) {
-            rho_worst = rho;
-            rho_cell = encode_cell(i, j, k);
-          }
-          continue;  // mass fractions are meaningless without density
-        }
-        // Raw mass fractions straight from the conserved vector: the worst
-        // undershoot covers both negative species and sum overshoot (the
-        // recovered last species going negative).
-        double ysum = 0.0, ymin = 0.0;
-        for (int sp = 0; sp < ns - 1; ++sp) {
-          const double y = U.var(UIndex::Y0 + sp)[n] / rho;
-          ysum += y;
-          if (y < ymin) ymin = y;
-        }
-        const double ylast = 1.0 - ysum;
-        if (ylast < ymin) ymin = ylast;
-        if (-ymin > hc_.y_tol && -ymin > y_worst) {
-          y_worst = -ymin;
-          y_cell = encode_cell(i, j, k);
-        }
-      }
-
-  if (nonfinite > 0) {
+  if (acc.nonfinite > 0) {
     v.breach = Breach::non_finite;
-    v.metric = static_cast<double>(nonfinite);
-    v.cell_code = nonfinite_cell;
+    v.metric = static_cast<double>(acc.nonfinite);
+    v.cell_code = acc.nonfinite_cell;
     v.threshold = 0.0;
     return v;
   }
-  if (rho_cell < kNoCell) {
+  if (acc.rho_cell < kNoCell) {
     v.breach = Breach::negative_density;
-    v.metric = hc_.rho_min - rho_worst;  // excess below the floor
-    v.cell_code = rho_cell;
+    v.metric = hc_.rho_min - acc.rho_worst;  // excess below the floor
+    v.cell_code = acc.rho_cell;
     v.threshold = hc_.rho_min;
     return v;
   }
+  const double y_worst = acc.y_worst;
+  const double y_cell = acc.y_cell;
 
   // Pass 2: primitive inversion under full accounting. Warm-started from
   // the existing T field, so on a healthy state this is one cheap Newton
@@ -204,12 +189,18 @@ HealthSentinel::LocalVerdict HealthSentinel::local_scan(double /*dt_used*/) {
   PrimStats stats;
   prim_from_conserved(s_.rhs().mech(), U, s_.rhs().prim(), popts, &stats);
 
+  // T-bounds tripwire over the just-refreshed (cache-resident) T field.
+  // Deliberately NOT folded into the Newton loop itself: perturbing that
+  // kernel changes its code generation (FP contraction) and breaks the
+  // bitwise golden contract, so only the conserved-state pass 1 above is
+  // fused away (into the step's final pass) by the in-pass tripwires.
   double t_excess = 0.0, t_cell = kNoCell, t_thresh = hc_.T_max;
   const GField& T = s_.rhs().prim().T;
   for (int k = 0; k < l.nz; ++k)
-    for (int j = 0; j < l.ny; ++j)
+    for (int j = 0; j < l.ny; ++j) {
+      const std::size_t row = l.at(0, j, k);
       for (int i = 0; i < l.nx; ++i) {
-        const double Tv = T.data()[l.at(i, j, k)];
+        const double Tv = T.data()[row + i];
         const double ex = std::max(Tv - hc_.T_max, hc_.T_min - Tv);
         if (ex > 0.0 && ex > t_excess) {
           t_excess = ex;
@@ -217,6 +208,7 @@ HealthSentinel::LocalVerdict HealthSentinel::local_scan(double /*dt_used*/) {
           t_thresh = Tv > hc_.T_max ? hc_.T_max : hc_.T_min;
         }
       }
+    }
 
   const bool newton_bad = stats.newton_nonconverged > 0 ||
                           stats.newton_max_iterations > hc_.newton_max_iters;
@@ -257,12 +249,20 @@ HealthReport HealthSentinel::scan(double dt_used) {
   trace::Span sp("health.scan", "health");
   ++scans_;
 
+  // In-pass verdict from an armed step, valid only if it scanned exactly
+  // the state we are judging now (same step count, no poisoning below).
+  std::optional<TripwireAccum> pre = s_.take_tripwires();
+  if (pre && pre->step != s_.steps_taken()) pre.reset();
+
   bool injected = false;
   if (auto a = fault::probe("solver.health")) {
     switch (a.kind) {
       case fault::Kind::drop:
         return {};  // sentinel blinded: this scan is skipped outright
       case fault::Kind::corrupt: {
+        // The poison lands after the armed pass ran, so the accumulated
+        // verdict no longer describes the state; fall back to the sweep.
+        pre.reset();
         // Poison one interior value so recovery from a real contamination
         // can be exercised deterministically.
         const Layout& l = s_.layout();
@@ -291,7 +291,8 @@ HealthReport HealthSentinel::scan(double dt_used) {
     }
   }
 
-  LocalVerdict lv = local_scan(dt_used);
+  if (pre) trace::counter_add("health.in_pass_scans", 1.0);
+  LocalVerdict lv = local_scan(dt_used, pre ? &*pre : nullptr);
   if (injected) {
     lv.breach = Breach::injected;
     lv.metric = 1.0;
@@ -457,6 +458,12 @@ GuardReport run_guarded(Solver& s, int nsteps, const GuardOptions& opts,
       throw HealthError(
           last, "dt fell below dt_min after " +
                     std::to_string(rep.rollbacks) + " rollbacks");
+
+    // Arm the in-pass tripwires when this step will be scanned: the scan
+    // below then consumes the verdict the step accumulated for free.
+    if (armed && ((st + 1 - start0) % opts.health.scan_every == 0 ||
+                  st + 1 == target))
+      sentinel.arm_in_pass();
 
     s.step(dt);
 

@@ -82,6 +82,12 @@ struct HealthConfig {
   int newton_max_iters = 50;  ///< Newton iteration-count overrun
   bool check_dt = true;       ///< compare dt_used against stable dt
   double dt_safety = 1.5;     ///< breach when dt_used > dt_safety * stable
+  /// Fold the conserved-state tripwires into the final fused pass of an
+  /// armed step (DESIGN.md §10) so the scan costs no separate sweep.
+  /// Requires Config::fusion and a caller that arms before stepping
+  /// (run_guarded does); the verdict is bit-identical to the separate
+  /// sweep, which remains the fallback whenever folding is impossible.
+  bool in_pass = true;
 };
 
 /// Structured description of one (collective) breach verdict.
@@ -145,8 +151,16 @@ class HealthSentinel {
 
   /// Scan the committed state; `dt_used` is the step size just taken.
   /// Refreshes the primitive workspace (warm-started Newton) as a side
-  /// effect when the conserved state is clean. Collective.
+  /// effect when the conserved state is clean. Collective. Consumes the
+  /// solver's in-pass tripwire verdict when the last step was armed.
   HealthReport scan(double dt_used);
+
+  /// Arm the solver's in-pass tripwires for the next step (no-op
+  /// returning false when disabled, HealthConfig::in_pass is off, or the
+  /// step cannot fold them — the next scan() then sweeps separately).
+  bool arm_in_pass();
+  /// Tripwire thresholds/encoding matching this sentinel's host sweep.
+  TripwireParams params() const;
 
   long scans() const { return scans_; }
 
@@ -158,7 +172,7 @@ class HealthSentinel {
     double threshold = 0.0;
     double dt_suggest = 1e300; ///< local stable dt (for the dt check)
   };
-  LocalVerdict local_scan(double dt_used);
+  LocalVerdict local_scan(double dt_used, const TripwireAccum* pre);
   double encode_cell(int i, int j, int k) const;
 
   Solver& s_;

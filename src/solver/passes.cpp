@@ -1,0 +1,174 @@
+#include "solver/passes.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "numerics/stencil.hpp"
+
+namespace s3d::solver {
+
+namespace {
+
+/// Unit-stride tile width for batched lines along non-x axes: the tile's
+/// cache lines stay resident while every batched field's lines over it
+/// are evaluated.
+constexpr int kTileX = 32;
+
+}  // namespace
+
+template <bool Fused>
+void FusedPointwise::run_rows(const Layout& l, int ilo, int ihi, int jlo,
+                              int jhi, int klo, int khi,
+                              PassStats* stats) const {
+  const int count = ihi - ilo;
+  if constexpr (Fused) {
+    if (stats) stats->count(stages());
+    for (int k = klo; k < khi; ++k)
+      for (int j = jlo; j < jhi; ++j) {
+        const RowRange r{l.at(ilo, j, k), ilo, count, j, k};
+        for (const Stage& s : stages_) s.fn(r);
+      }
+  } else {
+    for (const Stage& s : stages_) {
+      if (stats) stats->count(1);
+      for (int k = klo; k < khi; ++k)
+        for (int j = jlo; j < jhi; ++j)
+          s.fn(RowRange{l.at(ilo, j, k), ilo, count, j, k});
+    }
+  }
+}
+
+void FusedPointwise::run_interior(const Layout& l, PassStats* stats) const {
+  run_rows<true>(l, 0, l.nx, 0, l.ny, 0, l.nz, stats);
+}
+
+void FusedPointwise::run_valid(const Layout& l, const GhostFlags& gh,
+                               PassStats* stats) const {
+  run_rows<true>(l, gh.lo[0] ? -l.gx : 0, l.nx + (gh.hi[0] ? l.gx : 0),
+                 gh.lo[1] ? -l.gy : 0, l.ny + (gh.hi[1] ? l.gy : 0),
+                 gh.lo[2] ? -l.gz : 0, l.nz + (gh.hi[2] ? l.gz : 0), stats);
+}
+
+void FusedPointwise::run_full(const Layout& l, PassStats* stats) const {
+  run_rows<true>(l, -l.gx, l.nx + l.gx, -l.gy, l.ny + l.gy, -l.gz,
+                 l.nz + l.gz, stats);
+}
+
+void FusedPointwise::run_interior_sequential(const Layout& l,
+                                             PassStats* stats) const {
+  run_rows<false>(l, 0, l.nx, 0, l.ny, 0, l.nz, stats);
+}
+
+void FusedPointwise::run_valid_sequential(const Layout& l,
+                                          const GhostFlags& gh,
+                                          PassStats* stats) const {
+  run_rows<false>(l, gh.lo[0] ? -l.gx : 0, l.nx + (gh.hi[0] ? l.gx : 0),
+                  gh.lo[1] ? -l.gy : 0, l.ny + (gh.hi[1] ? l.gy : 0),
+                  gh.lo[2] ? -l.gz : 0, l.nz + (gh.hi[2] ? l.gz : 0), stats);
+}
+
+void batched_deriv(const FieldOps& ops, int axis,
+                   std::span<const DerivTarget> fields, bool accumulate,
+                   PassStats* stats) {
+  const Layout& l = ops.layout();
+  if (stats) stats->count(static_cast<long>(fields.size()));
+  if (!l.active(axis)) {
+    // FieldOps::deriv zeroes the whole output on an inactive axis; the
+    // accumulate form subtracts those zeros, which is the identity.
+    if (!accumulate)
+      for (const DerivTarget& t : fields)
+        std::fill(t.out, t.out + l.total(), 0.0);
+    return;
+  }
+
+  const std::ptrdiff_t s = l.stride(axis);
+  const int n = l.n(axis);
+  const numerics::LineBC bc{ops.ghosts().lo[axis], ops.ghosts().hi[axis]};
+  const double* inv = ops.inv_h(axis).data();
+
+  auto lines = [&](std::size_t base) {
+    for (const DerivTarget& t : fields) {
+      if (accumulate)
+        numerics::deriv_line_metric_sub(t.f + base, s, t.out + base, s, n,
+                                        inv, bc);
+      else
+        numerics::deriv_line_metric(t.f + base, s, t.out + base, s, n, inv,
+                                    bc);
+    }
+  };
+
+  // Assign mode mirrors the unfused operator: outputs are produced for
+  // every ghosted orthogonal position. Accumulate mode is the fused
+  // divergence: only interior lines exist (ghost entries of the target
+  // are never touched, matching the interior-only subtraction it
+  // replaces).
+  if (axis == 0) {
+    const int jlo = accumulate ? 0 : -l.gy, jhi = accumulate ? l.ny : l.ny + l.gy;
+    const int klo = accumulate ? 0 : -l.gz, khi = accumulate ? l.nz : l.nz + l.gz;
+    for (int k = klo; k < khi; ++k)
+      for (int j = jlo; j < jhi; ++j) lines(l.at(0, j, k));
+    return;
+  }
+
+  // Lines along y or z: tile the unit-stride x range so a tile's cache
+  // lines are reused across the whole field batch before moving on.
+  const int ilo = accumulate ? 0 : -l.gx, ihi = accumulate ? l.nx : l.nx + l.gx;
+  if (axis == 1) {
+    const int klo = accumulate ? 0 : -l.gz, khi = accumulate ? l.nz : l.nz + l.gz;
+    for (int k = klo; k < khi; ++k)
+      for (int i0 = ilo; i0 < ihi; i0 += kTileX)
+        for (int i = i0; i < std::min(i0 + kTileX, ihi); ++i)
+          lines(l.at(i, 0, k));
+  } else {
+    const int jlo = accumulate ? 0 : -l.gy, jhi = accumulate ? l.ny : l.ny + l.gy;
+    for (int j = jlo; j < jhi; ++j)
+      for (int i0 = ilo; i0 < ihi; i0 += kTileX)
+        for (int i = i0; i < std::min(i0 + kTileX, ihi); ++i)
+          lines(l.at(i, j, 0));
+  }
+}
+
+void TripwireAccum::check_row(const State& U, const TripwireParams& p,
+                              std::size_t n0, int i0, int count, int j,
+                              int k) {
+  for (int c = 0; c < count; ++c) {
+    const std::size_t n = n0 + static_cast<std::size_t>(c);
+    const int i = i0 + c;
+    bool cell_finite = true;
+    for (int v = 0; v < p.nv; ++v)
+      if (!std::isfinite(U.var(v)[n])) {
+        ++nonfinite;
+        cell_finite = false;
+      }
+    if (!cell_finite) {
+      // Rows arrive in ascending (k, j, i) order, so the first offender
+      // is the global-code minimum — deterministic across runs and
+      // identical to the sentinel's separate-sweep scan.
+      if (nonfinite_cell >= kNoCellCode)
+        nonfinite_cell = p.encode_cell(i, j, k);
+      continue;
+    }
+    const double rho = U.var(UIndex::rho)[n];
+    if (rho <= p.rho_min) {
+      if (rho < rho_worst) {
+        rho_worst = rho;
+        rho_cell = p.encode_cell(i, j, k);
+      }
+      continue;  // mass fractions are meaningless without density
+    }
+    double ysum = 0.0, ymin = 0.0;
+    for (int sp = 0; sp < p.ns - 1; ++sp) {
+      const double y = U.var(UIndex::Y0 + sp)[n] / rho;
+      ysum += y;
+      if (y < ymin) ymin = y;
+    }
+    const double ylast = 1.0 - ysum;
+    if (ylast < ymin) ymin = ylast;
+    if (-ymin > p.y_tol && -ymin > y_worst) {
+      y_worst = -ymin;
+      y_cell = p.encode_cell(i, j, k);
+    }
+  }
+}
+
+}  // namespace s3d::solver

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "chem/mixing.hpp"
 #include "chem/thermo.hpp"
@@ -37,6 +38,70 @@ void for_valid(const Layout& l, const GhostFlags& gh, Fn&& fn) {
       const std::size_t row = l.at(ilo, j, k);
       for (int i = 0; i < ihi - ilo; ++i) fn(row + i);
     }
+}
+
+// Same traversal as for_valid, one call per contiguous x-row. The fused
+// pass (FusedPointwise::run_valid) visits rows in exactly this order.
+template <typename Fn>
+void for_valid_rows(const Layout& l, const GhostFlags& gh, Fn&& fn) {
+  const int klo = gh.lo[2] ? -l.gz : 0, khi = l.nz + (gh.hi[2] ? l.gz : 0);
+  const int jlo = gh.lo[1] ? -l.gy : 0, jhi = l.ny + (gh.hi[1] ? l.gy : 0);
+  const int ilo = gh.lo[0] ? -l.gx : 0, ihi = l.nx + (gh.hi[0] ? l.gx : 0);
+  for (int k = klo; k < khi; ++k)
+    for (int j = jlo; j < jhi; ++j) fn(l.at(ilo, j, k), ihi - ilo);
+}
+
+// Convective-flux row kernels shared by the fused and unfused paths.
+// noinline pins ONE compiled body per kernel: both traversals execute
+// identical machine code over identical row extents, so the compiler's
+// FP-contraction choices (FMA formation is context-sensitive at -O3)
+// cannot make the two paths round differently. Inlining either side
+// would re-specialize the loop and break the bitwise contract.
+__attribute__((noinline)) void flux_mass_row(const double* rho,
+                                             const double* ub, double* f,
+                                             std::size_t n0, int count) {
+  for (int c = 0; c < count; ++c) {
+    const std::size_t n = n0 + static_cast<std::size_t>(c);
+    f[n] = rho[n] * ub[n];
+  }
+}
+
+__attribute__((noinline)) void flux_momentum_row(
+    const double* rho, const double* ua, const double* ub, const double* pp,
+    const double* taup, double* f, std::size_t n0, int count) {
+  for (int c = 0; c < count; ++c) {
+    const std::size_t n = n0 + static_cast<std::size_t>(c);
+    double v = rho[n] * ua[n] * ub[n];
+    if (pp) v += pp[n];
+    if (taup) v -= taup[n];
+    f[n] = v;
+  }
+}
+
+__attribute__((noinline)) void flux_energy_row(
+    const double* re0, const double* pp, const double* ub,
+    const double* const* uas, const double* const* taus, int na,
+    const double* qb, double* f, std::size_t n0, int count) {
+  for (int c = 0; c < count; ++c) {
+    const std::size_t n = n0 + static_cast<std::size_t>(c);
+    double v = ub[n] * (re0[n] + pp[n]);
+    for (int a = 0; a < na; ++a) v -= taus[a][n] * uas[a][n];
+    if (qb) v += qb[n];
+    f[n] = v;
+  }
+}
+
+__attribute__((noinline)) void flux_species_row(const double* rho,
+                                                const double* Ys,
+                                                const double* ub,
+                                                const double* Jp, double* f,
+                                                std::size_t n0, int count) {
+  for (int c = 0; c < count; ++c) {
+    const std::size_t n = n0 + static_cast<std::size_t>(c);
+    double v = rho[n] * Ys[n] * ub[n];
+    if (Jp) v += Jp[n];
+    f[n] = v;
+  }
 }
 
 }  // namespace
@@ -79,6 +144,10 @@ RhsEvaluator::RhsEvaluator(const Config& cfg, const grid::Mesh& mesh,
   lam_f_ = GField(l_, 0.026);
   flux_tmp_ = GField(l_);
   deriv_tmp_ = GField(l_);
+  if (cfg_.fusion) {
+    flux_bufs_.resize(n_conserved(ns));
+    for (auto& f : flux_bufs_) f = GField(l_);
+  }
 
   for (int a = 0; a < 3; ++a)
     if (l_.active(a)) active_axes_.push_back(a);
@@ -161,6 +230,7 @@ void RhsEvaluator::eval(const State& U, double t, State& dUdt) {
     } else {
       prim_from_conserved(*mech_, U, prim_, popts);
     }
+    pass_stats_.count(nv);  // one sweep producing all primitive fields
   }
   timers_.primitives += phase.seconds();
 
@@ -183,7 +253,24 @@ void RhsEvaluator::eval(const State& U, double t, State& dUdt) {
   if (cfg_.include_viscous) {
     // ---- 3. gradients ----
     phase.reset();
-    {
+    if (cfg_.fusion) {
+      // One batched pass per axis: all 5 + ns gradient fields share each
+      // tiled traversal of the line space.
+      trace::Span sp("pass.grad", "solver");
+      std::vector<DerivTarget> targets;
+      targets.reserve(5 + static_cast<std::size_t>(ns));
+      for (int a : active_axes_) {
+        targets.clear();
+        targets.push_back({prim_.u.data(), dudx_[0][a].data()});
+        targets.push_back({prim_.v.data(), dudx_[1][a].data()});
+        targets.push_back({prim_.w.data(), dudx_[2][a].data()});
+        targets.push_back({prim_.T.data(), gradT_[a].data()});
+        targets.push_back({prim_.Wbar.data(), gradW_[a].data()});
+        for (int s = 0; s < ns; ++s)
+          targets.push_back({prim_.Y[s].data(), J_[s][a].data()});
+        batched_deriv(ops_, a, targets, /*accumulate=*/false, &pass_stats_);
+      }
+    } else {
       trace::Span sp("rhs.gradients", "solver");
       for (int a : active_axes_) {
         ops_.deriv(prim_.u, a, dudx_[0][a]);
@@ -192,6 +279,8 @@ void RhsEvaluator::eval(const State& U, double t, State& dUdt) {
         ops_.deriv(prim_.T, a, gradT_[a]);
         ops_.deriv(prim_.Wbar, a, gradW_[a]);
         for (int s = 0; s < ns; ++s) ops_.deriv(prim_.Y[s], a, J_[s][a]);
+        pass_stats_.sweeps += 5 + ns;
+        pass_stats_.stages += 5 + ns;
       }
     }
     timers_.gradients += phase.seconds();
@@ -261,6 +350,7 @@ void RhsEvaluator::eval(const State& U, double t, State& dUdt) {
         q_[a].data()[n] = qa;
       }
     });
+    pass_stats_.count();  // already a single fused sweep in both paths
     }
     timers_.diffusive_flux += phase.seconds();
 
@@ -285,10 +375,13 @@ void RhsEvaluator::eval(const State& U, double t, State& dUdt) {
 
   // ---- 6. total flux divergences ----
   phase.reset();
-  {
+  if (cfg_.fusion) {
+    eval_convective_fused(U, dUdt);
+  } else {
   trace::Span sp_conv("rhs.convective", "solver");
   auto du_all = dUdt.flat();
   std::fill(du_all.begin(), du_all.end(), 0.0);
+  pass_stats_.count();  // dUdt zero-fill (same single sweep when fused)
 
   const double* re0 = U.var(UIndex::e0);
   const bool visc = cfg_.include_viscous;
@@ -301,11 +394,15 @@ void RhsEvaluator::eval(const State& U, double t, State& dUdt) {
       for_interior(l_, [&](std::size_t n, int, int, int) {
         out[n] -= deriv_tmp_.data()[n];
       });
+      pass_stats_.count();  // assemble sweep (counted at each call site)
+      pass_stats_.count();  // derivative sweep
+      pass_stats_.count();  // subtract sweep
     };
 
     // Mass: rho u_b.
-    for_valid(l_, ghosts_, [&](std::size_t n) {
-      flux_tmp_.data()[n] = prim_.rho.data()[n] * ub.data()[n];
+    for_valid_rows(l_, ghosts_, [&](std::size_t n0, int count) {
+      flux_mass_row(prim_.rho.data(), ub.data(), flux_tmp_.data(), n0,
+                    count);
     });
     add_div(UIndex::rho);
 
@@ -313,36 +410,40 @@ void RhsEvaluator::eval(const State& U, double t, State& dUdt) {
     for (int a : active_axes_) {
       const GField& ua = a == 0 ? prim_.u : a == 1 ? prim_.v : prim_.w;
       const double* taup = visc ? tau_[a][b].data() : nullptr;
-      for_valid(l_, ghosts_, [&](std::size_t n) {
-        double f = prim_.rho.data()[n] * ua.data()[n] * ub.data()[n];
-        if (a == b) f += prim_.p.data()[n];
-        if (taup) f -= taup[n];
-        flux_tmp_.data()[n] = f;
+      const double* pdiag = a == b ? prim_.p.data() : nullptr;
+      for_valid_rows(l_, ghosts_, [&](std::size_t n0, int count) {
+        flux_momentum_row(prim_.rho.data(), ua.data(), ub.data(), pdiag,
+                          taup, flux_tmp_.data(), n0, count);
       });
       add_div(UIndex::mx + a);
     }
 
     // Total energy: u_b (rho e0 + p) - (tau . u)_b + q_b.
-    for_valid(l_, ghosts_, [&](std::size_t n) {
-      double f = ub.data()[n] * (re0[n] + prim_.p.data()[n]);
-      if (visc) {
+    {
+      const double* uas[3] = {nullptr, nullptr, nullptr};
+      const double* taus[3] = {nullptr, nullptr, nullptr};
+      int na = 0;
+      if (visc)
         for (int a : active_axes_) {
-          const GField& ua = a == 0 ? prim_.u : a == 1 ? prim_.v : prim_.w;
-          f -= tau_[a][b].data()[n] * ua.data()[n];
+          uas[na] = a == 0 ? prim_.u.data()
+                           : a == 1 ? prim_.v.data() : prim_.w.data();
+          taus[na] = tau_[a][b].data();
+          ++na;
         }
-        f += q_[b].data()[n];
-      }
-      flux_tmp_.data()[n] = f;
-    });
-    add_div(UIndex::e0);
+      const double* qb = visc ? q_[b].data() : nullptr;
+      for_valid_rows(l_, ghosts_, [&](std::size_t n0, int count) {
+        flux_energy_row(re0, prim_.p.data(), ub.data(), uas, taus, na, qb,
+                        flux_tmp_.data(), n0, count);
+      });
+      add_div(UIndex::e0);
+    }
 
     // Species (first ns-1): rho Y_s u_b + J_sb.
     for (int s = 0; s < ns - 1; ++s) {
       const double* Jp = visc ? J_[s][b].data() : nullptr;
-      for_valid(l_, ghosts_, [&](std::size_t n) {
-        double f = prim_.rho.data()[n] * prim_.Y[s].data()[n] * ub.data()[n];
-        if (Jp) f += Jp[n];
-        flux_tmp_.data()[n] = f;
+      for_valid_rows(l_, ghosts_, [&](std::size_t n0, int count) {
+        flux_species_row(prim_.rho.data(), prim_.Y[s].data(), ub.data(), Jp,
+                         flux_tmp_.data(), n0, count);
       });
       add_div(UIndex::Y0 + s);
     }
@@ -365,6 +466,7 @@ void RhsEvaluator::eval(const State& U, double t, State& dUdt) {
       for (int s = 0; s < ns - 1; ++s)
         dUdt.var(UIndex::Y0 + s)[n] += wdot[s] * mech_->W(s);
     });
+    pass_stats_.count();
     timers_.reaction_rate += phase.seconds();
   }
 
@@ -379,6 +481,95 @@ void RhsEvaluator::eval(const State& U, double t, State& dUdt) {
 
   ++timers_.evals;
   (void)nv;
+}
+
+// Fused convective phase: per axis, ONE pointwise pass assembles every
+// conserved variable's flux into flux_bufs_ and ONE batched derivative
+// pass accumulates all the divergences into dUdt. Both paths call the
+// same noinline flux_*_row kernels over the same row extents, so the
+// results are bitwise identical by construction; only the traversal
+// structure changes (2 sweeps per axis instead of 3 * nv).
+void RhsEvaluator::eval_convective_fused(const State& U, State& dUdt) {
+  trace::Span sp_conv("rhs.convective", "solver");
+  const int ns = mech_->n_species();
+  auto du_all = dUdt.flat();
+  std::fill(du_all.begin(), du_all.end(), 0.0);
+  pass_stats_.count();  // dUdt zero-fill
+
+  const double* re0 = U.var(UIndex::e0);
+  const bool visc = cfg_.include_viscous;
+  const double* rho = prim_.rho.data();
+  const double* pp = prim_.p.data();
+  const double* uvw[3] = {prim_.u.data(), prim_.v.data(), prim_.w.data()};
+
+  std::vector<DerivTarget> divs;
+  for (int b : active_axes_) {
+    const double* ub = uvw[b];
+
+    FusedPointwise pass("pass.flux_assemble");
+    divs.clear();
+
+    // Mass: rho u_b.
+    {
+      double* fb = flux_bufs_[UIndex::rho].data();
+      pass.add("mass", [=](const RowRange& r) {
+        flux_mass_row(rho, ub, fb, r.n0, r.count);
+      });
+      divs.push_back({fb, dUdt.var(UIndex::rho)});
+    }
+
+    // Momentum components (only active axes can carry momentum).
+    for (int a : active_axes_) {
+      const double* ua = uvw[a];
+      const double* taup = visc ? tau_[a][b].data() : nullptr;
+      const double* pdiag = a == b ? pp : nullptr;
+      double* fm = flux_bufs_[UIndex::mx + a].data();
+      pass.add("momentum", [=](const RowRange& r) {
+        flux_momentum_row(rho, ua, ub, pdiag, taup, fm, r.n0, r.count);
+      });
+      divs.push_back({fm, dUdt.var(UIndex::mx + a)});
+    }
+
+    // Total energy: u_b (rho e0 + p) - (tau . u)_b + q_b.
+    {
+      std::array<const double*, 3> uas{};
+      std::array<const double*, 3> taus{};
+      int na = 0;
+      if (visc)
+        for (int a : active_axes_) {
+          uas[na] = uvw[a];
+          taus[na] = tau_[a][b].data();
+          ++na;
+        }
+      const double* qb = visc ? q_[b].data() : nullptr;
+      double* fe = flux_bufs_[UIndex::e0].data();
+      pass.add("energy", [=](const RowRange& r) {
+        flux_energy_row(re0, pp, ub, uas.data(), taus.data(), na, qb, fe,
+                        r.n0, r.count);
+      });
+      divs.push_back({fe, dUdt.var(UIndex::e0)});
+    }
+
+    // Species (first ns-1): rho Y_s u_b + J_sb.
+    for (int s = 0; s < ns - 1; ++s) {
+      const double* Ys = prim_.Y[s].data();
+      const double* Jp = visc ? J_[s][b].data() : nullptr;
+      double* fs = flux_bufs_[UIndex::Y0 + s].data();
+      pass.add("species", [=](const RowRange& r) {
+        flux_species_row(rho, Ys, ub, Jp, fs, r.n0, r.count);
+      });
+      divs.push_back({fs, dUdt.var(UIndex::Y0 + s)});
+    }
+
+    {
+      trace::Span sp("pass.flux_assemble", "solver");
+      pass.run_valid(l_, ghosts_, &pass_stats_);
+    }
+    {
+      trace::Span sp("pass.flux_div", "solver");
+      batched_deriv(ops_, b, divs, /*accumulate=*/true, &pass_stats_);
+    }
+  }
 }
 
 // Absorbing layers ahead of outflow faces: relax toward the same-(T,Y,u)

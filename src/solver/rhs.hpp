@@ -22,6 +22,7 @@
 #include "solver/config.hpp"
 #include "solver/field_ops.hpp"
 #include "solver/halo.hpp"
+#include "solver/passes.hpp"
 #include "solver/state.hpp"
 #include "transport/transport.hpp"
 
@@ -64,6 +65,11 @@ class RhsEvaluator {
   const RhsTimers& timers() const { return timers_; }
   void reset_timers() { timers_ = RhsTimers{}; }
 
+  /// Sweep accounting for the pass plan (both paths count, so
+  /// bench_fusion can report sweeps saved by fusion).
+  const PassStats& pass_stats() const { return pass_stats_; }
+  void reset_pass_stats() { pass_stats_.reset(); }
+
   const Layout& layout() const { return l_; }
   const FieldOps& ops() const { return ops_; }
   const chem::Mechanism& mech() const { return *cfg_.mech; }
@@ -73,6 +79,7 @@ class RhsEvaluator {
   void compute_transport_point(double T, double lnT, double rho, double cp,
                                const double* X, double& mu, double& lam,
                                double* D) const;
+  void eval_convective_fused(const State& U, State& dUdt);
   void apply_nscbc(const State& U, double t, State& dUdt);
   void nscbc_face(const State& U, double t, State& dUdt, int axis, int side);
   void apply_sponges(const State& U, State& dUdt);
@@ -97,12 +104,17 @@ class RhsEvaluator {
   std::array<GField, 3> q_;
   GField mu_f_, lam_f_;
   GField flux_tmp_, deriv_tmp_;
+  /// Per-variable flux buffers for the fused convective pass (allocated
+  /// only when Config::fusion): one assemble pass writes all nv fluxes,
+  /// one batched divergence pass consumes them.
+  std::vector<GField> flux_bufs_;
 
   std::vector<double> Le_;       ///< constant Lewis numbers
   double mu_ref_pl_ = 1.8e-5;    ///< power-law reference viscosity
   std::vector<int> active_axes_;
 
   RhsTimers timers_;
+  PassStats pass_stats_;
 };
 
 }  // namespace s3d::solver

@@ -8,6 +8,26 @@
 
 namespace s3d::solver {
 
+namespace {
+
+// 2N low-storage RK update over one contiguous row, shared by the plain
+// per-variable sweep and the fused final pass. noinline pins one
+// compiled body so the two traversals cannot round differently (FMA
+// formation at -O3 is context-sensitive; see the flux_*_row kernels in
+// rhs.cpp for the same pattern).
+__attribute__((noinline)) void rk_axpy_row(double* kv, double* uv,
+                                           const double* duv, double A,
+                                           double B, double dt,
+                                           std::size_t n0, int count) {
+  for (int c = 0; c < count; ++c) {
+    const std::size_t n = n0 + static_cast<std::size_t>(c);
+    kv[n] = A * kv[n] + dt * duv[n];
+    uv[n] += B * kv[n];
+  }
+}
+
+}  // namespace
+
 Solver::Solver(const Config& cfg) : scheme_(numerics::rk_carpenter_kennedy4()) {
   setup(cfg, nullptr, 1, 1, 1);
 }
@@ -100,27 +120,102 @@ void Solver::initialize(const InitFn& init) {
   dt_cached_ = -1.0;
 }
 
+// Fold-point selection for in-pass tripwires (DESIGN.md §10): the
+// tripwires must ride the LAST pass that mutates U during a step. When
+// the filter runs that step, its commit pass is last (inflow precedes
+// it); with no filter and no inflow face the final RK axpy pass is;
+// inflow without a filter leaves a host loop last, so there is no fused
+// pass to fold into and the sentinel keeps its separate sweep. Only
+// Config enters the decision, so every rank folds identically.
+Solver::TripFold Solver::tripwire_fold(long next_step) const {
+  if (!cfg_.fusion) return TripFold::none;
+  const Layout& l = rhs_->layout();
+  const bool any_axis = l.active(0) || l.active(1) || l.active(2);
+  if (cfg_.filter_interval > 0 && next_step % cfg_.filter_interval == 0 &&
+      any_axis)
+    return TripFold::filter;
+  if (cfg_.inflow)
+    for (int a = 0; a < 3; ++a)
+      for (int sd = 0; sd < 2; ++sd)
+        if (cfg_.faces[a][sd].kind == BcKind::nscbc_inflow)
+          return TripFold::none;
+  return TripFold::rk;
+}
+
+bool Solver::arm_tripwires(const TripwireParams& p) {
+  if (tripwire_fold(steps_ + 1) == TripFold::none) return false;
+  trip_params_ = p;
+  trip_acc_ = TripwireAccum{};
+  trip_armed_ = true;
+  return true;
+}
+
+std::optional<TripwireAccum> Solver::take_tripwires() {
+  auto r = trip_result_;
+  trip_result_.reset();
+  return r;
+}
+
 void Solver::step(double dt) {
   if (auto a = fault::probe("solver.step")) fault::apply(a, "solver.step");
   trace::Span sp_step("solver.step", "solver");
+  const TripFold fold =
+      trip_armed_ ? tripwire_fold(steps_ + 1) : TripFold::none;
   auto k = k_.flat();
-  auto u = U_.flat();
   std::fill(k.begin(), k.end(), 0.0);
+  pass_stats_.count();  // k zero-fill
   for (int s = 0; s < scheme_.stages(); ++s) {
     trace::Span sp_stage("solver.rk_stage", "solver");
     rhs_->eval(U_, t_ + scheme_.C[s] * dt, dU_);
     const double A = scheme_.A[s], B = scheme_.B[s];
-    const auto& du = dU_.flat();
-    for (std::size_t i = 0; i < u.size(); ++i) {
-      k[i] = A * k[i] + dt * du[i];
-      u[i] += B * k[i];
+    if (fold == TripFold::rk && s == scheme_.stages() - 1) {
+      // Final RK axpy as a fused pass with the tripwire stage riding it:
+      // every branch calls the same rk_axpy_row kernel over the same
+      // rows, so the committed state is bitwise identical; the armed
+      // scan costs no extra sweep.
+      trace::Span sp_pass("pass.rk_axpy", "solver");
+      const Layout& l = rhs_->layout();
+      FusedPointwise pass("pass.rk_axpy");
+      for (int v = 0; v < U_.nv(); ++v) {
+        double* kv = k_.var(v);
+        double* uv = U_.var(v);
+        const double* duv = dU_.var(v);
+        pass.add("axpy", [=](const RowRange& r) {
+          rk_axpy_row(kv, uv, duv, A, B, dt, r.n0, r.count);
+        });
+      }
+      pass.add("tripwire", [this, &l](const RowRange& r) {
+        if (r.j < 0 || r.j >= l.ny || r.k < 0 || r.k >= l.nz) return;
+        trip_acc_.check_row(U_, trip_params_,
+                            r.n0 + static_cast<std::size_t>(0 - r.i0), 0,
+                            l.nx, r.j, r.k);
+      });
+      pass.run_full(l, &pass_stats_);
+    } else {
+      // Same kernel over the same full-box rows, one variable at a time.
+      const Layout& l = rhs_->layout();
+      const int ilo = -l.gx, count = l.nx + 2 * l.gx;
+      for (int v = 0; v < U_.nv(); ++v) {
+        double* kv = k_.var(v);
+        double* uv = U_.var(v);
+        const double* duv = dU_.var(v);
+        for (int kk = -l.gz; kk < l.nz + l.gz; ++kk)
+          for (int j = -l.gy; j < l.ny + l.gy; ++j)
+            rk_axpy_row(kv, uv, duv, A, B, dt, l.at(ilo, j, kk), count);
+      }
+      pass_stats_.count(U_.nv());
     }
   }
   t_ += dt;
   ++steps_;
   enforce_inflow();
   if (cfg_.filter_interval > 0 && steps_ % cfg_.filter_interval == 0)
-    apply_filter();
+    apply_filter(fold == TripFold::filter);
+  if (trip_armed_) {
+    trip_acc_.step = steps_;
+    trip_result_ = trip_acc_;
+    trip_armed_ = false;
+  }
   trace::gauge_set("solver.t", t_);
 }
 
@@ -154,16 +249,48 @@ void Solver::enforce_inflow() {
   }
 }
 
-void Solver::apply_filter() {
+void Solver::apply_filter(bool fold_tripwires) {
   trace::Span sp("solver.filter", "solver");
   const Layout& l = rhs_->layout();
   std::vector<double*> vars;
   for (int v = 0; v < U_.nv(); ++v) vars.push_back(U_.var(v));
+  int last_axis = -1;
+  for (int a = 0; a < 3; ++a)
+    if (l.active(a)) last_axis = a;
   for (int axis = 0; axis < 3; ++axis) {
     if (!l.active(axis)) continue;
     halo_state_->exchange(vars);
+    if (fold_tripwires && axis == last_axis) {
+      // Fused commit: filter every variable into its own buffer, then
+      // ONE pass copies all interiors back with the tripwire stage
+      // riding it — the last mutation of the step, so the accumulated
+      // verdict sees exactly the state the separate sweep would.
+      if (fbuf_.size() != vars.size()) {
+        fbuf_.clear();
+        for (std::size_t v = 0; v < vars.size(); ++v) fbuf_.emplace_back(l);
+      }
+      FusedPointwise pass("pass.filter_commit");
+      for (std::size_t v = 0; v < vars.size(); ++v) {
+        rhs_->ops().filter_axis(vars[v], axis, cfg_.filter_alpha,
+                                fbuf_[v].data());
+        pass_stats_.count();
+        const double* fv = fbuf_[v].data();
+        double* uv = vars[v];
+        pass.add("copy_back", [=](const RowRange& r) {
+          std::copy(fv + r.n0, fv + r.n0 + r.count, uv + r.n0);
+        });
+      }
+      pass.add("tripwire", [this](const RowRange& r) {
+        trip_acc_.check_row(U_, trip_params_, r.n0, r.i0, r.count, r.j,
+                            r.k);
+      });
+      trace::Span sp_pass("pass.filter_commit", "solver");
+      pass.run_interior(l, &pass_stats_);
+      continue;
+    }
     for (double* f : vars) {
       rhs_->ops().filter_axis(f, axis, cfg_.filter_alpha, filt_tmp_.data());
+      pass_stats_.count();
       // Copy filtered interior back.
       for (int k = 0; k < l.nz; ++k)
         for (int j = 0; j < l.ny; ++j) {
@@ -171,6 +298,7 @@ void Solver::apply_filter() {
           std::copy(filt_tmp_.data() + row, filt_tmp_.data() + row + l.nx,
                     f + row);
         }
+      pass_stats_.count();
     }
   }
 }

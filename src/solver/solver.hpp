@@ -5,6 +5,7 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 
 #include "numerics/rk.hpp"
 #include "solver/config.hpp"
@@ -73,10 +74,28 @@ class Solver {
     return mesh_->coord(axis, offset_[axis] + local_idx);
   }
 
+  /// Arm the conserved-state tripwires to ride the final fused pass of
+  /// the NEXT step() (DESIGN.md §10): the filter's commit pass when the
+  /// filter runs that step, else the final RK axpy pass. Returns false
+  /// when no fused pass is last (fusion off, or an inflow face mutates
+  /// the state after the last pass) — the caller keeps its separate
+  /// sweep then. The decision derives only from Config, so every rank
+  /// of a decomposition folds identically.
+  bool arm_tripwires(const TripwireParams& p);
+  /// Tripwire verdict accumulated by the last armed step (cleared).
+  std::optional<TripwireAccum> take_tripwires();
+
+  /// Sweep accounting for the integrator's own passes (RK axpy, filter);
+  /// add RhsEvaluator::pass_stats() for the full per-step plan.
+  const PassStats& pass_stats() const { return pass_stats_; }
+  void reset_pass_stats() { pass_stats_.reset(); }
+
  private:
+  enum class TripFold { none, rk, filter };
+  TripFold tripwire_fold(long next_step) const;
   void setup(const Config& cfg, vmpi::Comm* comm, int px, int py, int pz);
   void enforce_inflow();
-  void apply_filter();
+  void apply_filter(bool fold_tripwires = false);
 
   Config cfg_;
   std::unique_ptr<grid::Mesh> mesh_;
@@ -87,7 +106,15 @@ class Solver {
   std::unique_ptr<Halo> halo_state_;  ///< for filtering U
   State U_, dU_, k_;
   GField filt_tmp_;
+  /// Per-variable filter buffers for the fused commit pass (lazily
+  /// allocated the first time a tripwire-armed step filters).
+  std::vector<GField> fbuf_;
   numerics::RkScheme scheme_;
+  PassStats pass_stats_;
+  bool trip_armed_ = false;
+  TripwireParams trip_params_;
+  TripwireAccum trip_acc_;
+  std::optional<TripwireAccum> trip_result_;
   double t_ = 0.0;
   double dt_cached_ = -1.0;
   int steps_ = 0;

@@ -1,0 +1,513 @@
+// Fused-pass execution layer (DESIGN.md §10): bitwise contracts.
+//
+// Fusion must never change per-cell arithmetic, only traversal
+// structure. These tests pin that contract at every layer:
+//   - batched_deriv (assign) against the per-field FieldOps::deriv,
+//   - batched_deriv (accumulate) against the unfused scratch-buffer
+//     write / read / subtract triple it replaces,
+//   - FusedPointwise stage permutations against sequential sweeps
+//     (the commuting-stage legality property),
+//   - a full fused RHS evaluation and multi-step solver runs against
+//     the unfused reference path (Config::fusion off),
+//   - the in-pass health tripwire verdict against the sentinel's
+//     separate-sweep scan, including a guarded blow-up recovery run
+//     across 1/2/8-rank decompositions checked against the committed
+//     golden record in tests/golden/data/.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "solver/cases.hpp"
+#include "solver/field_ops.hpp"
+#include "solver/health.hpp"
+#include "solver/passes.hpp"
+#include "solver/solver.hpp"
+#include "vmpi/vmpi.hpp"
+
+namespace sv = s3d::solver;
+namespace vmpi = s3d::vmpi;
+
+namespace {
+
+std::string hexfloat(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+/// Bitwise comparison with a diagnosis of the first differing element.
+::testing::AssertionResult bitwise_equal(const double* a, const double* b,
+                                         std::size_t n, const char* what) {
+  for (std::size_t i = 0; i < n; ++i)
+    if (std::memcmp(&a[i], &b[i], sizeof(double)) != 0)
+      return ::testing::AssertionFailure()
+             << what << ": first difference at flat element " << i << ": "
+             << hexfloat(a[i]) << " vs " << hexfloat(b[i]);
+  return ::testing::AssertionSuccess();
+}
+
+/// Deterministic smooth-plus-wiggle fill covering ghosts, distinct per
+/// field id so batched fields cannot alias to the same data.
+void fill_field(const sv::Layout& l, double* f, int id) {
+  for (int k = -l.gz; k < l.nz + l.gz; ++k)
+    for (int j = -l.gy; j < l.ny + l.gy; ++j)
+      for (int i = -l.gx; i < l.nx + l.gx; ++i)
+        f[l.at(i, j, k)] = std::sin(0.3 * i + 0.7 * j - 0.4 * k + 1.3 * id) +
+                           0.01 * std::cos(2.1 * i * j + 0.5 * k + id);
+}
+
+struct OpsBox {
+  sv::Layout l;
+  s3d::grid::Mesh mesh;
+  sv::FieldOps ops;
+  OpsBox(int nx, int ny, int nz, bool periodic, double stretch_y = 0.0)
+      : l(sv::Layout::make(nx, ny, nz)),
+        mesh({nx, 0.01, periodic}, {ny, 0.02, periodic, stretch_y},
+             {nz, 0.015, periodic}),
+        ops(l, mesh, {0, 0, 0}, ghosts(periodic)) {}
+  sv::GhostFlags ghosts(bool periodic) const {
+    sv::GhostFlags gh;
+    for (int a = 0; a < 3; ++a) gh.lo[a] = gh.hi[a] = periodic;
+    return gh;
+  }
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// batched_deriv, assign mode: one tiled traversal per axis must equal the
+// per-field operator bit for bit, with and without ghosted boundaries and
+// with a stretched (per-point metric) axis.
+
+TEST(BatchedDeriv, AssignMatchesPerFieldDeriv) {
+  for (const bool periodic : {true, false}) {
+    for (const double stretch : {0.0, 1.5}) {
+      if (periodic && stretch > 0.0) continue;  // unsupported mesh combo
+      OpsBox box(12, 10, 9, periodic, stretch);
+      const sv::Layout& l = box.l;
+      constexpr int kFields = 4;
+      std::vector<sv::GField> src(kFields), out(kFields), ref(kFields);
+      for (int f = 0; f < kFields; ++f) {
+        src[f] = sv::GField(l);
+        out[f] = sv::GField(l);
+        ref[f] = sv::GField(l);
+        fill_field(l, src[f].data(), f);
+      }
+      for (int axis = 0; axis < 3; ++axis) {
+        std::vector<sv::DerivTarget> targets;
+        for (int f = 0; f < kFields; ++f) {
+          targets.push_back({src[f].data(), out[f].data()});
+          box.ops.deriv(src[f], axis, ref[f]);
+        }
+        sv::PassStats stats;
+        sv::batched_deriv(box.ops, axis, targets, /*accumulate=*/false,
+                          &stats);
+        EXPECT_EQ(stats.sweeps, 1);
+        EXPECT_EQ(stats.stages, kFields);
+        for (int f = 0; f < kFields; ++f)
+          EXPECT_TRUE(bitwise_equal(out[f].data(), ref[f].data(), l.total(),
+                                    "assign deriv"))
+              << "axis " << axis << " field " << f << " periodic " << periodic
+              << " stretch " << stretch;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// batched_deriv, accumulate mode: out -= d/dx_axis(f) in place must equal
+// the unfused triple (derivative into scratch, subtract scratch over the
+// interior) bit for bit — the FMA-contraction hazard this mode's rounding
+// barrier exists for.
+
+TEST(BatchedDeriv, AccumulateMatchesScratchPair) {
+  for (const bool periodic : {true, false}) {
+    for (const double stretch : {0.0, 1.5}) {
+      if (periodic && stretch > 0.0) continue;  // unsupported mesh combo
+      OpsBox box(12, 10, 9, periodic, stretch);
+      const sv::Layout& l = box.l;
+      constexpr int kFields = 3;
+      std::vector<sv::GField> src(kFields), out(kFields), ref(kFields);
+      sv::GField scratch(l);
+      for (int f = 0; f < kFields; ++f) {
+        src[f] = sv::GField(l);
+        out[f] = sv::GField(l);
+        ref[f] = sv::GField(l);
+        fill_field(l, src[f].data(), f);
+        fill_field(l, out[f].data(), 10 + f);  // pre-existing accumulation
+        std::memcpy(ref[f].data(), out[f].data(),
+                    l.total() * sizeof(double));
+      }
+      for (int axis = 0; axis < 3; ++axis) {
+        // Unfused reference: scratch round-trip, interior subtraction.
+        for (int f = 0; f < kFields; ++f) {
+          box.ops.deriv(src[f].data(), axis, scratch.data(), scratch.size());
+          for (int k = 0; k < l.nz; ++k)
+            for (int j = 0; j < l.ny; ++j) {
+              const std::size_t row = l.at(0, j, k);
+              for (int i = 0; i < l.nx; ++i)
+                ref[f].data()[row + i] -= scratch.data()[row + i];
+            }
+        }
+        std::vector<sv::DerivTarget> targets;
+        for (int f = 0; f < kFields; ++f)
+          targets.push_back({src[f].data(), out[f].data()});
+        sv::batched_deriv(box.ops, axis, targets, /*accumulate=*/true,
+                          nullptr);
+        for (int f = 0; f < kFields; ++f)
+          EXPECT_TRUE(bitwise_equal(out[f].data(), ref[f].data(), l.total(),
+                                    "accumulate deriv"))
+              << "axis " << axis << " field " << f << " periodic " << periodic
+              << " stretch " << stretch;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FusedPointwise legality property: stages that read no staged output
+// commute — every registration order, fused or sequential, over every
+// traversal shape, produces bitwise-identical fields.
+
+TEST(FusedPointwise, StagePermutationsAreBitwiseIdentical) {
+  OpsBox box(10, 8, 6, true);
+  const sv::Layout& l = box.l;
+  constexpr int kStages = 3;
+  std::vector<sv::GField> in(kStages);
+  for (int s = 0; s < kStages; ++s) {
+    in[s] = sv::GField(l);
+    fill_field(l, in[s].data(), s);
+  }
+
+  auto build = [&](const int order[kStages],
+                   std::vector<sv::GField>& out) -> sv::FusedPointwise {
+    sv::FusedPointwise pass("test.permute");
+    for (int p = 0; p < kStages; ++p) {
+      const int s = order[p];
+      const double* a = in[s].data();
+      const double* b = in[(s + 1) % kStages].data();
+      double* o = out[s].data();
+      pass.add("stage", [=](const sv::RowRange& r) {
+        for (int c = 0; c < r.count; ++c) {
+          const std::size_t n = r.n0 + static_cast<std::size_t>(c);
+          o[n] = a[n] * b[n] + 0.5 * a[n];
+        }
+      });
+    }
+    return pass;
+  };
+
+  const int orders[][kStages] = {{0, 1, 2}, {2, 0, 1}, {1, 2, 0}, {2, 1, 0}};
+  std::vector<sv::GField> ref(kStages);
+  for (int s = 0; s < kStages; ++s) ref[s] = sv::GField(l, 0.0);
+  build(orders[0], ref).run_interior_sequential(l, nullptr);
+
+  for (const auto& order : orders) {
+    for (const char* shape : {"interior", "valid", "full"}) {
+      std::vector<sv::GField> out(kStages);
+      for (int s = 0; s < kStages; ++s) out[s] = sv::GField(l, 0.0);
+      sv::PassStats stats;
+      sv::FusedPointwise pass = build(order, out);
+      if (std::strcmp(shape, "interior") == 0)
+        pass.run_interior(l, &stats);
+      else if (std::strcmp(shape, "valid") == 0)
+        pass.run_valid(l, box.ghosts(true), &stats);
+      else
+        pass.run_full(l, &stats);
+      EXPECT_EQ(stats.sweeps, 1);
+      EXPECT_EQ(stats.stages, kStages);
+      // Interior values agree across permutations and shapes (the wider
+      // shapes additionally write ghost rows, checked via full-box
+      // comparison between same-shape runs below).
+      for (int s = 0; s < kStages; ++s)
+        for (int k = 0; k < l.nz; ++k)
+          for (int j = 0; j < l.ny; ++j) {
+            const std::size_t row = l.at(0, j, k);
+            EXPECT_TRUE(bitwise_equal(out[s].data() + row,
+                                      ref[s].data() + row, l.nx,
+                                      "permuted stage interior"))
+                << "stage " << s << " shape " << shape;
+          }
+    }
+  }
+
+  // Fused vs sequential over the full ghosted box, same order.
+  std::vector<sv::GField> fused(kStages), seq(kStages);
+  for (int s = 0; s < kStages; ++s) {
+    fused[s] = sv::GField(l, 0.0);
+    seq[s] = sv::GField(l, 0.0);
+  }
+  build(orders[0], fused).run_valid(l, box.ghosts(true), nullptr);
+  build(orders[0], seq).run_valid_sequential(l, box.ghosts(true), nullptr);
+  for (int s = 0; s < kStages; ++s)
+    EXPECT_TRUE(bitwise_equal(fused[s].data(), seq[s].data(), l.total(),
+                              "fused vs sequential"));
+}
+
+// ---------------------------------------------------------------------------
+// Full fused RHS evaluation against the unfused reference path.
+
+namespace {
+
+void expect_eval_bitwise(const sv::CaseSetup& setup, const char* name) {
+  sv::Config on = setup.cfg, off = setup.cfg;
+  on.fusion = true;
+  off.fusion = false;
+  sv::Solver sf(on), su(off);
+  sf.initialize(setup.init);
+  su.initialize(setup.init);
+
+  const int nv = sf.state().nv();
+  sv::State df(sf.layout(), nv), du(su.layout(), nv);
+  sf.rhs().eval(sf.state(), 0.0, df);
+  su.rhs().eval(su.state(), 0.0, du);
+
+  const sv::Layout& l = sf.layout();
+  for (int v = 0; v < nv; ++v)
+    EXPECT_TRUE(bitwise_equal(df.var(v), du.var(v), l.total(), name))
+        << "dUdt variable " << v;
+
+  // Fusion strictly reduces sweeps while carrying the same stage count
+  // through the gradient and convective phases.
+  EXPECT_LT(sf.rhs().pass_stats().sweeps, su.rhs().pass_stats().sweeps)
+      << name << ": fused path did not reduce sweep count";
+}
+
+void expect_steps_bitwise(const sv::CaseSetup& setup, int nsteps,
+                          const char* name) {
+  sv::Config on = setup.cfg, off = setup.cfg;
+  on.fusion = true;
+  off.fusion = false;
+  sv::Solver sf(on), su(off);
+  sf.initialize(setup.init);
+  su.initialize(setup.init);
+  sf.run(nsteps);
+  su.run(nsteps);
+  ASSERT_EQ(sf.steps_taken(), su.steps_taken());
+  ASSERT_EQ(hexfloat(sf.time()), hexfloat(su.time()));
+  const sv::Layout& l = sf.layout();
+  for (int v = 0; v < sf.state().nv(); ++v)
+    EXPECT_TRUE(bitwise_equal(sf.state().var(v), su.state().var(v),
+                              l.total(), name))
+        << "U variable " << v;
+}
+
+}  // namespace
+
+TEST(FusedRhs, EvalBitwisePressureWave3D) {
+  expect_eval_bitwise(sv::pressure_wave_case(12), "pressure_wave eval");
+}
+
+TEST(FusedRhs, EvalBitwiseLiftedJet2D) {
+  sv::LiftedJetParams p;
+  p.nx = 24;
+  p.ny = 16;
+  expect_eval_bitwise(sv::lifted_jet_case(p), "lifted_jet eval");
+}
+
+TEST(FusedRhs, StepsBitwisePressureWave3D) {
+  expect_steps_bitwise(sv::pressure_wave_case(12), 3, "pressure_wave steps");
+}
+
+TEST(FusedRhs, StepsBitwiseLiftedJet2D) {
+  sv::LiftedJetParams p;
+  p.nx = 24;
+  p.ny = 16;
+  expect_steps_bitwise(sv::lifted_jet_case(p), 3, "lifted_jet steps");
+}
+
+// ---------------------------------------------------------------------------
+// In-pass tripwires: an armed step's folded verdict must match the
+// sentinel's separate-sweep scan on the identical committed state, for
+// both fold points (filter commit and final RK axpy).
+
+TEST(InPassTripwires, VerdictMatchesSeparateSweep) {
+  for (const int filter_interval : {1, 0}) {  // filter fold / RK fold
+    auto setup = sv::pressure_wave_case(12);
+    setup.cfg.fusion = true;
+    setup.cfg.filter_interval = filter_interval;
+
+    sv::HealthConfig hc;
+    hc.check_dt = false;
+
+    // Two identical fused solvers; only the scan mode differs.
+    sv::Solver sa(setup.cfg), sb(setup.cfg);
+    sa.initialize(setup.init);
+    sb.initialize(setup.init);
+    sv::HealthConfig hc_in = hc, hc_sweep = hc;
+    hc_in.in_pass = true;
+    hc_sweep.in_pass = false;
+    sv::HealthSentinel in_pass(sa, hc_in, nullptr);
+    sv::HealthSentinel sweep(sb, hc_sweep, nullptr);
+
+    // A wildly unstable dt drives the state into breach deterministically.
+    const double dt = 20.0 * sa.stable_dt();
+    (void)sb.stable_dt();  // keep both solvers' prim workspaces in step
+
+    EXPECT_TRUE(in_pass.arm_in_pass());
+    EXPECT_FALSE(sweep.arm_in_pass());  // disabled by config
+    sa.step(dt);
+    sb.step(dt);
+    for (int v = 0; v < sa.state().nv(); ++v)
+      ASSERT_TRUE(bitwise_equal(sa.state().var(v), sb.state().var(v),
+                                sa.layout().total(), "armed vs unarmed U"))
+          << "variable " << v << " filter_interval " << filter_interval;
+
+    const sv::HealthReport ra = in_pass.scan(dt);
+    const sv::HealthReport rb = sweep.scan(dt);
+    EXPECT_EQ(static_cast<int>(ra.breach), static_cast<int>(rb.breach))
+        << "filter_interval " << filter_interval;
+    EXPECT_EQ(ra.step, rb.step);
+    EXPECT_EQ(ra.cell, rb.cell);
+    EXPECT_EQ(hexfloat(ra.value), hexfloat(rb.value));
+    EXPECT_EQ(hexfloat(ra.threshold), hexfloat(rb.threshold));
+  }
+}
+
+TEST(InPassTripwires, InflowWithoutFilterCannotFold) {
+  // Inflow commits a host-side loop after the last fused pass on
+  // unfiltered steps, so arming must be refused and the sentinel falls
+  // back to its separate sweep (still correct, just not folded).
+  sv::LiftedJetParams p;
+  p.nx = 24;
+  p.ny = 16;
+  auto setup = sv::lifted_jet_case(p);
+  setup.cfg.fusion = true;
+  setup.cfg.filter_interval = 0;
+  sv::Solver s(setup.cfg);
+  s.initialize(setup.init);
+  sv::HealthConfig hc;
+  hc.check_dt = false;
+  sv::HealthSentinel sentinel(s, hc, nullptr);
+  EXPECT_FALSE(sentinel.arm_in_pass());
+
+  // With the filter back on, the filter-commit pass is last and folding
+  // becomes legal again.
+  setup.cfg.filter_interval = 1;
+  sv::Solver s2(setup.cfg);
+  s2.initialize(setup.init);
+  sv::HealthSentinel sentinel2(s2, hc, nullptr);
+  EXPECT_TRUE(sentinel2.arm_in_pass());
+}
+
+// ---------------------------------------------------------------------------
+// Guarded blow-up recovery: fused and unfused runs, serial and decomposed
+// (1/2/8 ranks), agree bitwise on the recovered final state — the same
+// scenario the committed golden record pins.
+
+namespace {
+
+/// Mirrors tests/golden/test_golden_health.cpp: a pressure-wave case
+/// driven at 20x the stable dt so the sentinel must roll back and
+/// re-advance under a shrunken dt.
+struct GuardedResult {
+  std::vector<std::string> checksums;
+  long steps = 0;
+  int rollbacks = 0;
+};
+
+GuardedResult run_guarded_case(bool fusion, int px, int py, int pz) {
+  constexpr int kN = 16;
+  constexpr int kSteps = 4;
+  constexpr double kDtFactor = 20.0;
+
+  auto setup = sv::pressure_wave_case(kN);
+  setup.cfg.fusion = fusion;
+  const int nv = sv::n_conserved(setup.cfg.mech->n_species());
+  std::vector<double> global(static_cast<std::size_t>(nv) * kN * kN * kN);
+  GuardedResult res;
+
+  vmpi::run(px * py * pz, [&](vmpi::Comm& comm) {
+    sv::Solver s(setup.cfg, comm, px, py, pz);
+    s.initialize(setup.init);
+    const double dt = kDtFactor * s.stable_dt();
+
+    sv::GuardOptions opts;
+    opts.health.check_dt = false;
+    opts.max_rollbacks = 30;
+    opts.retries_per_snapshot = 100;
+    opts.ring_depth = 2;
+    opts.dt_fixed = dt;
+    const auto rep = sv::run_guarded(s, kSteps, opts, &comm);
+
+    const auto& l = s.layout();
+    const auto off = s.offset();
+    for (int v = 0; v < nv; ++v) {
+      const double* var = s.state().var(v);
+      for (int k = 0; k < l.nz; ++k)
+        for (int j = 0; j < l.ny; ++j)
+          for (int i = 0; i < l.nx; ++i)
+            global[static_cast<std::size_t>(v) * kN * kN * kN +
+                   static_cast<std::size_t>(off[2] + k) * kN * kN +
+                   static_cast<std::size_t>(off[1] + j) * kN +
+                   (off[0] + i)] = var[l.at(i, j, k)];
+    }
+    if (comm.rank() == 0) {
+      res.steps = rep.final_steps;
+      res.rollbacks = rep.rollbacks;
+    }
+    comm.barrier();
+  });
+
+  const std::size_t pts = static_cast<std::size_t>(kN) * kN * kN;
+  for (int v = 0; v < nv; ++v)
+    res.checksums.push_back(s3d::hex64(s3d::fnv1a64(
+        global.data() + static_cast<std::size_t>(v) * pts,
+        pts * sizeof(double))));
+  return res;
+}
+
+}  // namespace
+
+TEST(GuardedFusion, BlowupRecoveryFusedMatchesUnfusedAcrossRanks) {
+  const auto ref = run_guarded_case(/*fusion=*/false, 1, 1, 1);
+  ASSERT_GT(ref.rollbacks, 0) << "case must actually breach and recover";
+
+  struct Decomp {
+    bool fusion;
+    int px, py, pz;
+  };
+  for (const Decomp d : {Decomp{true, 1, 1, 1}, Decomp{true, 2, 1, 1},
+                         Decomp{true, 2, 2, 2}, Decomp{false, 2, 2, 2}}) {
+    const auto got = run_guarded_case(d.fusion, d.px, d.py, d.pz);
+    EXPECT_EQ(got.checksums, ref.checksums)
+        << (d.fusion ? "fused" : "unfused") << " " << d.px << "x" << d.py
+        << "x" << d.pz << " diverged from the serial unfused reference";
+    EXPECT_EQ(got.steps, ref.steps);
+    EXPECT_EQ(got.rollbacks, ref.rollbacks);
+  }
+
+  // The committed golden record (recorded from the unfused seed) pins the
+  // same scenario: the recovered fields must still hash to it.
+  std::ifstream gold(std::string(S3D_GOLDEN_DIR) + "/health_recovery.golden");
+  ASSERT_TRUE(gold.good()) << "missing health_recovery.golden";
+  std::map<std::size_t, std::string> want;
+  std::string line;
+  while (std::getline(gold, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    std::string key;
+    ss >> key;
+    if (key == "checksum") {
+      std::size_t idx;
+      std::string sum;
+      ss >> idx >> sum;
+      want[idx] = sum;
+    }
+  }
+  ASSERT_FALSE(want.empty());
+  for (const auto& [idx, sum] : want) {
+    ASSERT_LT(idx, ref.checksums.size());
+    EXPECT_EQ(ref.checksums[idx], sum)
+        << "recovered field " << idx << " drifted from the golden record";
+  }
+}
