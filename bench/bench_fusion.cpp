@@ -1,27 +1,38 @@
-// Fused-pass execution layer A/B harness (DESIGN.md §10).
+// Fused-pass + batched-kernel A/B/C harness (DESIGN.md §10, §11).
 //
-// Runs the same lifted-flame step loop twice — Config::fusion on and
-// off — and reports, for each mode:
+// Runs the same lifted-flame step loop in three modes:
+//   - unfused:       per-variable sweeps, per-point kernels (reference),
+//   - fused:         fused pass plan, per-point kernels,
+//   - fused+batched: fused pass plan, SoA row-batched chem/transport.
+// The modes advance in interleaved blocks (a few steps of each, round
+// robin) rather than back to back, so slow machine-load drift on a
+// shared box hits all three equally and the A/B deltas stay meaningful;
+// per-mode numbers are medians across the blocks. Reports, per mode:
 //   - the median wall time per step (and per cell-step in ns),
 //   - the number of grid sweeps per step from the pass-plan accounting
 //     (Solver::pass_stats + RhsEvaluator::pass_stats),
+//   - the chemistry and transport share of RHS time (RhsTimers), the
+//     profile the paper's fig. 2 reports per kernel,
 //   - an FNV-1a checksum of the final conserved state.
 //
 // Acceptance (enforced in-run, nonzero exit on failure):
-//   - the fused plan executes strictly fewer sweeps per step,
-//   - the two final states are bitwise identical (the fusion contract;
-//     the golden suite pins the same property on seeded records),
-// and the fused median step time should be no worse — reported here,
+//   - the fused plans execute strictly fewer sweeps per step,
+//   - all three final states are bitwise identical (the fusion AND
+//     batching contracts; ctest -L equivalence pins the same properties
+//     on randomized states, the golden suite on seeded records),
+// and batched should be no slower than fused per-point — reported here,
 // asserted only under S3DPP_BENCH_STRICT=1 since wall-clock on shared
 // CI boxes is noisy.
 //
-// Results are also written machine-readably to BENCH_fusion_on.json /
-// BENCH_fusion_off.json.
+// Results are written machine-readably to BENCH_fusion_off.json /
+// BENCH_fusion_on.json / BENCH_fusion_batched.json, each carrying
+// chem_share / transport_share keys.
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -39,6 +50,10 @@ struct ModeResult {
   double sweeps_per_step = 0.0;
   long total_sweeps = 0;
   long stages = 0;
+  double chem_share = 0.0;       ///< reaction_rate / total RHS time
+  double transport_share = 0.0;  ///< diffusive_flux / total RHS time
+  double chem_ms_per_step = 0.0;
+  double transport_ms_per_step = 0.0;
   std::string checksum;
 };
 
@@ -49,30 +64,69 @@ sv::CaseSetup flame_case() {
   return sv::lifted_jet_case(p);
 }
 
-ModeResult run_mode(const sv::CaseSetup& setup, bool fusion, int nsteps,
-                    int warmup) {
+/// One mode's live solver plus its per-block samples.
+struct ModeRun {
+  bool fusion = false;
+  bool batching = false;
+  std::unique_ptr<sv::Solver> s;
+  std::vector<double> step_ms;
+  std::vector<double> chem_block_ms;       ///< chem ms/step, one per block
+  std::vector<double> transport_block_ms;  ///< transport ms/step per block
+};
+
+ModeRun make_mode(const sv::CaseSetup& setup, bool fusion, bool batching,
+                  int warmup) {
+  ModeRun m;
+  m.fusion = fusion;
+  m.batching = batching;
   sv::Config cfg = setup.cfg;
   cfg.fusion = fusion;
-  sv::Solver s(cfg);
-  s.initialize(setup.init);
-  s.run(warmup);
+  cfg.batching = batching;
+  m.s = std::make_unique<sv::Solver>(cfg);
+  m.s->initialize(setup.init);
+  m.s->run(warmup);
+  m.s->reset_pass_stats();
+  m.s->rhs().reset_pass_stats();
+  m.s->rhs().reset_timers();
+  return m;
+}
 
-  s.reset_pass_stats();
-  s.rhs().reset_pass_stats();
-  std::vector<double> step_ms;
-  for (int n = 0; n < nsteps; ++n) {
+/// Advance one block of steps, recording per-step wall time and the
+/// block's chemistry / transport RHS-timer deltas.
+void run_block(ModeRun& m, int block) {
+  const sv::RhsTimers before = m.s->rhs().timers();
+  for (int n = 0; n < block; ++n) {
     const auto t0 = std::chrono::steady_clock::now();
-    s.run(1);
+    m.s->run(1);
     const auto t1 = std::chrono::steady_clock::now();
-    step_ms.push_back(
+    m.step_ms.push_back(
         std::chrono::duration<double, std::milli>(t1 - t0).count());
   }
+  const sv::RhsTimers& after = m.s->rhs().timers();
+  m.chem_block_ms.push_back(
+      1e3 * (after.reaction_rate - before.reaction_rate) / block);
+  m.transport_block_ms.push_back(
+      1e3 * (after.diffusive_flux - before.diffusive_flux) / block);
+}
 
+ModeResult finish_mode(ModeRun& m, int nsteps) {
   ModeResult r;
-  r.median_step_ms = s3dpp_bench::median(step_ms);
+  sv::Solver& s = *m.s;
+  r.median_step_ms = s3dpp_bench::median(m.step_ms);
   r.total_sweeps = s.pass_stats().sweeps + s.rhs().pass_stats().sweeps;
   r.stages = s.pass_stats().stages + s.rhs().pass_stats().stages;
   r.sweeps_per_step = static_cast<double>(r.total_sweeps) / nsteps;
+
+  const sv::RhsTimers& t = s.rhs().timers();
+  const double total = t.primitives + t.halo + t.gradients +
+                       t.transport_props + t.diffusive_flux +
+                       t.reaction_rate + t.convective + t.boundary;
+  if (total > 0.0) {
+    r.chem_share = t.reaction_rate / total;
+    r.transport_share = t.diffusive_flux / total;
+  }
+  r.chem_ms_per_step = s3dpp_bench::median(m.chem_block_ms);
+  r.transport_ms_per_step = s3dpp_bench::median(m.transport_block_ms);
 
   const auto flat = s.state().flat();
   r.checksum = s3d::hex64(
@@ -87,42 +141,71 @@ int main() {
   using s3dpp_bench::full_mode;
 
   banner("bench_fusion",
-         "fused vs unfused pass plan on the lifted-flame step loop");
+         "fused / batched pass plans on the lifted-flame step loop");
 
   const auto setup = flame_case();
-  const int nsteps = full_mode() ? 40 : 12;
+  const int rounds = full_mode() ? 10 : 8;
+  const int block = full_mode() ? 4 : 2;
+  const int nsteps = rounds * block;
   const int warmup = 3;
   const double cells =
       static_cast<double>(setup.cfg.x.n) * setup.cfg.y.n * setup.cfg.z.n;
-  std::printf("grid %dx%d, %d timed steps (+%d warmup), H2/air chem\n\n",
-              setup.cfg.x.n, setup.cfg.y.n, nsteps, warmup);
+  std::printf("grid %dx%d, %d timed steps (+%d warmup) per mode, "
+              "interleaved in %d rounds of %d, H2/air chem\n\n",
+              setup.cfg.x.n, setup.cfg.y.n, nsteps, warmup, rounds, block);
 
-  const ModeResult off = run_mode(setup, false, nsteps, warmup);
-  const ModeResult on = run_mode(setup, true, nsteps, warmup);
+  ModeRun runs[] = {make_mode(setup, false, false, warmup),
+                    make_mode(setup, true, false, warmup),
+                    make_mode(setup, true, true, warmup)};
+  for (int round = 0; round < rounds; ++round)
+    for (ModeRun& m : runs) run_block(m, block);
 
-  std::printf("%-10s %14s %14s %12s  %s\n", "mode", "median ms/step",
-              "sweeps/step", "stages", "state checksum");
-  std::printf("%-10s %14.3f %14.1f %12ld  %s\n", "unfused",
-              off.median_step_ms, off.sweeps_per_step, off.stages,
-              off.checksum.c_str());
-  std::printf("%-10s %14.3f %14.1f %12ld  %s\n", "fused", on.median_step_ms,
-              on.sweeps_per_step, on.stages, on.checksum.c_str());
-  std::printf("\nsweeps saved: %.1f/step (%.0f%%), step time %+.2f%%\n",
+  const ModeResult off = finish_mode(runs[0], nsteps);
+  const ModeResult on = finish_mode(runs[1], nsteps);
+  const ModeResult bat = finish_mode(runs[2], nsteps);
+
+  struct Row {
+    const char* label;
+    const char* json_name;
+    const ModeResult* r;
+  };
+  const Row rows[] = {{"unfused", "fusion_off", &off},
+                      {"fused", "fusion_on", &on},
+                      {"fused+batch", "fusion_batched", &bat}};
+
+  std::printf("%-12s %13s %11s %7s %6s %6s  %s\n", "mode", "median ms/step",
+              "sweeps/step", "stages", "chem%", "trans%", "state checksum");
+  for (const Row& row : rows)
+    std::printf("%-12s %13.3f %11.1f %7ld %5.1f%% %5.1f%%  %s\n", row.label,
+                row.r->median_step_ms, row.r->sweeps_per_step, row.r->stages,
+                100.0 * row.r->chem_share, 100.0 * row.r->transport_share,
+                row.r->checksum.c_str());
+  std::printf("\nsweeps saved by fusion: %.1f/step (%.0f%%)\n",
               off.sweeps_per_step - on.sweeps_per_step,
               100.0 * (off.sweeps_per_step - on.sweeps_per_step) /
-                  off.sweeps_per_step,
-              100.0 * (on.median_step_ms - off.median_step_ms) /
-                  off.median_step_ms);
+                  off.sweeps_per_step);
+  std::printf("batching vs fused per-point: step %+.2f%%, chem %+.2f%%, "
+              "transport %+.2f%%\n",
+              100.0 * (bat.median_step_ms - on.median_step_ms) /
+                  on.median_step_ms,
+              100.0 * (bat.chem_ms_per_step - on.chem_ms_per_step) /
+                  on.chem_ms_per_step,
+              100.0 * (bat.transport_ms_per_step - on.transport_ms_per_step) /
+                  on.transport_ms_per_step);
 
-  for (const bool fusion : {false, true}) {
-    const ModeResult& r = fusion ? on : off;
+  for (const Row& row : rows) {
+    const ModeResult& r = *row.r;
     s3dpp_bench::BenchResult out;
-    out.name = fusion ? "fusion_on" : "fusion_off";
+    out.name = row.json_name;
     out.median_ns_per_cell_step = r.median_step_ms * 1e6 / cells;
     out.passes = r.total_sweeps;
     out.extra = {{"median_ms_per_step", r.median_step_ms},
                  {"sweeps_per_step", r.sweeps_per_step},
-                 {"steps", static_cast<double>(nsteps)}};
+                 {"steps", static_cast<double>(nsteps)},
+                 {"chem_share", r.chem_share},
+                 {"transport_share", r.transport_share},
+                 {"chem_ms_per_step", r.chem_ms_per_step},
+                 {"transport_ms_per_step", r.transport_ms_per_step}};
     s3dpp_bench::write_bench_json(out);
   }
 
@@ -131,18 +214,25 @@ int main() {
     std::printf("FAIL: fused plan did not reduce sweep count\n");
     rc = 1;
   }
-  if (on.checksum != off.checksum) {
-    std::printf("FAIL: fused and unfused final states are not bitwise "
-                "identical\n");
+  if (on.checksum != off.checksum || bat.checksum != off.checksum) {
+    std::printf("FAIL: fused/batched final states are not bitwise identical "
+                "to the unfused reference\n");
     rc = 1;
   }
   const char* strict = std::getenv("S3DPP_BENCH_STRICT");
-  if (strict && strict[0] == '1' &&
-      on.median_step_ms > 1.05 * off.median_step_ms) {
-    std::printf("FAIL: fused median step time regressed beyond 5%%\n");
-    rc = 1;
+  if (strict && strict[0] == '1') {
+    if (on.median_step_ms > 1.05 * off.median_step_ms) {
+      std::printf("FAIL: fused median step time regressed beyond 5%%\n");
+      rc = 1;
+    }
+    if (bat.median_step_ms > 1.05 * on.median_step_ms) {
+      std::printf("FAIL: batched median step time regressed beyond 5%% of "
+                  "fused per-point\n");
+      rc = 1;
+    }
   }
   if (rc == 0)
-    std::printf("\nacceptance: fewer sweeps, bitwise-identical state. OK\n");
+    std::printf("\nacceptance: fewer sweeps, bitwise-identical states "
+                "across all three modes. OK\n");
   return rc;
 }

@@ -61,14 +61,27 @@ int main() {
               setup.cfg.x.n, setup.cfg.y.n, nsteps, warmup);
 
   // --- bare step loop -----------------------------------------------------
+  // Also the source of the per-kernel step profile (RhsTimers): the
+  // chemistry / transport share of RHS time contextualizes the sentinel
+  // overheads below against the paper's fig. 2 kernel breakdown.
   double bare_ms = 0.0;
+  double chem_share = 0.0, transport_share = 0.0;
   {
     sv::Solver s(setup.cfg);
     s.initialize(setup.init);
     s.run(warmup);
+    s.rhs().reset_timers();
     const auto t0 = std::chrono::steady_clock::now();
     s.run(nsteps);
     bare_ms = wall_ms(t0, std::chrono::steady_clock::now());
+    const sv::RhsTimers& t = s.rhs().timers();
+    const double total = t.primitives + t.halo + t.gradients +
+                         t.transport_props + t.diffusive_flux +
+                         t.reaction_rate + t.convective + t.boundary;
+    if (total > 0.0) {
+      chem_share = t.reaction_rate / total;
+      transport_share = t.diffusive_flux / total;
+    }
   }
 
   // --- guarded, disarmed --------------------------------------------------
@@ -149,6 +162,9 @@ int main() {
               100.0 * legacy.scan_ms_per_step / per_step);
   std::printf("snapshot ring %.1f MiB\n",
               static_cast<double>(in_pass.ring_bytes) / (1024.0 * 1024.0));
+  std::printf("step profile: chemistry %.1f%%, transport %.1f%% of RHS "
+              "time\n",
+              100.0 * chem_share, 100.0 * transport_share);
 
   const double cells =
       static_cast<double>(setup.cfg.x.n) * setup.cfg.y.n * setup.cfg.z.n;
@@ -160,7 +176,9 @@ int main() {
     out.passes = r.scans;
     out.extra = {{"scan_ms_per_step", r.scan_ms_per_step},
                  {"in_pass_scans", static_cast<double>(r.in_pass_scans)},
-                 {"total_ms", r.total_ms}};
+                 {"total_ms", r.total_ms},
+                 {"chem_share", chem_share},
+                 {"transport_share", transport_share}};
     s3dpp_bench::write_bench_json(out);
   }
 

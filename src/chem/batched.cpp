@@ -1,0 +1,58 @@
+#include "chem/batched.hpp"
+
+namespace s3d::chem {
+
+BatchedChemistry::BatchedChemistry(const Mechanism& mech) : mech_(&mech) {}
+
+// Both row entries stage each cell's concentrations with the same
+// contraction-free `rho * Y / W` expression as the scalar path
+// (Mechanism::concentrations) and land in production_rates_lnT — the
+// scalar kinetics entry with the row's staged ln T substituted for the
+// per-call std::log. Staging is deliberately interleaved per cell rather
+// than phase-separated into row-long loops: the measured step profile
+// showed the out-of-order core hides the staging latency under the
+// previous cell's kinetics tail, while phase-separated staging serializes
+// against the kernel and costs ~10% of the chemistry phase. The batched
+// win is therefore exactly the ln-T reuse (zero std::log per cell here;
+// one in the scalar path) plus the row-extent traversal the fused pass
+// and the DLB parcels need — with results bitwise identical to the
+// scalar Mechanism::production_rates path by construction (one compiled
+// kinetics body, DESIGN.md §11).
+
+void BatchedChemistry::production_rates_fields(int count, std::size_t n0,
+                                               const double* T,
+                                               const double* lnT,
+                                               const double* rho,
+                                               const double* const* Y,
+                                               double* wdot) {
+  const Mechanism& m = *mech_;
+  const int ns = m.n_species();
+  double c[kMaxSpecies];
+  for (int cell = 0; cell < count; ++cell) {
+    const std::size_t n = n0 + static_cast<std::size_t>(cell);
+    for (int i = 0; i < ns; ++i) c[i] = rho[n] * Y[i][n] / m.W(i);
+    m.production_rates_lnT(
+        T[n], lnT[n], {c, static_cast<std::size_t>(ns)},
+        {wdot + static_cast<std::size_t>(cell) * ns,
+         static_cast<std::size_t>(ns)});
+  }
+}
+
+void BatchedChemistry::production_rates_batch(int count, const double* T,
+                                              const double* lnT,
+                                              const double* rho,
+                                              const double* Y, double* wdot) {
+  const Mechanism& m = *mech_;
+  const int ns = m.n_species();
+  double c[kMaxSpecies];
+  for (int cell = 0; cell < count; ++cell) {
+    const double* Yc = Y + static_cast<std::size_t>(cell) * ns;
+    for (int i = 0; i < ns; ++i) c[i] = rho[cell] * Yc[i] / m.W(i);
+    m.production_rates_lnT(
+        T[cell], lnT[cell], {c, static_cast<std::size_t>(ns)},
+        {wdot + static_cast<std::size_t>(cell) * ns,
+         static_cast<std::size_t>(ns)});
+  }
+}
+
+}  // namespace s3d::chem

@@ -1,0 +1,52 @@
+#pragma once
+// SoA row-batched chemistry kernels (DESIGN.md §11).
+//
+// The solver's chemistry cost is per-cell calls into the pointwise
+// kinetics kernel: every cell re-derives ln T before walking the NASA-7
+// Gibbs evaluations and Arrhenius rates that consume it. BatchedChemistry
+// evaluates a contiguous row of cells per call with the row's ln T staged
+// once by the fused primitives/transport pass (zero std::log per cell
+// here, one per kernel on the scalar path) and every cell landing in the
+// SAME compiled kinetics body (Mechanism::net_rates_ctx via
+// production_rates_lnT). Batching therefore changes staging and traversal
+// only, never per-cell arithmetic: results are bitwise identical to the
+// scalar Mechanism::production_rates path, which
+// tests/test_chem_batched.cpp (ctest -L equivalence) pins over randomized
+// and extreme states. Per-cell staging is interleaved with the kinetics
+// calls rather than phase-separated into row-long staging loops — the
+// out-of-order core hides interleaved staging under the previous cell's
+// kinetics tail, which measured ~10% faster than SoA phase separation on
+// the lifted-flame profile.
+
+#include <cstddef>
+
+#include "chem/mechanism.hpp"
+
+namespace s3d::chem {
+
+class BatchedChemistry {
+ public:
+  explicit BatchedChemistry(const Mechanism& mech);
+
+  const Mechanism& mechanism() const { return *mech_; }
+
+  /// Molar production rates for `count` cells of a contiguous row read
+  /// straight from solver fields: T, lnT and rho at [n0 + cell], species
+  /// mass fractions from the per-species field pointers Y[i] at
+  /// [n0 + cell]. lnT[n] must equal std::log(T[n]) bit for bit. wdot is
+  /// written cell-major (wdot[cell * ns + i]).
+  void production_rates_fields(int count, std::size_t n0, const double* T,
+                               const double* lnT, const double* rho,
+                               const double* const* Y, double* wdot);
+
+  /// Same kernel for cell-major (AoS) inputs Y[cell * ns + i]: the shape
+  /// DLB work parcels and the equivalence tests drive.
+  void production_rates_batch(int count, const double* T, const double* lnT,
+                              const double* rho, const double* Y,
+                              double* wdot);
+
+ private:
+  const Mechanism* mech_;
+};
+
+}  // namespace s3d::chem

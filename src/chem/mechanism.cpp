@@ -11,6 +11,11 @@ namespace s3d::chem {
 
 using constants::Ru;
 
+double ln_c0_ref() {
+  static const double v = std::log(constants::p_ref / constants::Ru);
+  return v;
+}
+
 double Arrhenius::k(double T, double lnT) const {
   return A * std::exp(b * lnT - E_R / T);
 }
@@ -195,24 +200,55 @@ void Mechanism::concentrations(double rho, std::span<const double> Y,
     c[i] = rho * Y[i] / species_[i].W;
 }
 
-// The pointwise kinetics kernel. Computes, for every reaction, the net rate
-// of progress q_r and (optionally) accumulates species production rates.
-void Mechanism::net_rates(double T, std::span<const double> c, double* q_out,
-                          double* wdot) const {
+// Stage the per-cell context (Gibbs energies, third-body total, reference
+// concentration) for one cell and run the shared kernel body. Batched rows
+// stage the same quantities species-major (chem/batched.cpp) and land in
+// the same net_rates_ctx, which is what makes batching bitwise-neutral.
+void Mechanism::net_rates(double T, double lnT, std::span<const double> c,
+                          double* q_out, double* wdot) const {
   const int ns = n_species();
-  const double lnT = std::log(T);
 
-  // Gibbs energies for equilibrium constants.
+  // Gibbs energies for equilibrium constants, reusing the staged lnT.
   double gRT[kMaxSpecies];
-  for (int i = 0; i < ns; ++i) gRT[i] = g_RT(species_[i], T);
+  for (int i = 0; i < ns; ++i) gRT[i] = g_RT_lnT(species_[i], T, lnT);
 
   // Total concentration for third bodies.
   double ctot = 0.0;
   for (int i = 0; i < ns; ++i) ctot += std::max(c[i], 0.0);
 
-  if (wdot) std::fill(wdot, wdot + ns, 0.0);
+  KineticsCtx ctx;
+  ctx.T = T;
+  ctx.lnT = lnT;
+  ctx.ctot = ctot;
+  // ln of c0 = p_ref/(Ru T) [kmol/m^3], as ln(p_ref/Ru) - lnT: a lone
+  // subtract (no contraction hazard) that spends the staged lnT instead
+  // of another std::log. The batched stager restates exactly this.
+  ctx.ln_c0 = ln_c0_ref() - lnT;
+  ctx.gRT = gRT;
+  ctx.c = c.data();
+  ctx.stride = 1;
+  net_rates_ctx(ctx, q_out, wdot, 1);
+}
 
-  const double ln_c0 = std::log(constants::p_ref / (Ru * T));  // kmol/m^3
+// The pointwise kinetics kernel — the paper's REACTION_RATE cost center.
+// Computes, for every reaction, the net rate of progress q_r and
+// (optionally) accumulates species production rates. Never inlined: the
+// scalar, batched and DLB-remote paths must all execute this one compiled
+// body so -O3 cannot contract the arithmetic differently per call site
+// (DESIGN.md §11).
+__attribute__((noinline)) void Mechanism::net_rates_ctx(
+    const KineticsCtx& ctx, double* q_out, double* wdot,
+    std::ptrdiff_t out_stride) const {
+  const int ns = n_species();
+  const double T = ctx.T;
+  const double lnT = ctx.lnT;
+  const double ln_c0 = ctx.ln_c0;
+  const std::ptrdiff_t st = ctx.stride;
+  const double* gRT = ctx.gRT;
+  const auto conc = [&](int i) { return ctx.c[i * st]; };
+
+  if (wdot)
+    for (int i = 0; i < ns; ++i) wdot[i * out_stride] = 0.0;
 
   for (int r = 0; r < n_reactions(); ++r) {
     const Reaction& rx = reactions_[r];
@@ -220,9 +256,9 @@ void Mechanism::net_rates(double T, std::span<const double> c, double* q_out,
     double kf = rx.fwd.k(T, lnT);
 
     // Third-body concentration with efficiencies.
-    double cM = ctot;
+    double cM = ctx.ctot;
     for (const auto& [sp, eff] : rx.efficiencies)
-      cM += (eff - 1.0) * std::max(c[sp], 0.0);
+      cM += (eff - 1.0) * std::max(conc(sp), 0.0);
 
     if (rx.type == Reaction::Type::falloff) {
       const double k0 = rx.low.k(T, lnT);
@@ -246,7 +282,8 @@ void Mechanism::net_rates(double T, std::span<const double> c, double* q_out,
 
     // Forward rate of progress.
     double qf = kf;
-    for (const auto& t : rx.forward_orders) qf *= conc_pow(c[t.species], t.nu);
+    for (const auto& t : rx.forward_orders)
+      qf *= conc_pow(conc(t.species), t.nu);
 
     // Reverse rate of progress.
     double qr = 0.0;
@@ -254,16 +291,16 @@ void Mechanism::net_rates(double T, std::span<const double> c, double* q_out,
       double kr = rx.rev->k(T, lnT);
       qr = kr;
       for (const auto& t : rx.reverse_orders)
-        qr *= conc_pow(c[t.species], t.nu);
+        qr *= conc_pow(conc(t.species), t.nu);
     } else if (rx.reversible) {
       // ln Kc = -sum(nu_i g_i/RT) + dnu ln(p_ref/(Ru T))
       double dg = 0.0;
-      for (const auto& t : rx.products) dg += t.nu * gRT[t.species];
-      for (const auto& t : rx.reactants) dg -= t.nu * gRT[t.species];
+      for (const auto& t : rx.products) dg += t.nu * gRT[t.species * st];
+      for (const auto& t : rx.reactants) dg -= t.nu * gRT[t.species * st];
       const double lnKc = -dg + dnu_[r] * ln_c0;
       const double kr = kf * std::exp(std::clamp(-lnKc, -230.0, 230.0));
       qr = kr;
-      for (const auto& t : rx.products) qr *= conc_pow(c[t.species], t.nu);
+      for (const auto& t : rx.products) qr *= conc_pow(conc(t.species), t.nu);
     }
 
     double q = qf - qr;
@@ -271,25 +308,31 @@ void Mechanism::net_rates(double T, std::span<const double> c, double* q_out,
 
     if (q_out) q_out[r] = q;
     if (wdot) {
-      for (const auto& t : rx.products) wdot[t.species] += t.nu * q;
-      for (const auto& t : rx.reactants) wdot[t.species] -= t.nu * q;
+      for (const auto& t : rx.products) wdot[t.species * out_stride] += t.nu * q;
+      for (const auto& t : rx.reactants) wdot[t.species * out_stride] -= t.nu * q;
     }
   }
 }
 
 void Mechanism::production_rates(double T, std::span<const double> c,
                                  std::span<double> wdot) const {
-  net_rates(T, c, nullptr, wdot.data());
+  net_rates(T, std::log(T), c, nullptr, wdot.data());
+}
+
+void Mechanism::production_rates_lnT(double T, double lnT,
+                                     std::span<const double> c,
+                                     std::span<double> wdot) const {
+  net_rates(T, lnT, c, nullptr, wdot.data());
 }
 
 void Mechanism::rates_of_progress(double T, std::span<const double> c,
                                   std::span<double> q) const {
-  net_rates(T, c, q.data(), nullptr);
+  net_rates(T, std::log(T), c, q.data(), nullptr);
 }
 
 double Mechanism::heat_release_rate(double T, std::span<const double> c) const {
   double wdot[kMaxSpecies];
-  net_rates(T, c, nullptr, wdot);
+  net_rates(T, std::log(T), c, nullptr, wdot);
   double hrr = 0.0;
   for (int i = 0; i < n_species(); ++i)
     hrr -= h_molar(species_[i], T) * wdot[i];

@@ -22,6 +22,12 @@ namespace s3d::chem {
 /// Maximum species count supported by the stack-allocated kinetics kernels.
 inline constexpr int kMaxSpecies = 24;
 
+/// ln(p_ref / Ru), computed once. Every kinetics stager derives the
+/// reference-concentration log as ln_c0_ref() - lnT (a lone subtract, no
+/// contraction hazard) so the scalar and batched paths agree bit for bit
+/// without paying a std::log per cell.
+double ln_c0_ref();
+
 /// Modified Arrhenius rate k = A T^b exp(-E_R / T), SI units
 /// (A in (m^3/kmol)^(order-1)/s, E_R = Ea/Ru in K).
 struct Arrhenius {
@@ -167,8 +173,39 @@ class Mechanism {
   void concentrations(double rho, std::span<const double> Y,
                       std::span<double> c) const;
 
+  /// Staged per-cell kinetics context: the shared ln-T/exp quantities the
+  /// scalar path derives inline and the batched row kernels
+  /// (chem/batched.hpp) stage ahead of time. `stride` addresses gRT/c as
+  /// x[i * stride]; every current stager hands the kernel contiguous
+  /// per-cell views (stride = 1) — the batched rows store cell-major so
+  /// the hot kernel's access pattern matches the scalar stack arrays —
+  /// and all paths run through the one compiled kernel body, the
+  /// bitwise-equality contract of DESIGN.md §11.
+  struct KineticsCtx {
+    double T = 0.0;      ///< temperature [K]
+    double lnT = 0.0;    ///< must be std::log(T), bit for bit
+    double ctot = 0.0;   ///< sum_i max(c_i, 0), accumulated species-ascending
+    double ln_c0 = 0.0;  ///< ln_c0_ref() - lnT (reference concentration)
+    const double* gRT = nullptr;  ///< g_RT(species i, T) at gRT[i * stride]
+    const double* c = nullptr;    ///< concentrations at c[i * stride]
+    std::ptrdiff_t stride = 1;
+  };
+
+  /// The one compiled kinetics body (never inlined, DESIGN.md §11): every
+  /// production-rate path — scalar calls, batched rows, DLB-hosted work
+  /// parcels — lands here, so a rate computed anywhere is bitwise identical
+  /// everywhere. Writes q[r] (when non-null, always stride 1) and
+  /// wdot[i * out_stride] (when non-null).
+  void net_rates_ctx(const KineticsCtx& ctx, double* q, double* wdot,
+                     std::ptrdiff_t out_stride) const;
+
+  /// production_rates() with a caller-supplied lnT, which must equal
+  /// std::log(T) bit for bit (e.g. reused from a staged primitives pass).
+  void production_rates_lnT(double T, double lnT, std::span<const double> c,
+                            std::span<double> wdot) const;
+
  private:
-  void net_rates(double T, std::span<const double> c, double* q,
+  void net_rates(double T, double lnT, std::span<const double> c, double* q,
                  double* wdot) const;
 
   std::string name_;

@@ -58,6 +58,21 @@ double s_R(const Species& sp, double T) {
 
 double g_RT(const Species& sp, double T) { return h_RT(sp, T) - s_R(sp, T); }
 
+__attribute__((noinline)) double g_RT_lnT(const Species& sp, double T,
+                                          double lnT) {
+  if (T >= sp.T_low && T <= sp.T_high) {
+    // In-range fast path: the entropy polynomial reuses the staged lnT.
+    const Nasa7& a = select(sp, T);
+    const double s =
+        a[0] * lnT +
+        T * (a[1] + T * (a[2] / 2 + T * (a[3] / 3 + T * a[4] / 4))) + a[6];
+    return h_RT_raw(sp, T) - s;
+  }
+  // Rare out-of-range extension: same as the classic path; both kinetics
+  // stagers land in this same compiled body, so the bits still agree.
+  return h_RT(sp, T) - s_R(sp, T);
+}
+
 double cp_molar(const Species& sp, double T) {
   return constants::Ru * cp_R(sp, T);
 }

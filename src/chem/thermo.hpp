@@ -22,6 +22,14 @@ double s_R(const Species& sp, double T);
 /// Nondimensional Gibbs energy g/(R T) = h/(R T) - s/R.
 double g_RT(const Species& sp, double T);
 
+/// g/(R T) with a caller-staged lnT (must equal std::log(T) bit for
+/// bit). One compiled body (never inlined) shared by the scalar and
+/// row-batched kinetics stagers: the entropy polynomial consumes the
+/// staged lnT instead of deriving its own, which removes one std::log
+/// per species per cell from the hot staging loops while keeping both
+/// shapes bitwise identical (DESIGN.md §11).
+double g_RT_lnT(const Species& sp, double T, double lnT);
+
 /// Molar heat capacity [J/(kmol K)].
 double cp_molar(const Species& sp, double T);
 

@@ -79,6 +79,14 @@ void Config::validate() const {
           "viscosity exponent must be finite");
   require(std::isfinite(L_relax) && L_relax >= 0.0, "L_relax",
           "relaxation length must be finite and >= 0");
+  require(finite_positive(dlb_hot_T), "dlb_hot_T",
+          "DLB hot-cell temperature threshold must be positive");
+  require(std::isfinite(dlb_hot_weight) && dlb_hot_weight >= 1.0,
+          "dlb_hot_weight", "DLB hot-cell weight must be >= 1");
+  require(std::isfinite(dlb_imbalance_tol) && dlb_imbalance_tol >= 0.0,
+          "dlb_imbalance_tol", "DLB imbalance tolerance must be >= 0");
+  require(dlb_parcel_cells >= 1, "dlb_parcel_cells",
+          "DLB parcels must carry at least one cell");
 }
 
 }  // namespace s3d::solver

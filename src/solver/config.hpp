@@ -124,6 +124,49 @@ struct Config {
   bool fusion = true;
 #endif
 
+  /// Row-batched chemistry/transport kernels (DESIGN.md §11): stage the
+  /// shared per-cell quantities (ln T, Gibbs energies, concentrations)
+  /// over contiguous rows and ride the fused traversal as passes.*
+  /// stages, instead of per-point calls that re-derive them. Effective
+  /// only with `fusion` on (the unfused path IS the per-point
+  /// reference). Bitwise identical to per-point — the batched and
+  /// per-point paths execute the same compiled kernel bodies — which
+  /// ctest -L equivalence and the golden fused/unfused cross-check pin.
+  /// Building with -DS3D_BATCH=OFF flips the default so the per-point
+  /// reference stays continuously tested.
+#ifdef S3D_BATCH_OFF
+  bool batching = false;
+#else
+  bool batching = true;
+#endif
+
+  /// Chemistry dynamic load balancing over vmpi (DESIGN.md §11): when
+  /// reacting cells concentrate in a few ranks' subdomains, overloaded
+  /// ranks pack surplus hot cells into work parcels, ship them to
+  /// underloaded ranks, and scatter the returned rates back. The
+  /// assignment is deterministic and seed-free — every rank derives the
+  /// identical transfer plan from one allreduced cost vector, and the
+  /// shipped cells run the same compiled kinetics kernel — so any rank
+  /// count reproduces the serial answer bitwise (test_rank_invariance
+  /// pins it). Engages only when size > 1 and the measured imbalance
+  /// exceeds dlb_imbalance_tol. -DS3D_DLB=OFF flips the build default
+  /// (the build-nodlb verify lane).
+#ifdef S3D_DLB_OFF
+  bool chem_dlb = false;
+#else
+  bool chem_dlb = true;
+#endif
+  /// Cells with T >= dlb_hot_T count as "hot" (reacting) in the DLB
+  /// cost model; the threshold reads the resolved temperature field, so
+  /// the classification is identical on every rank count.
+  double dlb_hot_T = 1200.0;
+  /// Modeled chemistry cost of a hot cell relative to a cold one.
+  double dlb_hot_weight = 8.0;
+  /// Engage DLB only when max rank load > (1 + tol) * mean load.
+  double dlb_imbalance_tol = 0.10;
+  /// Max cells per shipped work parcel (bounds message size).
+  int dlb_parcel_cells = 64;
+
   /// Prim-boundary mass-fraction repair (see PrimOptions in state.hpp):
   /// renormalize clipped Y vectors whose explicit species sum past one,
   /// instead of only zeroing the implied last species. Changes the

@@ -104,11 +104,104 @@ __attribute__((noinline)) void flux_species_row(const double* rho,
   }
 }
 
+// Diffusive-flux row kernels shared by the batched pass and the
+// per-point reference path (which calls them with count = 1). Same
+// noinline contract as the convective kernels above: one compiled body
+// per multiply-add expression, so batching can never round differently
+// (DESIGN.md §11).
+
+// Stress tensor rows, paper eq. 14.
+__attribute__((noinline)) void stress_row(const double* mu,
+                                          const double* const* dudx,
+                                          double* const* tau,
+                                          const int* axes, int na,
+                                          std::size_t n0, int count) {
+  for (int c = 0; c < count; ++c) {
+    const std::size_t n = n0 + static_cast<std::size_t>(c);
+    const double m = mu[n];
+    double divu = 0.0;
+    for (int ia = 0; ia < na; ++ia) {
+      const int a = axes[ia];
+      divu += dudx[a * 3 + a][n];
+    }
+    for (int ia = 0; ia < na; ++ia) {
+      const int a = axes[ia];
+      for (int ib = 0; ib < na; ++ib) {
+        const int b = axes[ib];
+        double tv = m * (dudx[a * 3 + b][n] + dudx[b * 3 + a][n]);
+        if (a == b) tv -= (2.0 / 3.0) * m * divu;
+        tau[a * 3 + b][n] = tv;
+      }
+    }
+  }
+}
+
+// Species diffusive-flux rows, paper eqs. 18-19 plus the correction
+// velocity enforcing eq. 15, with the optional Soret term of eq. 16.
+// J holds dY_s/dx_a on entry and the corrected fluxes on exit. D is the
+// row-local cell-major diffusivity block (D[c * ns + s]); `soret` is the
+// per-species constant ratio table, or nullptr when the term is off.
+__attribute__((noinline)) void species_flux_row(
+    const double* rho_f, const double* T_f, const double* Wbar_f,
+    const double* const* Y_f, const double* const* gradW,
+    const double* const* gradT, double* const* J, const double* D,
+    const double* soret, const int* axes, int na, int ns, std::size_t n0,
+    int count) {
+  double Jp[chem::kMaxSpecies][3];
+  for (int c = 0; c < count; ++c) {
+    const std::size_t n = n0 + static_cast<std::size_t>(c);
+    const double T = T_f[n];
+    const double rho = rho_f[n];
+    const double Wbar = Wbar_f[n];
+    double sumJ[3] = {0, 0, 0};
+    for (int s = 0; s < ns; ++s) {
+      const double Yp = Y_f[s][n];
+      const double rD = rho * D[static_cast<std::size_t>(c) * ns + s];
+      const double so = soret ? soret[s] * Yp / T : 0.0;
+      for (int ia = 0; ia < na; ++ia) {
+        const int a = axes[ia];
+        const double gy = J[s * 3 + a][n];  // holds dY_s/dx_a
+        double jv = -rD * (gy + Yp * gradW[a][n] / Wbar);
+        if (soret) jv -= rD * so * gradT[a][n];
+        Jp[s][a] = jv;
+        sumJ[a] += jv;
+      }
+    }
+    for (int s = 0; s < ns; ++s)
+      for (int ia = 0; ia < na; ++ia) {
+        const int a = axes[ia];
+        J[s * 3 + a][n] = Jp[s][a] - Y_f[s][n] * sumJ[a];
+      }
+  }
+}
+
+// Heat-flux rows, paper eq. 20: Fourier + species-enthalpy transport.
+// The per-cell species enthalpies are staged once per cell instead of
+// once per (axis, species) pair — the same h_mass(sp, T) values in the
+// same accumulation order, so hoisting is bitwise-neutral.
+__attribute__((noinline)) void heat_flux_row(
+    const double* T_f, const double* lam_f, const double* const* gradT,
+    const double* const* J, double* const* q, const chem::Species* sps,
+    const int* axes, int na, int ns, std::size_t n0, int count) {
+  double h[chem::kMaxSpecies];
+  for (int c = 0; c < count; ++c) {
+    const std::size_t n = n0 + static_cast<std::size_t>(c);
+    const double T = T_f[n];
+    for (int s = 0; s < ns; ++s) h[s] = chem::h_mass(sps[s], T);
+    for (int ia = 0; ia < na; ++ia) {
+      const int a = axes[ia];
+      double qa = -lam_f[n] * gradT[a][n];
+      for (int s = 0; s < ns; ++s) qa += h[s] * J[s * 3 + a][n];
+      q[a][n] = qa;
+    }
+  }
+}
+
 }  // namespace
 
 RhsEvaluator::RhsEvaluator(const Config& cfg, const grid::Mesh& mesh,
                            const Layout& l, std::array<int, 3> offset,
-                           GhostFlags ghosts, Halo halo)
+                           GhostFlags ghosts, Halo halo, vmpi::Comm* comm)
     : cfg_(cfg),
       mesh_(&mesh),
       l_(l),
@@ -117,7 +210,8 @@ RhsEvaluator::RhsEvaluator(const Config& cfg, const grid::Mesh& mesh,
       ops_(l, mesh, offset, ghosts),
       halo_(std::move(halo)),
       mech_(cfg.mech),
-      fits_(*cfg.mech) {
+      fits_(*cfg.mech),
+      bchem_(*cfg.mech) {
   S3D_REQUIRE(mech_ != nullptr, "Config.mech must be set");
   const int ns = mech_->n_species();
 
@@ -142,6 +236,7 @@ RhsEvaluator::RhsEvaluator(const Config& cfg, const grid::Mesh& mesh,
     for (int a = 0; a < 3; ++a) J_[s][a] = GField(l_);
   mu_f_ = GField(l_, 1.8e-5);
   lam_f_ = GField(l_, 0.026);
+  lnT_f_ = GField(l_);
   flux_tmp_ = GField(l_);
   deriv_tmp_ = GField(l_);
   if (cfg_.fusion) {
@@ -151,6 +246,39 @@ RhsEvaluator::RhsEvaluator(const Config& cfg, const grid::Mesh& mesh,
 
   for (int a = 0; a < 3; ++a)
     if (l_.active(a)) active_axes_.push_back(a);
+
+  // Batched-kernel plumbing: stable pointer tables for the shared row
+  // kernels and row-local scratch (DESIGN.md §11). Batching rides the
+  // fused plan only; the unfused path is the per-point reference.
+  use_batching_ = cfg_.fusion && cfg_.batching;
+  Wvec_.resize(ns);
+  soret_ratio_.resize(ns);
+  Yptr_.resize(ns);
+  for (int s = 0; s < ns; ++s) {
+    Wvec_[s] = mech_->W(s);
+    soret_ratio_[s] = transport::soret_ratio(mech_->species(s));
+    Yptr_[s] = prim_.Y[s].data();
+  }
+  const std::size_t rowlen = static_cast<std::size_t>(l_.nx);
+  row_X_.resize(rowlen * ns);
+  row_Y_.resize(rowlen * ns);
+  row_D_.resize(rowlen * ns);
+  row_wdot_.resize(rowlen * ns);
+  for (int a = 0; a < 3; ++a) {
+    for (int b = 0; b < 3; ++b) {
+      dudx_p_[a * 3 + b] = dudx_[a][b].data();
+      tau_p_[a * 3 + b] = tau_[a][b].data();
+    }
+    gradW_p_[a] = gradW_[a].data();
+    gradT_p_[a] = gradT_[a].data();
+    q_p_[a] = q_[a].data();
+  }
+  J_p_.resize(static_cast<std::size_t>(ns) * 3);
+  for (int s = 0; s < ns; ++s)
+    for (int a = 0; a < 3; ++a) J_p_[s * 3 + a] = J_[s][a].data();
+
+  if (comm != nullptr && comm->size() > 1 && cfg_.chem_dlb)
+    dlb_ = std::make_unique<ChemDlb>(*mech_, cfg_, *comm);
 
   // Calibrate the constant-Lewis / power-law closures at the reference
   // state (air-like if the mechanism has O2 and N2, else equimolar).
@@ -174,10 +302,13 @@ RhsEvaluator::RhsEvaluator(const Config& cfg, const grid::Mesh& mesh,
   mu_ref_pl_ = fits_.mixture_viscosity(Tr, Xr);
 }
 
-void RhsEvaluator::compute_transport_point(double T, double lnT, double rho,
-                                           double cp, const double* X,
-                                           double& mu, double& lam,
-                                           double* D) const {
+// The one compiled per-cell transport-property body (never inlined): the
+// per-point reference computes lnT itself and the batched pass reads it
+// from the staged lnT field, but both land here with the same doubles,
+// so the properties are bitwise identical across modes (DESIGN.md §11).
+__attribute__((noinline)) void RhsEvaluator::compute_transport_point(
+    double T, double lnT, double rho, double cp, const double* X, double& mu,
+    double& lam, double* D) const {
   const int ns = mech_->n_species();
   switch (cfg_.transport) {
     case TransportModel::power_law: {
@@ -188,20 +319,22 @@ void RhsEvaluator::compute_transport_point(double T, double lnT, double rho,
       return;
     }
     case TransportModel::constant_lewis: {
-      mu = fits_.mixture_viscosity(T, {X, static_cast<std::size_t>(ns)});
-      lam = fits_.mixture_conductivity(T, {X, static_cast<std::size_t>(ns)});
+      mu = fits_.mixture_viscosity_lnT(lnT, {X, static_cast<std::size_t>(ns)});
+      lam = fits_.mixture_conductivity_lnT(lnT,
+                                           {X, static_cast<std::size_t>(ns)});
       const double alpha = lam / (rho * cp);
       for (int s = 0; s < ns; ++s) D[s] = alpha / Le_[s];
       return;
     }
     case TransportModel::mixture_averaged: {
-      mu = fits_.mixture_viscosity(T, {X, static_cast<std::size_t>(ns)});
-      lam = fits_.mixture_conductivity(T, {X, static_cast<std::size_t>(ns)});
+      mu = fits_.mixture_viscosity_lnT(lnT, {X, static_cast<std::size_t>(ns)});
+      lam = fits_.mixture_conductivity_lnT(lnT,
+                                           {X, static_cast<std::size_t>(ns)});
       // p from the ideal-gas law at this point: D ~ 1/p handled inside.
       const double p = rho * Ru * T /
                        mech_->mean_W_from_X({X, static_cast<std::size_t>(ns)});
-      fits_.mixture_diffusion(T, p, {X, static_cast<std::size_t>(ns)},
-                              {D, static_cast<std::size_t>(ns)});
+      fits_.mixture_diffusion_lnT(lnT, p, {X, static_cast<std::size_t>(ns)},
+                                  {D, static_cast<std::size_t>(ns)});
       return;
     }
   }
@@ -287,71 +420,15 @@ void RhsEvaluator::eval(const State& U, double t, State& dUdt) {
 
     // ---- 4. transport properties and diffusive fluxes (interior) ----
     // This is the COMPUTESPECIESDIFFFLUX / COMPUTEHEATFLUX kernel family
-    // of the paper's fig. 2/4.
+    // of the paper's fig. 2/4. The batched shape stages shared per-cell
+    // quantities row by row as passes.* stages; the per-point shape is
+    // the reference. Both call the same compiled row kernels, so they
+    // are bitwise identical (DESIGN.md §11).
     phase.reset();
-    {
-    trace::Span sp("rhs.diffusive_flux", "solver");
-    double X[chem::kMaxSpecies], Yp[chem::kMaxSpecies], D[chem::kMaxSpecies];
-    double Jp[chem::kMaxSpecies][3];
-    for_interior(l_, [&](std::size_t n, int, int, int) {
-      const double T = prim_.T.data()[n];
-      const double lnT = std::log(T);
-      const double rho = prim_.rho.data()[n];
-      const double Wbar = prim_.Wbar.data()[n];
-      for (int s = 0; s < ns; ++s) {
-        Yp[s] = prim_.Y[s].data()[n];
-        X[s] = Yp[s] * Wbar / mech_->W(s);
-      }
-      const double cp =
-          mech_->cp_mass_mix(T, {Yp, static_cast<std::size_t>(ns)});
-      double mu, lam;
-      compute_transport_point(T, lnT, rho, cp, X, mu, lam, D);
-      mu_f_.data()[n] = mu;
-      lam_f_.data()[n] = lam;
-
-      // Stress tensor, paper eq. 14.
-      double divu = 0.0;
-      for (int a : active_axes_) divu += dudx_[a][a].data()[n];
-      for (int a : active_axes_)
-        for (int b : active_axes_) {
-          double tv = mu * (dudx_[a][b].data()[n] + dudx_[b][a].data()[n]);
-          if (a == b) tv -= (2.0 / 3.0) * mu * divu;
-          tau_[a][b].data()[n] = tv;
-        }
-
-      // Species diffusive fluxes, paper eqs. 18-19, with the correction
-      // that enforces eq. 15 (sum of fluxes = 0). The optional Soret term
-      // is the second term of eq. 16 with constant thermal-diffusion
-      // ratios.
-      double sumJ[3] = {0, 0, 0};
-      for (int s = 0; s < ns; ++s) {
-        const double rD = rho * D[s];
-        const double soret =
-            cfg_.include_soret
-                ? transport::soret_ratio(mech_->species(s)) * Yp[s] / T
-                : 0.0;
-        for (int a : active_axes_) {
-          const double gy = J_[s][a].data()[n];  // holds dY_s/dx_a
-          double j = -rD * (gy + Yp[s] * gradW_[a].data()[n] / Wbar);
-          if (cfg_.include_soret) j -= rD * soret * gradT_[a].data()[n];
-          Jp[s][a] = j;
-          sumJ[a] += j;
-        }
-      }
-      for (int s = 0; s < ns; ++s)
-        for (int a : active_axes_)
-          J_[s][a].data()[n] = Jp[s][a] - Yp[s] * sumJ[a];
-
-      // Heat flux, paper eq. 20: Fourier + species-enthalpy transport.
-      for (int a : active_axes_) {
-        double qa = -lam * gradT_[a].data()[n];
-        for (int s = 0; s < ns; ++s)
-          qa += chem::h_mass(mech_->species(s), T) * J_[s][a].data()[n];
-        q_[a].data()[n] = qa;
-      }
-    });
-    pass_stats_.count();  // already a single fused sweep in both paths
-    }
+    if (use_batching_)
+      eval_diffusive_batched();
+    else
+      eval_diffusive_pointwise();
     timers_.diffusive_flux += phase.seconds();
 
     // ---- 5. halo exchange of diffusive fluxes ----
@@ -454,19 +531,7 @@ void RhsEvaluator::eval(const State& U, double t, State& dUdt) {
   // ---- 7. chemistry (paper's REACTION_RATE kernel) ----
   if (cfg_.include_chemistry && mech_->n_reactions() > 0) {
     phase.reset();
-    trace::Span sp("chem.reaction_rate", "chem");
-    double c[chem::kMaxSpecies], wdot[chem::kMaxSpecies];
-    for_interior(l_, [&](std::size_t n, int, int, int) {
-      const double rho = prim_.rho.data()[n];
-      const double T = prim_.T.data()[n];
-      for (int s = 0; s < ns; ++s)
-        c[s] = rho * prim_.Y[s].data()[n] / mech_->W(s);
-      mech_->production_rates(T, {c, static_cast<std::size_t>(ns)},
-                              {wdot, static_cast<std::size_t>(ns)});
-      for (int s = 0; s < ns - 1; ++s)
-        dUdt.var(UIndex::Y0 + s)[n] += wdot[s] * mech_->W(s);
-    });
-    pass_stats_.count();
+    eval_chemistry(dUdt);
     timers_.reaction_rate += phase.seconds();
   }
 
@@ -481,6 +546,184 @@ void RhsEvaluator::eval(const State& U, double t, State& dUdt) {
 
   ++timers_.evals;
   (void)nv;
+}
+
+// Per-point reference for the diffusive phase: one cell at a time, every
+// row kernel invoked with count = 1. Because these are the SAME compiled
+// noinline bodies the batched pass drives over full rows, the two shapes
+// agree bitwise (test_transport_batched + the golden fused/unfused
+// cross-check enforce this continuously).
+void RhsEvaluator::eval_diffusive_pointwise() {
+  trace::Span sp("rhs.diffusive_flux", "solver");
+  const int ns = mech_->n_species();
+  const double* soret = cfg_.include_soret ? soret_ratio_.data() : nullptr;
+  const chem::Species* sps = mech_->all_species().data();
+  const int* axes = active_axes_.data();
+  const int na = static_cast<int>(active_axes_.size());
+  double X[chem::kMaxSpecies], Yp[chem::kMaxSpecies], D[chem::kMaxSpecies];
+  for_interior(l_, [&](std::size_t n, int, int, int) {
+    const double T = prim_.T.data()[n];
+    const double lnT = std::log(T);
+    const double rho = prim_.rho.data()[n];
+    const double Wbar = prim_.Wbar.data()[n];
+    for (int s = 0; s < ns; ++s) {
+      Yp[s] = prim_.Y[s].data()[n];
+      X[s] = Yp[s] * Wbar / Wvec_[s];
+    }
+    const double cp =
+        mech_->cp_mass_mix(T, {Yp, static_cast<std::size_t>(ns)});
+    double mu, lam;
+    compute_transport_point(T, lnT, rho, cp, X, mu, lam, D);
+    mu_f_.data()[n] = mu;
+    lam_f_.data()[n] = lam;
+    stress_row(mu_f_.data(), dudx_p_.data(), tau_p_.data(), axes, na, n, 1);
+    species_flux_row(prim_.rho.data(), prim_.T.data(), prim_.Wbar.data(),
+                     Yptr_.data(), gradW_p_.data(), gradT_p_.data(),
+                     J_p_.data(), D, soret, axes, na, ns, n, 1);
+    heat_flux_row(prim_.T.data(), lam_f_.data(), gradT_p_.data(), J_p_.data(),
+                  q_p_.data(), sps, axes, na, ns, n, 1);
+  });
+  pass_stats_.count();  // single fused sweep in both diffusive shapes
+}
+
+// Batched diffusive phase: a named pass over interior rows. Stage "lnT"
+// evaluates the one std::log(T) per cell this evaluation; every later
+// consumer (mixture fits here, kinetics in pass.chem_source) reuses it.
+// Stage "transport_props" stages X cell-major and runs the shared
+// per-cell property kernel; the flux stages drive the shared row kernels
+// over the whole row extent at once.
+void RhsEvaluator::eval_diffusive_batched() {
+  trace::Span sp("rhs.diffusive_flux", "solver");
+  const int ns = mech_->n_species();
+  const double* soret = cfg_.include_soret ? soret_ratio_.data() : nullptr;
+  const chem::Species* sps = mech_->all_species().data();
+  const int* axes = active_axes_.data();
+  const int na = static_cast<int>(active_axes_.size());
+  const double* Tf = prim_.T.data();
+  const double* rhof = prim_.rho.data();
+  const double* Wbarf = prim_.Wbar.data();
+  double* lnTf = lnT_f_.data();
+
+  FusedPointwise pass("pass.transport_flux");
+  pass.add("lnT", [Tf, lnTf](const RowRange& r) {
+    for (int c = 0; c < r.count; ++c) {
+      const std::size_t n = r.n0 + static_cast<std::size_t>(c);
+      lnTf[n] = std::log(Tf[n]);
+    }
+  });
+  pass.add("transport_props",
+           [this, ns, Tf, rhof, Wbarf, lnTf](const RowRange& r) {
+             for (int c = 0; c < r.count; ++c) {
+               const std::size_t n = r.n0 + static_cast<std::size_t>(c);
+               double* Yc = row_Y_.data() + static_cast<std::size_t>(c) * ns;
+               double* Xc = row_X_.data() + static_cast<std::size_t>(c) * ns;
+               const double Wbar = Wbarf[n];
+               for (int s = 0; s < ns; ++s) {
+                 const double Ysp = Yptr_[s][n];
+                 Yc[s] = Ysp;
+                 Xc[s] = Ysp * Wbar / Wvec_[s];
+               }
+               const double cp = mech_->cp_mass_mix(
+                   Tf[n], {Yc, static_cast<std::size_t>(ns)});
+               double mu, lam;
+               compute_transport_point(
+                   Tf[n], lnTf[n], rhof[n], cp, Xc, mu, lam,
+                   row_D_.data() + static_cast<std::size_t>(c) * ns);
+               mu_f_.data()[n] = mu;
+               lam_f_.data()[n] = lam;
+             }
+           });
+  pass.add("stress", [this, axes, na](const RowRange& r) {
+    stress_row(mu_f_.data(), dudx_p_.data(), tau_p_.data(), axes, na, r.n0,
+               r.count);
+  });
+  pass.add("species_flux",
+           [this, soret, axes, na, ns, Tf, rhof, Wbarf](const RowRange& r) {
+             species_flux_row(rhof, Tf, Wbarf, Yptr_.data(), gradW_p_.data(),
+                              gradT_p_.data(), J_p_.data(), row_D_.data(),
+                              soret, axes, na, ns, r.n0, r.count);
+           });
+  pass.add("heat_flux", [this, sps, axes, na, ns, Tf](const RowRange& r) {
+    heat_flux_row(Tf, lam_f_.data(), gradT_p_.data(), J_p_.data(), q_p_.data(),
+                  sps, axes, na, ns, r.n0, r.count);
+  });
+  pass.run_interior(l_, &pass_stats_);
+}
+
+// Chemistry phase. With DLB armed, begin_eval ships this rank's surplus
+// hot cells and returns the ascending skip list; the local kernel walks
+// rows in segments between skipped cells, and finish_eval scatters the
+// hosted results. Both local shapes and the DLB-hosted remote all funnel
+// through Mechanism::net_rates_ctx + chem_apply_wdot_cell, so every
+// rank-count / batching combination produces identical bits.
+void RhsEvaluator::eval_chemistry(State& dUdt) {
+  trace::Span sp("chem.reaction_rate", "chem");
+  const int ns = mech_->n_species();
+
+  const std::vector<std::size_t>* skip = nullptr;
+  if (dlb_) skip = &dlb_->begin_eval(prim_, l_);
+  const std::size_t skipN = skip ? skip->size() : 0;
+  std::size_t scur = 0;  // cursor into the ascending skip list
+
+  if (use_batching_) {
+    const double* Tf = prim_.T.data();
+    const double* rhof = prim_.rho.data();
+    double* lnTf = lnT_f_.data();
+    FusedPointwise pass("pass.chem_source");
+    if (!cfg_.include_viscous) {
+      // No transport pass ran this evaluation, so stage ln T here.
+      pass.add("lnT", [Tf, lnTf](const RowRange& r) {
+        for (int c = 0; c < r.count; ++c) {
+          const std::size_t n = r.n0 + static_cast<std::size_t>(c);
+          lnTf[n] = std::log(Tf[n]);
+        }
+      });
+    }
+    pass.add("chem_source", [&, ns, Tf, rhof, lnTf](const RowRange& r) {
+      int c = 0;
+      while (c < r.count) {
+        if (scur < skipN &&
+            (*skip)[scur] == r.n0 + static_cast<std::size_t>(c)) {
+          ++scur;
+          ++c;
+          continue;
+        }
+        const int run0 = c;
+        while (c < r.count &&
+               !(scur < skipN &&
+                 (*skip)[scur] == r.n0 + static_cast<std::size_t>(c)))
+          ++c;
+        const int len = c - run0;
+        bchem_.production_rates_fields(
+            len, r.n0 + static_cast<std::size_t>(run0), Tf, lnTf, rhof,
+            Yptr_.data(), row_wdot_.data());
+        for (int cc = 0; cc < len; ++cc)
+          chem_apply_wdot_cell(
+              dUdt, r.n0 + static_cast<std::size_t>(run0 + cc),
+              row_wdot_.data() + static_cast<std::size_t>(cc) * ns,
+              Wvec_.data(), ns);
+      }
+    });
+    pass.run_interior(l_, &pass_stats_);
+  } else {
+    double c[chem::kMaxSpecies], wdot[chem::kMaxSpecies];
+    for_interior(l_, [&](std::size_t n, int, int, int) {
+      if (scur < skipN && (*skip)[scur] == n) {
+        ++scur;
+        return;
+      }
+      const double rho = prim_.rho.data()[n];
+      const double T = prim_.T.data()[n];
+      for (int s = 0; s < ns; ++s)
+        c[s] = rho * prim_.Y[s].data()[n] / Wvec_[s];
+      mech_->production_rates(T, {c, static_cast<std::size_t>(ns)},
+                              {wdot, static_cast<std::size_t>(ns)});
+      chem_apply_wdot_cell(dUdt, n, wdot, Wvec_.data(), ns);
+    });
+    pass_stats_.count();
+  }
+
+  if (dlb_) dlb_->finish_eval(dUdt);
 }
 
 // Fused convective phase: per axis, ONE pointwise pass assembles every

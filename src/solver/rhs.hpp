@@ -19,6 +19,8 @@
 #include <array>
 #include <memory>
 
+#include "chem/batched.hpp"
+#include "solver/chem_dlb.hpp"
 #include "solver/config.hpp"
 #include "solver/field_ops.hpp"
 #include "solver/halo.hpp"
@@ -45,9 +47,12 @@ class RhsEvaluator {
  public:
   /// `offset`: global index of this rank's first interior point per axis;
   /// `ghosts`: which sides have exchanged ghost shells; `halo` performs
-  /// the exchanges (serial or parallel).
+  /// the exchanges (serial or parallel). `comm` (optional) enables the
+  /// chemistry dynamic-load-balancing layer when Config::chem_dlb is on
+  /// and the communicator spans more than one rank.
   RhsEvaluator(const Config& cfg, const grid::Mesh& mesh, const Layout& l,
-               std::array<int, 3> offset, GhostFlags ghosts, Halo halo);
+               std::array<int, 3> offset, GhostFlags ghosts, Halo halo,
+               vmpi::Comm* comm = nullptr);
 
   /// Evaluate dU/dt at time t. Interiors of dUdt are written; its ghost
   /// entries are zeroed.
@@ -70,6 +75,12 @@ class RhsEvaluator {
   const PassStats& pass_stats() const { return pass_stats_; }
   void reset_pass_stats() { pass_stats_.reset(); }
 
+  /// Chemistry DLB execution statistics, or nullptr when the layer is
+  /// not armed (serial run, single rank, or Config::chem_dlb off).
+  const DlbStats* dlb_stats() const {
+    return dlb_ ? &dlb_->stats() : nullptr;
+  }
+
   const Layout& layout() const { return l_; }
   const FieldOps& ops() const { return ops_; }
   const chem::Mechanism& mech() const { return *cfg_.mech; }
@@ -79,6 +90,9 @@ class RhsEvaluator {
   void compute_transport_point(double T, double lnT, double rho, double cp,
                                const double* X, double& mu, double& lam,
                                double* D) const;
+  void eval_diffusive_pointwise();
+  void eval_diffusive_batched();
+  void eval_chemistry(State& dUdt);
   void eval_convective_fused(const State& U, State& dUdt);
   void apply_nscbc(const State& U, double t, State& dUdt);
   void nscbc_face(const State& U, double t, State& dUdt, int axis, int side);
@@ -103,6 +117,10 @@ class RhsEvaluator {
   std::array<std::array<GField, 3>, 3> tau_;
   std::array<GField, 3> q_;
   GField mu_f_, lam_f_;
+  /// Staged ln T field for the batched kernels: written once per
+  /// evaluation (transport pass, or the chemistry pass when viscous
+  /// terms are off) and reused by every consumer of std::log(T).
+  GField lnT_f_;
   GField flux_tmp_, deriv_tmp_;
   /// Per-variable flux buffers for the fused convective pass (allocated
   /// only when Config::fusion): one assemble pass writes all nv fluxes,
@@ -112,6 +130,23 @@ class RhsEvaluator {
   std::vector<double> Le_;       ///< constant Lewis numbers
   double mu_ref_pl_ = 1.8e-5;    ///< power-law reference viscosity
   std::vector<int> active_axes_;
+
+  /// Row-batched kernels engage only on the fused plan: the unfused
+  /// path IS the per-point reference (Config::batching docs).
+  bool use_batching_ = false;
+  chem::BatchedChemistry bchem_;
+  std::unique_ptr<ChemDlb> dlb_;
+  std::vector<double> Wvec_;         ///< species molecular weights
+  std::vector<double> soret_ratio_;  ///< per-species Soret ratios
+  std::vector<const double*> Yptr_;  ///< prim_.Y[s] base pointers
+  // Row scratch for the batched passes (cell-major, l_.nx cells max).
+  std::vector<double> row_X_, row_Y_, row_D_, row_wdot_;
+  // Pointer tables for the shared diffusive row kernels ([a*3+b], [s*3+a]).
+  std::array<const double*, 9> dudx_p_{};
+  std::array<double*, 9> tau_p_{};
+  std::array<const double*, 3> gradW_p_{}, gradT_p_{};
+  std::array<double*, 3> q_p_{};
+  std::vector<double*> J_p_;
 
   RhsTimers timers_;
   PassStats pass_stats_;

@@ -88,7 +88,8 @@ void Solver::setup(const Config& cfg, vmpi::Comm* comm, int px, int py,
   Halo halo = comm ? Halo(l, periodic, comm, cart_.get())
                    : Halo(l, periodic);
   halo_state_ = std::make_unique<Halo>(halo);
-  rhs_ = std::make_unique<RhsEvaluator>(cfg_, *mesh_, l, offset_, gh, halo);
+  rhs_ = std::make_unique<RhsEvaluator>(cfg_, *mesh_, l, offset_, gh, halo,
+                                        comm);
 
   const int nv = n_conserved(ns);
   U_ = State(l, nv);

@@ -44,6 +44,19 @@ double KernelStat::max_rank_s() const {
   return m;
 }
 
+double CounterStat::min_rank_value() const {
+  if (ranks.empty()) return 0.0;
+  double m = ranks.front().value;
+  for (const auto& r : ranks) m = std::min(m, r.value);
+  return m;
+}
+
+double CounterStat::max_rank_value() const {
+  double m = 0.0;
+  for (const auto& r : ranks) m = std::max(m, r.value);
+  return m;
+}
+
 const KernelStat* Summary::find(const std::string& name) const {
   for (const auto& k : kernels)
     if (k.name == name) return &k;
@@ -244,6 +257,19 @@ Summary summarize() {
         c.total = e.value;  // last value wins (events are time-sorted)
       else
         c.total += e.value;
+      auto it = std::find_if(c.ranks.begin(), c.ranks.end(),
+                             [&](const CounterRankStat& r) {
+                               return r.rank == e.rank;
+                             });
+      if (it == c.ranks.end()) {
+        c.ranks.push_back(CounterRankStat{e.rank, 0, 0.0});
+        it = std::prev(c.ranks.end());
+      }
+      ++it->samples;
+      if (c.is_gauge)
+        it->value = e.value;
+      else
+        it->value += e.value;
     }
   }
   for (auto& [name, k] : kernels) {
@@ -253,7 +279,13 @@ Summary summarize() {
               });
     out.kernels.push_back(std::move(k));
   }
-  for (auto& [name, c] : counters) out.counters.push_back(std::move(c));
+  for (auto& [name, c] : counters) {
+    std::sort(c.ranks.begin(), c.ranks.end(),
+              [](const CounterRankStat& a, const CounterRankStat& b) {
+                return a.rank < b.rank;
+              });
+    out.counters.push_back(std::move(c));
+  }
   return out;
 }
 
@@ -277,10 +309,12 @@ void write_summary(std::ostream& os) {
     t.print(os);
   }
   if (!s.counters.empty()) {
-    Table t({"metric", "kind", "samples", "value"});
+    Table t({"metric", "kind", "samples", "value", "min rank", "max rank"});
     for (const auto& c : s.counters)
       t.add_row({c.name, c.is_gauge ? "gauge" : "counter",
-                 std::to_string(c.samples), Table::num(c.total, 6)});
+                 std::to_string(c.samples), Table::num(c.total, 6),
+                 Table::num(c.min_rank_value(), 6),
+                 Table::num(c.max_rank_value(), 6)});
     t.print(os);
   }
 }

@@ -51,11 +51,28 @@ struct KernelStat {
   double max_rank_s() const;
 };
 
+/// One rank's share of a counter (sum of its deltas) or gauge (its last
+/// sample).
+struct CounterRankStat {
+  int rank = 0;
+  std::int64_t samples = 0;
+  double value = 0.0;
+};
+
 struct CounterStat {
   std::string name;
   std::int64_t samples = 0;
   double total = 0.0;  ///< sum of deltas (Counter) or last value (Gauge)
   bool is_gauge = false;
+  /// Per-rank breakdown, sorted by rank. Work-distribution counters
+  /// (halo bytes, DLB cells shipped/hosted) are only meaningful with the
+  /// rank spread visible: the aggregate hides exactly the imbalance the
+  /// chemistry DLB exists to remove.
+  std::vector<CounterRankStat> ranks;
+
+  /// Min / max of the per-rank values (0 when no rank recorded).
+  double min_rank_value() const;
+  double max_rank_value() const;
 };
 
 struct Summary {

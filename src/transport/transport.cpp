@@ -127,11 +127,16 @@ TransportFits::TransportFits(const chem::Mechanism& mech, double T_lo,
   W_.resize(ns_);
   for (int i = 0; i < ns_; ++i) W_[i] = mech.W(i);
 
+  // Sample the kinetic-theory expressions at the sample temperatures
+  // directly; historically this round-tripped T through exp(log(T)),
+  // which perturbs each sample by ~1 ulp for no reason.
+  // tests/test_transport_batched.cpp pins that removing the round-trip
+  // leaves the fitted properties unchanged to fit accuracy.
   constexpr int kSamples = 24;
-  std::vector<double> lnT(kSamples), lnF(kSamples);
+  std::vector<double> Ts(kSamples), lnT(kSamples), lnF(kSamples);
   for (int s = 0; s < kSamples; ++s) {
-    const double T = T_lo + (T_hi - T_lo) * s / (kSamples - 1);
-    lnT[s] = std::log(T);
+    Ts[s] = T_lo + (T_hi - T_lo) * s / (kSamples - 1);
+    lnT[s] = std::log(Ts[s]);
   }
 
   visc_.resize(ns_);
@@ -139,10 +144,10 @@ TransportFits::TransportFits(const chem::Mechanism& mech, double T_lo,
   for (int i = 0; i < ns_; ++i) {
     const auto& sp = mech.species(i);
     for (int s = 0; s < kSamples; ++s)
-      lnF[s] = std::log(transport::viscosity(sp, std::exp(lnT[s])));
+      lnF[s] = std::log(transport::viscosity(sp, Ts[s]));
     visc_[i] = fit_lnT(lnT, lnF);
     for (int s = 0; s < kSamples; ++s)
-      lnF[s] = std::log(transport::conductivity(sp, std::exp(lnT[s])));
+      lnF[s] = std::log(transport::conductivity(sp, Ts[s]));
     cond_[i] = fit_lnT(lnT, lnF);
   }
 
@@ -153,23 +158,31 @@ TransportFits::TransportFits(const chem::Mechanism& mech, double T_lo,
       const auto& b = mech.species(j);
       for (int s = 0; s < kSamples; ++s)
         lnF[s] = std::log(
-            transport::binary_diffusion(a, b, std::exp(lnT[s]), chem_p_ref_));
+            transport::binary_diffusion(a, b, Ts[s], chem_p_ref_));
       diff_[static_cast<std::size_t>(i) * ns_ + j] = fit_lnT(lnT, lnF);
     }
   }
 
   wilke_denom_.resize(static_cast<std::size_t>(ns_) * ns_);
-  w_ratio_.resize(static_cast<std::size_t>(ns_) * ns_);
+  w_qrt_.resize(static_cast<std::size_t>(ns_) * ns_);
   for (int i = 0; i < ns_; ++i)
     for (int j = 0; j < ns_; ++j) {
       wilke_denom_[i * ns_ + j] = std::sqrt(8.0 * (1.0 + W_[i] / W_[j]));
-      w_ratio_[i * ns_ + j] = W_[j] / W_[i];
+      w_qrt_[i * ns_ + j] = std::pow(W_[j] / W_[i], 0.25);
     }
 }
 
 double TransportFits::mixture_viscosity(double T,
                                         std::span<const double> X) const {
-  const double lnT = std::log(T);
+  return mixture_viscosity_lnT(std::log(T), X);
+}
+
+// The _lnT mixture rules below are the one compiled body per rule (never
+// inlined): the scalar T entry points, the batched row evaluators and the
+// DLB-remote path all funnel through them, so -O3 cannot contract the
+// mixture arithmetic differently per call site (DESIGN.md §11).
+__attribute__((noinline)) double TransportFits::mixture_viscosity_lnT(
+    double lnT, std::span<const double> X) const {
   double mu_i[chem::kMaxSpecies];
   for (int i = 0; i < ns_; ++i) mu_i[i] = viscosity(i, lnT);
   double mu = 0.0;
@@ -177,8 +190,8 @@ double TransportFits::mixture_viscosity(double T,
     if (X[i] <= 0.0) continue;
     double denom = 0.0;
     for (int j = 0; j < ns_; ++j) {
-      const double r = 1.0 + std::sqrt(mu_i[i] / mu_i[j]) *
-                                 std::pow(w_ratio_[i * ns_ + j], 0.25);
+      const double r =
+          1.0 + std::sqrt(mu_i[i] / mu_i[j]) * w_qrt_[i * ns_ + j];
       const double phi = r * r / wilke_denom_[i * ns_ + j];
       denom += X[j] * phi;
     }
@@ -189,7 +202,11 @@ double TransportFits::mixture_viscosity(double T,
 
 double TransportFits::mixture_conductivity(double T,
                                            std::span<const double> X) const {
-  const double lnT = std::log(T);
+  return mixture_conductivity_lnT(std::log(T), X);
+}
+
+__attribute__((noinline)) double TransportFits::mixture_conductivity_lnT(
+    double lnT, std::span<const double> X) const {
   // Mathur-Saxena: lambda = 1/2 (sum X_i lam_i + 1 / sum X_i / lam_i).
   double s1 = 0.0, s2 = 0.0;
   for (int i = 0; i < ns_; ++i) {
@@ -204,7 +221,12 @@ double TransportFits::mixture_conductivity(double T,
 void TransportFits::mixture_diffusion(double T, double p,
                                       std::span<const double> X,
                                       std::span<double> Dmix) const {
-  const double lnT = std::log(T);
+  mixture_diffusion_lnT(std::log(T), p, X, Dmix);
+}
+
+__attribute__((noinline)) void TransportFits::mixture_diffusion_lnT(
+    double lnT, double p, std::span<const double> X,
+    std::span<double> Dmix) const {
   for (int i = 0; i < ns_; ++i) {
     double denom = 0.0;
     for (int j = 0; j < ns_; ++j) {
@@ -220,6 +242,28 @@ void TransportFits::mixture_diffusion(double T, double p,
       Dmix[i] = (1.0 - Xi) / denom;
       if (Dmix[i] <= 0.0) Dmix[i] = binary_diffusion(i, (i + 1) % ns_, lnT, p);
     }
+  }
+}
+
+void TransportFits::mixture_props_batch(int count, const double* lnT,
+                                        const double* X, double* mu,
+                                        double* lam) const {
+  for (int cell = 0; cell < count; ++cell) {
+    const std::span<const double> Xc(X + static_cast<std::size_t>(cell) * ns_,
+                                     static_cast<std::size_t>(ns_));
+    mu[cell] = mixture_viscosity_lnT(lnT[cell], Xc);
+    lam[cell] = mixture_conductivity_lnT(lnT[cell], Xc);
+  }
+}
+
+void TransportFits::mixture_diffusion_batch(int count, const double* lnT,
+                                            double p, const double* X,
+                                            double* Dmix) const {
+  for (int cell = 0; cell < count; ++cell) {
+    const std::size_t o = static_cast<std::size_t>(cell) * ns_;
+    mixture_diffusion_lnT(lnT[cell], p,
+                          std::span<const double>(X + o, ns_),
+                          std::span<double>(Dmix + o, ns_));
   }
 }
 

@@ -86,6 +86,28 @@ class TransportFits {
   void mixture_diffusion(double T, double p, std::span<const double> X,
                          std::span<double> Dmix) const;
 
+  // --- ln-T entry points and row-batched evaluation (DESIGN.md §11) ---
+  //
+  // The T-taking mixture rules above each re-derive std::log(T). The _lnT
+  // variants take the caller's lnT — which must equal std::log(T) bit for
+  // bit — and hold the ONE compiled body per rule (never inlined), so the
+  // scalar entry points, the batched row kernels and DLB-remote
+  // evaluations all produce bitwise-identical properties.
+
+  double mixture_viscosity_lnT(double lnT, std::span<const double> X) const;
+  double mixture_conductivity_lnT(double lnT, std::span<const double> X) const;
+  void mixture_diffusion_lnT(double lnT, double p, std::span<const double> X,
+                             std::span<double> Dmix) const;
+
+  /// Batched Wilke viscosity + Mathur-Saxena conductivity over `count`
+  /// cells (X cell-major, X[cell * ns + i]): the staged per-cell lnT is
+  /// reused across both rules instead of one std::log per rule per cell.
+  void mixture_props_batch(int count, const double* lnT, const double* X,
+                           double* mu, double* lam) const;
+  /// Batched mixture-averaged diffusion (Dmix cell-major).
+  void mixture_diffusion_batch(int count, const double* lnT, double p,
+                               const double* X, double* Dmix) const;
+
  private:
   static double eval(const std::vector<std::array<double, 4>>& c, int idx,
                      double lnT) {
@@ -99,7 +121,10 @@ class TransportFits {
   std::vector<std::array<double, 4>> visc_, cond_, diff_;
   // Precomputed Wilke phi denominators sqrt(8 (1 + Wi/Wj)).
   std::vector<double> wilke_denom_;
-  std::vector<double> w_ratio_;  ///< Wj/Wi table for Wilke
+  /// (Wj/Wi)^(1/4) table: hoists ns^2 std::pow calls per cell out of the
+  /// Wilke loop (pow of the same double is the same double, so hoisting
+  /// is bitwise-neutral).
+  std::vector<double> w_qrt_;
 };
 
 }  // namespace s3d::transport

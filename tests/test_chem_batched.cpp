@@ -1,0 +1,234 @@
+// Equivalence tier (ctest -L equivalence): the SoA row-batched chemistry
+// kernels of chem/batched.hpp must reproduce the scalar pointwise
+// kinetics path BIT FOR BIT — not approximately — over randomized and
+// extreme thermochemical states. Batching is a staging/traversal change
+// only; both shapes funnel into the one compiled
+// Mechanism::net_rates_ctx body (DESIGN.md §11), so any bit of drift
+// here is a real kernel-sharing regression, and EXPECT_EQ on the raw
+// IEEE-754 payloads is the right comparison.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "chem/batched.hpp"
+#include "chem/mechanisms.hpp"
+
+namespace chem = s3d::chem;
+
+namespace {
+
+std::uint64_t bits(double x) { return std::bit_cast<std::uint64_t>(x); }
+
+/// One batch of thermochemical states, Y cell-major.
+struct Batch {
+  int count = 0;
+  std::vector<double> T, lnT, rho, Y;
+};
+
+Batch random_batch(const chem::Mechanism& m, int count, unsigned seed) {
+  const int ns = m.n_species();
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> uT(260.0, 3100.0);
+  std::uniform_real_distribution<double> urho(0.05, 5.0);
+  std::uniform_real_distribution<double> uy(0.0, 1.0);
+  Batch b;
+  b.count = count;
+  b.T.resize(count);
+  b.lnT.resize(count);
+  b.rho.resize(count);
+  b.Y.resize(static_cast<std::size_t>(count) * ns);
+  for (int c = 0; c < count; ++c) {
+    b.T[c] = uT(rng);
+    b.rho[c] = urho(rng);
+    double sum = 0.0;
+    for (int s = 0; s < ns; ++s) {
+      const double y = uy(rng);
+      b.Y[static_cast<std::size_t>(c) * ns + s] = y;
+      sum += y;
+    }
+    for (int s = 0; s < ns; ++s)
+      b.Y[static_cast<std::size_t>(c) * ns + s] /= sum;
+  }
+  for (int c = 0; c < count; ++c) b.lnT[c] = std::log(b.T[c]);
+  return b;
+}
+
+/// States the solver actually produces under stress: temperatures at and
+/// beyond the fit window, vanishing / exactly-zero / slightly-negative
+/// mass fractions (what the health layer's clipping deals in), and
+/// un-normalized compositions.
+Batch extreme_batch(const chem::Mechanism& m) {
+  const int ns = m.n_species();
+  Batch b = random_batch(m, 8, 77u);
+  auto Yrow = [&](int c) {
+    return b.Y.data() + static_cast<std::size_t>(c) * ns;
+  };
+  b.T[0] = 250.0;   // cold clamp edge of the transport/thermo fits
+  b.T[1] = 3200.0;  // hot fit edge
+  b.T[2] = 305.123456789;
+  for (int s = 0; s < ns; ++s) Yrow(0)[s] = 0.0;  // inert vacuum-ish cell
+  Yrow(0)[ns - 1] = 1.0;
+  for (int s = 0; s < ns; ++s) Yrow(1)[s] = 1e-280;  // denormal-adjacent
+  Yrow(1)[0] = 1.0;
+  Yrow(2)[0] = -1e-9;  // pre-clip negative mass fraction
+  Yrow(2)[1] = -1e-22;
+  for (int s = 0; s < ns; ++s) Yrow(3)[s] *= 1.5;  // un-normalized
+  b.rho[4] = 1e-3;
+  b.rho[5] = 50.0;
+  for (int c = 0; c < b.count; ++c) b.lnT[c] = std::log(b.T[c]);
+  return b;
+}
+
+/// The per-point reference: exactly what the unfused RHS chemistry loop
+/// does — molar concentrations from rho Y / W, then the scalar
+/// Mechanism::production_rates call, one cell at a time.
+std::vector<double> scalar_reference(const chem::Mechanism& m,
+                                     const Batch& b) {
+  const int ns = m.n_species();
+  std::vector<double> wdot(static_cast<std::size_t>(b.count) * ns);
+  std::vector<double> c(ns), w(ns);
+  for (int cell = 0; cell < b.count; ++cell) {
+    for (int s = 0; s < ns; ++s)
+      c[s] = b.rho[cell] * b.Y[static_cast<std::size_t>(cell) * ns + s] /
+             m.W(s);
+    m.production_rates(b.T[cell], c, w);
+    for (int s = 0; s < ns; ++s)
+      wdot[static_cast<std::size_t>(cell) * ns + s] = w[s];
+  }
+  return wdot;
+}
+
+void expect_bitwise(const std::vector<double>& want,
+                    const std::vector<double>& got, const char* what) {
+  ASSERT_EQ(want.size(), got.size());
+  for (std::size_t i = 0; i < want.size(); ++i)
+    ASSERT_EQ(bits(want[i]), bits(got[i]))
+        << what << ": bit drift at flat index " << i << " (" << want[i]
+        << " vs " << got[i] << ")";
+}
+
+void check_mechanism(const chem::Mechanism& m) {
+  chem::BatchedChemistry bc(m);
+  // 257 cells: odd, larger than any row the tiny cases use, and larger
+  // than the default DLB parcel so chunked shapes get exercised too.
+  for (unsigned seed : {1u, 2u, 3u}) {
+    const Batch b = random_batch(m, 257, seed);
+    const auto ref = scalar_reference(m, b);
+    std::vector<double> got(ref.size());
+    bc.production_rates_batch(b.count, b.T.data(), b.lnT.data(),
+                              b.rho.data(), b.Y.data(), got.data());
+    expect_bitwise(ref, got, m.name().c_str());
+  }
+}
+
+}  // namespace
+
+TEST(ChemBatched, MatchesScalarH2) { check_mechanism(chem::h2_li2004()); }
+
+TEST(ChemBatched, MatchesScalarSyngas) {
+  check_mechanism(chem::syngas_co_h2());
+}
+
+TEST(ChemBatched, MatchesScalarCh4TwoStep) {
+  check_mechanism(chem::ch4_bfer2step());
+}
+
+TEST(ChemBatched, MatchesScalarOnExtremeStates) {
+  for (const auto& m : {chem::h2_li2004(), chem::syngas_co_h2()}) {
+    chem::BatchedChemistry bc(m);
+    const Batch b = extreme_batch(m);
+    const auto ref = scalar_reference(m, b);
+    std::vector<double> got(ref.size());
+    bc.production_rates_batch(b.count, b.T.data(), b.lnT.data(),
+                              b.rho.data(), b.Y.data(), got.data());
+    expect_bitwise(ref, got, "extreme states");
+  }
+}
+
+// The solver-facing entry reads T/rho straight from (ghosted) fields and
+// species mass fractions through per-species base pointers. Must agree
+// with the AoS entry (and hence the scalar path) bit for bit.
+TEST(ChemBatched, FieldsEntryMatchesBatchEntry) {
+  const chem::Mechanism m = chem::h2_li2004();
+  const int ns = m.n_species();
+  chem::BatchedChemistry bc(m);
+  const int count = 33;
+  const Batch b = random_batch(m, count, 9u);
+
+  // Lay the batch out like solver fields: a ghost offset of 7 cells, one
+  // contiguous array per species.
+  const std::size_t n0 = 7;
+  const std::size_t len = n0 + count + 3;
+  std::vector<double> Tf(len, 300.0), lnTf(len, 0.0), rhof(len, 1.0);
+  std::vector<std::vector<double>> Yf(ns, std::vector<double>(len, 0.0));
+  std::vector<const double*> Yp(ns);
+  for (int s = 0; s < ns; ++s) Yp[s] = Yf[s].data();
+  for (int c = 0; c < count; ++c) {
+    Tf[n0 + c] = b.T[c];
+    lnTf[n0 + c] = b.lnT[c];
+    rhof[n0 + c] = b.rho[c];
+    for (int s = 0; s < ns; ++s)
+      Yf[s][n0 + c] = b.Y[static_cast<std::size_t>(c) * ns + s];
+  }
+
+  std::vector<double> want(static_cast<std::size_t>(count) * ns);
+  bc.production_rates_batch(count, b.T.data(), b.lnT.data(), b.rho.data(),
+                            b.Y.data(), want.data());
+  std::vector<double> got(want.size());
+  bc.production_rates_fields(count, n0, Tf.data(), lnTf.data(), rhof.data(),
+                             Yp.data(), got.data());
+  expect_bitwise(want, got, "fields entry");
+}
+
+// Parcel-size invariance: the DLB host evaluates shipped cells in
+// parcels of Config::dlb_parcel_cells, so chunking must not change the
+// bits — the same cells in one batch of N, in singleton batches, and in
+// ragged chunks must all agree exactly.
+TEST(ChemBatched, BatchSizeInvariance) {
+  const chem::Mechanism m = chem::syngas_co_h2();
+  const int ns = m.n_species();
+  chem::BatchedChemistry bc(m);
+  const int count = 61;
+  const Batch b = random_batch(m, count, 21u);
+
+  std::vector<double> whole(static_cast<std::size_t>(count) * ns);
+  bc.production_rates_batch(count, b.T.data(), b.lnT.data(), b.rho.data(),
+                            b.Y.data(), whole.data());
+
+  for (int chunk : {1, 2, 7, 64}) {
+    std::vector<double> got(whole.size());
+    for (int c0 = 0; c0 < count; c0 += chunk) {
+      const int n = std::min(chunk, count - c0);
+      bc.production_rates_batch(
+          n, b.T.data() + c0, b.lnT.data() + c0, b.rho.data() + c0,
+          b.Y.data() + static_cast<std::size_t>(c0) * ns,
+          got.data() + static_cast<std::size_t>(c0) * ns);
+    }
+    expect_bitwise(whole, got, "chunked batch");
+  }
+}
+
+// The lnT-taking scalar entry with a caller-staged std::log(T) must be
+// indistinguishable from the classic entry that derives it internally —
+// the contract that lets the batched passes stage ln T once per cell.
+TEST(ChemBatched, LnTEntryMatchesScalar) {
+  const chem::Mechanism m = chem::h2_li2004();
+  const int ns = m.n_species();
+  const Batch b = random_batch(m, 64, 5u);
+  std::vector<double> c(ns), w1(ns), w2(ns);
+  for (int cell = 0; cell < b.count; ++cell) {
+    for (int s = 0; s < ns; ++s)
+      c[s] = b.rho[cell] * b.Y[static_cast<std::size_t>(cell) * ns + s] /
+             m.W(s);
+    m.production_rates(b.T[cell], c, w1);
+    m.production_rates_lnT(b.T[cell], std::log(b.T[cell]), c, w2);
+    for (int s = 0; s < ns; ++s)
+      ASSERT_EQ(bits(w1[s]), bits(w2[s]))
+          << "cell " << cell << " species " << s;
+  }
+}

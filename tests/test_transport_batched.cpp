@@ -1,0 +1,183 @@
+// Equivalence tier (ctest -L equivalence): the lnT-taking and
+// row-batched mixture transport entries must reproduce the classic
+// scalar rules bit for bit — they are thin stagers around the same
+// compiled noinline rule bodies (DESIGN.md §11). Also pins the ctor
+// change that removed the std::exp(std::log(T)) round-trip from the fit
+// sampling (transport.cpp): the old and new sample abscissae agree to
+// ~1 ulp of T, so the refitted coefficients stay interchangeable with
+// the kinetic-theory values they fit.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "chem/mechanisms.hpp"
+#include "transport/transport.hpp"
+
+namespace chem = s3d::chem;
+namespace transport = s3d::transport;
+
+namespace {
+
+std::uint64_t bits(double x) { return std::bit_cast<std::uint64_t>(x); }
+
+/// Random mole-fraction batches, cell-major, including one-hot and
+/// near-zero compositions (the 0/0 corner of the mixture-diffusion
+/// regularization).
+struct Batch {
+  int count = 0;
+  std::vector<double> T, lnT, X;
+};
+
+Batch random_batch(int ns, int count, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> uT(260.0, 3100.0);
+  std::uniform_real_distribution<double> ux(0.0, 1.0);
+  Batch b;
+  b.count = count;
+  b.T.resize(count);
+  b.X.resize(static_cast<std::size_t>(count) * ns);
+  for (int c = 0; c < count; ++c) {
+    b.T[c] = uT(rng);
+    double sum = 0.0;
+    for (int s = 0; s < ns; ++s) {
+      const double x = ux(rng);
+      b.X[static_cast<std::size_t>(c) * ns + s] = x;
+      sum += x;
+    }
+    for (int s = 0; s < ns; ++s)
+      b.X[static_cast<std::size_t>(c) * ns + s] /= sum;
+  }
+  // Corner compositions: pure species 0 (the X_i -> 1 limit of paper
+  // eq. 17), a trace mixture, and the fit-window temperature edges.
+  if (count >= 3) {
+    for (int s = 0; s < ns; ++s) {
+      b.X[s] = (s == 0) ? 1.0 : 0.0;
+      b.X[static_cast<std::size_t>(1) * ns + s] = (s == 0) ? 1.0 : 1e-14;
+    }
+    b.T[1] = 250.0;
+    b.T[2] = 3200.0;
+  }
+  b.lnT.resize(count);
+  for (int c = 0; c < count; ++c) b.lnT[c] = std::log(b.T[c]);
+  return b;
+}
+
+}  // namespace
+
+// The _lnT entries fed a caller-staged std::log(T) must equal the
+// classic T-taking rules exactly: the T entries are now wrappers that
+// derive lnT and forward, so anything else is a kernel-sharing bug.
+TEST(TransportBatched, LnTEntriesMatchScalar) {
+  const chem::Mechanism m = chem::h2_li2004();
+  const transport::TransportFits fits(m);
+  const int ns = m.n_species();
+  const Batch b = random_batch(ns, 128, 11u);
+  const double p = 101325.0;
+  std::vector<double> D1(ns), D2(ns);
+  for (int c = 0; c < b.count; ++c) {
+    std::span<const double> X{b.X.data() + static_cast<std::size_t>(c) * ns,
+                              static_cast<std::size_t>(ns)};
+    const double lnT = std::log(b.T[c]);
+    ASSERT_EQ(bits(fits.mixture_viscosity(b.T[c], X)),
+              bits(fits.mixture_viscosity_lnT(lnT, X)))
+        << "viscosity, cell " << c;
+    ASSERT_EQ(bits(fits.mixture_conductivity(b.T[c], X)),
+              bits(fits.mixture_conductivity_lnT(lnT, X)))
+        << "conductivity, cell " << c;
+    fits.mixture_diffusion(b.T[c], p, X, D1);
+    fits.mixture_diffusion_lnT(lnT, p, X, D2);
+    for (int s = 0; s < ns; ++s)
+      ASSERT_EQ(bits(D1[s]), bits(D2[s]))
+          << "diffusion, cell " << c << " species " << s;
+  }
+}
+
+// The row-batched entries over cell-major X must equal per-cell scalar
+// calls bit for bit, for every species count we ship.
+TEST(TransportBatched, BatchEntriesMatchScalar) {
+  for (const auto& m : {chem::h2_li2004(), chem::syngas_co_h2(),
+                        chem::ch4_bfer2step()}) {
+    const transport::TransportFits fits(m);
+    const int ns = m.n_species();
+    const Batch b = random_batch(ns, 97, 23u);
+    const double p = 2.0 * 101325.0;
+
+    std::vector<double> mu(b.count), lam(b.count),
+        Dmix(static_cast<std::size_t>(b.count) * ns), Ds(ns);
+    fits.mixture_props_batch(b.count, b.lnT.data(), b.X.data(), mu.data(),
+                             lam.data());
+    fits.mixture_diffusion_batch(b.count, b.lnT.data(), p, b.X.data(),
+                                 Dmix.data());
+    for (int c = 0; c < b.count; ++c) {
+      std::span<const double> X{
+          b.X.data() + static_cast<std::size_t>(c) * ns,
+          static_cast<std::size_t>(ns)};
+      ASSERT_EQ(bits(fits.mixture_viscosity(b.T[c], X)), bits(mu[c]))
+          << m.name() << " viscosity, cell " << c;
+      ASSERT_EQ(bits(fits.mixture_conductivity(b.T[c], X)), bits(lam[c]))
+          << m.name() << " conductivity, cell " << c;
+      fits.mixture_diffusion(b.T[c], p, X, Ds);
+      for (int s = 0; s < ns; ++s)
+        ASSERT_EQ(bits(Ds[s]),
+                  bits(Dmix[static_cast<std::size_t>(c) * ns + s]))
+            << m.name() << " diffusion, cell " << c << " species " << s;
+    }
+  }
+}
+
+// Pin of the removed fit-sampling round-trip: the old ctor evaluated the
+// kinetic-theory properties at exp(log(T_s)) and the new one at T_s
+// directly. exp and log are correctly-rounded-ish but not exact
+// inverses, so the abscissae may differ — by at most a couple of ulps of
+// T. This test bounds the perturbation at every sample point and checks
+// the property values agree to ~1e-12 relative, which is far inside the
+// fit residual: the old and new coefficients are interchangeable.
+TEST(TransportBatched, FitSamplingRoundTripRemovalIsNegligible) {
+  const chem::Mechanism m = chem::h2_li2004();
+  const double T_lo = 250.0, T_hi = 3200.0;
+  const int kSamples = 24;  // matches the ctor's sampling density scale
+  for (int s = 0; s < m.n_species(); ++s) {
+    const auto& sp = m.species(s);
+    for (int k = 0; k < kSamples; ++k) {
+      const double lnT = std::log(T_lo) +
+                         (std::log(T_hi) - std::log(T_lo)) * k /
+                             (kSamples - 1);
+      const double T_new = std::exp(lnT);            // sample abscissa
+      const double T_old = std::exp(std::log(T_new));  // old round-trip
+      EXPECT_NEAR(T_old, T_new, 4.0 * T_new * 1e-16)
+          << "abscissa perturbation beyond a few ulps";
+      const double v_new = transport::viscosity(sp, T_new);
+      const double v_old = transport::viscosity(sp, T_old);
+      EXPECT_NEAR(v_old, v_new, 1e-12 * v_new);
+      const double c_new = transport::conductivity(sp, T_new);
+      const double c_old = transport::conductivity(sp, T_old);
+      EXPECT_NEAR(c_old, c_new, 1e-12 * c_new);
+    }
+  }
+}
+
+// The refitted coefficients must still track kinetic theory: fitted
+// pure-species curves within a few percent of the direct Chapman-Enskog
+// evaluation across the fit window (same bar test_transport holds the
+// original fits to).
+TEST(TransportBatched, RefitStillTracksKineticTheory) {
+  const chem::Mechanism m = chem::syngas_co_h2();
+  const transport::TransportFits fits(m);
+  for (int s = 0; s < m.n_species(); ++s) {
+    const auto& sp = m.species(s);
+    for (double T : {300.0, 600.0, 1200.0, 2400.0, 3000.0}) {
+      const double lnT = std::log(T);
+      EXPECT_NEAR(fits.viscosity(s, lnT), transport::viscosity(sp, T),
+                  0.03 * transport::viscosity(sp, T))
+          << sp.name << " @ " << T;
+      EXPECT_NEAR(fits.conductivity(s, lnT), transport::conductivity(sp, T),
+                  0.03 * transport::conductivity(sp, T))
+          << sp.name << " @ " << T;
+    }
+  }
+}
