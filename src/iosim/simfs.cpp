@@ -59,14 +59,14 @@ double SimFS::write(int fd, int client, std::size_t offset, std::size_t len,
   // propagates. Drops discard the request; corruptions damage the stored
   // payload (silent until a reader checksums it); delays burn clock.
   std::vector<std::uint8_t> corrupted;
+  const RetryPolicy retry{p_.write_retries, p_.retry_backoff,
+                          p_.retry_backoff_cap};
   for (int attempt = 0;; ++attempt) {
     const auto a = fault::probe("iosim.write");
     if (!a) break;
     if (a.kind == fault::Kind::fail) {
-      if (attempt >= p_.write_retries) fault::apply(a, "iosim.write");
-      const double backoff = std::min(
-          p_.retry_backoff * static_cast<double>(1L << attempt),
-          p_.retry_backoff_cap);
+      if (attempt >= retry.retries) fault::apply(a, "iosim.write");
+      const double backoff = retry.delay(attempt);
       if (attempt == 0) ++stats_.n_retried_writes;
       ++stats_.n_retries;
       stats_.retry_delay_s += backoff;

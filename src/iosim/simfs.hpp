@@ -19,12 +19,29 @@
 // receive completion times. Optionally stores real bytes so correctness
 // tests can verify the final file image.
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
 
 namespace s3d::iosim {
+
+/// Capped-exponential retry schedule: attempt k (0-based) backs off
+/// `first * 2^k`, clamped to `cap`. SimFS::write applies it in virtual
+/// time to transient "iosim.write" faults; the checkpoint store's
+/// write-behind persister applies the same policy in real time to
+/// "checkpoint.persist" faults, so both tiers of the paper's two-stage
+/// I/O share one backoff contract.
+struct RetryPolicy {
+  int retries = 3;     ///< extra attempts after the first failure
+  double first = 5e-3; ///< first-retry delay
+  double cap = 80e-3;  ///< backoff ceiling
+  double delay(int attempt) const {
+    const int sh = std::min(attempt, 62);
+    return std::min(first * static_cast<double>(1LL << sh), cap);
+  }
+};
 
 /// Filesystem model parameters.
 struct FsParams {

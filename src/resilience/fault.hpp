@@ -9,6 +9,7 @@
 //   site          a stable name at a call site that may fail in production
 //                 ("vmpi.isend", "vmpi.collective", "solver.step",
 //                  "solver.health", "iosim.write", "checkpoint.write",
+//                  "checkpoint.delta", "checkpoint.persist",
 //                  "restart.read", "workflow.fire");
 //   plan          when the site fires (the Nth call, or a seeded per-call
 //                 probability), for which rank, and how many times;

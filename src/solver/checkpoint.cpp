@@ -2,43 +2,20 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <cstdio>
 #include <cstring>
-#include <filesystem>
 #include <fstream>
-#include <set>
 #include <sstream>
 
 #include "common/error.hpp"
 #include "common/hash.hpp"
 #include "resilience/fault.hpp"
+#include "solver/ckpt_store.hpp"
 
 namespace s3d::solver {
 
 namespace {
 
-namespace stdfs = std::filesystem;
-
-constexpr std::uint64_t kRestartMagic = 0x53334452535452ull;  // "S3DRSTR"
-constexpr std::uint64_t kAnalysisMagic = 0x533344414e4cull;   // "S3DANL"
-
-/// Write `image` durably: stage to <path>.tmp, flush, then rename into
-/// place. A crash (or injected fault) mid-write never leaves a partial
-/// file at `path` — at worst a stale .tmp that the next write replaces.
-void atomic_write_file(const std::string& path, const std::string& image) {
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
-    S3D_REQUIRE(f.good(), "cannot open for writing: " + tmp);
-    f.write(image.data(), static_cast<std::streamsize>(image.size()));
-    f.flush();
-    S3D_REQUIRE(f.good(), "write failed: " + tmp);
-  }
-  std::error_code ec;
-  stdfs::rename(tmp, path, ec);
-  S3D_REQUIRE(!ec, "rename failed: " + tmp + " -> " + path + ": " +
-                       ec.message());
-}
+constexpr std::uint64_t kAnalysisMagic = 0x533344414e4cull;  // "S3DANL"
 
 /// Bounds-checked cursor over an in-memory file image; every read that
 /// would run past the end throws a typed error naming the file.
@@ -87,15 +64,6 @@ class ByteReader {
   std::size_t pos_ = 0;
 };
 
-std::string read_file_image(const std::string& path, const char* kind) {
-  std::ifstream f(path, std::ios::binary);
-  S3D_REQUIRE(f.good(), std::string("cannot open ") + kind + ": " + path +
-                            " (missing or unreadable)");
-  std::ostringstream ss;
-  ss << f.rdbuf();
-  return std::move(ss).str();
-}
-
 template <typename T>
 void put(std::ostream& os, const T& v) {
   os.write(reinterpret_cast<const char*>(&v), sizeof(T));
@@ -120,43 +88,10 @@ void put_vec(std::ostream& os, const std::vector<double>& v) {
 }  // namespace
 
 void write_restart(const std::string& path, const Solver& s) {
-  const Layout& l = s.layout();
-  std::ostringstream f(std::ios::binary);
-  Fnv1a64 hash;
-  put(f, kRestartMagic);
-  put<std::int32_t>(f, l.nx);
-  put<std::int32_t>(f, l.ny);
-  put<std::int32_t>(f, l.nz);
-  put<std::int32_t>(f, s.state().nv());
-  put<double>(f, s.time());
-  put<std::int64_t>(f, s.steps_taken());
-  hash.update_value<std::int32_t>(l.nx);
-  hash.update_value<std::int32_t>(l.ny);
-  hash.update_value<std::int32_t>(l.nz);
-  hash.update_value<std::int32_t>(s.state().nv());
-  hash.update_value<double>(s.time());
-  hash.update_value<std::int64_t>(s.steps_taken());
-  // Interior of each conserved variable, x fastest, followed by the
-  // primitive temperature field. T is genuine solver state, not a derived
-  // quantity: prim_from_conserved warm-starts its Newton solve from the
-  // previous T, so restarts replay bitwise only if T is restored too.
-  const double* T_field = s.rhs().prim().T.data();
-  for (int v = 0; v < s.state().nv() + 1; ++v) {
-    const double* var =
-        v < s.state().nv() ? s.state().var(v) : T_field;
-    for (int k = 0; k < l.nz; ++k)
-      for (int j = 0; j < l.ny; ++j) {
-        const std::size_t row = l.at(0, j, k);
-        f.write(reinterpret_cast<const char*>(var + row),
-                static_cast<std::streamsize>(l.nx * sizeof(double)));
-        hash.update(var + row, l.nx * sizeof(double));
-      }
-  }
-  // Trailing integrity checksum over header fields + payload; read_restart
-  // refuses corrupted or truncated files instead of silently loading them.
-  put<std::uint64_t>(f, hash.digest());
-
-  std::string image = std::move(f).str();
+  // Serialization and the fault-site semantics live in the checkpoint
+  // store's codec (ckpt_store.cpp); a standalone restart file is exactly
+  // a base generation.
+  std::string image = serialize_base(image_from_solver(s));
   if (auto a = fault::probe("checkpoint.write")) {
     fault::apply(a, "checkpoint.write");  // Kind::fail throws before any I/O
     if (a.kind == fault::Kind::drop) return;
@@ -170,71 +105,17 @@ void write_restart(const std::string& path, const Solver& s) {
 }
 
 void read_restart(const std::string& path, Solver& s) {
-  const Layout& l = s.layout();
   std::string image = read_file_image(path, "restart file");
   if (auto a = fault::probe("restart.read")) {
     fault::apply(a, "restart.read");  // Kind::fail models a read error
     fault::corrupt_bytes(a, reinterpret_cast<std::uint8_t*>(image.data()),
                          image.size());
   }
-  ByteReader r(image, path);
-  S3D_REQUIRE(r.get<std::uint64_t>() == kRestartMagic,
-              "not a restart file: " + path);
-  Fnv1a64 hash;
-  const int nx = r.get<std::int32_t>();
-  const int ny = r.get<std::int32_t>();
-  const int nz = r.get<std::int32_t>();
-  const int nv = r.get<std::int32_t>();
-  S3D_REQUIRE(nx == l.nx && ny == l.ny && nz == l.nz &&
-                  nv == s.state().nv(),
-              "restart grid/variable mismatch: " + path);
-  const double t = r.get<double>();
-  const auto steps = r.get<std::int64_t>();
-  hash.update_value<std::int32_t>(nx);
-  hash.update_value<std::int32_t>(ny);
-  hash.update_value<std::int32_t>(nz);
-  hash.update_value<std::int32_t>(nv);
-  hash.update_value<double>(t);
-  hash.update_value<std::int64_t>(steps);
-  // Stage into scratch: the solver state is only touched once the
-  // checksum has verified, so a corrupted file cannot half-load.
-  // nv conserved variables plus the temperature field (see write_restart).
-  const int nrec = nv + 1;
-  const std::size_t pts = static_cast<std::size_t>(nx) * ny * nz;
-  S3D_REQUIRE(r.remaining() >= static_cast<std::size_t>(nrec) * pts *
-                                       sizeof(double) +
-                                   sizeof(std::uint64_t),
-              "truncated restart: " + path);
-  std::vector<std::vector<double>> staged(static_cast<std::size_t>(nrec));
-  for (int v = 0; v < nrec; ++v) {
-    staged[v].resize(pts);
-    std::memcpy(staged[v].data(), image.data() + r.pos() +
-                                      static_cast<std::size_t>(v) * pts *
-                                          sizeof(double),
-                pts * sizeof(double));
-    hash.update(staged[v].data(), pts * sizeof(double));
-  }
-  std::uint64_t stored = 0;
-  std::memcpy(&stored, image.data() + r.pos() +
-                           static_cast<std::size_t>(nrec) * pts *
-                               sizeof(double),
-              sizeof(stored));
-  S3D_REQUIRE(stored == hash.digest(),
-              "restart checksum mismatch (corrupted file): " + path +
-                  ": stored=" + hex64(stored) +
-                  " computed=" + hex64(hash.digest()));
-  for (int v = 0; v < nrec; ++v) {
-    double* var =
-        v < nv ? s.state().var(v) : s.rhs().prim().T.data();
-    const double* src = staged[v].data();
-    for (int k = 0; k < nz; ++k)
-      for (int j = 0; j < ny; ++j) {
-        const std::size_t row = l.at(0, j, k);
-        std::memcpy(var + row, src, nx * sizeof(double));
-        src += nx;
-      }
-  }
-  s.set_time(t, static_cast<int>(steps));
+  const int expect[4] = {s.layout().nx, s.layout().ny, s.layout().nz,
+                         s.state().nv()};
+  // The solver is only touched after parse_base has verified the trailing
+  // checksum, so a corrupted file cannot half-load.
+  commit_image(parse_base(image, path, expect), s);
 }
 
 double restart_time(const std::string& path) {
@@ -247,93 +128,43 @@ double restart_time(const std::string& path) {
   return get<double>(f);
 }
 
-RestartSeries::RestartSeries(std::string dir, std::string stem, int keep_last)
-    : dir_(std::move(dir)), stem_(std::move(stem)), keep_last_(keep_last) {
-  S3D_REQUIRE(keep_last_ >= 1, "RestartSeries: keep_last must be >= 1");
-}
+RestartSeries::RestartSeries(std::string dir, std::string stem, int keep_last,
+                             CkptOptions opt)
+    : store_(std::make_unique<CkptStore>(std::move(dir), std::move(stem),
+                                         keep_last, opt)) {}
 
-std::string RestartSeries::path(long gen) const {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), ".g%06ld.rst", gen);
-  return dir_ + "/" + stem_ + buf;
-}
+RestartSeries::~RestartSeries() = default;
+
+const std::string& RestartSeries::dir() const { return store_->dir(); }
+const std::string& RestartSeries::stem() const { return store_->stem(); }
+int RestartSeries::keep_last() const { return store_->keep_last(); }
+
+std::string RestartSeries::path(long gen) const { return store_->path(gen); }
 
 std::string RestartSeries::manifest_path() const {
-  return dir_ + "/" + stem_ + ".manifest";
+  return store_->manifest_path();
 }
 
 std::vector<long> RestartSeries::generations() const {
-  std::set<long, std::greater<long>> gens;
-  {
-    std::ifstream f(manifest_path());
-    std::string line;
-    while (std::getline(f, line)) {
-      if (line.empty() || line[0] == '#') continue;
-      std::istringstream ss(line);
-      long g;
-      if (ss >> g) gens.insert(g);
-    }
-  }
-  // Directory scan as fallback: a lost manifest must not orphan good
-  // restart files.
-  std::error_code ec;
-  const std::string prefix = stem_ + ".g";
-  for (const auto& e : stdfs::directory_iterator(dir_, ec)) {
-    const std::string name = e.path().filename().string();
-    if (name.size() != prefix.size() + 10 || name.compare(0, prefix.size(), prefix) != 0 ||
-        name.compare(name.size() - 4, 4, ".rst") != 0)
-      continue;
-    const std::string digits = name.substr(prefix.size(), 6);
-    if (digits.find_first_not_of("0123456789") != std::string::npos) continue;
-    gens.insert(std::stol(digits));
-  }
-  return {gens.begin(), gens.end()};
+  return store_->generations();
 }
 
 void RestartSeries::write(const Solver& s, long gen) {
-  std::error_code ec;
-  stdfs::create_directories(dir_, ec);
-  write_restart(path(gen), s);
-  // Refresh the manifest (newest first) and prune beyond keep_last.
-  std::set<long, std::greater<long>> gens;
-  for (long g : generations()) gens.insert(g);
-  gens.insert(gen);
-  std::ostringstream m;
-  m << "# RestartSeries manifest for '" << stem_ << "' (newest first)\n";
-  int kept = 0;
-  std::vector<long> pruned;
-  for (long g : gens) {
-    if (kept < keep_last_) {
-      m << g << "\n";
-      ++kept;
-    } else {
-      pruned.push_back(g);
-    }
-  }
-  atomic_write_file(manifest_path(), m.str());
-  for (long g : pruned) stdfs::remove(path(g), ec);
+  store_->append(s, gen);
 }
 
 bool RestartSeries::try_load(long gen, Solver& s, std::string* err) const {
-  try {
-    read_restart(path(gen), s);
-    return true;
-  } catch (const Error& e) {
-    if (err) *err = e.what();
-    return false;
-  }
+  return store_->try_load(gen, s, err);
 }
 
 long RestartSeries::read_latest(Solver& s,
                                 std::vector<std::string>* skipped) const {
-  for (long gen : generations()) {
-    std::string err;
-    if (try_load(gen, s, &err)) return gen;
-    if (skipped)
-      skipped->push_back("gen " + std::to_string(gen) + ": " + err);
-  }
-  return -1;
+  return store_->restore_latest(s, skipped);
 }
+
+void RestartSeries::drain() const { store_->drain(); }
+
+CkptStats RestartSeries::stats() const { return store_->stats(); }
 
 void AnalysisFile::add_profile(const std::string& name,
                                std::vector<double> x,

@@ -10,9 +10,11 @@
 //   (iii) min/max ASCII files -- per-variable extrema for the dashboard.
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "solver/ckpt_store.hpp"
 #include "solver/solver.hpp"
 
 namespace s3d::solver {
@@ -34,25 +36,32 @@ void read_restart(const std::string& path, Solver& s);
 double restart_time(const std::string& path);
 
 /// Rotating, manifest-tracked series of restart generations
-/// (DESIGN.md "Resilience"): `dir/stem.g<NNNNNN>.rst` plus a
-/// `dir/stem.manifest` listing generations newest-first. Writes are
-/// atomic (write_restart's temp+rename), the manifest keeps the newest
-/// `keep_last` generations and prunes the rest, and recovery walks the
-/// manifest newest-first skipping any generation whose file fails header
-/// or checksum validation.
+/// (DESIGN.md "Resilience" + §12): `dir/stem.g<NNNNNN>.rst` plus a
+/// `dir/stem.manifest` listing generations newest-first. Since the delta
+/// checkpoint store landed this is a thin facade over CkptStore: base
+/// generations stay byte-identical restart files, intermediate
+/// generations are block-delta records, the manifest carries per-entry
+/// validity bits, and (when opt.write_behind) a persister thread takes
+/// the file I/O off the step path. Recovery walks the generation table
+/// newest-first, skipping known-invalid entries in O(1).
 class RestartSeries {
  public:
-  RestartSeries(std::string dir, std::string stem, int keep_last = 3);
+  RestartSeries(std::string dir, std::string stem, int keep_last = 3,
+                CkptOptions opt = {});
+  ~RestartSeries();
+  RestartSeries(const RestartSeries&) = delete;
+  RestartSeries& operator=(const RestartSeries&) = delete;
 
-  const std::string& dir() const { return dir_; }
-  const std::string& stem() const { return stem_; }
-  int keep_last() const { return keep_last_; }
+  const std::string& dir() const;
+  const std::string& stem() const;
+  int keep_last() const;
 
   std::string path(long gen) const;
   std::string manifest_path() const;
 
   /// Checkpoint the solver as generation `gen` (typically its step
-  /// count), update the manifest and prune old generations.
+  /// count), update the manifest and prune old generations. With
+  /// write-behind enabled this costs one encode + bounded enqueue.
   void write(const Solver& s, long gen);
 
   /// Known generations, newest first (manifest union directory scan, so
@@ -69,9 +78,15 @@ class RestartSeries {
   long read_latest(Solver& s, std::vector<std::string>* skipped = nullptr)
       const;
 
+  /// Block until queued write-behind persists have settled (no-op when
+  /// synchronous).
+  void drain() const;
+
+  /// Store accounting (delta ratio, persist failures, queue high-water).
+  CkptStats stats() const;
+
  private:
-  std::string dir_, stem_;
-  int keep_last_;
+  std::unique_ptr<CkptStore> store_;
 };
 
 /// The "netcdf" analysis-file substitute: named 1-D profiles and 2-D

@@ -87,6 +87,20 @@ void Config::validate() const {
           "dlb_imbalance_tol", "DLB imbalance tolerance must be >= 0");
   require(dlb_parcel_cells >= 1, "dlb_parcel_cells",
           "DLB parcels must carry at least one cell");
+
+  require(checkpoint.base_every >= 1, "checkpoint.base_every",
+          "base cadence must be >= 1 (1 = every generation a base)");
+  require(checkpoint.block >= 1, "checkpoint.block",
+          "delta block granule must be >= 1 double");
+  require(checkpoint.queue_depth >= 1, "checkpoint.queue_depth",
+          "persist queue must hold at least one generation");
+  require(checkpoint.persist_retries >= 0, "checkpoint.persist_retries",
+          "must be >= 0 (0 = no retry)");
+  require(std::isfinite(checkpoint.backoff_ms) && checkpoint.backoff_ms >= 0.0,
+          "checkpoint.backoff_ms", "must be finite and >= 0");
+  require(std::isfinite(checkpoint.backoff_cap_ms) &&
+              checkpoint.backoff_cap_ms >= checkpoint.backoff_ms,
+          "checkpoint.backoff_cap_ms", "must be finite and >= backoff_ms");
 }
 
 }  // namespace s3d::solver

@@ -77,6 +77,29 @@ enum class TransportModel {
   power_law,
 };
 
+/// Checkpoint-store policy (DESIGN.md §12): how the unified delta
+/// checkpoint store behind SnapshotRing and RestartSeries encodes and
+/// persists generations.
+struct CkptOptions {
+  /// Delta generations: a full "base" image every base_every generations
+  /// with block-level dirty deltas (per-block checksums) in between, so
+  /// deeper rings and longer series fit the memory/disk budget. Off:
+  /// every generation is a full base image (the PR-2 behavior).
+  bool delta = true;
+  int base_every = 4;  ///< generations between full base images
+  int block = 1024;    ///< delta block granule [doubles]
+  /// Write-behind persistence: RestartSeries::write costs one bounded
+  /// enqueue on the step path and a dedicated persister thread drains
+  /// the queue through the retry/backoff policy below. Off (default):
+  /// writes are synchronous — fully durable when write() returns, which
+  /// is what the recovery drivers' generation-vote barrier assumes.
+  bool write_behind = false;
+  int queue_depth = 4;      ///< bounded persist queue (enqueue blocks when full)
+  int persist_retries = 3;  ///< attempts per generation ("checkpoint.persist")
+  double backoff_ms = 1.0;       ///< first-retry delay (real time)
+  double backoff_cap_ms = 16.0;  ///< backoff ceiling
+};
+
 struct Config {
   grid::AxisSpec x{1, 1.0, true};
   grid::AxisSpec y{1, 1.0, true};
@@ -175,6 +198,11 @@ struct Config {
   /// Count prim-boundary clip events into the `health.y_clip` trace
   /// counter (and collect Newton convergence stats each RHS evaluation).
   bool count_y_clips = false;
+
+  /// Checkpoint-store policy for the snapshot ring and restart series
+  /// built from this configuration (run_guarded / run_resilient pass it
+  /// through; ResilienceConfig::store overrides it per driver).
+  CkptOptions checkpoint;
 
   /// Check the configuration for malformed values (non-positive grid
   /// dims or lengths, missing/empty mechanism, bad CFL / Fourier /

@@ -59,54 +59,39 @@ std::string HealthReport::message() const {
 // ---------------------------------------------------------------------------
 // SnapshotRing
 
-SnapshotRing::SnapshotRing(int depth) : depth_(depth) {
-  S3D_REQUIRE(depth >= 1, "snapshot ring depth must be >= 1");
-}
+SnapshotRing::SnapshotRing(int depth, CkptOptions opt)
+    : ring_(depth, opt) {}
 
 void SnapshotRing::capture(const Solver& s) {
-  Snapshot sn;
-  sn.t = s.time();
-  sn.steps = s.steps_taken();
+  // The payload is the FULL ghosted conserved state plus the full
+  // warm-start temperature field — deliberately wider than the restart
+  // payload, so a restored solver replays ghost exchange and the Newton
+  // iteration bitwise (same contract as before the delta ring).
+  CkptImage img;
+  img.t = s.time();
+  img.steps = s.steps_taken();
   const auto u = s.state().flat();
-  sn.u.assign(u.begin(), u.end());
-  // The warm-start temperature travels with the state so a restored
-  // solver replays the Newton iteration bitwise (same contract as the
-  // restart files).
   const GField& T = s.rhs().prim().T;
-  sn.T.assign(T.data(), T.data() + T.size());
-  if (static_cast<int>(ring_.size()) == depth_) ring_.pop_front();
-  ring_.push_back(std::move(sn));
+  img.data.reserve(u.size() + T.size());
+  img.data.assign(u.begin(), u.end());
+  img.data.insert(img.data.end(), T.data(), T.data() + T.size());
+  ring_.push(std::move(img));
 }
 
 void SnapshotRing::restore_newest(Solver& s) const {
-  S3D_REQUIRE(!ring_.empty(), "snapshot ring is empty");
-  const Snapshot& sn = ring_.back();
+  const CkptImage& sn = ring_.newest();
   auto u = s.state().flat();
-  S3D_REQUIRE(u.size() == sn.u.size(),
-              "snapshot does not match the solver's state size");
-  std::copy(sn.u.begin(), sn.u.end(), u.begin());
   GField& T = s.rhs().prim().T;
-  S3D_REQUIRE(T.size() == sn.T.size(),
-              "snapshot does not match the solver's field size");
-  std::copy(sn.T.begin(), sn.T.end(), T.data());
-  s.set_time(sn.t, sn.steps);  // also invalidates the cached dt
+  S3D_REQUIRE(sn.data.size() == u.size() + T.size(),
+              "snapshot does not match the solver's state size");
+  const auto split =
+      sn.data.begin() + static_cast<std::ptrdiff_t>(u.size());
+  std::copy(sn.data.begin(), split, u.begin());
+  std::copy(split, sn.data.end(), T.data());
+  s.set_time(sn.t, static_cast<int>(sn.steps));  // invalidates cached dt
 }
 
-void SnapshotRing::pop_newest() {
-  S3D_REQUIRE(!ring_.empty(), "snapshot ring is empty");
-  ring_.pop_back();
-}
-
-long SnapshotRing::newest_step() const {
-  return ring_.empty() ? -1 : ring_.back().steps;
-}
-
-std::size_t SnapshotRing::bytes() const {
-  std::size_t b = 0;
-  for (const auto& sn : ring_)
-    b += (sn.u.size() + sn.T.size()) * sizeof(double);
-  return b;
-}
+void SnapshotRing::pop_newest() { ring_.pop_newest(); }
 
 // ---------------------------------------------------------------------------
 // HealthSentinel
@@ -437,7 +422,9 @@ GuardReport run_guarded(Solver& s, int nsteps, const GuardOptions& opts,
   const bool armed = opts.health.enabled;
 
   HealthSentinel sentinel(s, opts.health, comm);
-  SnapshotRing ring(opts.ring_depth);
+  // The ring inherits the run's checkpoint options: delta compression
+  // keeps deep rings affordable, and restores stay bitwise either way.
+  SnapshotRing ring(opts.ring_depth, s.rhs().config().checkpoint);
   // Seed the ring so even a first-step breach has a rollback point.
   if (armed && target > start0) ring.capture(s);
 

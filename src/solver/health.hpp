@@ -38,11 +38,11 @@
 // 1-, 2- and 8-rank runs of the same blow-up.
 
 #include <array>
-#include <deque>
 #include <string>
 #include <vector>
 
 #include "solver/checkpoint.hpp"
+#include "solver/ckpt_store.hpp"
 #include "solver/solver.hpp"
 #include "vmpi/vmpi.hpp"
 
@@ -116,10 +116,15 @@ class HealthError : public Error {
 
 /// In-memory ring of full solver snapshots (conserved state, Newton
 /// warm-start T field, clock, step counter). Restores are bitwise.
-/// Memory cost per entry: (nv + 1) * layout.total() doubles.
+/// Backed by the delta ring of the checkpoint store (DESIGN.md §12):
+/// with opt.delta (the default) only the first retained entry is a full
+/// copy and later entries store dirty blocks against their predecessor,
+/// so deep rings cost far less than depth * state-size; with opt.delta
+/// off every entry is a full copy (the PR-3 behavior). Either way the
+/// newest image stays materialized and restores are bitwise.
 class SnapshotRing {
  public:
-  explicit SnapshotRing(int depth);
+  explicit SnapshotRing(int depth, CkptOptions opt = {});
 
   void capture(const Solver& s);
   /// Restore the newest snapshot (kept in the ring for further retries).
@@ -128,19 +133,12 @@ class SnapshotRing {
   void pop_newest();
 
   bool empty() const { return ring_.empty(); }
-  int size() const { return static_cast<int>(ring_.size()); }
-  long newest_step() const;
-  std::size_t bytes() const;
+  int size() const { return ring_.size(); }
+  long newest_step() const { return ring_.newest_step(); }
+  std::size_t bytes() const { return ring_.bytes(); }
 
  private:
-  struct Snapshot {
-    double t = 0.0;
-    int steps = 0;
-    std::vector<double> u;  ///< full ghosted conserved state
-    std::vector<double> T;  ///< full ghosted warm-start temperature
-  };
-  std::deque<Snapshot> ring_;  ///< oldest first
-  int depth_;
+  DeltaRing ring_;
 };
 
 /// Per-step health scanner. scan() is collective when a communicator is

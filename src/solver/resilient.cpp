@@ -38,11 +38,17 @@ void advance_chunked(Solver& s, const std::vector<long>& bounds,
       s.run(static_cast<int>(target - s.steps_taken()));
     }
     series.write(s, s.steps_taken());
-    // A generation only counts once every rank's file is durable; the
-    // barrier makes that a run-wide event, so a failure in the next chunk
-    // can never observe a generation some rank had yet to write.
+    // With synchronous persistence the barrier makes "generation durable
+    // on every rank" a run-wide event. With write-behind the file may
+    // still be in the persist queue here — that is the point of the
+    // queue — and recovery copes: the collective vote only accepts a
+    // generation that validates on all ranks, and a failed attempt
+    // drains every rank's queue (series destructor) before the retry.
     if (comm) comm->barrier();
   }
+  // Settle the final generation so a caller observing success observes
+  // durable files (no-op for synchronous stores).
+  series.drain();
 }
 
 std::string attempt_failed(int attempt, const char* what) {
@@ -54,7 +60,8 @@ std::string attempt_failed(int attempt, const char* what) {
 ResilienceReport run_resilient(Solver& s, const InitFn& init, int nsteps,
                                const ResilienceConfig& rc) {
   ResilienceReport rep;
-  RestartSeries series(rc.dir, rc.stem, rc.keep_last);
+  RestartSeries series(rc.dir, rc.stem, rc.keep_last,
+                       rc.store.value_or(s.rhs().config().checkpoint));
   const auto bounds = checkpoint_schedule(nsteps, rc.checkpoint_every);
   for (int attempt = 1; attempt <= rc.max_attempts; ++attempt) {
     ++rep.attempts;
@@ -104,7 +111,7 @@ ResilienceReport run_resilient(const Config& cfg, const InitFn& init,
             Solver s(cfg, comm, px, py, pz);
             RestartSeries series(
                 rc.dir, rc.stem + ".r" + std::to_string(comm.rank()),
-                rc.keep_last);
+                rc.keep_last, rc.store.value_or(cfg.checkpoint));
             // Collective generation agreement: every rank walks the same
             // schedule boundaries newest-first and votes; a generation is
             // used only when it validates on all ranks, so one corrupted

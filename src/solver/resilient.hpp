@@ -16,6 +16,7 @@
 // resilience test asserts this per variable).
 
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -41,6 +42,10 @@ struct ResilienceConfig {
   /// attempt loop share one set of generations.
   bool guard = false;
   GuardOptions guard_opts;
+  /// Checkpoint-store tuning for this driver's RestartSeries (delta
+  /// cadence, write-behind persister, retry budget; DESIGN.md §12).
+  /// Unset: the solver Config's `checkpoint` options apply.
+  std::optional<CkptOptions> store;
 };
 
 struct ResilienceReport {

@@ -1,0 +1,23 @@
+# Second labels for the multi-tier suites (appended to the directory's
+# TEST_INCLUDE_FILES by tests/CMakeLists.txt).
+#
+# gtest_discover_tests flattens a "a;b" LABELS value through its
+# POST_BUILD argument forwarding — only the first label survives, no
+# matter how the semicolon is escaped — so the extra tier labels are
+# applied here instead. This file is processed by ctest after the
+# discovery files have defined the tests and their <target>_TESTS list
+# variables, where set_tests_properties takes a proper CMake list.
+
+# test_resilience + test_ckpt_store: the delta checkpoint store is both
+# the recovery substrate (resilience tier) and its own subsystem
+# (ctest -L checkpoint).
+foreach(t ${test_resilience_TESTS} ${test_ckpt_store_TESTS})
+  set_tests_properties("${t}" PROPERTIES LABELS "resilience;checkpoint")
+endforeach()
+
+# test_passes carries the health label alongside passes: the in-pass
+# tripwires are part of the health contract, and the fusion-off verify
+# lane runs the suite with the golden/health tiers.
+foreach(t ${test_passes_TESTS})
+  set_tests_properties("${t}" PROPERTIES LABELS "passes;health")
+endforeach()

@@ -396,6 +396,99 @@ TEST(RunResilient, ExhaustedBudgetReportsFailure) {
             std::string::npos);
 }
 
+TEST(RunResilient, WriteBehindRecoveryIsBitwiseIdentical) {
+  // The delta store's write-behind persister must not change recovery
+  // semantics: same fault schedule as SerialRecoveryIsBitwiseIdentical,
+  // but generations are block deltas persisted off the step path.
+  auto cfg = small_cfg();
+  sv::ResilienceConfig rc;
+  rc.checkpoint_every = 2;
+  rc.keep_last = 3;
+  rc.max_attempts = 3;
+  sv::CkptOptions wb;
+  wb.delta = true;
+  wb.base_every = 3;
+  wb.write_behind = true;
+  wb.queue_depth = 2;
+  rc.store = wb;
+
+  TmpDir ref_dir("s3dpp_resil_wbref");
+  rc.dir = ref_dir.str();
+  fault::reset();
+  sv::Solver ref(cfg);
+  const auto ref_rep = sv::run_resilient(ref, wavy_init, 10, rc);
+  ASSERT_TRUE(ref_rep.succeeded);
+  EXPECT_EQ(ref_rep.attempts, 1);
+
+  TmpDir dir("s3dpp_resil_wbrun");
+  rc.dir = dir.str();
+  FaultSession fsess(11);
+  fault::arm({.site = "solver.step", .kind = fault::Kind::fail, .nth = 6});
+  sv::Solver s(cfg);
+  const auto rep = sv::run_resilient(s, wavy_init, 10, rc);
+  ASSERT_TRUE(rep.succeeded) << (rep.events.empty() ? "" : rep.events.back());
+  EXPECT_EQ(rep.attempts, 2);
+  EXPECT_EQ(rep.recoveries, 1);
+
+  EXPECT_EQ(s.steps_taken(), ref.steps_taken());
+  EXPECT_EQ(state_checksum(s), state_checksum(ref))
+      << "write-behind recovery diverged from the fault-free run";
+}
+
+TEST(RunResilient, KillMidPersistRecoversFromPriorGeneration) {
+  // Crash consistency under the driver: generation 4's write-behind
+  // persist dies (retry budget 0), then the run itself dies mid-chunk.
+  // Recovery must skip the never-persisted gen 4 via its validity bit --
+  // silently, O(1), no skipped-generation event -- restore gen 2, and
+  // finish bitwise identical to the fault-free run.
+  auto cfg = small_cfg();
+  sv::ResilienceConfig rc;
+  rc.checkpoint_every = 2;
+  rc.keep_last = 3;
+  rc.max_attempts = 3;
+  sv::CkptOptions wb;
+  wb.delta = true;
+  wb.base_every = 2;
+  wb.write_behind = true;
+  wb.persist_retries = 0;
+  wb.backoff_ms = 0.01;
+  wb.backoff_cap_ms = 0.02;
+  rc.store = wb;
+
+  TmpDir ref_dir("s3dpp_resil_kpref");
+  rc.dir = ref_dir.str();
+  fault::reset();
+  sv::Solver ref(cfg);
+  ASSERT_TRUE(sv::run_resilient(ref, wavy_init, 10, rc).succeeded);
+
+  TmpDir dir("s3dpp_resil_kprun");
+  rc.dir = dir.str();
+  FaultSession fsess(14);
+  // Persist call 1 = generation 4 (call 0 persisted gen 2); step call 5
+  // = step 6, mid chunk 4->6, so the newest table entry at recovery time
+  // is the unpersisted gen 4.
+  fault::arm({.site = "checkpoint.persist",
+              .kind = fault::Kind::fail,
+              .nth = 1,
+              .max_fires = 1});
+  fault::arm({.site = "solver.step", .kind = fault::Kind::fail, .nth = 5});
+  sv::Solver s(cfg);
+  const auto rep = sv::run_resilient(s, wavy_init, 10, rc);
+  ASSERT_TRUE(rep.succeeded) << (rep.events.empty() ? "" : rep.events.back());
+  EXPECT_EQ(rep.recoveries, 1);
+  EXPECT_EQ(fault::fires_at("checkpoint.persist"), 1);
+  EXPECT_EQ(fault::fires_at("solver.step"), 1);
+
+  bool restored2 = false;
+  for (const auto& e : rep.events) {
+    EXPECT_EQ(e.find("skipped"), std::string::npos)
+        << "validity-bit skip should be silent, got: " << e;
+    if (e.find("restored generation 2") != std::string::npos) restored2 = true;
+  }
+  EXPECT_TRUE(restored2) << "recovery did not land on generation 2";
+  EXPECT_EQ(state_checksum(s), state_checksum(ref));
+}
+
 TEST(RunResilient, GoldenParallelRecoveryIsBitwiseIdentical) {
   // The acceptance scenario: an 8-rank seeded run with an injected
   // checkpoint corruption on rank 2 and an injected rank-1 failure must
