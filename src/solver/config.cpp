@@ -14,6 +14,33 @@ bool finite_positive(double v) { return std::isfinite(v) && v > 0.0; }
 
 }  // namespace
 
+void AdaptiveOptions::validate(const std::string& prefix) const {
+  auto req = [&](bool ok, const char* field, const std::string& why) {
+    if (!ok) throw ConfigError(prefix + "." + field, why);
+  };
+  req(block >= 1, "block", "controller block edge must be >= 1 cell");
+  req(finite_positive(atol), "atol", "must be positive and finite");
+  req(finite_positive(rtol), "rtol", "must be positive and finite");
+  req(std::isfinite(kI) && kI > 0.0, "kI",
+      "integral gain must be positive and finite");
+  req(std::isfinite(kP) && kP >= 0.0, "kP",
+      "proportional gain must be finite and >= 0 (0 = pure I control)");
+  req(finite_positive(safety) && safety <= 1.0, "safety",
+      "must lie in (0, 1]");
+  req(finite_positive(dt_min_ratio) && dt_min_ratio <= 1.0, "dt_min_ratio",
+      "must lie in (0, 1]");
+  req(std::isfinite(dt_max_ratio) && dt_max_ratio >= dt_min_ratio &&
+          dt_max_ratio <= 1.0,
+      "dt_max_ratio", "must lie in [dt_min_ratio, 1]");
+  req(subcycle_cap >= 1, "subcycle_cap", "must be >= 1");
+  req(max_subcycle_retries >= 0, "max_subcycle_retries",
+      "must be >= 0 (0 = skip straight to localized rollback)");
+  req(max_local_rollbacks >= 0, "max_local_rollbacks",
+      "must be >= 0 (0 = skip straight to the global rung)");
+  req(dt_recover_after >= 0, "dt_recover_after",
+      "must be >= 0 (0 = keep the halved dt, the legacy behavior)");
+}
+
 void Config::validate() const {
   require(mech != nullptr, "mech", "mechanism must be set");
   require(mech->n_species() >= 1, "mech", "mechanism has no species");
@@ -101,6 +128,8 @@ void Config::validate() const {
   require(std::isfinite(checkpoint.backoff_cap_ms) &&
               checkpoint.backoff_cap_ms >= checkpoint.backoff_ms,
           "checkpoint.backoff_cap_ms", "must be finite and >= backoff_ms");
+
+  adaptive.validate("adaptive");
 }
 
 }  // namespace s3d::solver

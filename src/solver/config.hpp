@@ -100,6 +100,66 @@ struct CkptOptions {
   double backoff_cap_ms = 16.0;  ///< backoff ceiling
 };
 
+/// Per-block adaptive time integration (DESIGN.md §13): a PI error
+/// controller over a fixed global block tiling drives per-block dt from
+/// embedded RK error estimates; blocks whose dt falls below the global
+/// step subcycle locally while the far field takes one step, and health
+/// breaches recover through an escalation ladder (subcycle the breaching
+/// block → localized rollback → global rollback with dt halving →
+/// restart series) instead of always rolling the whole domain back.
+/// The controller state is reduced collectively (one allreduce over the
+/// block vector) so every rank holds the identical block→dt map bitwise.
+/// Off by default: a disarmed run is bit-identical to the pre-adaptive
+/// stepper. Building with -DS3D_ADAPTIVE=OFF hard-disables the ladder
+/// (the build-noadapt verify lane proves the OFF path matches the
+/// global-halving goldens).
+struct AdaptiveOptions {
+  bool enabled = false;
+  /// Cells per axis of one controller block. The tiling is over GLOBAL
+  /// interior indices, so block ids — and the block→dt map — do not
+  /// depend on the rank decomposition.
+  int block = 8;
+  /// Embedded-error weights: the per-block norm is the max over cells
+  /// and conserved variables of |e| / (atol + rtol |u|). Both are
+  /// scalar weights over SI-unit conserved variables (tune per
+  /// problem); the defaults are deliberately permissive — a healthy
+  /// CFL-limited step sits an order below tolerance, while a block
+  /// drifting toward blow-up overshoots it by orders of magnitude.
+  /// The absolute floor also keeps sign-changing variables (momentum)
+  /// from flagging their zero crossings, where rtol |u| vanishes.
+  double atol = 1.0;
+  double rtol = 1e-2;
+  /// PI gains: dt ratio update factor = safety * E^-(kI+kP) * E_prev^kP
+  /// on the normalized block error E (E = 1 means at tolerance).
+  double kI = 0.35;
+  double kP = 0.20;
+  double safety = 0.9;
+  /// Per-block dt as a fraction of the global step, clamped to
+  /// [dt_min_ratio, dt_max_ratio]; a ratio below 1 marks the block
+  /// stiff and it subcycles at ceil(1/ratio) substeps (capped).
+  double dt_min_ratio = 0.0625;
+  double dt_max_ratio = 1.0;
+  int subcycle_cap = 16;
+  /// Clamp each block's dt by its own CFL/Fourier stable dt too (the
+  /// per-block refinement of RhsEvaluator::suggest_dt). Off by default:
+  /// with an automatic global dt the clamp can never bind (the global
+  /// dt is already the min over blocks); it matters under dt_fixed.
+  bool cfl_clamp = false;
+  /// Escalation-ladder budgets: rung-1 subcycle retries per breach
+  /// episode (consecutive breaches without an intervening clean scan)
+  /// before widening to rung 2, and total rung-2 localized rollbacks
+  /// per run before a breach escalates straight to the global rung.
+  int max_subcycle_retries = 2;
+  int max_local_rollbacks = 8;
+  /// Clean scans after a global-rung dt halving before the controller-
+  /// chosen dt scale (1.0) is restored; 0 keeps the halved dt for the
+  /// rest of the run (the legacy behavior).
+  int dt_recover_after = 2;
+
+  /// Typed ConfigError ("<prefix>.field") for malformed knobs.
+  void validate(const std::string& prefix) const;
+};
+
 struct Config {
   grid::AxisSpec x{1, 1.0, true};
   grid::AxisSpec y{1, 1.0, true};
@@ -203,6 +263,11 @@ struct Config {
   /// built from this configuration (run_guarded / run_resilient pass it
   /// through; ResilienceConfig::store overrides it per driver).
   CkptOptions checkpoint;
+
+  /// Per-block adaptive time integration policy (DESIGN.md §13) for
+  /// guarded runs of this configuration (GuardOptions::adaptive and
+  /// ResilienceConfig::adaptive override it per driver).
+  AdaptiveOptions adaptive;
 
   /// Check the configuration for malformed values (non-positive grid
   /// dims or lengths, missing/empty mechanism, bad CFL / Fourier /

@@ -1,0 +1,211 @@
+#include "solver/dt_control.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace s3d::solver {
+
+namespace {
+
+/// Per-update growth clamp on the PI factor: one observation may at most
+/// halve or double... — actually [1/5, 5] per PI-controller convention
+/// (Gustafsson): wild error spikes shrink dt fast but never to zero in
+/// one step, and recovery back toward the global step is gradual enough
+/// that a freshly-calmed block is not immediately re-flagged.
+constexpr double kFacMin = 0.2;
+constexpr double kFacMax = 5.0;
+
+/// Error floor for the pow() arguments: a block with (near-)zero
+/// observed error grows at the clamped maximum rate instead of dividing
+/// by zero.
+constexpr double kErrFloor = 1e-12;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// BlockMap
+
+BlockMap::BlockMap(int NX, int NY, int NZ, int block, const Layout& l,
+                   std::array<int, 3> offset)
+    : NX_(NX), NY_(NY), NZ_(NZ), b_(block), l_(l), off_(offset) {
+  S3D_REQUIRE(block >= 1, "BlockMap: block edge must be >= 1");
+  nbx_ = (NX_ + b_ - 1) / b_;
+  nby_ = (NY_ + b_ - 1) / b_;
+  nbz_ = (NZ_ + b_ - 1) / b_;
+}
+
+void BlockMap::visit_rows(
+    const std::function<void(int block, const RowRange& seg)>& fn) const {
+  for (int k = 0; k < l_.nz; ++k) {
+    const int bk = (off_[2] + k) / b_;
+    for (int j = 0; j < l_.ny; ++j) {
+      const int bj = (off_[1] + j) / b_;
+      const int brow = nbx_ * (bj + nby_ * bk);
+      int i = 0;
+      while (i < l_.nx) {
+        const int gi = off_[0] + i;
+        const int bi = gi / b_;
+        // Run ends at the block's global x edge or the local row's end.
+        const int run = std::min((bi + 1) * b_ - gi, l_.nx - i);
+        RowRange seg;
+        seg.n0 = l_.at(i, j, k);
+        seg.i0 = i;
+        seg.count = run;
+        seg.j = j;
+        seg.k = k;
+        fn(bi + brow, seg);
+        i += run;
+      }
+    }
+  }
+}
+
+std::vector<RowRange> BlockMap::segments(std::span<const int> blocks) const {
+  std::vector<char> in(static_cast<std::size_t>(n_blocks()), 0);
+  for (int b : blocks)
+    if (b >= 0 && b < n_blocks()) in[static_cast<std::size_t>(b)] = 1;
+  std::vector<RowRange> segs;
+  visit_rows([&](int b, const RowRange& seg) {
+    if (!in[static_cast<std::size_t>(b)]) return;
+    // Merge with the previous segment when contiguous in the same row
+    // (adjacent selected blocks): fewer, longer runs for the kernels.
+    if (!segs.empty()) {
+      RowRange& p = segs.back();
+      if (p.j == seg.j && p.k == seg.k && p.i0 + p.count == seg.i0) {
+        p.count += seg.count;
+        return;
+      }
+    }
+    segs.push_back(seg);
+  });
+  return segs;
+}
+
+std::vector<int> BlockMap::widen(std::span<const int> blocks) const {
+  std::vector<int> out;
+  for (int b : blocks) {
+    const int bi = b % nbx_;
+    const int bj = (b / nbx_) % nby_;
+    const int bk = b / (nbx_ * nby_);
+    out.push_back(b);
+    if (bi > 0) out.push_back(b - 1);
+    if (bi + 1 < nbx_) out.push_back(b + 1);
+    if (bj > 0) out.push_back(b - nbx_);
+    if (bj + 1 < nby_) out.push_back(b + nbx_);
+    if (bk > 0) out.push_back(b - nbx_ * nby_);
+    if (bk + 1 < nbz_) out.push_back(b + nbx_ * nby_);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+long BlockMap::block_cells(int b) const {
+  const int bi = b % nbx_;
+  const int bj = (b / nbx_) % nby_;
+  const int bk = b / (nbx_ * nby_);
+  const long ex = std::min((bi + 1) * b_, NX_) - bi * b_;
+  const long ey = std::min((bj + 1) * b_, NY_) - bj * b_;
+  const long ez = std::min((bk + 1) * b_, NZ_) - bk * b_;
+  return ex * ey * ez;
+}
+
+// ---------------------------------------------------------------------------
+// DtController
+
+DtController::DtController(const BlockMap& map, const AdaptiveOptions& opt)
+    : map_(map), opt_(opt) {
+  opt_.validate("adaptive");
+  const auto n = static_cast<std::size_t>(map.n_blocks());
+  ratio_.assign(n, opt_.dt_max_ratio);
+  // "At tolerance" history: the P term is neutral on the first
+  // observation instead of punishing every block for having none.
+  err_prev_.assign(n, 1.0);
+}
+
+void DtController::observe(std::span<const double> local_err,
+                           vmpi::Comm* comm) {
+  S3D_REQUIRE(local_err.size() == ratio_.size(),
+              "DtController::observe: block vector size mismatch");
+  // Stage 1: one allreduce lands the identical global Linf error per
+  // block on every rank (max over partials is order-invariant, unlike a
+  // sum — this is why the norm is Linf). Non-finite estimates (a block
+  // that went NaN on the observed step) are sanitized to "very bad"
+  // BEFORE the reduce — NaN would both poison the PI state permanently
+  // and make the max rank-order-sensitive.
+  std::vector<double> err(local_err.begin(), local_err.end());
+  for (double& e : err)
+    if (!std::isfinite(e)) e = 1e12;
+  if (comm) comm->allreduce_max(std::span<double>(err));
+
+  // Stage 2: identical PI update everywhere. E = 1 means at tolerance;
+  // the classic Gustafsson form dt *= safety * E^-(kI+kP) * E_prev^kP
+  // damps oscillation between shrink and regrow.
+  for (std::size_t b = 0; b < ratio_.size(); ++b) {
+    const double E = std::max(err[b], kErrFloor);
+    double fac = opt_.safety * std::pow(E, -(opt_.kI + opt_.kP)) *
+                 std::pow(err_prev_[b], opt_.kP);
+    fac = std::clamp(fac, kFacMin, kFacMax);
+    ratio_[b] =
+        std::clamp(ratio_[b] * fac, opt_.dt_min_ratio, opt_.dt_max_ratio);
+    err_prev_[b] = E;
+  }
+  refresh_stiff();
+}
+
+void DtController::clamp_stable(std::span<const double> local_dt,
+                                double base_dt, vmpi::Comm* comm) {
+  S3D_REQUIRE(local_dt.size() == ratio_.size(),
+              "DtController::clamp_stable: block vector size mismatch");
+  // min via negated allreduce_max, matching the sentinel's dt reduce.
+  std::vector<double> neg(local_dt.size());
+  for (std::size_t b = 0; b < neg.size(); ++b) neg[b] = -local_dt[b];
+  if (comm) comm->allreduce_max(std::span<double>(neg));
+  for (std::size_t b = 0; b < ratio_.size(); ++b) {
+    const double dt_b = -neg[b];
+    if (!(base_dt > 0.0) || dt_b >= 1e300) continue;
+    const double r = std::clamp(dt_b / base_dt, opt_.dt_min_ratio,
+                                opt_.dt_max_ratio);
+    ratio_[b] = std::min(ratio_[b], r);
+  }
+  refresh_stiff();
+}
+
+void DtController::force_floor(int block) {
+  S3D_REQUIRE(block >= 0 && block < n_blocks(),
+              "DtController::force_floor: block out of range");
+  ratio_[static_cast<std::size_t>(block)] = opt_.dt_min_ratio;
+  // A breach invalidates the error history: restart the PI loop for
+  // this block from "very bad" so regrowth is earned, not inherited.
+  err_prev_[static_cast<std::size_t>(block)] = 1.0;
+  refresh_stiff();
+}
+
+double DtController::min_ratio() const {
+  double r = opt_.dt_max_ratio;
+  for (double v : ratio_) r = std::min(r, v);
+  return r;
+}
+
+int DtController::subcycles(int b) const {
+  const double r = ratio_[static_cast<std::size_t>(b)];
+  const int n = static_cast<int>(std::ceil(1.0 / r - 1e-12));
+  return std::clamp(n, 1, opt_.subcycle_cap);
+}
+
+int DtController::max_subcycles() const {
+  int n = 1;
+  for (int b : stiff_) n = std::max(n, subcycles(b));
+  return n;
+}
+
+void DtController::refresh_stiff() {
+  stiff_.clear();
+  for (int b = 0; b < n_blocks(); ++b)
+    if (ratio_[static_cast<std::size_t>(b)] < 1.0 - 1e-12)
+      stiff_.push_back(b);
+}
+
+}  // namespace s3d::solver

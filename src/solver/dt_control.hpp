@@ -1,0 +1,142 @@
+#pragma once
+// Per-block adaptive time integration (DESIGN.md §13 "Adaptive dt").
+//
+// The production S3D codes this repo reproduces survive ignition kernels
+// and near-blow-up transients through LOCAL error control: the flame
+// front integrates on its own clock while the far field keeps its large
+// step (the SMC / nekCRF multirate designs in PAPERS.md). This header is
+// the controller half of that machinery:
+//
+//   BlockMap       a fixed tiling of the GLOBAL interior into cubic
+//                  controller blocks. Block ids derive only from global
+//                  indices, so the id of any cell — and everything keyed
+//                  by it — is identical on every rank decomposition.
+//   DtController   per-block PI controller on the embedded RK error
+//                  norm. Per-rank partial norms are combined with ONE
+//                  vmpi allreduce over the block vector (max norms, so
+//                  the combination is summation-order free), after which
+//                  every rank updates the identical controller state with
+//                  the identical arithmetic: the block→dt map agrees
+//                  bitwise across ranks by construction, mirroring the
+//                  severity-ordered HealthReport verdict.
+//
+// The integration half (masked substeps, the escalation ladder) lives in
+// solver.cpp / health.cpp; seam coupling and the determinism argument are
+// documented in DESIGN.md §13.
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "solver/config.hpp"
+#include "solver/passes.hpp"
+#include "vmpi/vmpi.hpp"
+
+namespace s3d::solver {
+
+/// Fixed global tiling of the interior into `opt.block`-cell cubes
+/// (edge blocks may be thinner). Also owns the global→local projection:
+/// which interior row segments of THIS rank fall in a given block set.
+class BlockMap {
+ public:
+  /// Global interior extents (NX, NY, NZ), block edge in cells, and the
+  /// local box (layout + global offset of its first interior cell).
+  BlockMap(int NX, int NY, int NZ, int block, const Layout& l,
+           std::array<int, 3> offset);
+
+  int n_blocks() const { return nbx_ * nby_ * nbz_; }
+  int nbx() const { return nbx_; }
+  int nby() const { return nby_; }
+  int nbz() const { return nbz_; }
+
+  /// Block id of a GLOBAL interior cell (identical on every rank).
+  int block_of_global(int gi, int gj, int gk) const {
+    return (gi / b_) + nbx_ * ((gj / b_) + nby_ * (gk / b_));
+  }
+  int block_of_global(const std::array<int, 3>& c) const {
+    return block_of_global(c[0], c[1], c[2]);
+  }
+
+  /// Visit every LOCAL interior row split at block boundaries: fn(block,
+  /// seg) with seg a contiguous x-run lying entirely in one block. Rows
+  /// ascend in (k, j, x) order; segment boundaries depend only on the
+  /// global tiling, so a cell lands in the same (block, arithmetic)
+  /// pairing on every decomposition.
+  void visit_rows(
+      const std::function<void(int block, const RowRange& seg)>& fn) const;
+
+  /// Local interior row segments covered by `blocks` (global ids, any
+  /// order, duplicates allowed). Ranks owning no cell of any listed
+  /// block get an empty list — they still participate in collective
+  /// calls, just with no cells to commit.
+  std::vector<RowRange> segments(std::span<const int> blocks) const;
+
+  /// The block set plus its face neighbors (6-connectivity, clamped at
+  /// the domain boundary), sorted and deduplicated — the rung-2 widened
+  /// mask of the escalation ladder.
+  std::vector<int> widen(std::span<const int> blocks) const;
+
+  /// Total interior cells of one block (global count, decomposition
+  /// independent; edge blocks may be smaller than block^3).
+  long block_cells(int b) const;
+
+ private:
+  int NX_, NY_, NZ_, b_;
+  int nbx_, nby_, nbz_;
+  Layout l_;
+  std::array<int, 3> off_;
+};
+
+/// Per-block PI dt controller. All state updates run on every rank from
+/// identically-reduced inputs, so ratio()/stiff()/subcycles() agree
+/// bitwise across any decomposition.
+class DtController {
+ public:
+  DtController(const BlockMap& map, const AdaptiveOptions& opt);
+
+  /// Collective controller update from per-rank partial block error
+  /// norms (Linf of |e|/(atol + rtol |u|) over the rank's cells of each
+  /// block; 0 for blocks the rank owns no cell of). One allreduce_max
+  /// over the block vector, then the identical PI update everywhere.
+  void observe(std::span<const double> local_err, vmpi::Comm* comm);
+
+  /// Clamp each block's dt ratio by its own stable dt (collective:
+  /// allreduce_min over the block vector). `local_dt` holds per-rank
+  /// partial per-block stable dts (1e300 where the rank owns no cell);
+  /// `base_dt` is the global step the ratios are relative to.
+  void clamp_stable(std::span<const double> local_dt, double base_dt,
+                    vmpi::Comm* comm);
+
+  /// Tripwire feedback: a collectively-agreed breach cell pins its
+  /// block to the dt floor (the PI loop relaxes it back as clean error
+  /// observations come in). Deterministic: callers pass the block of
+  /// the collective HealthReport cell, identical on every rank.
+  void force_floor(int block);
+
+  /// Per-block dt as a fraction of the global step, in
+  /// [dt_min_ratio, dt_max_ratio].
+  double ratio(int b) const { return ratio_[b]; }
+  double min_ratio() const;
+
+  /// Substeps a block takes per global step: ceil(1/ratio), capped.
+  int subcycles(int b) const;
+
+  /// Blocks with ratio < 1, sorted ascending (empty: nothing stiff).
+  const std::vector<int>& stiff() const { return stiff_; }
+  /// Max subcycle count over the stiff set (1 when nothing is stiff):
+  /// the shared local clock of one masked subcycled integration.
+  int max_subcycles() const;
+
+  int n_blocks() const { return static_cast<int>(ratio_.size()); }
+
+ private:
+  void refresh_stiff();
+
+  const BlockMap& map_;
+  AdaptiveOptions opt_;
+  std::vector<double> ratio_;
+  std::vector<double> err_prev_;
+  std::vector<int> stiff_;
+};
+
+}  // namespace s3d::solver

@@ -91,6 +91,30 @@ void SnapshotRing::restore_newest(Solver& s) const {
   s.set_time(sn.t, static_cast<int>(sn.steps));  // invalidates cached dt
 }
 
+void SnapshotRing::restore_cells(Solver& s,
+                                 std::span<const RowRange> segs) const {
+  const CkptImage& sn = ring_.newest();
+  State& U = s.state();
+  GField& T = s.rhs().prim().T;
+  S3D_REQUIRE(sn.data.size() == U.flat().size() + T.size(),
+              "snapshot does not match the solver's state size");
+  const int nv = U.nv();
+  const std::size_t fsz = U.block();
+  for (const RowRange& r : segs) {
+    const auto count = static_cast<std::size_t>(r.count);
+    for (int v = 0; v < nv; ++v) {
+      const double* src =
+          sn.data.data() + static_cast<std::size_t>(v) * fsz + r.n0;
+      std::copy(src, src + count, U.var(v) + r.n0);
+    }
+    const double* tsrc =
+        sn.data.data() + static_cast<std::size_t>(nv) * fsz + r.n0;
+    std::copy(tsrc, tsrc + count, T.data() + r.n0);
+  }
+}
+
+double SnapshotRing::newest_time() const { return ring_.newest().t; }
+
 void SnapshotRing::pop_newest() { ring_.pop_newest(); }
 
 // ---------------------------------------------------------------------------
@@ -384,6 +408,7 @@ void GuardOptions::validate() const {
   require_opt(std::isfinite(dt_fixed) && dt_fixed >= 0.0, "guard.dt_fixed",
               "must be finite and >= 0 (0 = automatic)");
   require_opt(dt_every >= 0, "guard.dt_every", "must be >= 0");
+  if (adaptive) adaptive->validate("guard.adaptive");
 }
 
 namespace {
@@ -411,6 +436,49 @@ long restore_from_series(Solver& s, RestartSeries& series, vmpi::Comm* comm) {
   }
 }
 
+/// Total cells covered by a segment list (this rank's share of a mask).
+long cells_of(std::span<const RowRange> segs) {
+  long c = 0;
+  for (const RowRange& r : segs) c += r.count;
+  return c;
+}
+
+/// Masked pre-step capture for proactive subcycling: the stiff blocks'
+/// conserved values + warm-start T, segment by segment (the ladder's
+/// breach path restores from the snapshot ring instead).
+std::vector<double> capture_cells(Solver& s,
+                                  std::span<const RowRange> segs) {
+  std::vector<double> buf;
+  buf.reserve(static_cast<std::size_t>(cells_of(segs)) *
+              static_cast<std::size_t>(s.state().nv() + 1));
+  const State& U = s.state();
+  const GField& T = s.rhs().prim().T;
+  for (const RowRange& r : segs) {
+    for (int v = 0; v < U.nv(); ++v) {
+      const double* src = U.var(v) + r.n0;
+      buf.insert(buf.end(), src, src + r.count);
+    }
+    const double* tsrc = T.data() + r.n0;
+    buf.insert(buf.end(), tsrc, tsrc + r.count);
+  }
+  return buf;
+}
+
+void restore_captured_cells(Solver& s, std::span<const RowRange> segs,
+                            const std::vector<double>& buf) {
+  State& U = s.state();
+  GField& T = s.rhs().prim().T;
+  const double* src = buf.data();
+  for (const RowRange& r : segs) {
+    for (int v = 0; v < U.nv(); ++v) {
+      std::copy(src, src + r.count, U.var(v) + r.n0);
+      src += r.count;
+    }
+    std::copy(src, src + r.count, T.data() + r.n0);
+    src += r.count;
+  }
+}
+
 }  // namespace
 
 GuardReport run_guarded(Solver& s, int nsteps, const GuardOptions& opts,
@@ -420,6 +488,17 @@ GuardReport run_guarded(Solver& s, int nsteps, const GuardOptions& opts,
   const long start0 = s.steps_taken();
   const long target = start0 + std::max(nsteps, 0);
   const bool armed = opts.health.enabled;
+  const bool rank0 = !comm || comm->rank() == 0;
+
+  // Resolve the adaptive policy: explicit override, else the solver
+  // Config's. The build-noadapt lane compiles the ladder away entirely,
+  // so -DS3D_ADAPTIVE=OFF provably matches the global-halving goldens.
+  AdaptiveOptions ad =
+      opts.adaptive ? *opts.adaptive : s.rhs().config().adaptive;
+#ifdef S3D_ADAPTIVE_OFF
+  ad.enabled = false;
+#endif
+  const bool adaptive = armed && ad.enabled;
 
   HealthSentinel sentinel(s, opts.health, comm);
   // The ring inherits the run's checkpoint options: delta compression
@@ -428,31 +507,101 @@ GuardReport run_guarded(Solver& s, int nsteps, const GuardOptions& opts,
   // Seed the ring so even a first-step breach has a rollback point.
   if (armed && target > start0) ring.capture(s);
 
+  // Controller state: the BlockMap tiles GLOBAL indices and every
+  // controller update runs from collectively-reduced inputs, so the
+  // block→dt map — and every ladder decision below — is identical on
+  // every rank of any decomposition.
+  std::optional<BlockMap> bmap;
+  std::optional<DtController> ctrl;
+  std::vector<double> berr, bdt;
+  if (adaptive) {
+    bmap.emplace(s.mesh().nx(), s.mesh().ny(), s.mesh().nz(), ad.block,
+                 s.layout(), s.offset());
+    ctrl.emplace(*bmap, ad);
+    if (ad.cfl_clamp) bdt.resize(static_cast<std::size_t>(bmap->n_blocks()));
+  }
+  const Layout& lay = s.layout();
+  const long ncell_local =
+      static_cast<long>(lay.nx) * lay.ny * lay.nz;
+
   HealthReport last;
   double scale = 1.0;
   int retries_here = 0;
   double base_dt = -1.0;
+  int clean_streak = 0;       ///< scanned-clean steps since the last breach
+  int episode_subcycles = 0;  ///< rung-1 attempts in the current episode
+
+  // Masked subcycled integration of `segs` across [t0, t0 + dt]: nsub
+  // substeps on the blocks' own clock against the frozen far field,
+  // landing exactly on the far field's clock t1 (the committed t after
+  // the global step — re-imposed bit-exactly rather than summed, so
+  // subcycling never skews the clock).
+  const auto subcycle = [&](std::span<const RowRange> segs, double t0,
+                            double t1, double dt, int nsub) {
+    const int st1 = s.steps_taken();
+    s.set_time(t0, st1);
+    for (int m = 0; m < nsub; ++m) s.step_region(dt / nsub, segs);
+    s.set_time(t1, st1);
+    rep.subcycle_steps += nsub;
+    rep.executed_cell_steps += cells_of(segs) * nsub;
+    if (rank0) trace::counter_add("health.subcycle_count",
+                                  static_cast<double>(nsub));
+  };
 
   while (s.steps_taken() < target) {
     const long st = s.steps_taken();
     // dt re-estimation points are *absolute* step counts, so a rollback
     // replays the same estimation schedule deterministically.
     if (base_dt < 0.0 ||
-        (opts.dt_every > 0 && (st - start0) % opts.dt_every == 0))
+        (opts.dt_every > 0 && (st - start0) % opts.dt_every == 0)) {
       base_dt = opts.dt_fixed > 0.0 ? opts.dt_fixed : s.stable_dt();
+      if (adaptive && ad.cfl_clamp) {
+        // Per-block CFL refinement: blocks whose own stable dt sits
+        // below the (possibly fixed) global step get flagged stiff
+        // before they ever breach.
+        s.rhs().suggest_dt_blocks(*bmap, bdt);
+        ctrl->clamp_stable(bdt, base_dt * scale, comm);
+      }
+    }
     const double dt = base_dt * scale;
     if (opts.dt_min > 0.0 && dt < opts.dt_min)
       throw HealthError(
           last, "dt fell below dt_min after " +
                     std::to_string(rep.rollbacks) + " rollbacks");
 
-    // Arm the in-pass tripwires when this step will be scanned: the scan
-    // below then consumes the verdict the step accumulated for free.
-    if (armed && ((st + 1 - start0) % opts.health.scan_every == 0 ||
-                  st + 1 == target))
-      sentinel.arm_in_pass();
+    const bool will_scan =
+        armed && ((st + 1 - start0) % opts.health.scan_every == 0 ||
+                  st + 1 == target);
 
+    // Proactive stiff-region subcycling: the far field takes ONE step at
+    // dt while blocks whose controller dt fell below it redo theirs at
+    // dt/nsub on a shared local clock. Captured pre-step values are the
+    // rewind point; the committed global step provides the frozen seam.
+    std::vector<RowRange> stiff_segs;
+    if (adaptive && !ctrl->stiff().empty())
+      stiff_segs = bmap->segments(ctrl->stiff());
+    const bool stiff_step = adaptive && !ctrl->stiff().empty();
+
+    // Arm the in-pass tripwires when this step will be scanned — unless
+    // subcycling will mutate the state again after the step commits, in
+    // which case the in-pass verdict would be stale and the scan must
+    // sweep the final state separately.
+    if (will_scan && !stiff_step) sentinel.arm_in_pass();
+    if (adaptive && will_scan)
+      s.arm_error_estimate(*bmap, ad.atol, ad.rtol, &berr);
+
+    std::vector<double> presnap;
+    if (stiff_step) presnap = capture_cells(s, stiff_segs);
+    const double t0 = s.time();
     s.step(dt);
+    rep.executed_cell_steps += ncell_local;
+
+    if (stiff_step) {
+      const double t1 = s.time();
+      restore_captured_cells(s, stiff_segs, presnap);
+      rep.discarded_cell_steps += cells_of(stiff_segs);
+      subcycle(stiff_segs, t0, t1, dt, ctrl->max_subcycles());
+    }
 
     const long now = s.steps_taken();
     const bool scanned =
@@ -461,7 +610,88 @@ GuardReport run_guarded(Solver& s, int nsteps, const GuardOptions& opts,
     HealthReport verdict;
     if (scanned) verdict = sentinel.scan(dt);
 
+    // --- escalation ladder, rungs 1-2: localized recovery -------------
+    // Only sound when the collective verdict names a cell and the ring's
+    // newest snapshot is the immediate pre-step state (the default
+    // snapshot_every == 1 cadence guarantees it on scanned-clean runs);
+    // otherwise the breach falls straight to the global rungs.
+    if (verdict.breach != Breach::none && adaptive) {
+      while (verdict.breach != Breach::none && verdict.cell[0] >= 0 &&
+             !ring.empty() && ring.newest_step() == now - 1) {
+        const int b = bmap->block_of_global(verdict.cell);
+        // Tripwire feedback into the controller: the breaching block is
+        // pinned to the dt floor so the proactive path keeps subcycling
+        // it until clean error observations relax it back.
+        ctrl->force_floor(b);
+        int rung;
+        std::vector<int> blocks{b};
+        int nsub;
+        if (episode_subcycles < ad.max_subcycle_retries) {
+          // Rung 1: subcycle the breaching block, doubling the local
+          // clock on every retry of this episode.
+          rung = 1;
+          nsub = std::min(ad.subcycle_cap,
+                          std::max(2, ctrl->subcycles(b))
+                              << episode_subcycles);
+        } else if (rep.local_rollbacks < ad.max_local_rollbacks) {
+          // Rung 2: widen the rollback to the face-neighbor blocks (the
+          // breach may be fed across the seam) at the full local clock.
+          rung = 2;
+          blocks = bmap->widen(blocks);
+          nsub = ad.subcycle_cap;
+        } else {
+          break;  // localized budgets exhausted: escalate globally
+        }
+        const auto segs = bmap->segments(blocks);
+        const double t1 = s.time();
+        ring.restore_cells(s, segs);
+        rep.discarded_cell_steps += cells_of(segs);
+        subcycle(segs, ring.newest_time(), t1, dt, nsub);
+        ++episode_subcycles;
+
+        HealthEvent ev;
+        ev.report = verdict;
+        ev.rung = rung;
+        ev.rolled_back_to = ring.newest_step();
+        ev.dt_scale = scale;  // the global dt is NOT scaled by rungs 1-2
+        rep.events.push_back(std::move(ev));
+        if (rung == 1) {
+          ++rep.subcycle_recoveries;
+          if (rank0) trace::counter_add("health.ladder.subcycle", 1.0);
+        } else {
+          ++rep.local_rollbacks;
+          if (rank0)
+            trace::counter_add("health.ladder.local_rollback", 1.0);
+        }
+        // Judge the repaired state with a full collective scan; a clean
+        // verdict exits the ladder with the far field untouched.
+        verdict = sentinel.scan(dt);
+      }
+    }
+
     if (verdict.breach == Breach::none) {
+      if (scanned && adaptive) {
+        // Feed the controller (ONE collective reduce over the block
+        // vector) and publish the block-dt floor.
+        ctrl->observe(berr, comm);
+        if (rank0)
+          trace::gauge_set("health.dt_min", dt * ctrl->min_ratio());
+        ++clean_streak;
+        // A halved dt is a recovery posture, not a permanent sentence:
+        // once the breach has stayed clear, return to the controller-
+        // chosen base dt instead of integrating the rest of the run at
+        // the crippled step (the legacy behavior, kept when disabled).
+        if (scale < 1.0 && ad.dt_recover_after > 0 &&
+            clean_streak >= ad.dt_recover_after) {
+          scale = 1.0;
+          base_dt = -1.0;
+          if (rank0) {
+            trace::counter_add("health.dt_recovered", 1.0);
+            trace::gauge_set("health.dt_scale", scale);
+          }
+        }
+      }
+      episode_subcycles = 0;  // a clean scan ends the breach episode
       // Snapshots are taken only from scanned-clean states.
       if (scanned && (now - start0) % opts.snapshot_every == 0 &&
           now < target) {
@@ -471,8 +701,9 @@ GuardReport run_guarded(Solver& s, int nsteps, const GuardOptions& opts,
       continue;
     }
 
-    // --- breach: roll back, shrink dt, retry under the budget ---
+    // --- rungs 3-4: global rollback, shrink dt, retry under budget ---
     last = verdict;
+    clean_streak = 0;
     if (rep.rollbacks >= opts.max_rollbacks)
       throw HealthError(verdict, "rollback budget (" +
                                      std::to_string(opts.max_rollbacks) +
@@ -486,6 +717,7 @@ GuardReport run_guarded(Solver& s, int nsteps, const GuardOptions& opts,
 
     HealthEvent ev;
     ev.report = verdict;
+    ev.rung = 3;
     if (!ring.empty()) {
       ring.restore_newest(s);
     } else if (opts.fallback) {
@@ -494,9 +726,13 @@ GuardReport run_guarded(Solver& s, int nsteps, const GuardOptions& opts,
         throw HealthError(verdict,
                           "snapshot ring and restart series both exhausted");
       ev.from_series = true;
+      ev.rung = 4;
       ++rep.series_restores;
-      if (!comm || comm->rank() == 0)
+      if (rank0) {
         trace::counter_add("health.series_restores", 1.0);
+        if (adaptive)
+          trace::counter_add("health.ladder.series_restore", 1.0);
+      }
       ring.capture(s);
     } else {
       throw HealthError(verdict,
@@ -505,8 +741,11 @@ GuardReport run_guarded(Solver& s, int nsteps, const GuardOptions& opts,
     ++retries_here;
     scale *= opts.dt_factor;
     base_dt = -1.0;  // the restored state needs a fresh estimate
-    if (!comm || comm->rank() == 0) {
+    rep.discarded_cell_steps += (now - s.steps_taken()) * ncell_local;
+    if (rank0) {
       trace::counter_add("health.rollbacks", 1.0);
+      if (adaptive && ev.rung == 3)
+        trace::counter_add("health.ladder.global_rollback", 1.0);
       trace::gauge_set("health.dt_scale", scale);
     }
     ev.rolled_back_to = s.steps_taken();

@@ -22,13 +22,18 @@
 //                   vector plus the Newton warm-start temperature field,
 //                   clock and step counter) restored bitwise on breach.
 //   run_guarded     the driver: advance under the sentinel; on breach
-//                   roll back to the newest snapshot (older ring entries
-//                   when retries at one point are exhausted, then the
-//                   PR-2 RestartSeries when the ring itself runs dry),
-//                   shrink dt by a bounded factor, and re-advance under a
-//                   rollback budget. Budget exhaustion throws HealthError
-//                   carrying the final HealthReport — never a silent
-//                   continuation.
+//                   recover through the escalation ladder (DESIGN.md
+//                   §13) — with adaptive dt enabled, first subcycle the
+//                   breaching block(s), then roll back only those blocks
+//                   from the delta ring, and only when the localized
+//                   rungs are exhausted fall to the global rungs: roll
+//                   the whole domain back to the newest snapshot (older
+//                   ring entries when retries at one point are
+//                   exhausted, then the PR-2 RestartSeries when the ring
+//                   itself runs dry), shrink dt by a bounded factor, and
+//                   re-advance under a rollback budget. Budget
+//                   exhaustion throws HealthError carrying the final
+//                   HealthReport — never a silent continuation.
 //
 // Determinism contract: scan verdicts derive only from allreduced
 // quantities, snapshots are captured at step-count boundaries, and dt is
@@ -38,11 +43,14 @@
 // 1-, 2- and 8-rank runs of the same blow-up.
 
 #include <array>
+#include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "solver/checkpoint.hpp"
 #include "solver/ckpt_store.hpp"
+#include "solver/dt_control.hpp"
 #include "solver/solver.hpp"
 #include "vmpi/vmpi.hpp"
 
@@ -129,12 +137,21 @@ class SnapshotRing {
   void capture(const Solver& s);
   /// Restore the newest snapshot (kept in the ring for further retries).
   void restore_newest(Solver& s) const;
+  /// Localized rollback (DESIGN.md §13): restore ONLY the listed
+  /// interior row segments (conserved vars + warm-start T) from the
+  /// newest snapshot, leaving every other cell and the solver clock
+  /// untouched — the escalation ladder re-integrates the restored
+  /// region to the far field's clock afterwards. Rides the delta ring's
+  /// materialized newest image, so a block restore costs the masked
+  /// cells, not a full-state copy.
+  void restore_cells(Solver& s, std::span<const RowRange> segs) const;
   /// Drop the newest snapshot to roll back deeper.
   void pop_newest();
 
   bool empty() const { return ring_.empty(); }
   int size() const { return ring_.size(); }
   long newest_step() const { return ring_.newest_step(); }
+  double newest_time() const;
   std::size_t bytes() const { return ring_.bytes(); }
 
  private:
@@ -198,6 +215,16 @@ struct GuardOptions {
   /// checkpoint series); consulted collectively in parallel runs.
   RestartSeries* fallback = nullptr;
 
+  /// Per-block adaptive time integration override (DESIGN.md §13).
+  /// Unset: the solver Config's `adaptive` options apply. When the
+  /// resolved options are enabled, run_guarded drives the PI dt
+  /// controller, proactive stiff-region subcycling, and the breach
+  /// escalation ladder (subcycle → localized rollback → global rollback
+  /// with dt halving → series restore); disabled, behavior is exactly
+  /// the legacy global-halving policy. Builds with -DS3D_ADAPTIVE=OFF
+  /// force-disable it regardless of this setting.
+  std::optional<AdaptiveOptions> adaptive;
+
   /// Typed ConfigError for malformed budgets/factors/thresholds.
   void validate() const;
 };
@@ -208,6 +235,12 @@ struct HealthEvent {
   long rolled_back_to = -1;  ///< step count restored to
   double dt_scale = 1.0;     ///< dt scale in effect after the rollback
   bool from_series = false;  ///< restored from the RestartSeries fallback
+  /// Escalation-ladder rung that handled the breach (DESIGN.md §13):
+  /// 1 = breaching block(s) subcycled, 2 = widened localized rollback,
+  /// 3 = global rollback with dt scaling, 4 = RestartSeries restore.
+  /// Rungs 1-2 touch only the masked blocks; the global dt is never
+  /// scaled by them.
+  int rung = 3;
 };
 
 struct GuardReport {
@@ -218,6 +251,17 @@ struct GuardReport {
   long scans = 0;
   double dt_scale = 1.0;  ///< final dt scale (1.0: no breach ever)
   std::vector<HealthEvent> events;
+
+  // Escalation-ladder accounting (zero when adaptive is disabled).
+  int subcycle_recoveries = 0;  ///< rung-1 localized recovery attempts
+  int local_rollbacks = 0;      ///< rung-2 widened localized rollbacks
+  long subcycle_steps = 0;      ///< masked substeps committed (all causes)
+  /// Work accounting for the wasted-work metric (THIS rank's cells):
+  /// cell-steps executed (full steps, re-steps, masked substeps) and
+  /// cell-steps later discarded by a restore of any rung. A fault-free
+  /// run has discarded == 0 and executed == nsteps * local cells.
+  long executed_cell_steps = 0;
+  long discarded_cell_steps = 0;
 };
 
 /// Advance `s` by `nsteps` under the sentinel. Pass the communicator the

@@ -42,6 +42,13 @@ void FusedPointwise::run_interior(const Layout& l, PassStats* stats) const {
   run_rows<true>(l, 0, l.nx, 0, l.ny, 0, l.nz, stats);
 }
 
+void FusedPointwise::run_segments(std::span<const RowRange> segs,
+                                  PassStats* stats) const {
+  if (stats) stats->count(stages());
+  for (const RowRange& r : segs)
+    for (const Stage& s : stages_) s.fn(r);
+}
+
 void FusedPointwise::run_valid(const Layout& l, const GhostFlags& gh,
                                PassStats* stats) const {
   run_rows<true>(l, gh.lo[0] ? -l.gx : 0, l.nx + (gh.hi[0] ? l.gx : 0),

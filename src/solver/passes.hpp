@@ -86,6 +86,12 @@ class FusedPointwise {
 
   /// One traversal of the interior, every stage per row.
   void run_interior(const Layout& l, PassStats* stats) const;
+  /// One traversal of an explicit row-segment list (the masked-commit
+  /// shape of stiff-region subcycling, DESIGN.md §13): every stage per
+  /// segment, in list order. Segments use the same RowRange encoding as
+  /// the full traversals, so a stage cannot tell a masked run from a
+  /// full one — same kernels, same per-cell arithmetic.
+  void run_segments(std::span<const RowRange> segs, PassStats* stats) const;
   /// One traversal of interior plus the exchanged ghost shells.
   void run_valid(const Layout& l, const GhostFlags& gh,
                  PassStats* stats) const;

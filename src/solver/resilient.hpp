@@ -35,11 +35,13 @@ struct ResilienceConfig {
   int max_attempts = 5;        ///< total attempt budget (1 = no retry)
   vmpi::RunOptions vmpi;       ///< watchdog options for the parallel driver
   /// Run each chunk under the health sentinel (run_guarded) instead of
-  /// bare run(): numerical breaches roll back in memory first, and only
-  /// a HealthError escaping the guard consumes a restore-and-retry
-  /// attempt here. guard_opts.fallback is wired to this driver's own
-  /// RestartSeries, so the sentinel's last-resort restore and the
-  /// attempt loop share one set of generations.
+  /// bare run(): numerical breaches climb the escalation ladder in
+  /// memory first (guard_opts.adaptive / Config::adaptive select the
+  /// localized rungs; DESIGN.md §13), and only a HealthError escaping
+  /// the guard consumes a restore-and-retry attempt here.
+  /// guard_opts.fallback is wired to this driver's own RestartSeries,
+  /// so the ladder's last rung and the attempt loop share one set of
+  /// generations.
   bool guard = false;
   GuardOptions guard_opts;
   /// Checkpoint-store tuning for this driver's RestartSeries (delta

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "chem/mixing.hpp"
+#include "solver/dt_control.hpp"
 #include "chem/thermo.hpp"
 #include "common/constants.hpp"
 #include "common/timer.hpp"
@@ -851,9 +852,9 @@ void RhsEvaluator::apply_sponges(const State& U, State& dUdt) {
   }
 }
 
-double RhsEvaluator::suggest_dt() const {
+void RhsEvaluator::scan_cell_dt(
+    const std::function<void(double, int, int, int)>& sink) const {
   const int ns = mech_->n_species();
-  double dt = 1e30;
   double Le_min = 1.0;
   for (int s = 0; s < ns; ++s) Le_min = std::min(Le_min, Le_[s]);
   double Yp[chem::kMaxSpecies];
@@ -870,6 +871,7 @@ double RhsEvaluator::suggest_dt() const {
     const double vel[3] = {prim_.u.data()[n], prim_.v.data()[n],
                            prim_.w.data()[n]};
     const int idx3[3] = {i, j, k};
+    double dt = 1e30;
     double h_min = 1e30;
     for (int a : active_axes_) {
       const double h = 1.0 / ops_.inv_h(a)[idx3[a]];
@@ -882,8 +884,28 @@ double RhsEvaluator::suggest_dt() const {
       const double dmax = std::max(nu, alpha / Le_min);
       dt = std::min(dt, cfg_.fourier * h_min * h_min / std::max(dmax, 1e-30));
     }
+    sink(dt, i, j, k);
   });
+}
+
+double RhsEvaluator::suggest_dt() const {
+  double dt = 1e30;
+  scan_cell_dt(
+      [&](double dtc, int, int, int) { dt = std::min(dt, dtc); });
   return dt;
+}
+
+void RhsEvaluator::suggest_dt_blocks(const BlockMap& map,
+                                     std::span<double> out) const {
+  S3D_REQUIRE(static_cast<int>(out.size()) == map.n_blocks(),
+              "suggest_dt_blocks: out must hold n_blocks() entries");
+  std::fill(out.begin(), out.end(), 1e300);
+  scan_cell_dt([&](double dtc, int i, int j, int k) {
+    const int b = map.block_of_global(offset_[0] + i, offset_[1] + j,
+                                      offset_[2] + k);
+    out[static_cast<std::size_t>(b)] =
+        std::min(out[static_cast<std::size_t>(b)], dtc);
+  });
 }
 
 }  // namespace s3d::solver

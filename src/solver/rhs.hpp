@@ -17,7 +17,9 @@
 //      chemistry, 6. NSCBC boundary corrections.
 
 #include <array>
+#include <functional>
 #include <memory>
+#include <span>
 
 #include "chem/batched.hpp"
 #include "solver/chem_dlb.hpp"
@@ -43,6 +45,8 @@ struct RhsTimers {
   int evals = 0;
 };
 
+class BlockMap;  // dt_control.hpp: the adaptive controller's global tiling
+
 class RhsEvaluator {
  public:
   /// `offset`: global index of this rank's first interior point per axis;
@@ -67,6 +71,13 @@ class RhsEvaluator {
   /// diffusive limit (serial estimate; reduce across ranks for parallel).
   double suggest_dt() const;
 
+  /// Per-block refinement of suggest_dt() (adaptive dt, DESIGN.md §13):
+  /// min stable dt over this rank's cells of each controller block, 1e300
+  /// where the rank owns none. Same per-cell arithmetic as suggest_dt()
+  /// (the global estimate equals the min over this vector), feeding the
+  /// controller's per-block CFL clamp. `out` must hold map.n_blocks().
+  void suggest_dt_blocks(const BlockMap& map, std::span<double> out) const;
+
   const RhsTimers& timers() const { return timers_; }
   void reset_timers() { timers_ = RhsTimers{}; }
 
@@ -87,6 +98,11 @@ class RhsEvaluator {
   const Config& config() const { return cfg_; }
 
  private:
+  /// Shared per-cell stable-dt scan: sink(dt_cell, i, j, k) over the
+  /// interior. suggest_dt() and suggest_dt_blocks() both reduce it (by
+  /// min), so the two estimates cannot drift apart.
+  void scan_cell_dt(
+      const std::function<void(double, int, int, int)>& sink) const;
   void compute_transport_point(double T, double lnT, double rho, double cp,
                                const double* X, double& mu, double& lam,
                                double* D) const;

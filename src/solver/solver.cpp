@@ -26,6 +26,47 @@ __attribute__((noinline)) void rk_axpy_row(double* kv, double* uv,
   }
 }
 
+// Embedded-error accumulation rows (adaptive dt, DESIGN.md §13), armed
+// steps only. noinline for the same reason as rk_axpy_row: one compiled
+// body regardless of call context, so the estimate — which feeds a
+// bitwise cross-rank contract through the controller — cannot round
+// differently between traversals.
+__attribute__((noinline)) void err_first_row(double* ev, const double* kv,
+                                             const double* duv, double B,
+                                             double dt, std::size_t n0,
+                                             int count) {
+  // Stage 1: e = B_1 k_1 - dt f(u_n)  (k_1 = dt f(u_n) already).
+  for (int c = 0; c < count; ++c) {
+    const std::size_t n = n0 + static_cast<std::size_t>(c);
+    ev[n] = B * kv[n] - dt * duv[n];
+  }
+}
+
+__attribute__((noinline)) void err_accum_row(double* ev, const double* kv,
+                                             double B, std::size_t n0,
+                                             int count) {
+  for (int c = 0; c < count; ++c) {
+    const std::size_t n = n0 + static_cast<std::size_t>(c);
+    ev[n] += B * kv[n];
+  }
+}
+
+/// Linf of |e| / (atol + rtol |u|) over one contiguous run. Max-reduced
+/// per block by the caller: order-invariant, so the block norm is
+/// identical however the run is split across ranks.
+__attribute__((noinline)) double err_norm_run(const double* ev,
+                                              const double* uv, double atol,
+                                              double rtol, std::size_t n0,
+                                              int count) {
+  double m = 0.0;
+  for (int c = 0; c < count; ++c) {
+    const std::size_t n = n0 + static_cast<std::size_t>(c);
+    const double w = std::abs(ev[n]) / (atol + rtol * std::abs(uv[n]));
+    m = std::max(m, w);
+  }
+  return m;
+}
+
 }  // namespace
 
 Solver::Solver(const Config& cfg) : scheme_(numerics::rk_carpenter_kennedy4()) {
@@ -206,6 +247,46 @@ void Solver::step(double dt) {
       }
       pass_stats_.count(U_.nv());
     }
+    if (err_out_) {
+      // Armed embedded-error accumulation: one interior sweep per
+      // variable per stage, reading the just-committed k (and at stage
+      // 1 the stage RHS). Touches no solver field the RK commit reads,
+      // so the committed trajectory is untouched.
+      const Layout& l = rhs_->layout();
+      for (int v = 0; v < U_.nv(); ++v) {
+        double* ev = err_.var(v);
+        const double* kv = k_.var(v);
+        const double* duv = dU_.var(v);
+        for (int kk = 0; kk < l.nz; ++kk)
+          for (int j = 0; j < l.ny; ++j) {
+            const std::size_t n0 = l.at(0, j, kk);
+            if (s == 0)
+              err_first_row(ev, kv, duv, B, dt, n0, l.nx);
+            else
+              err_accum_row(ev, kv, B, n0, l.nx);
+          }
+      }
+      pass_stats_.count(U_.nv());
+    }
+  }
+  if (err_out_) {
+    // Per-block Linf of the weighted error against the committed RK
+    // solution (pre-filter: the estimate judges the integrator, not the
+    // dealiasing filter). Block segmentation follows the global tiling,
+    // so every cell contributes to the same block on any decomposition.
+    err_out_->assign(static_cast<std::size_t>(err_map_->n_blocks()), 0.0);
+    for (int v = 0; v < U_.nv(); ++v) {
+      const double* ev = err_.var(v);
+      const double* uv = U_.var(v);
+      err_map_->visit_rows([&](int b, const RowRange& r) {
+        double& m = (*err_out_)[static_cast<std::size_t>(b)];
+        m = std::max(
+            m, err_norm_run(ev, uv, err_atol_, err_rtol_, r.n0, r.count));
+      });
+    }
+    pass_stats_.count(U_.nv());
+    err_map_ = nullptr;
+    err_out_ = nullptr;  // one-shot
   }
   t_ += dt;
   ++steps_;
@@ -218,6 +299,40 @@ void Solver::step(double dt) {
     trip_armed_ = false;
   }
   trace::gauge_set("solver.t", t_);
+}
+
+void Solver::arm_error_estimate(const BlockMap& map, double atol,
+                                double rtol, std::vector<double>* out) {
+  S3D_REQUIRE(out != nullptr, "arm_error_estimate: out must be non-null");
+  if (err_.nv() == 0) err_ = State(rhs_->layout(), U_.nv());
+  err_map_ = &map;
+  err_atol_ = atol;
+  err_rtol_ = rtol;
+  err_out_ = out;
+}
+
+void Solver::step_region(double dt, std::span<const RowRange> segs) {
+  trace::Span sp_step("solver.substep", "solver");
+  auto k = k_.flat();
+  std::fill(k.begin(), k.end(), 0.0);
+  pass_stats_.count();  // k zero-fill
+  for (int s = 0; s < scheme_.stages(); ++s) {
+    trace::Span sp_stage("solver.rk_stage", "solver");
+    rhs_->eval(U_, t_ + scheme_.C[s] * dt, dU_);
+    const double A = scheme_.A[s], B = scheme_.B[s];
+    FusedPointwise pass("pass.rk_axpy_region");
+    for (int v = 0; v < U_.nv(); ++v) {
+      double* kv = k_.var(v);
+      double* uv = U_.var(v);
+      const double* duv = dU_.var(v);
+      pass.add("axpy", [=](const RowRange& r) {
+        rk_axpy_row(kv, uv, duv, A, B, dt, r.n0, r.count);
+      });
+    }
+    trace::Span sp_pass("pass.rk_axpy_region", "solver");
+    pass.run_segments(segs, &pass_stats_);
+  }
+  t_ += dt;
 }
 
 void Solver::enforce_inflow() {

@@ -7,8 +7,12 @@
 #include <memory>
 #include <optional>
 
+#include <span>
+#include <vector>
+
 #include "numerics/rk.hpp"
 #include "solver/config.hpp"
+#include "solver/dt_control.hpp"
 #include "solver/rhs.hpp"
 
 namespace s3d::solver {
@@ -26,6 +30,34 @@ class Solver {
 
   /// One RK step of size dt at the current time.
   void step(double dt);
+
+  /// One RK step of size dt committing ONLY the listed interior row
+  /// segments (stiff-region subcycling, DESIGN.md §13). Every stage
+  /// still evaluates the full-domain RHS — the masked cells read the
+  /// committed far field through the ordinary ghost machinery, which is
+  /// the conservative, rank-invariant seam coupling — but the commits
+  /// run through the same noinline rk_axpy_row kernel restricted to the
+  /// segments, so a masked cell's update is bitwise the update a full
+  /// step would have given it against the same surroundings. Advances
+  /// the clock by dt; the step counter, filter, and inflow imposition
+  /// stay with the caller (the escalation ladder owns that
+  /// bookkeeping). Collective when parallel: every rank must call it
+  /// the same number of times (an empty segment list is fine — the RHS
+  /// halo exchanges and DLB collectives still participate).
+  void step_region(double dt, std::span<const RowRange> segs);
+
+  /// Arm the embedded-error estimator for the NEXT step(): accumulate
+  /// e = sum_s B_s k_s - dt f(u_n) alongside the RK commits (the CK4
+  /// solution minus the embedded forward-Euler solution sharing stage
+  /// 1 — a first-order embedded estimate costing no extra RHS
+  /// evaluation), then reduce per-block Linf norms of
+  /// |e| / (atol + rtol |u_{n+1}|) into `out`, indexed by block id
+  /// (0 where this rank owns no cell: the identity of the collective
+  /// max-reduce the controller applies). One-shot — the step clears the
+  /// arming. Unarmed steps skip every estimator sweep and stay
+  /// bit-identical to a build without the estimator.
+  void arm_error_estimate(const BlockMap& map, double atol, double rtol,
+                          std::vector<double>* out);
 
   /// Advance `nsteps` with automatic dt (re-estimated every `dt_every`
   /// steps); invokes monitor(step_index) when provided.
@@ -98,6 +130,10 @@ class Solver {
   void apply_filter(bool fold_tripwires = false);
 
   Config cfg_;
+  const BlockMap* err_map_ = nullptr;   ///< armed error-estimate tiling
+  double err_atol_ = 0.0, err_rtol_ = 0.0;
+  std::vector<double>* err_out_ = nullptr;
+  State err_;  ///< embedded-error register (allocated on first arming)
   std::unique_ptr<grid::Mesh> mesh_;
   std::unique_ptr<vmpi::Cart> cart_;
   vmpi::Comm* comm_ = nullptr;

@@ -1,0 +1,226 @@
+// Golden localized-recovery regression (ctest -L golden / -L adaptive).
+//
+// One case: a healthy pressure-wave cube whose step-2 scan reports an
+// injected single-rank breach at global cell (0,0,0) — block 0 of the
+// adaptive tiling. With the escalation ladder enabled the guard must
+// recover through rung 1 alone: restore ONLY block 0 from the snapshot
+// ring, subcycle it back to the far field's clock, and keep the global
+// dt untouched — no global rollback, no dt halving anywhere outside the
+// breaching block. Because the verdict, the block map, and every masked
+// kernel are collective/bitwise, the recovered final fields must be
+// BITWISE IDENTICAL across 1-, 2- and 8-rank decompositions, which this
+// test asserts, alongside a committed record in data/ pinning the
+// recovery structure (rung counts, final dt scale, final time).
+//
+// Builds with -DS3D_ADAPTIVE=OFF compile the ladder away; the test
+// skips there (the build-noadapt lane proves the legacy goldens hold).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "resilience/fault.hpp"
+#include "solver/cases.hpp"
+#include "solver/health.hpp"
+#include "solver/solver.hpp"
+#include "vmpi/vmpi.hpp"
+
+namespace sv = s3d::solver;
+namespace fault = s3d::fault;
+namespace vmpi = s3d::vmpi;
+
+namespace {
+
+constexpr int kN = 16;     ///< cube edge (2x2x2-decomposable)
+constexpr int kSteps = 4;  ///< guarded steps to complete
+
+struct AdaptiveGolden {
+  std::string t_final_hex;
+  long steps = 0;
+  int subcycle_recoveries = 0;
+  int local_rollbacks = 0;
+  int rollbacks = 0;
+  std::string dt_scale_hex;
+  std::vector<std::string> checksums;  ///< per-variable FNV-1a (hex64)
+};
+
+std::string hexfloat(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+sv::GuardOptions guard_options() {
+  sv::GuardOptions opts;
+  sv::AdaptiveOptions ad;
+  ad.enabled = true;
+  ad.block = 8;  // 16^3 -> 2x2x2 controller blocks
+  opts.adaptive = ad;
+  return opts;
+}
+
+// Run the guarded case with the injected single-rank breach on a
+// (px, py, pz) decomposition and collect the global fields plus the
+// recovery structure.
+AdaptiveGolden run_case(int px, int py, int pz) {
+  const sv::CaseSetup setup = sv::pressure_wave_case(kN);
+  const int nv = sv::n_conserved(setup.cfg.mech->n_species());
+  std::vector<double> global(static_cast<std::size_t>(nv) * kN * kN * kN);
+  AdaptiveGolden rec;
+
+  // Rank 0 alone reports an injected failure at its second scan; the
+  // collective verdict names global cell (0,0,0) -> block 0 on every
+  // decomposition, so the ladder's action is decomposition-invariant.
+  fault::set_seed(2026);
+  fault::arm({.site = "solver.health",
+              .kind = fault::Kind::fail,
+              .nth = 1,
+              .rank = 0,
+              .max_fires = 1});
+
+  vmpi::run(px * py * pz, [&](vmpi::Comm& comm) {
+    sv::Solver s(setup.cfg, comm, px, py, pz);
+    s.initialize(setup.init);
+    const sv::GuardOptions opts = guard_options();
+    const auto rep = sv::run_guarded(s, kSteps, opts, &comm);
+    EXPECT_TRUE(rep.completed);
+    EXPECT_EQ(rep.rollbacks, 0)
+        << "a single-block breach must never go global";
+    EXPECT_EQ(rep.subcycle_recoveries, 1);
+    EXPECT_EQ(rep.dt_scale, 1.0)
+        << "rung 1 must not scale the global dt";
+    const auto& l = s.layout();
+    const auto off = s.offset();
+    for (int v = 0; v < nv; ++v) {
+      const double* var = s.state().var(v);
+      for (int k = 0; k < l.nz; ++k)
+        for (int j = 0; j < l.ny; ++j)
+          for (int i = 0; i < l.nx; ++i)
+            global[static_cast<std::size_t>(v) * kN * kN * kN +
+                   static_cast<std::size_t>(off[2] + k) * kN * kN +
+                   static_cast<std::size_t>(off[1] + j) * kN +
+                   (off[0] + i)] = var[l.at(i, j, k)];
+    }
+    if (comm.rank() == 0) {
+      rec.t_final_hex = hexfloat(s.time());
+      rec.steps = s.steps_taken();
+      rec.subcycle_recoveries = rep.subcycle_recoveries;
+      rec.local_rollbacks = rep.local_rollbacks;
+      rec.rollbacks = rep.rollbacks;
+      rec.dt_scale_hex = hexfloat(rep.dt_scale);
+    }
+    comm.barrier();
+  });
+  fault::reset();
+
+  const std::size_t pts = static_cast<std::size_t>(kN) * kN * kN;
+  for (int v = 0; v < nv; ++v)
+    rec.checksums.push_back(s3d::hex64(s3d::fnv1a64(
+        global.data() + static_cast<std::size_t>(v) * pts,
+        pts * sizeof(double))));
+  return rec;
+}
+
+std::string golden_path() {
+  return std::string(S3D_GOLDEN_DIR) + "/adaptive_recovery.golden";
+}
+
+void save(const AdaptiveGolden& rec) {
+  std::ofstream f(golden_path());
+  ASSERT_TRUE(f.good()) << "cannot write " << golden_path();
+  f << "# S3D++ golden record for the localized (rung-1) breach recovery"
+       " case.\n"
+    << "# Regenerate intentionally: S3D_GOLDEN_REFRESH=1 ctest -L golden\n"
+    << "t " << rec.t_final_hex << "\n"
+    << "steps " << rec.steps << "\n"
+    << "subcycle_recoveries " << rec.subcycle_recoveries << "\n"
+    << "local_rollbacks " << rec.local_rollbacks << "\n"
+    << "rollbacks " << rec.rollbacks << "\n"
+    << "dt_scale " << rec.dt_scale_hex << "\n";
+  for (std::size_t v = 0; v < rec.checksums.size(); ++v)
+    f << "checksum " << v << " " << rec.checksums[v] << "\n";
+}
+
+bool load(AdaptiveGolden& rec) {
+  std::ifstream f(golden_path());
+  if (!f.good()) return false;
+  std::string line;
+  while (std::getline(f, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    std::string key;
+    ss >> key;
+    if (key == "t") {
+      ss >> rec.t_final_hex;
+    } else if (key == "steps") {
+      ss >> rec.steps;
+    } else if (key == "subcycle_recoveries") {
+      ss >> rec.subcycle_recoveries;
+    } else if (key == "local_rollbacks") {
+      ss >> rec.local_rollbacks;
+    } else if (key == "rollbacks") {
+      ss >> rec.rollbacks;
+    } else if (key == "dt_scale") {
+      ss >> rec.dt_scale_hex;
+    } else if (key == "checksum") {
+      std::size_t idx;
+      std::string sum;
+      ss >> idx >> sum;
+      rec.checksums.resize(std::max(rec.checksums.size(), idx + 1));
+      rec.checksums[idx] = sum;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+TEST(GoldenAdaptive, LocalizedRecoveryBitwiseAcrossDecompositions) {
+#ifdef S3D_ADAPTIVE_OFF
+  GTEST_SKIP() << "ladder compiled out (S3D_ADAPTIVE=OFF)";
+#endif
+  const auto serial = run_case(1, 1, 1);
+  const auto two = run_case(2, 1, 1);
+  const auto eight = run_case(2, 2, 2);
+
+  // The decomposition-invariance contract extends through the localized
+  // rungs: identical verdicts, identical masked recovery, identical
+  // fields — including on ranks owning no cell of the breaching block.
+  ASSERT_EQ(two.checksums, serial.checksums)
+      << "1-rank and 2-rank recovered fields diverged";
+  ASSERT_EQ(eight.checksums, serial.checksums)
+      << "1-rank and 8-rank recovered fields diverged";
+  EXPECT_EQ(two.t_final_hex, serial.t_final_hex);
+  EXPECT_EQ(eight.t_final_hex, serial.t_final_hex);
+  EXPECT_EQ(two.subcycle_recoveries, serial.subcycle_recoveries);
+  EXPECT_EQ(eight.subcycle_recoveries, serial.subcycle_recoveries);
+  EXPECT_EQ(two.dt_scale_hex, serial.dt_scale_hex);
+  EXPECT_EQ(eight.dt_scale_hex, serial.dt_scale_hex);
+  EXPECT_EQ(serial.steps, kSteps);
+
+  if (std::getenv("S3D_GOLDEN_REFRESH") != nullptr) {
+    save(serial);
+    GTEST_SKIP() << "golden record refreshed: " << golden_path();
+  }
+
+  AdaptiveGolden gold;
+  ASSERT_TRUE(load(gold)) << "missing golden record " << golden_path()
+                          << " — generate with S3D_GOLDEN_REFRESH=1";
+  EXPECT_EQ(serial.t_final_hex, gold.t_final_hex) << "t_final drifted";
+  EXPECT_EQ(serial.steps, gold.steps);
+  EXPECT_EQ(serial.subcycle_recoveries, gold.subcycle_recoveries)
+      << "recovery schedule drifted";
+  EXPECT_EQ(serial.local_rollbacks, gold.local_rollbacks);
+  EXPECT_EQ(serial.rollbacks, gold.rollbacks);
+  EXPECT_EQ(serial.dt_scale_hex, gold.dt_scale_hex);
+  ASSERT_EQ(serial.checksums.size(), gold.checksums.size());
+  for (std::size_t v = 0; v < serial.checksums.size(); ++v)
+    EXPECT_EQ(serial.checksums[v], gold.checksums[v])
+        << "variable " << v << " drifted";
+}

@@ -21,3 +21,11 @@ endforeach()
 foreach(t ${test_passes_TESTS})
   set_tests_properties("${t}" PROPERTIES LABELS "passes;health")
 endforeach()
+
+# test_dt_control + test_adaptive: the adaptive dt tier (ctest -L
+# adaptive) is part of the health contract too — the escalation ladder
+# is the breach recovery path — so both suites also carry the health
+# label and run in the health/UBSan/TSan lanes.
+foreach(t ${test_dt_control_TESTS} ${test_adaptive_TESTS})
+  set_tests_properties("${t}" PROPERTIES LABELS "adaptive;health")
+endforeach()
