@@ -60,6 +60,7 @@ int MechBuilder::index(std::string_view name) const {
 
 // (1 cm^3/mol)^(m-1)/s -> (m^3/kmol)^(m-1)/s
 double MechBuilder::si_A(double A_cgs, double order) const {
+  // s3dlint:allow(libm): build-time unit conversion, not step arithmetic
   return A_cgs * std::pow(1.0e-3, order - 1.0);
 }
 
@@ -204,6 +205,7 @@ MechBuilder::RxRef& MechBuilder::RxRef::orders(
     rx.forward_orders.push_back({b_.index(sp), nu});
   const double m_new = total_order(rx);
   // The published A was in units matching the published orders; re-express.
+  // s3dlint:allow(libm): build-time unit conversion, not step arithmetic
   rx.fwd.A *= std::pow(1.0e-3, m_new - m_old);
   return *this;
 }

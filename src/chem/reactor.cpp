@@ -110,10 +110,12 @@ void ConstPressureReactor::advance(double t_end, double rtol, double atol) {
         t_ += h;
         u = u5;
         // Step-size controller (PI-free, classic 0.2 exponent).
+        // s3dlint:allow(libm): 0-D reference reactor, outside the DNS step
         const double fac =
             std::clamp(0.9 * std::pow(std::max(errnorm, 1e-10), -0.2), 0.2, 5.0);
         dt_ = std::min(h * fac, 1e-3);
       } else {
+        // s3dlint:allow(libm): 0-D reference reactor, outside the DNS step
         h *= std::clamp(0.9 * std::pow(errnorm, -0.25), 0.1, 0.5);
       }
     }
@@ -231,10 +233,12 @@ void ConstVolumeReactor::advance(double t_end, double rtol, double atol) {
         accepted = true;
         t_ += h;
         u = u5;
+        // s3dlint:allow(libm): 0-D reference reactor, outside the DNS step
         const double fac =
             std::clamp(0.9 * std::pow(std::max(errnorm, 1e-10), -0.2), 0.2, 5.0);
         dt_ = std::min(h * fac, 1e-3);
       } else {
+        // s3dlint:allow(libm): 0-D reference reactor, outside the DNS step
         h *= std::clamp(0.9 * std::pow(errnorm, -0.25), 0.1, 0.5);
       }
     }

@@ -40,6 +40,7 @@ CaseSetup pressure_wave_case(int n, bool two_d) {
     s.T = 300.0;
     s.Y.fill(0.0);
     for (std::size_t i = 0; i < Y_air.size(); ++i) s.Y[i] = Y_air[i];
+    // s3dlint:allow(libm): init-only IC, one call site for all ranks
     const double r2 = std::pow(x - 0.5 * L, 2) + std::pow(y - 0.5 * L, 2) +
                       std::pow(z - 0.5 * L, 2);
     p = 101325.0 * (1.0 + 0.01 * std::exp(-r2 / std::pow(0.1 * L, 2)));
@@ -208,6 +209,7 @@ CaseSetup temporal_jet_case(const TemporalJetParams& prm) {
     for (std::size_t i = 0; i < Yf.size(); ++i)
       s.Y[i] = Yo[i] + (Yf[i] - Yo[i]) * f;
     // Counter-flowing streams; perturbations confined to the shear layers.
+    // s3dlint:allow(libm): init-only IC, one call site for all ranks
     const double shear =
         std::exp(-std::pow((std::abs(y) - 0.5 * prm.jet_h) / (2 * delta), 2));
     const auto up = turb->velocity(x, y, 0.0);

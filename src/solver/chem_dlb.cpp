@@ -198,6 +198,7 @@ void ChemDlb::host(const DlbTransfer& t) {
         host_Y_[static_cast<std::size_t>(c) * ns + s] = *w++;
       // Same double in, same libm out: bitwise identical to the ln T the
       // owner would have staged for this cell.
+      // s3dlint:allow(libm): mirrors the owner's staged one-log-per-cell
       host_lnT_[c] = std::log(host_T_[c]);
     }
     bchem_.production_rates_batch(chunk, host_T_.data(), host_lnT_.data(),

@@ -163,7 +163,7 @@ std::vector<std::pair<double, double>> plane_scatter(const GField& a,
   return out;
 }
 
-double rms_on_plane(const GField& f, const Layout& l, int i, int j0, int j1,
+double rms_on_plane(const GField& f, const Layout&, int i, int j0, int j1,
                     int k0, int k1) {
   double sum = 0.0, sum2 = 0.0;
   long n = 0;

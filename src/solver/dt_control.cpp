@@ -145,6 +145,8 @@ void DtController::observe(std::span<const double> local_err,
   // damps oscillation between shrink and regrow.
   for (std::size_t b = 0; b < ratio_.size(); ++b) {
     const double E = std::max(err[b], kErrFloor);
+    // s3dlint:allow(libm): PI controller on allreduced (rank-identical)
+    // errors; feeds dt selection, not field arithmetic.
     double fac = opt_.safety * std::pow(E, -(opt_.kI + opt_.kP)) *
                  std::pow(err_prev_[b], opt_.kP);
     fac = std::clamp(fac, kFacMin, kFacMax);

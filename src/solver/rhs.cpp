@@ -313,6 +313,7 @@ __attribute__((noinline)) void RhsEvaluator::compute_transport_point(
   const int ns = mech_->n_species();
   switch (cfg_.transport) {
     case TransportModel::power_law: {
+      // s3dlint:allow(libm): inside the shared noinline transport kernel
       mu = mu_ref_pl_ * std::pow(T / cfg_.T_ref, cfg_.visc_exp);
       lam = mu * cp / cfg_.Pr;
       const double alpha = lam / (rho * cp);
@@ -564,7 +565,7 @@ void RhsEvaluator::eval_diffusive_pointwise() {
   double X[chem::kMaxSpecies], Yp[chem::kMaxSpecies], D[chem::kMaxSpecies];
   for_interior(l_, [&](std::size_t n, int, int, int) {
     const double T = prim_.T.data()[n];
-    const double lnT = std::log(T);
+    const double lnT = std::log(T);  // s3dlint:allow(libm): THE one log(T)
     const double rho = prim_.rho.data()[n];
     const double Wbar = prim_.Wbar.data()[n];
     for (int s = 0; s < ns; ++s) {
@@ -609,7 +610,7 @@ void RhsEvaluator::eval_diffusive_batched() {
   pass.add("lnT", [Tf, lnTf](const RowRange& r) {
     for (int c = 0; c < r.count; ++c) {
       const std::size_t n = r.n0 + static_cast<std::size_t>(c);
-      lnTf[n] = std::log(Tf[n]);
+      lnTf[n] = std::log(Tf[n]);  // s3dlint:allow(libm): THE one log(T)
     }
   });
   pass.add("transport_props",
@@ -676,7 +677,7 @@ void RhsEvaluator::eval_chemistry(State& dUdt) {
       pass.add("lnT", [Tf, lnTf](const RowRange& r) {
         for (int c = 0; c < r.count; ++c) {
           const std::size_t n = r.n0 + static_cast<std::size_t>(c);
-          lnTf[n] = std::log(Tf[n]);
+          lnTf[n] = std::log(Tf[n]);  // s3dlint:allow(libm): one log(T)
         }
       });
     }

@@ -12,6 +12,7 @@ constexpr double kPi = 3.14159265358979323846;
 // von Karman-like energy spectrum shape (unnormalized): peaks near k_e.
 double spectrum_shape(double k, double k_e) {
   const double r = k / k_e;
+  // s3dlint:allow(libm): init-only synthetic-spectrum sampling
   return std::pow(r, 4) / std::pow(1.0 + r * r, 17.0 / 6.0);
 }
 }  // namespace
@@ -29,6 +30,7 @@ SyntheticTurbulence::SyntheticTurbulence(double u_rms, double length,
   for (auto& m : modes_) {
     // Log-uniform wavenumber magnitude spanning ~1.5 decades around k_e,
     // weighted by the spectrum so energy concentrates near k_e.
+    // s3dlint:allow(libm): init-only synthetic-spectrum sampling
     const double k_mag = k_e * std::pow(10.0, rng.uniform(-0.7, 0.8));
     const double amp = std::sqrt(spectrum_shape(k_mag, k_e));
 

@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <exception>
 #include <optional>
 #include <thread>
 
 #include "common/error.hpp"
+#include "common/hash.hpp"
 #include "resilience/fault.hpp"
 #include "trace/trace.hpp"
 
@@ -34,7 +36,8 @@ struct Request::State {
 
 struct Comm::Hub {
   explicit Hub(int n)
-      : nranks(n), boxes(n), slots(n, 0.0), vec_ptrs(n), blocked_site(n) {}
+      : nranks(n), boxes(n), slots(n, 0.0), vec_ptrs(n), coll_hash(n, 0),
+        coll_site(n), blocked_site(n) {}
 
   int nranks;
 
@@ -54,6 +57,11 @@ struct Comm::Hub {
   // Reduction scratch.
   std::vector<double> slots;
   std::vector<std::span<double>> vec_ptrs;
+
+  // --- Collective-order checker state (RunOptions::collective_check) ---
+  bool coll_check = false;
+  std::vector<std::uint64_t> coll_hash;  ///< published site ids, per rank
+  std::vector<std::string> coll_site;    ///< guarded by site_mu
 
   // --- Progress watchdog state (DESIGN.md "Resilience") ---
   // `progress` counts every communication event that can unblock a rank
@@ -282,9 +290,26 @@ void Comm::waitall(std::span<Request> reqs) {
   for (auto& r : reqs) wait(r);
 }
 
-void Comm::barrier() {
+void Comm::barrier(std::source_location loc) {
+  collective_check("barrier", loc);
+  barrier_body();
+}
+
+// The pre-refactor barrier(): fault probe + rendezvous. The allreduce
+// internals call this (not the public barrier) so their per-collective
+// vmpi.collective probe counts — which seeded fault schedules in the
+// resilience tier depend on — are unchanged, and so the checker's own
+// agreement barriers can't recurse into another check.
+void Comm::barrier_body() {
   if (auto a = fault::probe("vmpi.collective"))
     fault::apply(a, "vmpi.collective");
+  barrier_raw();
+}
+
+// Pure rendezvous: no fault probe, no checker. The collective-order
+// checker's agreement phases ride on this so arming the checker never
+// perturbs a seeded vmpi.collective fault schedule.
+void Comm::barrier_raw() {
   std::unique_lock<std::mutex> lk(hub_->bar_mu);
   hub_->check_abort();
   const std::uint64_t gen = hub_->bar_gen;
@@ -312,50 +337,105 @@ void Comm::barrier() {
   hub_->check_abort();
 }
 
-double Comm::allreduce_sum(double v) {
+// Pre-collective agreement on the call-site id (S3D_COLLECTIVE_CHECK).
+// Protocol: every rank publishes fnv1a64("<kind> at <file>:<line>"),
+// then two raw barriers bracket a snapshot read — the first makes every
+// publication visible before anyone compares, the second stops a fast
+// rank from re-publishing for its *next* collective while a slow rank is
+// still reading this round. On divergence every rank throws the same
+// CollectiveMismatchError naming the first differing pair of sites, so
+// the class of bug where rank 0 sits in a barrier while rank 1 entered
+// an allreduce surfaces as a typed error instead of a deadlock (or,
+// worse for same-shape collectives, silently paired wrong values).
+void Comm::collective_check(const char* kind, const std::source_location& loc) {
+  if (!hub_->coll_check) return;
+  const char* file = loc.file_name();
+  if (const char* slash = std::strrchr(file, '/')) file = slash + 1;
+  const std::string site = std::string(kind) + " at " + file + ":" +
+                           std::to_string(loc.line());
+  hub_->coll_hash[rank_] = fnv1a64(site.data(), site.size());
+  {
+    std::lock_guard<std::mutex> lk(hub_->site_mu);
+    hub_->coll_site[rank_] = site;
+  }
+  barrier_raw();  // all publications visible
+  bool mismatch = false;
+  for (int r = 1; r < size(); ++r)
+    if (hub_->coll_hash[r] != hub_->coll_hash[0]) mismatch = true;
+  std::vector<CollectiveMismatchError::Site> sites;
+  if (mismatch) {
+    std::lock_guard<std::mutex> lk(hub_->site_mu);
+    sites.reserve(hub_->nranks);
+    for (int r = 0; r < hub_->nranks; ++r)
+      sites.push_back({r, hub_->coll_site[r]});
+  }
+  barrier_raw();  // snapshots taken; publications may be reused
+  if (!mismatch) return;
+  int other = 0;
+  for (int r = 1; r < static_cast<int>(sites.size()); ++r)
+    if (sites[r].site != sites[0].site) {
+      other = r;
+      break;
+    }
+  if (rank_ == 0) trace::counter_add("vmpi.collective_mismatch", 1.0);
+  // Message built before the throw-expression: the sites vector is moved
+  // into the error, and function arguments are indeterminately sequenced.
+  const std::string what = "vmpi: collective mismatch: rank 0 entered " +
+                           sites[0].site + " while rank " +
+                           std::to_string(other) + " entered " +
+                           sites[other].site;
+  throw CollectiveMismatchError(what, std::move(sites));
+}
+
+double Comm::allreduce_sum(double v, std::source_location loc) {
+  collective_check("allreduce_sum", loc);
   hub_->slots[rank_] = v;
-  barrier();
+  barrier_body();
   double s = 0.0;
   for (int r = 0; r < size(); ++r) s += hub_->slots[r];
-  barrier();
+  barrier_body();
   return s;
 }
 
-double Comm::allreduce_max(double v) {
+double Comm::allreduce_max(double v, std::source_location loc) {
+  collective_check("allreduce_max", loc);
   hub_->slots[rank_] = v;
-  barrier();
+  barrier_body();
   double s = hub_->slots[0];
   for (int r = 1; r < size(); ++r) s = std::max(s, hub_->slots[r]);
-  barrier();
+  barrier_body();
   return s;
 }
 
-double Comm::allreduce_min(double v) {
+double Comm::allreduce_min(double v, std::source_location loc) {
+  collective_check("allreduce_min", loc);
   hub_->slots[rank_] = v;
-  barrier();
+  barrier_body();
   double s = hub_->slots[0];
   for (int r = 1; r < size(); ++r) s = std::min(s, hub_->slots[r]);
-  barrier();
+  barrier_body();
   return s;
 }
 
-void Comm::allreduce_sum(std::span<double> v) {
+void Comm::allreduce_sum(std::span<double> v, std::source_location loc) {
+  collective_check("allreduce_sum[]", loc);
   hub_->vec_ptrs[rank_] = v;
-  barrier();
+  barrier_body();
   std::vector<double> acc(v.size(), 0.0);
   for (int r = 0; r < size(); ++r) {
     const auto& src = hub_->vec_ptrs[r];
     S3D_REQUIRE(src.size() == v.size(), "allreduce_sum: size mismatch");
     for (std::size_t i = 0; i < v.size(); ++i) acc[i] += src[i];
   }
-  barrier();  // everyone has read all inputs
+  barrier_body();  // everyone has read all inputs
   std::copy(acc.begin(), acc.end(), v.begin());
-  barrier();
+  barrier_body();
 }
 
-void Comm::allreduce_max(std::span<double> v) {
+void Comm::allreduce_max(std::span<double> v, std::source_location loc) {
+  collective_check("allreduce_max[]", loc);
   hub_->vec_ptrs[rank_] = v;
-  barrier();
+  barrier_body();
   std::vector<double> acc(v.begin(), v.end());
   for (int r = 0; r < size(); ++r) {
     const auto& src = hub_->vec_ptrs[r];
@@ -363,14 +443,15 @@ void Comm::allreduce_max(std::span<double> v) {
     for (std::size_t i = 0; i < v.size(); ++i)
       acc[i] = std::max(acc[i], src[i]);
   }
-  barrier();  // everyone has read all inputs
+  barrier_body();  // everyone has read all inputs
   std::copy(acc.begin(), acc.end(), v.begin());
-  barrier();
+  barrier_body();
 }
 
-void Comm::allreduce_min(std::span<double> v) {
+void Comm::allreduce_min(std::span<double> v, std::source_location loc) {
+  collective_check("allreduce_min[]", loc);
   hub_->vec_ptrs[rank_] = v;
-  barrier();
+  barrier_body();
   std::vector<double> acc(v.begin(), v.end());
   for (int r = 0; r < size(); ++r) {
     const auto& src = hub_->vec_ptrs[r];
@@ -378,9 +459,9 @@ void Comm::allreduce_min(std::span<double> v) {
     for (std::size_t i = 0; i < v.size(); ++i)
       acc[i] = std::min(acc[i], src[i]);
   }
-  barrier();  // everyone has read all inputs
+  barrier_body();  // everyone has read all inputs
   std::copy(acc.begin(), acc.end(), v.begin());
-  barrier();
+  barrier_body();
 }
 
 void run(int nranks, const std::function<void(Comm&)>& fn,
@@ -388,6 +469,10 @@ void run(int nranks, const std::function<void(Comm&)>& fn,
   S3D_REQUIRE(nranks >= 1, "need at least one rank");
   auto hub = std::make_shared<Comm::Hub>(nranks);
   hub->watchdog_s = opts.watchdog_s;
+  hub->coll_check = opts.collective_check;
+  if (const char* e = std::getenv("S3D_COLLECTIVE_CHECK");
+      e && std::strcmp(e, "0") != 0)
+    hub->coll_check = true;
   std::vector<std::thread> threads;
   std::mutex err_mu;
   std::exception_ptr first_error;

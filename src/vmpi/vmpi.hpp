@@ -19,6 +19,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <source_location>
 #include <span>
 #include <string>
 #include <vector>
@@ -49,6 +50,30 @@ class DeadlockError : public Error {
   std::vector<BlockedRank> ranks_;
 };
 
+/// Thrown on every rank under the S3D_COLLECTIVE_CHECK debug mode when
+/// ranks enter *different* collectives: before performing any collective,
+/// each rank publishes a call-site id (kind + file:line, hashed) and all
+/// ranks agree on it; a mismatch — the class of bug where rank 0 is in a
+/// barrier while rank 1 is in an allreduce, which otherwise deadlocks or
+/// silently pairs wrong values — becomes this typed error naming both
+/// call sites. The static complement is s3dlint's collective-rank rule
+/// (DESIGN.md §14).
+class CollectiveMismatchError : public Error {
+ public:
+  struct Site {
+    int rank = 0;
+    std::string site;  ///< "kind at file:line"
+  };
+
+  CollectiveMismatchError(const std::string& what, std::vector<Site> sites)
+      : Error(what), sites_(std::move(sites)) {}
+  /// Per-rank entered call sites (every rank, not only the mismatched pair).
+  const std::vector<Site>& sites() const { return sites_; }
+
+ private:
+  std::vector<Site> sites_;
+};
+
 /// Thrown on surviving ranks when a peer rank's body exits with an
 /// exception: peers are cleanly unblocked out of waits and collectives
 /// instead of stranding. run() still rethrows the *original* failure.
@@ -70,6 +95,12 @@ struct RunOptions {
   /// many seconds, the run throws DeadlockError instead of hanging.
   /// 0 disables the watchdog.
   double watchdog_s = 30.0;
+  /// Collective-order checker: every collective first agrees on its
+  /// call-site id across ranks; a mismatch throws CollectiveMismatchError
+  /// naming both sites instead of deadlocking. Costs two extra internal
+  /// barriers per collective — a debug mode, not a production default.
+  /// Also enabled by the S3D_COLLECTIVE_CHECK environment variable.
+  bool collective_check = false;
 };
 
 /// Handle for a pending non-blocking operation.
@@ -118,25 +149,47 @@ class Comm {
   void waitall(std::span<Request> reqs);
 
   // --- Collectives ---
+  //
+  // The defaulted source_location is the collective-order checker's
+  // call-site id (see RunOptions::collective_check): callers never pass
+  // it, the compiler stamps the caller's file:line automatically.
 
-  void barrier();
-  double allreduce_sum(double v);
-  double allreduce_max(double v);
-  double allreduce_min(double v);
+  void barrier(std::source_location loc = std::source_location::current());
+  double allreduce_sum(
+      double v, std::source_location loc = std::source_location::current());
+  double allreduce_max(
+      double v, std::source_location loc = std::source_location::current());
+  double allreduce_min(
+      double v, std::source_location loc = std::source_location::current());
   /// Element-wise sum-reduction of a vector across ranks (in place).
-  void allreduce_sum(std::span<double> v);
+  void allreduce_sum(
+      std::span<double> v,
+      std::source_location loc = std::source_location::current());
   /// Element-wise max/min reductions of a vector across ranks (in place).
   /// One collective for a whole verdict vector: the health sentinel packs
   /// (severity, metric, -dt_suggest, ...) into a single allreduce_max so
   /// every rank derives the identical verdict from identical numbers.
-  void allreduce_max(std::span<double> v);
-  void allreduce_min(std::span<double> v);
+  void allreduce_max(
+      std::span<double> v,
+      std::source_location loc = std::source_location::current());
+  void allreduce_min(
+      std::span<double> v,
+      std::source_location loc = std::source_location::current());
 
  private:
   friend void run(int, const std::function<void(Comm&)>&,
                   const RunOptions&);
   struct Hub;
   Comm(int rank, std::shared_ptr<Hub> hub);
+  /// Pre-collective agreement on the call-site id (no-op unless the
+  /// checker is armed). Throws CollectiveMismatchError on divergence.
+  void collective_check(const char* kind, const std::source_location& loc);
+  /// The barrier body without the checker prologue (fault probe +
+  /// rendezvous) — used by the allreduce internals so their probe/check
+  /// counts stay unchanged.
+  void barrier_body();
+  /// Pure rendezvous (no fault probe): the checker's agreement phases.
+  void barrier_raw();
   int rank_ = 0;
   std::shared_ptr<Hub> hub_;
 };

@@ -1,0 +1,38 @@
+// s3dlint fixture: vmpi collectives under rank-conditional branches.
+struct Comm {
+  int rank() const;
+  void barrier();
+  double allreduce_sum(double v);
+};
+
+void bad_braced(Comm& comm, int rank) {
+  if (rank == 0) {
+    comm.barrier();  // finding: only rank 0 reaches this
+  }
+}
+
+void bad_unbraced(Comm& comm, int rank) {
+  if (rank != 0) comm.allreduce_sum(1.0);  // finding: unbraced body
+}
+
+void bad_else(Comm& comm, int my_rank) {
+  if (my_rank == 0) {
+    volatile int x = 1;
+    (void)x;
+  } else {
+    comm.barrier();  // finding: the else of a rank-conditional if
+  }
+}
+
+void good_hoisted(Comm& comm, int rank) {
+  double local = 0.0;
+  if (rank == 0) local = 1.0;     // rank-conditional *value* is fine
+  comm.allreduce_sum(local);      // collective outside the branch: clean
+}
+
+void good_waived(Comm& comm, int rank) {
+  if (rank == 0) {
+    // s3dlint:allow(collective-rank): fixture — waived reference site
+    comm.barrier();
+  }
+}

@@ -1,0 +1,9 @@
+// s3dlint fixture: the same kernel with the noinline attribute stripped —
+// the exact regression the registry rule exists to catch.
+static void fixture_row(const double* in, double* out, int n) {
+  for (int i = 0; i < n; ++i) out[i] = in[i] * 2.0;
+}
+
+void fixture_row_caller(const double* in, double* out, int n) {
+  fixture_row(in, out, n);
+}

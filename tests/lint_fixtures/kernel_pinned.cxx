@@ -1,0 +1,10 @@
+// s3dlint fixture: a registered shared row kernel that still carries the
+// noinline pin (the compliant shape).
+__attribute__((noinline)) static void fixture_row(const double* in,
+                                                  double* out, int n) {
+  for (int i = 0; i < n; ++i) out[i] = in[i] * 2.0;
+}
+
+void fixture_row_caller(const double* in, double* out, int n) {
+  fixture_row(in, out, n);  // call sites don't need the attribute
+}

@@ -1,0 +1,5 @@
+// s3dlint fixture: mentions of exp/log in comments and strings must NOT
+// fire — the lexer keeps prose out of the token stream. Use std::exp here.
+const char* kDoc = "call std::log(T) once per cell; pow() is banned";
+/* block comment: exp( log( pow( */
+double clean(double T) { return T * T; }

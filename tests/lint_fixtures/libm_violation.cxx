@@ -1,0 +1,27 @@
+// s3dlint fixture: libm transcendentals outside a whitelisted TU.
+// Scanned by test_s3dlint.cpp under the fake path src/solver/fixture.cpp;
+// the .cxx extension keeps the real lint walk (and the build) away.
+#include <cmath>
+
+double rate_wrong(double T) {
+  return std::exp(-1.0 / T);  // finding: exp outside a shared kernel
+}
+
+double stray_log(double T) { return std::log(T); }  // finding: log
+
+template <class T>
+double member_call_is_fine(T& obj, T* p) {
+  return obj.exp(2.0) + p->pow(2.0);  // member calls: no finding
+}
+
+double waived_site(double T) {
+  // s3dlint:allow(libm): fixture — deliberately waived reference site
+  return std::pow(T, 1.5);
+}
+
+double multi_line_waived(double T) {
+  // s3dlint:allow(libm): standalone waiver reaches the call two lines down
+  const double f =
+      std::exp(T);
+  return f;
+}

@@ -1,0 +1,12 @@
+// s3dlint fixture: unordered containers in a deterministic planning path.
+// (No #includes: the token rule would fire on the header names themselves,
+// and fixtures are lexed, never compiled.)
+
+struct Plan {
+  std::unordered_map<int, double> cost;  // finding: iteration-order hazard
+  std::unordered_set<int> owners;        // finding
+  std::map<int, double> fine;            // ordered: no finding
+};
+
+// s3dlint:allow(unordered): fixture — waived reference site
+std::unordered_map<int, int> waived_cache;

@@ -1,0 +1,10 @@
+// s3dlint fixture: the "src side" of the registry cross-reference —
+// defines the dotted names the fixture test file may reference.
+void counters() {
+  const char* a = "health.fixture_rollbacks";
+  const char* b = "ckpt.fixture.bytes";
+  const char* c = "chem.fixture.batch_cells";
+  (void)a;
+  (void)b;
+  (void)c;
+}

@@ -1,0 +1,18 @@
+// s3dlint fixture: the "tests side" of the registry cross-reference.
+void refs() {
+  const char* ok = "health.fixture_rollbacks";       // defined: clean
+  const char* prefix = "ckpt.fixture.";              // concat base: clean
+  const char* typo = "health.fixture_rollbacksx";    // finding: typo'd
+  const char* missing = "chem.fixture.never_defined";  // finding
+  const char* file_like = "ckpt.fixture.rst";        // skip_ext: clean
+  const char* plain = "not a registry name";         // shape: clean
+  // s3dlint:allow(xref): fixture — waived reference site
+  const char* waived = "health.fixture_waived_name";
+  (void)ok;
+  (void)prefix;
+  (void)typo;
+  (void)missing;
+  (void)file_like;
+  (void)plain;
+  (void)waived;
+}

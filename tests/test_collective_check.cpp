@@ -1,0 +1,190 @@
+// Collective-order checker (vmpi, S3D_COLLECTIVE_CHECK / DESIGN.md §14).
+//
+// The bitwise contract requires every rank to execute the identical
+// collective sequence. The checker turns a violation — rank 0 in a
+// barrier while rank 1 entered an allreduce — into a typed
+// CollectiveMismatchError naming both call sites, instead of a deadlock
+// (or silently mis-paired reduction values when the shapes happen to
+// agree). These tests pin: the typed error and its site report, that
+// matched sequences pass through the checker unperturbed (identical
+// reduction results), the environment-variable arming path, and that
+// "0" disarms it.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "vmpi/vmpi.hpp"
+
+namespace vmpi = s3d::vmpi;
+
+namespace {
+
+/// RAII setenv/unsetenv so a failing assertion can't leak the variable
+/// into later tests (the checker reads it at every vmpi::run entry).
+struct ScopedEnv {
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() { ::unsetenv(name_); }
+  const char* name_;
+};
+
+vmpi::RunOptions checked() {
+  vmpi::RunOptions opts;
+  opts.collective_check = true;
+  return opts;
+}
+
+}  // namespace
+
+TEST(CollectiveCheck, MismatchThrowsTypedErrorNamingBothSites) {
+  try {
+    vmpi::run(
+        2,
+        [](vmpi::Comm& comm) {
+          if (comm.rank() == 0)
+            comm.barrier();
+          else
+            comm.allreduce_sum(1.0);
+        },
+        checked());
+    FAIL() << "mismatched collectives must not complete";
+  } catch (const vmpi::CollectiveMismatchError& e) {
+    const std::string what = e.what();
+    // The message names both entered call sites, kind + file:line.
+    EXPECT_NE(what.find("barrier at test_collective_check.cpp:"),
+              std::string::npos)
+        << what;
+    EXPECT_NE(what.find("allreduce_sum at test_collective_check.cpp:"),
+              std::string::npos)
+        << what;
+    // And the structured report covers every rank.
+    ASSERT_EQ(e.sites().size(), 2u);
+    EXPECT_EQ(e.sites()[0].rank, 0);
+    EXPECT_NE(e.sites()[0].site.find("barrier"), std::string::npos);
+    EXPECT_EQ(e.sites()[1].rank, 1);
+    EXPECT_NE(e.sites()[1].site.find("allreduce_sum"), std::string::npos);
+  }
+}
+
+TEST(CollectiveCheck, SameKindDifferentCallSiteIsAMismatch) {
+  // Same collective *kind* from different source lines is still a
+  // sequence divergence: the ranks are not executing the same program
+  // point, which is exactly the bug class that silently pairs wrong
+  // values when the shapes happen to agree.
+  try {
+    vmpi::run(
+        2,
+        [](vmpi::Comm& comm) {
+          if (comm.rank() == 0) {
+            comm.allreduce_max(1.0);
+          } else {
+            comm.allreduce_max(2.0);
+          }
+        },
+        checked());
+    FAIL() << "divergent call sites must not complete";
+  } catch (const vmpi::CollectiveMismatchError& e) {
+    ASSERT_EQ(e.sites().size(), 2u);
+    EXPECT_NE(e.sites()[0].site, e.sites()[1].site);
+  }
+}
+
+TEST(CollectiveCheck, MatchedSequencePassesAndValuesAreExact) {
+  // A matched program must pass through the armed checker with bitwise
+  // identical reduction results on every rank.
+  constexpr int kRanks = 4;
+  std::vector<double> sums(kRanks), maxs(kRanks), mins(kRanks);
+  vmpi::run(
+      kRanks,
+      [&](vmpi::Comm& comm) {
+        const int me = comm.rank();
+        comm.barrier();
+        sums[me] = comm.allreduce_sum(static_cast<double>(me + 1));
+        maxs[me] = comm.allreduce_max(static_cast<double>(me));
+        std::vector<double> v = {static_cast<double>(me), 10.0 - me};
+        comm.allreduce_min(std::span<double>(v));
+        mins[me] = v[0] + v[1];
+        comm.barrier();
+      },
+      checked());
+  for (int r = 0; r < kRanks; ++r) {
+    EXPECT_EQ(sums[r], 10.0);
+    EXPECT_EQ(maxs[r], 3.0);
+    EXPECT_EQ(mins[r], 0.0 + (10.0 - (kRanks - 1)));
+  }
+}
+
+TEST(CollectiveCheck, SingleDivergentRankIsNamedInTheReport) {
+  // Four ranks, one strays: the report carries all four sites so the
+  // divergent rank is identifiable without re-running.
+  try {
+    vmpi::run(
+        4,
+        [](vmpi::Comm& comm) {
+          if (comm.rank() == 2)
+            comm.allreduce_min(0.0);
+          else
+            comm.barrier();
+        },
+        checked());
+    FAIL() << "mismatched collectives must not complete";
+  } catch (const vmpi::CollectiveMismatchError& e) {
+    ASSERT_EQ(e.sites().size(), 4u);
+    int divergent = 0;
+    for (const auto& s : e.sites())
+      if (s.site.find("allreduce_min") != std::string::npos) {
+        ++divergent;
+        EXPECT_EQ(s.rank, 2);
+      }
+    EXPECT_EQ(divergent, 1);
+  }
+}
+
+TEST(CollectiveCheck, EnvVarArmsTheChecker) {
+  ScopedEnv env("S3D_COLLECTIVE_CHECK", "1");
+  EXPECT_THROW(vmpi::run(2,
+                         [](vmpi::Comm& comm) {
+                           if (comm.rank() == 0)
+                             comm.barrier();
+                           else
+                             comm.allreduce_sum(1.0);
+                         }),
+               vmpi::CollectiveMismatchError);
+}
+
+TEST(CollectiveCheck, EnvVarZeroLeavesCheckerDisarmed) {
+  // "0" must read as off — and with the checker off, a *matched*
+  // sequence runs with zero checker barriers (the disarmed path is the
+  // production default; this also guards the env parse).
+  ScopedEnv env("S3D_COLLECTIVE_CHECK", "0");
+  double sum = 0.0;
+  vmpi::run(2, [&](vmpi::Comm& comm) {
+    const double s = comm.allreduce_sum(1.0);
+    if (comm.rank() == 0) sum = s;
+  });
+  EXPECT_EQ(sum, 2.0);
+}
+
+TEST(CollectiveCheck, CheckerOffMismatchedShapesStillDeadlockViaWatchdog) {
+  // Contrast case: without the checker the same bug is only caught by
+  // the (slow, site-blind) progress watchdog as a DeadlockError. This
+  // pins the "before" behavior the checker improves on, with a short
+  // watchdog so the tier stays fast.
+  vmpi::RunOptions opts;
+  opts.watchdog_s = 0.2;
+  EXPECT_THROW(vmpi::run(2,
+                         [](vmpi::Comm& comm) {
+                           if (comm.rank() == 0) {
+                             comm.barrier();
+                             comm.barrier();
+                           } else {
+                             comm.barrier();
+                           }
+                         },
+                         opts),
+               vmpi::DeadlockError);
+}

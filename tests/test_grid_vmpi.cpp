@@ -238,8 +238,12 @@ TEST(Vmpi, CartTopologyNeighbors) {
     // x periodic with px=2: both x-neighbours are the same partner rank.
     EXPECT_EQ(cart.neighbor(0, -1), cart.neighbor(0, +1));
     // y non-periodic: coordinate 0 has no -y neighbour.
-    if (co[1] == 0) EXPECT_EQ(cart.neighbor(1, -1), -1);
-    if (co[1] == 1) EXPECT_EQ(cart.neighbor(1, +1), -1);
+    if (co[1] == 0) {
+      EXPECT_EQ(cart.neighbor(1, -1), -1);
+    }
+    if (co[1] == 1) {
+      EXPECT_EQ(cart.neighbor(1, +1), -1);
+    }
   });
 }
 

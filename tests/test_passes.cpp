@@ -485,6 +485,24 @@ TEST(GuardedFusion, BlowupRecoveryFusedMatchesUnfusedAcrossRanks) {
     EXPECT_EQ(got.steps, ref.steps);
     EXPECT_EQ(got.rollbacks, ref.rollbacks);
   }
+}
+
+// The cross-build half of the scenario, split out so the sanitizer lanes
+// can run the (within-build) fusion/decomposition contract above at full
+// strength. Root cause of the split: the committed golden record pins the
+// *default* build's FP codegen, and sanitizer instrumentation perturbs
+// instruction selection/contraction enough to change the recovered
+// trajectory's bits. That is an artifact of comparing across builds — the
+// bitwise contract is per-build — so under a sanitizer this one
+// comparison (and only it) is skipped rather than excluding the whole
+// recovery test from the lane.
+TEST(GuardedFusion, BlowupRecoveryMatchesGoldenRecord) {
+#ifdef S3D_SANITIZER_LANE
+  GTEST_SKIP() << "golden records pin the default build's FP codegen; "
+                  "sanitizer instrumentation changes it (see comment)";
+#endif
+  const auto ref = run_guarded_case(/*fusion=*/false, 1, 1, 1);
+  ASSERT_GT(ref.rollbacks, 0) << "case must actually breach and recover";
 
   // The committed golden record (recorded from the unfused seed) pins the
   // same scenario: the recovered fields must still hash to it.

@@ -1,0 +1,251 @@
+// s3dlint rule-efficacy suite (ctest -L lint, DESIGN.md §14).
+//
+// The clean-tree gate (lint.clean_tree) proves HEAD has zero findings —
+// but a lint that finds nothing could also be a lint that *checks*
+// nothing. These tests drive every rule over seeded-violation fixtures
+// in tests/lint_fixtures/ (extension .cxx so the real lint walk and the
+// build both ignore them) and assert each rule fires at the seeded lines,
+// stays quiet on the compliant shapes, and honors waiver comments.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "rules.hpp"
+
+namespace {
+
+using s3dlint::Config;
+using s3dlint::FileScan;
+using s3dlint::Finding;
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture: " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Lex a fixture file from tests/lint_fixtures/, presenting it to the
+/// rules under a fake repo-relative path (scope decisions key on paths).
+FileScan scan_fixture(const std::string& fixture, const std::string& as_path) {
+  const std::string dir = S3DLINT_FIXTURE_DIR;
+  return s3dlint::scan_file(as_path, slurp(dir + "/" + fixture));
+}
+
+std::vector<int> lines_of(const std::vector<Finding>& fs,
+                          const std::string& rule) {
+  std::vector<int> out;
+  for (const auto& f : fs)
+    if (f.rule == rule) out.push_back(f.line);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// The libm rule config shared by the fixture tests.
+Config libm_cfg() {
+  Config cfg;
+  cfg.libm_fns = {"exp", "log", "pow"};
+  cfg.libm_scope = {"src/"};
+  cfg.libm_tus = {"src/chem/thermo"};
+  return cfg;
+}
+
+}  // namespace
+
+TEST(S3dlintConfig, ParsesKeysAndRejectsUnknown) {
+  Config cfg;
+  std::string err;
+  ASSERT_TRUE(s3dlint::parse_config(
+      "# comment\n"
+      "libm_fn exp log\n"
+      "libm_scope src/solver\n"
+      "kernel src/solver/solver.cpp rk_axpy_row\n"
+      "xref_prefix health.\n",
+      &cfg, &err))
+      << err;
+  EXPECT_EQ(cfg.libm_fns.size(), 2u);
+  ASSERT_EQ(cfg.kernels.size(), 1u);
+  EXPECT_EQ(cfg.kernels[0].name, "rk_axpy_row");
+
+  Config bad;
+  EXPECT_FALSE(s3dlint::parse_config("no_such_key 1\n", &bad, &err));
+  EXPECT_NE(err.find("unknown key"), std::string::npos);
+  EXPECT_FALSE(s3dlint::parse_config("kernel only_one_value\n", &bad, &err));
+}
+
+TEST(S3dlintConfig, CommittedConfigParses) {
+  Config cfg;
+  std::string err;
+  const std::string root = S3DLINT_SOURCE_ROOT;
+  ASSERT_TRUE(s3dlint::parse_config(
+      slurp(root + "/tools/s3dlint/s3dlint.conf"), &cfg, &err))
+      << err;
+  // The registry must keep real teeth: shared kernels and the core
+  // rule inputs are present.
+  EXPECT_GE(cfg.kernels.size(), 10u);
+  EXPECT_TRUE(cfg.libm_fns.count("exp"));
+  EXPECT_TRUE(cfg.libm_fns.count("log"));
+  EXPECT_TRUE(cfg.libm_fns.count("pow"));
+  EXPECT_FALSE(cfg.xref_prefixes.empty());
+  EXPECT_TRUE(cfg.collective_fns.count("barrier"));
+}
+
+TEST(S3dlintLibm, FiresOnSeededCallsHonorsWaiversSkipsMembers) {
+  const auto f = scan_fixture("libm_violation.cxx", "src/solver/fixture.cpp");
+  const auto findings = rule_libm(libm_cfg(), f);
+  // Exactly the two seeded sites: the bare exp and the bare log. The
+  // member calls, the trailing waiver, and the standalone waiver
+  // covering a multi-line statement all stay quiet.
+  EXPECT_EQ(lines_of(findings, "libm"), (std::vector<int>{7, 10}));
+  for (const auto& fd : findings) EXPECT_EQ(fd.file, "src/solver/fixture.cpp");
+}
+
+TEST(S3dlintLibm, WhitelistedTuAndOutOfScopePathsAreExempt) {
+  // Same content, presented as the whitelisted shared-kernel TU: clean.
+  const auto tu = scan_fixture("libm_violation.cxx", "src/chem/thermo.cpp");
+  EXPECT_TRUE(rule_libm(libm_cfg(), tu).empty());
+  // And outside the scanned scope entirely (tests/): clean.
+  const auto t = scan_fixture("libm_violation.cxx", "tests/fixture.cpp");
+  EXPECT_TRUE(rule_libm(libm_cfg(), t).empty());
+}
+
+TEST(S3dlintLibm, ProseAndStringsNeverFire) {
+  const auto f = scan_fixture("libm_prose.cxx", "src/solver/prose.cpp");
+  EXPECT_TRUE(rule_libm(libm_cfg(), f).empty());
+}
+
+TEST(S3dlintUnordered, FiresOnContainersHonorsWaiver) {
+  Config cfg;
+  cfg.unordered_scope = {"src/solver"};
+  cfg.unordered_types = {"unordered_map", "unordered_set"};
+  const auto f =
+      scan_fixture("unordered_violation.cxx", "src/solver/plan.cpp");
+  const auto findings = rule_unordered(cfg, f);
+  // The two container members fire; std::map and the waived global don't.
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].rule, "unordered");
+  EXPECT_NE(findings[0].message.find("unordered_map"), std::string::npos);
+  EXPECT_NE(findings[1].message.find("unordered_set"), std::string::npos);
+  // Out of scope: clean.
+  const auto t =
+      scan_fixture("unordered_violation.cxx", "src/trace/plan.cpp");
+  EXPECT_TRUE(rule_unordered(cfg, t).empty());
+}
+
+TEST(S3dlintCollectiveRank, FlagsBracedUnbracedAndElseBodies) {
+  Config cfg;
+  cfg.collective_scope = {"src/"};
+  cfg.collective_fns = {"barrier", "allreduce_sum"};
+  cfg.rank_idents = {"rank", "my_rank"};
+  const auto f = scan_fixture("collective_rank_violation.cxx",
+                              "src/solver/coll.cpp");
+  const auto findings = rule_collective_rank(cfg, f);
+  // Three seeded shapes fire: braced if, unbraced if, else branch. The
+  // hoisted collective and the waived site stay quiet.
+  ASSERT_EQ(findings.size(), 3u);
+  EXPECT_NE(findings[0].message.find("barrier"), std::string::npos);
+  EXPECT_NE(findings[1].message.find("allreduce_sum"), std::string::npos);
+  EXPECT_NE(findings[2].message.find("barrier"), std::string::npos);
+}
+
+TEST(S3dlintNoinline, PinnedKernelPassesStrippedKernelFails) {
+  Config cfg;
+  cfg.kernels = {{"src/solver/kern.cpp", "fixture_row"}};
+  {
+    const auto f = scan_fixture("kernel_pinned.cxx", "src/solver/kern.cpp");
+    EXPECT_TRUE(rule_noinline_kernels(cfg, {f}).empty());
+  }
+  {
+    const auto f = scan_fixture("kernel_lost.cxx", "src/solver/kern.cpp");
+    const auto findings = rule_noinline_kernels(cfg, {f});
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "noinline-kernel");
+    EXPECT_NE(findings[0].message.find("noinline"), std::string::npos);
+    EXPECT_NE(findings[0].message.find("fixture_row"), std::string::npos);
+  }
+}
+
+TEST(S3dlintNoinline, MissingFileAndRenamedKernelAreReported) {
+  Config cfg;
+  cfg.kernels = {{"src/solver/gone.cpp", "fixture_row"},
+                 {"src/solver/kern.cpp", "renamed_row"}};
+  const auto f = scan_fixture("kernel_pinned.cxx", "src/solver/kern.cpp");
+  const auto findings = rule_noinline_kernels(cfg, {f});
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_NE(findings[0].message.find("not found"), std::string::npos);
+  EXPECT_NE(findings[1].message.find("not found"), std::string::npos);
+}
+
+TEST(S3dlintXref, TestReferencedNamesMustExistInSrc) {
+  Config cfg;
+  cfg.xref_prefixes = {"health.", "ckpt.", "chem."};
+  cfg.xref_skip_ext = {"rst"};
+  const auto src = scan_fixture("xref_src.cxx", "src/trace/counters.cpp");
+  const auto tst = scan_fixture("xref_test.cxx", "tests/test_fixture.cpp");
+  const auto findings = rule_xref(cfg, {src, tst});
+  // Exactly the typo'd counter and the never-defined name fire; the
+  // defined name, the concatenation base, the file-extension literal,
+  // the non-dotted string, and the waived name stay quiet.
+  ASSERT_EQ(findings.size(), 2u);
+  // s3dlint:allow(xref): deliberately-undefined fixture names under test
+  EXPECT_NE(findings[0].message.find("health.fixture_rollbacksx"),
+            std::string::npos);
+  // s3dlint:allow(xref): deliberately-undefined fixture names under test
+  EXPECT_NE(findings[1].message.find("chem.fixture.never_defined"),
+            std::string::npos);
+  for (const auto& fd : findings) EXPECT_EQ(fd.rule, "xref");
+}
+
+TEST(S3dlintXref, ExtraAllowlistCoversBuiltNames) {
+  Config cfg;
+  cfg.xref_prefixes = {"chem."};
+  // s3dlint:allow(xref): deliberately-undefined fixture name under test
+  cfg.xref_extra = {"chem.fixture.never_defined"};
+  const auto tst = scan_fixture("xref_test.cxx", "tests/test_fixture.cpp");
+  EXPECT_TRUE(rule_xref(cfg, {tst}).empty());
+}
+
+TEST(S3dlintWaivers, TrailingCoversNextLineStandaloneCoversThree) {
+  const auto f = s3dlint::scan_file(
+      "src/x.cpp",
+      "int a; // s3dlint:allow(libm): trailing\n"   // line 1
+      "int b;\n"                                    // line 2: covered
+      "int c;\n"                                    // line 3: not covered
+      "// s3dlint:allow(unordered): standalone\n"   // line 4
+      "int d;\n"                                    // 5: covered
+      "int e;\n"                                    // 6: covered
+      "int g;\n"                                    // 7: covered
+      "int h;\n");                                  // 8: not covered
+  EXPECT_TRUE(s3dlint::waived(f, "libm", 1));
+  EXPECT_TRUE(s3dlint::waived(f, "libm", 2));
+  EXPECT_FALSE(s3dlint::waived(f, "libm", 3));
+  EXPECT_FALSE(s3dlint::waived(f, "unordered", 3));
+  EXPECT_TRUE(s3dlint::waived(f, "unordered", 5));
+  EXPECT_TRUE(s3dlint::waived(f, "unordered", 7));
+  EXPECT_FALSE(s3dlint::waived(f, "unordered", 8));
+  // A waiver for one rule never silences another.
+  EXPECT_FALSE(s3dlint::waived(f, "unordered", 2));
+}
+
+TEST(S3dlintRunRules, AggregatesAndSortsFindings) {
+  Config cfg = libm_cfg();
+  cfg.unordered_scope = {"src/solver"};
+  cfg.unordered_types = {"unordered_map", "unordered_set"};
+  const auto a = scan_fixture("libm_violation.cxx", "src/solver/fixture.cpp");
+  const auto b =
+      scan_fixture("unordered_violation.cxx", "src/solver/plan.cpp");
+  const auto findings = s3dlint::run_rules(cfg, {b, a});
+  ASSERT_EQ(findings.size(), 4u);
+  // Sorted by file then line regardless of scan order.
+  EXPECT_TRUE(std::is_sorted(
+      findings.begin(), findings.end(), [](const Finding& x, const Finding& y) {
+        return std::tie(x.file, x.line) < std::tie(y.file, y.line);
+      }));
+  EXPECT_EQ(findings[0].file, "src/solver/fixture.cpp");
+}

@@ -46,16 +46,6 @@ void quiescent_air(double, double, double, sv::InflowState& s, double& p) {
   p = 101325.0;
 }
 
-double total_mass(sv::Solver& s) {
-  const auto& l = s.layout();
-  double m = 0.0;
-  for (int k = 0; k < l.nz; ++k)
-    for (int j = 0; j < l.ny; ++j)
-      for (int i = 0; i < l.nx; ++i)
-        m += s.state().at(sv::UIndex::rho, i, j, k);
-  return m;
-}
-
 }  // namespace
 
 TEST(SolverBasic, QuiescentStateStaysQuiescent) {

@@ -181,10 +181,12 @@ TEST_F(WorkflowTest, MorphCombinesGroups) {
   wf::MorphActor m("m", 3, base_ / "out");
   Sink s;
   m.connect("out", s);
-  for (int i = 0; i < 7; ++i)
-    m.in("in").push(
-        wf::Token(file("p" + std::to_string(i) + ".bin", "piece" +
-                       std::to_string(i)).string()));
+  for (int i = 0; i < 7; ++i) {
+    const std::string n = std::to_string(i);
+    const std::string name = "p" + n + ".bin";
+    const std::string body = "piece" + n;
+    m.in("in").push(wf::Token(file(name, body).string()));
+  }
   wf::Workflow g("t");
   g.add(&m);
   g.add(&s);

@@ -1,0 +1,173 @@
+#include "lexer.hpp"
+
+#include <cctype>
+
+namespace s3dlint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Parse waiver comments out of a comment body: `s3dlint:allow(a,b)`.
+void parse_waiver(const std::string& comment, int line, FileScan& out) {
+  const std::string key = "s3dlint:allow(";
+  auto pos = comment.find(key);
+  if (pos == std::string::npos) return;
+  pos += key.size();
+  const auto end = comment.find(')', pos);
+  if (end == std::string::npos) return;
+  std::string rules = comment.substr(pos, end - pos);
+  std::string cur;
+  auto flush = [&] {
+    if (!cur.empty()) out.waivers[line].insert(cur);
+    cur.clear();
+  };
+  for (char c : rules) {
+    if (c == ',')
+      flush();
+    else if (!std::isspace(static_cast<unsigned char>(c)))
+      cur += c;
+  }
+  flush();
+}
+
+}  // namespace
+
+FileScan scan_file(const std::string& path, const std::string& content) {
+  FileScan out;
+  out.path = path;
+  const std::size_t n = content.size();
+  int line = 1;
+  std::size_t i = 0;
+
+  auto peek = [&](std::size_t k) -> char {
+    return i + k < n ? content[i + k] : '\0';
+  };
+
+  while (i < n) {
+    const char c = content[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    // Line comment: capture for waivers, skip.
+    if (c == '/' && peek(1) == '/') {
+      std::size_t j = i + 2;
+      while (j < n && content[j] != '\n') ++j;
+      const bool had = out.waivers.count(line) > 0;
+      parse_waiver(content.substr(i + 2, j - i - 2), line, out);
+      if (!had && out.waivers.count(line) &&
+          (out.tokens.empty() || out.tokens.back().line != line))
+        out.standalone_waivers.insert(line);
+      i = j;
+      continue;
+    }
+    // Block comment: may span lines; waivers attach to the line the
+    // marker appears on.
+    if (c == '/' && peek(1) == '*') {
+      std::size_t j = i + 2;
+      int start = line;
+      std::string body;
+      while (j + 1 < n && !(content[j] == '*' && content[j + 1] == '/')) {
+        if (content[j] == '\n') ++line;
+        body += content[j];
+        ++j;
+      }
+      parse_waiver(body, start, out);
+      i = j + 2 <= n ? j + 2 : n;
+      continue;
+    }
+    // String literal (including the common prefixes). Raw strings get a
+    // minimal R"( ... )" treatment.
+    if (c == '"') {
+      // Raw string?
+      bool raw = false;
+      if (i >= 1 && content[i - 1] == 'R') {
+        // delimiters between " and ( — match until )delim"
+        raw = true;
+      }
+      std::size_t j = i + 1;
+      std::string lit;
+      if (raw) {
+        std::string delim;
+        while (j < n && content[j] != '(') delim += content[j++];
+        ++j;  // past '('
+        const std::string close = ")" + delim + "\"";
+        const auto endp = content.find(close, j);
+        const std::size_t stop = endp == std::string::npos ? n : endp;
+        for (std::size_t k = j; k < stop; ++k) {
+          if (content[k] == '\n') ++line;
+          lit += content[k];
+        }
+        j = stop == n ? n : stop + close.size();
+      } else {
+        while (j < n && content[j] != '"') {
+          if (content[j] == '\\' && j + 1 < n) {
+            lit += content[j];
+            lit += content[j + 1];
+            j += 2;
+            continue;
+          }
+          if (content[j] == '\n') ++line;  // unterminated; be forgiving
+          lit += content[j++];
+        }
+        ++j;  // past closing quote
+      }
+      out.strings.push_back({lit, line});
+      i = j;
+      continue;
+    }
+    // Char literal: skip content so 'x' never looks like an identifier.
+    // Only when it cannot be a digit separator (1'000'000).
+    if (c == '\'' &&
+        !(i >= 1 && std::isdigit(static_cast<unsigned char>(content[i - 1])))) {
+      std::size_t j = i + 1;
+      while (j < n && content[j] != '\'') {
+        if (content[j] == '\\') ++j;
+        ++j;
+      }
+      i = j < n ? j + 1 : n;
+      continue;
+    }
+    if (ident_start(c)) {
+      std::size_t j = i;
+      while (j < n && ident_char(content[j])) ++j;
+      out.tokens.push_back({content.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      while (j < n && (ident_char(content[j]) || content[j] == '\'' ||
+                       ((content[j] == '+' || content[j] == '-') && j > i &&
+                        (content[j - 1] == 'e' || content[j - 1] == 'E'))))
+        ++j;
+      out.tokens.push_back({content.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    if (!std::isspace(static_cast<unsigned char>(c)))
+      out.tokens.push_back({std::string(1, c), line});
+    ++i;
+  }
+  return out;
+}
+
+bool waived(const FileScan& f, const std::string& rule, int line) {
+  for (int l : {line, line - 1, line - 2, line - 3}) {
+    auto it = f.waivers.find(l);
+    if (it == f.waivers.end() ||
+        !(it->second.count(rule) || it->second.count("all")))
+      continue;
+    if (l >= line - 1 || f.standalone_waivers.count(l)) return true;
+  }
+  return false;
+}
+
+}  // namespace s3dlint

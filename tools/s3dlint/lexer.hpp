@@ -1,0 +1,55 @@
+#pragma once
+// s3dlint token scanner.
+//
+// A deliberately small lexical pass — not a C++ parser. It splits a
+// translation unit into identifier/punctuator tokens with line numbers,
+// collects string literals, and records `s3dlint:allow(rule,...)` waiver
+// comments. Comments and literal *contents* are invisible to the token
+// stream, so rules never fire on prose. The determinism rules this feeds
+// (DESIGN.md §14) are all expressible at token level; anything needing
+// real semantic analysis belongs in the clang-tidy lane instead.
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace s3dlint {
+
+/// One lexical token: an identifier/number or a single punctuator
+/// character. Multi-character operators are not glued together; the rules
+/// only ever look for identifiers adjacent to `(`, `.`, `->`, `::`.
+struct Token {
+  std::string text;
+  int line = 0;
+};
+
+/// A string literal with its (start) line. `value` is the unescaped-ish
+/// raw content between the quotes; escape sequences are kept verbatim
+/// except \" so registry names compare exactly.
+struct StrLit {
+  std::string value;
+  int line = 0;
+};
+
+/// Lexical view of one file.
+struct FileScan {
+  std::string path;  ///< repo-relative, forward slashes
+  std::vector<Token> tokens;
+  std::vector<StrLit> strings;
+  /// line -> rules waived via `// s3dlint:allow(rule1,rule2): reason`.
+  /// A trailing waiver (code before it on the line) covers its own line
+  /// and the next; a standalone comment line covers the following
+  /// statement-ish span (three lines) so multi-line expressions fit.
+  std::map<int, std::set<std::string>> waivers;
+  std::set<int> standalone_waivers;  ///< waiver lines with no code before
+};
+
+/// Lex `content` (the text of the file at `path`).
+FileScan scan_file(const std::string& path, const std::string& content);
+
+/// True when a finding of `rule` on `line` is covered by a waiver comment
+/// on the same or the preceding line.
+bool waived(const FileScan& f, const std::string& rule, int line);
+
+}  // namespace s3dlint

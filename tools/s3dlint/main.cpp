@@ -1,0 +1,119 @@
+// s3dlint — the repo's determinism lint (DESIGN.md §14).
+//
+// Token-level static checks over src/ + tests/ that pin the bitwise
+// contract the perf layers rely on: shared-kernel libm containment,
+// noinline on registered row kernels, no unordered iteration in planning
+// paths, test<->src registry cross-reference, and collectives under
+// rank-conditionals. Registered as the `ctest -L lint` tier; run directly:
+//
+//   s3dlint --root <repo> [--config <file>] [--list-waivers]
+//
+// Exit 0: clean. Exit 1: findings (printed one per line as
+// `file:line: [rule] message`). Exit 2: usage/config error.
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "rules.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string slurp(const fs::path& p, bool* ok) {
+  std::ifstream in(p, std::ios::binary);
+  *ok = in.good();
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+bool wanted_source(const fs::path& p) {
+  const auto ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string config;
+  bool list_waivers = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (a == "--config" && i + 1 < argc) {
+      config = argv[++i];
+    } else if (a == "--list-waivers") {
+      list_waivers = true;
+    } else if (a == "--help" || a == "-h") {
+      std::cout << "usage: s3dlint --root <repo> [--config <file>] "
+                   "[--list-waivers]\n";
+      return 0;
+    } else {
+      std::cerr << "s3dlint: unknown argument '" << a << "'\n";
+      return 2;
+    }
+  }
+  if (config.empty()) config = root + "/tools/s3dlint/s3dlint.conf";
+
+  bool ok = false;
+  const std::string conf_text = slurp(config, &ok);
+  if (!ok) {
+    std::cerr << "s3dlint: cannot read config " << config << "\n";
+    return 2;
+  }
+  s3dlint::Config cfg;
+  std::string err;
+  if (!s3dlint::parse_config(conf_text, &cfg, &err)) {
+    std::cerr << "s3dlint: " << err << "\n";
+    return 2;
+  }
+
+  // Collect src/ + tests/ sources. Lint fixtures carry seeded violations
+  // on purpose and are excluded (they are also .cxx, not .cpp, as a
+  // second guard).
+  std::vector<s3dlint::FileScan> files;
+  std::size_t nwaivers = 0;
+  for (const char* top : {"src", "tests"}) {
+    const fs::path base = fs::path(root) / top;
+    if (!fs::exists(base)) continue;
+    for (auto it = fs::recursive_directory_iterator(base);
+         it != fs::recursive_directory_iterator(); ++it) {
+      if (it->is_directory() &&
+          it->path().filename() == "lint_fixtures") {
+        it.disable_recursion_pending();
+        continue;
+      }
+      if (!it->is_regular_file() || !wanted_source(it->path())) continue;
+      bool read_ok = false;
+      const std::string text = slurp(it->path(), &read_ok);
+      if (!read_ok) {
+        std::cerr << "s3dlint: cannot read " << it->path() << "\n";
+        return 2;
+      }
+      const std::string rel =
+          fs::relative(it->path(), root).generic_string();
+      files.push_back(s3dlint::scan_file(rel, text));
+      for (const auto& [line, rules] : files.back().waivers) {
+        nwaivers += rules.size();
+        if (list_waivers)
+          for (const auto& r : rules)
+            std::cout << rel << ":" << line << ": waiver [" << r << "]\n";
+      }
+    }
+  }
+
+  const auto findings = s3dlint::run_rules(cfg, files);
+  for (const auto& f : findings)
+    std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
+              << f.message << "\n";
+  std::cout << "s3dlint: " << findings.size() << " finding(s), " << nwaivers
+            << " waiver(s) over " << files.size() << " files\n";
+  return findings.empty() ? 0 : 1;
+}

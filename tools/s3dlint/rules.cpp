@@ -1,0 +1,411 @@
+#include "rules.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace s3dlint {
+
+namespace {
+
+/// Path stem: strip the extension ("src/chem/thermo.cpp" -> "src/chem/thermo").
+std::string stem(const std::string& path) {
+  const auto dot = path.rfind('.');
+  const auto slash = path.rfind('/');
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash))
+    return path;
+  return path.substr(0, dot);
+}
+
+bool starts_with(const std::string& s, const std::string& p) {
+  return s.size() >= p.size() && s.compare(0, p.size(), p) == 0;
+}
+
+bool ends_with(const std::string& s, const std::string& p) {
+  return s.size() >= p.size() &&
+         s.compare(s.size() - p.size(), p.size(), p) == 0;
+}
+
+}  // namespace
+
+bool in_scope(const std::string& path,
+              const std::vector<std::string>& scope) {
+  return std::any_of(scope.begin(), scope.end(), [&](const std::string& p) {
+    return starts_with(path, p);
+  });
+}
+
+bool parse_config(const std::string& text, Config* cfg, std::string* err) {
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    std::istringstream ls(line);
+    std::string key;
+    if (!(ls >> key)) continue;
+    std::vector<std::string> vals;
+    for (std::string v; ls >> v;) vals.push_back(v);
+    auto need = [&](std::size_t n) {
+      if (vals.size() >= n) return true;
+      if (err)
+        *err = "config line " + std::to_string(lineno) + ": '" + key +
+               "' needs at least " + std::to_string(n) + " value(s)";
+      return false;
+    };
+    if (key == "libm_fn") {
+      if (!need(1)) return false;
+      cfg->libm_fns.insert(vals.begin(), vals.end());
+    } else if (key == "libm_scope") {
+      if (!need(1)) return false;
+      cfg->libm_scope.insert(cfg->libm_scope.end(), vals.begin(), vals.end());
+    } else if (key == "libm_tu") {
+      if (!need(1)) return false;
+      cfg->libm_tus.insert(cfg->libm_tus.end(), vals.begin(), vals.end());
+    } else if (key == "kernel") {
+      if (!need(2)) return false;
+      cfg->kernels.push_back({vals[0], vals[1]});
+    } else if (key == "unordered_scope") {
+      if (!need(1)) return false;
+      cfg->unordered_scope.insert(cfg->unordered_scope.end(), vals.begin(),
+                                  vals.end());
+    } else if (key == "unordered_type") {
+      if (!need(1)) return false;
+      cfg->unordered_types.insert(vals.begin(), vals.end());
+    } else if (key == "collective_scope") {
+      if (!need(1)) return false;
+      cfg->collective_scope.insert(cfg->collective_scope.end(), vals.begin(),
+                                   vals.end());
+    } else if (key == "collective_fn") {
+      if (!need(1)) return false;
+      cfg->collective_fns.insert(vals.begin(), vals.end());
+    } else if (key == "rank_ident") {
+      if (!need(1)) return false;
+      cfg->rank_idents.insert(vals.begin(), vals.end());
+    } else if (key == "xref_prefix") {
+      if (!need(1)) return false;
+      cfg->xref_prefixes.insert(cfg->xref_prefixes.end(), vals.begin(),
+                                vals.end());
+    } else if (key == "xref_skip_ext") {
+      if (!need(1)) return false;
+      cfg->xref_skip_ext.insert(vals.begin(), vals.end());
+    } else if (key == "xref_extra") {
+      if (!need(1)) return false;
+      cfg->xref_extra.insert(vals.begin(), vals.end());
+    } else {
+      if (err)
+        *err = "config line " + std::to_string(lineno) +
+               ": unknown key '" + key + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Rule: libm
+
+std::vector<Finding> rule_libm(const Config& cfg, const FileScan& f) {
+  std::vector<Finding> out;
+  if (!in_scope(f.path, cfg.libm_scope)) return out;
+  const std::string st = stem(f.path);
+  for (const auto& tu : cfg.libm_tus)
+    if (st == tu) return out;  // whitelisted shared-kernel TU
+  const auto& tk = f.tokens;
+  for (std::size_t i = 0; i < tk.size(); ++i) {
+    if (!cfg.libm_fns.count(tk[i].text)) continue;
+    if (i + 1 >= tk.size() || tk[i + 1].text != "(") continue;
+    // Skip member calls (obj.log(...), p->exp(...)): '.' or the '>' of
+    // '->' directly before the identifier.
+    if (i > 0 && (tk[i - 1].text == "." || tk[i - 1].text == ">")) continue;
+    if (waived(f, "libm", tk[i].line)) continue;
+    out.push_back(
+        {f.path, tk[i].line, "libm",
+         "call to '" + tk[i].text +
+             "' outside the whitelisted shared-kernel TUs: transcendental "
+             "rounding/contraction decisions must live in one compiled "
+             "body (DESIGN.md §14); move it into a shared noinline kernel "
+             "or waive with `// s3dlint:allow(libm): <why>`"});
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Rule: unordered
+
+std::vector<Finding> rule_unordered(const Config& cfg, const FileScan& f) {
+  std::vector<Finding> out;
+  if (!in_scope(f.path, cfg.unordered_scope)) return out;
+  for (const auto& t : f.tokens) {
+    if (!cfg.unordered_types.count(t.text)) continue;
+    if (waived(f, "unordered", t.line)) continue;
+    out.push_back(
+        {f.path, t.line, "unordered",
+         "'" + t.text +
+             "' in a deterministic planning path: iteration order is "
+             "unspecified and can diverge across ranks/builds; use "
+             "std::map/std::set or a sorted vector (DESIGN.md §14)"});
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Rule: collective-rank
+//
+// Heuristic brace-tracking pass. A condition is "rank-conditional" when
+// it mentions a rank identifier next to a comparison. Scopes inherit the
+// property; a braced `else` of a rank-conditional `if` counts too. The
+// runtime S3D_COLLECTIVE_CHECK mode catches what this heuristic cannot.
+
+std::vector<Finding> rule_collective_rank(const Config& cfg,
+                                          const FileScan& f) {
+  std::vector<Finding> out;
+  if (!in_scope(f.path, cfg.collective_scope)) return out;
+  const auto& tk = f.tokens;
+
+  struct Scope {
+    bool rank_cond = false;
+    bool is_if = false;
+  };
+  std::vector<Scope> scopes;
+  bool pending_if_rank = false;   // an if-condition just parsed
+  bool pending_is_if = false;     // `{` about to open belongs to an if/else
+  bool just_closed_if_rank = false;  // for `else` attachment
+  int single_stmt_rank = 0;       // >0: inside unbraced rank-if statement
+
+  auto cur_rank = [&] {
+    return !scopes.empty() && scopes.back().rank_cond;
+  };
+
+  for (std::size_t i = 0; i < tk.size(); ++i) {
+    const std::string& t = tk[i].text;
+    if (t == "if" && i + 1 < tk.size() && tk[i + 1].text == "(") {
+      // Scan the condition.
+      int depth = 0;
+      std::size_t j = i + 1;
+      bool has_rank = false, has_cmp = false;
+      for (; j < tk.size(); ++j) {
+        if (tk[j].text == "(") ++depth;
+        if (tk[j].text == ")" && --depth == 0) break;
+        if (cfg.rank_idents.count(tk[j].text)) has_rank = true;
+        if (tk[j].text == "=" || tk[j].text == "<" || tk[j].text == ">" ||
+            tk[j].text == "!")
+          has_cmp = true;
+      }
+      pending_if_rank = (has_rank && has_cmp) || cur_rank();
+      pending_is_if = true;
+      if (j + 1 < tk.size() && tk[j + 1].text != "{" && pending_if_rank &&
+          !(tk[j + 1].text == "if"))  // unbraced body: flag until ';'
+        single_stmt_rank = 1;
+      i = j;
+      continue;
+    }
+    if (t == "else") {
+      const bool rank_else = just_closed_if_rank || cur_rank();
+      if (i + 1 < tk.size() && tk[i + 1].text == "{") {
+        pending_if_rank = rank_else;
+        pending_is_if = true;
+      } else if (rank_else && i + 1 < tk.size() && tk[i + 1].text != "if") {
+        single_stmt_rank = 1;
+      }
+      continue;
+    }
+    if (t == "{") {
+      Scope s;
+      s.rank_cond = pending_is_if ? pending_if_rank : cur_rank();
+      s.is_if = pending_is_if;
+      scopes.push_back(s);
+      pending_is_if = false;
+      pending_if_rank = false;
+      continue;
+    }
+    if (t == "}") {
+      if (!scopes.empty()) {
+        just_closed_if_rank = scopes.back().is_if && scopes.back().rank_cond;
+        scopes.pop_back();
+      }
+      continue;
+    }
+    if (t == ";" && single_stmt_rank) {
+      single_stmt_rank = 0;
+      just_closed_if_rank = true;
+      continue;
+    }
+    if ((cur_rank() || single_stmt_rank) && cfg.collective_fns.count(t) &&
+        i + 1 < tk.size() && tk[i + 1].text == "(") {
+      if (waived(f, "collective-rank", tk[i].line)) continue;
+      out.push_back(
+          {f.path, tk[i].line, "collective-rank",
+           "collective '" + t +
+               "' under a rank-conditional branch: ranks taking different "
+               "paths reach different collective sequences and deadlock or "
+               "silently mismatch (DESIGN.md §14); hoist the collective or "
+               "waive with `// s3dlint:allow(collective-rank): <why>`"});
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Rule: noinline-kernel
+
+std::vector<Finding> rule_noinline_kernels(
+    const Config& cfg, const std::vector<FileScan>& files) {
+  std::vector<Finding> out;
+  for (const auto& k : cfg.kernels) {
+    const FileScan* f = nullptr;
+    for (const auto& fs : files)
+      if (fs.path == k.file) {
+        f = &fs;
+        break;
+      }
+    if (!f) {
+      out.push_back({k.file, 0, "noinline-kernel",
+                     "registered kernel file not found (kernel '" + k.name +
+                         "'); update tools/s3dlint/s3dlint.conf if the "
+                         "kernel moved"});
+      continue;
+    }
+    const auto& tk = f->tokens;
+    bool seen = false, pinned = false;
+    int first_line = 0;
+    for (std::size_t i = 0; i < tk.size(); ++i) {
+      if (tk[i].text != k.name || i + 1 >= tk.size() ||
+          tk[i + 1].text != "(")
+        continue;
+      if (!seen) first_line = tk[i].line;
+      seen = true;
+      // Look back through the declaration for the noinline attribute,
+      // stopping at the previous statement/scope boundary.
+      const std::size_t lo = i > 60 ? i - 60 : 0;
+      for (std::size_t j = i; j-- > lo;) {
+        const std::string& b = tk[j].text;
+        if (b == ";" || b == "}" || b == "{") break;
+        if (b == "noinline") {
+          pinned = true;
+          break;
+        }
+      }
+      if (pinned) break;
+    }
+    if (!seen)
+      out.push_back({k.file, 0, "noinline-kernel",
+                     "registered kernel '" + k.name +
+                         "' not found in this file; update "
+                         "tools/s3dlint/s3dlint.conf if it was renamed"});
+    else if (!pinned)
+      out.push_back(
+          {k.file, first_line, "noinline-kernel",
+           "shared row kernel '" + k.name +
+               "' lost __attribute__((noinline)): without it the fused and "
+               "unfused traversals can inline into different contraction "
+               "contexts and the bitwise contract breaks (DESIGN.md §14)"});
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Rule: xref
+
+namespace {
+
+/// Dotted-identifier shape: `seg(.seg)+` with identifier segments, an
+/// optional trailing dot (a concatenation base like "health.ladder.").
+bool dotted_name(const std::string& s) {
+  if (s.empty() || s.find('/') != std::string::npos) return false;
+  int segs = 0;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    std::size_t j = i;
+    if (!(std::isalpha(static_cast<unsigned char>(s[j])) || s[j] == '_'))
+      return false;
+    while (j < s.size() && (std::isalnum(static_cast<unsigned char>(s[j])) ||
+                            s[j] == '_'))
+      ++j;
+    ++segs;
+    if (j == s.size()) break;
+    if (s[j] != '.') return false;
+    i = j + 1;
+    if (i == s.size()) break;  // trailing dot OK
+  }
+  return segs >= 2;
+}
+
+}  // namespace
+
+std::vector<Finding> rule_xref(const Config& cfg,
+                               const std::vector<FileScan>& files) {
+  std::vector<Finding> out;
+  std::set<std::string> defs = cfg.xref_extra;
+  for (const auto& f : files) {
+    if (!starts_with(f.path, "src/")) continue;
+    for (const auto& s : f.strings) defs.insert(s.value);
+  }
+  for (const auto& f : files) {
+    if (!starts_with(f.path, "tests/")) continue;
+    for (const auto& s : f.strings) {
+      const std::string& v = s.value;
+      bool matched = false;
+      for (const auto& p : cfg.xref_prefixes)
+        if (starts_with(v, p)) {
+          matched = true;
+          break;
+        }
+      if (!matched || !dotted_name(v)) continue;
+      bool skip = false;
+      for (const auto& e : cfg.xref_skip_ext)
+        if (ends_with(v, "." + e)) {
+          skip = true;
+          break;
+        }
+      if (skip) continue;
+      bool ok;
+      if (v.back() == '.') {
+        // Concatenation base: any defined name under this prefix will do.
+        auto it = defs.lower_bound(v);
+        ok = it != defs.end() && starts_with(*it, v);
+      } else {
+        ok = defs.count(v) > 0;
+      }
+      if (ok || waived(f, "xref", s.line)) continue;
+      out.push_back(
+          {f.path, s.line, "xref",
+           "registry name \"" + v +
+               "\" is referenced by tests but defined nowhere in src/: "
+               "likely a typo'd trace counter or fault-site name — the "
+               "test would silently assert on a counter that never "
+               "increments (DESIGN.md §14)"});
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+
+std::vector<Finding> run_rules(const Config& cfg,
+                               const std::vector<FileScan>& files) {
+  std::vector<Finding> out;
+  for (const auto& f : files) {
+    auto a = rule_libm(cfg, f);
+    out.insert(out.end(), a.begin(), a.end());
+    auto b = rule_unordered(cfg, f);
+    out.insert(out.end(), b.begin(), b.end());
+    auto c = rule_collective_rank(cfg, f);
+    out.insert(out.end(), c.begin(), c.end());
+  }
+  auto d = rule_noinline_kernels(cfg, files);
+  out.insert(out.end(), d.begin(), d.end());
+  auto e = rule_xref(cfg, files);
+  out.insert(out.end(), e.begin(), e.end());
+  std::sort(out.begin(), out.end(), [](const Finding& x, const Finding& y) {
+    if (x.file != y.file) return x.file < y.file;
+    if (x.line != y.line) return x.line < y.line;
+    return x.rule < y.rule;
+  });
+  return out;
+}
+
+}  // namespace s3dlint

@@ -1,0 +1,81 @@
+#pragma once
+// s3dlint rule engine: the five determinism invariants (DESIGN.md §14)
+// expressed as token-level checks over the lexed tree.
+//
+//   libm             exp/log/pow calls outside the whitelisted shared-
+//                    kernel TUs (the one-contraction / one-log rule)
+//   noinline-kernel  every registered shared row kernel still carries
+//                    __attribute__((noinline))
+//   unordered        unordered containers in solver/DLB planning paths
+//                    (iteration order is unspecified -> rank divergence)
+//   xref             dotted registry names referenced by tests must exist
+//                    as literals in src (trace counters, fault sites)
+//   collective-rank  vmpi collectives nested under rank-conditional
+//                    branches (heuristic; the runtime complement is the
+//                    S3D_COLLECTIVE_CHECK mode in src/vmpi)
+//
+// Each rule can be waived per line with `// s3dlint:allow(rule): reason`.
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace s3dlint {
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct Config {
+  // libm
+  std::set<std::string> libm_fns;
+  std::vector<std::string> libm_scope;  ///< path prefixes the rule covers
+  std::vector<std::string> libm_tus;    ///< whitelisted TU stems (no ext)
+  // noinline-kernel
+  struct Kernel {
+    std::string file;  ///< repo-relative path holding the definition
+    std::string name;
+  };
+  std::vector<Kernel> kernels;
+  // unordered
+  std::vector<std::string> unordered_scope;
+  std::set<std::string> unordered_types;
+  // collective-rank
+  std::vector<std::string> collective_scope;
+  std::set<std::string> collective_fns;
+  std::set<std::string> rank_idents;
+  // xref
+  std::vector<std::string> xref_prefixes;
+  std::set<std::string> xref_skip_ext;  ///< file-like suffixes to ignore
+  std::set<std::string> xref_extra;     ///< names allowed without a src hit
+};
+
+/// Parse the line-oriented config ("key value value..." lines, `#`
+/// comments). Returns false and sets *err on a malformed line.
+bool parse_config(const std::string& text, Config* cfg, std::string* err);
+
+/// Run every rule over the lexed files. Paths must be repo-relative with
+/// forward slashes ("src/...", "tests/..."); the xref rule derives its
+/// definition set from the src/ files and its reference set from tests/.
+std::vector<Finding> run_rules(const Config& cfg,
+                               const std::vector<FileScan>& files);
+
+/// Individual rules (exposed for the fixture tests).
+std::vector<Finding> rule_libm(const Config& cfg, const FileScan& f);
+std::vector<Finding> rule_unordered(const Config& cfg, const FileScan& f);
+std::vector<Finding> rule_collective_rank(const Config& cfg,
+                                          const FileScan& f);
+std::vector<Finding> rule_noinline_kernels(
+    const Config& cfg, const std::vector<FileScan>& files);
+std::vector<Finding> rule_xref(const Config& cfg,
+                               const std::vector<FileScan>& files);
+
+/// True when `path` starts with any of the given prefixes.
+bool in_scope(const std::string& path, const std::vector<std::string>& scope);
+
+}  // namespace s3dlint
