@@ -1,70 +1,30 @@
 // The paper's section-7 configuration, scaled down: a lean premixed
 // CH4/air slot Bunsen flame (phi = 0.7, 800 K reactants) surrounded by a
-// hot-products coflow, wrinkled by inflow turbulence. Tracks flame-surface
-// length (wrinkling) and the mean progress-variable gradient (thickness).
+// hot-products coflow, wrinkled by inflow turbulence. Thin wrapper over
+// the scenario runner: conditional means over the progress variable
+// track the flame brush.
 //
 //   $ ./examples/bunsen_premixed [u_rms_over_SL]
 
 #include <cstdio>
 #include <cstdlib>
 
-#include "solver/cases.hpp"
-#include "solver/diagnostics.hpp"
-#include "solver/solver.hpp"
-
-namespace sv = s3d::solver;
+#include "scenario_cli.hpp"
 
 int main(int argc, char** argv) {
   const double u_over_sl = argc > 1 ? std::atof(argv[1]) : 6.0;
   const double SL_est = 1.45;  // from premix1d at phi=0.7, 800 K
 
-  sv::BunsenParams prm;
-  prm.nx = 80;
-  prm.ny = 64;
-  prm.Lx = 0.0066;
-  prm.Ly = 0.0055;
-  prm.u_jet = 70.0;
-  prm.u_coflow = 18.0;
-  prm.u_rms = u_over_sl * SL_est;
-  prm.turb_len = 0.0003;
-  auto cs = sv::bunsen_case(prm);
-  const auto& mech = *cs.cfg.mech;
-
-  std::printf(
-      "Slot Bunsen: phi=%.1f CH4/air at %g K, u'/S_L = %.1f, coflow = "
-      "complete\ncombustion products at %.0f K\n",
-      prm.phi, prm.T_unburnt, u_over_sl, cs.T_burnt);
-
-  sv::Solver s(cs.cfg);
-  s.initialize(cs.init);
-  const auto& l = s.layout();
-
-  std::printf("\n%10s %16s %18s\n", "t [us]", "flame length / h",
-              "mean |grad c| dL");
-  const double dL = 2.7e-4;
-  while (s.time() < 2.0e-4) {
-    s.run(120, {}, 10);
-    auto& prim = s.primitives();
-    auto c = sv::progress_variable_field(mech, prim, l, cs.Y_o2_unburnt,
-                                         cs.Y_o2_burnt);
-    auto gc = sv::gradient_magnitude(s.rhs().ops(), c);
-    const double len =
-        sv::contour_length_2d(c, l, s.mesh(), s.offset(), 0.65);
-    double gsum = 0.0;
-    long gn = 0;
-    for (int j = 0; j < l.ny; ++j)
-      for (int i = 0; i < l.nx; ++i)
-        if (c(i, j, 0) > 0.2 && c(i, j, 0) < 0.8) {
-          gsum += gc(i, j, 0) * dL;
-          ++gn;
-        }
-    std::printf("%10.1f %16.2f %18.3f\n", s.time() * 1e6,
-                len / prm.slot_h, gn ? gsum / gn : 0.0);
-  }
-  std::printf(
-      "\nHigher u'/S_L wrinkles the flame (longer contour) and thickens\n"
-      "the preheat layer (smaller |grad c|). Rerun with a different\n"
-      "argument, e.g. `bunsen_premixed 3` vs `bunsen_premixed 10`, to see\n"
-      "the paper's case A -> C trend.\n");
-  return 0;
+  s3d::cli::RunnerOptions o;
+  o.scenario = "bunsen";
+  char urms[32];
+  std::snprintf(urms, sizeof urms, "%.6g", u_over_sl * SL_est);
+  o.set = {{"nx", "80"},      {"ny", "64"},     {"Lx", "0.0066"},
+           {"Ly", "0.0055"},  {"u_jet", "70"},  {"u_coflow", "18"},
+           {"u_rms", urms},   {"turb_len", "0.0003"}};
+  o.analyses = {"conditional_means"};
+  o.steps = 480;
+  o.interval = 120;
+  std::printf("Slot Bunsen at u'/S_L = %.1f\n", u_over_sl);
+  return s3d::cli::run(o);
 }

@@ -1,55 +1,22 @@
 // Domain-decomposed run over the vmpi message-passing runtime: the same
-// 2-D jet split across 2x2 ranks, exactly the paper's parallel structure
-// (3-D block decomposition, nearest-neighbour ghost exchange) on one
-// machine.
+// 2-D jet split across ranks, exactly the paper's parallel structure
+// (block decomposition, nearest-neighbour ghost exchange) on one
+// machine. Thin wrapper: `scenario_runner --scenario lifted_jet
+// --ranks 4` with the scaled-down preset.
 //
 //   $ ./examples/parallel_jet
 
-#include <cstdio>
-
-#include "solver/cases.hpp"
-#include "solver/solver.hpp"
-#include "vmpi/vmpi.hpp"
-
-namespace sv = s3d::solver;
+#include "scenario_cli.hpp"
 
 int main() {
-  sv::LiftedJetParams prm;
-  prm.nx = 64;
-  prm.ny = 48;
-  prm.Lx = 0.005;
-  prm.Ly = 0.005;
-  prm.slot_h = 0.0009;
-  prm.u_jet = 110.0;
-  prm.u_rms = 10.0;
-  prm.transport = sv::TransportModel::power_law;
-  auto cs = sv::lifted_jet_case(prm);
-
-  std::printf("Running the lifted-jet configuration on a 2x2 rank grid...\n");
-  s3d::vmpi::run(4, [&](s3d::vmpi::Comm& comm) {
-    sv::Solver s(cs.cfg, comm, 2, 2, 1);
-    s.initialize(cs.init);
-    for (int it = 0; it < 5; ++it) {
-      s.run(20, {}, 10);
-      // Global maximum temperature via an MPI-style reduction.
-      double T_loc = 0.0;
-      const auto& prim = s.primitives();
-      const auto& l = s.layout();
-      for (int j = 0; j < l.ny; ++j)
-        for (int i = 0; i < l.nx; ++i)
-          T_loc = std::max(T_loc, prim.T(i, j, 0));
-      const double T_glob = comm.allreduce_max(T_loc);
-      if (comm.rank() == 0)
-        std::printf("  t = %6.1f us   T_max(global) = %.0f K\n",
-                    s.time() * 1e6, T_glob);
-    }
-    // Every rank reports its block, like an S3D rank log.
-    const auto off = s.offset();
-    std::printf(
-        "  rank %d owns [%d..%d) x [%d..%d)  (%d x %d interior points)\n",
-        comm.rank(), off[0], off[0] + s.layout().nx, off[1],
-        off[1] + s.layout().ny, s.layout().nx, s.layout().ny);
-  });
-  std::printf("All ranks agreed on the ghost-exchanged solution.\n");
-  return 0;
+  s3d::cli::RunnerOptions o;
+  o.scenario = "lifted_jet";
+  o.set = {{"nx", "64"},      {"ny", "48"},        {"Lx", "0.005"},
+           {"Ly", "0.005"},   {"slot_h", "0.0009"}, {"u_jet", "110"},
+           {"u_rms", "10"},   {"transport", "power_law"}};
+  o.analyses = {"conditional_means"};
+  o.ranks = 4;
+  o.steps = 100;
+  o.interval = 20;
+  return s3d::cli::run(o);
 }

@@ -1,0 +1,204 @@
+#include "scenario_cli.hpp"
+
+#include <cstdio>
+#include <memory>
+
+#include "solver/health.hpp"
+#include "solver/solver.hpp"
+#include "viz/analysis.hpp"
+#include "vmpi/vmpi.hpp"
+
+namespace s3d::cli {
+
+namespace sv = s3d::solver;
+namespace viz = s3d::viz;
+
+namespace {
+
+void split_csv(const std::string& arg, std::vector<std::string>& into) {
+  std::size_t pos = 0;
+  while (pos <= arg.size()) {
+    const std::size_t c = arg.find(',', pos);
+    const std::string tok =
+        arg.substr(pos, c == std::string::npos ? c : c - pos);
+    if (!tok.empty()) into.push_back(tok);
+    if (c == std::string::npos) break;
+    pos = c + 1;
+  }
+}
+
+const char* kUsage =
+    "usage: scenario_runner --scenario NAME [--set k=v ...]\n"
+    "         [--analysis a,b] [--aset name.key=v ...] [--steps N]\n"
+    "         [--interval N] [--emit-every N] [--dt-every N] [--out DIR]\n"
+    "         [--ranks N] [--guard] | --list | --describe NAME\n";
+
+std::string need_value(int argc, char** argv, int& i) {
+  if (i + 1 >= argc)
+    throw sv::ConfigError(std::string("cli.") + (argv[i] + 2),
+                          "missing value");
+  return argv[++i];
+}
+
+void describe(const std::string& name) {
+  const auto& sc = sv::ScenarioRegistry::instance().at(name);
+  std::printf("%s — %s\nparameters:\n", sc.name.c_str(),
+              sc.description.c_str());
+  for (const auto& ps : sc.schema)
+    std::printf("  %-12s default %-14s %s\n", ps.key.c_str(),
+                ps.def.c_str(), ps.help.c_str());
+}
+
+void list_all() {
+  std::printf("scenarios:\n");
+  for (const auto& n : sv::ScenarioRegistry::instance().names())
+    std::printf("  %-22s %s\n", n.c_str(),
+                sv::ScenarioRegistry::instance().at(n).description.c_str());
+  std::printf("analyses:\n");
+  for (const auto& n : viz::AnalysisRegistry::instance().names())
+    std::printf("  %-22s %s\n", n.c_str(),
+                viz::AnalysisRegistry::instance().at(n).description.c_str());
+}
+
+/// (px, py, pz) for `ranks`: split the finest active axis that divides
+/// evenly, preferring y (inflow scenarios stream along x).
+std::array<int, 3> decompose(const sv::Config& cfg, int ranks) {
+  if (cfg.y.n > 1 && cfg.y.n % ranks == 0) return {1, ranks, 1};
+  if (cfg.x.n % ranks == 0) return {ranks, 1, 1};
+  if (cfg.z.n > 1 && cfg.z.n % ranks == 0) return {1, 1, ranks};
+  throw sv::ConfigError("cli.ranks", "no grid axis divides into " +
+                                         std::to_string(ranks) + " ranks");
+}
+
+void run_one(const sv::CaseSetup& cs, const RunnerOptions& opt,
+             vmpi::Comm* comm) {
+  std::unique_ptr<sv::Solver> s;
+  if (comm) {
+    const auto p = decompose(cs.cfg, comm->size());
+    s = std::make_unique<sv::Solver>(cs.cfg, *comm, p[0], p[1], p[2]);
+  } else {
+    s = std::make_unique<sv::Solver>(cs.cfg);
+  }
+  s->initialize(cs.init);
+
+  viz::AnalysisOptions ao;
+  ao.interval = opt.interval;
+  ao.emit_every = opt.emit_every;
+  ao.out_dir = opt.out;
+  viz::AnalysisDriver driver(cs, ao);
+  for (const auto& name : opt.analyses) {
+    auto it = opt.aset.find(name);
+    driver.add(name, it == opt.aset.end() ? sv::ParamMap{} : it->second);
+  }
+  driver.attach(*s, comm);
+
+  if (opt.guard) {
+    sv::GuardOptions g;
+    g.dt_every = opt.dt_every;
+    g.sidecar = driver.sidecar();
+    g.on_clean_step = [&](long step) { driver.on_step(step); };
+    const auto rep = sv::run_guarded(*s, opt.steps, g, comm);
+    if (!comm || comm->rank() == 0)
+      std::printf("guarded: %ld steps, %d rollbacks, %ld scans\n",
+                  rep.final_steps, rep.rollbacks, rep.scans);
+  } else {
+    s->run(
+        opt.steps, [&](int) { driver.on_step(s->steps_taken()); },
+        opt.dt_every);
+  }
+
+  const auto paths = driver.emit(s->steps_taken());
+  if (!comm || comm->rank() == 0) {
+    std::printf("t = %.6e s after %d steps, %ld analysis invocations\n",
+                s->time(), s->steps_taken(), driver.invocations());
+    for (const auto& p : paths) std::printf("wrote %s\n", p.c_str());
+  }
+}
+
+}  // namespace
+
+RunnerOptions parse_args(int argc, char** argv) {
+  RunnerOptions o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--list") {
+      o.list = true;
+    } else if (a == "--describe") {
+      o.describe = need_value(argc, argv, i);
+    } else if (a == "--scenario") {
+      o.scenario = need_value(argc, argv, i);
+    } else if (a == "--set") {
+      sv::parse_kv("cli.set", need_value(argc, argv, i), o.set);
+    } else if (a == "--analysis") {
+      split_csv(need_value(argc, argv, i), o.analyses);
+    } else if (a == "--aset") {
+      // name.key=value: route the override to one analysis instance.
+      const std::string kv = need_value(argc, argv, i);
+      const auto dot = kv.find('.');
+      const auto eq = kv.find('=');
+      if (dot == std::string::npos || eq == std::string::npos || dot > eq ||
+          dot == 0)
+        throw sv::ConfigError("cli.aset",
+                              "'" + kv + "' is not name.key=value");
+      sv::parse_kv("cli.aset", kv.substr(dot + 1),
+                   o.aset[kv.substr(0, dot)]);
+    } else if (a == "--steps") {
+      o.steps = static_cast<int>(
+          sv::parse_int_param("cli.steps", need_value(argc, argv, i)));
+    } else if (a == "--interval") {
+      o.interval = static_cast<int>(
+          sv::parse_int_param("cli.interval", need_value(argc, argv, i)));
+    } else if (a == "--emit-every") {
+      o.emit_every = static_cast<int>(
+          sv::parse_int_param("cli.emit_every", need_value(argc, argv, i)));
+    } else if (a == "--dt-every") {
+      o.dt_every = static_cast<int>(
+          sv::parse_int_param("cli.dt_every", need_value(argc, argv, i)));
+    } else if (a == "--out") {
+      o.out = need_value(argc, argv, i);
+    } else if (a == "--ranks") {
+      o.ranks = static_cast<int>(
+          sv::parse_int_param("cli.ranks", need_value(argc, argv, i)));
+    } else if (a == "--guard") {
+      o.guard = true;
+    } else {
+      throw sv::ConfigError("cli.args", "unknown flag '" + a + "'");
+    }
+  }
+  return o;
+}
+
+int run(const RunnerOptions& opt) {
+  if (opt.list) {
+    list_all();
+    return 0;
+  }
+  if (!opt.describe.empty()) {
+    describe(opt.describe);
+    return 0;
+  }
+  if (opt.scenario.empty()) {
+    std::fputs(kUsage, stderr);
+    return 2;
+  }
+  const sv::CaseSetup cs =
+      sv::ScenarioRegistry::instance().build(opt.scenario, opt.set);
+  if (opt.ranks > 1) {
+    vmpi::run(opt.ranks,
+              [&](vmpi::Comm& comm) { run_one(cs, opt, &comm); });
+  } else {
+    run_one(cs, opt, nullptr);
+  }
+  return 0;
+}
+
+int main_with_args(int argc, char** argv) {
+  try {
+    return run(parse_args(argc, argv));
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n%s", e.what(), kUsage);
+    return 1;
+  }
+}
+
+}  // namespace s3d::cli

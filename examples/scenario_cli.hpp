@@ -1,0 +1,44 @@
+#pragma once
+// Shared command-line driver behind examples/scenario_runner and the thin
+// per-case wrappers (DESIGN.md §15): every example resolves its case
+// through ScenarioRegistry and its in-situ diagnostics through
+// AnalysisRegistry, so the CLI exercises exactly the validated plugin
+// construction paths the tests pin.
+
+#include <string>
+#include <vector>
+
+#include "solver/scenario.hpp"
+
+namespace s3d::cli {
+
+struct RunnerOptions {
+  std::string scenario;
+  solver::ParamMap set;  ///< --set k=v scenario parameter overrides
+  std::vector<std::string> analyses;          ///< --analysis a,b
+  std::map<std::string, solver::ParamMap> aset;  ///< --aset name.key=v
+  int steps = 200;       ///< --steps
+  int interval = 50;     ///< --interval (analysis cadence, steps)
+  int emit_every = 1;    ///< --emit-every (invocations per emission)
+  int dt_every = 10;     ///< --dt-every (stable-dt re-estimation cadence)
+  std::string out = "."; ///< --out
+  int ranks = 1;         ///< --ranks (1: serial)
+  bool guard = false;    ///< --guard (run under the health sentinel)
+  bool list = false;     ///< --list
+  std::string describe;  ///< --describe name
+};
+
+/// Parse argv (past argv[0]); throws ConfigError on malformed flags.
+RunnerOptions parse_args(int argc, char** argv);
+
+/// Execute: --list/--describe print and return, otherwise build the
+/// scenario, attach the requested analyses, run (serial, parallel, or
+/// guarded), and emit the final analysis files. Returns the process exit
+/// code; prints typed errors to stderr rather than throwing.
+int run(const RunnerOptions& opt);
+
+/// parse_args + run with the standard error reporting (the main() body
+/// of every wrapper).
+int main_with_args(int argc, char** argv);
+
+}  // namespace s3d::cli

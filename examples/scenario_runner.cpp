@@ -1,0 +1,19 @@
+// Unified scenario runner (DESIGN.md §15): every registered case and
+// in-situ analysis, one CLI.
+//
+//   $ ./examples/scenario_runner --list
+//   $ ./examples/scenario_runner --describe lifted_jet
+//   $ ./examples/scenario_runner --scenario lifted_jet
+//       --set nx=80 --set u_jet=130
+//       --analysis conditional_means,scalar_dissipation
+//       --steps 400 --interval 50 --out /tmp/run
+//
+// --ranks N replays the same run domain-decomposed over the vmpi
+// runtime; --guard runs it under the health sentinel with the analysis
+// accumulators riding the rollback snapshot ring.
+
+#include "scenario_cli.hpp"
+
+int main(int argc, char** argv) {
+  return s3d::cli::main_with_args(argc, argv);
+}

@@ -1,5 +1,6 @@
 #include "solver/cases.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "chem/mechanisms.hpp"
@@ -218,6 +219,106 @@ CaseSetup temporal_jet_case(const TemporalJetParams& prm) {
     s.w = 0.0;
     // Hot ignition strips at the two fuel/oxidizer interfaces.
     s.T = prm.T0 + (prm.T_ignite - prm.T0) * shear;
+    p = p0;
+  };
+  return cs;
+}
+
+CaseSetup counterflow_ignition_case(const CounterflowParams& prm) {
+  CaseSetup cs;
+  auto mech = std::make_shared<const chem::Mechanism>(chem::h2_li2004());
+  Config& cfg = cs.cfg;
+  cfg.mech = mech;
+  cfg.x = {prm.nx, prm.Lx, false, 0.0, -0.5 * prm.Lx};
+  cfg.y = {prm.ny, prm.Ly, true};
+  cfg.z = {1, 1.0, false};
+  cfg.faces[0][0] = {BcKind::nscbc_outflow, prm.p, 0.25, 0.1 * prm.Lx, 0.4};
+  cfg.faces[0][1] = {BcKind::nscbc_outflow, prm.p, 0.25, 0.1 * prm.Lx, 0.4};
+  cfg.faces[1][0].kind = BcKind::periodic;
+  cfg.faces[1][1].kind = BcKind::periodic;
+  cfg.transport = TransportModel::power_law;
+  cfg.T_ref = 900.0;
+  cfg.p_ref = prm.p;
+
+  // Cold diluted fuel (30% H2 / 70% N2) against hot air.
+  cs.Y_fuel = chem::stream_Y_from_X(*mech, {{"H2", 0.30}, {"N2", 0.70}});
+  cs.Y_ox = chem::stream_Y_from_X(*mech, {{"O2", 0.21}, {"N2", 0.79}});
+  cs.Z_st = chem::stoichiometric_mixture_fraction(*mech, cs.Y_ox, cs.Y_fuel);
+
+  cs.turb = std::make_shared<SyntheticTurbulence>(prm.u_rms, prm.turb_len,
+                                                  64, prm.seed, true);
+
+  const auto Yf = cs.Y_fuel;
+  const auto Yo = cs.Y_ox;
+  const double p0 = prm.p;
+  cs.init = [=, turb = cs.turb](double x, double y, double /*z*/,
+                                InflowState& s, double& p) {
+    s.Y.fill(0.0);
+    // Mixing layer centered on the stagnation plane x = 0: fuel fills
+    // x < 0, oxidizer x > 0.
+    const double Z = 0.5 * (1.0 - std::tanh(x / prm.delta));
+    s.T = prm.T_ox + (prm.T_fuel - prm.T_ox) * Z;
+    for (std::size_t i = 0; i < Yf.size(); ++i)
+      s.Y[i] = Yo[i] + (Yf[i] - Yo[i]) * Z;
+    // Opposed streams, u = -a x near the stagnation plane, decaying
+    // toward the outflow faces so the sponges see a quiet far field.
+    // s3dlint:allow(libm): init-only IC, one call site for all ranks
+    const double envelope = std::exp(-std::pow(x / (0.3 * prm.Lx), 2));
+    const double shear = std::exp(-std::pow(x / (2.0 * prm.delta), 2));
+    const auto up = turb->velocity(x, y, 0.0);
+    s.u = -prm.strain * x * envelope + shear * up[0];
+    s.v = shear * up[1];
+    s.w = 0.0;
+    p = p0;
+  };
+  return cs;
+}
+
+CaseSetup hit_autoignition_case(const HitAutoignitionParams& prm) {
+  CaseSetup cs;
+  auto mech = std::make_shared<const chem::Mechanism>(chem::h2_li2004());
+  Config& cfg = cs.cfg;
+  cfg.mech = mech;
+  cfg.x = {prm.n, prm.L, true};
+  cfg.y = {prm.n, prm.L, true};
+  cfg.z = {prm.two_d ? 1 : prm.n, prm.L, prm.two_d ? false : true};
+  for (int a = 0; a < 3; ++a)
+    for (auto& f : cfg.faces[a]) f.kind = BcKind::periodic;
+  cfg.transport = TransportModel::power_law;
+  cfg.T_ref = prm.T0;
+  cfg.p_ref = prm.p;
+
+  // Lean premixed reactants and their equilibrium products: the premixed
+  // progress-variable endpoints for the conditional diagnostics.
+  auto Yu = chem::premixed_fuel_air_Y(*mech, "H2", prm.phi);
+  auto [Tb, Yb] = chem::equilibrium_products(*mech, 1400.0, prm.p, Yu, 0.05);
+  const double h_u = mech->h_mass_mix(prm.T0, Yu);
+  const double T_ad = mech->T_from_h(h_u, Yb, Tb);
+  cs.Y_fuel = Yu;
+  cs.Y_ox = Yb;
+  cs.Y_o2_unburnt = Yu[mech->index("O2")];
+  cs.Y_o2_burnt = Yb[mech->index("O2")];
+  cs.T_burnt = T_ad;
+
+  cs.turb = std::make_shared<SyntheticTurbulence>(prm.u_rms, prm.turb_len,
+                                                  64, prm.seed, prm.two_d);
+  // A second, independent synthetic field shapes the temperature spots so
+  // thermal and velocity fluctuations are uncorrelated at t = 0.
+  auto spots = std::make_shared<SyntheticTurbulence>(
+      1.0, prm.turb_len, 64, prm.seed ^ 0x9e3779b97f4a7c15ull, prm.two_d);
+
+  const double p0 = prm.p;
+  cs.init = [=, turb = cs.turb](double x, double y, double z,
+                                InflowState& s, double& p) {
+    s.Y.fill(0.0);
+    for (std::size_t i = 0; i < Yu.size(); ++i) s.Y[i] = Yu[i];
+    const auto up = turb->velocity(x, y, z);
+    s.u = up[0];
+    s.v = up[1];
+    s.w = up[2];
+    const double th =
+        std::clamp(spots->velocity(x, y, z)[0], -2.0, 2.0);
+    s.T = prm.T0 + prm.dT * th;
     p = p0;
   };
   return cs;

@@ -95,4 +95,45 @@ struct TemporalJetParams {
 /// flames are ignited by hot strips at the two stoichiometric interfaces.
 CaseSetup temporal_jet_case(const TemporalJetParams& p);
 
+struct CounterflowParams {
+  int nx = 128, ny = 64;
+  double Lx = 0.01, Ly = 0.005;
+  double strain = 2400.0;  ///< peak opposed-flow strain rate [1/s]
+  double delta = 0.0006;   ///< mixing-layer thickness [m]
+  double T_fuel = 300.0;   ///< cold diluted-H2 stream [K]
+  double T_ox = 1350.0;    ///< hot-air stream [K] (above H2 crossover)
+  double p = 101325.0;
+  double u_rms = 2.0;      ///< mixing-layer perturbation intensity [m/s]
+  double turb_len = 0.0008;
+  std::uint64_t seed = 0xcf10;
+};
+
+/// Counterflow ignition: a cold diluted-H2 stream against hot air in an
+/// opposed-flow mixing layer. Run as an initial-value problem (the vmpi
+/// inflow contract supports only the low-x face): the opposed velocity
+/// profile u = -a x decays away from the stagnation region, both x faces
+/// are sponged NSCBC outflows, and ignition kernels develop where the
+/// mixing layer sits in hot, low-strain fluid.
+CaseSetup counterflow_ignition_case(const CounterflowParams& p);
+
+struct HitAutoignitionParams {
+  int n = 64;
+  bool two_d = true;
+  double L = 0.004;     ///< periodic box edge [m]
+  double phi = 0.4;     ///< lean premixed H2/air equivalence ratio
+  double T0 = 1100.0;   ///< mean temperature [K] (autoignitive)
+  double dT = 120.0;    ///< hot/cold-spot amplitude [K]
+  double p = 101325.0;
+  double u_rms = 4.0;   ///< initial turbulence intensity [m/s]
+  double turb_len = 0.001;
+  std::uint64_t seed = 0xa170;
+};
+
+/// Homogeneous-isotropic-turbulence auto-ignition: a periodic box of lean
+/// premixed H2/air near the autoignition limit, seeded with a synthetic
+/// turbulence field and spatially-correlated temperature spots, so the
+/// hottest kernels ignite first and fronts propagate into the colder
+/// fluid (the paper's compression-ignition HCCI direction, section 6.1).
+CaseSetup hit_autoignition_case(const HitAutoignitionParams& p);
+
 }  // namespace s3d::solver

@@ -75,6 +75,9 @@ void SnapshotRing::capture(const Solver& s) {
   img.data.reserve(u.size() + T.size());
   img.data.assign(u.begin(), u.end());
   img.data.insert(img.data.end(), T.data(), T.data() + T.size());
+  // Plugin-state sidecar (DESIGN.md §15): appended after the solver
+  // payload so a restore rewinds plugin accumulators with the state.
+  if (sidecar_.save) sidecar_.save(img.data);
   ring_.push(std::move(img));
 }
 
@@ -82,12 +85,22 @@ void SnapshotRing::restore_newest(Solver& s) const {
   const CkptImage& sn = ring_.newest();
   auto u = s.state().flat();
   GField& T = s.rhs().prim().T;
-  S3D_REQUIRE(sn.data.size() == u.size() + T.size(),
+  const std::size_t base = u.size() + T.size();
+  S3D_REQUIRE(sn.data.size() >= base,
               "snapshot does not match the solver's state size");
   const auto split =
       sn.data.begin() + static_cast<std::ptrdiff_t>(u.size());
   std::copy(sn.data.begin(), split, u.begin());
-  std::copy(split, sn.data.end(), T.data());
+  std::copy(split, split + static_cast<std::ptrdiff_t>(T.size()), T.data());
+  if (sn.data.size() > base) {
+    S3D_REQUIRE(sidecar_.load,
+                "snapshot carries a plugin sidecar but none is installed");
+    const std::size_t got = sidecar_.load(
+        std::span<const double>(sn.data.data() + base,
+                                sn.data.size() - base));
+    S3D_REQUIRE(got == sn.data.size() - base,
+                "plugin sidecar did not consume its snapshot block");
+  }
   s.set_time(sn.t, static_cast<int>(sn.steps));  // invalidates cached dt
 }
 
@@ -96,7 +109,7 @@ void SnapshotRing::restore_cells(Solver& s,
   const CkptImage& sn = ring_.newest();
   State& U = s.state();
   GField& T = s.rhs().prim().T;
-  S3D_REQUIRE(sn.data.size() == U.flat().size() + T.size(),
+  S3D_REQUIRE(sn.data.size() >= U.flat().size() + T.size(),
               "snapshot does not match the solver's state size");
   const int nv = U.nv();
   const std::size_t fsz = U.block();
@@ -504,6 +517,8 @@ GuardReport run_guarded(Solver& s, int nsteps, const GuardOptions& opts,
   // The ring inherits the run's checkpoint options: delta compression
   // keeps deep rings affordable, and restores stay bitwise either way.
   SnapshotRing ring(opts.ring_depth, s.rhs().config().checkpoint);
+  // Plugin accumulators ride every capture from here on (DESIGN.md §15).
+  if (opts.sidecar.save || opts.sidecar.load) ring.set_sidecar(opts.sidecar);
   // Seed the ring so even a first-step breach has a rollback point.
   if (armed && target > start0) ring.capture(s);
 
@@ -692,6 +707,11 @@ GuardReport run_guarded(Solver& s, int nsteps, const GuardOptions& opts,
         }
       }
       episode_subcycles = 0;  // a clean scan ends the breach episode
+      // Plugin consumers sample scanned-clean states only, BEFORE the
+      // capture below — so the snapshot at this step already carries the
+      // post-sample accumulators and a later rollback to it replays
+      // without double-counting (DESIGN.md §15).
+      if (scanned && opts.on_clean_step) opts.on_clean_step(now);
       // Snapshots are taken only from scanned-clean states.
       if (scanned && (now - start0) % opts.snapshot_every == 0 &&
           now < target) {

@@ -122,6 +122,18 @@ class HealthError : public Error {
   HealthReport rep_;
 };
 
+/// Plugin-state sidecar riding the snapshot ring (DESIGN.md §15): `save`
+/// appends a fixed-length block of doubles (e.g. analysis accumulators)
+/// to every captured image, `load` consumes exactly that block on a
+/// global restore and returns the count consumed — so plugin state rolls
+/// back bitwise with the solver state it summarizes. The block length
+/// must stay constant for the lifetime of a ring (the delta codec diffs
+/// equal-sized images).
+struct StateSidecar {
+  std::function<void(std::vector<double>&)> save;
+  std::function<std::size_t(std::span<const double>)> load;
+};
+
 /// In-memory ring of full solver snapshots (conserved state, Newton
 /// warm-start T field, clock, step counter). Restores are bitwise.
 /// Backed by the delta ring of the checkpoint store (DESIGN.md §12):
@@ -148,6 +160,12 @@ class SnapshotRing {
   /// Drop the newest snapshot to roll back deeper.
   void pop_newest();
 
+  /// Install a plugin-state sidecar: captures append its payload after
+  /// the solver state, restore_newest() hands the tail back to `load`.
+  /// Localized restores (restore_cells) leave the sidecar untouched —
+  /// rungs 1-2 never rewind the step the plugins sampled.
+  void set_sidecar(StateSidecar sc) { sidecar_ = std::move(sc); }
+
   bool empty() const { return ring_.empty(); }
   int size() const { return ring_.size(); }
   long newest_step() const { return ring_.newest_step(); }
@@ -156,6 +174,7 @@ class SnapshotRing {
 
  private:
   DeltaRing ring_;
+  StateSidecar sidecar_;
 };
 
 /// Per-step health scanner. scan() is collective when a communicator is
@@ -224,6 +243,22 @@ struct GuardOptions {
   /// the legacy global-halving policy. Builds with -DS3D_ADAPTIVE=OFF
   /// force-disable it regardless of this setting.
   std::optional<AdaptiveOptions> adaptive;
+
+  /// Plugin-state sidecar (DESIGN.md §15): installed on the guard's
+  /// snapshot ring so plugin accumulators (in-situ analyses) are
+  /// captured with every clean-state snapshot and restored bitwise on
+  /// global rollbacks. Note the rung-4 RestartSeries fallback carries no
+  /// sidecar: after a series restore the ring is reseeded with the
+  /// plugins' CURRENT state.
+  StateSidecar sidecar;
+  /// Invoked after every scanned-clean committed step (and before the
+  /// snapshot capture at that step), with the absolute step count. This
+  /// is where in-situ consumers sample: breached steps never fire it,
+  /// and a rollback restores the sidecar to the post-hook state of the
+  /// restored step, so accumulators are never double-counted across
+  /// recoveries. Consumers with a cadence should key it off the absolute
+  /// step count they are handed.
+  std::function<void(long)> on_clean_step;
 
   /// Typed ConfigError for malformed budgets/factors/thresholds.
   void validate() const;

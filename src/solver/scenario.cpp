@@ -1,0 +1,386 @@
+#include "solver/scenario.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "solver/config.hpp"
+#include "trace/trace.hpp"
+
+namespace s3d::solver {
+
+namespace {
+
+std::string fmt_real(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+
+std::string join(const std::vector<std::string>& v) {
+  std::string out;
+  for (const auto& s : v) {
+    if (!out.empty()) out += ", ";
+    out += s;
+  }
+  return out;
+}
+
+/// Schema + factory builder for one scenario over a parameter struct P:
+/// each declaration records the ParamSpec AND the typed setter that
+/// parses/range-checks an override into the struct field, so the two can
+/// never drift apart.
+template <class P>
+class Def {
+ public:
+  using Setter =
+      std::function<void(P&, const std::string&, const std::string&)>;
+
+  Def(std::string name, std::string desc,
+      std::function<CaseSetup(const P&)> make)
+      : make_(std::move(make)) {
+    sc_.name = std::move(name);
+    sc_.description = std::move(desc);
+  }
+
+  Def& i(const std::string& key, int P::* f, long lo, long hi,
+         const std::string& help) {
+    P d{};
+    spec({key, ParamSpec::Kind::integer, std::to_string(d.*f),
+          static_cast<double>(lo), static_cast<double>(hi), help},
+         [f, lo, hi](P& p, const std::string& field, const std::string& v) {
+           const long x = parse_int_param(field, v);
+           require_range(field, static_cast<double>(x),
+                         static_cast<double>(lo), static_cast<double>(hi));
+           p.*f = static_cast<int>(x);
+         });
+    return *this;
+  }
+
+  Def& u64(const std::string& key, std::uint64_t P::* f,
+           const std::string& help) {
+    P d{};
+    spec({key, ParamSpec::Kind::integer, std::to_string(d.*f), 0.0, 9.2e18,
+          help},
+         [f](P& p, const std::string& field, const std::string& v) {
+           const long x = parse_int_param(field, v);
+           require_range(field, static_cast<double>(x), 0.0, 9.2e18);
+           p.*f = static_cast<std::uint64_t>(x);
+         });
+    return *this;
+  }
+
+  Def& r(const std::string& key, double P::* f, double lo, double hi,
+         const std::string& help) {
+    P d{};
+    spec({key, ParamSpec::Kind::real, fmt_real(d.*f), lo, hi, help},
+         [f, lo, hi](P& p, const std::string& field, const std::string& v) {
+           const double x = parse_real_param(field, v);
+           require_range(field, x, lo, hi);
+           p.*f = x;
+         });
+    return *this;
+  }
+
+  Def& b(const std::string& key, bool P::* f, const std::string& help) {
+    P d{};
+    spec({key, ParamSpec::Kind::boolean, d.*f ? "true" : "false", 0.0, 1.0,
+          help},
+         [f](P& p, const std::string& field, const std::string& v) {
+           p.*f = parse_bool_param(field, v);
+         });
+    return *this;
+  }
+
+  Def& transport(const std::string& key, TransportModel P::* f,
+                 const std::string& help) {
+    P d{};
+    const char* defname = d.*f == TransportModel::mixture_averaged
+                              ? "mixture_averaged"
+                              : d.*f == TransportModel::constant_lewis
+                                    ? "constant_lewis"
+                                    : "power_law";
+    spec({key, ParamSpec::Kind::text, defname, 0.0, 0.0, help},
+         [f](P& p, const std::string& field, const std::string& v) {
+           if (v == "mixture_averaged")
+             p.*f = TransportModel::mixture_averaged;
+           else if (v == "constant_lewis")
+             p.*f = TransportModel::constant_lewis;
+           else if (v == "power_law")
+             p.*f = TransportModel::power_law;
+           else
+             throw ConfigError(field,
+                               "must be one of mixture_averaged, "
+                               "constant_lewis, power_law (got '" +
+                                   v + "')");
+         });
+    return *this;
+  }
+
+  Scenario done() {
+    Scenario sc = std::move(sc_);
+    sc.make = [name = sc.name, setters = std::move(setters_),
+               make = std::move(make_)](const ParamMap& overrides) {
+      P p{};
+      for (const auto& [key, set] : setters) {
+        auto it = overrides.find(key);
+        if (it != overrides.end())
+          set(p, "scenario." + name + "." + key, it->second);
+      }
+      return make(p);
+    };
+    return sc;
+  }
+
+ private:
+  static void require_range(const std::string& field, double x, double lo,
+                            double hi) {
+    if (x < lo || x > hi)
+      throw ConfigError(field, "value " + fmt_real(x) + " outside [" +
+                                   fmt_real(lo) + ", " + fmt_real(hi) + "]");
+  }
+
+  void spec(ParamSpec ps, Setter set) {
+    setters_.emplace_back(ps.key, std::move(set));
+    sc_.schema.push_back(std::move(ps));
+  }
+
+  Scenario sc_;
+  std::function<CaseSetup(const P&)> make_;
+  std::vector<std::pair<std::string, Setter>> setters_;
+};
+
+struct PressureWaveParams {
+  int n = 32;
+  bool two_d = false;
+};
+
+}  // namespace
+
+long parse_int_param(const std::string& field, const std::string& v) {
+  if (v.empty()) throw ConfigError(field, "empty value");
+  char* end = nullptr;
+  errno = 0;
+  const long x = std::strtol(v.c_str(), &end, 10);
+  if (errno != 0 || end != v.c_str() + v.size())
+    throw ConfigError(field, "'" + v + "' is not an integer");
+  return x;
+}
+
+double parse_real_param(const std::string& field, const std::string& v) {
+  if (v.empty()) throw ConfigError(field, "empty value");
+  char* end = nullptr;
+  errno = 0;
+  const double x = std::strtod(v.c_str(), &end);
+  if (errno != 0 || end != v.c_str() + v.size())
+    throw ConfigError(field, "'" + v + "' is not a number");
+  return x;
+}
+
+bool parse_bool_param(const std::string& field, const std::string& v) {
+  if (v == "true" || v == "1" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "off") return false;
+  throw ConfigError(field, "'" + v + "' is not a boolean (true/false/1/0)");
+}
+
+void parse_kv(const std::string& field, const std::string& arg,
+              ParamMap& into) {
+  const auto eq = arg.find('=');
+  if (eq == std::string::npos || eq == 0)
+    throw ConfigError(field, "'" + arg + "' is not of the form key=value");
+  into[arg.substr(0, eq)] = arg.substr(eq + 1);
+}
+
+ScenarioRegistry& ScenarioRegistry::instance() {
+  static ScenarioRegistry reg;
+  return reg;
+}
+
+void ScenarioRegistry::add(Scenario sc) {
+  auto [it, inserted] = map_.emplace(sc.name, std::move(sc));
+  if (!inserted)
+    throw ScenarioError("scenario '" + it->first + "' already registered");
+}
+
+bool ScenarioRegistry::contains(const std::string& name) const {
+  return map_.count(name) != 0;
+}
+
+const Scenario& ScenarioRegistry::at(const std::string& name) const {
+  auto it = map_.find(name);
+  if (it == map_.end())
+    throw ScenarioError("unknown scenario '" + name +
+                        "' (registered: " + join(names()) + ")");
+  return it->second;
+}
+
+std::vector<std::string> ScenarioRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(map_.size());
+  for (const auto& [k, v] : map_) out.push_back(k);
+  return out;
+}
+
+CaseSetup ScenarioRegistry::build(const std::string& name,
+                                  const ParamMap& overrides) const {
+  const Scenario& sc = at(name);
+  for (const auto& [k, v] : overrides) {
+    (void)v;
+    bool known = false;
+    for (const auto& ps : sc.schema) known = known || ps.key == k;
+    if (!known) {
+      std::vector<std::string> keys;
+      keys.reserve(sc.schema.size());
+      for (const auto& ps : sc.schema) keys.push_back(ps.key);
+      throw ConfigError("scenario." + name + "." + k,
+                        "unknown parameter (known: " + join(keys) + ")");
+    }
+  }
+  CaseSetup cs = sc.make(overrides);
+  cs.cfg.validate();
+  trace::counter_add("scenario.build", 1.0);
+  return cs;
+}
+
+ScenarioRegistry::ScenarioRegistry() {
+  add(Def<PressureWaveParams>(
+          "pressure_wave",
+          "non-reacting pressure pulse on a periodic box (section 4.1)",
+          [](const PressureWaveParams& p) {
+            return pressure_wave_case(p.n, p.two_d);
+          })
+          .i("n", &PressureWaveParams::n, 8, 1024, "points per axis")
+          .b("two_d", &PressureWaveParams::two_d, "collapse z to one plane")
+          .done());
+
+  add(Def<LiftedJetParams>(
+          "lifted_jet",
+          "autoigniting lifted H2/N2 jet flame in hot coflow (section 6)",
+          [](const LiftedJetParams& p) { return lifted_jet_case(p); })
+          .i("nx", &LiftedJetParams::nx, 8, 4096, "streamwise points")
+          .i("ny", &LiftedJetParams::ny, 8, 4096, "transverse points")
+          .r("Lx", &LiftedJetParams::Lx, 1e-4, 1.0, "domain length [m]")
+          .r("Ly", &LiftedJetParams::Ly, 1e-4, 1.0, "domain height [m]")
+          .r("slot_h", &LiftedJetParams::slot_h, 1e-5, 0.1, "jet width [m]")
+          .r("u_jet", &LiftedJetParams::u_jet, 0.0, 2000.0, "jet speed [m/s]")
+          .r("u_coflow", &LiftedJetParams::u_coflow, 0.0, 2000.0,
+             "coflow speed [m/s]")
+          .r("T_fuel", &LiftedJetParams::T_fuel, 200.0, 3000.0,
+             "fuel stream temperature [K]")
+          .r("T_coflow", &LiftedJetParams::T_coflow, 200.0, 3000.0,
+             "coflow temperature [K]")
+          .r("p", &LiftedJetParams::p, 1e3, 1e7, "pressure [Pa]")
+          .r("u_rms", &LiftedJetParams::u_rms, 0.0, 500.0,
+             "inflow turbulence intensity [m/s]")
+          .r("turb_len", &LiftedJetParams::turb_len, 1e-6, 1.0,
+             "turbulence length scale [m]")
+          .r("y_stretch", &LiftedJetParams::y_stretch, 1.0, 4.0,
+             "transverse mesh stretching")
+          .transport("transport", &LiftedJetParams::transport,
+                     "transport model")
+          .u64("seed", &LiftedJetParams::seed, "turbulence seed")
+          .done());
+
+  add(Def<BunsenParams>(
+          "bunsen",
+          "lean premixed CH4/air slot Bunsen flame (section 7)",
+          [](const BunsenParams& p) { return bunsen_case(p); })
+          .i("nx", &BunsenParams::nx, 8, 4096, "streamwise points")
+          .i("ny", &BunsenParams::ny, 8, 4096, "transverse points")
+          .r("Lx", &BunsenParams::Lx, 1e-4, 1.0, "domain length [m]")
+          .r("Ly", &BunsenParams::Ly, 1e-4, 1.0, "domain height [m]")
+          .r("slot_h", &BunsenParams::slot_h, 1e-5, 0.1, "slot width [m]")
+          .r("u_jet", &BunsenParams::u_jet, 0.0, 2000.0, "jet speed [m/s]")
+          .r("u_coflow", &BunsenParams::u_coflow, 0.0, 2000.0,
+             "coflow speed [m/s]")
+          .r("phi", &BunsenParams::phi, 0.05, 10.0, "equivalence ratio")
+          .r("T_unburnt", &BunsenParams::T_unburnt, 200.0, 3000.0,
+             "reactant temperature [K]")
+          .r("p", &BunsenParams::p, 1e3, 1e7, "pressure [Pa]")
+          .r("u_rms", &BunsenParams::u_rms, 0.0, 500.0,
+             "inflow turbulence intensity [m/s]")
+          .r("turb_len", &BunsenParams::turb_len, 1e-6, 1.0,
+             "turbulence length scale [m]")
+          .r("y_stretch", &BunsenParams::y_stretch, 1.0, 4.0,
+             "transverse mesh stretching")
+          .transport("transport", &BunsenParams::transport,
+                     "transport model")
+          .u64("seed", &BunsenParams::seed, "turbulence seed")
+          .done());
+
+  add(Def<TemporalJetParams>(
+          "temporal_jet",
+          "temporally evolving plane CO/H2 jet flame (hero-run class)",
+          [](const TemporalJetParams& p) { return temporal_jet_case(p); })
+          .i("nx", &TemporalJetParams::nx, 8, 4096, "streamwise points")
+          .i("ny", &TemporalJetParams::ny, 8, 4096, "transverse points")
+          .r("Lx", &TemporalJetParams::Lx, 1e-4, 1.0, "domain length [m]")
+          .r("Ly", &TemporalJetParams::Ly, 1e-4, 1.0, "domain height [m]")
+          .r("jet_h", &TemporalJetParams::jet_h, 1e-5, 0.1,
+             "fuel-stream width [m]")
+          .r("dU", &TemporalJetParams::dU, 0.0, 2000.0,
+             "stream velocity difference [m/s]")
+          .r("T0", &TemporalJetParams::T0, 200.0, 3000.0,
+             "stream temperature [K]")
+          .r("p", &TemporalJetParams::p, 1e3, 1e7, "pressure [Pa]")
+          .r("u_rms", &TemporalJetParams::u_rms, 0.0, 500.0,
+             "shear-layer perturbation intensity [m/s]")
+          .r("turb_len", &TemporalJetParams::turb_len, 1e-6, 1.0,
+             "turbulence length scale [m]")
+          .r("T_ignite", &TemporalJetParams::T_ignite, 300.0, 3000.0,
+             "ignition-strip temperature [K]")
+          .u64("seed", &TemporalJetParams::seed, "turbulence seed")
+          .done());
+
+  add(Def<CounterflowParams>(
+          "counterflow_ignition",
+          "cold diluted-H2 vs hot-air opposed-flow ignition",
+          [](const CounterflowParams& p) {
+            return counterflow_ignition_case(p);
+          })
+          .i("nx", &CounterflowParams::nx, 8, 4096, "axial points")
+          .i("ny", &CounterflowParams::ny, 8, 4096, "transverse points")
+          .r("Lx", &CounterflowParams::Lx, 1e-4, 1.0, "domain length [m]")
+          .r("Ly", &CounterflowParams::Ly, 1e-4, 1.0, "domain height [m]")
+          .r("strain", &CounterflowParams::strain, 0.0, 1e6,
+             "peak strain rate [1/s]")
+          .r("delta", &CounterflowParams::delta, 1e-6, 0.1,
+             "mixing-layer thickness [m]")
+          .r("T_fuel", &CounterflowParams::T_fuel, 200.0, 3000.0,
+             "fuel stream temperature [K]")
+          .r("T_ox", &CounterflowParams::T_ox, 200.0, 3000.0,
+             "oxidizer temperature [K]")
+          .r("p", &CounterflowParams::p, 1e3, 1e7, "pressure [Pa]")
+          .r("u_rms", &CounterflowParams::u_rms, 0.0, 500.0,
+             "perturbation intensity [m/s]")
+          .r("turb_len", &CounterflowParams::turb_len, 1e-6, 1.0,
+             "turbulence length scale [m]")
+          .u64("seed", &CounterflowParams::seed, "turbulence seed")
+          .done());
+
+  add(Def<HitAutoignitionParams>(
+          "hit_autoignition",
+          "lean premixed H2/air HIT auto-ignition in a periodic box",
+          [](const HitAutoignitionParams& p) {
+            return hit_autoignition_case(p);
+          })
+          .i("n", &HitAutoignitionParams::n, 8, 1024, "points per axis")
+          .b("two_d", &HitAutoignitionParams::two_d,
+             "collapse z to one plane")
+          .r("L", &HitAutoignitionParams::L, 1e-4, 1.0, "box edge [m]")
+          .r("phi", &HitAutoignitionParams::phi, 0.05, 10.0,
+             "equivalence ratio")
+          .r("T0", &HitAutoignitionParams::T0, 200.0, 3000.0,
+             "mean temperature [K]")
+          .r("dT", &HitAutoignitionParams::dT, 0.0, 2000.0,
+             "temperature-spot amplitude [K]")
+          .r("p", &HitAutoignitionParams::p, 1e3, 1e7, "pressure [Pa]")
+          .r("u_rms", &HitAutoignitionParams::u_rms, 0.0, 500.0,
+             "turbulence intensity [m/s]")
+          .r("turb_len", &HitAutoignitionParams::turb_len, 1e-6, 1.0,
+             "turbulence length scale [m]")
+          .u64("seed", &HitAutoignitionParams::seed, "turbulence seed")
+          .done());
+}
+
+}  // namespace s3d::solver

@@ -1,0 +1,95 @@
+#pragma once
+// Scenario plugin registry (DESIGN.md §15): every ready-made case from
+// src/solver/cases.* registers a name, a typed parameter schema, and a
+// CaseSetup factory, so workloads are selected and parameterized by
+// string key=value pairs ("config, not code") instead of per-example
+// driver programs. The registry is a deterministic ordered map (the
+// s3dlint unordered-container rule applies to this TU), names() is
+// sorted, and every built CaseSetup passes Config::validate() before it
+// reaches a caller — a malformed override is a typed ConfigError naming
+// the exact "scenario.<name>.<key>" field, an unknown name a typed
+// ScenarioError listing what IS registered.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "solver/cases.hpp"
+
+namespace s3d::solver {
+
+/// Thrown for unknown scenario names (the message lists every registered
+/// name) and for duplicate registrations.
+class ScenarioError : public Error {
+ public:
+  explicit ScenarioError(const std::string& what) : Error(what) {}
+};
+
+/// One declared scenario parameter: key, type, printable default, and —
+/// for numeric kinds — the closed validity range enforced before the
+/// factory runs.
+struct ParamSpec {
+  enum class Kind { integer, real, boolean, text };
+  std::string key;
+  Kind kind = Kind::real;
+  std::string def;   ///< printable default (schema listings, --describe)
+  double min = 0.0;  ///< numeric kinds: inclusive range
+  double max = 0.0;
+  std::string help;
+};
+
+/// Ordered key -> value override map ("nx" -> "48"). Ordered so schema
+/// application and error reporting are deterministic.
+using ParamMap = std::map<std::string, std::string>;
+
+/// A registered scenario: name, schema, and the CaseSetup factory. The
+/// factory receives overrides that already passed key-membership
+/// checking; its typed setters re-parse and range-check each value,
+/// throwing ConfigError("scenario.<name>.<key>", why) on violation.
+struct Scenario {
+  std::string name;
+  std::string description;
+  std::vector<ParamSpec> schema;
+  std::function<CaseSetup(const ParamMap&)> make;
+};
+
+/// Process-wide scenario registry. The built-in scenarios register in
+/// the constructor; user code may add() more (duplicate names throw).
+class ScenarioRegistry {
+ public:
+  static ScenarioRegistry& instance();
+
+  void add(Scenario sc);
+  bool contains(const std::string& name) const;
+  const Scenario& at(const std::string& name) const;
+  /// Registered names, sorted (the map order).
+  std::vector<std::string> names() const;
+
+  /// Validate `overrides` against the schema (unknown keys, parse
+  /// failures and range violations are typed ConfigErrors), run the
+  /// factory, then run Config::validate() on the result.
+  CaseSetup build(const std::string& name,
+                  const ParamMap& overrides = {}) const;
+
+ private:
+  ScenarioRegistry();
+  std::map<std::string, Scenario> map_;
+};
+
+// --- Typed parameter parsing (shared with the analysis registry and the
+//     scenario-runner CLI) ---
+
+/// Strict full-string parses; failures throw ConfigError(field, why).
+long parse_int_param(const std::string& field, const std::string& v);
+double parse_real_param(const std::string& field, const std::string& v);
+bool parse_bool_param(const std::string& field, const std::string& v);
+
+/// Split one "key=value" token into `into` (later duplicates win).
+/// Malformed tokens (no '=', empty key) throw ConfigError(field, why).
+void parse_kv(const std::string& field, const std::string& arg,
+              ParamMap& into);
+
+}  // namespace s3d::solver

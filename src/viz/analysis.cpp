@@ -1,0 +1,741 @@
+#include "viz/analysis.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <thread>
+
+#include "common/timer.hpp"
+#include "resilience/fault.hpp"
+#include "solver/ckpt_store.hpp"
+#include "solver/diagnostics.hpp"
+#include "trace/trace.hpp"
+
+namespace s3d::viz {
+
+using solver::CaseSetup;
+using solver::ConfigError;
+using solver::FusedPointwise;
+using solver::GField;
+using solver::Layout;
+using solver::RowRange;
+
+namespace {
+
+std::string join(const std::vector<std::string>& v) {
+  std::string out;
+  for (const auto& s : v) {
+    if (!out.empty()) out += ", ";
+    out += s;
+  }
+  return out;
+}
+
+std::string num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+/// Typed override extraction against an AnalysisSpec schema; the
+/// registry's build() already rejected unknown keys.
+long geti(const ParamMap& o, const std::string& name, const std::string& key,
+          long def, long lo, long hi) {
+  auto it = o.find(key);
+  if (it == o.end()) return def;
+  const std::string field = "analysis." + name + "." + key;
+  const long x = solver::parse_int_param(field, it->second);
+  if (x < lo || x > hi)
+    throw ConfigError(field, "value " + std::to_string(x) + " outside [" +
+                                 std::to_string(lo) + ", " +
+                                 std::to_string(hi) + "]");
+  return x;
+}
+
+double getr(const ParamMap& o, const std::string& name,
+            const std::string& key, double def, double lo, double hi) {
+  auto it = o.find(key);
+  if (it == o.end()) return def;
+  const std::string field = "analysis." + name + "." + key;
+  const double x = solver::parse_real_param(field, it->second);
+  if (x < lo || x > hi)
+    throw ConfigError(field, "value " + num(x) + " outside [" + num(lo) +
+                                 ", " + num(hi) + "]");
+  return x;
+}
+
+std::string gets(const ParamMap& o, const std::string& key,
+                 const std::string& def) {
+  auto it = o.find(key);
+  return it == o.end() ? def : it->second;
+}
+
+bool rank0(const vmpi::Comm* comm) { return !comm || comm->rank() == 0; }
+
+/// One sum-reduction of the per-invocation local scratch: identical
+/// call site on every rank (S3D_COLLECTIVE_CHECK agreement).
+void reduce_sum(vmpi::Comm* comm, std::span<double> v) {
+  if (comm) comm->allreduce_sum(v);
+}
+
+// ---------------------------------------------------------------------------
+// conditional_means: <T | Z> (or <T | c> for premixed scenarios) binned
+// on the conditioning variable — the aPriori conditional-mean pass.
+
+class ConditionalMeansPass : public AnalysisPass {
+ public:
+  explicit ConditionalMeansPass(int bins)
+      : AnalysisPass("conditional_means"),
+        bins_(bins),
+        acc_(3 * static_cast<std::size_t>(bins), 0.0) {}
+
+  void prepare(const AnalysisContext& ctx) override {
+    const auto& cs = ctx.cs;
+    const auto& mech = *cs.cfg.mech;
+    const Layout& l = ctx.s.layout();
+    if (!cs.Y_fuel.empty() && !cs.Y_ox.empty() && cs.Z_st > 0.0) {
+      cond_label_ = "Z";
+      cond_ = solver::mixture_fraction_field(mech, ctx.prim, l, cs.Y_ox,
+                                             cs.Y_fuel);
+    } else if (cs.Y_o2_unburnt != cs.Y_o2_burnt) {
+      cond_label_ = "c";
+      cond_ = solver::progress_variable_field(mech, ctx.prim, l,
+                                              cs.Y_o2_unburnt, cs.Y_o2_burnt);
+    } else {
+      throw AnalysisError(
+          "conditional_means: scenario provides neither mixture-fraction "
+          "streams nor progress-variable endpoints to condition on");
+    }
+  }
+
+  void add_stages(FusedPointwise& pass, const AnalysisContext& ctx) override {
+    const std::size_t nb = static_cast<std::size_t>(bins_);
+    cnt_l_.assign(nb, 0.0);
+    sum_l_.assign(nb, 0.0);
+    sum2_l_.assign(nb, 0.0);
+    const double* z = cond_.data();
+    const double* T = ctx.prim.T.data();
+    pass.add("conditional_means", [this, z, T](const RowRange& r) {
+      for (int m = 0; m < r.count; ++m) {
+        const std::size_t n = r.n0 + static_cast<std::size_t>(m);
+        int b = static_cast<int>(z[n] * bins_);
+        b = std::clamp(b, 0, bins_ - 1);
+        const std::size_t bi = static_cast<std::size_t>(b);
+        cnt_l_[bi] += 1.0;
+        sum_l_[bi] += T[n];
+        sum2_l_[bi] += T[n] * T[n];
+      }
+    });
+  }
+
+  void finish(const AnalysisContext& ctx) override {
+    const std::size_t nb = static_cast<std::size_t>(bins_);
+    std::vector<double> red(3 * nb);
+    std::copy(cnt_l_.begin(), cnt_l_.end(), red.begin());
+    std::copy(sum_l_.begin(), sum_l_.end(), red.begin() + nb);
+    std::copy(sum2_l_.begin(), sum2_l_.end(), red.begin() + 2 * nb);
+    reduce_sum(ctx.comm, red);
+    double samples = 0.0;
+    for (std::size_t i = 0; i < red.size(); ++i) acc_[i] += red[i];
+    for (std::size_t i = 0; i < nb; ++i) samples += red[i];
+    if (rank0(ctx.comm))
+      trace::counter_add("analysis.samples", samples);
+  }
+
+  void snapshot(std::vector<double>& out) const override {
+    out.insert(out.end(), acc_.begin(), acc_.end());
+  }
+  std::size_t restore(std::span<const double> in) override {
+    S3D_REQUIRE(in.size() >= acc_.size(),
+                "conditional_means: snapshot block too short");
+    std::copy(in.begin(), in.begin() + acc_.size(), acc_.begin());
+    return acc_.size();
+  }
+
+  std::string csv() const override {
+    const std::size_t nb = static_cast<std::size_t>(bins_);
+    std::string out = cond_label_ + ",count,T_mean,T_rms\n";
+    for (std::size_t b = 0; b < nb; ++b) {
+      const double n = acc_[b];
+      const double mean = n > 0.0 ? acc_[nb + b] / n : 0.0;
+      const double var =
+          n > 0.0 ? std::max(acc_[2 * nb + b] / n - mean * mean, 0.0) : 0.0;
+      out += num((b + 0.5) / bins_) + "," + num(n) + "," + num(mean) + "," +
+             num(std::sqrt(var)) + "\n";
+    }
+    return out;
+  }
+
+  std::string json() const override {
+    double samples = 0.0;
+    for (int b = 0; b < bins_; ++b)
+      samples += acc_[static_cast<std::size_t>(b)];
+    return "\"name\": \"conditional_means\", \"cond\": \"" + cond_label_ +
+           "\", \"bins\": " + std::to_string(bins_) +
+           ", \"samples\": " + num(samples);
+  }
+
+ private:
+  int bins_;
+  std::string cond_label_ = "Z";
+  GField cond_;
+  std::vector<double> cnt_l_, sum_l_, sum2_l_;  ///< per-invocation scratch
+  std::vector<double> acc_;  ///< [count | sum T | sum T^2] per bin
+};
+
+// ---------------------------------------------------------------------------
+// scalar_dissipation: chi = 2 D |grad Z|^2 conditioned on Z, plus the
+// domain mean and running max.
+
+class ScalarDissipationPass : public AnalysisPass {
+ public:
+  ScalarDissipationPass(int bins, double D)
+      : AnalysisPass("scalar_dissipation"),
+        bins_(bins),
+        D_(D),
+        acc_(3 * static_cast<std::size_t>(bins) + 3, 0.0) {}
+
+  void prepare(const AnalysisContext& ctx) override {
+    const auto& cs = ctx.cs;
+    // Z_st == 0 marks premixed cases whose Y_fuel/Y_ox carry the
+    // unburnt/burnt endpoints, not genuine mixing streams.
+    if (cs.Y_fuel.empty() || cs.Y_ox.empty() || cs.Z_st <= 0.0)
+      throw AnalysisError(
+          "scalar_dissipation: scenario provides no mixture-fraction "
+          "streams");
+    const Layout& l = ctx.s.layout();
+    z_ = solver::mixture_fraction_field(*cs.cfg.mech, ctx.prim, l, cs.Y_ox,
+                                        cs.Y_fuel);
+    gz_ = solver::gradient_magnitude(ctx.s.rhs().ops(), z_);
+  }
+
+  void add_stages(FusedPointwise& pass, const AnalysisContext& ctx) override {
+    (void)ctx;
+    const std::size_t nb = static_cast<std::size_t>(bins_);
+    cnt_l_.assign(nb, 0.0);
+    sum_l_.assign(nb, 0.0);
+    sum2_l_.assign(nb, 0.0);
+    chi_sum_l_ = 0.0;
+    chi_max_l_ = 0.0;
+    const double* z = z_.data();
+    const double* g = gz_.data();
+    pass.add("scalar_dissipation", [this, z, g](const RowRange& r) {
+      for (int m = 0; m < r.count; ++m) {
+        const std::size_t n = r.n0 + static_cast<std::size_t>(m);
+        const double chi = 2.0 * D_ * g[n] * g[n];
+        int b = static_cast<int>(z[n] * bins_);
+        b = std::clamp(b, 0, bins_ - 1);
+        const std::size_t bi = static_cast<std::size_t>(b);
+        cnt_l_[bi] += 1.0;
+        sum_l_[bi] += chi;
+        sum2_l_[bi] += chi * chi;
+        chi_sum_l_ += chi;
+        chi_max_l_ = std::max(chi_max_l_, chi);
+      }
+    });
+  }
+
+  void finish(const AnalysisContext& ctx) override {
+    const std::size_t nb = static_cast<std::size_t>(bins_);
+    std::vector<double> red(3 * nb + 2);
+    std::copy(cnt_l_.begin(), cnt_l_.end(), red.begin());
+    std::copy(sum_l_.begin(), sum_l_.end(), red.begin() + nb);
+    std::copy(sum2_l_.begin(), sum2_l_.end(), red.begin() + 2 * nb);
+    red[3 * nb] = chi_sum_l_;
+    double samples = 0.0;
+    for (std::size_t i = 0; i < nb; ++i) samples += cnt_l_[i];
+    red[3 * nb + 1] = samples;
+    reduce_sum(ctx.comm, red);
+    double chi_max = chi_max_l_;
+    if (ctx.comm) chi_max = ctx.comm->allreduce_max(chi_max);
+    for (std::size_t i = 0; i < 3 * nb; ++i) acc_[i] += red[i];
+    acc_[3 * nb] += red[3 * nb];          // running chi sum
+    acc_[3 * nb + 1] += red[3 * nb + 1];  // running sample count
+    acc_[3 * nb + 2] = std::max(acc_[3 * nb + 2], chi_max);
+    if (rank0(ctx.comm))
+      trace::gauge_set("analysis.chi_max", acc_[3 * nb + 2]);
+  }
+
+  void snapshot(std::vector<double>& out) const override {
+    out.insert(out.end(), acc_.begin(), acc_.end());
+  }
+  std::size_t restore(std::span<const double> in) override {
+    S3D_REQUIRE(in.size() >= acc_.size(),
+                "scalar_dissipation: snapshot block too short");
+    std::copy(in.begin(), in.begin() + acc_.size(), acc_.begin());
+    return acc_.size();
+  }
+
+  std::string csv() const override {
+    const std::size_t nb = static_cast<std::size_t>(bins_);
+    std::string out = "Z,count,chi_mean,chi_rms\n";
+    for (std::size_t b = 0; b < nb; ++b) {
+      const double n = acc_[b];
+      const double mean = n > 0.0 ? acc_[nb + b] / n : 0.0;
+      const double var =
+          n > 0.0 ? std::max(acc_[2 * nb + b] / n - mean * mean, 0.0) : 0.0;
+      out += num((b + 0.5) / bins_) + "," + num(n) + "," + num(mean) + "," +
+             num(std::sqrt(var)) + "\n";
+    }
+    return out;
+  }
+
+  std::string json() const override {
+    const std::size_t nb = static_cast<std::size_t>(bins_);
+    const double n = acc_[3 * nb + 1];
+    const double mean = n > 0.0 ? acc_[3 * nb] / n : 0.0;
+    return "\"name\": \"scalar_dissipation\", \"bins\": " +
+           std::to_string(bins_) + ", \"samples\": " + num(n) +
+           ", \"chi_mean\": " + num(mean) +
+           ", \"chi_max\": " + num(acc_[3 * nb + 2]);
+  }
+
+ private:
+  int bins_;
+  double D_;
+  GField z_, gz_;
+  std::vector<double> cnt_l_, sum_l_, sum2_l_;
+  double chi_sum_l_ = 0.0, chi_max_l_ = 0.0;
+  std::vector<double> acc_;  ///< [count|sum|sum2] per bin, chi_sum, n, max
+};
+
+// ---------------------------------------------------------------------------
+// apriori_subgrid: box-filter a-priori subgrid stress tau_ij =
+// <u_i u_j> - <u_i><u_j> and scalar flux q_i = <u_i s> - <u_i><s>
+// (s = Z when streams exist, else T), sampled on cells at least `width`
+// away from every non-periodic GLOBAL boundary so the sample set — and
+// each cell's filter stencil — is decomposition-invariant (periodic and
+// rank seams read exchanged ghost shells; the ghost width bounds the
+// filter half-width).
+
+class AprioriSubgridPass : public AnalysisPass {
+ public:
+  explicit AprioriSubgridPass(int width)
+      : AnalysisPass("apriori_subgrid"), r_(width), acc_(6, 0.0) {}
+
+  void prepare(const AnalysisContext& ctx) override {
+    const auto& cs = ctx.cs;
+    if (!cs.Y_fuel.empty() && !cs.Y_ox.empty() && cs.Z_st > 0.0) {
+      scalar_label_ = "Z";
+      z_ = solver::mixture_fraction_field(*cs.cfg.mech, ctx.prim,
+                                          ctx.s.layout(), cs.Y_ox,
+                                          cs.Y_fuel);
+      scalar_ = z_.data();
+    } else {
+      scalar_label_ = "T";
+      scalar_ = ctx.prim.T.data();
+    }
+  }
+
+  void add_stages(FusedPointwise& pass, const AnalysisContext& ctx) override {
+    std::fill(loc_.begin(), loc_.end(), 0.0);
+    const Layout& l = ctx.s.layout();
+    S3D_REQUIRE(r_ <= std::max({l.gx, l.gy, l.gz}),
+                "apriori_subgrid: filter half-width exceeds the ghost width");
+    const std::array<int, 3> off = ctx.s.offset();
+    const std::array<int, 3> N = {ctx.cs.cfg.x.n, ctx.cs.cfg.y.n,
+                                  ctx.cs.cfg.z.n};
+    const std::array<bool, 3> per = {ctx.cs.cfg.x.periodic,
+                                     ctx.cs.cfg.y.periodic,
+                                     ctx.cs.cfg.z.periodic};
+    const bool wy = l.active(1), wz = l.active(2);
+    const std::ptrdiff_t sy = l.stride(1), sz = l.stride(2);
+    const double* u = ctx.prim.u.data();
+    const double* v = ctx.prim.v.data();
+    const double* s = scalar_;
+    pass.add("apriori_subgrid", [this, off, N, per, wy, wz, sy, sz, u, v,
+                                 s](const RowRange& rr) {
+      const int gj = off[1] + rr.j, gk = off[2] + rr.k;
+      if ((wy && !per[1] && (gj < r_ || gj > N[1] - 1 - r_)) ||
+          (wz && !per[2] && (gk < r_ || gk > N[2] - 1 - r_)))
+        return;
+      for (int m = 0; m < rr.count; ++m) {
+        const int gi = off[0] + rr.i0 + m;
+        if (!per[0] && (gi < r_ || gi > N[0] - 1 - r_)) continue;
+        const std::size_t n = rr.n0 + static_cast<std::size_t>(m);
+        double cells = 0.0;
+        double mu = 0.0, mv = 0.0, ms = 0.0;
+        double muu = 0.0, muv = 0.0, mvv = 0.0, mus = 0.0, mvs = 0.0;
+        for (int dz = wz ? -r_ : 0; dz <= (wz ? r_ : 0); ++dz)
+          for (int dy = wy ? -r_ : 0; dy <= (wy ? r_ : 0); ++dy)
+            for (int dx = -r_; dx <= r_; ++dx) {
+              const std::size_t q = n + static_cast<std::size_t>(
+                                            dx + dy * sy + dz * sz);
+              mu += u[q];
+              mv += v[q];
+              ms += s[q];
+              muu += u[q] * u[q];
+              muv += u[q] * v[q];
+              mvv += v[q] * v[q];
+              mus += u[q] * s[q];
+              mvs += v[q] * s[q];
+              cells += 1.0;
+            }
+        const double inv = 1.0 / cells;
+        mu *= inv;
+        mv *= inv;
+        ms *= inv;
+        loc_[0] += 1.0;
+        loc_[1] += std::abs(muu * inv - mu * mu);
+        loc_[2] += std::abs(muv * inv - mu * mv);
+        loc_[3] += std::abs(mvv * inv - mv * mv);
+        loc_[4] += std::abs(mus * inv - mu * ms);
+        loc_[5] += std::abs(mvs * inv - mv * ms);
+      }
+    });
+  }
+
+  void finish(const AnalysisContext& ctx) override {
+    std::vector<double> red(loc_.begin(), loc_.end());
+    reduce_sum(ctx.comm, red);
+    for (std::size_t i = 0; i < acc_.size(); ++i) acc_[i] += red[i];
+    if (rank0(ctx.comm)) trace::counter_add("analysis.filtered", red[0]);
+  }
+
+  void snapshot(std::vector<double>& out) const override {
+    out.insert(out.end(), acc_.begin(), acc_.end());
+  }
+  std::size_t restore(std::span<const double> in) override {
+    S3D_REQUIRE(in.size() >= acc_.size(),
+                "apriori_subgrid: snapshot block too short");
+    std::copy(in.begin(), in.begin() + acc_.size(), acc_.begin());
+    return acc_.size();
+  }
+
+  std::string csv() const override {
+    const double n = std::max(acc_[0], 1.0);
+    return "scalar,width,samples,tau_xx,tau_xy,tau_yy,q_x,q_y\n" +
+           scalar_label_ + "," + std::to_string(2 * r_ + 1) + "," +
+           num(acc_[0]) + "," + num(acc_[1] / n) + "," + num(acc_[2] / n) +
+           "," + num(acc_[3] / n) + "," + num(acc_[4] / n) + "," +
+           num(acc_[5] / n) + "\n";
+  }
+
+  std::string json() const override {
+    const double n = std::max(acc_[0], 1.0);
+    return "\"name\": \"apriori_subgrid\", \"scalar\": \"" + scalar_label_ +
+           "\", \"width\": " + std::to_string(2 * r_ + 1) +
+           ", \"samples\": " + num(acc_[0]) +
+           ", \"tau_xy\": " + num(acc_[2] / n) +
+           ", \"q_x\": " + num(acc_[4] / n);
+  }
+
+ private:
+  int r_;
+  std::string scalar_label_ = "T";
+  GField z_;
+  const double* scalar_ = nullptr;
+  std::array<double, 6> loc_{};  ///< n, |t_xx|, |t_xy|, |t_yy|, |q_x|, |q_y|
+  std::vector<double> acc_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// RenderAnalysis ("insitu_render")
+
+RenderAnalysis::RenderAnalysis(std::string dir, std::string field, double lo,
+                               double hi, double opacity)
+    : AnalysisPass("insitu_render"),
+      dir_(std::move(dir)),
+      field_(std::move(field)),
+      lo_(lo),
+      hi_(hi),
+      opacity_(opacity) {}
+
+void RenderAnalysis::prepare(const AnalysisContext& ctx) {
+  const auto& prim = ctx.prim;
+  if (field_ == "T")
+    ctx_field_ = &prim.T;
+  else if (field_ == "rho")
+    ctx_field_ = &prim.rho;
+  else if (field_ == "p")
+    ctx_field_ = &prim.p;
+  else if (field_ == "u")
+    ctx_field_ = &prim.u;
+  else if (field_ == "v")
+    ctx_field_ = &prim.v;
+  else if (field_ == "w")
+    ctx_field_ = &prim.w;
+  else if (field_.rfind("Y:", 0) == 0)
+    ctx_field_ = &prim.Y[static_cast<std::size_t>(
+        ctx.cs.cfg.mech->index(field_.substr(2)))];
+  else
+    throw AnalysisError("insitu_render: unknown field '" + field_ +
+                        "' (use T, rho, p, u, v, w, or Y:<species>)");
+}
+
+void RenderAnalysis::add_stages(solver::FusedPointwise& pass,
+                                const AnalysisContext& ctx) {
+  // Rendering reads whole fields after the traversal; it contributes no
+  // row stage to the shared pass.
+  (void)pass;
+  (void)ctx;
+}
+
+void RenderAnalysis::finish(const AnalysisContext& ctx) {
+  // Rank 0 renders its local box; a gathered global render would need a
+  // collective image reduction this hook deliberately avoids.
+  if (!rank0(ctx.comm) || ctx_field_ == nullptr) return;
+  s3d::Timer t;
+  TransferFunction tf;
+  tf.opacity = opacity_;
+  if (hi_ > lo_) {
+    tf.lo = lo_;
+    tf.hi = hi_;
+  } else {
+    const Layout& l = ctx_field_->layout();
+    double mn = 1e300, mx = -1e300;
+    for (int k = 0; k < l.nz; ++k)
+      for (int j = 0; j < l.ny; ++j)
+        for (int i = 0; i < l.nx; ++i) {
+          const double x = (*ctx_field_)(i, j, k);
+          mn = std::min(mn, x);
+          mx = std::max(mx, x);
+        }
+    tf.lo = mn;
+    tf.hi = mx > mn ? mx : mn + 1.0;
+  }
+  VolumeRenderer vr(2);
+  Image img = vr.render({Layer{ctx_field_, tf}});
+  img.write_ppm(dir_ + "/" + field_ + "_" + std::to_string(ctx.step) +
+                ".ppm");
+  ++frames_;
+  overhead_ += t.seconds();
+  if (rank0(ctx.comm)) trace::counter_add("analysis.frames", 1.0);
+}
+
+void RenderAnalysis::render_now(long step) {
+  s3d::Timer t;
+  for (const auto& p : products_) {
+    const GField* f = p.field();
+    if (!f) continue;
+    VolumeRenderer vr(2);
+    Image img = vr.render({Layer{f, p.tf}});
+    img.write_ppm(dir_ + "/" + p.name + "_" + std::to_string(step) + ".ppm");
+  }
+  ++frames_;
+  overhead_ += t.seconds();
+}
+
+void RenderAnalysis::snapshot(std::vector<double>& out) const {
+  out.push_back(static_cast<double>(frames_));
+}
+
+std::size_t RenderAnalysis::restore(std::span<const double> in) {
+  S3D_REQUIRE(!in.empty(), "insitu_render: snapshot block too short");
+  frames_ = static_cast<int>(in[0]);
+  return 1;
+}
+
+std::string RenderAnalysis::csv() const {
+  return "frames,overhead_s\n" + std::to_string(frames_) + "," +
+         num(overhead_) + "\n";
+}
+
+std::string RenderAnalysis::json() const {
+  return "\"name\": \"insitu_render\", \"field\": \"" + field_ +
+         "\", \"frames\": " + std::to_string(frames_);
+}
+
+// ---------------------------------------------------------------------------
+// AnalysisRegistry
+
+AnalysisRegistry& AnalysisRegistry::instance() {
+  static AnalysisRegistry reg;
+  return reg;
+}
+
+void AnalysisRegistry::add(AnalysisSpec spec) {
+  auto [it, inserted] = map_.emplace(spec.name, std::move(spec));
+  if (!inserted)
+    throw AnalysisError("analysis '" + it->first + "' already registered");
+}
+
+bool AnalysisRegistry::contains(const std::string& name) const {
+  return map_.count(name) != 0;
+}
+
+const AnalysisSpec& AnalysisRegistry::at(const std::string& name) const {
+  auto it = map_.find(name);
+  if (it == map_.end())
+    throw AnalysisError("unknown analysis '" + name +
+                        "' (registered: " + join(names()) + ")");
+  return it->second;
+}
+
+std::vector<std::string> AnalysisRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(map_.size());
+  for (const auto& [k, v] : map_) out.push_back(k);
+  return out;
+}
+
+std::unique_ptr<AnalysisPass> AnalysisRegistry::build(
+    const std::string& name, const ParamMap& overrides) const {
+  const AnalysisSpec& spec = at(name);
+  for (const auto& [k, v] : overrides) {
+    (void)v;
+    bool known = false;
+    for (const auto& ps : spec.schema) known = known || ps.key == k;
+    if (!known) {
+      std::vector<std::string> keys;
+      keys.reserve(spec.schema.size());
+      for (const auto& ps : spec.schema) keys.push_back(ps.key);
+      throw ConfigError("analysis." + name + "." + k,
+                        "unknown parameter (known: " + join(keys) + ")");
+    }
+  }
+  return spec.make(overrides);
+}
+
+AnalysisRegistry::AnalysisRegistry() {
+  add({"conditional_means",
+       "conditional mean/rms temperature binned on mixture fraction "
+       "(or progress variable for premixed scenarios)",
+       {{"bins", ParamSpec::Kind::integer, "32", 2, 4096, "bins"}},
+       [](const ParamMap& o) {
+         return std::make_unique<ConditionalMeansPass>(static_cast<int>(
+             geti(o, "conditional_means", "bins", 32, 2, 4096)));
+       }});
+  add({"scalar_dissipation",
+       "chi = 2 D |grad Z|^2 conditioned on Z, with domain mean and max",
+       {{"bins", ParamSpec::Kind::integer, "32", 2, 4096, "bins"},
+        {"D", ParamSpec::Kind::real, "2e-5", 1e-9, 1.0,
+         "reference diffusivity [m^2/s]"}},
+       [](const ParamMap& o) {
+         return std::make_unique<ScalarDissipationPass>(
+             static_cast<int>(
+                 geti(o, "scalar_dissipation", "bins", 32, 2, 4096)),
+             getr(o, "scalar_dissipation", "D", 2e-5, 1e-9, 1.0));
+       }});
+  add({"apriori_subgrid",
+       "box-filter a-priori subgrid stress/scalar-flux magnitudes",
+       {{"width", ParamSpec::Kind::integer, "2", 1, 4,
+         "filter half-width [cells]"}},
+       [](const ParamMap& o) {
+         return std::make_unique<AprioriSubgridPass>(
+             static_cast<int>(geti(o, "apriori_subgrid", "width", 2, 1, 4)));
+       }});
+  add({"insitu_render",
+       "volume-render a primitive field to numbered PPM frames",
+       {{"dir", ParamSpec::Kind::text, ".", 0, 0, "output directory"},
+        {"field", ParamSpec::Kind::text, "T",
+         0, 0, "T, rho, p, u, v, w, or Y:<species>"},
+        {"lo", ParamSpec::Kind::real, "0", -1e300, 1e300, "transfer lo"},
+        {"hi", ParamSpec::Kind::real, "0", -1e300, 1e300,
+         "transfer hi (<= lo: autoscale)"},
+        {"opacity", ParamSpec::Kind::real, "0.9", 0.0, 1.0, "peak opacity"}},
+       [](const ParamMap& o) {
+         return std::make_unique<RenderAnalysis>(
+             gets(o, "dir", "."), gets(o, "field", "T"),
+             getr(o, "insitu_render", "lo", 0.0, -1e300, 1e300),
+             getr(o, "insitu_render", "hi", 0.0, -1e300, 1e300),
+             getr(o, "insitu_render", "opacity", 0.9, 0.0, 1.0));
+       }});
+}
+
+// ---------------------------------------------------------------------------
+// AnalysisDriver
+
+AnalysisDriver::AnalysisDriver(const CaseSetup& cs, AnalysisOptions opt)
+    : cs_(cs), opt_(std::move(opt)) {}
+
+void AnalysisDriver::add(const std::string& name, const ParamMap& overrides) {
+  passes_.push_back(AnalysisRegistry::instance().build(name, overrides));
+}
+
+void AnalysisDriver::attach(solver::Solver& s, vmpi::Comm* comm) {
+  s_ = &s;
+  comm_ = comm;
+}
+
+void AnalysisDriver::on_step(long step) {
+  if (s_ == nullptr || passes_.empty()) return;
+  if (opt_.interval <= 0 || step % opt_.interval != 0) return;
+  invoke(step);
+}
+
+void AnalysisDriver::invoke(long step) {
+  S3D_REQUIRE(s_ != nullptr, "AnalysisDriver: invoke before attach");
+  trace::Span sp("analysis.pass", "viz");
+  // Refresh the primitive workspace (interior recompute + ghost
+  // exchange); collective in parallel runs, so every rank must reach
+  // this invocation — on_step keys off the shared step count.
+  const solver::Prim& prim = s_->primitives();
+  AnalysisContext ctx{*s_, cs_, prim, step, s_->time(), comm_};
+  for (auto& p : passes_) p->prepare(ctx);
+  // The fused consumer hook: ONE interior traversal carrying every
+  // active analysis's row stages (DESIGN.md §10 legality: stages write
+  // pairwise-disjoint per-pass scratch).
+  FusedPointwise pass("analysis.pass");
+  for (auto& p : passes_) p->add_stages(pass, ctx);
+  if (pass.stages() > 0) pass.run_interior(s_->layout(), &stats_);
+  for (auto& p : passes_) p->finish(ctx);
+  ++invocations_;
+  if (rank0(comm_)) trace::counter_add("analysis.invocations", 1.0);
+  if (opt_.emit_every > 0 && invocations_ % opt_.emit_every == 0)
+    emit(step);
+}
+
+void AnalysisDriver::snapshot(std::vector<double>& out) const {
+  for (const auto& p : passes_) p->snapshot(out);
+}
+
+std::size_t AnalysisDriver::restore(std::span<const double> in) {
+  std::size_t used = 0;
+  for (auto& p : passes_) used += p->restore(in.subspan(used));
+  return used;
+}
+
+solver::StateSidecar AnalysisDriver::sidecar() {
+  solver::StateSidecar sc;
+  sc.save = [this](std::vector<double>& out) { snapshot(out); };
+  sc.load = [this](std::span<const double> in) { return restore(in); };
+  return sc;
+}
+
+std::vector<std::string> AnalysisDriver::emit(long step) const {
+  std::vector<std::string> written;
+  if (!rank0(comm_)) return written;
+  auto durable_write = [this](const std::string& path,
+                              const std::string& text) {
+    // The iosim write policy: bounded retries with linear backoff;
+    // exhaustion drops the file (counted), never kills the run.
+    for (int attempt = 0; attempt < std::max(opt_.emit_retries, 1);
+         ++attempt) {
+      try {
+        if (fault::probe("analysis.emit"))
+          throw Error("injected analysis.emit fault");
+        solver::atomic_write_file(path, text);
+        trace::counter_add("analysis.emit", 1.0);
+        return true;
+      } catch (const Error&) {
+        trace::counter_add("analysis.emit_retry", 1.0);
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+            opt_.backoff_ms * (attempt + 1)));
+      }
+    }
+    trace::counter_add("analysis.emit_drop", 1.0);
+    return false;
+  };
+  std::string summary = "{\n  \"step\": " + std::to_string(step) +
+                        ",\n  \"passes\": [\n";
+  bool first = true;
+  for (const auto& p : passes_) {
+    const std::string path = opt_.out_dir + "/analysis_" + p->name() + "_" +
+                             std::to_string(step) + ".csv";
+    if (durable_write(path, p->csv())) written.push_back(path);
+    if (!first) summary += ",\n";
+    summary += "    {" + p->json() + "}";
+    first = false;
+  }
+  summary += "\n  ]\n}\n";
+  const std::string jpath =
+      opt_.out_dir + "/analysis_summary_" + std::to_string(step) + ".json";
+  if (durable_write(jpath, summary)) written.push_back(jpath);
+  return written;
+}
+
+}  // namespace s3d::viz

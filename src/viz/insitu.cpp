@@ -1,21 +1,19 @@
 #include "viz/insitu.hpp"
 
-#include "common/timer.hpp"
-
 namespace s3d::viz {
+
+InSituVis::InSituVis(std::string out_dir, int interval)
+    : interval_(interval) {
+  // Route through the registry so the facade exercises the same
+  // validated construction path as the scenario runner's --analysis.
+  auto pass = AnalysisRegistry::instance().build("insitu_render",
+                                                 {{"dir", out_dir}});
+  render_.reset(static_cast<RenderAnalysis*>(pass.release()));
+}
 
 void InSituVis::on_step(int step) {
   if (interval_ <= 0 || step % interval_ != 0) return;
-  s3d::Timer t;
-  for (const auto& p : products_) {
-    const solver::GField* f = p.field();
-    if (!f) continue;
-    VolumeRenderer vr(2);
-    Image img = vr.render({Layer{f, p.tf}});
-    img.write_ppm(dir_ + "/" + p.name + "_" + std::to_string(step) + ".ppm");
-  }
-  ++frames_;
-  overhead_ += t.seconds();
+  render_->render_now(step);
 }
 
 }  // namespace s3d::viz

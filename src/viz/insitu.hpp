@@ -4,45 +4,39 @@
 // copies of the state are taken), with decoupled image output and a
 // recorded overhead so the "small overhead on top of the simulation"
 // requirement can be verified.
+//
+// InSituVis is now a thin cadence facade over the AnalysisRegistry's
+// "insitu_render" pass (DESIGN.md §15): construction goes through
+// AnalysisRegistry::build, and the product list / render loop live in
+// RenderAnalysis. Existing callers (examples, test_viz) keep their API.
 
-#include <functional>
+#include <memory>
 #include <string>
-#include <vector>
 
-#include "viz/render.hpp"
+#include "viz/analysis.hpp"
 
 namespace s3d::viz {
 
 class InSituVis {
  public:
-  /// A named rendering product: the field supplier is invoked at render
-  /// time so the hook always sees the live solver state.
-  struct Product {
-    std::string name;
-    std::function<const solver::GField*()> field;
-    TransferFunction tf;
-  };
+  using Product = RenderAnalysis::Product;
 
   /// @param out_dir   directory for numbered PPM frames
   /// @param interval  render every `interval` steps
-  InSituVis(std::string out_dir, int interval)
-      : dir_(std::move(out_dir)), interval_(interval) {}
+  InSituVis(std::string out_dir, int interval);
 
-  void add_product(Product p) { products_.push_back(std::move(p)); }
+  void add_product(Product p) { render_->add_product(std::move(p)); }
 
   /// Call from the solver monitor; renders when due.
   void on_step(int step);
 
-  int frames_written() const { return frames_; }
+  int frames_written() const { return render_->frames_written(); }
   /// Total seconds spent rendering (the in-situ overhead).
-  double overhead_seconds() const { return overhead_; }
+  double overhead_seconds() const { return render_->overhead_seconds(); }
 
  private:
-  std::string dir_;
   int interval_;
-  std::vector<Product> products_;
-  int frames_ = 0;
-  double overhead_ = 0.0;
+  std::unique_ptr<RenderAnalysis> render_;
 };
 
 }  // namespace s3d::viz

@@ -4,7 +4,11 @@ void counters() {
   const char* a = "health.fixture_rollbacks";
   const char* b = "ckpt.fixture.bytes";
   const char* c = "chem.fixture.batch_cells";
+  const char* d = "scenario.fixture.build";
+  const char* e = "analysis.fixture.samples";
   (void)a;
   (void)b;
   (void)c;
+  (void)d;
+  (void)e;
 }

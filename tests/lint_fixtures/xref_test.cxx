@@ -6,6 +6,10 @@ void refs() {
   const char* missing = "chem.fixture.never_defined";  // finding
   const char* file_like = "ckpt.fixture.rst";        // skip_ext: clean
   const char* plain = "not a registry name";         // shape: clean
+  const char* s_ok = "scenario.fixture.build";       // defined: clean
+  const char* s_typo = "scenario.fixture.buidl";     // finding: typo'd
+  const char* a_ok = "analysis.fixture.samples";     // defined: clean
+  const char* a_missing = "analysis.fixture.never";  // finding
   // s3dlint:allow(xref): fixture — waived reference site
   const char* waived = "health.fixture_waived_name";
   (void)ok;
@@ -15,4 +19,8 @@ void refs() {
   (void)file_like;
   (void)plain;
   (void)waived;
+  (void)s_ok;
+  (void)s_typo;
+  (void)a_ok;
+  (void)a_missing;
 }

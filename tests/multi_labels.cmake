@@ -22,6 +22,13 @@ foreach(t ${test_passes_TESTS})
   set_tests_properties("${t}" PROPERTIES LABELS "passes;health")
 endforeach()
 
+# test_analysis: the analysis sidecar rides the health snapshot ring
+# and the rollback ladder, so the plugin tier doubles into the health
+# lane (and its UBSan/TSan runs).
+foreach(t ${test_analysis_TESTS})
+  set_tests_properties("${t}" PROPERTIES LABELS "plugin;health")
+endforeach()
+
 # test_dt_control + test_adaptive: the adaptive dt tier (ctest -L
 # adaptive) is part of the health contract too — the escalation ladder
 # is the breach recovery path — so both suites also carry the health

@@ -184,20 +184,29 @@ TEST(S3dlintNoinline, MissingFileAndRenamedKernelAreReported) {
 
 TEST(S3dlintXref, TestReferencedNamesMustExistInSrc) {
   Config cfg;
-  cfg.xref_prefixes = {"health.", "ckpt.", "chem."};
+  cfg.xref_prefixes = {"health.", "ckpt.", "chem.", "scenario.",
+                       "analysis."};
   cfg.xref_skip_ext = {"rst"};
   const auto src = scan_fixture("xref_src.cxx", "src/trace/counters.cpp");
   const auto tst = scan_fixture("xref_test.cxx", "tests/test_fixture.cpp");
   const auto findings = rule_xref(cfg, {src, tst});
-  // Exactly the typo'd counter and the never-defined name fire; the
-  // defined name, the concatenation base, the file-extension literal,
-  // the non-dotted string, and the waived name stay quiet.
-  ASSERT_EQ(findings.size(), 2u);
+  // Exactly the typo'd counters and the never-defined names fire — one
+  // pair from the original prefixes, one from the scenario./analysis.
+  // registry prefixes; the defined names, the concatenation base, the
+  // file-extension literal, the non-dotted string, and the waived name
+  // stay quiet.
+  ASSERT_EQ(findings.size(), 4u);
   // s3dlint:allow(xref): deliberately-undefined fixture names under test
   EXPECT_NE(findings[0].message.find("health.fixture_rollbacksx"),
             std::string::npos);
   // s3dlint:allow(xref): deliberately-undefined fixture names under test
   EXPECT_NE(findings[1].message.find("chem.fixture.never_defined"),
+            std::string::npos);
+  // s3dlint:allow(xref): deliberately-undefined fixture names under test
+  EXPECT_NE(findings[2].message.find("scenario.fixture.buidl"),
+            std::string::npos);
+  // s3dlint:allow(xref): deliberately-undefined fixture names under test
+  EXPECT_NE(findings[3].message.find("analysis.fixture.never"),
             std::string::npos);
   for (const auto& fd : findings) EXPECT_EQ(fd.rule, "xref");
 }

@@ -1,0 +1,201 @@
+// Scenario plugin registry suite (ctest -L plugin): registered names,
+// typed error paths (unknown scenario, duplicate registration, malformed
+// / out-of-range --set overrides routed through the Config::validate()
+// machinery), and the registry-vs-direct equivalence pin — a CaseSetup
+// built through ScenarioRegistry::build must integrate bitwise
+// identically to one built by calling the case factory directly
+// (DESIGN.md §15).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <string>
+
+#include "common/hash.hpp"
+#include "solver/cases.hpp"
+#include "solver/scenario.hpp"
+#include "solver/solver.hpp"
+
+namespace sv = s3d::solver;
+
+namespace {
+
+std::uint64_t state_checksum(const sv::Solver& s) {
+  s3d::Fnv1a64 h;
+  const auto& l = s.layout();
+  for (int v = 0; v < s.state().nv(); ++v)
+    for (int k = 0; k < l.nz; ++k)
+      for (int j = 0; j < l.ny; ++j)
+        for (int i = 0; i < l.nx; ++i)
+          h.update_value(s.state().at(v, i, j, k));
+  h.update_value(s.time());
+  return h.digest();
+}
+
+bool state_all_finite(const sv::Solver& s) {
+  const auto& l = s.layout();
+  for (int v = 0; v < s.state().nv(); ++v)
+    for (int k = 0; k < l.nz; ++k)
+      for (int j = 0; j < l.ny; ++j)
+        for (int i = 0; i < l.nx; ++i)
+          if (!std::isfinite(s.state().at(v, i, j, k))) return false;
+  return true;
+}
+
+}  // namespace
+
+TEST(ScenarioRegistry, ListsEveryBuiltinSorted) {
+  const auto names = sv::ScenarioRegistry::instance().names();
+  const std::vector<std::string> expect = {
+      "bunsen",       "counterflow_ignition", "hit_autoignition",
+      "lifted_jet",   "pressure_wave",        "temporal_jet"};
+  ASSERT_EQ(names.size(), expect.size());
+  EXPECT_EQ(names, expect) << "registry must stay a deterministic "
+                              "ordered map";
+}
+
+TEST(ScenarioRegistry, UnknownNameListsRegisteredScenarios) {
+  try {
+    sv::ScenarioRegistry::instance().at("no_such_case");
+    FAIL() << "expected ScenarioError";
+  } catch (const sv::ScenarioError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("no_such_case"), std::string::npos);
+    EXPECT_NE(msg.find("lifted_jet"), std::string::npos);
+    EXPECT_NE(msg.find("pressure_wave"), std::string::npos);
+  }
+}
+
+TEST(ScenarioRegistry, DuplicateRegistrationThrows) {
+  sv::Scenario dup;
+  dup.name = "pressure_wave";
+  dup.description = "imposter";
+  dup.make = [](const sv::ParamMap&) { return sv::CaseSetup{}; };
+  EXPECT_THROW(sv::ScenarioRegistry::instance().add(std::move(dup)),
+               sv::ScenarioError);
+  // The failed insertion must not have displaced the original.
+  EXPECT_EQ(sv::ScenarioRegistry::instance().at("pressure_wave").description
+                .find("imposter"),
+            std::string::npos);
+}
+
+TEST(ScenarioRegistry, UnknownParameterListsKnownKeys) {
+  try {
+    sv::ScenarioRegistry::instance().build("pressure_wave",
+                                           {{"bogus", "1"}});
+    FAIL() << "expected ConfigError";
+  } catch (const sv::ConfigError& e) {
+    const std::string msg = e.what();
+    // s3dlint:allow(xref): field is composed at runtime from the key
+    EXPECT_NE(msg.find("scenario.pressure_wave.bogus"), std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("two_d"), std::string::npos) << msg;
+  }
+}
+
+TEST(ScenarioRegistry, MalformedValuesAreTypedConfigErrors) {
+  auto& reg = sv::ScenarioRegistry::instance();
+  // Non-numeric integer.
+  try {
+    reg.build("pressure_wave", {{"n", "abc"}});
+    FAIL() << "expected ConfigError";
+  } catch (const sv::ConfigError& e) {
+    // s3dlint:allow(xref): field is composed at runtime from the key
+    EXPECT_EQ(e.field(), "scenario.pressure_wave.n");
+  }
+  // Out-of-range integer.
+  EXPECT_THROW(reg.build("pressure_wave", {{"n", "4"}}), sv::ConfigError);
+  EXPECT_THROW(reg.build("pressure_wave", {{"n", "2048"}}), sv::ConfigError);
+  // Malformed boolean and real.
+  EXPECT_THROW(reg.build("pressure_wave", {{"two_d", "maybe"}}),
+               sv::ConfigError);
+  EXPECT_THROW(reg.build("lifted_jet", {{"u_jet", "fast"}}),
+               sv::ConfigError);
+  EXPECT_THROW(reg.build("lifted_jet", {{"transport", "spectral"}}),
+               sv::ConfigError);
+}
+
+TEST(ScenarioRegistry, ParseHelpersRejectMalformedInput) {
+  // Property sweep over representative malformed forms: every rejection
+  // is a typed ConfigError carrying the offending field.
+  for (const char* bad : {"", "x", "1.5", "1e3", "12 ", "0x10"})
+    EXPECT_THROW(sv::parse_int_param("f", bad), sv::ConfigError) << bad;
+  for (const char* bad : {"", "x", "1.5.2", "nanx", "1,5"})
+    EXPECT_THROW(sv::parse_real_param("f", bad), sv::ConfigError) << bad;
+  for (const char* bad : {"", "yes", "no", "2", "TRUE"})
+    EXPECT_THROW(sv::parse_bool_param("f", bad), sv::ConfigError) << bad;
+  EXPECT_EQ(sv::parse_int_param("f", "-42"), -42);
+  EXPECT_DOUBLE_EQ(sv::parse_real_param("f", "2.5e-3"), 2.5e-3);
+  EXPECT_TRUE(sv::parse_bool_param("f", "on"));
+  EXPECT_FALSE(sv::parse_bool_param("f", "0"));
+
+  sv::ParamMap kv;
+  EXPECT_THROW(sv::parse_kv("f", "noequals", kv), sv::ConfigError);
+  EXPECT_THROW(sv::parse_kv("f", "=value", kv), sv::ConfigError);
+  sv::parse_kv("f", "a=b=c", kv);
+  EXPECT_EQ(kv.at("a"), "b=c") << "first '=' splits; values may contain =";
+}
+
+TEST(ScenarioRegistry, DefaultsValidateForEveryScenario) {
+  for (const auto& name : sv::ScenarioRegistry::instance().names()) {
+    const auto cs = sv::ScenarioRegistry::instance().build(name);
+    EXPECT_NO_THROW(cs.cfg.validate()) << name;
+    EXPECT_TRUE(static_cast<bool>(cs.init)) << name;
+  }
+}
+
+TEST(ScenarioRegistry, BuildMatchesDirectCaseConstructionBitwise) {
+  const auto reg = sv::ScenarioRegistry::instance().build(
+      "lifted_jet", {{"nx", "48"},
+                     {"ny", "32"},
+                     {"Lx", "0.005"},
+                     {"Ly", "0.005"},
+                     {"u_jet", "110"},
+                     {"u_rms", "10"},
+                     {"transport", "power_law"}});
+  sv::LiftedJetParams prm;
+  prm.nx = 48;
+  prm.ny = 32;
+  prm.Lx = 0.005;
+  prm.Ly = 0.005;
+  prm.u_jet = 110.0;
+  prm.u_rms = 10.0;
+  prm.transport = sv::TransportModel::power_law;
+  const auto direct = sv::lifted_jet_case(prm);
+
+  EXPECT_EQ(reg.Z_st, direct.Z_st);
+  EXPECT_EQ(reg.Y_fuel, direct.Y_fuel);
+
+  sv::Solver a(reg.cfg), b(direct.cfg);
+  a.initialize(reg.init);
+  b.initialize(direct.init);
+  EXPECT_EQ(state_checksum(a), state_checksum(b)) << "initial condition";
+  a.run(3, {}, 5);
+  b.run(3, {}, 5);
+  EXPECT_EQ(state_checksum(a), state_checksum(b)) << "3-step trajectory";
+}
+
+TEST(ScenarioRegistry, CounterflowIgnitionRunsFinite) {
+  const auto cs = sv::ScenarioRegistry::instance().build(
+      "counterflow_ignition",
+      {{"nx", "32"}, {"ny", "16"}, {"Lx", "0.004"}, {"Ly", "0.002"}});
+  sv::Solver s(cs.cfg);
+  s.initialize(cs.init);
+  s.run(2, {}, 5);
+  EXPECT_TRUE(state_all_finite(s));
+  EXPECT_GT(s.time(), 0.0);
+}
+
+TEST(ScenarioRegistry, HitAutoignitionRunsFinite) {
+  const auto cs = sv::ScenarioRegistry::instance().build(
+      "hit_autoignition", {{"n", "16"}});
+  sv::Solver s(cs.cfg);
+  s.initialize(cs.init);
+  s.run(2, {}, 5);
+  EXPECT_TRUE(state_all_finite(s));
+  // The temperature spots must survive initialization: T range spans
+  // the configured +/- dT band around T0.
+  EXPECT_GT(cs.T_burnt, 1400.0) << "premixed endpoints must be populated";
+  EXPECT_GT(cs.Y_o2_unburnt, cs.Y_o2_burnt);
+}

@@ -40,7 +40,7 @@ for lane in "${lanes[@]}"; do
       # AddressSanitizer + LeakSanitizer over the unit-ish tiers.
       build asan -DS3D_SANITIZE=address -DS3D_WERROR=ON
       (cd "$dir" && ASAN_OPTIONS=detect_leaks=1 \
-        ctest -L "resilience|equivalence|checkpoint|adaptive|lint" \
+        ctest -L "resilience|equivalence|checkpoint|adaptive|lint|plugin" \
               --output-on-failure)
       ;;
     ubsan)
@@ -50,12 +50,12 @@ for lane in "${lanes[@]}"; do
       # codegen, which instrumentation perturbs; every within-build
       # bitwise contract still runs at full strength.
       build ubsan -DS3D_SANITIZE=undefined -DS3D_WERROR=ON
-      (cd "$dir" && ctest -L "resilience|equivalence|passes|lint" \
+      (cd "$dir" && ctest -L "resilience|equivalence|passes|lint|plugin" \
               --output-on-failure)
       ;;
     tsan)
       build tsan -DS3D_SANITIZE=thread -DS3D_WERROR=ON
-      (cd "$dir" && ctest -L "resilience|equivalence|checkpoint|adaptive" \
+      (cd "$dir" && ctest -L "resilience|equivalence|checkpoint|adaptive|plugin" \
               -E "^Golden" --output-on-failure)
       ;;
     tidy)
